@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every benchmark prints the rows the paper reports (visible with
+``pytest -s``) and appends them to ``benchmarks/results/<name>.txt`` so
+EXPERIMENTS.md can quote measured numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def record(name: str, lines) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = "\n".join(str(line) for line in lines)
+    print()
+    print("=" * 72)
+    print("[%s]" % name)
+    print(text)
+    print("=" * 72)
+    with open(os.path.join(RESULTS_DIR, "%s.txt" % name), "w") as handle:
+        handle.write(text + "\n")
+
+
+def build_lab(topology, platform: str = "netkit"):
+    """Design, compile and render a topology; return the RenderResult."""
+    from repro.compilers import platform_compiler
+    from repro.design import design_network
+    from repro.render import render_nidb
+
+    anm = design_network(topology)
+    nidb = platform_compiler(platform, anm).compile()
+    return anm, nidb, render_nidb(nidb, tempfile.mkdtemp(prefix="bench_"))
+
+
+def full_scale() -> bool:
+    """Whether to run the full-size (minutes-long) variants."""
+    return os.environ.get("REPRO_FULL_SCALE", "") not in ("", "0", "false")

@@ -1,0 +1,83 @@
+"""E1 — Figure 5: algebraic overlay construction (§4.2.1).
+
+Regenerates the three derived edge sets of Figure 5 and benchmarks the
+derivation, including the DESIGN.md ablation: the accessor-API rules
+versus hand-written raw-NetworkX set algebra (the abstraction must not
+cost meaningful time).
+"""
+
+import itertools
+
+import networkx as nx
+import pytest
+
+from repro.design import design_network
+from repro.loader import fig5_topology
+
+from _util import record
+
+
+def _edge_sets(anm):
+    return {
+        "ospf": sorted(
+            tuple(sorted((str(e.src_id), str(e.dst_id)))) for e in anm["ospf"].edges()
+        ),
+        "ibgp": sorted(
+            set(
+                tuple(sorted((str(e.src_id), str(e.dst_id))))
+                for e in anm["ibgp"].edges()
+            )
+        ),
+        "ebgp": sorted(
+            set(
+                tuple(sorted((str(e.src_id), str(e.dst_id))))
+                for e in anm["ebgp"].edges()
+            )
+        ),
+    }
+
+
+def test_fig5_overlay_rules(benchmark):
+    anm = benchmark(design_network, fig5_topology())
+    sets = _edge_sets(anm)
+    assert sets["ospf"] == [("r1", "r2"), ("r1", "r3"), ("r2", "r4"), ("r3", "r4")]
+    assert sets["ebgp"] == [("r3", "r5"), ("r4", "r5")]
+    assert len(sets["ibgp"]) == 6  # rule (2): all same-AS pairs
+    record(
+        "E1_fig5_overlays",
+        [
+            "Figure 5 derived overlays (rules 1-3 of §4.2.1):",
+            "  E_ospf = %s   (paper: identical)" % (sets["ospf"],),
+            "  E_ebgp = %s   (paper: identical)" % (sets["ebgp"],),
+            "  E_ibgp = %s" % (sets["ibgp"],),
+            "  (paper's printed E_ibgp omits (r3, r4); rule (2) yields all 6 pairs)",
+        ],
+    )
+
+
+def _raw_networkx_rules(graph):
+    """Ablation baseline: the same three rules in raw NetworkX."""
+    asn = nx.get_node_attributes(graph, "asn")
+    e_ospf = [(u, v) for u, v in graph.edges if asn[u] == asn[v]]
+    e_ebgp = [(u, v) for u, v in graph.edges if asn[u] != asn[v]]
+    e_ibgp = [
+        (u, v)
+        for u, v in itertools.combinations(graph.nodes, 2)
+        if asn[u] == asn[v]
+    ]
+    return e_ospf, e_ebgp, e_ibgp
+
+
+def test_fig5_raw_networkx_ablation(benchmark):
+    graph = fig5_topology()
+    e_ospf, e_ebgp, e_ibgp = benchmark(_raw_networkx_rules, graph)
+    assert len(e_ospf) == 4 and len(e_ebgp) == 2 and len(e_ibgp) == 6
+
+
+def test_overlay_rules_scale_linearly(benchmark):
+    """The rules on a 60-router topology still run in milliseconds."""
+    from repro.loader import multi_as_topology
+
+    graph = multi_as_topology(n_ases=6, routers_per_as=10, seed=1)
+    anm = benchmark(design_network, graph)
+    assert anm["ibgp"].number_of_edges() == 6 * 10 * 9

@@ -1,0 +1,78 @@
+"""Figures 1, 6 and 7: the visualisation artefacts themselves (§5.6).
+
+The paper's Figures 1/6/7 "were automatically generated using the
+visualization system"; this bench regenerates them the same way —
+physical topology, eBGP overlay, and the highlighted traceroute path —
+as self-contained HTML + d3 JSON under ``benchmarks/results/figures/``.
+"""
+
+import json
+import os
+import tempfile
+
+import pytest
+
+from repro.measurement import MeasurementClient
+from repro.loader import small_internet
+from repro.visualization import highlight_trace, overlay_to_d3, write_html, write_json
+from repro.workflow import run_experiment
+
+from _util import RESULTS_DIR, record
+
+FIGURES_DIR = os.path.join(RESULTS_DIR, "figures")
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return run_experiment(small_internet(), output_dir=tempfile.mkdtemp())
+
+
+def _write_figure(name, data):
+    os.makedirs(FIGURES_DIR, exist_ok=True)
+    write_html(data, os.path.join(FIGURES_DIR, "%s.html" % name), title=name)
+    write_json(data, os.path.join(FIGURES_DIR, "%s.json" % name))
+
+
+def test_figure1_physical_topology(benchmark, experiment):
+    data = benchmark(overlay_to_d3, experiment.anm["phy"])
+    assert len(data["nodes"]) == 14 and len(data["links"]) == 18
+    _write_figure("figure1_physical", data)
+
+
+def test_figure6_ebgp_overlay(benchmark, experiment):
+    data = benchmark(overlay_to_d3, experiment.anm["ebgp"])
+    assert len(data["links"]) == 16  # 8 sessions, both directions
+    _write_figure("figure6_ebgp", data)
+
+
+def test_figure7_highlighted_traceroute(benchmark, experiment):
+    client = MeasurementClient(experiment.lab, experiment.nidb)
+    destination = str(experiment.nidb.node("as100r2").loopback)
+    run = client.send("traceroute -naU %s" % destination, ["as300r2"])
+    path = run.results[0].mapped_path
+
+    def build():
+        return highlight_trace(overlay_to_d3(experiment.anm["phy"]), path)
+
+    data = benchmark(build)
+    assert any(node["highlighted"] for node in data["nodes"])
+    assert data["paths"] == [path]
+    _write_figure("figure7_traceroute", data)
+    record(
+        "figures",
+        [
+            "regenerated Figure 1 (physical), Figure 6 (eBGP overlay) and",
+            "Figure 7 (highlighted traceroute %s) under" % " -> ".join(path),
+            FIGURES_DIR,
+        ],
+    )
+
+
+def test_figure_exports_are_valid_json(benchmark, experiment):
+    benchmark.pedantic(lambda: os.listdir(FIGURES_DIR), rounds=1, iterations=1)
+    os.makedirs(FIGURES_DIR, exist_ok=True)
+    for name in os.listdir(FIGURES_DIR):
+        if name.endswith(".json"):
+            with open(os.path.join(FIGURES_DIR, name)) as handle:
+                payload = json.load(handle)
+            assert "nodes" in payload and "links" in payload

@@ -1,0 +1,80 @@
+"""E5 — iBGP session scaling: full mesh versus route reflection (§7.1).
+
+"The simplest iBGP design, a full-mesh, requires O(n^2) connections.
+One way to solve this scalability problem is to use route-reflectors."
+
+Regenerates the session-count series for both designs over n, plus the
+construction-time comparison the §6 discussion attributes the full-mesh
+cost to ("iterating over edges ... full-mesh iBGP").
+"""
+
+import pytest
+
+from repro.design import (
+    assign_route_reflectors_by_centrality,
+    build_anm,
+    build_ibgp_full_mesh,
+    build_ibgp_route_reflection,
+    build_phy,
+    ibgp_session_count,
+)
+from repro.loader import multi_as_topology
+
+from _util import record
+
+SIZES = [10, 25, 50, 100, 200]
+
+
+def _anm(n_routers, with_rr=False):
+    graph = multi_as_topology(n_ases=1, routers_per_as=n_routers, seed=7)
+    anm = build_anm(graph)
+    build_phy(anm)
+    if with_rr:
+        assign_route_reflectors_by_centrality(anm, fraction=0.1)
+    return anm
+
+
+def test_session_count_series(benchmark):
+    benchmark.pedantic(lambda: ibgp_session_count(100), rounds=1, iterations=1)
+    lines = ["     n   mesh-sessions   rr-sessions   reduction"]
+    for n_routers in SIZES:
+        mesh = ibgp_session_count(n_routers)
+        anm = _anm(n_routers, with_rr=True)
+        rr_edges = build_ibgp_route_reflection(anm).number_of_edges() // 2
+        lines.append(
+            "%6d   %13d   %11d   %8.1fx" % (n_routers, mesh, rr_edges, mesh / rr_edges)
+        )
+        assert rr_edges < mesh
+    lines.append("(paper: full mesh O(n^2); reflection reduces sessions)")
+    record("E5_ibgp_sessions", lines)
+
+
+def test_full_mesh_quadratic_shape(benchmark):
+    """Session counts follow n(n-1)/2 exactly."""
+    benchmark.pedantic(lambda: ibgp_session_count(200), rounds=1, iterations=1)
+    for n_routers in SIZES:
+        anm = _anm(n_routers)
+        edges = build_ibgp_full_mesh(anm).number_of_edges()
+        assert edges == n_routers * (n_routers - 1)
+
+
+def test_full_mesh_construction_time(benchmark):
+    anm = _anm(100)
+    overlay = benchmark(build_ibgp_full_mesh, anm)
+    assert overlay.number_of_edges() == 100 * 99
+
+
+def test_route_reflection_construction_time(benchmark):
+    anm = _anm(100, with_rr=True)
+    overlay = benchmark(build_ibgp_route_reflection, anm)
+    assert overlay.number_of_edges() < 100 * 99
+
+
+def test_centrality_assignment_time(benchmark):
+    anm = _anm(200)
+    chosen = benchmark.pedantic(
+        lambda: assign_route_reflectors_by_centrality(anm, fraction=0.1),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(chosen) == 20

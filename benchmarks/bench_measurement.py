@@ -1,0 +1,79 @@
+"""E9 — the measurement and validation loop (§5.7, §6.1).
+
+"Build and deploy a network, run a series of traceroutes, parse the
+results, and present the paths back to the user as a list of overlay
+nodes" and "the OSPF neighbors command could be run on each router ...
+and compared against the OSPF overlay constructed at design-time".
+"""
+
+import tempfile
+
+import pytest
+
+from repro.measurement import MeasurementClient, validate_bgp_sessions, validate_ospf
+from repro.loader import small_internet
+from repro.workflow import run_experiment
+
+from _util import record
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return run_experiment(small_internet(), output_dir=tempfile.mkdtemp())
+
+
+def test_traceroute_fanout_all_routers(benchmark, experiment):
+    client = MeasurementClient(experiment.lab, experiment.nidb)
+    destination = str(experiment.nidb.node("as1r1").loopback)
+    hosts = [str(d.node_id) for d in experiment.nidb.routers()]
+
+    run = benchmark(client.send, "traceroute -naU %s" % destination, hosts)
+    assert len(run.results) == 14
+    assert all(
+        result.mapped_path[-1] == "as1r1" for result in run.results
+    )
+    record(
+        "E9_traceroute_fanout",
+        ["traceroutes to as1r1 from all 14 routers, parsed + mapped:"]
+        + [
+            "  %-8s: %s" % (r.machine, " -> ".join(r.mapped_path))
+            for r in sorted(run.results, key=lambda r: r.machine)
+        ],
+    )
+
+
+def test_ospf_validation_loop(benchmark, experiment):
+    report = benchmark(
+        validate_ospf, experiment.lab, experiment.nidb, experiment.anm["ospf"]
+    )
+    assert report.ok
+    record(
+        "E9_validation",
+        [
+            report.summary(),
+            validate_bgp_sessions(experiment.lab, experiment.nidb).summary(),
+            "(paper: automated design-vs-running validation loop)",
+        ],
+    )
+
+
+def test_parse_throughput(benchmark, experiment):
+    """textfsm-lite parse rate on realistic traceroute output."""
+    from repro.measurement import parse_traceroute
+
+    output = experiment.lab.vm("as300r2").run("traceroute -naU 192.168.128.2")
+    rows = benchmark(parse_traceroute, output)
+    assert rows
+
+
+def test_measurement_by_tap_addresses(benchmark, experiment):
+    """§6.1's addressing mode: hosts named by management (TAP) IPs."""
+    from repro.measurement import send
+
+    hosts = [device.tap.ip for device in experiment.nidb.routers()]
+    run = benchmark.pedantic(
+        lambda: send(experiment.nidb, "show ip bgp summary", hosts, lab=experiment.lab),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(run.results) == 14

@@ -1,0 +1,99 @@
+"""E3 — the European NREN interconnect model (§3.2).
+
+Paper (2013 laptop): the 42-AS / 1158-router / 1470-link model took
+15 s to load and build the topologies, 27 s to compile, 2 min to render
+(20 MB of configurations, 16,144 items); the bottleneck is file-system
+writes.
+
+This harness regenerates those three phases over a scale sweep and — at
+full scale (default here; set REPRO_FULL_SCALE=0 to skip) — reports the
+same rows.  Absolute numbers differ (different hardware, Python, and a
+leaner substrate); the shape to check is phase ordering
+(render > compile >= load) and roughly-linear growth.
+"""
+
+import os
+import tempfile
+import time
+
+import pytest
+
+from repro.compilers import platform_compiler
+from repro.design import design_network
+from repro.loader import european_nren_model
+from repro.render import render_nidb
+
+from _util import record
+
+
+def _phases(scale):
+    started = time.perf_counter()
+    graph = european_nren_model(scale=scale)
+    anm = design_network(graph)
+    load_build = time.perf_counter() - started
+
+    started = time.perf_counter()
+    nidb = platform_compiler("netkit", anm).compile()
+    compile_time = time.perf_counter() - started
+
+    started = time.perf_counter()
+    result = render_nidb(nidb, tempfile.mkdtemp(prefix="nren_"))
+    render_time = time.perf_counter() - started
+    return {
+        "scale": scale,
+        "routers": graph.number_of_nodes(),
+        "links": graph.number_of_edges(),
+        "load_build": load_build,
+        "compile": compile_time,
+        "render": render_time,
+        "files": result.n_files,
+        "bytes": result.total_bytes,
+    }
+
+
+def test_nren_scale_sweep(benchmark):
+    scales = [0.05, 0.1, 0.25]
+    if os.environ.get("REPRO_FULL_SCALE", "1") not in ("", "0", "false"):
+        scales.append(1.0)
+    rows = [_phases(scale) for scale in scales[:-1]]
+    rows.append(benchmark.pedantic(lambda: _phases(scales[-1]), rounds=1, iterations=1))
+
+    lines = [
+        "scale  routers  links  load+build  compile   render    files   bytes",
+    ]
+    for row in rows:
+        lines.append(
+            "%5.2f  %7d  %5d  %9.2fs  %7.2fs  %7.2fs  %6d  %8d"
+            % (
+                row["scale"],
+                row["routers"],
+                row["links"],
+                row["load_build"],
+                row["compile"],
+                row["render"],
+                row["files"],
+                row["bytes"],
+            )
+        )
+    lines += [
+        "paper @1.0: 42 ASes / 1158 routers / 1470 links ->",
+        "  load+build 15s, compile 27s, render 2min, 20MB / 16,144 items",
+        "  (2013 laptop; shape check: render dominates, growth ~linear)",
+    ]
+    record("E3_nren_scale", lines)
+
+    full = rows[-1]
+    if full["scale"] == 1.0:
+        assert full["routers"] == 1158 and full["links"] == 1470
+    # Shape: render is the most expensive phase, as the paper reports.
+    assert full["render"] >= full["compile"] * 0.5
+    # Roughly linear growth: 5x scale must not cost more than ~25x time.
+    small, mid = rows[0], rows[1]
+    assert mid["render"] < 25 * max(small["render"], 1e-3)
+
+
+def test_nren_design_phase(benchmark):
+    """The load+build phase alone, at benchmarkable scale."""
+    graph = european_nren_model(scale=0.1)
+    anm = benchmark(design_network, graph)
+    assert anm["ibgp"].number_of_edges() > 0

@@ -1,0 +1,95 @@
+"""E2 + E10 — the Small-Internet lab (§3.1, §6.1, Figures 1/6/7).
+
+Paper claims regenerated here:
+
+* drawing aside, the system builds the overlay topologies and compiles
+  them "in under a second" (§3.1) — measured directly;
+* Figure 6: the eBGP overlay of the lab;
+* Figure 7: a traceroute across the lab, mapped back to router names
+  and an AS path.
+"""
+
+import tempfile
+
+import pytest
+
+from repro.compilers import platform_compiler
+from repro.design import design_network
+from repro.loader import small_internet
+from repro.measurement import MeasurementClient
+from repro.render import render_nidb
+from repro.workflow import run_experiment
+
+from _util import record
+
+
+def test_build_and_compile_under_a_second(benchmark):
+    def build():
+        anm = design_network(small_internet())
+        return platform_compiler("netkit", anm).compile()
+
+    nidb = benchmark(build)
+    assert len(nidb) == 14
+    stats = benchmark.stats.stats
+    assert stats.mean < 1.0, "paper: overlays built + compiled in under a second"
+    record(
+        "E2_small_internet_build",
+        [
+            "Small-Internet build+compile mean %.4fs (paper: 'under a second',"
+            % stats.mean,
+            "vs several days of manual configuration / <1h with the",
+            "device-oriented prototype of §3.1)",
+        ],
+    )
+
+
+def test_full_pipeline_with_deployment(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment(small_internet(), output_dir=tempfile.mkdtemp()),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.lab.converged
+    record(
+        "E2_small_internet_pipeline",
+        ["phase timings: %s" % result.timing_summary()],
+    )
+
+
+def test_figure6_ebgp_overlay(benchmark):
+    anm = benchmark(design_network, small_internet())
+    sessions = sorted(
+        set(
+            tuple(sorted((str(e.src_id), str(e.dst_id))))
+            for e in anm["ebgp"].edges()
+        )
+    )
+    assert len(sessions) == 8
+    record(
+        "E2_figure6_ebgp",
+        ["Figure 6 eBGP sessions (bidirectional):"]
+        + ["  %s <-> %s" % pair for pair in sessions],
+    )
+
+
+def test_figure7_traceroute_mapping(benchmark):
+    result = run_experiment(small_internet(), output_dir=tempfile.mkdtemp())
+    client = MeasurementClient(result.lab, result.nidb)
+    destination = str(result.nidb.node("as100r2").loopback)
+
+    run = benchmark(client.send, "traceroute -naU %s" % destination, ["as300r2"])
+    measurement = run.results[0]
+    assert measurement.mapped_path[-1] == "as100r2"
+    assert measurement.as_path[-1] == 100
+    record(
+        "E2_figure7_traceroute",
+        [
+            "traceroute as300r2 -> as100r2 (numeric):",
+            measurement.output,
+            "mapped devices: %s" % measurement.mapped_path,
+            "AS path: %s" % measurement.as_path,
+            "(paper's Figure 7 path traverses as40r1/as1r1/as20r*; our lab",
+            " includes the as200-as300 shortcut, so BGP prefers the",
+            " 2-AS-hop route via as200r1 — same mechanism, shorter path)",
+        ],
+    )

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Validating theory in emulation: the Bad-Gadget experiment (§7.2).
+
+Compiles the same route-reflection / IGP-metric oscillation gadget to
+all four platforms (Quagga via Netkit, IOS via Dynagen, JunOS via
+Junosphere, and C-BGP), boots each from its rendered configuration
+files, and reports which router software oscillates.
+
+Expected result (matching the paper): oscillation on IOS, JunOS and
+C-BGP; convergence on Quagga, whose BGP implementation did not apply
+the IGP-metric tie-break by default.
+
+Run:  python examples/bad_gadget.py
+"""
+
+import ipaddress
+import tempfile
+
+from repro.compilers import platform_compiler
+from repro.design import design_network
+from repro.emulation import EmulatedLab
+from repro.loader import bad_gadget_topology
+from repro.loader.topology_gen import BAD_GADGET_PREFIX
+from repro.render import render_nidb
+
+PLATFORMS = {
+    "netkit": "Quagga",
+    "dynagen": "IOS",
+    "junosphere": "JunOS",
+    "cbgp": "C-BGP",
+}
+
+
+def boot(platform: str) -> EmulatedLab:
+    anm = design_network(bad_gadget_topology())
+    nidb = platform_compiler(platform, anm).compile()
+    rendered = render_nidb(nidb, tempfile.mkdtemp(prefix="gadget_%s_" % platform))
+    return EmulatedLab.boot(rendered.lab_dir, max_rounds=40)
+
+
+def main() -> None:
+    print("platform     software   outcome")
+    print("-" * 48)
+    labs = {}
+    for platform, software in PLATFORMS.items():
+        lab = boot(platform)
+        labs[platform] = lab
+        if lab.oscillating:
+            outcome = "OSCILLATES (period %d)" % lab.bgp_result.period
+        else:
+            outcome = "converges in %d rounds" % lab.bgp_result.rounds
+        print("%-12s %-10s %s" % (platform, software, outcome))
+    print()
+
+    # Demonstrate the oscillation the way the paper does: repeated
+    # automated traceroutes, whose paths flap between rounds.
+    lab = labs["dynagen"]
+    target = ipaddress.ip_network(BAD_GADGET_PREFIX).network_address + 1
+    print("repeated traceroutes from rr1 toward %s (IOS semantics):" % target)
+    history_length = len(lab.bgp_result.history)
+    for round_index in range(history_length - 2, history_length):
+        path = lab.dataplane_at_round(round_index).trace("rr1", target)
+        print("  round %2d: rr1 -> %s" % (round_index, " -> ".join(path.machines())))
+    print()
+    print(
+        "Quagga's stable selections (router-id tie-break, no IGP metric):"
+    )
+    prefix = ipaddress.ip_network(BAD_GADGET_PREFIX)
+    quagga = labs["netkit"]
+    for reflector in ("rr1", "rr2", "rr3"):
+        route = quagga.bgp_result.selected[reflector][prefix]
+        print("  %s exits via %s" % (reflector, route.learned_from))
+
+
+if __name__ == "__main__":
+    main()

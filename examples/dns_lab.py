@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""DNS as a network service (§3.3): names consistent with allocations.
+
+Builds the Small-Internet lab with DNS design enabled: one server per
+AS, forward zones mapping every device name to its loopback, and a
+reverse zone — then shows names resolving inside the running lab and a
+traceroute with reverse-DNS hostnames.
+
+Run:  python examples/dns_lab.py
+"""
+
+import tempfile
+
+from repro import run_experiment, small_internet
+from repro.design import dns_servers
+
+
+def main() -> None:
+    result = run_experiment(small_internet(), output_dir=tempfile.mkdtemp())
+    lab = result.lab
+
+    print("DNS servers elected per AS:")
+    for server in sorted(dns_servers(result.anm["dns"]), key=lambda n: n.asn):
+        print("  AS %-4s -> %s (zone %s)" % (server.asn, server.node_id, server.zone))
+    print()
+
+    print("zones served: %d, forward records: %d" % (
+        lab.dns.zone_count(), lab.dns.record_count()))
+    print()
+
+    # Forward lookup from a client VM (unqualified name + search domain).
+    print("$ as100r2> nslookup as100r3")
+    print(lab.vm("as100r2").run("nslookup as100r3"))
+    print()
+
+    # Reverse lookup, as used when mapping traceroute hops.
+    print("$ as100r2> nslookup 192.168.128.1")
+    print(lab.vm("as100r2").run("nslookup 192.168.128.1"))
+    print()
+
+    # Traceroute with reverse DNS (no -n): hops appear as hostnames.
+    destination = str(result.nidb.node("as20r1").loopback)
+    print("$ as100r2> traceroute -aU %s" % destination)
+    print(lab.vm("as100r2").run("traceroute -aU %s" % destination))
+
+
+if __name__ == "__main__":
+    main()

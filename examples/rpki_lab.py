@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""An RPKI service network, configured from a labelled graph (§3.3).
+
+The input graph holds CA servers with labelled edges expressing their
+relationships (``ca_parent``, ``publishes_to``, ``fetches_from``,
+``rtr_feed``).  The design rule slices address space down the CA
+hierarchy and generates ROAs; the compiler emits per-daemon
+configuration files; deployment boots every VM.
+
+Run:  python examples/rpki_lab.py
+"""
+
+import tempfile
+
+from repro.compilers import platform_compiler
+from repro.deployment import LocalEmulationHost, ProgressMonitor, deploy
+from repro.design import design_network
+from repro.loader import rpki_topology
+from repro.render import render_nidb
+
+
+def main() -> None:
+    graph = rpki_topology(n_child_cas=4, n_publication_points=2, n_caches=8, n_routers=6)
+    anm = design_network(
+        graph, rules=("phy", "ipv4", "ospf", "ebgp", "ibgp", "dns", "rpki")
+    )
+
+    g_rpki = anm["rpki"]
+    print("RPKI service graph:")
+    for relation in ("ca_parent", "publishes_to", "fetches_from", "rtr_feed"):
+        edges = g_rpki.edges(type=relation)
+        print("  %-13s %d edges" % (relation, len(edges)))
+    print()
+    print("address space down the CA hierarchy:")
+    for ca_node in sorted(
+        (n for n in g_rpki if n.service == "rpki_ca"), key=lambda n: str(n.node_id)
+    ):
+        print("  %-8s resources=%s" % (ca_node.node_id, ca_node.resources))
+    print()
+
+    nidb = platform_compiler("netkit", anm).compile()
+    rendered = render_nidb(nidb, tempfile.mkdtemp(prefix="rpki_"))
+
+    monitor = ProgressMonitor(callbacks=[print])
+    record = deploy(
+        rendered.lab_dir,
+        host=LocalEmulationHost(),
+        lab_name="rpki",
+        monitor=monitor,
+    )
+    print()
+    lab = record.lab
+    print("machines up: %d" % len(lab.network))
+    roles: dict = {}
+    for device in lab.network.machines.values():
+        if device.rpki_role:
+            roles.setdefault(device.rpki_role, 0)
+            roles[device.rpki_role] += 1
+    print("daemon roles booted from rendered configs:", roles)
+    cache = lab.network.device("cache1")
+    print("cache1 fetches from:", cache.rpki_config.get("fetches_from"))
+    print("cache1 serves routers:", cache.rpki_config.get("rtr_clients"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+graph [
+  node [
+    id 0
+    label "r1"
+    asn 1
+    device_type "router"
+    platform "netkit"
+    syntax "quagga"
+    host "localhost"
+  ]
+  node [
+    id 1
+    label "r2"
+    asn 1
+    device_type "router"
+    platform "netkit"
+    syntax "quagga"
+    host "localhost"
+  ]
+  node [
+    id 2
+    label "r3"
+    asn 1
+    device_type "router"
+    platform "netkit"
+    syntax "quagga"
+    host "localhost"
+  ]
+  node [
+    id 3
+    label "r4"
+    asn 1
+    device_type "router"
+    platform "netkit"
+    syntax "quagga"
+    host "localhost"
+  ]
+  node [
+    id 4
+    label "r5"
+    asn 2
+    device_type "router"
+    platform "netkit"
+    syntax "quagga"
+    host "localhost"
+  ]
+  edge [
+    source 0
+    target 1
+    ospf_cost 10
+    type "physical"
+  ]
+  edge [
+    source 0
+    target 2
+    ospf_cost 10
+    type "physical"
+  ]
+  edge [
+    source 1
+    target 3
+    ospf_cost 20
+    type "physical"
+  ]
+  edge [
+    source 2
+    target 3
+    ospf_cost 20
+    type "physical"
+  ]
+  edge [
+    source 2
+    target 4
+    type "physical"
+  ]
+  edge [
+    source 3
+    target 4
+    type "physical"
+  ]
+]

@@ -1,0 +1,78 @@
+"""Reproduction of "An Automated System for Emulated Network Experimentation".
+
+(Knight et al., CoNEXT 2013 -- the AutoNetkit system.)
+
+The public API mirrors the paper's workflow:
+
+>>> from repro import run_experiment, small_internet
+>>> result = run_experiment(small_internet())
+>>> result.lab.vm("as300r2").run("traceroute -naU 192.168.128.2")
+
+See DESIGN.md for the subsystem inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.anm import AbstractNetworkModel
+from repro.compilers import PLATFORM_COMPILERS, platform_compiler
+from repro.deployment import LocalEmulationHost, deploy
+from repro.design import (
+    DEFAULT_RULES,
+    apply_design,
+    assign_route_reflectors_by_centrality,
+    build_anm,
+    design_network,
+    register_design_rule,
+)
+from repro.emulation import EmulatedLab
+from repro.exceptions import ReproError
+from repro.loader import (
+    bad_gadget_topology,
+    european_nren_model,
+    fig5_topology,
+    load_gml,
+    load_graphml,
+    load_json,
+    load_rocketfuel,
+    multi_as_topology,
+    rpki_topology,
+    small_internet,
+)
+from repro.measurement import MeasurementClient, validate_ospf
+from repro.nidb import Nidb
+from repro.render import render_nidb
+from repro.workflow import ExperimentResult, load_topology, run_experiment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbstractNetworkModel",
+    "DEFAULT_RULES",
+    "EmulatedLab",
+    "ExperimentResult",
+    "LocalEmulationHost",
+    "MeasurementClient",
+    "Nidb",
+    "PLATFORM_COMPILERS",
+    "ReproError",
+    "apply_design",
+    "assign_route_reflectors_by_centrality",
+    "bad_gadget_topology",
+    "build_anm",
+    "deploy",
+    "design_network",
+    "european_nren_model",
+    "fig5_topology",
+    "load_gml",
+    "load_graphml",
+    "load_json",
+    "load_rocketfuel",
+    "load_topology",
+    "multi_as_topology",
+    "platform_compiler",
+    "register_design_rule",
+    "render_nidb",
+    "rpki_topology",
+    "run_experiment",
+    "small_internet",
+    "validate_ospf",
+]

@@ -1,0 +1,18 @@
+"""Resource allocation: deterministic IP address pools and allocators (§5.3)."""
+
+from repro.addressing.allocator import (
+    DEFAULT_INFRA_BLOCK,
+    DEFAULT_LOOPBACK_BLOCK,
+    BaseAllocator,
+    PerAsnAllocator,
+)
+from repro.addressing.pools import HostPool, SubnetPool
+
+__all__ = [
+    "BaseAllocator",
+    "DEFAULT_INFRA_BLOCK",
+    "DEFAULT_LOOPBACK_BLOCK",
+    "HostPool",
+    "PerAsnAllocator",
+    "SubnetPool",
+]

@@ -1,0 +1,125 @@
+"""The pluggable IP address allocator (§5.3).
+
+IP addresses are allocated automatically "in two distinct blocks: one
+for loopback addresses on routers, and another block for infrastructure
+links", with the per-AS allocations recorded so other layers (eBGP,
+DNS) can reuse them.  The allocator is a plugin: anything implementing
+:class:`BaseAllocator`'s interface can be passed to the IP design rule,
+so custom schemes or methods from the literature can be dropped in.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Iterable, Mapping
+
+from repro.addressing.pools import HostPool, SubnetPool
+from repro.exceptions import AddressAllocationError
+
+#: Default blocks, mirroring the paper's examples (192.168.x.y/30 infra
+#: subnets in the Small-Internet resource database of §5.4).
+DEFAULT_INFRA_BLOCK = "10.0.0.0/8"
+DEFAULT_LOOPBACK_BLOCK = "192.168.0.0/16"
+
+
+class BaseAllocator:
+    """Interface for IP allocation plugins.
+
+    Subclasses provide three operations, all deterministic:
+
+    * :meth:`infra_pool` — the per-AS pool infrastructure subnets are
+      carved from;
+    * :meth:`loopback_pool` — the per-AS pool loopback /32s come from;
+    * :meth:`allocate_asn_blocks` — reserve the per-AS blocks up front
+      (recorded on the IP overlay as ``infra_blocks`` /
+      ``loopback_blocks``, §5.2.1).
+    """
+
+    def allocate_asn_blocks(self, asns: Iterable[int]) -> None:
+        raise NotImplementedError
+
+    def infra_pool(self, asn: int) -> SubnetPool:
+        raise NotImplementedError
+
+    def loopback_pool(self, asn: int) -> HostPool:
+        raise NotImplementedError
+
+    def infra_blocks(self) -> Mapping[int, ipaddress.IPv4Network]:
+        raise NotImplementedError
+
+    def loopback_blocks(self) -> Mapping[int, ipaddress.IPv4Network]:
+        raise NotImplementedError
+
+
+class PerAsnAllocator(BaseAllocator):
+    """The default scheme: one infra and one loopback block per AS.
+
+    ASes are sorted before allocation so the mapping from ASN to block
+    is stable regardless of discovery order.  Block sizes are chosen
+    from the AS count: the infra block (default 10.0.0.0/8) is divided
+    evenly into per-AS blocks, as is the loopback block.
+    """
+
+    def __init__(
+        self,
+        infra_block: str = DEFAULT_INFRA_BLOCK,
+        loopback_block: str = DEFAULT_LOOPBACK_BLOCK,
+        min_infra_prefixlen: int = 16,
+    ):
+        self._infra_root = ipaddress.ip_network(infra_block)
+        self._loopback_root = ipaddress.ip_network(loopback_block)
+        self._min_infra_prefixlen = min_infra_prefixlen
+        self._infra_pools: dict[int, SubnetPool] = {}
+        self._loopback_pools: dict[int, HostPool] = {}
+        self._infra_blocks: dict[int, ipaddress.IPv4Network] = {}
+        self._loopback_blocks: dict[int, ipaddress.IPv4Network] = {}
+
+    def allocate_asn_blocks(self, asns: Iterable[int]) -> None:
+        ordered = sorted(set(asns))
+        if not ordered:
+            return
+        n_blocks = len(ordered)
+        infra_prefixlen = self._fit_prefixlen(self._infra_root, n_blocks)
+        infra_prefixlen = max(infra_prefixlen, min(self._min_infra_prefixlen, 30))
+        loopback_prefixlen = self._fit_prefixlen(self._loopback_root, n_blocks)
+        infra_parent = SubnetPool(self._infra_root)
+        loopback_parent = SubnetPool(self._loopback_root)
+        for asn in ordered:
+            infra_block = infra_parent.subnet(infra_prefixlen)
+            loopback_block = loopback_parent.subnet(loopback_prefixlen)
+            self._infra_blocks[asn] = infra_block
+            self._loopback_blocks[asn] = loopback_block
+            self._infra_pools[asn] = SubnetPool(infra_block)
+            self._loopback_pools[asn] = HostPool(loopback_block)
+
+    @staticmethod
+    def _fit_prefixlen(root, n_blocks: int) -> int:
+        extra_bits = 0
+        while (1 << extra_bits) < n_blocks:
+            extra_bits += 1
+        prefixlen = root.prefixlen + extra_bits
+        if prefixlen > root.max_prefixlen - 2:
+            raise AddressAllocationError(
+                "block %s cannot hold %d per-AS subblocks" % (root, n_blocks)
+            )
+        return prefixlen
+
+    def _pool(self, pools, asn: int):
+        try:
+            return pools[asn]
+        except KeyError:
+            raise AddressAllocationError(
+                "ASN %r has no allocated block; call allocate_asn_blocks first" % (asn,)
+            ) from None
+
+    def infra_pool(self, asn: int) -> SubnetPool:
+        return self._pool(self._infra_pools, asn)
+
+    def loopback_pool(self, asn: int) -> HostPool:
+        return self._pool(self._loopback_pools, asn)
+
+    def infra_blocks(self) -> Mapping[int, ipaddress.IPv4Network]:
+        return dict(self._infra_blocks)
+
+    def loopback_blocks(self) -> Mapping[int, ipaddress.IPv4Network]:
+        return dict(self._loopback_blocks)

@@ -1,0 +1,104 @@
+"""Deterministic IP address pools.
+
+Resource allocation in the paper is compared to memory allocation in a
+programming language (§5.3): values are inconsequential but must be
+unique and consistent, and — for repeatable experiments — identical on
+every run.  These pools hand out subnets and host addresses in strict
+address order, so allocation is a pure function of the request sequence.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Iterator
+
+from repro.exceptions import AddressAllocationError
+
+IPNetwork = ipaddress.IPv4Network | ipaddress.IPv6Network
+IPAddress = ipaddress.IPv4Address | ipaddress.IPv6Address
+
+
+def _as_network(value) -> IPNetwork:
+    if isinstance(value, (ipaddress.IPv4Network, ipaddress.IPv6Network)):
+        return value
+    return ipaddress.ip_network(str(value))
+
+
+class SubnetPool:
+    """Carves variable-sized subnets from one parent block, in order.
+
+    Allocation keeps a moving frontier: each request aligns the frontier
+    up to the requested prefix boundary and takes the next block.  Mixed
+    request sizes may leave alignment gaps, but allocation order fully
+    determines the result.
+    """
+
+    def __init__(self, network):
+        self.network = _as_network(network)
+        self._frontier = int(self.network.network_address)
+        self._end = int(self.network.broadcast_address) + 1
+        self.allocated: list[IPNetwork] = []
+
+    def subnet(self, prefixlen: int) -> IPNetwork:
+        """Allocate the next /prefixlen subnet from the pool."""
+        if prefixlen < self.network.prefixlen:
+            raise AddressAllocationError(
+                "requested /%d is larger than the pool %s" % (prefixlen, self.network)
+            )
+        size = 1 << (self.network.max_prefixlen - prefixlen)
+        start = -(-self._frontier // size) * size  # align frontier up
+        if start + size > self._end:
+            raise AddressAllocationError(
+                "pool %s exhausted allocating /%d (allocated %d subnets)"
+                % (self.network, prefixlen, len(self.allocated))
+            )
+        self._frontier = start + size
+        subnet = ipaddress.ip_network((start, prefixlen))
+        self.allocated.append(subnet)
+        return subnet
+
+    def subnet_for_hosts(self, n_hosts: int) -> IPNetwork:
+        """Allocate the smallest subnet holding ``n_hosts`` usable addresses.
+
+        Follows classic /30 point-to-point sizing: network and broadcast
+        addresses are reserved, so a 2-host link gets a /30.
+        """
+        if n_hosts < 1:
+            raise AddressAllocationError("cannot size a subnet for %d hosts" % n_hosts)
+        needed = n_hosts + 2
+        prefixlen = self.network.max_prefixlen
+        while (1 << (self.network.max_prefixlen - prefixlen)) < needed:
+            prefixlen -= 1
+            if prefixlen < 0:
+                raise AddressAllocationError("host count %d too large" % n_hosts)
+        return self.subnet(prefixlen)
+
+    def remaining(self) -> int:
+        """Number of addresses not yet behind the frontier."""
+        return max(0, self._end - self._frontier)
+
+    def __repr__(self) -> str:
+        return "SubnetPool(%s, %d allocated)" % (self.network, len(self.allocated))
+
+
+class HostPool:
+    """Hands out individual host addresses from a subnet, in order."""
+
+    def __init__(self, network, skip_network: bool = True):
+        self.network = _as_network(network)
+        self._hosts: Iterator[IPAddress] = self.network.hosts()
+        self.allocated: list[IPAddress] = []
+        if not skip_network and self.network.prefixlen < self.network.max_prefixlen - 1:
+            # hosts() already skips network/broadcast for IPv4.
+            pass
+
+    def next_address(self) -> IPAddress:
+        try:
+            address = next(self._hosts)
+        except StopIteration:
+            raise AddressAllocationError("host pool %s exhausted" % self.network) from None
+        self.allocated.append(address)
+        return address
+
+    def __repr__(self) -> str:
+        return "HostPool(%s, %d allocated)" % (self.network, len(self.allocated))

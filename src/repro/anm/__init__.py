@@ -1,0 +1,38 @@
+"""Abstract Network Model: layered attribute graphs with a design API.
+
+This package implements §4.2/§5.2 of the paper: a set of overlay graphs
+sharing a node namespace, wrapped in lightweight accessors so network
+design rules read at whiteboard level.
+"""
+
+from repro.anm.accessors import EdgeAccessor, NodeAccessor
+from repro.anm.functions import (
+    aggregate_nodes,
+    copy_attr_from,
+    explode_node,
+    groupby,
+    neighbors_within,
+    split,
+    unwrap_graph,
+    unwrap_nodes,
+    wrap_nodes,
+)
+from repro.anm.model import AbstractNetworkModel
+from repro.anm.overlay import OverlayData, OverlayGraph
+
+__all__ = [
+    "AbstractNetworkModel",
+    "EdgeAccessor",
+    "NodeAccessor",
+    "OverlayData",
+    "OverlayGraph",
+    "aggregate_nodes",
+    "copy_attr_from",
+    "explode_node",
+    "groupby",
+    "neighbors_within",
+    "split",
+    "unwrap_graph",
+    "unwrap_nodes",
+    "wrap_nodes",
+]

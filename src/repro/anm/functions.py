@@ -1,0 +1,181 @@
+"""Attribute-based design functions (§5.2.4).
+
+These express common whiteboard-level operations on overlay topologies:
+
+* :func:`split` — insert an intermediate node on each selected edge
+  (used to give every point-to-point link a collision-domain node before
+  IP allocation);
+* :func:`aggregate_nodes` — collapse a set of nodes into one (used to
+  merge connected switches into a single collision domain);
+* :func:`explode_node` — remove a node and form a clique of its
+  neighbours (used to find adjacency *through* a switch);
+* :func:`groupby` — group nodes by an attribute value (per-ASN design
+  operations);
+* :func:`copy_attr_from` — copy one attribute between overlays, possibly
+  renaming it.
+
+All functions operate on :class:`~repro.anm.overlay.OverlayGraph`
+wrappers and return accessor objects.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable
+
+import networkx as nx
+
+from repro.anm.accessors import EdgeAccessor, NodeAccessor
+from repro.anm.overlay import OverlayGraph
+
+
+def unwrap_graph(overlay: OverlayGraph) -> nx.Graph:
+    """The raw NetworkX graph behind an overlay (§7.1).
+
+    This is the escape hatch that lets design code apply any NetworkX
+    algorithm — for example ``degree_centrality`` to pick
+    route-reflectors — and then come back to the accessor API.
+    """
+    return overlay._graph
+
+
+def unwrap_nodes(nodes: Iterable[Any]) -> list:
+    """Raw node ids for a sequence of accessors (or ids)."""
+    return [getattr(node, "node_id", node) for node in nodes]
+
+
+def wrap_nodes(overlay: OverlayGraph, node_ids: Iterable[Any]) -> list[NodeAccessor]:
+    """Accessors in ``overlay`` for a sequence of raw node ids."""
+    return [overlay.node(node_id) for node_id in node_ids]
+
+
+def copy_attr_from(
+    src_overlay: OverlayGraph,
+    dst_overlay: OverlayGraph,
+    attr: str,
+    dst_attr: str | None = None,
+    default: Any = None,
+) -> None:
+    """Copy a node attribute across overlays, optionally renaming it.
+
+    Nodes present only in the destination overlay receive ``default``
+    when it is not ``None``, and are left untouched otherwise.
+    """
+    dst_attr = dst_attr or attr
+    for node in dst_overlay:
+        if src_overlay.has_node(node):
+            value = src_overlay.node(node).get(attr, default)
+        else:
+            value = default
+        if value is not None:
+            node.set(dst_attr, value)
+
+
+def split(
+    overlay: OverlayGraph,
+    edges: Iterable[EdgeAccessor],
+    retain: Iterable[str] = (),
+    id_prefix: str = "cd",
+) -> list[NodeAccessor]:
+    """Split each edge by inserting a new intermediate node.
+
+    Each edge (u, v) is replaced by (u, m) and (m, v) where ``m`` is a
+    fresh node named ``<prefix>_<u>_<v>``.  Edge attributes named in
+    ``retain`` are copied onto both halves.  Returns the new nodes.
+    """
+    retain = list(retain)
+    new_nodes = []
+    for edge in list(edges):
+        src_id, dst_id = edge.src_id, edge.dst_id
+        data = edge.attributes()
+        kept = {name: data[name] for name in retain if name in data}
+        mid_id = "%s_%s_%s" % (id_prefix, src_id, dst_id)
+        # Guard against id collisions from parallel edges.
+        suffix = 0
+        unique_id = mid_id
+        while overlay.has_node(unique_id):
+            suffix += 1
+            unique_id = "%s_%d" % (mid_id, suffix)
+        overlay.remove_edge(src_id, dst_id)
+        mid = overlay.add_node(unique_id)
+        overlay.add_edge(src_id, unique_id, **kept)
+        overlay.add_edge(unique_id, dst_id, **kept)
+        new_nodes.append(mid)
+    return new_nodes
+
+
+def aggregate_nodes(
+    overlay: OverlayGraph,
+    nodes: Iterable[Any],
+    retain: Iterable[str] = (),
+) -> NodeAccessor | None:
+    """Collapse ``nodes`` into a single node (the first one).
+
+    Edges from the removed nodes to the outside are re-attached to the
+    survivor; edges internal to the group disappear.  Used to merge a
+    connected block of switches into one collision domain.  Returns the
+    surviving node's accessor, or ``None`` for an empty group.
+    """
+    node_ids = unwrap_nodes(nodes)
+    if not node_ids:
+        return None
+    survivor, absorbed = node_ids[0], node_ids[1:]
+    graph = overlay._graph
+    group = set(node_ids)
+    for node_id in absorbed:
+        for neighbor in list(graph.neighbors(node_id)):
+            if neighbor in group:
+                continue
+            data = dict(graph.edges[node_id, neighbor])
+            if not graph.has_edge(survivor, neighbor):
+                graph.add_edge(survivor, neighbor, **data)
+        graph.remove_node(node_id)
+    return overlay.node(survivor)
+
+
+def explode_node(overlay: OverlayGraph, node: Any, retain: Iterable[str] = ()) -> list[EdgeAccessor]:
+    """Remove ``node`` and connect its neighbours into a clique.
+
+    This converts "reachable through a switch" into direct adjacency,
+    which is how broadcast-domain OSPF adjacency is derived.  Returns
+    the newly created edges.
+    """
+    node_id = getattr(node, "node_id", node)
+    graph = overlay._graph
+    neighbors = [n for n in graph.neighbors(node_id) if n != node_id]
+    retain = list(retain)
+    incident = {n: dict(graph.edges[node_id, n]) for n in neighbors}
+    graph.remove_node(node_id)
+    new_edges = []
+    for left, right in itertools.combinations(neighbors, 2):
+        if graph.has_edge(left, right):
+            continue
+        data = {}
+        for name in retain:
+            if name in incident[left]:
+                data[name] = incident[left][name]
+        graph.add_edge(left, right, **data)
+        new_edges.append(EdgeAccessor(overlay, left, right))
+    return new_edges
+
+
+def groupby(attribute: str, nodes: Iterable[NodeAccessor]) -> dict[Any, list[NodeAccessor]]:
+    """Group nodes by the value of ``attribute``.
+
+    Returns an insertion-ordered mapping of attribute value to the list
+    of nodes carrying it, so per-group design steps can be written as::
+
+        for asn, members in groupby("asn", G_phy.routers()).items():
+            ...
+    """
+    groups: dict[Any, list[NodeAccessor]] = {}
+    for node in nodes:
+        groups.setdefault(node.get(attribute), []).append(node)
+    return groups
+
+
+def neighbors_within(overlay: OverlayGraph, node: Any, attribute: str) -> list[NodeAccessor]:
+    """Neighbours of ``node`` sharing its value of ``attribute``."""
+    node = overlay.node(node)
+    value = node.get(attribute)
+    return [n for n in node.neighbors() if n.get(attribute) == value]

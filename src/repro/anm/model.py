@@ -1,0 +1,112 @@
+"""The Abstract Network Model (ANM): a set of named overlay graphs (§5.2).
+
+The ANM is the central object of the configuration system.  It holds one
+NetworkX graph per layer — the raw input, the physical topology, and one
+overlay per protocol or service (OSPF, iBGP, eBGP, IP addressing, DNS,
+RPKI, ...) — and hands out :class:`~repro.anm.overlay.OverlayGraph`
+wrappers that present the high-level design API.
+
+By default a fresh ANM contains two overlays, ``input`` and ``phy``,
+matching the paper::
+
+    anm = AbstractNetworkModel()
+    G_in = anm["input"]
+    G_phy = anm["phy"]
+    G_ospf = anm.add_overlay("ospf")
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+import networkx as nx
+
+from repro.anm.overlay import OverlayGraph
+from repro.exceptions import OverlayNotFoundError
+
+#: Overlays present in every freshly constructed model.
+DEFAULT_OVERLAYS = ("input", "phy")
+
+
+class AbstractNetworkModel:
+    """A container of overlay graphs with a shared node namespace."""
+
+    def __init__(self):
+        self._overlays: dict[str, nx.Graph] = {}
+        for overlay_id in DEFAULT_OVERLAYS:
+            self._overlays[overlay_id] = nx.Graph(overlay_id=overlay_id)
+
+    # -- overlay management ---------------------------------------------------
+    def add_overlay(
+        self,
+        overlay_id: str,
+        nodes: Iterable[Any] | None = None,
+        graph: nx.Graph | None = None,
+        directed: bool = False,
+        multi_edge: bool = False,
+        retain: Iterable[str] = (),
+    ) -> OverlayGraph:
+        """Create (or replace) an overlay and return its wrapper.
+
+        ``graph`` seeds the overlay with an existing NetworkX graph (the
+        loader path for the ``input`` overlay); ``nodes`` seeds it with
+        node ids or accessors from another overlay, copying any
+        attributes named in ``retain``.
+        """
+        if graph is not None:
+            new_graph = graph.copy()
+            if directed and not new_graph.is_directed():
+                new_graph = new_graph.to_directed()
+        elif directed and multi_edge:
+            new_graph = nx.MultiDiGraph()
+        elif directed:
+            new_graph = nx.DiGraph()
+        elif multi_edge:
+            new_graph = nx.MultiGraph()
+        else:
+            new_graph = nx.Graph()
+        new_graph.graph["overlay_id"] = overlay_id
+        self._overlays[overlay_id] = new_graph
+        overlay = OverlayGraph(self, overlay_id, new_graph)
+        if nodes is not None:
+            overlay.add_nodes_from(nodes, retain=retain)
+        return overlay
+
+    def remove_overlay(self, overlay_id: str) -> None:
+        if overlay_id not in self._overlays:
+            raise OverlayNotFoundError(overlay_id)
+        del self._overlays[overlay_id]
+
+    def has_overlay(self, overlay_id: str) -> bool:
+        return overlay_id in self._overlays
+
+    def overlays(self) -> list[str]:
+        """Ids of all overlays, in insertion order."""
+        return list(self._overlays)
+
+    def overlay(self, overlay_id: str) -> OverlayGraph:
+        try:
+            graph = self._overlays[overlay_id]
+        except KeyError:
+            raise OverlayNotFoundError(overlay_id) from None
+        return OverlayGraph(self, overlay_id, graph)
+
+    def __getitem__(self, overlay_id: str) -> OverlayGraph:
+        return self.overlay(overlay_id)
+
+    def __contains__(self, overlay_id: str) -> bool:
+        return self.has_overlay(overlay_id)
+
+    def __iter__(self) -> Iterator[OverlayGraph]:
+        return (self.overlay(overlay_id) for overlay_id in self._overlays)
+
+    def __repr__(self) -> str:
+        return "AbstractNetworkModel(%s)" % ", ".join(self._overlays)
+
+    # -- raw access -----------------------------------------------------------
+    def raw_graph(self, overlay_id: str) -> nx.Graph:
+        """The underlying NetworkX graph (see also ``unwrap_graph``)."""
+        try:
+            return self._overlays[overlay_id]
+        except KeyError:
+            raise OverlayNotFoundError(overlay_id) from None

@@ -1,0 +1,294 @@
+"""Command-line interface: the whole workflow from a shell.
+
+The original system is driven as a console tool; this module exposes
+the same stages as subcommands::
+
+    repro info      topology.graphml            # overlay summaries
+    repro build     topology.graphml -o out/    # design + compile + render
+    repro verify    topology.graphml            # static checks + stability
+    repro deploy    topology.graphml            # ... + boot the emulation
+    repro measure   topology.graphml -c "traceroute -naU 192.168.0.1" -H r1 r2
+    repro visualize topology.graphml --overlay ebgp -o view.html
+    repro whatif    topology.graphml --fail-link r1 r2 --fail-node r9
+    repro diff      before.graphml after.graphml
+
+Every subcommand accepts a GraphML/GML/JSON topology path or one of the
+built-in topology names (``small_internet``, ``fig5``, ``bad_gadget``,
+``nren``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+
+from repro.design import DEFAULT_RULES
+from repro.exceptions import ReproError
+
+BUILTIN_TOPOLOGIES = {
+    "small_internet": "small_internet",
+    "fig5": "fig5_topology",
+    "bad_gadget": "bad_gadget_topology",
+    "nren": "european_nren_model",
+}
+
+
+def _load(source: str):
+    from repro import loader
+    from repro.workflow import load_topology
+
+    if source in BUILTIN_TOPOLOGIES:
+        return getattr(loader, BUILTIN_TOPOLOGIES[source])()
+    return load_topology(source)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("topology", help="topology file or built-in name")
+    parser.add_argument(
+        "--platform",
+        default="netkit",
+        choices=["netkit", "dynagen", "junosphere", "cbgp"],
+    )
+    parser.add_argument(
+        "--rules",
+        nargs="+",
+        default=list(DEFAULT_RULES),
+        help="design rules to apply (default: %(default)s)",
+    )
+    parser.add_argument("-o", "--output", default=None, help="output directory")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="automated configuration of emulated network experiments",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    for name, help_text in [
+        ("info", "print the designed overlay topologies"),
+        ("build", "design, compile and render configurations"),
+        ("verify", "static checks and iBGP stability detection"),
+        ("deploy", "build then boot the lab in the emulation substrate"),
+        ("measure", "deploy then run a measurement command"),
+        ("visualize", "export an overlay as self-contained HTML/JSON"),
+        ("whatif", "deploy, inject failures, compare reachability"),
+        ("diff", "compare the compiled device state of two topologies"),
+    ]:
+        sub = commands.add_parser(name, help=help_text)
+        _add_common(sub)
+        if name == "measure":
+            sub.add_argument("-c", "--command", required=True, dest="measure_command")
+            sub.add_argument(
+                "-H", "--hosts", nargs="+", default=None, help="machines to run on"
+            )
+        if name == "visualize":
+            sub.add_argument("--overlay", default="phy")
+        if name == "diff":
+            sub.add_argument("topology_b", help="second topology file or built-in name")
+        if name == "whatif":
+            sub.add_argument(
+                "--fail-link",
+                nargs=2,
+                action="append",
+                metavar=("SRC", "DST"),
+                default=[],
+                help="fail the link between two machines (repeatable)",
+            )
+            sub.add_argument(
+                "--fail-node",
+                action="append",
+                default=[],
+                help="power a machine off (repeatable)",
+            )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    handler = {
+        "info": _cmd_info,
+        "build": _cmd_build,
+        "verify": _cmd_verify,
+        "deploy": _cmd_deploy,
+        "measure": _cmd_measure,
+        "visualize": _cmd_visualize,
+        "whatif": _cmd_whatif,
+        "diff": _cmd_diff,
+    }[args.command]
+    return handler(args)
+
+
+def _designed(args):
+    from repro.design import design_network
+
+    return design_network(_load(args.topology), rules=tuple(args.rules))
+
+
+def _built(args):
+    from repro.compilers import platform_compiler
+    from repro.render import render_nidb
+
+    anm = _designed(args)
+    nidb = platform_compiler(args.platform, anm).compile()
+    output_dir = args.output or tempfile.mkdtemp(prefix="repro_")
+    return anm, nidb, render_nidb(nidb, output_dir)
+
+
+def _cmd_info(args) -> int:
+    from repro.visualization import overlay_summary
+
+    anm = _designed(args)
+    for overlay_id in anm.overlays():
+        if overlay_id == "input":
+            continue
+        print(overlay_summary(anm[overlay_id]))
+        print()
+    return 0
+
+
+def _cmd_build(args) -> int:
+    _, nidb, result = _built(args)
+    print(
+        "rendered %d files (%d bytes) for %d devices in %.2fs"
+        % (result.n_files, result.total_bytes, len(nidb), result.elapsed_seconds)
+    )
+    print("lab directory:", result.lab_dir)
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.verification import check_ibgp_stability, verify_nidb
+
+    anm, nidb, _ = _built(args)
+    report = verify_nidb(nidb)
+    print(report.summary())
+    for finding in report.findings:
+        print(" ", finding)
+    stability = check_ibgp_stability(anm)
+    print(stability.summary())
+    return 0 if report.ok and stability.stable else 1
+
+
+def _cmd_deploy(args) -> int:
+    from repro.deployment import ProgressMonitor, deploy
+
+    _, _, result = _built(args)
+    monitor = ProgressMonitor(callbacks=[print])
+    record = deploy(result.lab_dir, monitor=monitor)
+    lab = record.lab
+    status = (
+        "converged"
+        if lab.converged
+        else ("OSCILLATING period %d" % lab.bgp_result.period if lab.oscillating else "running")
+    )
+    print("lab up: %d machines, BGP %s" % (len(lab.network), status))
+    return 0
+
+
+def _cmd_measure(args) -> int:
+    from repro.deployment import deploy
+    from repro.measurement import MeasurementClient
+
+    _, nidb, result = _built(args)
+    record = deploy(result.lab_dir)
+    client = MeasurementClient(record.lab, nidb)
+    hosts = args.hosts or [str(device.node_id) for device in nidb.routers()]
+    run = client.send(args.measure_command, hosts)
+    for measurement in run.results:
+        print("=== %s ===" % measurement.machine)
+        print(measurement.output)
+        if measurement.mapped_path:
+            print("mapped:", " -> ".join(measurement.mapped_path))
+            print("AS path:", measurement.as_path)
+        print()
+    return 0
+
+
+def _cmd_whatif(args) -> int:
+    from repro.deployment import deploy
+    from repro.emulation import (
+        compare_reachability,
+        fail_links,
+        fail_node,
+        reachability_matrix,
+    )
+
+    if not args.fail_link and not args.fail_node:
+        print("error: nothing to fail (use --fail-link / --fail-node)", file=sys.stderr)
+        return 2
+    _, _, result = _built(args)
+    lab = deploy(result.lab_dir).lab
+    before = reachability_matrix(lab)
+    degraded = lab
+    if args.fail_link:
+        degraded = fail_links(degraded, [tuple(pair) for pair in args.fail_link])
+    for machine in args.fail_node:
+        degraded = fail_node(degraded, machine)
+    survivors = sorted(degraded.network.machines)
+    after = reachability_matrix(degraded, survivors)
+    delta = compare_reachability(
+        {pair: ok for pair, ok in before.items() if set(pair) <= set(survivors)},
+        after,
+    )
+    print("reachable pairs kept: %d" % len(delta["kept"]))
+    print("reachable pairs lost: %d" % len(delta["lost"]))
+    for pair in sorted(delta["lost"])[:20]:
+        print("  lost %s -> %s" % pair)
+    return 0 if not delta["lost"] else 1
+
+
+def _cmd_diff(args) -> int:
+    from repro.compilers import platform_compiler
+    from repro.design import design_network
+    from repro.nidb import diff_nidbs
+
+    before = platform_compiler(
+        args.platform, design_network(_load(args.topology), rules=tuple(args.rules))
+    ).compile()
+    after = platform_compiler(
+        args.platform, design_network(_load(args.topology_b), rules=tuple(args.rules))
+    ).compile()
+    diff = diff_nidbs(before, after)
+    print(diff.summary())
+    for device in diff.added_devices:
+        print("  + %s" % device)
+    for device in diff.removed_devices:
+        print("  - %s" % device)
+    for device, changes in sorted(diff.changed.items()):
+        print("  ~ %s" % device)
+        for change in changes[:10]:
+            print("      %s" % change)
+        if len(changes) > 10:
+            print("      ... %d more" % (len(changes) - 10))
+    return 0 if diff.unchanged else 1
+
+
+def _cmd_visualize(args) -> int:
+    from repro.visualization import overlay_to_d3, write_html, write_json
+
+    anm = _designed(args)
+    data = overlay_to_d3(anm[args.overlay])
+    output = args.output or "%s.html" % args.overlay
+    if output.endswith(".json"):
+        write_json(data, output)
+    else:
+        write_html(data, output, title="Overlay %s" % args.overlay)
+    print("wrote", output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Platform and device compilers: overlays to device-level state (§5.4)."""
+
+from repro.compilers.base import DeviceCompiler, RouterCompiler, ServerCompiler
+from repro.compilers.cbgp_platform import CbgpPlatformCompiler
+from repro.compilers.devices import CbgpCompiler, IosCompiler, JunosCompiler, QuaggaCompiler
+from repro.compilers.dynagen import DynagenCompiler
+from repro.compilers.junosphere import JunosphereCompiler
+from repro.compilers.netkit import NetkitCompiler
+from repro.compilers.platform_base import PlatformCompiler, collision_domain_members
+from repro.compilers.multi import (
+    CrossHostLink,
+    MultiCompileResult,
+    compile_multi,
+    cross_host_links,
+    device_targets,
+)
+
+#: Registry of platform compilers, keyed by platform name (§5.4).
+PLATFORM_COMPILERS = {
+    "netkit": NetkitCompiler,
+    "dynagen": DynagenCompiler,
+    "junosphere": JunosphereCompiler,
+    "cbgp": CbgpPlatformCompiler,
+}
+
+
+def platform_compiler(platform: str, anm, host: str = "localhost") -> PlatformCompiler:
+    """Instantiate the platform compiler registered under ``platform``."""
+    from repro.exceptions import CompilerError
+
+    try:
+        compiler_cls = PLATFORM_COMPILERS[platform]
+    except KeyError:
+        raise CompilerError(
+            "unknown platform %r (known: %s)" % (platform, ", ".join(sorted(PLATFORM_COMPILERS)))
+        ) from None
+    return compiler_cls(anm, host=host)
+
+
+__all__ = [
+    "CbgpCompiler",
+    "CrossHostLink",
+    "MultiCompileResult",
+    "compile_multi",
+    "cross_host_links",
+    "device_targets",
+    "CbgpPlatformCompiler",
+    "DeviceCompiler",
+    "DynagenCompiler",
+    "IosCompiler",
+    "JunosCompiler",
+    "JunosphereCompiler",
+    "NetkitCompiler",
+    "PLATFORM_COMPILERS",
+    "PlatformCompiler",
+    "QuaggaCompiler",
+    "RouterCompiler",
+    "ServerCompiler",
+    "collision_domain_members",
+    "platform_compiler",
+]

@@ -1,0 +1,56 @@
+"""C-BGP platform compiler (§5.4, §7.2).
+
+C-BGP is a whole-network BGP solver: one script describes every node
+(identified by loopback address), the IGP weights, and all BGP
+sessions.  The compiler therefore emits a single ``network.cli`` at
+topology level; there are no per-device files.
+"""
+
+from __future__ import annotations
+
+from repro.compilers.devices import CbgpCompiler
+from repro.compilers.platform_base import PlatformCompiler
+from repro.nidb import DeviceModel
+
+
+class CbgpPlatformCompiler(PlatformCompiler):
+    platform = "cbgp"
+    default_syntax = "cbgp"
+
+    def syntax_compilers(self) -> dict[str, type]:
+        return {"cbgp": CbgpCompiler}
+
+    def render_device(self, device: DeviceModel) -> None:
+        device.render = {
+            "base": "templates/cbgp",
+            "dst_folder": "%s/%s" % (device.host, self.platform),
+            "files": [],
+        }
+
+    def render_topology(self) -> None:
+        links = []
+        for src_device, dst_device, data in self.nidb.links():
+            cost = 1
+            domain = data.get("collision_domain")
+            for interface in src_device.physical_interfaces():
+                if interface.collision_domain == domain:
+                    cost = interface.ospf_cost or 1
+                    break
+            if src_device.loopback is None or dst_device.loopback is None:
+                continue
+            links.append(
+                {
+                    "src": str(src_device.loopback),
+                    "dst": str(dst_device.loopback),
+                    "igp_weight": cost,
+                    "intra_as": src_device.asn == dst_device.asn,
+                    "asn": src_device.asn,
+                }
+            )
+        self.nidb.topology.links = links
+        self.nidb.topology.asns = sorted(
+            {device.asn for device in self.nidb if device.asn is not None}
+        )
+        self.nidb.topology.render = {
+            "files": [{"template": "cbgp/network.cli.j2", "path": "network.cli"}],
+        }

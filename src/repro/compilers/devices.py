@@ -1,0 +1,53 @@
+"""Vendor device compilers: Quagga, IOS, JunOS, C-BGP (§5.4).
+
+Vendor *syntax* lives in the templates; these compilers only apply
+device-specific semantics on top of the generic router compiler —
+"device-specific operations, such as subnet formatting, to match the
+semantics of the target device" (§4).  Most formatting is handled by
+the renderer's filters (netmask/wildcard), so the subclasses stay
+small, which is the paper's extensibility argument (§7.3).
+"""
+
+from __future__ import annotations
+
+from repro.compilers.base import RouterCompiler
+from repro.nidb import DeviceModel
+
+
+class QuaggaCompiler(RouterCompiler):
+    """Quagga routing suite: one daemon configuration file per protocol."""
+
+    syntax = "quagga"
+
+
+class IosCompiler(RouterCompiler):
+    """Cisco IOS: one monolithic configuration per router."""
+
+    syntax = "ios"
+
+    def compile(self, phy_node, device: DeviceModel) -> None:
+        super().compile(phy_node, device)
+        # IOS carries OSPF costs on the interface stanzas and network
+        # statements use wildcard masks; both are template concerns.
+        # Loopback interfaces are named explicitly:
+        loopback = device.loopback_interface()
+        if loopback is not None:
+            loopback.id = "Loopback0"
+
+
+class JunosCompiler(RouterCompiler):
+    """Juniper JunOS: hierarchical configuration."""
+
+    syntax = "junos"
+
+    def compile(self, phy_node, device: DeviceModel) -> None:
+        super().compile(phy_node, device)
+        loopback = device.loopback_interface()
+        if loopback is not None:
+            loopback.id = "lo0"
+
+
+class CbgpCompiler(RouterCompiler):
+    """C-BGP: whole-network script, per-device stanzas only feed it."""
+
+    syntax = "cbgp"

@@ -1,0 +1,76 @@
+"""Dynagen platform compiler (§5.4).
+
+Dynagen drives Cisco 7200 images under Dynamips.  The compiler emits a
+``lab.net`` topology file wiring router interfaces together, plus one
+IOS configuration per router under ``configs/``.  Interface names use
+the IOS slot/port convention (f0/0, f0/1, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.compilers.devices import IosCompiler
+from repro.compilers.platform_base import PlatformCompiler
+from repro.nidb import DeviceModel
+
+
+class DynagenCompiler(PlatformCompiler):
+    platform = "dynagen"
+    default_syntax = "ios"
+
+    def syntax_compilers(self) -> dict[str, type]:
+        return {"ios": IosCompiler}
+
+    def interface_names(self) -> Iterator[str]:
+        slot = 0
+        while True:
+            for port in range(2):
+                yield "f%d/%d" % (slot, port)
+            slot += 1
+
+    def loopback_name(self) -> str:
+        return "Loopback0"
+
+    def render_device(self, device: DeviceModel) -> None:
+        device.render = {
+            "base": "templates/ios",
+            "dst_folder": "%s/%s" % (device.host, self.platform),
+            "files": [
+                {
+                    "template": "ios/router.conf.j2",
+                    "path": "configs/%s.cfg" % device.hostname,
+                }
+            ],
+        }
+
+    def render_topology(self) -> None:
+        # lab.net needs both ends of every link with interface names.
+        links = []
+        for src_device, dst_device, data in self.nidb.links():
+            domain = data.get("collision_domain")
+            src_int = _interface_on(src_device, domain)
+            dst_int = _interface_on(dst_device, domain)
+            if src_int is None or dst_int is None:
+                continue
+            links.append(
+                {
+                    "src": src_device.hostname,
+                    "src_interface": src_int.id,
+                    "dst": dst_device.hostname,
+                    "dst_interface": dst_int.id,
+                }
+            )
+        self.nidb.topology.links = links
+        self.nidb.topology.render = {
+            "files": [{"template": "dynagen/lab.net.j2", "path": "lab.net"}],
+        }
+
+
+def _interface_on(device: DeviceModel, domain: str | None):
+    if domain is None:
+        return None
+    for interface in device.physical_interfaces():
+        if interface.collision_domain == domain:
+            return interface
+    return None

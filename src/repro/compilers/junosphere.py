@@ -1,0 +1,48 @@
+"""Junosphere platform compiler (§5.4).
+
+Junosphere runs JunOS VMs from a ``topology.vmm`` description plus one
+JunOS configuration per router.  Interface names use the gigabit
+convention ge-0/0/N.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.compilers.devices import JunosCompiler
+from repro.compilers.platform_base import PlatformCompiler
+from repro.nidb import DeviceModel
+
+
+class JunosphereCompiler(PlatformCompiler):
+    platform = "junosphere"
+    default_syntax = "junos"
+
+    def syntax_compilers(self) -> dict[str, type]:
+        return {"junos": JunosCompiler}
+
+    def interface_names(self) -> Iterator[str]:
+        port = 0
+        while True:
+            yield "ge-0/0/%d" % port
+            port += 1
+
+    def loopback_name(self) -> str:
+        return "lo0"
+
+    def render_device(self, device: DeviceModel) -> None:
+        device.render = {
+            "base": "templates/junos",
+            "dst_folder": "%s/%s" % (device.host, self.platform),
+            "files": [
+                {
+                    "template": "junos/router.conf.j2",
+                    "path": "configs/%s.conf" % device.hostname,
+                }
+            ],
+        }
+
+    def render_topology(self) -> None:
+        self.nidb.topology.render = {
+            "files": [{"template": "junosphere/topology.vmm.j2", "path": "topology.vmm"}],
+        }

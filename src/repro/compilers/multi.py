@@ -1,0 +1,141 @@
+"""Multi-host / multi-platform compilation (§5.4).
+
+"Cross-emulation platform connections can be realised using our
+querying language, by selecting links which traverse two target hosts,
+or target emulation platforms on the same host ...  The appropriate
+cross-machine connections, such as GRE tunnels between distributed
+Open vSwitches, can be created from the resulting edge sets.  The
+result is that emulations written on different platforms or real
+hardware can be connected."
+
+Devices carry ``host`` and ``platform`` attributes; this module splits
+a designed ANM into one NIDB per (host, platform) pair and derives the
+GRE tunnel set for every link whose endpoints land in different labs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.anm import AbstractNetworkModel
+from repro.design.ip_addressing import domain_between
+from repro.exceptions import CompilerError
+from repro.nidb import Nidb
+
+
+@dataclass
+class CrossHostLink:
+    """One physical link whose endpoints live in different labs."""
+
+    src: str
+    dst: str
+    src_target: tuple[str, str]  # (host, platform)
+    dst_target: tuple[str, str]
+    collision_domain: str | None
+
+
+@dataclass
+class MultiCompileResult:
+    """One NIDB per (host, platform) target plus the tunnel set."""
+
+    nidbs: dict[tuple[str, str], Nidb] = field(default_factory=dict)
+    cross_links: list[CrossHostLink] = field(default_factory=list)
+
+    def targets(self) -> list[tuple[str, str]]:
+        return sorted(self.nidbs)
+
+    def nidb(self, host: str, platform: str) -> Nidb:
+        try:
+            return self.nidbs[(host, platform)]
+        except KeyError:
+            raise CompilerError(
+                "no compiled lab for host %r platform %r" % (host, platform)
+            ) from None
+
+
+def device_targets(anm: AbstractNetworkModel) -> dict[tuple[str, str], list]:
+    """Group the machines of the physical overlay by (host, platform)."""
+    from repro.compilers.platform_base import MACHINE_TYPES
+
+    groups: dict[tuple[str, str], list] = {}
+    for node in anm["phy"]:
+        if node.get("device_type") not in MACHINE_TYPES:
+            continue
+        target = (node.get("host") or "localhost", node.get("platform") or "netkit")
+        groups.setdefault(target, []).append(node)
+    return groups
+
+
+def cross_host_links(anm: AbstractNetworkModel) -> list[CrossHostLink]:
+    """The §5.4 edge-set query: links traversing two targets."""
+    g_phy = anm["phy"]
+    g_ip = anm["ipv4"] if anm.has_overlay("ipv4") else None
+    links = []
+    for edge in g_phy.edges():
+        src, dst = edge.src, edge.dst
+        src_target = (src.get("host") or "localhost", src.get("platform") or "netkit")
+        dst_target = (dst.get("host") or "localhost", dst.get("platform") or "netkit")
+        if src_target == dst_target:
+            continue
+        domain = None
+        if g_ip is not None:
+            found = domain_between(g_ip, src.node_id, dst.node_id)
+            domain = str(found.node_id) if found is not None else None
+        links.append(
+            CrossHostLink(
+                src=str(src.node_id),
+                dst=str(dst.node_id),
+                src_target=src_target,
+                dst_target=dst_target,
+                collision_domain=domain,
+            )
+        )
+    return links
+
+
+def compile_multi(anm: AbstractNetworkModel) -> MultiCompileResult:
+    """Compile one NIDB per (host, platform) and wire the tunnels."""
+    from repro.compilers import PLATFORM_COMPILERS  # deferred: avoids cycle
+
+    result = MultiCompileResult()
+    groups = device_targets(anm)
+    if not groups:
+        raise CompilerError("no machines to compile")
+
+    for (host, platform), members in sorted(groups.items()):
+        compiler_cls = PLATFORM_COMPILERS.get(platform)
+        if compiler_cls is None:
+            raise CompilerError("unknown platform %r on host %r" % (platform, host))
+        compiler = compiler_cls(anm, host=host)
+        member_ids = {str(node.node_id) for node in members}
+        nidb = compiler.compile(only=member_ids)
+        result.nidbs[(host, platform)] = nidb
+
+    result.cross_links = cross_host_links(anm)
+    for link in result.cross_links:
+        for local, remote, local_target, remote_target in (
+            (link.src, link.dst, link.src_target, link.dst_target),
+            (link.dst, link.src, link.dst_target, link.src_target),
+        ):
+            nidb = result.nidbs[local_target]
+            tunnels = nidb.topology.tunnels or []
+            tunnels.append(
+                {
+                    "local_device": local,
+                    "remote_device": remote,
+                    "remote_host": remote_target[0],
+                    "remote_platform": remote_target[1],
+                    "collision_domain": link.collision_domain,
+                }
+            )
+            nidb.topology.tunnels = tunnels
+            render = nidb.topology.render
+            if render is not None and not any(
+                (entry.path if not isinstance(entry, dict) else entry["path"])
+                == "tunnels.sh"
+                for entry in (render.files or [])
+            ):
+                render.files.append(
+                    {"template": "netkit/tunnels.sh.j2", "path": "tunnels.sh"}
+                )
+    return result

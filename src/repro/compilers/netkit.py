@@ -1,0 +1,111 @@
+"""Netkit platform compiler (§5.4, §6.1).
+
+Produces the Netkit lab layout:
+
+* ``lab.conf`` — machine-to-collision-domain wiring;
+* ``<machine>.startup`` — interface configuration and daemon startup;
+* ``<machine>/etc/quagga/*`` — Quagga daemon configurations;
+* ``<machine>/etc/bind/*``, ``<machine>/etc/rpki/*`` — service
+  configurations for DNS and RPKI nodes;
+* ``<machine>/etc/resolv.conf`` — resolver pointing at the AS's DNS
+  server.
+
+Netkit provides management interfaces using Linux TAP; the compiler
+allocates each machine a TAP address after its physical interfaces.
+"""
+
+from __future__ import annotations
+
+from repro.compilers.base import ServerCompiler
+from repro.compilers.devices import QuaggaCompiler
+from repro.compilers.platform_base import PlatformCompiler
+from repro.nidb import DeviceModel
+
+
+class NetkitCompiler(PlatformCompiler):
+    platform = "netkit"
+    default_syntax = "quagga"
+
+    def syntax_compilers(self) -> dict[str, type]:
+        return {"quagga": QuaggaCompiler, "linux": ServerCompiler}
+
+    def loopback_name(self) -> str:
+        return "lo"
+
+    def format_hostname(self, node_id) -> str:
+        # Netkit machine names: lowercase alphanumerics and underscores.
+        return super().format_hostname(node_id).lower()
+
+    def render_device(self, device: DeviceModel) -> None:
+        machine = device.hostname
+        files = [
+            {"template": "netkit/startup.j2", "path": "%s.startup" % machine},
+        ]
+        if device.device_type in ("router", "external"):
+            files.append(
+                {"template": "quagga/daemons.j2", "path": "%s/etc/quagga/daemons" % machine}
+            )
+            files.append(
+                {"template": "quagga/zebra.conf.j2", "path": "%s/etc/quagga/zebra.conf" % machine}
+            )
+            if device.ospf:
+                files.append(
+                    {
+                        "template": "quagga/ospfd.conf.j2",
+                        "path": "%s/etc/quagga/ospfd.conf" % machine,
+                    }
+                )
+            if device.bgp:
+                files.append(
+                    {
+                        "template": "quagga/bgpd.conf.j2",
+                        "path": "%s/etc/quagga/bgpd.conf" % machine,
+                    }
+                )
+            if device.isis:
+                files.append(
+                    {
+                        "template": "quagga/isisd.conf.j2",
+                        "path": "%s/etc/quagga/isisd.conf" % machine,
+                    }
+                )
+        if device.dns:
+            files.append(
+                {"template": "bind/named.conf.j2", "path": "%s/etc/bind/named.conf" % machine}
+            )
+            files.append(
+                {"template": "bind/db.zone.j2", "path": "%s/etc/bind/db.%s" % (machine, device.dns.zone)}
+            )
+            files.append(
+                {"template": "bind/db.reverse.j2", "path": "%s/etc/bind/db.reverse" % machine}
+            )
+        if device.dns_client:
+            files.append(
+                {"template": "linux/resolv.conf.j2", "path": "%s/etc/resolv.conf" % machine}
+            )
+        if device.rpki:
+            files.append(
+                {
+                    "template": "rpki/%s.conf.j2" % device.rpki.role,
+                    "path": "%s/etc/rpki/%s.conf" % (machine, device.rpki.role),
+                }
+            )
+        device.render = {
+            "base": "templates/quagga",
+            "dst_folder": "%s/%s/%s" % (device.host, self.platform, machine),
+            "files": files,
+        }
+
+    def render_topology(self) -> None:
+        # The (lab-scoped) collision-domain map is set by the base
+        # compile(); here only the TAP wiring and render entries remain.
+        # TAP interface: one index past the last physical interface.
+        for device in self.nidb:
+            n_physical = len(device.physical_interfaces())
+            device.tap.interface = "eth%d" % n_physical
+        self.nidb.topology.render = {
+            "files": [
+                {"template": "netkit/lab.conf.j2", "path": "lab.conf"},
+                {"template": "netkit/deploy.expect.j2", "path": "deploy.expect"},
+            ],
+        }

@@ -1,0 +1,14 @@
+"""Automated deployment of rendered labs onto emulation hosts (§5.7)."""
+
+from repro.deployment.deploy import DeploymentRecord, archive_lab, deploy
+from repro.deployment.host import LocalEmulationHost
+from repro.deployment.monitor import ProgressEvent, ProgressMonitor
+
+__all__ = [
+    "DeploymentRecord",
+    "LocalEmulationHost",
+    "ProgressEvent",
+    "ProgressMonitor",
+    "archive_lab",
+    "deploy",
+]

@@ -1,0 +1,114 @@
+"""Automated deployment: archive, transfer, extract, start, monitor (§6.1).
+
+"The Netkit deployment script archives the generated configuration
+files, transfers them to the emulation host, extracts them, and runs
+the Netkit lstart command."  This module is that script — the paper
+notes the whole flow is under a hundred lines of high-level code, a
+property this implementation preserves.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import tarfile
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+from repro.deployment.host import LocalEmulationHost
+from repro.deployment.monitor import ProgressMonitor
+from repro.emulation import EmulatedLab
+from repro.exceptions import DeploymentError
+
+logger = logging.getLogger("repro.deployment")
+
+
+@dataclass
+class DeploymentRecord:
+    """Everything a finished deployment produced."""
+
+    lab_name: str
+    host: LocalEmulationHost
+    lab: EmulatedLab
+    archive_path: str
+    lab_dir: str
+    timings: dict = field(default_factory=dict)
+    monitor: ProgressMonitor = field(default_factory=ProgressMonitor)
+
+
+def archive_lab(source_dir: str, lab_name: str, archive_dir: str | None = None) -> str:
+    """Tar up a rendered lab directory for transfer."""
+    if not os.path.isdir(source_dir):
+        raise DeploymentError("rendered lab directory %s does not exist" % source_dir)
+    archive_dir = archive_dir or tempfile.mkdtemp(prefix="lab_archive_")
+    archive_path = os.path.join(archive_dir, "%s.tar.gz" % lab_name)
+    with tarfile.open(archive_path, "w:gz") as archive:
+        for entry in sorted(os.listdir(source_dir)):
+            archive.add(os.path.join(source_dir, entry), arcname=entry)
+    return archive_path
+
+
+def deploy(
+    source_dir: str,
+    host: LocalEmulationHost | None = None,
+    lab_name: str = "lab",
+    username: str = "emulation",
+    monitor: ProgressMonitor | None = None,
+    **boot_options,
+) -> DeploymentRecord:
+    """Run the full deployment flow and return the running lab.
+
+    The three parameters of §6.1 — emulation host, username, and the
+    source directory of configurations — map directly onto the
+    arguments; the username is kept for interface fidelity (a local
+    host does not authenticate).
+    """
+    host = host or LocalEmulationHost()
+    monitor = monitor or ProgressMonitor()
+    monitor.start()
+    timings: dict[str, float] = {}
+
+    stage_start = time.perf_counter()
+    monitor.update("archive", "archiving %s" % source_dir)
+    archive_path = archive_lab(source_dir, lab_name)
+    timings["archive"] = time.perf_counter() - stage_start
+
+    stage_start = time.perf_counter()
+    monitor.update("transfer", "transferring to %s as %s" % (host.name, username))
+    remote_archive = host.receive(archive_path, lab_name)
+    timings["transfer"] = time.perf_counter() - stage_start
+
+    stage_start = time.perf_counter()
+    monitor.update("extract", "extracting %s" % remote_archive)
+    lab_dir = host.extract(remote_archive, lab_name)
+    timings["extract"] = time.perf_counter() - stage_start
+
+    stage_start = time.perf_counter()
+    monitor.update("lstart", "starting lab %s" % lab_name)
+    lab = host.lstart(lab_dir, lab_name, **boot_options)
+    timings["start"] = time.perf_counter() - stage_start
+
+    logger.info(
+        "lab %s deployed to %s in %.2fs",
+        lab_name,
+        host.name,
+        sum(timings.values()),
+    )
+    monitor.update(
+        "ready",
+        "%d virtual machines up, BGP %s"
+        % (
+            len(lab.network),
+            "converged" if lab.converged else ("oscillating" if lab.oscillating else "running"),
+        ),
+    )
+    return DeploymentRecord(
+        lab_name=lab_name,
+        host=host,
+        lab=lab,
+        archive_path=archive_path,
+        lab_dir=lab_dir,
+        timings=timings,
+        monitor=monitor,
+    )

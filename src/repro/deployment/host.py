@@ -1,0 +1,85 @@
+"""Emulation hosts: where rendered labs are shipped and started.
+
+The paper deploys over SSH/expect to a remote emulation server and runs
+Netkit's ``lstart``.  :class:`LocalEmulationHost` is the substituted
+equivalent: it exposes the same staged surface (receive an archive,
+extract it, start the lab, report status) against the local filesystem
+and the in-process emulation substrate, preserving the workflow and its
+failure modes (a missing lab.conf aborts the start, exactly as lstart
+would).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tarfile
+import tempfile
+
+from repro.emulation import EmulatedLab
+from repro.exceptions import DeploymentError
+
+
+class LocalEmulationHost:
+    """An emulation host rooted at a working directory on this machine."""
+
+    def __init__(self, work_dir: str | None = None, name: str = "localhost"):
+        self.name = name
+        self.work_dir = work_dir or tempfile.mkdtemp(prefix="emulation_host_")
+        os.makedirs(self.work_dir, exist_ok=True)
+        self._labs: dict[str, EmulatedLab] = {}
+
+    # -- the deployment surface ----------------------------------------------
+    def receive(self, archive_path: str, lab_name: str) -> str:
+        """'Transfer' an archive onto the host; returns the remote path."""
+        if not os.path.exists(archive_path):
+            raise DeploymentError("archive %s does not exist" % archive_path)
+        destination = os.path.join(self.work_dir, "%s.tar.gz" % lab_name)
+        shutil.copyfile(archive_path, destination)
+        return destination
+
+    def extract(self, archive_path: str, lab_name: str) -> str:
+        """Extract a received archive; returns the lab directory."""
+        lab_dir = os.path.join(self.work_dir, lab_name)
+        if os.path.exists(lab_dir):
+            shutil.rmtree(lab_dir)
+        os.makedirs(lab_dir)
+        try:
+            with tarfile.open(archive_path) as archive:
+                archive.extractall(lab_dir, filter="data")
+        except tarfile.TarError as exc:
+            raise DeploymentError("could not extract %s: %s" % (archive_path, exc)) from exc
+        return lab_dir
+
+    def lstart(self, lab_dir: str, lab_name: str, **boot_options) -> EmulatedLab:
+        """Start the lab (the in-process equivalent of Netkit lstart)."""
+        if not os.path.isdir(lab_dir):
+            raise DeploymentError("lab directory %s does not exist" % lab_dir)
+        try:
+            lab = EmulatedLab.boot(lab_dir, **boot_options)
+        except Exception as exc:
+            raise DeploymentError("lab %s failed to start: %s" % (lab_name, exc)) from exc
+        self._labs[lab_name] = lab
+        return lab
+
+    def lhalt(self, lab_name: str) -> None:
+        """Stop a running lab."""
+        if lab_name not in self._labs:
+            raise DeploymentError("no running lab named %r" % lab_name)
+        del self._labs[lab_name]
+
+    # -- inspection ---------------------------------------------------------
+    def running_labs(self) -> list[str]:
+        return sorted(self._labs)
+
+    def lab(self, lab_name: str) -> EmulatedLab:
+        try:
+            return self._labs[lab_name]
+        except KeyError:
+            raise DeploymentError("no running lab named %r" % lab_name) from None
+
+    def vm_count(self, lab_name: str) -> int:
+        return len(self.lab(lab_name).network)
+
+    def __repr__(self) -> str:
+        return "LocalEmulationHost(%s, %d labs running)" % (self.name, len(self._labs))

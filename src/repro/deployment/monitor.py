@@ -1,0 +1,66 @@
+"""Deployment progress monitoring (§5.7, §6.1).
+
+"The progress is monitored with updates provided to the user through
+logs and the visualisation."  The monitor collects timestamped events
+per deployment stage and forwards them to optional callbacks (the CLI
+logger, the visualisation push channel, a test harness...).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+ProgressCallback = Callable[["ProgressEvent"], None]
+
+
+@dataclass
+class ProgressEvent:
+    """One step of a deployment: stage name, message, wall-clock stamp."""
+
+    stage: str
+    message: str
+    timestamp: float
+    elapsed: float
+
+    def __str__(self) -> str:
+        return "[%7.3fs] %-10s %s" % (self.elapsed, self.stage, self.message)
+
+
+@dataclass
+class ProgressMonitor:
+    """Collects events and fans them out to callbacks."""
+
+    callbacks: list[ProgressCallback] = field(default_factory=list)
+    events: list[ProgressEvent] = field(default_factory=list)
+    started: Optional[float] = None
+
+    def start(self) -> None:
+        self.started = time.perf_counter()
+        self.events.clear()
+
+    def update(self, stage: str, message: str) -> ProgressEvent:
+        now = time.perf_counter()
+        if self.started is None:
+            self.started = now
+        event = ProgressEvent(
+            stage=stage,
+            message=message,
+            timestamp=time.time(),
+            elapsed=now - self.started,
+        )
+        self.events.append(event)
+        for callback in self.callbacks:
+            callback(event)
+        return event
+
+    def stages(self) -> list[str]:
+        ordered = []
+        for event in self.events:
+            if event.stage not in ordered:
+                ordered.append(event.stage)
+        return ordered
+
+    def log(self) -> str:
+        return "\n".join(str(event) for event in self.events)

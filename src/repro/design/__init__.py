@@ -1,0 +1,58 @@
+"""Network design rules: overlay topologies from the attribute graph (§4.2)."""
+
+from repro.design.base import (
+    DEFAULT_RULES,
+    DESIGN_RULES,
+    apply_design,
+    build_anm,
+    design_network,
+    register_design_rule,
+)
+from repro.design.dns import build_dns, dns_servers, zone_name
+from repro.design.ebgp import build_ebgp
+from repro.design.ibgp import (
+    assign_route_reflectors_by_centrality,
+    build_ibgp,
+    build_ibgp_full_mesh,
+    build_ibgp_route_reflection,
+    ibgp_session_count,
+)
+from repro.design.ip_addressing import (
+    build_ipv4,
+    build_ipv6,
+    collision_domains,
+    domain_between,
+    interface_address,
+)
+from repro.design.isis import build_isis
+from repro.design.ospf import build_ospf
+from repro.design.physical import build_phy
+from repro.design.rpki import build_rpki, publication_point_of
+
+__all__ = [
+    "DEFAULT_RULES",
+    "DESIGN_RULES",
+    "apply_design",
+    "assign_route_reflectors_by_centrality",
+    "build_anm",
+    "build_dns",
+    "build_ebgp",
+    "build_ibgp",
+    "build_ibgp_full_mesh",
+    "build_ibgp_route_reflection",
+    "build_ipv4",
+    "build_ipv6",
+    "build_isis",
+    "build_ospf",
+    "build_phy",
+    "build_rpki",
+    "collision_domains",
+    "design_network",
+    "domain_between",
+    "dns_servers",
+    "ibgp_session_count",
+    "interface_address",
+    "publication_point_of",
+    "register_design_rule",
+    "zone_name",
+]

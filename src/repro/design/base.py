@@ -1,0 +1,93 @@
+"""Design-rule registry and the standard design pipeline (§4.2).
+
+Each design rule is a function taking the ANM and returning the overlay
+it created.  Rules are registered by overlay name so user code (and the
+workflow driver) can apply a custom rule set::
+
+    anm = apply_design(anm, rules=("phy", "ipv4", "ospf", "ebgp", "ibgp"))
+
+Decoupling the rules from the input topology is the reuse argument of
+§6: the same rule set applies unchanged from the 5-node Figure 5
+example to the 1158-router NREN model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import networkx as nx
+
+from repro.anm import AbstractNetworkModel
+from repro.design.dns import build_dns
+from repro.design.ebgp import build_ebgp
+from repro.design.ibgp import build_ibgp
+from repro.design.ip_addressing import build_ipv4, build_ipv6
+from repro.design.isis import build_isis
+from repro.design.ospf import build_ospf
+from repro.design.physical import build_phy
+from repro.design.rpki import build_rpki
+from repro.exceptions import DesignError
+
+DesignRule = Callable[[AbstractNetworkModel], object]
+
+#: The built-in rules, keyed by the overlay they build.
+DESIGN_RULES: dict[str, DesignRule] = {
+    "phy": build_phy,
+    "ipv4": build_ipv4,
+    "ipv6": build_ipv6,
+    "ospf": build_ospf,
+    "isis": build_isis,
+    "ebgp": build_ebgp,
+    "ibgp": build_ibgp,
+    "dns": build_dns,
+    "rpki": build_rpki,
+}
+
+#: The default pipeline: physical first, addressing before the routing
+#: protocols that reference it, DNS last (it reads the address plan).
+DEFAULT_RULES = ("phy", "ipv4", "ospf", "ebgp", "ibgp", "dns")
+
+
+def register_design_rule(name: str, rule: DesignRule) -> None:
+    """Register a custom design rule under an overlay name (§7)."""
+    DESIGN_RULES[name] = rule
+
+
+def build_anm(input_graph: nx.Graph) -> AbstractNetworkModel:
+    """Create an ANM seeded with ``input_graph`` as the input overlay.
+
+    The graph is re-normalised on a copy first, so edges or nodes added
+    after an earlier ``normalise`` still pick up the defaults (notably
+    ``type="physical"`` — without it a late-added link would silently
+    vanish from every overlay).
+    """
+    from repro.loader.validate import normalise
+
+    anm = AbstractNetworkModel()
+    anm.add_overlay("input", graph=normalise(input_graph.copy()))
+    return anm
+
+
+def apply_design(
+    anm: AbstractNetworkModel,
+    rules: Iterable[str] = DEFAULT_RULES,
+) -> AbstractNetworkModel:
+    """Apply the named design rules in order and return the ANM."""
+    for name in rules:
+        try:
+            rule = DESIGN_RULES[name]
+        except KeyError:
+            raise DesignError(
+                "no design rule registered for overlay %r (known: %s)"
+                % (name, ", ".join(sorted(DESIGN_RULES)))
+            ) from None
+        rule(anm)
+    return anm
+
+
+def design_network(
+    input_graph: nx.Graph,
+    rules: Iterable[str] = DEFAULT_RULES,
+) -> AbstractNetworkModel:
+    """One-call helper: input graph in, fully designed ANM out."""
+    return apply_design(build_anm(input_graph), rules)

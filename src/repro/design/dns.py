@@ -1,0 +1,69 @@
+"""DNS service overlay (§3.3).
+
+DNS is the paper's first service example: it "must be configured, and
+that configuration has to be consistent with the name and IP address
+allocations in the network".  The design rule elects one DNS server per
+AS (a node marked ``dns_server=True``, or the first router in id
+order), then adds a directed ``dns_client`` edge from the server to
+every other device in the AS.
+
+The compiler later turns this overlay plus the ``ipv4`` overlay into
+zone data: forward zones ``as<asn>.lab`` mapping hostnames to loopback
+(or first-interface) addresses, and reverse zones derived from the
+per-AS infrastructure blocks — which is what lets traceroute output be
+mapped back to router names in the measurement loop (§5.7).
+"""
+
+from __future__ import annotations
+
+from repro.anm import AbstractNetworkModel, OverlayGraph, groupby
+from repro.exceptions import DesignError
+
+#: Domain suffix for the per-AS forward zones.
+ZONE_SUFFIX = "lab"
+
+
+def zone_name(asn: int) -> str:
+    return "as%d.%s" % (asn, ZONE_SUFFIX)
+
+
+def build_dns(anm: AbstractNetworkModel) -> OverlayGraph:
+    """Create the DNS service overlay from the physical overlay."""
+    g_phy = anm["phy"]
+    g_dns = anm.add_overlay("dns", directed=True)
+    members_by_asn = groupby(
+        "asn",
+        [
+            node
+            for node in g_phy
+            if node.get("device_type") in ("router", "server")
+        ],
+    )
+    for asn, members in members_by_asn.items():
+        if asn is None:
+            raise DesignError("DNS design needs ASN annotations on all devices")
+        marked = [node for node in members if node.dns_server]
+        routers = sorted(
+            (node for node in members if node.is_router()),
+            key=lambda node: str(node.node_id),
+        )
+        if marked:
+            server = marked[0]
+        elif routers:
+            server = routers[0]
+        else:
+            server = sorted(members, key=lambda node: str(node.node_id))[0]
+        server_node = g_dns.add_node(server, retain=["asn", "device_type"])
+        server_node.dns_server = True
+        server_node.zone = zone_name(asn)
+        for member in members:
+            if member == server:
+                continue
+            client = g_dns.add_node(member, retain=["asn", "device_type"])
+            client.zone = zone_name(asn)
+            g_dns.add_edge(server_node, client, type="dns_client")
+    return g_dns
+
+
+def dns_servers(g_dns: OverlayGraph) -> list:
+    return [node for node in g_dns if node.dns_server]

@@ -1,0 +1,46 @@
+"""eBGP overlay design rule (§4.2.1, eq. 3).
+
+The eBGP topology keeps the physical edges whose endpoints are in
+*different* ASes::
+
+    E_ebgp = {(i, j) in E_in | f_asn(i) != f_asn(j)}
+
+The overlay is directed with sessions added bidirected (§6.1), since a
+BGP session has per-direction policy.  Input edges may carry policy
+attributes — ``local_pref`` (applied inbound), ``med`` and
+``as_path_prepend`` (applied outbound) — which become routing policy on
+both directed session edges (the "attributes that are transformed in
+the compiler" policy integration of §7.3).  Per-direction policy can be
+set on the overlay edges after construction.
+"""
+
+from __future__ import annotations
+
+from repro.anm import AbstractNetworkModel, OverlayGraph
+
+
+def build_ebgp(anm: AbstractNetworkModel) -> OverlayGraph:
+    """Create the directed eBGP overlay from the physical overlay."""
+    g_phy = anm["phy"]
+    g_ebgp = anm.add_overlay("ebgp", g_phy.routers(), retain=["asn", "prefixes"], directed=True)
+    g_ebgp.add_edges_from(
+        (
+            edge
+            for edge in g_phy.edges()
+            if g_phy.node(edge.src).is_router()
+            and g_phy.node(edge.dst).is_router()
+            and edge.src.asn != edge.dst.asn
+        ),
+        bidirected=True,
+        retain=[
+            "local_pref",
+            "med",
+            "as_path_prepend",
+            "community",
+            "deny_prefixes_out",
+            "deny_prefixes_in",
+        ],
+    )
+    for node in g_ebgp:
+        node.router_id_seed = str(node.node_id)
+    return g_ebgp

@@ -1,0 +1,74 @@
+"""OSPF overlay design rule (§4.2.1, eq. 1).
+
+The OSPF topology keeps the physical edges whose endpoints share an
+ASN::
+
+    E_ospf = {(i, j) in E_in | f_asn(i) == f_asn(j)}
+
+extended, as in the implementation discussion of §5.2.4, to handle
+switches: routers reachable through a (same-AS) switch are made
+adjacent by *exploding* the switch node into a clique.
+
+Per-link costs come from the input ``ospf_cost`` attribute (default 1,
+as in the Small-Internet resource database of §5.4); per-node areas
+from ``ospf_area`` (default 0).  Backbone routers — those with an edge
+in area 0 — are flagged, reproducing the design-pattern example of
+§5.2.2.
+"""
+
+from __future__ import annotations
+
+from repro.anm import AbstractNetworkModel, OverlayGraph, explode_node
+
+DEFAULT_OSPF_COST = 1
+DEFAULT_OSPF_AREA = 0
+
+
+def build_ospf(
+    anm: AbstractNetworkModel,
+    default_cost: int = DEFAULT_OSPF_COST,
+    default_area: int = DEFAULT_OSPF_AREA,
+) -> OverlayGraph:
+    """Create the OSPF overlay from the physical overlay."""
+    g_phy = anm["phy"]
+    g_ospf = anm.add_overlay("ospf")
+    g_ospf.add_nodes_from(g_phy.routers(), retain=["asn", "ospf_area"])
+    g_ospf.add_nodes_from(g_phy.switches(), retain=["asn", "device_type"])
+    g_ospf.add_edges_from(g_phy.edges(), retain=["ospf_cost", "ospf_area"])
+
+    # Routers joined by a switch are OSPF-adjacent: explode each switch
+    # into a clique of its neighbours (§5.2.4).
+    for switch in list(g_ospf.nodes(device_type="switch")):
+        explode_node(g_ospf, switch, retain=["ospf_cost"])
+
+    # Drop edges that cross AS boundaries (eq. 1) and any stray
+    # non-router endpoints (servers never ran an IGP here).
+    g_ospf.remove_edges_from(
+        edge for edge in g_ospf.edges() if edge.src.asn != edge.dst.asn
+    )
+    g_ospf.remove_nodes_from(
+        node for node in g_ospf.nodes() if not g_phy.node(node).is_router()
+    )
+
+    for node in g_ospf:
+        if node.area is None:
+            node.area = g_phy.node(node).get("ospf_area", default_area)
+        node.process_id = 1
+    for edge in g_ospf.edges():
+        if edge.ospf_cost is None:
+            edge.ospf_cost = default_cost
+        if edge.area is None:
+            # An explicit per-link area wins; otherwise a link belongs
+            # to the higher-numbered area of its endpoints, so an ABR's
+            # interface into area N sits in area N (standard practice).
+            edge.area = (
+                edge.ospf_area
+                if edge.ospf_area is not None
+                else max(edge.src.area, edge.dst.area)
+            )
+
+    # Mark backbone routers: any edge in area 0 (§5.2.2).
+    for node in g_ospf:
+        if any(edge.area == 0 for edge in node.edges()):
+            node.backbone = True
+    return g_ospf

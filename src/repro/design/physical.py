@@ -1,0 +1,53 @@
+"""Physical overlay construction (§6.1).
+
+``G_phy`` is the device-and-link layer every other overlay is derived
+from: all devices from the input graph, with the identity attributes
+retained, and only the ``physical``-typed edges.
+"""
+
+from __future__ import annotations
+
+from repro.anm import AbstractNetworkModel, OverlayGraph
+
+#: Attributes copied from the input graph onto the physical overlay,
+#: straight from the walkthrough in §6.1.
+PHY_RETAIN = [
+    "device_type",
+    "asn",
+    "platform",
+    "host",
+    "syntax",
+    "label",
+    "rr",
+    "rr_cluster",
+    "bgp_next_hop_self",
+    "prefixes",
+    "service",
+    "ca_root",
+    "dns_server",
+    "ospf_area",
+    "location",
+]
+
+
+def build_phy(anm: AbstractNetworkModel) -> OverlayGraph:
+    """Create the physical overlay from the input overlay."""
+    g_in = anm["input"]
+    g_phy = anm.add_overlay("phy")
+    g_phy.add_nodes_from(g_in, retain=PHY_RETAIN)
+    g_phy.add_edges_from(
+        g_in.edges(type="physical"),
+        retain=[
+            "ospf_cost",
+            "ospf_area",
+            "isis_metric",
+            "local_pref",
+            "med",
+            "as_path_prepend",
+            "community",
+            "deny_prefixes_out",
+            "deny_prefixes_in",
+            "link_capacity",
+        ],
+    )
+    return g_phy

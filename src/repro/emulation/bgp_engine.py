@@ -1,0 +1,462 @@
+"""BGP decision-process engine with per-vendor semantics (§7.2).
+
+The engine runs a deterministic synchronous-round simulation: each
+round every router advertises its current best route over every
+session (route-reflection export rules applied), then all routers
+re-run the decision process on the freshly delivered Adj-RIB-In.
+Withdrawals are implicit — the Adj-RIB-In is rebuilt every round.
+
+Convergence detection hashes the global selection state each round:
+
+* state unchanged  → converged;
+* state seen in an earlier round → **persistent oscillation** with that
+  period (the Bad-Gadget behaviour of §7.2).
+
+Vendor differences are captured in :class:`VendorProfile`.  The one the
+paper's experiment hinges on: Quagga's decision process did not apply
+the IGP-metric-to-next-hop tie-break by default, while IOS, JunOS and
+C-BGP do.  Hence the same route-reflection gadget oscillates on three
+platforms and converges on Quagga.
+
+Decision process order (classic BGP best path):
+
+1. highest LOCAL_PREF;
+2. locally originated routes;
+3. shortest AS_PATH;
+4. lowest ORIGIN;
+5. lowest MED (compared among routes from the same neighbouring AS,
+   deterministically — group-wise elimination);
+6. eBGP-learned over iBGP-learned;
+7. lowest IGP metric to NEXT_HOP — *only when the vendor applies it*;
+8. lowest router-id of the advertising peer;
+9. lowest peer address (final deterministic tie-break).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.emulation.intent import BgpNeighborIntent
+from repro.emulation.network import EmulatedNetwork
+from repro.emulation.ospf_engine import IgpState
+
+_ORIGIN_RANK = {"igp": 0, "egp": 1, "incomplete": 2}
+
+
+@dataclass(frozen=True)
+class VendorProfile:
+    """The decision-process knobs that differ across router software."""
+
+    name: str
+    igp_tiebreak: bool
+    always_compare_med: bool = False
+    default_local_pref: int = 100
+
+
+#: Documented defaults per vendor (§7.2): Quagga skips the IGP metric
+#: tie-break; the other three apply it.
+VENDOR_PROFILES = {
+    "quagga": VendorProfile("quagga", igp_tiebreak=False),
+    "ios": VendorProfile("ios", igp_tiebreak=True),
+    "junos": VendorProfile("junos", igp_tiebreak=True),
+    "cbgp": VendorProfile("cbgp", igp_tiebreak=True),
+}
+
+
+@dataclass(frozen=True)
+class BgpRoute:
+    """One BGP path as stored in a router's RIB."""
+
+    prefix: ipaddress.IPv4Network
+    as_path: tuple[int, ...]
+    next_hop: Optional[ipaddress.IPv4Address]
+    local_pref: int
+    med: Optional[int] = None
+    origin: str = "igp"
+    learned_via: str = "local"  # local | ebgp | ibgp
+    learned_from: Optional[str] = None  # peer machine name
+    from_client: bool = False
+    originator: Optional[str] = None
+    peer_router_id: str = "0.0.0.0"
+    peer_address: str = "0.0.0.0"
+    communities: tuple[str, ...] = ()
+
+    def selection_key(self) -> tuple:
+        """What "the same selection" means for convergence detection."""
+        return (
+            str(self.prefix),
+            str(self.next_hop),
+            self.learned_from or "",
+            self.as_path,
+        )
+
+
+@dataclass
+class Session:
+    """One directed session endpoint: local machine's view of a peer."""
+
+    local: str
+    peer: str
+    intent: BgpNeighborIntent
+    is_ebgp: bool
+
+
+@dataclass
+class BgpResult:
+    """Outcome of a simulation run."""
+
+    converged: bool
+    oscillating: bool
+    rounds: int
+    period: int = 0
+    selected: dict = field(default_factory=dict)  # machine -> prefix -> BgpRoute
+    history: list = field(default_factory=list)  # per-round selection snapshots
+    session_warnings: list = field(default_factory=list)
+    messages: int = 0
+
+    def best_route(self, machine: str, prefix) -> Optional[BgpRoute]:
+        prefix = ipaddress.ip_network(str(prefix))
+        return self.selected.get(machine, {}).get(prefix)
+
+
+class BgpSimulation:
+    """Synchronous-round BGP over an emulated network."""
+
+    def __init__(
+        self,
+        network: EmulatedNetwork,
+        igp: IgpState,
+        vendor_overrides: Optional[dict[str, str]] = None,
+        keep_history: bool = True,
+    ):
+        self.network = network
+        self.igp = igp
+        self.keep_history = keep_history
+        self.warnings: list[str] = []
+        self.vendors: dict[str, VendorProfile] = {}
+        for name, device in network.machines.items():
+            vendor_name = (vendor_overrides or {}).get(name, device.vendor)
+            self.vendors[name] = VENDOR_PROFILES.get(
+                vendor_name, VENDOR_PROFILES["quagga"]
+            )
+        self.sessions: dict[str, list[Session]] = {}
+        #: (local machine, peer machine) -> the local side's neighbor intent.
+        self._intent_of: dict[tuple[str, str], BgpNeighborIntent] = {}
+        self._build_sessions()
+        self.local_routes = self._originate()
+
+    # -- setup ------------------------------------------------------------------
+    def _build_sessions(self) -> None:
+        for name in sorted(self.network.machines):
+            device = self.network.machines[name]
+            if device.bgp is None:
+                continue
+            for intent in device.bgp.neighbors:
+                peer = self.network.owner_of(intent.peer_ip)
+                if peer is None:
+                    self.warnings.append(
+                        "%s: neighbor %s matches no machine" % (name, intent.peer_ip)
+                    )
+                    continue
+                peer_device = self.network.machines[peer]
+                if peer_device.bgp is None:
+                    self.warnings.append(
+                        "%s: peer %s runs no BGP" % (name, peer)
+                    )
+                    continue
+                is_ebgp = intent.remote_asn != device.bgp.asn
+                self.sessions.setdefault(name, []).append(
+                    Session(local=name, peer=peer, intent=intent, is_ebgp=is_ebgp)
+                )
+                self._intent_of[(name, peer)] = intent
+        # A session is up only when both sides configured it.
+        for name, session_list in list(self.sessions.items()):
+            alive = []
+            for session in session_list:
+                if (session.peer, name) in self._intent_of:
+                    alive.append(session)
+                else:
+                    self.warnings.append(
+                        "%s -> %s: no reciprocal neighbor statement"
+                        % (name, session.peer)
+                    )
+            self.sessions[name] = alive
+
+    def _originate(self) -> dict[str, dict]:
+        local: dict[str, dict] = {}
+        for name, device in self.network.machines.items():
+            if device.bgp is None:
+                continue
+            vendor = self.vendors[name]
+            table = {}
+            for prefix in device.bgp.networks:
+                table[prefix] = BgpRoute(
+                    prefix=prefix,
+                    as_path=(),
+                    next_hop=None,
+                    local_pref=vendor.default_local_pref,
+                    learned_via="local",
+                    originator=name,
+                )
+            local[name] = table
+        return local
+
+    # -- export / import ----------------------------------------------------
+    def _can_export(self, route: BgpRoute, session: Session) -> bool:
+        if route.learned_from == session.peer:
+            return False
+        if session.is_ebgp:
+            denied = getattr(session.intent, "deny_out", ()) or ()
+            if any(route.prefix == net or net.supernet_of(route.prefix) for net in denied):
+                return False
+            return True
+        if route.learned_via in ("local", "ebgp"):
+            return True
+        # iBGP-learned: reflect everywhere when it came from a client,
+        # only towards clients otherwise (RFC 4456 semantics).
+        if route.from_client:
+            return True
+        return bool(session.intent.rr_client)
+
+    def _export(self, sender: str, route: BgpRoute, session: Session) -> BgpRoute:
+        device = self.network.machines[sender]
+        if session.is_ebgp:
+            next_hop = self._session_address(sender, session)
+            prepend = 1 + (session.intent.prepend_out or 0)
+            communities = route.communities
+            added = getattr(session.intent, "communities_out", ()) or ()
+            if added:
+                communities = tuple(
+                    sorted(set(communities) | set(added))
+                )
+            return replace(
+                route,
+                as_path=(device.bgp.asn,) * prepend + route.as_path,
+                next_hop=next_hop,
+                local_pref=0,  # receiver assigns
+                med=session.intent.med_out,
+                communities=communities,
+                originator=None,
+            )
+        next_hop = route.next_hop
+        if route.learned_via in ("local", "ebgp") and session.intent.next_hop_self:
+            next_hop = device.loopback or next_hop
+        if next_hop is None:
+            next_hop = device.loopback
+        return replace(
+            route,
+            next_hop=next_hop,
+            originator=route.originator or sender,
+        )
+
+    def _session_address(self, sender: str, session: Session):
+        peer_ip = session.intent.peer_ip
+        device = self.network.machines[sender]
+        for segment in self.network.segments_of(sender):
+            net = segment.network
+            if net is not None and peer_ip in net:
+                interface = segment.interface_of(sender)
+                if interface is not None and interface.ip_address is not None:
+                    return interface.ip_address
+        return device.loopback
+
+    def _import(self, receiver: str, sender: str, route: BgpRoute, session: Session):
+        """Apply receive-side checks and policy; None means rejected."""
+        device = self.network.machines[receiver]
+        vendor = self.vendors[receiver]
+        receiving_intent = self._intent_of.get((receiver, sender))
+        if receiving_intent is None:
+            return None
+        sender_device = self.network.machines[sender]
+        peer_router_id = (
+            sender_device.bgp.router_id
+            or (str(sender_device.loopback) if sender_device.loopback else "0.0.0.0")
+        )
+        if session.is_ebgp:
+            if device.bgp.asn in route.as_path:
+                return None  # AS-path loop
+            denied = getattr(receiving_intent, "deny_in", ()) or ()
+            if any(
+                route.prefix == net or net.supernet_of(route.prefix)
+                for net in denied
+            ):
+                return None  # inbound prefix filter
+            local_pref = receiving_intent.local_pref_in or vendor.default_local_pref
+            return replace(
+                route,
+                local_pref=local_pref,
+                learned_via="ebgp",
+                learned_from=sender,
+                from_client=False,
+                originator=None,
+                peer_router_id=peer_router_id,
+                peer_address=str(receiving_intent.peer_ip),
+            )
+        if route.originator == receiver:
+            return None  # reflection loop back to the originator
+        return replace(
+            route,
+            learned_via="ibgp",
+            learned_from=sender,
+            from_client=receiving_intent.rr_client,
+            peer_router_id=peer_router_id,
+            peer_address=str(receiving_intent.peer_ip),
+        )
+
+    # -- decision process ----------------------------------------------------
+    def _next_hop_cost(self, machine: str, next_hop) -> Optional[int]:
+        cost = self.igp.cost_to_address(machine, next_hop)
+        if cost is not None:
+            return cost
+        # Unnumbered (C-BGP style) links: a next hop owned by a direct
+        # fabric neighbour is reachable at zero cost even without an
+        # IGP route to it.
+        owner = self.network.owner_of(next_hop)
+        if owner is not None and owner in self.network.neighbors_of(machine):
+            return 0
+        return None
+
+    def _valid(self, machine: str, route: BgpRoute) -> bool:
+        if route.learned_via == "local":
+            return True
+        if route.next_hop is None:
+            return False
+        return self._next_hop_cost(machine, route.next_hop) is not None
+
+    def _igp_cost(self, machine: str, route: BgpRoute) -> int:
+        if route.learned_via == "local" or route.next_hop is None:
+            return 0
+        cost = self._next_hop_cost(machine, route.next_hop)
+        return 0 if cost is None else cost
+
+    def decide(self, machine: str, candidates: list[BgpRoute]) -> Optional[BgpRoute]:
+        """Run the decision process over one prefix's candidates."""
+        valid = [route for route in candidates if self._valid(machine, route)]
+        if not valid:
+            return None
+        vendor = self.vendors[machine]
+        survivors = self._med_elimination(valid, vendor)
+
+        def key(route: BgpRoute) -> tuple:
+            return (
+                -route.local_pref,
+                0 if route.learned_via == "local" else 1,
+                len(route.as_path),
+                _ORIGIN_RANK.get(route.origin, 2),
+                0 if route.learned_via == "ebgp" else 1,
+                self._igp_cost(machine, route) if vendor.igp_tiebreak else 0,
+                route.peer_router_id,
+                route.peer_address,
+            )
+
+        return min(survivors, key=key)
+
+    @staticmethod
+    def _med_elimination(routes: list[BgpRoute], vendor: VendorProfile) -> list[BgpRoute]:
+        """Deterministic MED: per-neighbour-AS elimination of worse MEDs."""
+        groups: dict = {}
+        for route in routes:
+            group_key = (
+                "all" if vendor.always_compare_med
+                else (route.as_path[0] if route.as_path else None)
+            )
+            groups.setdefault(group_key, []).append(route)
+        survivors = []
+        for members in groups.values():
+            with_med = [route for route in members if route.med is not None]
+            if len(with_med) < 2:
+                survivors.extend(members)
+                continue
+            best_med = min(route.med for route in with_med)
+            survivors.extend(
+                route
+                for route in members
+                if route.med is None or route.med == best_med
+            )
+        return survivors
+
+    # -- the simulation loop ----------------------------------------------------
+    def run(self, max_rounds: int = 64) -> BgpResult:
+        selected: dict[str, dict] = {
+            name: dict(table) for name, table in self.local_routes.items()
+        }
+        seen: dict[tuple, int] = {}
+        history: list[dict] = []
+        messages = 0
+
+        for round_index in range(max_rounds + 1):
+            state = self._state_key(selected)
+            if self.keep_history:
+                history.append(self._snapshot(selected))
+            if state in seen:
+                # A revisit after exactly one transition is a fixpoint
+                # (the state mapped to itself); a longer period is a
+                # persistent oscillation.
+                period = round_index - seen[state]
+                converged = period == 1
+                return BgpResult(
+                    converged=converged,
+                    oscillating=not converged,
+                    rounds=round_index,
+                    period=0 if converged else period,
+                    selected=selected,
+                    history=history,
+                    session_warnings=list(self.warnings),
+                    messages=messages,
+                )
+            seen[state] = round_index
+
+            rib_in: dict[str, dict] = {name: {} for name in self.network.machines}
+            for name, session_list in self.sessions.items():
+                for session in session_list:
+                    for prefix, route in selected.get(name, {}).items():
+                        if not self._can_export(route, session):
+                            continue
+                        advert = self._export(name, route, session)
+                        imported = self._import(session.peer, name, advert, session)
+                        messages += 1
+                        if imported is not None:
+                            rib_in[session.peer][(name, prefix)] = imported
+
+            new_selected: dict[str, dict] = {}
+            for name, device in self.network.machines.items():
+                if device.bgp is None:
+                    continue
+                candidates_by_prefix: dict = {}
+                for prefix, route in self.local_routes.get(name, {}).items():
+                    candidates_by_prefix.setdefault(prefix, []).append(route)
+                for (_, prefix), route in rib_in.get(name, {}).items():
+                    candidates_by_prefix.setdefault(prefix, []).append(route)
+                table = {}
+                for prefix, candidates in candidates_by_prefix.items():
+                    best = self.decide(name, candidates)
+                    if best is not None:
+                        table[prefix] = best
+                new_selected[name] = table
+            selected = new_selected
+
+        return BgpResult(
+            converged=False,
+            oscillating=False,
+            rounds=max_rounds,
+            selected=selected,
+            history=history,
+            session_warnings=list(self.warnings),
+            messages=messages,
+        )
+
+    @staticmethod
+    def _state_key(selected: dict) -> tuple:
+        return tuple(
+            (name, tuple(sorted(route.selection_key() for route in table.values())))
+            for name, table in sorted(selected.items())
+        )
+
+    @staticmethod
+    def _snapshot(selected: dict) -> dict:
+        return {
+            name: {prefix: route for prefix, route in table.items()}
+            for name, table in selected.items()
+        }

@@ -1,0 +1,90 @@
+"""DNS service engine: serves the zones parsed from rendered bind files.
+
+Forward zones map ``<host>.<as zone>`` names to addresses; the reverse
+zone maps addresses back to names — the service that makes hostnames
+appear in (non ``-n``) traceroute output (§3.3).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Optional
+
+from repro.emulation.network import EmulatedNetwork
+
+
+class DnsEngine:
+    """All zones of the lab, indexed for forward and reverse lookup."""
+
+    def __init__(self, network: EmulatedNetwork):
+        self.network = network
+        self._forward: dict[str, str] = {}  # fqdn -> address
+        self._reverse: dict[str, str] = {}  # address -> fqdn
+        self._server_of: dict[str, str] = {}  # machine -> resolver address
+        self._domain_of: dict[str, str] = {}
+        self._load()
+
+    def _load(self) -> None:
+        for name, device in self.network.machines.items():
+            if device.dns is None:
+                continue
+            if device.dns.resolver:
+                self._server_of[name] = device.dns.resolver
+            if device.dns.domain:
+                self._domain_of[name] = device.dns.domain
+            if not device.dns.is_server:
+                continue
+            for zone in device.dns.zones:
+                for host, address in zone.records.items():
+                    if host in ("@", "ns"):
+                        continue
+                    fqdn = "%s.%s" % (host, zone.origin)
+                    self._forward[fqdn] = address
+                    self._reverse.setdefault(address, fqdn)
+                for ptr_name, fqdn in zone.ptr_records.items():
+                    address = _ptr_to_address(ptr_name)
+                    if address is not None:
+                        self._reverse[address] = fqdn.rstrip(".")
+
+    # -- queries ------------------------------------------------------------
+    def resolve(self, name: str, client: Optional[str] = None) -> Optional[str]:
+        """Resolve a (possibly unqualified) name to an address."""
+        if name in self._forward:
+            return self._forward[name]
+        if client is not None:
+            domain = self._domain_of.get(client)
+            if domain:
+                return self._forward.get("%s.%s" % (name, domain))
+        # Fall back to a any-zone suffix search for unqualified names.
+        matches = sorted(
+            address
+            for fqdn, address in self._forward.items()
+            if fqdn.split(".")[0] == name
+        )
+        return matches[0] if matches else None
+
+    def reverse(self, address) -> Optional[str]:
+        return self._reverse.get(str(address))
+
+    def has_resolver(self, machine: str) -> bool:
+        return machine in self._server_of
+
+    def zone_count(self) -> int:
+        return len({fqdn.split(".", 1)[1] for fqdn in self._forward})
+
+    def record_count(self) -> int:
+        return len(self._forward)
+
+
+def _ptr_to_address(ptr_name: str) -> Optional[str]:
+    suffix = ".in-addr.arpa"
+    name = ptr_name.rstrip(".")
+    if not name.endswith(suffix):
+        return None
+    octets = name[: -len(suffix)].split(".")
+    if len(octets) != 4:
+        return None
+    try:
+        return str(ipaddress.ip_address(".".join(reversed(octets))))
+    except ValueError:
+        return None

@@ -1,0 +1,180 @@
+"""The emulated lab: boot rendered configurations into a running network.
+
+:func:`EmulatedLab.boot` is the substrate's ``lstart``: it detects the
+platform from the files present, parses every configuration back into
+device intent, brings up the fabric, converges the IGP, runs the BGP
+simulation, and exposes :class:`~repro.emulation.vm.VirtualMachine`
+handles for measurement.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import Optional
+
+from repro.emulation.bgp_engine import BgpResult, BgpSimulation
+from repro.emulation.dataplane import Dataplane
+from repro.emulation.dns_engine import DnsEngine
+from repro.emulation.intent import LabIntent
+from repro.emulation.network import EmulatedNetwork
+from repro.emulation.ospf_engine import IgpState
+from repro.emulation.parsing import LAB_PARSERS
+from repro.emulation.vm import VirtualMachine
+from repro.exceptions import EmulationError
+
+logger = logging.getLogger("repro.emulation")
+
+#: Keep full per-round BGP history only for labs smaller than this —
+#: the history is what oscillation experiments inspect.
+HISTORY_MACHINE_LIMIT = 64
+
+
+def detect_platform(lab_dir: str) -> str:
+    """Infer the emulation platform from the files in a lab directory."""
+    if os.path.exists(os.path.join(lab_dir, "lab.conf")):
+        return "netkit"
+    if os.path.exists(os.path.join(lab_dir, "lab.net")):
+        return "dynagen"
+    if os.path.exists(os.path.join(lab_dir, "topology.vmm")):
+        return "junosphere"
+    if os.path.exists(os.path.join(lab_dir, "network.cli")):
+        return "cbgp"
+    raise EmulationError("cannot detect platform of lab directory %s" % lab_dir)
+
+
+class EmulatedLab:
+    """A booted lab: fabric + converged protocols + VM handles."""
+
+    def __init__(
+        self,
+        intent: LabIntent,
+        max_rounds: int = 64,
+        vendor_overrides: Optional[dict[str, str]] = None,
+        keep_history: Optional[bool] = None,
+    ):
+        self.intent = intent
+        self.network = EmulatedNetwork(intent)
+        self.igp = IgpState(self.network)
+        if keep_history is None:
+            keep_history = len(self.network) <= HISTORY_MACHINE_LIMIT
+        self._simulation = BgpSimulation(
+            self.network,
+            self.igp,
+            vendor_overrides=vendor_overrides,
+            keep_history=keep_history,
+        )
+        logger.info(
+            "fabric up: %d machines, %d segments, %d IGP areas",
+            len(self.network),
+            len(self.network.segments),
+            len(self.igp.areas()),
+        )
+        self.bgp_result: BgpResult = self._simulation.run(max_rounds=max_rounds)
+        if self.bgp_result.converged:
+            logger.info("BGP converged in %d rounds", self.bgp_result.rounds)
+        elif self.bgp_result.oscillating:
+            logger.warning(
+                "BGP oscillates with period %d", self.bgp_result.period
+            )
+        else:
+            logger.warning(
+                "BGP undetermined after %d rounds", self.bgp_result.rounds
+            )
+        for warning in self.bgp_result.session_warnings:
+            logger.warning("session: %s", warning)
+        self.dataplane = Dataplane(self.network, self.igp, self.bgp_result)
+        self.dns = DnsEngine(self.network)
+        self._vms = {name: VirtualMachine(self, name) for name in self.network.machines}
+        self._tap_map = self._build_tap_map()
+        #: Directory the lab was booted from (None for intent-built labs).
+        self.lab_dir: Optional[str] = None
+
+    @classmethod
+    def boot(
+        cls,
+        lab_dir: str | os.PathLike,
+        platform: Optional[str] = None,
+        max_rounds: int = 64,
+        vendor_overrides: Optional[dict[str, str]] = None,
+        keep_history: Optional[bool] = None,
+    ) -> "EmulatedLab":
+        """Parse a rendered lab directory and bring the network up."""
+        lab_dir = str(lab_dir)
+        platform = platform or detect_platform(lab_dir)
+        logger.info("booting %s lab from %s", platform, lab_dir)
+        try:
+            parser = LAB_PARSERS[platform]
+        except KeyError:
+            raise EmulationError("no parser for platform %r" % platform) from None
+        intent = parser(lab_dir)
+        lab = cls(
+            intent,
+            max_rounds=max_rounds,
+            vendor_overrides=vendor_overrides,
+            keep_history=keep_history,
+        )
+        lab.lab_dir = lab_dir
+        return lab
+
+    # -- state ----------------------------------------------------------------
+    @property
+    def converged(self) -> bool:
+        return self.bgp_result.converged
+
+    @property
+    def oscillating(self) -> bool:
+        return self.bgp_result.oscillating
+
+    def _build_tap_map(self) -> dict[str, str]:
+        tap_map = {}
+        for name, device in self.network.machines.items():
+            for interface in device.interfaces:
+                if interface.is_management and interface.ip_address is not None:
+                    tap_map[str(interface.ip_address)] = name
+        return tap_map
+
+    # -- access ---------------------------------------------------------------
+    def vm(self, name: str) -> VirtualMachine:
+        try:
+            return self._vms[name]
+        except KeyError:
+            raise EmulationError("no VM named %r" % (name,)) from None
+
+    def vm_by_tap(self, tap_ip: str) -> VirtualMachine:
+        try:
+            return self._vms[self._tap_map[str(tap_ip)]]
+        except KeyError:
+            raise EmulationError("no VM with management address %r" % (tap_ip,)) from None
+
+    def vms(self) -> list[VirtualMachine]:
+        return [self._vms[name] for name in sorted(self._vms)]
+
+    def run(self, machine: str, command: str) -> str:
+        """Execute a command on one machine (by name or management IP)."""
+        if machine in self._vms:
+            return self._vms[machine].run(command)
+        return self.vm_by_tap(machine).run(command)
+
+    def dataplane_at_round(self, round_index: int) -> Dataplane:
+        """Forwarding over the BGP selection of an earlier round.
+
+        Only available when per-round history was kept; this is how the
+        Bad-Gadget experiment observes the path flapping between
+        rounds of a persistent oscillation.
+        """
+        history = self.bgp_result.history
+        if not history:
+            raise EmulationError("lab was booted without BGP history")
+        snapshot = history[round_index % len(history)]
+        return self.dataplane.with_bgp_snapshot(snapshot)
+
+    def __repr__(self) -> str:
+        status = "converged" if self.converged else (
+            "oscillating" if self.oscillating else "not converged"
+        )
+        return "EmulatedLab(%d machines, %s, %d BGP rounds)" % (
+            len(self.network),
+            status,
+            self.bgp_result.rounds,
+        )

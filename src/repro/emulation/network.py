@@ -1,0 +1,145 @@
+"""The emulated network fabric: machines, segments, and address lookup.
+
+An :class:`EmulatedNetwork` is built from a parsed :class:`LabIntent`.
+It groups interfaces into layer-2 segments (by collision-domain label
+when the platform declares one, by shared subnet otherwise), and builds
+the address-to-machine map the dataplane and measurement layers use.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Iterator, Optional
+
+from repro.emulation.intent import DeviceIntent, InterfaceIntent, LabIntent
+from repro.exceptions import EmulationError
+
+
+class Segment:
+    """One layer-2 segment: the interfaces attached to it."""
+
+    def __init__(self, key: str):
+        self.key = key
+        self.members: list[tuple[DeviceIntent, InterfaceIntent]] = []
+
+    @property
+    def network(self) -> Optional[ipaddress.IPv4Network]:
+        for _, interface in self.members:
+            if interface.network is not None:
+                return interface.network
+        return None
+
+    def machines(self) -> list[str]:
+        return [device.name for device, _ in self.members]
+
+    def interface_of(self, machine: str) -> Optional[InterfaceIntent]:
+        for device, interface in self.members:
+            if device.name == machine:
+                return interface
+        return None
+
+    def __repr__(self) -> str:
+        return "Segment(%s: %s)" % (self.key, ", ".join(self.machines()))
+
+
+class EmulatedNetwork:
+    """Machines plus the segments and address map connecting them."""
+
+    def __init__(self, lab: LabIntent):
+        self.lab = lab
+        self.machines: dict[str, DeviceIntent] = dict(lab.devices)
+        if not self.machines:
+            raise EmulationError("lab has no machines to boot")
+        self.segments: dict[str, Segment] = {}
+        self._address_map: dict[ipaddress.IPv4Address, tuple[str, InterfaceIntent]] = {}
+        self._segments_of: dict[str, list[Segment]] = {name: [] for name in self.machines}
+        self._build()
+
+    def _build(self) -> None:
+        for name in sorted(self.machines):
+            device = self.machines[name]
+            for interface in device.interfaces:
+                if interface.is_management:
+                    continue
+                if interface.ip_address is not None:
+                    existing = self._address_map.get(interface.ip_address)
+                    if existing is not None and not interface.is_loopback:
+                        raise EmulationError(
+                            "duplicate address %s on %s and %s"
+                            % (interface.ip_address, existing[0], name)
+                        )
+                    self._address_map[interface.ip_address] = (name, interface)
+                if interface.is_loopback:
+                    continue
+                key = interface.collision_domain
+                if key is None and interface.network is not None:
+                    key = "net_%s" % interface.network
+                if key is None:
+                    continue
+                segment = self.segments.setdefault(key, Segment(key))
+                segment.members.append((device, interface))
+                self._segments_of[name].append(segment)
+
+    # -- lookups --------------------------------------------------------------
+    def device(self, name: str) -> DeviceIntent:
+        try:
+            return self.machines[name]
+        except KeyError:
+            raise EmulationError("no machine named %r in the lab" % (name,)) from None
+
+    def owner_of(self, address) -> Optional[str]:
+        """Machine name owning an address, or None."""
+        address = ipaddress.ip_address(str(address))
+        entry = self._address_map.get(address)
+        return entry[0] if entry else None
+
+    def interface_owning(self, address) -> Optional[tuple[str, InterfaceIntent]]:
+        address = ipaddress.ip_address(str(address))
+        return self._address_map.get(address)
+
+    def segments_of(self, machine: str) -> list[Segment]:
+        return list(self._segments_of.get(machine, []))
+
+    def neighbors_of(self, machine: str) -> list[str]:
+        found = []
+        for segment in self._segments_of.get(machine, []):
+            for name in segment.machines():
+                if name != machine and name not in found:
+                    found.append(name)
+        return found
+
+    def shared_segments(self, left: str, right: str) -> list[Segment]:
+        return [
+            segment
+            for segment in self._segments_of.get(left, [])
+            if right in segment.machines()
+        ]
+
+    def connected_networks(self, machine: str) -> list[ipaddress.IPv4Network]:
+        device = self.device(machine)
+        return [
+            interface.network
+            for interface in device.interfaces
+            if interface.network is not None and not interface.is_management
+        ]
+
+    def address_on_segment_with(self, machine: str, other: str) -> Optional[ipaddress.IPv4Address]:
+        """The machine's address on a segment it shares with ``other``."""
+        for segment in self.shared_segments(machine, other):
+            interface = segment.interface_of(machine)
+            if interface is not None and interface.ip_address is not None:
+                return interface.ip_address
+        device = self.device(machine)
+        return device.loopback
+
+    def __iter__(self) -> Iterator[DeviceIntent]:
+        return iter(self.machines.values())
+
+    def __len__(self) -> int:
+        return len(self.machines)
+
+    def __repr__(self) -> str:
+        return "EmulatedNetwork(%d machines, %d segments)" % (
+            len(self.machines),
+            len(self.segments),
+        )

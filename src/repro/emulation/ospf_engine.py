@@ -1,0 +1,349 @@
+"""Link-state IGP engine: multi-area SPF over the emulated fabric.
+
+OSPF adjacency follows the protocol's actual activation rules:
+
+* two machines on a shared segment become adjacent when *both*
+  advertise that segment's subnet in their OSPF configuration
+  (``network ... area ...`` statements), **and the area numbers
+  match** — a mismatched area is a real-world non-adjacency;
+* inter-AS links are excluded automatically (nobody advertises them)
+  without the engine ever knowing about ASes;
+* C-BGP-style labs, which have weightless abstract links, instead
+  declare an explicit ``igp_domain`` per node (treated as area 0).
+
+Routing follows the OSPF area model: intra-area routes come from the
+per-area shortest-path tree; inter-area destinations are reached
+through area border routers (ABRs), always transiting the backbone
+(area 0) — route metric = cost to the ABR plus the ABR's cost onward,
+exactly the summary-LSA arithmetic.
+
+Routes are computed lazily per source machine (Dijkstra on demand,
+cached), which keeps thousand-router labs workable: the NREN-scale
+experiment only ever asks for a handful of sources.
+"""
+
+from __future__ import annotations
+
+import functools
+import heapq
+import ipaddress
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.emulation.network import EmulatedNetwork
+
+BACKBONE = 0
+
+
+@dataclass(frozen=True)
+class IgpRoute:
+    """One IGP route entry: prefix via next hop with a metric."""
+
+    prefix: ipaddress.IPv4Network
+    next_hop: str  # machine name
+    metric: int
+    advertiser: str  # machine that advertised the prefix
+    route_type: str = "intra"  # intra | inter
+
+
+class IgpState:
+    """Per-lab IGP view: adjacency, distances, and routes."""
+
+    def __init__(self, network: EmulatedNetwork):
+        self.network = network
+        #: per-area adjacency: area -> machine -> [(neighbor, cost out)]
+        self.area_adjacency: dict[int, dict[str, list[tuple[str, int]]]] = {}
+        #: areas each machine participates in
+        self.machine_areas: dict[str, set[int]] = {}
+        self._build_adjacency()
+
+    # -- topology --------------------------------------------------------------
+    def _build_adjacency(self) -> None:
+        adjacency: dict[int, dict[str, dict[str, int]]] = {}
+        for segment in self.network.segments.values():
+            members = segment.members
+            for device, interface in members:
+                area = self._advertised_area(device, interface)
+                if area is None:
+                    continue
+                for other_device, other_interface in members:
+                    if other_device.name == device.name:
+                        continue
+                    other_area = self._advertised_area(other_device, other_interface)
+                    if other_area is None or other_area != area:
+                        continue
+                    if not self._same_domain(device, other_device):
+                        continue
+                    cost = interface.ospf_cost or 1
+                    current = adjacency.setdefault(area, {}).setdefault(
+                        device.name, {}
+                    )
+                    if (
+                        other_device.name not in current
+                        or cost < current[other_device.name]
+                    ):
+                        current[other_device.name] = cost
+        self.area_adjacency = {
+            area: {
+                name: sorted(neighbors.items())
+                for name, neighbors in machines.items()
+            }
+            for area, machines in adjacency.items()
+        }
+        for name, device in self.network.machines.items():
+            areas = {
+                area
+                for area, machines in self.area_adjacency.items()
+                if name in machines
+            }
+            areas.update(area for _, area in self.advertised_prefixes(device))
+            if areas:
+                self.machine_areas[name] = areas
+
+    @staticmethod
+    def _advertised_area(device, interface) -> Optional[int]:
+        """The area the device runs a link-state IGP in on this interface.
+
+        OSPF activation follows the ``network ... area`` statements;
+        IS-IS (when no OSPF is configured) activates on every interface
+        with an ``isis metric``, treated as single-level (area 0).
+        """
+        if device.ospf is not None:
+            network = interface.network
+            if network is None:
+                # C-BGP style unnumbered link: active when in a domain.
+                return BACKBONE if device.igp_domain is not None else None
+            for advertised, area in device.ospf.networks:
+                if network == advertised or advertised.supernet_of(network):
+                    return area
+            return None
+        if device.isis is not None:
+            if interface.name in device.isis.interface_metrics:
+                return BACKBONE
+        return None
+
+    @staticmethod
+    def advertised_prefixes(device):
+        """(prefix, area) pairs this device injects into the IGP."""
+        if device.ospf is not None:
+            return list(device.ospf.networks)
+        if device.isis is not None:
+            prefixes = []
+            for interface in device.interfaces:
+                if interface.is_management:
+                    continue
+                if interface.is_loopback or interface.name in device.isis.interface_metrics:
+                    if interface.network is not None:
+                        prefixes.append((interface.network, BACKBONE))
+            return prefixes
+        return []
+
+    @staticmethod
+    def _same_domain(device, other_device) -> bool:
+        if device.igp_domain is not None or other_device.igp_domain is not None:
+            return device.igp_domain == other_device.igp_domain
+        return True
+
+    def areas(self) -> list[int]:
+        """All areas present in the lab, backbone first."""
+        return sorted(self.area_adjacency)
+
+    def neighbors(self, machine: str, area: Optional[int] = None) -> list[tuple[str, int]]:
+        """OSPF-adjacent (neighbor, cost) pairs, across areas by default."""
+        if area is not None:
+            return list(self.area_adjacency.get(area, {}).get(machine, []))
+        merged: dict[str, int] = {}
+        for machines in self.area_adjacency.values():
+            for neighbor, cost in machines.get(machine, []):
+                if neighbor not in merged or cost < merged[neighbor]:
+                    merged[neighbor] = cost
+        return sorted(merged.items())
+
+    def area_border_routers(self, area: int) -> list[str]:
+        """Machines participating in both ``area`` and the backbone."""
+        if area == BACKBONE:
+            return sorted(
+                name
+                for name, areas in self.machine_areas.items()
+                if BACKBONE in areas
+            )
+        return sorted(
+            name
+            for name, areas in self.machine_areas.items()
+            if area in areas and BACKBONE in areas
+        )
+
+    # -- SPF ---------------------------------------------------------------------
+    @functools.lru_cache(maxsize=8192)
+    def spf(self, source: str, area: int = BACKBONE) -> tuple[dict, dict]:
+        """Dijkstra within one area: (distance, first-hop) per machine."""
+        graph = self.area_adjacency.get(area, {})
+        distance = {source: 0}
+        first_hop: dict[str, str] = {}
+        heap: list[tuple[int, str, Optional[str]]] = [(0, source, None)]
+        visited: set[str] = set()
+        while heap:
+            dist, machine, via = heapq.heappop(heap)
+            if machine in visited:
+                continue
+            visited.add(machine)
+            if via is not None:
+                first_hop[machine] = via
+            for neighbor, cost in graph.get(machine, []):
+                candidate = dist + cost
+                if candidate < distance.get(neighbor, float("inf")):
+                    distance[neighbor] = candidate
+                    heapq.heappush(
+                        heap,
+                        (candidate, neighbor, via if via is not None else neighbor),
+                    )
+        return distance, first_hop
+
+    def distance(self, source: str, target: str) -> Optional[int]:
+        """Best IGP distance source -> target across the area model."""
+        best: Optional[int] = None
+        for _, metric, _ in self._machine_paths(source, target):
+            if best is None or metric < best:
+                best = metric
+        return best
+
+    def _machine_paths(self, source: str, target: str):
+        """(area chain, metric, first hop) options from source to target.
+
+        Intra-area when the two machines share an area; otherwise
+        through the backbone via ABRs, per the OSPF area model.
+        """
+        source_areas = self.machine_areas.get(source, set())
+        target_areas = self.machine_areas.get(target, set())
+        options = []
+        for area in source_areas & target_areas:
+            distances, hops = self.spf(source, area)
+            if target in distances and target != source:
+                options.append(("intra", int(distances[target]), hops.get(target)))
+            elif target == source:
+                options.append(("intra", 0, None))
+        if options or source == target:
+            return options
+
+        # Inter-area: source area -> backbone -> target area.
+        for source_area in source_areas:
+            for target_area in target_areas:
+                option = self._inter_area(source, source_area, target, target_area)
+                if option is not None:
+                    options.append(option)
+        return options
+
+    def _inter_area(self, source, source_area, target, target_area):
+        # Note: source_area may equal target_area — a *partitioned*
+        # non-backbone area heals through the backbone, each fragment
+        # reaching it via its own ABR.  (The intra-area option, when it
+        # exists, short-circuits before this path is ever tried.)
+        if source_area == target_area == BACKBONE:
+            return None
+        first_leg = [(source, 0, None)]
+        if source_area != BACKBONE:
+            distances, hops = self.spf(source, source_area)
+            first_leg = [
+                (abr, int(distances[abr]), hops.get(abr))
+                for abr in self.area_border_routers(source_area)
+                if abr in distances
+            ]
+        best = None
+        backbone_cache = {}
+        for abr, cost_to_abr, first_hop in first_leg:
+            if abr not in backbone_cache:
+                backbone_cache[abr] = self.spf(abr, BACKBONE)
+            backbone_dist, backbone_hops = backbone_cache[abr]
+            if target_area == BACKBONE:
+                exits = [(target, None)]
+            else:
+                exits = [(exit_abr, exit_abr) for exit_abr in self.area_border_routers(target_area)]
+            for backbone_target, exit_abr in exits:
+                if backbone_target == abr:
+                    middle = 0
+                elif backbone_target in backbone_dist:
+                    middle = int(backbone_dist[backbone_target])
+                else:
+                    continue
+                if exit_abr is None:
+                    tail = 0
+                else:
+                    exit_dist, _ = self.spf(exit_abr, target_area)
+                    if target not in exit_dist and exit_abr != target:
+                        continue
+                    tail = int(exit_dist.get(target, 0))
+                total = cost_to_abr + middle + tail
+                hop = first_hop
+                if hop is None:  # source itself is the entry ABR
+                    hop = backbone_hops.get(backbone_target)
+                if hop is None and exit_abr is not None and exit_abr != source:
+                    exit_dist, exit_hops = self.spf(source, target_area)
+                    hop = exit_hops.get(target)
+                if best is None or total < best[1]:
+                    best = ("inter", total, hop)
+        return best
+
+    @functools.lru_cache(maxsize=1024)
+    def routes(self, source: str) -> dict[ipaddress.IPv4Network, IgpRoute]:
+        """The IGP routing table of ``source``.
+
+        Intra-area routes for every prefix advertised in an area the
+        source participates in; inter-area routes (via ABRs and the
+        backbone) for the rest.  For each prefix the lowest-metric
+        entry wins, ties broken by advertiser name for determinism.
+        """
+        connected = set(self.network.connected_networks(source))
+        table: dict[ipaddress.IPv4Network, IgpRoute] = {}
+        for machine, device in self.network.machines.items():
+            if machine == source or (device.ospf is None and device.isis is None):
+                continue
+            paths = self._machine_paths(source, machine)
+            if not paths:
+                continue
+            route_type, metric, next_hop = min(
+                paths, key=lambda option: (option[1], option[0])
+            )
+            if next_hop is None:
+                continue
+            for prefix, _ in self.advertised_prefixes(device):
+                if prefix in connected:
+                    continue
+                route = IgpRoute(
+                    prefix=prefix,
+                    next_hop=next_hop,
+                    metric=metric,
+                    advertiser=machine,
+                    route_type=route_type,
+                )
+                existing = table.get(prefix)
+                if (
+                    existing is None
+                    or route.metric < existing.metric
+                    or (
+                        route.metric == existing.metric
+                        and route.advertiser < existing.advertiser
+                    )
+                ):
+                    table[prefix] = route
+        return table
+
+    def cost_to_address(self, source: str, address) -> Optional[int]:
+        """IGP cost from ``source`` to an address, 0 when connected.
+
+        The BGP decision process uses this as the "lowest IGP metric to
+        the next hop" step; ``None`` means the next hop is unresolvable
+        and the route is invalid.
+        """
+        address = ipaddress.ip_address(str(address))
+        source_device = self.network.device(source)
+        if source_device.owns_address(address):
+            return 0
+        for network_ in self.network.connected_networks(source):
+            if address in network_:
+                return 0
+        best: Optional[int] = None
+        for prefix, route in self.routes(source).items():
+            if address in prefix:
+                if best is None or route.metric < best:
+                    best = route.metric
+        return best

@@ -1,0 +1,50 @@
+"""Parsers that boot labs from rendered configuration files."""
+
+from repro.emulation.parsing.cbgp_parse import parse_cbgp_lab, parse_cbgp_script
+from repro.emulation.parsing.ios_parse import parse_dynagen_lab, parse_ios_config
+from repro.emulation.parsing.junos_parse import (
+    parse_braces,
+    parse_junos_config,
+    parse_junosphere_lab,
+)
+from repro.emulation.parsing.netkit_lab import (
+    parse_bind_zone,
+    parse_lab_conf,
+    parse_netkit_lab,
+    parse_rpki_conf,
+    parse_startup,
+)
+from repro.emulation.parsing.quagga_parse import (
+    parse_bgpd,
+    parse_hostname,
+    parse_isisd,
+    parse_ospfd,
+)
+
+#: Platform name to lab parser.
+LAB_PARSERS = {
+    "netkit": parse_netkit_lab,
+    "dynagen": parse_dynagen_lab,
+    "junosphere": parse_junosphere_lab,
+    "cbgp": parse_cbgp_lab,
+}
+
+__all__ = [
+    "LAB_PARSERS",
+    "parse_bgpd",
+    "parse_bind_zone",
+    "parse_braces",
+    "parse_cbgp_lab",
+    "parse_cbgp_script",
+    "parse_dynagen_lab",
+    "parse_hostname",
+    "parse_ios_config",
+    "parse_isisd",
+    "parse_junos_config",
+    "parse_junosphere_lab",
+    "parse_lab_conf",
+    "parse_netkit_lab",
+    "parse_ospfd",
+    "parse_rpki_conf",
+    "parse_startup",
+]

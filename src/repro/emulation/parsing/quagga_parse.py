@@ -1,0 +1,202 @@
+"""Parsers for Quagga daemon configuration files.
+
+These parse the *generated* configuration text back into device intent,
+which is how the emulation substrate validates the whole pipeline: a
+template bug produces configs that fail to parse or boot, exactly as on
+a real Netkit host.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import re
+
+from repro.emulation.intent import (
+    BgpIntent,
+    BgpNeighborIntent,
+    IsisIntent,
+    OspfIntent,
+)
+from repro.exceptions import ConfigParseError
+
+
+def parse_hostname(text: str) -> str | None:
+    match = re.search(r"^hostname\s+(\S+)", text, re.MULTILINE)
+    return match.group(1) if match else None
+
+
+def parse_ospfd(text: str, filename: str = "ospfd.conf") -> OspfIntent:
+    """Parse an ospfd.conf: interface costs plus network statements."""
+    intent = OspfIntent()
+    current_interface = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("!"):
+            continue
+        if line.startswith("interface "):
+            current_interface = line.split()[1]
+        elif line.startswith("ip ospf cost "):
+            if current_interface is None:
+                raise ConfigParseError(
+                    "ip ospf cost outside interface stanza", filename, lineno
+                )
+            intent.interface_costs[current_interface] = int(line.split()[-1])
+        elif line.startswith("router ospf"):
+            current_interface = None
+        elif line.startswith("ospf router-id "):
+            intent.router_id = line.split()[-1]
+        elif line.startswith("network "):
+            parts = line.split()
+            try:
+                network = ipaddress.ip_network(parts[1], strict=False)
+                area = int(parts[3])
+            except (ValueError, IndexError) as exc:
+                raise ConfigParseError(
+                    "bad network statement %r" % line, filename, lineno
+                ) from exc
+            intent.networks.append((network, area))
+    return intent
+
+
+def parse_isisd(text: str, filename: str = "isisd.conf") -> IsisIntent:
+    intent = IsisIntent()
+    current_interface = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("!"):
+            continue
+        if line.startswith("interface "):
+            current_interface = line.split()[1]
+        elif line.startswith("isis metric "):
+            if current_interface is None:
+                raise ConfigParseError("isis metric outside interface", filename, lineno)
+            intent.interface_metrics[current_interface] = int(line.split()[-1])
+        elif line.startswith("router isis"):
+            current_interface = None
+            parts = line.split()
+            if len(parts) > 2:
+                intent.process_id = int(parts[2])
+        elif line.startswith("net "):
+            intent.net = line.split()[1]
+    return intent
+
+
+def parse_bgpd(text: str, filename: str = "bgpd.conf") -> BgpIntent:
+    """Parse a bgpd.conf: sessions, origination, and route-map policy."""
+    route_maps = _route_map_actions(text)
+    prefix_lists = _prefix_list_denies(text)
+    local_prefs = {name: actions["local_pref"] for name, actions in route_maps.items()
+                   if actions.get("local_pref") is not None}
+    asn_match = re.search(r"^router bgp\s+(\d+)", text, re.MULTILINE)
+    if asn_match is None:
+        raise ConfigParseError("no 'router bgp' stanza", filename)
+    intent = BgpIntent(asn=int(asn_match.group(1)))
+    in_router = False
+    neighbors: dict[str, BgpNeighborIntent] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("!"):
+            continue
+        if line.startswith("router bgp"):
+            in_router = True
+            continue
+        if line.startswith("route-map"):
+            in_router = False
+        if not in_router:
+            continue
+        if line.startswith("bgp router-id "):
+            intent.router_id = line.split()[-1]
+        elif line.startswith("network "):
+            intent.networks.append(ipaddress.ip_network(line.split()[1], strict=False))
+        elif line.startswith("neighbor "):
+            parts = line.split()
+            peer = parts[1]
+            if parts[2] == "remote-as":
+                neighbors[peer] = BgpNeighborIntent(
+                    peer_ip=ipaddress.ip_address(peer),
+                    remote_asn=int(parts[3]),
+                )
+            elif peer not in neighbors:
+                raise ConfigParseError(
+                    "neighbor %s configured before remote-as" % peer, filename, lineno
+                )
+            elif parts[2] == "description":
+                neighbors[peer].description = " ".join(parts[3:])
+            elif parts[2] == "update-source":
+                neighbors[peer].update_source = parts[3]
+            elif parts[2] == "next-hop-self":
+                neighbors[peer].next_hop_self = True
+            elif parts[2] == "route-reflector-client":
+                neighbors[peer].rr_client = True
+            elif parts[2] == "route-map" and parts[-1] == "in":
+                neighbors[peer].local_pref_in = local_prefs.get(parts[3])
+            elif parts[2] == "route-map" and parts[-1] == "out":
+                actions = route_maps.get(parts[3], {})
+                if actions.get("metric") is not None:
+                    neighbors[peer].med_out = actions["metric"]
+                neighbors[peer].prepend_out = actions.get("prepend", 0)
+                neighbors[peer].communities_out = actions.get("communities", ())
+            elif parts[2] == "prefix-list" and parts[-1] == "out":
+                neighbors[peer].deny_out = prefix_lists.get(parts[3], ())
+            elif parts[2] == "prefix-list" and parts[-1] == "in":
+                neighbors[peer].deny_in = prefix_lists.get(parts[3], ())
+    intent.neighbors = list(neighbors.values())
+    return intent
+
+
+def _route_map_actions(text: str) -> dict[str, dict]:
+    """Mapping of route-map name to its set actions.
+
+    Collected actions: ``local_pref``, ``metric`` (MED), and
+    ``prepend`` (number of ASNs in a ``set as-path prepend``).
+    """
+    actions: dict[str, dict] = {}
+    current = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        if line.startswith("route-map ") and " permit " in line:
+            current = line.split()[1]
+            actions[current] = {}
+        elif current is None:
+            continue
+        elif line.startswith("set local-preference "):
+            actions[current]["local_pref"] = int(line.split()[-1])
+        elif line.startswith("set metric "):
+            actions[current]["metric"] = int(line.split()[-1])
+        elif line.startswith("set as-path prepend "):
+            actions[current]["prepend"] = len(line.split()[3:])
+        elif line.startswith("set community "):
+            members = [
+                token
+                for token in line.split()[2:]
+                if token != "additive"
+            ]
+            actions[current]["communities"] = tuple(members)
+    return actions
+
+
+def _route_map_local_prefs(text: str) -> dict[str, int]:
+    """Mapping of route-map name to the local-preference it sets."""
+    return {
+        name: acts["local_pref"]
+        for name, acts in _route_map_actions(text).items()
+        if acts.get("local_pref") is not None
+    }
+
+
+def _prefix_list_denies(text: str) -> dict[str, tuple]:
+    """Prefix-list deny entries: {list name: (denied networks, ...)}."""
+    denies: dict[str, list] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line.startswith("ip prefix-list "):
+            continue
+        parts = line.split()
+        # ip prefix-list NAME seq N (deny|permit) CIDR [le N]
+        if len(parts) >= 6 and parts[5] == "deny":
+            denies.setdefault(parts[2], []).append(
+                ipaddress.ip_network(parts[6], strict=False)
+            )
+        else:
+            denies.setdefault(parts[2], [])
+    return {name: tuple(entries) for name, entries in denies.items()}

@@ -1,0 +1,96 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this library derive from :class:`ReproError`,
+so callers can catch a single base class at an API boundary.  Each
+subsystem has its own subclass, mirroring the module layout described
+in ``DESIGN.md``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class OverlayNotFoundError(ReproError, KeyError):
+    """An overlay graph with the requested id does not exist in the ANM."""
+
+    def __init__(self, overlay_id: str):
+        super().__init__(overlay_id)
+        self.overlay_id = overlay_id
+
+    def __str__(self) -> str:
+        return "overlay %r not present in the network model" % self.overlay_id
+
+
+class NodeNotFoundError(ReproError, KeyError):
+    """A node id was not found in the overlay being queried."""
+
+    def __init__(self, node_id, overlay_id: str | None = None):
+        super().__init__(node_id)
+        self.node_id = node_id
+        self.overlay_id = overlay_id
+
+    def __str__(self) -> str:
+        if self.overlay_id is not None:
+            return "node %r not present in overlay %r" % (self.node_id, self.overlay_id)
+        return "node %r not present in overlay" % (self.node_id,)
+
+
+class TopologyValidationError(ReproError):
+    """The input topology failed a validation check in the loader."""
+
+
+class LoaderError(ReproError):
+    """An input file could not be parsed into a topology."""
+
+
+class AddressAllocationError(ReproError):
+    """The IP address allocator ran out of space or was misconfigured."""
+
+
+class DesignError(ReproError):
+    """A network design rule could not be applied to the topology."""
+
+
+class CompilerError(ReproError):
+    """The compiler could not condense the overlays into device state."""
+
+
+class RenderError(ReproError):
+    """Template rendering of the resource database failed."""
+
+
+class DeploymentError(ReproError):
+    """Deployment of rendered configurations to an emulation host failed."""
+
+
+class EmulationError(ReproError):
+    """The emulated network substrate hit an inconsistent state."""
+
+
+class ConfigParseError(EmulationError):
+    """A generated device configuration could not be parsed back."""
+
+    def __init__(self, message: str, filename: str | None = None, line: int | None = None):
+        super().__init__(message)
+        self.filename = filename
+        self.line = line
+
+    def __str__(self) -> str:
+        location = ""
+        if self.filename is not None:
+            location = " (%s" % self.filename
+            if self.line is not None:
+                location += ":%d" % self.line
+            location += ")"
+        return super().__str__() + location
+
+
+class MeasurementError(ReproError):
+    """A measurement command failed or its output could not be parsed."""
+
+
+class TemplateParseError(MeasurementError):
+    """A textfsm-lite template definition is malformed."""

@@ -1,0 +1,49 @@
+"""Input topology loading: file formats, validation, and generators (§5.1)."""
+
+from repro.loader.gml import annotate_as_by_attribute, load_gml, save_gml
+from repro.loader.graphml import load_graphml, save_graphml
+from repro.loader.json_loader import dump_json, graph_from_dict, load_json
+from repro.loader.rocketfuel import load_rocketfuel, parse_cch_line, write_cch
+from repro.loader.topology_gen import (
+    attach_servers,
+    bad_gadget_topology,
+    european_nren_model,
+    fig5_topology,
+    full_mesh_topology,
+    line_topology,
+    multi_as_topology,
+    ring_topology,
+    rpki_topology,
+    small_internet,
+    star_with_switch,
+)
+from repro.loader.validate import apply_defaults, coerce_asn, normalise, validate
+
+__all__ = [
+    "annotate_as_by_attribute",
+    "apply_defaults",
+    "attach_servers",
+    "bad_gadget_topology",
+    "coerce_asn",
+    "dump_json",
+    "european_nren_model",
+    "fig5_topology",
+    "full_mesh_topology",
+    "graph_from_dict",
+    "line_topology",
+    "load_gml",
+    "load_graphml",
+    "load_json",
+    "load_rocketfuel",
+    "multi_as_topology",
+    "normalise",
+    "parse_cch_line",
+    "ring_topology",
+    "rpki_topology",
+    "save_gml",
+    "save_graphml",
+    "small_internet",
+    "star_with_switch",
+    "validate",
+    "write_cch",
+]

@@ -1,0 +1,43 @@
+"""GraphML input/output (§5.1).
+
+GraphML is the primary interchange format of the paper: topologies are
+drawn in a graphical editor (yEd), annotated with attributes such as
+``asn`` and ``device_type``, and read directly into the system.
+"""
+
+from __future__ import annotations
+
+import os
+
+import networkx as nx
+
+from repro.exceptions import LoaderError
+from repro.loader.validate import normalise
+
+
+def load_graphml(path: str | os.PathLike, require_asn: bool = True) -> nx.Graph:
+    """Load, normalise and validate a GraphML topology file."""
+    try:
+        graph = nx.read_graphml(path)
+    except FileNotFoundError:
+        raise
+    except Exception as exc:
+        raise LoaderError("could not parse GraphML file %s: %s" % (path, exc)) from exc
+    graph = nx.Graph(graph)  # flatten multi-edges and direction from editors
+    return normalise(graph, require_asn=require_asn)
+
+
+def save_graphml(graph: nx.Graph, path: str | os.PathLike) -> None:
+    """Write a topology to GraphML, stringifying unsupported attribute types."""
+    export = nx.Graph()
+    for node_id, data in graph.nodes(data=True):
+        export.add_node(node_id, **{key: _graphml_safe(value) for key, value in data.items()})
+    for src, dst, data in graph.edges(data=True):
+        export.add_edge(src, dst, **{key: _graphml_safe(value) for key, value in data.items()})
+    nx.write_graphml(export, path)
+
+
+def _graphml_safe(value):
+    if isinstance(value, (str, int, float, bool)):
+        return value
+    return str(value)

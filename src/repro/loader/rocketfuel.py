@@ -1,0 +1,139 @@
+"""Rocketfuel ``.cch`` ISP-map parser (§5.1).
+
+The paper provides "an extension to read Rocketfuel data".  Rocketfuel
+router-level maps come as ``.cch`` files with one router per line::
+
+    121 @ATLANTA,GA +bb (3) &5 -> <5227> <5229> {-1} =fe0.cr1.atl =r1 r0
+    -1  ... (external node, negative uid)
+
+Fields: numeric uid, ``@location``, optional ``+`` (responsive), optional
+``bb`` (backbone), ``(n)`` neighbour count, ``&n`` external-link count,
+``->`` followed by ``<uid>`` internal neighbours and ``{-uid}`` external
+neighbours, ``=name`` aliases, and a trailing ``rN`` radius tag.
+
+We parse the subset needed to rebuild the graph: uid, location, backbone
+flag, neighbours, and the first name alias.  External (negative-uid)
+nodes become ``device_type="external"`` so routing design rules skip
+them unless asked.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+import networkx as nx
+
+from repro.exceptions import LoaderError
+from repro.loader.validate import normalise
+
+_LINE = re.compile(
+    r"""^\s*
+    (?P<uid>-?\d+)\s+
+    @(?P<location>\S+)
+    (?P<flags>(?:\s+\+)?(?:\s+bb)?)
+    \s+\((?P<degree>\d+)\)
+    (?:\s+&(?P<externals>\d+))?
+    \s+->
+    (?P<links>(?:\s+(?:<-?\d+>|\{-?\d+\}))*)
+    (?P<names>(?:\s+=\S+)*)
+    \s+r(?P<radius>\d+)
+    \s*$""",
+    re.VERBOSE,
+)
+
+_INTERNAL = re.compile(r"<(-?\d+)>")
+_EXTERNAL = re.compile(r"\{(-?\d+)\}")
+_NAME = re.compile(r"=(\S+)")
+
+
+def parse_cch_line(line: str) -> dict | None:
+    """Parse one ``.cch`` line into a dict, or ``None`` for blanks/comments."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    match = _LINE.match(stripped)
+    if match is None:
+        raise LoaderError("unparseable rocketfuel line: %r" % (stripped,))
+    names = _NAME.findall(match.group("names") or "")
+    return {
+        "uid": int(match.group("uid")),
+        "location": match.group("location").rstrip(","),
+        "backbone": "bb" in (match.group("flags") or ""),
+        "responsive": "+" in (match.group("flags") or ""),
+        "neighbors": [int(uid) for uid in _INTERNAL.findall(match.group("links") or "")],
+        "external_neighbors": [int(uid) for uid in _EXTERNAL.findall(match.group("links") or "")],
+        "name": names[0] if names else None,
+        "radius": int(match.group("radius")),
+    }
+
+
+def load_rocketfuel(
+    path: str | os.PathLike,
+    asn: int = 1,
+    include_external: bool = False,
+) -> nx.Graph:
+    """Load a Rocketfuel ``.cch`` map as a validated single-AS topology.
+
+    ``asn`` annotates every internal router (Rocketfuel maps are
+    per-ISP).  With ``include_external`` the negative-uid external
+    attachment nodes are kept as ``device_type="external"``.
+    """
+    graph = nx.Graph()
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            record = parse_cch_line(line)
+            if record is not None:
+                records.append(record)
+    if not records:
+        raise LoaderError("rocketfuel file %s contains no router records" % (path,))
+
+    for record in records:
+        node_id = "r%d" % record["uid"] if record["uid"] >= 0 else "ext%d" % -record["uid"]
+        graph.add_node(
+            node_id,
+            asn=asn,
+            device_type="router" if record["uid"] >= 0 else "external",
+            location=record["location"],
+            backbone=record["backbone"],
+            rocketfuel_uid=record["uid"],
+            label=record["name"] or node_id,
+        )
+
+    known = {data["rocketfuel_uid"]: node_id for node_id, data in graph.nodes(data=True)}
+    for record in records:
+        src = known[record["uid"]]
+        for neighbor_uid in record["neighbors"]:
+            if neighbor_uid in known:
+                graph.add_edge(src, known[neighbor_uid])
+        if include_external:
+            for neighbor_uid in record["external_neighbors"]:
+                if neighbor_uid in known:
+                    graph.add_edge(src, known[neighbor_uid])
+
+    if not include_external:
+        externals = [n for n, d in graph.nodes(data=True) if d["device_type"] == "external"]
+        graph.remove_nodes_from(externals)
+
+    return normalise(graph, require_asn=False)
+
+
+def write_cch(graph: nx.Graph, path: str | os.PathLike) -> None:
+    """Write a graph in ``.cch`` format (used to build test fixtures)."""
+    uid_of = {node_id: index for index, node_id in enumerate(graph.nodes)}
+    with open(path, "w") as handle:
+        for node_id, data in graph.nodes(data=True):
+            neighbors = " ".join("<%d>" % uid_of[n] for n in graph.neighbors(node_id))
+            flags = " bb" if data.get("backbone") else ""
+            handle.write(
+                "%d @%s +%s (%d) -> %s =%s r0\n"
+                % (
+                    uid_of[node_id],
+                    data.get("location", "NOWHERE"),
+                    flags,
+                    graph.degree(node_id),
+                    neighbors,
+                    node_id,
+                )
+            )

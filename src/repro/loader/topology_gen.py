@@ -1,0 +1,419 @@
+"""Built-in and synthetic topology generators.
+
+This module provides every input topology used by the paper's case
+studies and experiments:
+
+* :func:`fig5_topology` — the 5-router, 2-AS example of Figure 5;
+* :func:`small_internet` — the Netkit Small-Internet lab of §3.1
+  (7 ASes, 14 routers);
+* :func:`european_nren_model` — a deterministic synthetic stand-in for
+  the Topology Zoo "European NREN interconnect" model of §3.2 with
+  exactly 42 ASes, 1158 routers and 1470 links at ``scale=1.0``;
+* :func:`bad_gadget_topology` — the route-reflection / IGP-metric
+  oscillation gadget used to reproduce §7.2;
+* :func:`rpki_topology` — a labelled RPKI service graph (§3.3);
+* :func:`multi_as_topology` and small structural helpers for tests and
+  benchmarks.
+
+All generators are deterministic: the same arguments always produce an
+identical graph, which is what makes the experiments repeatable (§2).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import networkx as nx
+
+from repro.loader.validate import normalise
+
+#: The documented size of the European NREN interconnect model (§3.2).
+NREN_N_ASES = 42
+NREN_N_ROUTERS = 1158
+NREN_N_LINKS = 1470
+
+#: Country codes used to label the 41 synthetic NRENs.
+_NREN_NAMES = [
+    "at", "be", "bg", "ch", "cy", "cz", "de", "dk", "ee", "es",
+    "fi", "fr", "gr", "hr", "hu", "ie", "il", "is", "it", "lt",
+    "lu", "lv", "me", "mk", "mt", "nl", "no", "pl", "pt", "ro",
+    "rs", "ru", "se", "si", "sk", "tr", "ua", "uk", "am", "az", "ge",
+]
+
+
+def _router(graph: nx.Graph, node_id: str, asn: int, **attrs) -> str:
+    graph.add_node(node_id, asn=asn, device_type="router", **attrs)
+    return node_id
+
+
+# ---------------------------------------------------------------------------
+# Paper figures
+# ---------------------------------------------------------------------------
+
+def fig5_topology() -> nx.Graph:
+    """The example input topology of Figure 5a.
+
+    Five routers r1..r5; r1-r4 in AS 1, r5 in AS 2; edges exactly as in
+    §4.2.1.  Edge OSPF costs follow Figure 5b (cost 10 on r1's links,
+    20 on the r2-r4 / r3-r4 links; defaults elsewhere).
+    """
+    graph = nx.Graph()
+    for name in ("r1", "r2", "r3", "r4"):
+        _router(graph, name, asn=1)
+    _router(graph, "r5", asn=2)
+    graph.add_edge("r1", "r2", ospf_cost=10)
+    graph.add_edge("r1", "r3", ospf_cost=10)
+    graph.add_edge("r2", "r4", ospf_cost=20)
+    graph.add_edge("r3", "r4", ospf_cost=20)
+    graph.add_edge("r3", "r5")
+    graph.add_edge("r4", "r5")
+    return normalise(graph)
+
+
+def small_internet() -> nx.Graph:
+    """The Netkit Small-Internet lab (§3.1, Figures 1/6/7).
+
+    Seven ASes and fourteen routers.  AS1 is the central transit AS;
+    AS20, AS100 and AS300 are multi-router ASes; AS30, AS40 and AS200
+    are stub single-router ASes.  The inter-AS links include the chain
+    used by the Figure 7 traceroute
+    (as300r2 - as40r1 - as1r1 - as20r3 - as20r2 - as100r1 - as100r2).
+    """
+    graph = nx.Graph()
+    _router(graph, "as1r1", asn=1)
+    for index in (1, 2, 3):
+        _router(graph, "as20r%d" % index, asn=20)
+    _router(graph, "as30r1", asn=30)
+    _router(graph, "as40r1", asn=40)
+    for index in (1, 2, 3):
+        _router(graph, "as100r%d" % index, asn=100)
+    _router(graph, "as200r1", asn=200)
+    for index in (1, 2, 3, 4):
+        _router(graph, "as300r%d" % index, asn=300)
+
+    # Intra-AS links.
+    graph.add_edges_from(
+        [
+            ("as20r1", "as20r2"),
+            ("as20r2", "as20r3"),
+            ("as20r1", "as20r3"),
+            ("as100r1", "as100r2"),
+            ("as100r1", "as100r3"),
+            ("as100r2", "as100r3"),
+            ("as300r1", "as300r2"),
+            ("as300r2", "as300r3"),
+            ("as300r3", "as300r4"),
+            ("as300r4", "as300r1"),
+        ]
+    )
+    # Inter-AS links.
+    graph.add_edges_from(
+        [
+            ("as1r1", "as20r3"),
+            ("as1r1", "as30r1"),
+            ("as1r1", "as40r1"),
+            ("as20r2", "as100r1"),
+            ("as100r3", "as200r1"),
+            ("as30r1", "as300r1"),
+            ("as40r1", "as300r2"),
+            ("as200r1", "as300r4"),
+        ]
+    )
+    return normalise(graph)
+
+
+# ---------------------------------------------------------------------------
+# Large-scale model (§3.2)
+# ---------------------------------------------------------------------------
+
+def european_nren_model(scale: float = 1.0, seed: int = 42) -> nx.Graph:
+    """A synthetic stand-in for the European NREN interconnect model.
+
+    At ``scale=1.0`` the graph has exactly 42 ASes, 1158 routers and
+    1470 links, matching the documented size of the Topology Zoo model
+    used in §3.2: a GEANT-like backbone AS interconnecting 41 national
+    NRENs, each NREN a ring of point-of-presence routers with extra
+    chord links.  Smaller ``scale`` values shrink all three counts
+    proportionally (useful for CI-speed benchmarking sweeps).
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    n_ases = max(3, round(NREN_N_ASES * scale))
+    n_routers = max(n_ases, round(NREN_N_ROUTERS * scale))
+    n_links_target = round(NREN_N_LINKS * scale)
+    rng = random.Random(seed)
+    graph = nx.Graph()
+
+    n_nrens = n_ases - 1
+    backbone_size = max(3, round(n_routers * (40 / NREN_N_ROUTERS)))
+    remaining = n_routers - backbone_size
+    base, leftover = divmod(remaining, n_nrens)
+    nren_sizes = [base + (1 if index < leftover else 0) for index in range(n_nrens)]
+    if min(nren_sizes) < 1:
+        raise ValueError("scale too small: an NREN would have no routers")
+
+    backbone = [
+        _router(graph, "geant_r%d" % index, asn=1, location="backbone")
+        for index in range(1, backbone_size + 1)
+    ]
+    _connect_ring(graph, backbone)
+
+    nren_members: list[list[str]] = []
+    for index, size in enumerate(nren_sizes):
+        name = _NREN_NAMES[index % len(_NREN_NAMES)]
+        suffix = "" if index < len(_NREN_NAMES) else str(index // len(_NREN_NAMES) + 1)
+        asn = 100 + index
+        members = [
+            _router(graph, "%s%s_r%d" % (name, suffix, rtr), asn=asn, location=name)
+            for rtr in range(1, size + 1)
+        ]
+        _connect_ring(graph, members)
+        nren_members.append(members)
+
+    # Every NREN homes onto the backbone at two distinct points (§3.2's
+    # model interconnects the NRENs through GEANT).
+    for members in nren_members:
+        attach_points = rng.sample(backbone, k=min(2, len(backbone)))
+        for backbone_router in attach_points:
+            graph.add_edge(members[0], backbone_router)
+
+    # Top up with deterministic intra-AS chord links until the link
+    # budget is met (rings alone are sparser than the real model).
+    groups = [backbone] + nren_members
+    attempts = 0
+    while graph.number_of_edges() < n_links_target and attempts < 50 * n_links_target:
+        attempts += 1
+        members = rng.choice(groups)
+        if len(members) < 4:
+            continue
+        src, dst = rng.sample(members, 2)
+        if not graph.has_edge(src, dst):
+            graph.add_edge(src, dst)
+
+    return normalise(graph)
+
+
+def _connect_ring(graph: nx.Graph, members: list[str]) -> None:
+    if len(members) == 2:
+        graph.add_edge(members[0], members[1])
+        return
+    if len(members) < 2:
+        return
+    for left, right in zip(members, members[1:] + members[:1]):
+        graph.add_edge(left, right)
+
+
+# ---------------------------------------------------------------------------
+# Bad-Gadget oscillation instance (§7.2)
+# ---------------------------------------------------------------------------
+
+BAD_GADGET_PREFIX = "203.0.113.0/24"
+
+
+def bad_gadget_topology() -> nx.Graph:
+    """The iBGP route-reflection / IGP-metric oscillation gadget (§7.2).
+
+    AS 100 contains three route reflectors rr1..rr3 (full-mesh iBGP
+    peers) each with one client c1..c3 in its own cluster.  An external
+    AS 666 router ``origin`` originates one prefix to every client over
+    eBGP with identical attributes, so the only differentiating
+    decision step left is the IGP metric to the exit.
+
+    The physical topology is the complete bipartite graph between
+    reflectors and clients, with OSPF costs arranged circularly::
+
+        cost(rr_i, c_i)   = 10       (own client)
+        cost(rr_i, c_i+1) = 5        (next cluster's client: preferred)
+        cost(rr_i, c_i+2) = 15       (previous cluster's client)
+
+    With the IGP-metric tie-break active (IOS, JunOS, C-BGP) the
+    reflectors chase each other's exits and never converge; with it
+    inactive (Quagga's default) the router-id tie-break yields a stable
+    assignment.  See ``repro.emulation.bgp_engine`` for the decision
+    process and EXPERIMENTS.md E6 for the measured outcome.
+    """
+    graph = nx.Graph()
+    reflectors = ["rr1", "rr2", "rr3"]
+    clients = ["c1", "c2", "c3"]
+    for index, name in enumerate(reflectors):
+        _router(graph, name, asn=100, rr=True, rr_cluster="cluster%d" % (index + 1))
+    for index, name in enumerate(clients):
+        _router(
+            graph,
+            name,
+            asn=100,
+            rr_cluster="cluster%d" % (index + 1),
+            bgp_next_hop_self=True,
+        )
+    _router(graph, "origin", asn=666, prefixes=[BAD_GADGET_PREFIX])
+
+    costs = {0: 10, 1: 5, 2: 15}
+    for rr_index in range(3):
+        for offset, cost in costs.items():
+            client = clients[(rr_index + offset) % 3]
+            graph.add_edge(reflectors[rr_index], client, ospf_cost=cost)
+    for client in clients:
+        graph.add_edge(client, "origin")
+    return normalise(graph)
+
+
+# ---------------------------------------------------------------------------
+# RPKI service graph (§3.3)
+# ---------------------------------------------------------------------------
+
+def rpki_topology(
+    n_child_cas: int = 4,
+    n_publication_points: int = 2,
+    n_caches: int = 6,
+    n_routers: int = 6,
+    asn: int = 1,
+) -> nx.Graph:
+    """A labelled RPKI service graph (§3.3).
+
+    The graph holds the CA servers and uses labelled edges to express
+    the relationships between them: a root CA with ``n_child_cas``
+    children (edge type ``ca_parent``), publication points the CAs
+    publish to (``publishes_to``), relying-party caches that fetch from
+    the publication points (``fetches_from``), and routers that take
+    validated data from a cache over RTR (``rtr_feed``).
+
+    All servers share one AS; the deployment experiment (E7) scales
+    ``n_caches``/``n_routers`` into the hundreds.
+    """
+    graph = nx.Graph()
+    graph.add_node("ca_root", asn=asn, device_type="server", service="rpki_ca", ca_root=True)
+    child_cas = []
+    for index in range(1, n_child_cas + 1):
+        name = "ca%d" % index
+        graph.add_node(name, asn=asn, device_type="server", service="rpki_ca", ca_root=False)
+        graph.add_edge(name, "ca_root", type="ca_parent", tail=name, head="ca_root")
+        child_cas.append(name)
+
+    publication_points = []
+    for index in range(1, n_publication_points + 1):
+        name = "pub%d" % index
+        graph.add_node(name, asn=asn, device_type="server", service="rpki_publication")
+        publication_points.append(name)
+    for index, ca_name in enumerate(["ca_root"] + child_cas):
+        target = publication_points[index % len(publication_points)]
+        graph.add_edge(ca_name, target, type="publishes_to", tail=ca_name, head=target)
+
+    caches = []
+    for index in range(1, n_caches + 1):
+        name = "cache%d" % index
+        graph.add_node(name, asn=asn, device_type="server", service="rpki_cache")
+        target = publication_points[index % len(publication_points)]
+        graph.add_edge(name, target, type="fetches_from", tail=name, head=target)
+        caches.append(name)
+
+    for index in range(1, n_routers + 1):
+        name = "rtr%d" % index
+        graph.add_node(name, asn=asn, device_type="router")
+        cache = caches[index % len(caches)]
+        graph.add_edge(name, cache, type="rtr_feed", tail=name, head=cache)
+
+    # Physical connectivity: a star around the root's publication point
+    # so the service graph is also a deployable layer-2 topology.
+    hub = "pub1"
+    for node_id in list(graph.nodes):
+        if node_id != hub and not graph.has_edge(node_id, hub):
+            graph.add_edge(node_id, hub, type="physical")
+    return normalise(graph)
+
+
+# ---------------------------------------------------------------------------
+# Parametric generators for tests and benchmarks
+# ---------------------------------------------------------------------------
+
+def multi_as_topology(
+    n_ases: int = 3,
+    routers_per_as: int = 4,
+    chord_fraction: float = 0.25,
+    seed: int = 1,
+) -> nx.Graph:
+    """A random (but seeded) multi-AS topology.
+
+    Each AS is a ring of ``routers_per_as`` routers plus
+    ``chord_fraction * routers_per_as`` random chords; the ASes are
+    connected in a ring of single eBGP links plus one random shortcut
+    for every four ASes.
+    """
+    rng = random.Random(seed)
+    graph = nx.Graph()
+    groups = []
+    for as_index in range(1, n_ases + 1):
+        members = [
+            _router(graph, "as%dr%d" % (as_index, rtr), asn=as_index)
+            for rtr in range(1, routers_per_as + 1)
+        ]
+        _connect_ring(graph, members)
+        n_chords = int(chord_fraction * routers_per_as)
+        for _ in range(n_chords):
+            if len(members) < 4:
+                break
+            src, dst = rng.sample(members, 2)
+            if not graph.has_edge(src, dst):
+                graph.add_edge(src, dst)
+        groups.append(members)
+
+    for left, right in zip(groups, groups[1:] + groups[:1]):
+        if left is right:
+            continue
+        graph.add_edge(rng.choice(left), rng.choice(right))
+    for _ in range(n_ases // 4):
+        left, right = rng.sample(groups, 2)
+        src, dst = rng.choice(left), rng.choice(right)
+        if not graph.has_edge(src, dst):
+            graph.add_edge(src, dst)
+    return normalise(graph)
+
+
+def line_topology(n: int, asn: int = 1) -> nx.Graph:
+    """n routers in a line — the simplest OSPF test case."""
+    graph = nx.Graph()
+    members = [_router(graph, "r%d" % index, asn=asn) for index in range(1, n + 1)]
+    for left, right in zip(members, members[1:]):
+        graph.add_edge(left, right)
+    return normalise(graph)
+
+
+def ring_topology(n: int, asn: int = 1) -> nx.Graph:
+    graph = nx.Graph()
+    members = [_router(graph, "r%d" % index, asn=asn) for index in range(1, n + 1)]
+    _connect_ring(graph, members)
+    return normalise(graph)
+
+
+def full_mesh_topology(n: int, asn: int = 1) -> nx.Graph:
+    graph = nx.Graph()
+    members = [_router(graph, "r%d" % index, asn=asn) for index in range(1, n + 1)]
+    for left, right in itertools.combinations(members, 2):
+        graph.add_edge(left, right)
+    return normalise(graph)
+
+
+def star_with_switch(n_leaves: int, asn: int = 1) -> nx.Graph:
+    """n routers hanging off one switch — a broadcast collision domain."""
+    graph = nx.Graph()
+    graph.add_node("sw1", device_type="switch", asn=asn)
+    for index in range(1, n_leaves + 1):
+        _router(graph, "r%d" % index, asn=asn)
+        graph.add_edge("r%d" % index, "sw1")
+    return normalise(graph, require_asn=False)
+
+
+def attach_servers(graph: nx.Graph, per_router: int = 1, prefix: str = "srv") -> nx.Graph:
+    """Attach ``per_router`` servers to every router, in place.
+
+    Used by the scale experiments that combine >1000 routers with 800+
+    servers (§1, §3.3).
+    """
+    routers = [n for n, d in graph.nodes(data=True) if d.get("device_type") == "router"]
+    for router in routers:
+        asn = graph.nodes[router].get("asn")
+        for index in range(1, per_router + 1):
+            server = "%s_%s_%d" % (prefix, router, index)
+            graph.add_node(server, device_type="server", asn=asn)
+            graph.add_edge(server, router, type="physical")
+    return normalise(graph)

@@ -1,0 +1,121 @@
+"""Input topology validation and defaults (§5.1, §6.1).
+
+The loader "checks the topology for validity and applies defaults
+including setting the nodes device_type attribute to router, platform
+to netkit, and syntax to quagga" (§6.1).  Custom pre-processing lives
+here because configurations are derived from heterogeneous sources and
+most of them are incomplete.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import networkx as nx
+
+from repro.exceptions import TopologyValidationError
+
+#: Defaults applied to any node that does not specify the attribute.
+NODE_DEFAULTS = {
+    "device_type": "router",
+    "platform": "netkit",
+    "syntax": "quagga",
+    "host": "localhost",
+}
+
+#: Default edge type when unspecified: a physical link.
+EDGE_DEFAULTS = {"type": "physical"}
+
+#: Device types with built-in semantics.  Other values are allowed (the
+#: system supports user-definable device types) but are never selected
+#: by the routing design rules.
+KNOWN_DEVICE_TYPES = frozenset({"router", "switch", "server", "external"})
+
+#: Device syntaxes with a bundled compiler + template set.
+KNOWN_SYNTAXES = frozenset({"quagga", "ios", "junos", "cbgp"})
+
+#: Emulation platforms with a bundled platform compiler.
+KNOWN_PLATFORMS = frozenset({"netkit", "dynagen", "junosphere", "cbgp"})
+
+
+def apply_defaults(graph: nx.Graph) -> nx.Graph:
+    """Fill in missing node and edge attributes in place, and return it."""
+    for _, data in graph.nodes(data=True):
+        for name, value in NODE_DEFAULTS.items():
+            data.setdefault(name, value)
+    for edge in graph.edges(data=True):
+        data = edge[-1]
+        for name, value in EDGE_DEFAULTS.items():
+            data.setdefault(name, value)
+    return graph
+
+
+def validate(graph: nx.Graph, require_asn: bool = True) -> None:
+    """Raise :class:`TopologyValidationError` on structural problems.
+
+    Checks: non-empty, no self loops, ASN values are positive integers
+    on routing devices (when ``require_asn``), and hostately unique node
+    ids (guaranteed by the graph structure but re-checked after string
+    coercion, since two ids may collide once coerced).
+    """
+    if graph.number_of_nodes() == 0:
+        raise TopologyValidationError("input topology has no nodes")
+
+    loops = list(nx.selfloop_edges(graph))
+    if loops:
+        raise TopologyValidationError("self-loop edges are not allowed: %r" % (loops[:5],))
+
+    coerced = {}
+    for node_id in graph.nodes:
+        as_str = str(node_id)
+        if as_str in coerced and coerced[as_str] != node_id:
+            raise TopologyValidationError(
+                "node ids %r and %r collide when coerced to strings"
+                % (coerced[as_str], node_id)
+            )
+        coerced[as_str] = node_id
+
+    if require_asn:
+        for node_id, data in graph.nodes(data=True):
+            if data.get("device_type") not in ("router", "server"):
+                continue
+            asn = data.get("asn")
+            if asn is None:
+                raise TopologyValidationError(
+                    "node %r has no asn attribute; routing design rules need one" % (node_id,)
+                )
+            if not isinstance(asn, int) or isinstance(asn, bool) or asn <= 0:
+                raise TopologyValidationError(
+                    "node %r has invalid asn %r (need a positive integer)" % (node_id, asn)
+                )
+
+
+def coerce_asn(graph: nx.Graph) -> nx.Graph:
+    """Convert string ASN annotations (common in GraphML) to ints, in place."""
+    for node_id, data in graph.nodes(data=True):
+        asn = data.get("asn")
+        if isinstance(asn, str):
+            try:
+                data["asn"] = int(asn)
+            except ValueError:
+                raise TopologyValidationError(
+                    "node %r has non-numeric asn %r" % (node_id, asn)
+                ) from None
+    return graph
+
+
+def normalise(graph: nx.Graph, require_asn: bool = True) -> nx.Graph:
+    """Full loader pipeline: coerce types, apply defaults, validate."""
+    coerce_asn(graph)
+    apply_defaults(graph)
+    validate(graph, require_asn=require_asn)
+    return graph
+
+
+def physical_edges(graph: nx.Graph) -> Iterable[tuple]:
+    """The (u, v, data) edges of type ``physical``."""
+    return (
+        (src, dst, data)
+        for src, dst, data in graph.edges(data=True)
+        if data.get("type") == "physical"
+    )

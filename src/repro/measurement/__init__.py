@@ -1,0 +1,47 @@
+"""Automated measurement: command fan-out, text parsing, validation (§5.7)."""
+
+from repro.measurement.client import (
+    MeasurementClient,
+    MeasurementResult,
+    MeasurementRun,
+    send,
+)
+from repro.measurement.mapping import IpMapper, map_traceroute
+from repro.measurement.parsers import (
+    TEMPLATES,
+    parse_bgp_summary,
+    parse_ospf_neighbors,
+    parse_ping,
+    parse_traceroute,
+    template_for,
+    template_for_command,
+)
+from repro.measurement.textfsm_lite import TextFsm, parse
+from repro.measurement.validation import (
+    ValidationReport,
+    measured_ospf_graph,
+    validate_bgp_sessions,
+    validate_ospf,
+)
+
+__all__ = [
+    "IpMapper",
+    "MeasurementClient",
+    "MeasurementResult",
+    "MeasurementRun",
+    "TEMPLATES",
+    "TextFsm",
+    "ValidationReport",
+    "map_traceroute",
+    "measured_ospf_graph",
+    "parse",
+    "parse_bgp_summary",
+    "parse_ospf_neighbors",
+    "parse_ping",
+    "parse_traceroute",
+    "send",
+    "template_for",
+    "template_for_command",
+    "validate_bgp_sessions",
+    "validate_ospf",
+]

@@ -1,0 +1,104 @@
+"""The measurement client (§5.7, §6.1).
+
+"The measurement system consists of a small client that sits on the
+emulation hosts.  A remote measurement client simplifies the parallel
+collection of data: a single measurement client on the emulation server
+can connect to multiple virtual machines on the same physical host."
+
+:class:`MeasurementClient` plays that role against the emulated lab:
+it fans a command out to a set of VMs (addressed by management/TAP IP,
+as in the paper's walkthrough, or by name), captures the text output,
+parses it with the bundled textfsm-lite templates, and maps addresses
+back to device names via the NIDB allocations.
+
+The module-level :func:`send` mirrors the paper's API::
+
+    results = measurement.send(nidb, cmd, hosts, lab=lab)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.emulation import EmulatedLab
+from repro.exceptions import MeasurementError
+from repro.measurement.mapping import IpMapper
+from repro.measurement.parsers import template_for_command
+from repro.nidb import Nidb
+
+
+@dataclass
+class MeasurementResult:
+    """One VM's response to one command."""
+
+    host: str  # as addressed (tap IP or name)
+    machine: str  # resolved machine name
+    command: str
+    output: str
+    parsed: list[dict] = field(default_factory=list)
+    mapped_path: list[str] = field(default_factory=list)
+    as_path: list[int] = field(default_factory=list)
+
+
+@dataclass
+class MeasurementRun:
+    """All results of one fan-out."""
+
+    command: str
+    results: list[MeasurementResult] = field(default_factory=list)
+
+    def by_machine(self) -> dict[str, MeasurementResult]:
+        return {result.machine: result for result in self.results}
+
+    def paths(self) -> list[list[str]]:
+        return [result.mapped_path for result in self.results if result.mapped_path]
+
+
+class MeasurementClient:
+    """Fans commands out to lab VMs and structures the responses."""
+
+    def __init__(self, lab: EmulatedLab, nidb: Optional[Nidb] = None):
+        self.lab = lab
+        self.nidb = nidb
+        self._mapper = IpMapper(nidb) if nidb is not None else None
+
+    def send(self, command: str, hosts) -> MeasurementRun:
+        """Run ``command`` on each host (name or management address)."""
+        run = MeasurementRun(command=command)
+        template = template_for_command(command)
+        for host in hosts:
+            vm = self._resolve(host)
+            output = vm.run(command)
+            result = MeasurementResult(
+                host=str(host),
+                machine=vm.name,
+                command=command,
+                output=output,
+            )
+            if template is not None:
+                result.parsed = template.parse_text_to_dicts(output)
+            if self._mapper is not None and command.startswith("traceroute"):
+                addresses = [
+                    row["ADDRESS"] for row in result.parsed if row.get("ADDRESS")
+                ]
+                result.mapped_path = self._mapper.map_path(addresses)
+                result.as_path = self._mapper.as_path(addresses)
+            run.results.append(result)
+        return run
+
+    def _resolve(self, host):
+        host = str(host)
+        if host in self.lab.network.machines:
+            return self.lab.vm(host)
+        try:
+            return self.lab.vm_by_tap(host)
+        except Exception:
+            raise MeasurementError(
+                "host %r is neither a machine name nor a management address" % host
+            ) from None
+
+
+def send(nidb: Nidb, command: str, hosts, lab: EmulatedLab) -> MeasurementRun:
+    """The paper's ``measure.send(nidb, cmd, hosts)`` entry point."""
+    return MeasurementClient(lab, nidb).send(command, hosts)

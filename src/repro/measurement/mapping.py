@@ -1,0 +1,84 @@
+"""IP-to-device mapping (§5.7, §6.1).
+
+"As we know the IP allocations, we map the IP addresses back into the
+hosts they represent."  The mapper indexes every interface address in
+the NIDB so traceroute hops translate into device names and AS paths.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.nidb import Nidb
+
+
+class IpMapper:
+    """Index of every allocated address back to its device."""
+
+    def __init__(self, nidb: Nidb):
+        self._by_address: dict[str, tuple[str, Optional[int], str]] = {}
+        for device in nidb:
+            for interface in device.interfaces:
+                if interface.ip_address is None:
+                    continue
+                self._by_address[str(interface.ip_address)] = (
+                    str(device.node_id),
+                    device.asn,
+                    str(interface.id),
+                )
+            if device.tap and device.tap.ip:
+                self._by_address.setdefault(
+                    str(device.tap.ip), (str(device.node_id), device.asn, "tap")
+                )
+
+    def device_for(self, address) -> Optional[str]:
+        entry = self._by_address.get(str(address))
+        return entry[0] if entry else None
+
+    def asn_for(self, address) -> Optional[int]:
+        entry = self._by_address.get(str(address))
+        return entry[1] if entry else None
+
+    def interface_for(self, address) -> Optional[str]:
+        entry = self._by_address.get(str(address))
+        return entry[2] if entry else None
+
+    def map_path(self, addresses) -> list[str]:
+        """Translate traceroute hop addresses into device names.
+
+        Unknown addresses are kept verbatim (they may be external); the
+        result is the "list of overlay nodes suitable for processing"
+        of §5.7.
+        """
+        path = []
+        for address in addresses:
+            if address in ("*", None):
+                path.append("*")
+                continue
+            path.append(self.device_for(address) or str(address))
+        return path
+
+    def as_path(self, addresses) -> list[int]:
+        """The AS-level path of a traceroute: consecutive duplicates removed."""
+        as_path: list[int] = []
+        for address in addresses:
+            asn = self.asn_for(address)
+            if asn is None:
+                continue
+            if not as_path or as_path[-1] != asn:
+                as_path.append(asn)
+        return as_path
+
+    def __len__(self) -> int:
+        return len(self._by_address)
+
+
+def map_traceroute(nidb: Nidb, parsed_rows: list[dict]) -> dict:
+    """Turn parsed traceroute rows into device and AS paths."""
+    mapper = IpMapper(nidb)
+    addresses = [row["ADDRESS"] for row in parsed_rows if row.get("ADDRESS")]
+    return {
+        "addresses": addresses,
+        "devices": mapper.map_path(addresses),
+        "as_path": mapper.as_path(addresses),
+    }

@@ -1,0 +1,128 @@
+"""Reference textfsm-lite templates for measurement output (§5.7).
+
+The paper ships "a reference template for Linux traceroute" and lets
+users extend the set; these are the bundled equivalents for every
+command the virtual machines support.
+"""
+
+from __future__ import annotations
+
+from repro.measurement.textfsm_lite import TextFsm
+
+#: Linux traceroute, numeric mode (the paper's reference template).
+TRACEROUTE_TEMPLATE = """\
+Value Filldown DESTINATION (\\d+\\.\\d+\\.\\d+\\.\\d+)
+Value HOP (\\d+)
+Value ADDRESS (\\d+\\.\\d+\\.\\d+\\.\\d+|\\*)
+Value RTT ([\\d.]+)
+
+Start
+  ^traceroute to \\S+ \\(${DESTINATION}\\)
+  ^\\s*${HOP}\\s+${ADDRESS}\\s+${RTT} ms -> Record
+  ^\\s*${HOP}\\s+\\* \\* \\* -> Record
+"""
+
+OSPF_NEIGHBOR_TEMPLATE = """\
+Value NEIGHBOR_ID (\\d+\\.\\d+\\.\\d+\\.\\d+)
+Value PRIORITY (\\d+)
+Value STATE (\\S+)
+Value ADDRESS (\\d+\\.\\d+\\.\\d+\\.\\d+)
+Value INTERFACE (\\S+)
+
+Start
+  ^${NEIGHBOR_ID}\\s+${PRIORITY}\\s+${STATE}\\s+\\S+\\s+${ADDRESS}\\s+${INTERFACE} -> Record
+"""
+
+BGP_SUMMARY_TEMPLATE = """\
+Value Filldown ROUTER_ID (\\d+\\.\\d+\\.\\d+\\.\\d+)
+Value Filldown LOCAL_AS (\\d+)
+Value NEIGHBOR (\\d+\\.\\d+\\.\\d+\\.\\d+)
+Value REMOTE_AS (\\d+)
+Value PFX_RCD (\\d+)
+
+Start
+  ^BGP router identifier ${ROUTER_ID}, local AS number ${LOCAL_AS}
+  ^${NEIGHBOR}\\s+4\\s+${REMOTE_AS}\\s+\\d+\\s+\\d+\\s+\\d+\\s+\\d+\\s+\\d+\\s+\\S+\\s+${PFX_RCD} -> Record
+"""
+
+BGP_TABLE_TEMPLATE = """\
+Value NETWORK (\\d+\\.\\d+\\.\\d+\\.\\d+/\\d+)
+Value NEXT_HOP (\\d+\\.\\d+\\.\\d+\\.\\d+|0\\.0\\.0\\.0)
+Value LOCAL_PREF (\\d+)
+Value AS_PATH ([\\d ]*)
+
+Start
+  ^\\*> ${NETWORK}\\s+${NEXT_HOP}\\s+\\d+\\s+${LOCAL_PREF}\\s+\\d+\\s*${AS_PATH} i -> Record
+"""
+
+PING_TEMPLATE = """\
+Value Filldown DESTINATION (\\d+\\.\\d+\\.\\d+\\.\\d+)
+Value TRANSMITTED (\\d+)
+Value RECEIVED (\\d+)
+Value LOSS (\\d+)
+
+Start
+  ^PING \\S+ \\(${DESTINATION}\\)
+  ^${TRANSMITTED} packets transmitted, ${RECEIVED} received, ${LOSS}% packet loss -> Record
+"""
+
+ROUTE_TABLE_TEMPLATE = """\
+Value PROTO ([COB])
+Value NETWORK (\\d+\\.\\d+\\.\\d+\\.\\d+/\\d+)
+Value VIA (\\d+\\.\\d+\\.\\d+\\.\\d+)
+
+Start
+  ^${PROTO}>\\* ${NETWORK} \\[\\d+/\\d+\\] via ${VIA} -> Record
+  ^${PROTO}>\\* ${NETWORK} is directly connected -> Record
+"""
+
+_COMPILED: dict[str, TextFsm] = {}
+
+TEMPLATES = {
+    "traceroute": TRACEROUTE_TEMPLATE,
+    "ospf_neighbor": OSPF_NEIGHBOR_TEMPLATE,
+    "bgp_summary": BGP_SUMMARY_TEMPLATE,
+    "bgp_table": BGP_TABLE_TEMPLATE,
+    "ping": PING_TEMPLATE,
+    "route_table": ROUTE_TABLE_TEMPLATE,
+}
+
+
+def template_for(kind: str) -> TextFsm:
+    """A compiled bundled template (cached)."""
+    if kind not in _COMPILED:
+        _COMPILED[kind] = TextFsm(TEMPLATES[kind])
+    return _COMPILED[kind]
+
+
+def template_for_command(command: str) -> TextFsm | None:
+    """Pick the right bundled template for a command string."""
+    if command.startswith("traceroute"):
+        return template_for("traceroute")
+    if command.startswith("ping"):
+        return template_for("ping")
+    if command.startswith("show ip ospf neighbor"):
+        return template_for("ospf_neighbor")
+    if command.startswith("show ip bgp summary"):
+        return template_for("bgp_summary")
+    if command.startswith("show ip bgp"):
+        return template_for("bgp_table")
+    if command.startswith("show ip route"):
+        return template_for("route_table")
+    return None
+
+
+def parse_traceroute(text: str) -> list[dict]:
+    return template_for("traceroute").parse_text_to_dicts(text)
+
+
+def parse_ospf_neighbors(text: str) -> list[dict]:
+    return template_for("ospf_neighbor").parse_text_to_dicts(text)
+
+
+def parse_bgp_summary(text: str) -> list[dict]:
+    return template_for("bgp_summary").parse_text_to_dicts(text)
+
+
+def parse_ping(text: str) -> list[dict]:
+    return template_for("ping").parse_text_to_dicts(text)

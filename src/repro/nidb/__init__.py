@@ -1,0 +1,14 @@
+"""The Resource Database (NIDB): compiled device-level state (§5.4)."""
+
+from repro.nidb.database import ConfigStanza, DeviceModel, Nidb, subnet_items
+from repro.nidb.diff import AttributeChange, NidbDiff, diff_nidbs
+
+__all__ = [
+    "AttributeChange",
+    "ConfigStanza",
+    "DeviceModel",
+    "Nidb",
+    "NidbDiff",
+    "diff_nidbs",
+    "subnet_items",
+]

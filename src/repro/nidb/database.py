@@ -1,0 +1,230 @@
+"""The Network Information / Resource Database (NIDB) (§5.4, §5.5).
+
+The compiler condenses the overlay graphs into a single device-level
+graph whose nodes carry everything the templates need: nested,
+vendor-independent attribute stanzas such as ``node.zebra.hostname``
+and ``node.ospf.ospf_links`` (see the ``as100r1`` dump in §5.4), plus a
+``render`` stanza naming the template and output folder for the device
+(§5.5).
+
+:class:`ConfigStanza` is the nested attribute namespace; missing
+attributes read as ``None`` (matching the accessor convention), so
+templates can probe for optional features with plain truth tests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Iterator
+
+import networkx as nx
+
+from repro.exceptions import CompilerError, NodeNotFoundError
+
+
+class ConfigStanza:
+    """A nested attribute namespace backed by a plain dict."""
+
+    def __init__(self, **attrs: Any):
+        object.__setattr__(self, "_data", {})
+        for name, value in attrs.items():
+            setattr(self, name, value)
+
+    def __getattr__(self, name: str) -> Any:
+        if name.startswith("__"):
+            raise AttributeError(name)
+        return self._data.get(name)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        self._data[name] = _stanzify(value)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._data
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, ConfigStanza):
+            return self.to_dict() == other.to_dict()
+        return NotImplemented
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self._data.get(name, default)
+
+    def require(self, name: str) -> Any:
+        """Like ``get`` but raises when the compiler forgot to set it."""
+        if name not in self._data:
+            raise CompilerError("required attribute %r was never compiled" % name)
+        return self._data[name]
+
+    def setdefault(self, name: str, value: Any) -> Any:
+        return self._data.setdefault(name, _stanzify(value))
+
+    def to_dict(self) -> dict:
+        """Recursively convert to plain dicts/lists (the §5.4 dump)."""
+        return _plain(self._data)
+
+    def to_json(self, **kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), default=str, **kwargs)
+
+    def __repr__(self) -> str:
+        return "ConfigStanza(%s)" % ", ".join(sorted(self._data))
+
+
+def _stanzify(value: Any) -> Any:
+    if isinstance(value, dict):
+        stanza = ConfigStanza()
+        for name, inner in value.items():
+            setattr(stanza, name, inner)
+        return stanza
+    if isinstance(value, (list, tuple)):
+        return [_stanzify(item) for item in value]
+    return value
+
+
+def _plain(value: Any) -> Any:
+    if isinstance(value, ConfigStanza):
+        return _plain(value._data)
+    if isinstance(value, dict):
+        return {name: _plain(inner) for name, inner in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(item) for item in value]
+    return value
+
+
+class DeviceModel(ConfigStanza):
+    """One device's compiled state: a stanza with an id and interfaces."""
+
+    def __init__(self, node_id, **attrs: Any):
+        super().__init__(**attrs)
+        object.__setattr__(self, "node_id", node_id)
+        self.setdefault("interfaces", [])
+
+    def add_interface(self, **attrs: Any) -> ConfigStanza:
+        interface = ConfigStanza(**attrs)
+        self.interfaces.append(interface)
+        return interface
+
+    def interface(self, interface_id: str) -> ConfigStanza:
+        for interface in self.interfaces:
+            if interface.id == interface_id:
+                return interface
+        raise CompilerError(
+            "device %s has no interface %r" % (self.node_id, interface_id)
+        )
+
+    def physical_interfaces(self) -> list[ConfigStanza]:
+        return [i for i in self.interfaces if i.category != "loopback"]
+
+    def loopback_interface(self) -> ConfigStanza | None:
+        for interface in self.interfaces:
+            if interface.category == "loopback":
+                return interface
+        return None
+
+    def is_router(self) -> bool:
+        return self.device_type == "router"
+
+    def is_server(self) -> bool:
+        return self.device_type == "server"
+
+    def __repr__(self) -> str:
+        return "DeviceModel(%s)" % (self.node_id,)
+
+
+class Nidb:
+    """Device-level graph: compiled devices plus their links."""
+
+    def __init__(self):
+        self._graph = nx.Graph()
+        #: Topology-level compiled state: platform, emulation host,
+        #: platform-wide render entries (lab.conf and friends).
+        self.topology = ConfigStanza()
+
+    # -- devices ------------------------------------------------------------
+    def add_device(self, node_id, **attrs: Any) -> DeviceModel:
+        device = DeviceModel(node_id, **attrs)
+        self._graph.add_node(node_id, device=device)
+        return device
+
+    def node(self, node) -> DeviceModel:
+        node_id = getattr(node, "node_id", node)
+        try:
+            return self._graph.nodes[node_id]["device"]
+        except KeyError:
+            raise NodeNotFoundError(node_id, "nidb") from None
+
+    def has_node(self, node) -> bool:
+        return self._graph.has_node(getattr(node, "node_id", node))
+
+    def nodes(self, **filters: Any) -> list[DeviceModel]:
+        found = []
+        for _, data in self._graph.nodes(data=True):
+            device = data["device"]
+            if all(device.get(name) == value for name, value in filters.items()):
+                found.append(device)
+        return found
+
+    def routers(self, **filters: Any) -> list[DeviceModel]:
+        return self.nodes(device_type="router", **filters)
+
+    def servers(self, **filters: Any) -> list[DeviceModel]:
+        return self.nodes(device_type="server", **filters)
+
+    def __iter__(self) -> Iterator[DeviceModel]:
+        return iter(self.nodes())
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    # -- links --------------------------------------------------------------
+    def add_link(self, src, dst, **attrs: Any) -> None:
+        src_id = getattr(src, "node_id", src)
+        dst_id = getattr(dst, "node_id", dst)
+        self._graph.add_edge(src_id, dst_id, **attrs)
+
+    def links(self) -> list[tuple]:
+        """(src_device, dst_device, data) triples for all links."""
+        return [
+            (self.node(src), self.node(dst), data)
+            for src, dst, data in self._graph.edges(data=True)
+        ]
+
+    def neighbors(self, node) -> list[DeviceModel]:
+        node_id = getattr(node, "node_id", node)
+        return [self.node(n) for n in self._graph.neighbors(node_id)]
+
+    # -- export ---------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "devices": {
+                str(device.node_id): device.to_dict() for device in self.nodes()
+            },
+            "links": [
+                {
+                    "src": str(src),
+                    "dst": str(dst),
+                    **{k: str(v) for k, v in data.items()},
+                }
+                for src, dst, data in self._graph.edges(data=True)
+            ],
+        }
+
+    def to_json(self, **kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), default=str, **kwargs)
+
+    def __repr__(self) -> str:
+        return "Nidb(%d devices, %d links)" % (
+            self._graph.number_of_nodes(),
+            self._graph.number_of_edges(),
+        )
+
+
+def subnet_items(nidb: Nidb) -> Iterable[tuple]:
+    """(subnet, device, interface) triples across the whole NIDB.
+
+    The measurement system uses this to map observed IP addresses back
+    to the devices they belong to (§5.7).
+    """
+    for device in nidb:
+        for interface in device.interfaces:
+            if interface.ip_address is not None:
+                yield (interface.ip_address, interface.prefixlen, device, interface)

@@ -1,0 +1,17 @@
+"""Template rendering of the resource database (§4.1, §5.5)."""
+
+from repro.render.renderer import (
+    RenderResult,
+    add_template_directory,
+    environment,
+    render_nidb,
+    render_template,
+)
+
+__all__ = [
+    "RenderResult",
+    "add_template_directory",
+    "environment",
+    "render_nidb",
+    "render_template",
+]

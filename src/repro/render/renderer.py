@@ -1,0 +1,211 @@
+"""Configuration rendering: NIDB + templates -> config files (§4.1, §5.5).
+
+Templates are deliberately limited to "simple logic, such as for loops,
+conditionals and variable substitution, or basic formatting, such as IP
+addresses" — complicated transformations belong in the compiler.  The
+renderer therefore provides only substitution plus a handful of
+address-formatting filters (netmask/wildcard conversion, the
+"device-specific operations, such as subnet formatting" of §4).
+
+Every device's ``render.files`` entries (template name, output path)
+are rendered with the device as ``node``; topology-level entries
+(lab.conf, network.cli, ...) get the whole device list.  Output paths
+are laid out ``<output_dir>/<host>/<platform>/<path>``, matching the
+paper's ``localhost/netkit/as100r1`` example.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import os
+import shutil
+import time
+from dataclasses import dataclass, field
+
+import jinja2
+
+from repro.exceptions import RenderError
+from repro.nidb import Nidb
+
+_ENVIRONMENT: jinja2.Environment | None = None
+_EXTRA_TEMPLATE_DIRS: list[str] = []
+
+
+def add_template_directory(path: str | os.PathLike) -> None:
+    """Register a user template directory (searched before the bundled set).
+
+    This is the §4.1 extension point: supporting a new vendor, OS
+    version, or service "can be added simply through addition of a new
+    template" — drop the template file in a directory and register it.
+    """
+    global _ENVIRONMENT
+    path = str(path)
+    if path not in _EXTRA_TEMPLATE_DIRS:
+        _EXTRA_TEMPLATE_DIRS.append(path)
+    _ENVIRONMENT = None  # rebuild with the new search path
+
+
+def _netmask(prefixlen) -> str:
+    return str(ipaddress.ip_network("0.0.0.0/%d" % int(prefixlen)).netmask)
+
+
+def _netmask_of(cidr) -> str:
+    return str(ipaddress.ip_network(str(cidr), strict=False).netmask)
+
+
+def _wildcard(cidr) -> str:
+    return str(ipaddress.ip_network(str(cidr), strict=False).hostmask)
+
+
+def _network_address(cidr) -> str:
+    return str(ipaddress.ip_network(str(cidr), strict=False).network_address)
+
+
+def environment() -> jinja2.Environment:
+    """The shared Jinja2 environment with the address filters loaded."""
+    global _ENVIRONMENT
+    if _ENVIRONMENT is None:
+        loaders: list[jinja2.BaseLoader] = [
+            jinja2.FileSystemLoader(path) for path in _EXTRA_TEMPLATE_DIRS
+        ]
+        loaders.append(jinja2.PackageLoader("repro", "templates"))
+        _ENVIRONMENT = jinja2.Environment(
+            loader=jinja2.ChoiceLoader(loaders),
+            trim_blocks=True,
+            lstrip_blocks=True,
+            keep_trailing_newline=True,
+            undefined=jinja2.StrictUndefined,
+        )
+        _ENVIRONMENT.filters["netmask"] = _netmask
+        _ENVIRONMENT.filters["netmask_of"] = _netmask_of
+        _ENVIRONMENT.filters["wildcard"] = _wildcard
+        _ENVIRONMENT.filters["network_address"] = _network_address
+    return _ENVIRONMENT
+
+
+@dataclass
+class RenderResult:
+    """Summary of one render run: where the lab landed and how big it is."""
+
+    output_dir: str
+    lab_dir: str
+    files: list[str] = field(default_factory=list)
+    total_bytes: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def n_files(self) -> int:
+        return len(self.files)
+
+    def __repr__(self) -> str:
+        return "RenderResult(%d files, %d bytes, %s)" % (
+            self.n_files,
+            self.total_bytes,
+            self.lab_dir,
+        )
+
+
+def render_template(template_name: str, **context) -> str:
+    """Render one template by name with the given context."""
+    env = environment()
+    try:
+        template = env.get_template(template_name)
+    except jinja2.TemplateNotFound as exc:
+        raise RenderError("template %r not found" % template_name) from exc
+    try:
+        return template.render(**context)
+    except jinja2.TemplateError as exc:
+        raise RenderError("rendering %r failed: %s" % (template_name, exc)) from exc
+
+
+def render_nidb(nidb: Nidb, output_dir: str | os.PathLike) -> RenderResult:
+    """Render every device and topology file of a compiled NIDB.
+
+    Returns a :class:`RenderResult` recording the lab directory (the
+    deployable unit), the file list, and timing — the quantities the
+    §3.2 scale experiment reports.
+    """
+    started = time.perf_counter()
+    output_dir = str(output_dir)
+    platform = nidb.topology.platform or "unknown"
+    host = nidb.topology.host or "localhost"
+    lab_dir = os.path.join(output_dir, host, platform)
+    devices = sorted(nidb.nodes(), key=lambda device: str(device.node_id))
+    result = RenderResult(output_dir=output_dir, lab_dir=lab_dir)
+
+    for device in devices:
+        if not device.render:
+            continue
+        for folder in device.render.folders or []:
+            _render_folder(result, folder, lab_dir, device, nidb, devices)
+        for entry in device.render.files or []:
+            template_name, path = _entry(entry)
+            text = render_template(
+                template_name,
+                node=device,
+                topology=nidb.topology,
+                devices=devices,
+            )
+            _write(result, os.path.join(lab_dir, path), text)
+
+    topology_render = nidb.topology.render
+    if topology_render:
+        for entry in topology_render.files or []:
+            template_name, path = _entry(entry)
+            text = render_template(
+                template_name,
+                topology=nidb.topology,
+                devices=devices,
+            )
+            _write(result, os.path.join(lab_dir, path), text)
+
+    result.elapsed_seconds = time.perf_counter() - started
+    return result
+
+
+def _render_folder(result, folder, lab_dir, device, nidb, devices) -> None:
+    """Render a template folder (§5.5): copy static files, render *.j2.
+
+    ``folder`` is ``{"source": <directory>, "dst": <path under the lab>}``;
+    this "allows simple specification of nested folders to configure
+    services, without writing code".
+    """
+    source = str(folder["source"] if isinstance(folder, dict) else folder.source)
+    dst = str(folder["dst"] if isinstance(folder, dict) else folder.dst)
+    if not os.path.isdir(source):
+        raise RenderError("template folder %r does not exist" % source)
+    for root, _, names in os.walk(source):
+        relative_root = os.path.relpath(root, source)
+        for name in sorted(names):
+            source_path = os.path.join(root, name)
+            relative = os.path.normpath(os.path.join(relative_root, name))
+            if name.endswith(".j2"):
+                env = environment()
+                with open(source_path) as handle:
+                    template = env.from_string(handle.read())
+                text = template.render(
+                    node=device, topology=nidb.topology, devices=devices
+                )
+                out_path = os.path.join(lab_dir, dst, relative[: -len(".j2")])
+                _write(result, out_path, text)
+            else:
+                out_path = os.path.join(lab_dir, dst, relative)
+                os.makedirs(os.path.dirname(out_path), exist_ok=True)
+                shutil.copyfile(source_path, out_path)
+                result.files.append(out_path)
+                result.total_bytes += os.path.getsize(out_path)
+
+
+def _entry(entry) -> tuple[str, str]:
+    """Accept render entries as stanzas or plain dicts (user extensions)."""
+    if isinstance(entry, dict):
+        return str(entry["template"]), str(entry["path"])
+    return str(entry.template), str(entry.path)
+
+
+def _write(result: RenderResult, path: str, text: str) -> None:
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write(text)
+    result.files.append(path)
+    result.total_bytes += len(text)

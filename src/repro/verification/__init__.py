@@ -1,0 +1,26 @@
+"""Pre-deployment verification: static checks and stability detection (§8)."""
+
+from repro.verification.stability import StabilityReport, check_ibgp_stability
+from repro.verification.static_checks import (
+    Finding,
+    VerificationReport,
+    check_bgp_sessions,
+    check_ibgp_next_hops,
+    check_link_subnets,
+    check_ospf_consistency,
+    check_unique_addresses,
+    verify_nidb,
+)
+
+__all__ = [
+    "Finding",
+    "StabilityReport",
+    "VerificationReport",
+    "check_bgp_sessions",
+    "check_ibgp_next_hops",
+    "check_ibgp_stability",
+    "check_link_subnets",
+    "check_ospf_consistency",
+    "check_unique_addresses",
+    "verify_nidb",
+]

@@ -1,0 +1,90 @@
+"""Design-time iBGP stability detection (§8, citing Flavel & Roughan).
+
+A conservative structural check run *before* deployment: full-mesh
+iBGP designs are always oscillation-free; route-reflection designs are
+safe when the reflection hierarchy is **congruent with the IGP** — each
+client's reflector lies on (one of) the client's shortest IGP paths, so
+a reflector never prefers another cluster's exit over its own cluster's
+at equal BGP attributes.  The §7.2 Bad-Gadget violates exactly this
+(each reflector is IGP-closer to the *next* cluster's client), and is
+flagged here without running any simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.anm import AbstractNetworkModel, unwrap_graph
+
+
+@dataclass
+class StabilityReport:
+    """Outcome of the design-time stability check."""
+
+    design: str  # full-mesh | route-reflection
+    risky_reflectors: list[tuple] = field(default_factory=list)
+
+    @property
+    def stable(self) -> bool:
+        return not self.risky_reflectors
+
+    def summary(self) -> str:
+        if self.design == "full-mesh":
+            return "iBGP full mesh: provably oscillation-free"
+        if self.stable:
+            return "route reflection congruent with IGP: no oscillation risk found"
+        pairs = ", ".join(
+            "%s prefers %s over own client %s (IGP %d < %d)" % entry
+            for entry in self.risky_reflectors[:5]
+        )
+        return "route reflection risks oscillation: %s" % pairs
+
+
+def check_ibgp_stability(anm: AbstractNetworkModel) -> StabilityReport:
+    """Analyse the designed iBGP overlay for oscillation risk."""
+    g_ibgp = anm["ibgp"]
+    down_edges = g_ibgp.edges(session_type="down")
+    if not down_edges:
+        return StabilityReport(design="full-mesh")
+
+    weighted = nx.Graph()
+    g_ospf = anm["ospf"] if anm.has_overlay("ospf") else None
+    if g_ospf is not None:
+        for edge in g_ospf.edges():
+            weighted.add_edge(
+                edge.src_id, edge.dst_id, weight=edge.ospf_cost or 1
+            )
+    else:
+        weighted = unwrap_graph(anm["phy"]).copy()
+        nx.set_edge_attributes(weighted, 1, "weight")
+
+    clients_of: dict = {}
+    for edge in down_edges:
+        clients_of.setdefault(edge.src.node_id, []).append(edge.dst.node_id)
+
+    risky = []
+    for reflector, own_clients in clients_of.items():
+        if reflector not in weighted:
+            continue
+        distances = nx.single_source_dijkstra_path_length(weighted, reflector)
+        own_best = min(
+            (distances.get(client, float("inf")) for client in own_clients),
+        )
+        for other_reflector, other_clients in clients_of.items():
+            if other_reflector == reflector:
+                continue
+            for client in other_clients:
+                other_distance = distances.get(client, float("inf"))
+                if other_distance < own_best:
+                    risky.append(
+                        (
+                            reflector,
+                            client,
+                            own_clients[0],
+                            int(other_distance),
+                            int(own_best),
+                        )
+                    )
+    return StabilityReport(design="route-reflection", risky_reflectors=risky)

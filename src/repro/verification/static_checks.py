@@ -1,0 +1,219 @@
+"""Offline pre-deployment verification (§8).
+
+"Offline verification systems could be applied prior to deployment,
+applying static checking [38] or stability detection [16].  Integrating
+pre- and post-deployment verification systems allows test-driven
+network development."
+
+These checks run against the compiled NIDB — i.e., on exactly the state
+the templates will render — and catch the classic configuration faults
+NCGuard-style static analysis targets: duplicate addresses, subnet
+mismatches across a link, asymmetric or mis-ASN'd BGP sessions, and
+unresolvable iBGP next hops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.nidb import Nidb
+
+
+@dataclass
+class Finding:
+    """One static-analysis finding."""
+
+    severity: str  # error | warning
+    check: str
+    device: str
+    message: str
+
+    def __str__(self) -> str:
+        return "[%s] %s %s: %s" % (self.severity, self.check, self.device, self.message)
+
+
+@dataclass
+class VerificationReport:
+    """All findings of one pre-deployment verification run."""
+
+    findings: list[Finding] = field(default_factory=list)
+
+    def add(self, severity: str, check: str, device, message: str) -> None:
+        self.findings.append(Finding(severity, check, str(device), message))
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [finding for finding in self.findings if finding.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [finding for finding in self.findings if finding.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def summary(self) -> str:
+        if not self.findings:
+            return "static verification passed: no findings"
+        return "static verification: %d error(s), %d warning(s)" % (
+            len(self.errors),
+            len(self.warnings),
+        )
+
+
+def verify_nidb(nidb: Nidb) -> VerificationReport:
+    """Run every static check against a compiled NIDB."""
+    report = VerificationReport()
+    check_unique_addresses(nidb, report)
+    check_link_subnets(nidb, report)
+    check_bgp_sessions(nidb, report)
+    check_ibgp_next_hops(nidb, report)
+    check_ospf_consistency(nidb, report)
+    return report
+
+
+# -- individual checks ----------------------------------------------------
+
+def check_unique_addresses(nidb: Nidb, report: VerificationReport) -> None:
+    """No two interfaces in the lab may share an address."""
+    seen: dict[str, str] = {}
+    for device in nidb:
+        for interface in device.interfaces:
+            if interface.ip_address is None:
+                continue
+            address = str(interface.ip_address)
+            owner = seen.get(address)
+            if owner is not None and owner != str(device.node_id):
+                report.add(
+                    "error",
+                    "unique-address",
+                    device.node_id,
+                    "address %s already assigned to %s" % (address, owner),
+                )
+            seen[address] = str(device.node_id)
+
+
+def check_link_subnets(nidb: Nidb, report: VerificationReport) -> None:
+    """Both ends of a link must configure the same subnet."""
+    for src, dst, data in nidb.links():
+        domain = data.get("collision_domain")
+        if domain is None:
+            continue
+        subnets = set()
+        for device in (src, dst):
+            for interface in device.physical_interfaces():
+                if interface.collision_domain == domain and interface.subnet:
+                    subnets.add(str(interface.subnet))
+        if len(subnets) > 1:
+            report.add(
+                "error",
+                "link-subnet",
+                src.node_id,
+                "link to %s has mismatched subnets: %s"
+                % (dst.node_id, ", ".join(sorted(subnets))),
+            )
+
+
+def check_bgp_sessions(nidb: Nidb, report: VerificationReport) -> None:
+    """Sessions must be reciprocal and agree on AS numbers."""
+    # Index every neighbor statement by (device, peer address).
+    address_owner: dict[str, object] = {}
+    for device in nidb:
+        for interface in device.interfaces:
+            if interface.ip_address is not None:
+                address_owner[str(interface.ip_address)] = device
+
+    statements: dict[tuple, dict] = {}
+    for device in nidb:
+        if not device.bgp:
+            continue
+        for neighbor in list(device.bgp.ebgp_neighbors or []) + list(
+            device.bgp.ibgp_neighbors or []
+        ):
+            peer = address_owner.get(str(neighbor.neighbor_ip))
+            if peer is None:
+                report.add(
+                    "error",
+                    "bgp-peer-address",
+                    device.node_id,
+                    "neighbor %s matches no device" % neighbor.neighbor_ip,
+                )
+                continue
+            statements[(str(device.node_id), str(peer.node_id))] = {
+                "remote_asn": neighbor.remote_asn,
+                "peer": peer,
+            }
+
+    for (local, peer_name), statement in statements.items():
+        peer_device = statement["peer"]
+        if statement["remote_asn"] != peer_device.asn:
+            report.add(
+                "error",
+                "bgp-remote-asn",
+                local,
+                "remote-as %s for %s, but %s is in AS %s"
+                % (statement["remote_asn"], peer_name, peer_name, peer_device.asn),
+            )
+        if (peer_name, local) not in statements:
+            report.add(
+                "warning",
+                "bgp-reciprocal",
+                local,
+                "session to %s has no reverse neighbor statement" % peer_name,
+            )
+
+
+def check_ibgp_next_hops(nidb: Nidb, report: VerificationReport) -> None:
+    """iBGP without next-hop-self needs the session subnets in the IGP.
+
+    The classic invisible-until-runtime fault: an eBGP-learned route is
+    re-advertised over iBGP with an unresolvable next hop.
+    """
+    for device in nidb:
+        if not device.bgp or not device.bgp.ebgp_neighbors:
+            continue
+        if not device.bgp.ibgp_neighbors:
+            continue
+        for session in device.bgp.ibgp_neighbors:
+            if not session.next_hop_self:
+                report.add(
+                    "warning",
+                    "ibgp-next-hop",
+                    device.node_id,
+                    "border router re-advertises eBGP routes to %s without "
+                    "next-hop-self; external subnets must be in the IGP"
+                    % session.neighbor,
+                )
+
+
+def check_ospf_consistency(nidb: Nidb, report: VerificationReport) -> None:
+    """Both ends of an intra-AS link should run OSPF on it."""
+    for src, dst, data in nidb.links():
+        if src.asn != dst.asn:
+            continue
+        if not (src.is_router() and dst.is_router()):
+            continue
+        domain = data.get("collision_domain")
+        sides = []
+        for device in (src, dst):
+            if not device.ospf:
+                sides.append(False)
+                continue
+            networks = {str(link.network) for link in device.ospf.ospf_links}
+            subnet = next(
+                (
+                    str(interface.subnet)
+                    for interface in device.physical_interfaces()
+                    if interface.collision_domain == domain
+                ),
+                None,
+            )
+            sides.append(subnet in networks)
+        if sides.count(True) == 1:
+            report.add(
+                "error",
+                "ospf-one-sided",
+                src.node_id,
+                "intra-AS link to %s runs OSPF on only one side" % dst.node_id,
+            )

@@ -1,0 +1,44 @@
+"""Terminal rendering of overlay topologies (§5.6).
+
+For quick inspection without a browser: adjacency summaries and
+per-group listings of an overlay, as plain text.
+"""
+
+from __future__ import annotations
+
+from repro.anm import OverlayGraph, groupby
+
+
+def overlay_summary(overlay: OverlayGraph) -> str:
+    """One-line-per-group summary of an overlay."""
+    lines = [
+        "overlay %s: %d nodes, %d edges%s"
+        % (
+            overlay.overlay_id,
+            len(overlay),
+            overlay.number_of_edges(),
+            " (directed)" if overlay.is_directed() else "",
+        )
+    ]
+    for group, members in sorted(
+        groupby("asn", overlay.nodes()).items(), key=lambda item: str(item[0])
+    ):
+        names = ", ".join(sorted(str(node.node_id) for node in members))
+        lines.append("  asn %s: %s" % (group, names))
+    return "\n".join(lines)
+
+
+def adjacency_table(overlay: OverlayGraph) -> str:
+    """Each node with its neighbours, one per line."""
+    lines = []
+    for node in sorted(overlay, key=lambda n: str(n.node_id)):
+        neighbors = sorted(
+            str(edge.other_end(node).node_id) for edge in node.edges()
+        )
+        lines.append("%-16s -> %s" % (node.node_id, ", ".join(neighbors) or "(isolated)"))
+    return "\n".join(lines)
+
+
+def path_diagram(path: list) -> str:
+    """A traceroute path as an arrow diagram."""
+    return " -> ".join(str(getattr(hop, "node_id", hop)) for hop in path)

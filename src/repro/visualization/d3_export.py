@@ -1,0 +1,78 @@
+"""D3-compatible JSON export of overlay topologies (§5.6).
+
+The paper's visualisation system "uses the JSON interchange format, so
+it could be decoupled from our main configuration generation tool".
+This module produces that interchange: d3-force node/link JSON per
+overlay, with nodes grouped by a chosen attribute (ASN by default) and
+full attribute payloads for hover inspection.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from repro.anm import AbstractNetworkModel, OverlayGraph
+
+
+def overlay_to_d3(
+    overlay: OverlayGraph,
+    group_attr: str = "asn",
+    attributes: Iterable[str] | None = None,
+) -> dict:
+    """One overlay as a d3-force {nodes, links} document."""
+    nodes = []
+    for node in sorted(overlay, key=lambda n: str(n.node_id)):
+        payload: dict[str, Any] = {
+            "id": str(node.node_id),
+            "label": node.label,
+            "group": node.get(group_attr),
+        }
+        if attributes is None:
+            payload["attributes"] = {
+                name: _jsonable(value) for name, value in node.attributes().items()
+            }
+        else:
+            for name in attributes:
+                payload[name] = _jsonable(node.get(name))
+        nodes.append(payload)
+    links = []
+    for edge in overlay.edges():
+        links.append(
+            {
+                "source": str(edge.src_id),
+                "target": str(edge.dst_id),
+                "attributes": {
+                    name: _jsonable(value) for name, value in edge.attributes().items()
+                },
+            }
+        )
+    return {
+        "overlay": overlay.overlay_id,
+        "directed": overlay.is_directed(),
+        "nodes": nodes,
+        "links": links,
+    }
+
+
+def anm_to_d3(anm: AbstractNetworkModel, group_attr: str = "asn") -> dict:
+    """Every overlay of the model, keyed by overlay id."""
+    return {
+        overlay_id: overlay_to_d3(anm[overlay_id], group_attr=group_attr)
+        for overlay_id in anm.overlays()
+    }
+
+
+def write_json(data: dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, default=str)
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)

@@ -1,0 +1,57 @@
+"""Highlighting measurement results on a topology (§5.6, §6.1).
+
+The paper overlays collected data — a traceroute path, its endpoints —
+onto the visualisation::
+
+    msg.highlight(nodes, [], [path])
+
+:func:`highlight` merges the same structure into a d3 export: marked
+nodes, marked edges, and paths (each a node sequence, drawn hop by
+hop).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def highlight(
+    d3_data: dict,
+    nodes: Iterable = (),
+    edges: Iterable = (),
+    paths: Iterable = (),
+) -> dict:
+    """Return a copy of a d3 export with highlight annotations."""
+    node_ids = {_node_id(node) for node in nodes}
+    edge_pairs = {
+        tuple(sorted((_node_id(edge[0]), _node_id(edge[1])))) for edge in edges
+    }
+    path_lists = [[_node_id(hop) for hop in path] for path in paths]
+    for path in path_lists:
+        for left, right in zip(path, path[1:]):
+            edge_pairs.add(tuple(sorted((left, right))))
+
+    result = dict(d3_data)
+    result["nodes"] = [
+        {**node, "highlighted": node["id"] in node_ids} for node in d3_data["nodes"]
+    ]
+    result["links"] = [
+        {
+            **link,
+            "highlighted": tuple(sorted((link["source"], link["target"]))) in edge_pairs,
+        }
+        for link in d3_data["links"]
+    ]
+    result["paths"] = path_lists
+    return result
+
+
+def highlight_trace(d3_data: dict, path: list) -> dict:
+    """Highlight one traceroute path plus its endpoints (Figure 7)."""
+    if not path:
+        return highlight(d3_data)
+    return highlight(d3_data, nodes=[path[0], path[-1]], paths=[path])
+
+
+def _node_id(node) -> str:
+    return str(getattr(node, "node_id", node))

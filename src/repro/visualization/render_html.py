@@ -1,0 +1,88 @@
+"""Self-contained HTML/SVG rendering of overlay exports (§5.6).
+
+The paper renders in a browser with D3.js.  Offline, we produce a
+self-contained HTML page: positions are precomputed with a spring
+layout (NetworkX) and drawn as inline SVG, so the file opens anywhere
+with no network access or JavaScript dependencies.  Highlighted nodes,
+edges and paths (see :mod:`repro.visualization.highlight`) are drawn
+in an accent colour.
+"""
+
+from __future__ import annotations
+
+import html
+
+import networkx as nx
+
+_CANVAS = 640
+_MARGIN = 40
+
+_PAGE = """<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+body {{ font-family: sans-serif; background: #fafafa; }}
+text {{ font-size: 10px; fill: #333; }}
+.group-label {{ font-size: 12px; font-weight: bold; fill: #666; }}
+</style>
+</head>
+<body>
+<h2>{title}</h2>
+<svg width="{size}" height="{size}" viewBox="0 0 {size} {size}">
+{body}
+</svg>
+</body>
+</html>
+"""
+
+
+def render_svg(d3_data: dict, seed: int = 7) -> str:
+    """Inline SVG for one (possibly highlighted) d3 export."""
+    graph = nx.Graph()
+    for node in d3_data["nodes"]:
+        graph.add_node(node["id"])
+    for link in d3_data["links"]:
+        graph.add_edge(link["source"], link["target"])
+    if len(graph) == 0:
+        return "<svg/>"
+    layout = nx.spring_layout(graph, seed=seed)
+
+    def place(node_id: str) -> tuple[float, float]:
+        x, y = layout[node_id]
+        scale = (_CANVAS - 2 * _MARGIN) / 2
+        return (_MARGIN + scale * (x + 1), _MARGIN + scale * (y + 1))
+
+    parts = []
+    for link in d3_data["links"]:
+        (x1, y1), (x2, y2) = place(link["source"]), place(link["target"])
+        color = "#d62728" if link.get("highlighted") else "#bbb"
+        width = 2.5 if link.get("highlighted") else 1.0
+        parts.append(
+            '<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>'
+            % (x1, y1, x2, y2, color, width)
+        )
+    palette = ["#1f77b4", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b", "#e377c2", "#17becf"]
+    groups = sorted({str(node.get("group")) for node in d3_data["nodes"]})
+    color_of = {group: palette[index % len(palette)] for index, group in enumerate(groups)}
+    for node in d3_data["nodes"]:
+        x, y = place(node["id"])
+        fill = "#d62728" if node.get("highlighted") else color_of[str(node.get("group"))]
+        radius = 9 if node.get("highlighted") else 6
+        parts.append(
+            '<circle cx="%.1f" cy="%.1f" r="%d" fill="%s" stroke="#333"/>' % (x, y, radius, fill)
+        )
+        parts.append(
+            '<text x="%.1f" y="%.1f">%s</text>'
+            % (x + 8, y - 6, html.escape(str(node.get("label", node["id"]))))
+        )
+    return "\n".join(parts)
+
+
+def write_html(d3_data: dict, path: str, title: str | None = None) -> None:
+    """Write a self-contained HTML page for one overlay export."""
+    title = title or "Overlay %s" % d3_data.get("overlay", "")
+    body = render_svg(d3_data)
+    with open(path, "w") as handle:
+        handle.write(_PAGE.format(title=html.escape(title), size=_CANVAS, body=body))

@@ -1,0 +1,108 @@
+"""The end-to-end experiment workflow (§6, Figure 2).
+
+One call takes an annotated input topology through the whole system —
+design rules, compilation, rendering, deployment into the emulation
+substrate — and returns handles to every intermediate artefact plus
+per-phase timings (the quantities the §3.2 scale experiment reports:
+load/build, compile, render).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import networkx as nx
+
+from repro.anm import AbstractNetworkModel
+from repro.compilers import platform_compiler
+from repro.deployment import DeploymentRecord, LocalEmulationHost
+from repro.deployment import deploy as deploy_lab
+from repro.design import DEFAULT_RULES, apply_design, build_anm
+from repro.emulation import EmulatedLab
+from repro.loader import load_gml, load_graphml, load_json
+from repro.nidb import Nidb
+from repro.render import RenderResult, render_nidb
+
+
+@dataclass
+class ExperimentResult:
+    """Every artefact of one experiment run."""
+
+    anm: AbstractNetworkModel
+    nidb: Nidb
+    render_result: RenderResult
+    deployment: Optional[DeploymentRecord] = None
+    timings: dict = field(default_factory=dict)
+
+    @property
+    def lab(self) -> Optional[EmulatedLab]:
+        return self.deployment.lab if self.deployment else None
+
+    def timing_summary(self) -> str:
+        return ", ".join(
+            "%s %.2fs" % (phase, seconds) for phase, seconds in self.timings.items()
+        )
+
+
+def load_topology(source) -> nx.Graph:
+    """Accept a graph object or a GraphML/GML/JSON path."""
+    if isinstance(source, nx.Graph):
+        return source
+    path = str(source)
+    if path.endswith(".graphml"):
+        return load_graphml(path)
+    if path.endswith(".gml"):
+        return load_gml(path)
+    return load_json(path)
+
+
+def run_experiment(
+    source,
+    platform: str = "netkit",
+    rules: Iterable[str] = DEFAULT_RULES,
+    output_dir: Optional[str] = None,
+    host: Optional[LocalEmulationHost] = None,
+    deploy: bool = True,
+    lab_name: str = "lab",
+    max_rounds: int = 64,
+) -> ExperimentResult:
+    """Input topology in, measured-ready emulated network out."""
+    import tempfile
+
+    timings: dict[str, float] = {}
+
+    started = time.perf_counter()
+    graph = load_topology(source)
+    anm = build_anm(graph)
+    apply_design(anm, rules)
+    timings["load_build"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    nidb = platform_compiler(platform, anm).compile()
+    timings["compile"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    output_dir = output_dir or tempfile.mkdtemp(prefix="rendered_")
+    render_result = render_nidb(nidb, output_dir)
+    timings["render"] = render_result.elapsed_seconds
+
+    deployment = None
+    if deploy:
+        started = time.perf_counter()
+        deployment = deploy_lab(
+            render_result.lab_dir,
+            host=host,
+            lab_name=lab_name,
+            max_rounds=max_rounds,
+        )
+        timings["deploy"] = time.perf_counter() - started
+
+    return ExperimentResult(
+        anm=anm,
+        nidb=nidb,
+        render_result=render_result,
+        deployment=deployment,
+        timings=timings,
+    )

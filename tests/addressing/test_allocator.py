@@ -1,0 +1,91 @@
+"""Unit tests for the per-AS address allocator plugin (§5.3)."""
+
+import ipaddress
+
+import pytest
+
+from repro.addressing import PerAsnAllocator
+from repro.exceptions import AddressAllocationError
+
+
+def test_blocks_are_per_asn_and_disjoint():
+    allocator = PerAsnAllocator()
+    allocator.allocate_asn_blocks([1, 20, 300])
+    blocks = allocator.infra_blocks()
+    assert set(blocks) == {1, 20, 300}
+    nets = list(blocks.values())
+    for i, a in enumerate(nets):
+        for b in nets[i + 1:]:
+            assert not a.overlaps(b)
+
+
+def test_allocation_is_order_independent():
+    forward = PerAsnAllocator()
+    forward.allocate_asn_blocks([10, 20, 30])
+    backward = PerAsnAllocator()
+    backward.allocate_asn_blocks([30, 10, 20])
+    assert forward.infra_blocks() == backward.infra_blocks()
+    assert forward.loopback_blocks() == backward.loopback_blocks()
+
+
+def test_infra_and_loopback_separate_spaces():
+    allocator = PerAsnAllocator()
+    allocator.allocate_asn_blocks([1])
+    infra = allocator.infra_blocks()[1]
+    loopback = allocator.loopback_blocks()[1]
+    assert not infra.overlaps(loopback)
+
+
+def test_default_blocks_mirror_paper_examples():
+    allocator = PerAsnAllocator()
+    allocator.allocate_asn_blocks([1, 2])
+    assert allocator.infra_blocks()[1].subnet_of(ipaddress.ip_network("10.0.0.0/8"))
+    assert allocator.loopback_blocks()[1].subnet_of(ipaddress.ip_network("192.168.0.0/16"))
+
+
+def test_pools_allocate_within_blocks():
+    allocator = PerAsnAllocator()
+    allocator.allocate_asn_blocks([7])
+    subnet = allocator.infra_pool(7).subnet_for_hosts(2)
+    assert subnet.subnet_of(allocator.infra_blocks()[7])
+    loopback = allocator.loopback_pool(7).next_address()
+    assert loopback in allocator.loopback_blocks()[7]
+
+
+def test_unallocated_asn_raises():
+    allocator = PerAsnAllocator()
+    allocator.allocate_asn_blocks([1])
+    with pytest.raises(AddressAllocationError, match="no allocated block"):
+        allocator.infra_pool(99)
+
+
+def test_custom_blocks():
+    allocator = PerAsnAllocator(
+        infra_block="172.20.0.0/16", loopback_block="172.31.0.0/16"
+    )
+    allocator.allocate_asn_blocks([1, 2])
+    assert allocator.infra_blocks()[1].subnet_of(ipaddress.ip_network("172.20.0.0/16"))
+
+
+def test_many_asns_fit():
+    allocator = PerAsnAllocator()
+    allocator.allocate_asn_blocks(range(1, 43))  # the NREN model's 42 ASes
+    assert len(allocator.infra_blocks()) == 42
+
+
+def test_too_many_asns_for_block():
+    allocator = PerAsnAllocator(loopback_block="192.168.0.0/28")
+    with pytest.raises(AddressAllocationError):
+        allocator.allocate_asn_blocks(range(200))
+
+
+def test_empty_asn_set_is_noop():
+    allocator = PerAsnAllocator()
+    allocator.allocate_asn_blocks([])
+    assert allocator.infra_blocks() == {}
+
+
+def test_min_infra_prefixlen_enforced():
+    allocator = PerAsnAllocator(min_infra_prefixlen=16)
+    allocator.allocate_asn_blocks([1, 2])
+    assert allocator.infra_blocks()[1].prefixlen == 16

@@ -1,0 +1,86 @@
+"""Unit tests for deterministic subnet and host pools (§5.3)."""
+
+import ipaddress
+
+import pytest
+
+from repro.addressing import HostPool, SubnetPool
+from repro.exceptions import AddressAllocationError
+
+
+class TestSubnetPool:
+    def test_sequential_allocation(self):
+        pool = SubnetPool("10.0.0.0/24")
+        assert str(pool.subnet(26)) == "10.0.0.0/26"
+        assert str(pool.subnet(26)) == "10.0.0.64/26"
+
+    def test_mixed_sizes_align(self):
+        pool = SubnetPool("10.0.0.0/24")
+        assert str(pool.subnet(30)) == "10.0.0.0/30"
+        # A /26 must align to its own boundary, skipping the gap.
+        assert str(pool.subnet(26)) == "10.0.0.64/26"
+
+    def test_exhaustion_raises(self):
+        pool = SubnetPool("10.0.0.0/30")
+        pool.subnet(31)
+        pool.subnet(31)
+        with pytest.raises(AddressAllocationError, match="exhausted"):
+            pool.subnet(31)
+
+    def test_oversized_request_raises(self):
+        pool = SubnetPool("10.0.0.0/24")
+        with pytest.raises(AddressAllocationError, match="larger than"):
+            pool.subnet(16)
+
+    def test_subnet_for_hosts_p2p_gets_slash30(self):
+        pool = SubnetPool("10.0.0.0/16")
+        assert pool.subnet_for_hosts(2).prefixlen == 30
+
+    def test_subnet_for_hosts_lan_sizing(self):
+        pool = SubnetPool("10.0.0.0/16")
+        assert pool.subnet_for_hosts(5).prefixlen == 29
+        assert pool.subnet_for_hosts(6).prefixlen == 29
+        assert pool.subnet_for_hosts(7).prefixlen == 28
+
+    def test_subnet_for_hosts_invalid(self):
+        pool = SubnetPool("10.0.0.0/16")
+        with pytest.raises(AddressAllocationError):
+            pool.subnet_for_hosts(0)
+
+    def test_allocated_recorded_and_disjoint(self):
+        pool = SubnetPool("10.0.0.0/20")
+        nets = [pool.subnet(26) for _ in range(10)]
+        assert len(pool.allocated) == 10
+        for i, a in enumerate(nets):
+            for b in nets[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_remaining_decreases(self):
+        pool = SubnetPool("10.0.0.0/24")
+        before = pool.remaining()
+        pool.subnet(26)
+        assert pool.remaining() == before - 64
+
+    def test_accepts_network_objects(self):
+        pool = SubnetPool(ipaddress.ip_network("192.0.2.0/24"))
+        assert pool.subnet(30).network_address == ipaddress.ip_address("192.0.2.0")
+
+
+class TestHostPool:
+    def test_sequential_hosts_skip_network_address(self):
+        pool = HostPool("192.168.0.0/29")
+        assert str(pool.next_address()) == "192.168.0.1"
+        assert str(pool.next_address()) == "192.168.0.2"
+
+    def test_exhaustion(self):
+        pool = HostPool("192.168.0.0/30")
+        pool.next_address()
+        pool.next_address()
+        with pytest.raises(AddressAllocationError, match="exhausted"):
+            pool.next_address()
+
+    def test_allocated_tracking(self):
+        pool = HostPool("192.168.0.0/24")
+        addresses = [pool.next_address() for _ in range(5)]
+        assert pool.allocated == addresses
+        assert len(set(addresses)) == 5

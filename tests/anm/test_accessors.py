@@ -1,0 +1,154 @@
+"""Unit tests for node and edge accessor objects."""
+
+import pytest
+
+from repro.anm import AbstractNetworkModel
+from repro.exceptions import NodeNotFoundError
+
+
+@pytest.fixture
+def overlay():
+    anm = AbstractNetworkModel()
+    g = anm.add_overlay("test")
+    g.add_node("r1", asn=1, device_type="router")
+    g.add_node("r2", asn=1, device_type="switch")
+    g.add_node("r3", asn=2, device_type="server")
+    g.add_edge("r1", "r2", ospf_cost=7)
+    g.add_edge("r2", "r3")
+    return g
+
+
+def test_attribute_read_write(overlay):
+    node = overlay.node("r1")
+    assert node.asn == 1
+    node.backbone = True
+    assert overlay.node("r1").backbone is True
+
+
+def test_missing_attribute_reads_none(overlay):
+    assert overlay.node("r1").never_set is None
+
+
+def test_get_with_default(overlay):
+    assert overlay.node("r1").get("never_set", 42) == 42
+
+
+def test_set_and_update(overlay):
+    node = overlay.node("r1")
+    node.set("computed", "value")
+    node.update(a=1, b=2)
+    assert node.computed == "value"
+    assert node.a == 1 and node.b == 2
+
+
+def test_attributes_returns_copy(overlay):
+    node = overlay.node("r1")
+    attrs = node.attributes()
+    attrs["asn"] = 999
+    assert overlay.node("r1").asn == 1
+
+
+def test_two_accessors_same_node_share_state(overlay):
+    first = overlay.node("r1")
+    second = overlay.node("r1")
+    first.flag = "set"
+    assert second.flag == "set"
+
+
+def test_equality_and_hash_by_node_id(overlay):
+    assert overlay.node("r1") == overlay.node("r1")
+    assert overlay.node("r1") == "r1"
+    assert overlay.node("r1") != overlay.node("r2")
+    assert len({overlay.node("r1"), overlay.node("r1")}) == 1
+
+
+def test_cross_overlay_lookup_by_accessor(overlay):
+    anm = overlay.anm
+    other = anm.add_overlay("other", ["r1"])
+    node = other.node(overlay.node("r1"))
+    assert node.node_id == "r1"
+    assert node.overlay.overlay_id == "other"
+
+
+def test_ordering_is_by_string_id(overlay):
+    nodes = sorted([overlay.node("r2"), overlay.node("r1")])
+    assert [n.node_id for n in nodes] == ["r1", "r2"]
+
+
+def test_device_type_predicates(overlay):
+    assert overlay.node("r1").is_router()
+    assert overlay.node("r2").is_switch()
+    assert overlay.node("r3").is_server()
+    assert overlay.node("r3").is_device("server")
+
+
+def test_label_falls_back_to_id(overlay):
+    assert overlay.node("r1").label == "r1"
+    overlay.node("r1").set("label", "Router One")
+    assert overlay.node("r1").label == "Router One"
+
+
+def test_degree_and_neighbors(overlay):
+    assert overlay.node("r2").degree == 2
+    neighbor_ids = {n.node_id for n in overlay.node("r2").neighbors()}
+    assert neighbor_ids == {"r1", "r3"}
+
+
+def test_neighbors_with_filter(overlay):
+    routers = overlay.node("r2").neighbors(device_type="router")
+    assert [n.node_id for n in routers] == ["r1"]
+
+
+def test_accessor_for_removed_node_raises(overlay):
+    node = overlay.node("r3")
+    overlay.remove_node("r3")
+    with pytest.raises(NodeNotFoundError):
+        _ = node.asn
+
+
+def test_edge_attribute_access(overlay):
+    edge = overlay.edge("r1", "r2")
+    assert edge.ospf_cost == 7
+    edge.area = 0
+    assert overlay.edge("r1", "r2").area == 0
+
+
+def test_edge_endpoints(overlay):
+    edge = overlay.edge("r1", "r2")
+    assert edge.src.node_id == "r1"
+    assert edge.dst.node_id == "r2"
+    assert tuple(n.node_id for n in edge) == ("r1", "r2")
+
+
+def test_edge_other_end(overlay):
+    edge = overlay.edge("r1", "r2")
+    assert edge.other_end("r1").node_id == "r2"
+    assert edge.other_end(overlay.node("r2")).node_id == "r1"
+    with pytest.raises(NodeNotFoundError):
+        edge.other_end("r3")
+
+
+def test_undirected_edge_equality_ignores_orientation(overlay):
+    forward = overlay.edge("r1", "r2")
+    backward = overlay.edge("r2", "r1")
+    assert forward == backward
+    assert hash(forward) == hash(backward)
+
+
+def test_directed_edges_distinct():
+    anm = AbstractNetworkModel()
+    g = anm.add_overlay("sessions", directed=True)
+    g.add_edge("a", "b", bidirected=True)
+    assert g.edge("a", "b") != g.edge("b", "a")
+
+
+def test_edge_get_and_attributes(overlay):
+    edge = overlay.edge("r1", "r2")
+    assert edge.get("ospf_cost") == 7
+    assert edge.get("missing", "dflt") == "dflt"
+    assert edge.attributes()["ospf_cost"] == 7
+
+
+def test_repr_forms(overlay):
+    assert "r1" in repr(overlay.node("r1"))
+    assert "--" in repr(overlay.edge("r1", "r2"))

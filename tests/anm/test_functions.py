@@ -1,0 +1,195 @@
+"""Unit tests for split/aggregate/explode/groupby/copy_attr_from (§5.2.4)."""
+
+import networkx as nx
+import pytest
+
+from repro.anm import (
+    AbstractNetworkModel,
+    aggregate_nodes,
+    copy_attr_from,
+    explode_node,
+    groupby,
+    neighbors_within,
+    split,
+    unwrap_graph,
+    unwrap_nodes,
+    wrap_nodes,
+)
+
+
+@pytest.fixture
+def anm():
+    return AbstractNetworkModel()
+
+
+def _chain(overlay, names):
+    overlay.add_nodes_from(names)
+    overlay.add_edges_from(zip(names, names[1:]))
+
+
+def test_split_inserts_intermediate_node(anm):
+    overlay = anm.add_overlay("ip")
+    overlay.add_edge("r1", "r2", ospf_cost=3)
+    new_nodes = split(overlay, overlay.edges(), retain=["ospf_cost"])
+    assert len(new_nodes) == 1
+    mid = new_nodes[0]
+    assert not overlay.has_edge("r1", "r2")
+    assert overlay.has_edge("r1", mid) and overlay.has_edge(mid, "r2")
+    assert overlay.edge("r1", mid).ospf_cost == 3
+
+
+def test_split_name_prefix(anm):
+    overlay = anm.add_overlay("ip")
+    overlay.add_edge("a", "b")
+    (mid,) = split(overlay, overlay.edges(), id_prefix="cd")
+    assert str(mid.node_id).startswith("cd_")
+
+
+def test_split_many_edges_preserves_node_count_arithmetic(anm):
+    overlay = anm.add_overlay("ip")
+    _chain(overlay, ["a", "b", "c", "d"])
+    before_nodes, before_edges = len(overlay), overlay.number_of_edges()
+    split(overlay, overlay.edges())
+    assert len(overlay) == before_nodes + before_edges
+    assert overlay.number_of_edges() == 2 * before_edges
+
+
+def test_split_avoids_id_collision(anm):
+    overlay = anm.add_overlay("ip")
+    overlay.add_node("cd_a_b")  # pre-existing clash
+    overlay.add_edge("a", "b")
+    (mid,) = split(overlay, overlay.edges(node="a"))
+    assert mid.node_id != "cd_a_b"
+
+
+def test_aggregate_collapses_group(anm):
+    overlay = anm.add_overlay("ip")
+    _chain(overlay, ["r1", "sw1", "sw2", "r2"])
+    survivor = aggregate_nodes(overlay, ["sw1", "sw2"])
+    assert survivor.node_id == "sw1"
+    assert not overlay.has_node("sw2")
+    assert overlay.has_edge("r1", "sw1")
+    assert overlay.has_edge("sw1", "r2")
+
+
+def test_aggregate_keeps_external_edge_attributes(anm):
+    overlay = anm.add_overlay("ip")
+    overlay.add_edge("r1", "sw1")
+    overlay.add_edge("sw2", "r2", speed=100)
+    overlay.add_edge("sw1", "sw2")
+    aggregate_nodes(overlay, ["sw1", "sw2"])
+    assert overlay.edge("sw1", "r2").speed == 100
+
+
+def test_aggregate_empty_group_returns_none(anm):
+    overlay = anm.add_overlay("ip")
+    assert aggregate_nodes(overlay, []) is None
+
+
+def test_aggregate_single_node_is_noop(anm):
+    overlay = anm.add_overlay("ip")
+    overlay.add_edge("a", "b")
+    survivor = aggregate_nodes(overlay, ["a"])
+    assert survivor.node_id == "a"
+    assert overlay.has_edge("a", "b")
+
+
+def test_explode_forms_clique_of_neighbors(anm):
+    overlay = anm.add_overlay("ospf")
+    for leaf in ["r1", "r2", "r3"]:
+        overlay.add_edge(leaf, "sw")
+    new_edges = explode_node(overlay, "sw")
+    assert not overlay.has_node("sw")
+    assert len(new_edges) == 3  # triangle
+    assert overlay.has_edge("r1", "r2")
+    assert overlay.has_edge("r1", "r3")
+    assert overlay.has_edge("r2", "r3")
+
+
+def test_explode_does_not_duplicate_existing_edges(anm):
+    overlay = anm.add_overlay("ospf")
+    overlay.add_edge("r1", "r2")
+    overlay.add_edge("r1", "sw")
+    overlay.add_edge("r2", "sw")
+    new_edges = explode_node(overlay, "sw")
+    assert new_edges == []
+    assert overlay.number_of_edges() == 1
+
+
+def test_explode_retains_attribute_from_incident_edge(anm):
+    overlay = anm.add_overlay("ospf")
+    overlay.add_edge("r1", "sw", ospf_cost=4)
+    overlay.add_edge("r2", "sw", ospf_cost=9)
+    explode_node(overlay, "sw", retain=["ospf_cost"])
+    assert overlay.edge("r1", "r2").ospf_cost in (4, 9)
+
+
+def test_groupby_preserves_value_grouping(anm):
+    overlay = anm.add_overlay("g")
+    overlay.add_node("a", asn=1)
+    overlay.add_node("b", asn=2)
+    overlay.add_node("c", asn=1)
+    groups = groupby("asn", overlay.nodes())
+    assert {n.node_id for n in groups[1]} == {"a", "c"}
+    assert [n.node_id for n in groups[2]] == ["b"]
+
+
+def test_groupby_missing_attribute_groups_under_none(anm):
+    overlay = anm.add_overlay("g")
+    overlay.add_node("a")
+    groups = groupby("asn", overlay.nodes())
+    assert [n.node_id for n in groups[None]] == ["a"]
+
+
+def test_copy_attr_from_basic_and_rename(anm):
+    src = anm.add_overlay("src")
+    src.add_node("r1", ospf_area=3)
+    dst = anm.add_overlay("dst", ["r1"])
+    copy_attr_from(src, dst, "ospf_area", dst_attr="area")
+    assert dst.node("r1").area == 3
+
+
+def test_copy_attr_from_default_for_missing_nodes(anm):
+    src = anm.add_overlay("src")
+    src.add_node("r1", x=1)
+    dst = anm.add_overlay("dst", ["r1", "r2"])
+    copy_attr_from(src, dst, "x", default=0)
+    assert dst.node("r1").x == 1
+    assert dst.node("r2").x == 0
+
+
+def test_copy_attr_without_default_leaves_unset(anm):
+    src = anm.add_overlay("src")
+    src.add_node("r1")
+    dst = anm.add_overlay("dst", ["r1"])
+    copy_attr_from(src, dst, "missing_attr")
+    assert dst.node("r1").missing_attr is None
+
+
+def test_unwrap_and_wrap_roundtrip(anm):
+    overlay = anm.add_overlay("w", ["a", "b"])
+    raw = unwrap_graph(overlay)
+    assert isinstance(raw, nx.Graph)
+    ids = unwrap_nodes(overlay.nodes())
+    assert set(ids) == {"a", "b"}
+    wrapped = wrap_nodes(overlay, ids)
+    assert all(hasattr(node, "node_id") for node in wrapped)
+
+
+def test_unwrap_graph_enables_networkx_algorithms(anm):
+    """The §7.1 pattern: centrality over the unwrapped graph."""
+    overlay = anm.add_overlay("c")
+    _chain(overlay, ["a", "b", "c"])
+    centrality = nx.degree_centrality(unwrap_graph(overlay))
+    assert centrality["b"] > centrality["a"]
+
+
+def test_neighbors_within_attribute(anm):
+    overlay = anm.add_overlay("n")
+    overlay.add_node("a", asn=1)
+    overlay.add_node("b", asn=1)
+    overlay.add_node("c", asn=2)
+    overlay.add_edge("a", "b")
+    overlay.add_edge("a", "c")
+    within = neighbors_within(overlay, "a", "asn")
+    assert [n.node_id for n in within] == ["b"]

@@ -1,0 +1,126 @@
+"""Unit tests for the Abstract Network Model container."""
+
+import networkx as nx
+import pytest
+
+from repro.anm import AbstractNetworkModel
+from repro.exceptions import OverlayNotFoundError
+
+
+def test_default_overlays_present():
+    anm = AbstractNetworkModel()
+    assert anm.has_overlay("input")
+    assert anm.has_overlay("phy")
+    assert set(anm.overlays()) == {"input", "phy"}
+
+
+def test_getitem_returns_overlay_wrapper():
+    anm = AbstractNetworkModel()
+    overlay = anm["phy"]
+    assert overlay.overlay_id == "phy"
+    assert len(overlay) == 0
+
+
+def test_add_overlay_registers_and_returns():
+    anm = AbstractNetworkModel()
+    g_ospf = anm.add_overlay("ospf")
+    assert anm.has_overlay("ospf")
+    assert g_ospf.overlay_id == "ospf"
+    assert "ospf" in anm
+
+
+def test_add_overlay_directed():
+    anm = AbstractNetworkModel()
+    g_ibgp = anm.add_overlay("ibgp", directed=True)
+    assert g_ibgp.is_directed()
+
+
+def test_add_overlay_multi_edge():
+    anm = AbstractNetworkModel()
+    overlay = anm.add_overlay("multi", multi_edge=True)
+    assert overlay.is_multigraph()
+
+
+def test_add_overlay_directed_multigraph():
+    anm = AbstractNetworkModel()
+    overlay = anm.add_overlay("dm", directed=True, multi_edge=True)
+    assert overlay.is_directed() and overlay.is_multigraph()
+
+
+def test_add_overlay_from_existing_graph_copies():
+    source = nx.Graph()
+    source.add_edge("a", "b", weight=3)
+    anm = AbstractNetworkModel()
+    overlay = anm.add_overlay("input", graph=source)
+    source.add_edge("b", "c")  # must not leak into the overlay
+    assert len(overlay) == 2
+    assert overlay.edge("a", "b").weight == 3
+
+
+def test_add_overlay_from_graph_with_directed_promotion():
+    source = nx.Graph()
+    source.add_edge("a", "b")
+    anm = AbstractNetworkModel()
+    overlay = anm.add_overlay("sessions", graph=source, directed=True)
+    assert overlay.is_directed()
+    # The undirected edge becomes two directed edges.
+    assert overlay.number_of_edges() == 2
+
+
+def test_add_overlay_with_seed_nodes_and_retain():
+    anm = AbstractNetworkModel()
+    g_in = anm.add_overlay("input")
+    g_in.add_node("r1", asn=5, device_type="router", extra="x")
+    overlay = anm.add_overlay("ospf", g_in.nodes(), retain=["asn"])
+    node = overlay.node("r1")
+    assert node.asn == 5
+    assert node.extra is None  # not retained
+
+
+def test_remove_overlay():
+    anm = AbstractNetworkModel()
+    anm.add_overlay("tmp")
+    anm.remove_overlay("tmp")
+    assert not anm.has_overlay("tmp")
+
+
+def test_remove_missing_overlay_raises():
+    anm = AbstractNetworkModel()
+    with pytest.raises(OverlayNotFoundError):
+        anm.remove_overlay("nope")
+
+
+def test_getitem_missing_overlay_raises():
+    anm = AbstractNetworkModel()
+    with pytest.raises(OverlayNotFoundError):
+        anm["nope"]
+
+
+def test_replacing_overlay_discards_old_content():
+    anm = AbstractNetworkModel()
+    first = anm.add_overlay("ospf")
+    first.add_node("r1")
+    second = anm.add_overlay("ospf")
+    assert len(second) == 0
+
+
+def test_iteration_yields_all_overlays():
+    anm = AbstractNetworkModel()
+    anm.add_overlay("a")
+    ids = [overlay.overlay_id for overlay in anm]
+    assert ids == ["input", "phy", "a"]
+
+
+def test_raw_graph_access():
+    anm = AbstractNetworkModel()
+    raw = anm.raw_graph("phy")
+    assert isinstance(raw, nx.Graph)
+    with pytest.raises(OverlayNotFoundError):
+        anm.raw_graph("missing")
+
+
+def test_overlay_wrappers_share_underlying_graph():
+    anm = AbstractNetworkModel()
+    anm["phy"].add_node("r1", asn=1)
+    # A fresh wrapper over the same overlay sees the node.
+    assert anm["phy"].node("r1").asn == 1

@@ -1,0 +1,186 @@
+"""Unit tests for the overlay graph API (§5.2)."""
+
+import pytest
+
+from repro.anm import AbstractNetworkModel
+from repro.exceptions import NodeNotFoundError
+
+
+@pytest.fixture
+def anm():
+    model = AbstractNetworkModel()
+    g_in = model.add_overlay("input")
+    for name, asn, dtype in [
+        ("r1", 1, "router"),
+        ("r2", 1, "router"),
+        ("r3", 2, "router"),
+        ("sw1", 1, "switch"),
+        ("s1", 2, "server"),
+    ]:
+        g_in.add_node(name, asn=asn, device_type=dtype)
+    g_in.add_edge("r1", "r2", type="physical", ospf_cost=5)
+    g_in.add_edge("r2", "r3", type="physical")
+    g_in.add_edge("r1", "sw1", type="physical")
+    g_in.add_edge("r3", "s1", type="service")
+    return model
+
+
+def test_nodes_filtering_by_attribute(anm):
+    g_in = anm["input"]
+    assert {n.node_id for n in g_in.nodes(asn=1)} == {"r1", "r2", "sw1"}
+    assert {n.node_id for n in g_in.nodes(asn=1, device_type="router")} == {"r1", "r2"}
+
+
+def test_device_type_shortcuts(anm):
+    g_in = anm["input"]
+    assert {n.node_id for n in g_in.routers()} == {"r1", "r2", "r3"}
+    assert [n.node_id for n in g_in.switches()] == ["sw1"]
+    assert [n.node_id for n in g_in.servers()] == ["s1"]
+
+
+def test_routers_shortcut_composes_with_filters(anm):
+    assert {n.node_id for n in anm["input"].routers(asn=1)} == {"r1", "r2"}
+
+
+def test_edges_filtering_by_attribute(anm):
+    g_in = anm["input"]
+    physical = g_in.edges(type="physical")
+    assert len(physical) == 3
+    service = g_in.edges(type="service")
+    assert len(service) == 1
+
+
+def test_edges_restricted_to_node(anm):
+    g_in = anm["input"]
+    edges = g_in.edges(node="r2")
+    ends = {tuple(sorted((e.src_id, e.dst_id))) for e in edges}
+    assert ends == {("r1", "r2"), ("r2", "r3")}
+
+
+def test_edge_filter_and_node_combined(anm):
+    edges = anm["input"].edges(node="r3", type="service")
+    assert len(edges) == 1
+
+
+def test_len_iter_contains(anm):
+    g_in = anm["input"]
+    assert len(g_in) == 5
+    assert {n.node_id for n in g_in} == {"r1", "r2", "r3", "sw1", "s1"}
+    assert "r1" in g_in
+    assert g_in.node("r1") in g_in
+    assert "nope" not in g_in
+
+
+def test_add_nodes_from_accessors_retains_attributes(anm):
+    g_in = anm["input"]
+    g_phy = anm["phy"]
+    g_phy.add_nodes_from(g_in, retain=["device_type", "asn"])
+    assert g_phy.node("r1").asn == 1
+    assert g_phy.node("s1").device_type == "server"
+
+
+def test_add_nodes_from_with_extra_attrs(anm):
+    overlay = anm.add_overlay("x")
+    overlay.add_nodes_from(["a", "b"], role="test")
+    assert overlay.node("a").role == "test"
+
+
+def test_add_edges_from_edge_accessors(anm):
+    g_in = anm["input"]
+    overlay = anm.add_overlay("ospf", g_in.routers(), retain=["asn"])
+    overlay.add_edges_from(
+        (e for e in g_in.edges(type="physical") if g_in.has_node(e.src) and g_in.has_node(e.dst)),
+        retain=["ospf_cost"],
+    )
+    assert overlay.has_edge("r1", "r2")
+    assert overlay.edge("r1", "r2").ospf_cost == 5
+
+
+def test_add_edges_from_tuples_and_dicts(anm):
+    overlay = anm.add_overlay("t")
+    overlay.add_edges_from([("a", "b"), ("b", "c", {"weight": 2})])
+    assert overlay.edge("b", "c").weight == 2
+
+
+def test_add_edges_bidirected_on_directed_overlay(anm):
+    overlay = anm.add_overlay("sessions", directed=True)
+    overlay.add_edges_from([("a", "b")], bidirected=True, session_type="peer")
+    assert overlay.has_edge("a", "b") and overlay.has_edge("b", "a")
+    assert overlay.edge("b", "a").session_type == "peer"
+
+
+def test_add_edges_creates_missing_endpoints(anm):
+    overlay = anm.add_overlay("y")
+    overlay.add_edges_from([("p", "q")])
+    assert overlay.has_node("p") and overlay.has_node("q")
+
+
+def test_remove_edges_from_generator(anm):
+    """The §5.2.3 idiom: prune inter-AS edges from a copied overlay."""
+    g_in = anm["input"]
+    overlay = anm.add_overlay("igp", g_in.routers(), retain=["asn"])
+    overlay.add_edges_from(
+        e for e in g_in.edges(type="physical")
+        if overlay.has_node(e.src) and overlay.has_node(e.dst)
+    )
+    overlay.remove_edges_from(
+        e for e in overlay.edges() if e.src.asn != e.dst.asn
+    )
+    assert overlay.has_edge("r1", "r2")
+    assert not overlay.has_edge("r2", "r3")
+
+
+def test_remove_node_and_missing_node_raises(anm):
+    overlay = anm.add_overlay("z", ["a", "b"])
+    overlay.remove_node("a")
+    assert not overlay.has_node("a")
+    with pytest.raises(NodeNotFoundError):
+        overlay.remove_node("a")
+
+
+def test_node_lookup_missing_raises(anm):
+    with pytest.raises(NodeNotFoundError):
+        anm["input"].node("missing")
+
+
+def test_overlay_data_namespace(anm):
+    g_in = anm["input"]
+    g_in.data.infra_blocks = {1: "10.0.0.0/16"}
+    assert g_in.data.infra_blocks == {1: "10.0.0.0/16"}
+    assert g_in.data.get("missing") is None
+    assert "infra_blocks" in g_in.data
+    assert anm["input"].data.infra_blocks is not None  # persisted on the graph
+
+
+def test_directed_node_edges_include_both_directions(anm):
+    overlay = anm.add_overlay("d", directed=True)
+    overlay.add_edge("a", "b")
+    overlay.add_edge("c", "a")
+    assert len(overlay.edges(node="a")) == 2
+
+
+def test_degree_and_number_of_edges(anm):
+    g_in = anm["input"]
+    assert g_in.degree("r2") == 2
+    assert g_in.number_of_edges() == 4
+
+
+def test_subgraph_is_unwrapped_copy(anm):
+    sub = anm["input"].subgraph(["r1", "r2", "sw1"])
+    assert set(sub.nodes) == {"r1", "r2", "sw1"}
+    assert sub.number_of_edges() == 2
+
+
+def test_set_operations_on_node_sequences(anm):
+    """Python set operators work on accessor sequences (§5.2.2)."""
+    g_in = anm["input"]
+    as1 = set(g_in.nodes(asn=1))
+    routers = set(g_in.routers())
+    assert {n.node_id for n in as1 & routers} == {"r1", "r2"}
+    assert {n.node_id for n in as1 | routers} == {"r1", "r2", "r3", "sw1"}
+
+
+def test_list_comprehension_selection(anm):
+    """The paper's design pattern: [n for n in G_in if n.asn == 200]."""
+    selected = [n for n in anm["input"] if n.asn == 2]
+    assert {n.node_id for n in selected} == {"r3", "s1"}

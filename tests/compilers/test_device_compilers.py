@@ -1,0 +1,143 @@
+"""Unit tests for device compilation into NIDB stanzas (§5.4)."""
+
+import ipaddress
+
+import pytest
+
+from repro.compilers import platform_compiler
+from repro.design import design_network
+from repro.loader import bad_gadget_topology, fig5_topology, small_internet
+
+
+@pytest.fixture(scope="module")
+def si_device(si_nidb_module):
+    return si_nidb_module.node("as100r1")
+
+
+@pytest.fixture(scope="module")
+def si_nidb_module():
+    return platform_compiler("netkit", design_network(small_internet())).compile()
+
+
+def test_zebra_stanza_matches_paper(si_device):
+    """§5.4: {"zebra": {"password": "1234", "hostname": "as100r1"}}."""
+    assert si_device.zebra.hostname == "as100r1"
+    assert si_device.zebra.password == "1234"
+
+
+def test_ospf_stanza_structure(si_device):
+    ospf = si_device.ospf
+    assert ospf.process_id == 1
+    networks = {str(link.network) for link in ospf.ospf_links}
+    # Two intra-AS interfaces plus the loopback /32.
+    assert len(networks) == 3
+    assert any(net.endswith("/32") for net in networks)
+    assert all(link.area == 0 for link in ospf.ospf_links)
+
+
+def test_ospf_excludes_inter_as_interfaces(si_device):
+    # as100r1 has a link to as20r2: its subnet must not be in OSPF.
+    inter_as = [
+        interface
+        for interface in si_device.physical_interfaces()
+        if not interface.igp_active
+    ]
+    assert len(inter_as) == 1
+    ospf_nets = {str(link.network) for link in si_device.ospf.ospf_links}
+    assert str(inter_as[0].subnet) not in ospf_nets
+
+
+def test_interface_descriptions(si_device):
+    descriptions = {i.description for i in si_device.physical_interfaces()}
+    assert "as100r1 to as100r2" in descriptions
+    assert "as100r1 to as100r3" in descriptions
+
+
+def test_bgp_stanza_ebgp_neighbor(si_device):
+    ebgp = si_device.bgp.ebgp_neighbors
+    assert len(ebgp) == 1
+    neighbor = ebgp[0]
+    assert neighbor.neighbor == "as20r2"
+    assert neighbor.remote_asn == 20
+    # The neighbor address is the peer's interface on the shared /30.
+    address = ipaddress.ip_address(neighbor.neighbor_ip)
+    subnet = next(
+        ipaddress.ip_network(i.subnet)
+        for i in si_device.physical_interfaces()
+        if not i.igp_active
+    )
+    assert address in subnet
+
+
+def test_bgp_stanza_ibgp_full_mesh(si_device, si_nidb_module):
+    ibgp = si_device.bgp.ibgp_neighbors
+    assert {n.neighbor for n in ibgp} == {"as100r2", "as100r3"}
+    for neighbor in ibgp:
+        peer = si_nidb_module.node(neighbor.neighbor)
+        assert neighbor.neighbor_ip == str(peer.loopback)
+        assert neighbor.next_hop_self is True  # library default
+        assert neighbor.rr_client is False
+
+
+def test_bgp_originates_as_blocks(si_device):
+    networks = set(si_device.bgp.networks)
+    # AS 100's infra and loopback blocks.
+    assert len(networks) == 2
+    assert any(ipaddress.ip_network(n).prefixlen <= 24 for n in networks)
+
+
+def test_rr_sessions_compiled_from_gadget():
+    nidb = platform_compiler("netkit", design_network(bad_gadget_topology())).compile()
+    rr1 = nidb.node("rr1")
+    by_peer = {n.neighbor: n for n in rr1.bgp.ibgp_neighbors}
+    assert by_peer["c1"].rr_client is True
+    assert by_peer["rr2"].rr_client is False
+    c1 = nidb.node("c1")
+    client_sessions = {n.neighbor for n in c1.bgp.ibgp_neighbors}
+    assert client_sessions == {"rr1"}
+    assert all(n.next_hop_self for n in c1.bgp.ibgp_neighbors)
+
+
+def test_prefix_origination_from_attribute():
+    nidb = platform_compiler("netkit", design_network(bad_gadget_topology())).compile()
+    origin = nidb.node("origin")
+    assert "203.0.113.0/24" in origin.bgp.networks
+
+
+def test_dns_stanza_on_server(si_nidb_module):
+    server = si_nidb_module.node("as100r1")
+    assert server.dns.zone == "as100.lab"
+    names = {record.name for record in server.dns.records}
+    assert names == {"as100r1", "as100r2", "as100r3"}
+    assert len(server.dns.reverse_records) == 3
+
+
+def test_dns_client_stanza(si_nidb_module):
+    client = si_nidb_module.node("as100r2")
+    assert client.dns is None
+    assert client.dns_client.domain == "as100.lab"
+    server = si_nidb_module.node("as100r1")
+    assert client.dns_client.resolver == str(server.loopback)
+
+
+def test_isis_compiler_when_overlay_present():
+    """§7: the IS-IS compiler hook condenses the isis overlay."""
+    anm = design_network(
+        fig5_topology(), rules=("phy", "ipv4", "ospf", "isis", "ebgp", "ibgp")
+    )
+    nidb = platform_compiler("netkit", anm).compile()
+    device = nidb.node("r1")
+    assert device.isis is not None
+    assert device.isis.net.startswith("49.")
+    assert all(i.metric == 10 for i in device.isis.interfaces)
+
+
+def test_no_isis_stanza_without_overlay(si_device):
+    assert si_device.isis is None
+
+
+def test_single_router_as_has_no_ospf(si_nidb_module):
+    """as30r1 has no intra-AS edges: no OSPF stanza (§5.4)."""
+    device = si_nidb_module.node("as30r1")
+    assert device.ospf is None
+    assert device.bgp is not None

@@ -1,0 +1,123 @@
+"""Unit tests for multi-host / multi-platform compilation (§5.4)."""
+
+import os
+import tempfile
+
+import pytest
+
+from repro.compilers import (
+    compile_multi,
+    cross_host_links,
+    device_targets,
+    platform_compiler,
+)
+from repro.design import design_network
+from repro.exceptions import CompilerError
+from repro.loader import small_internet
+from repro.render import render_nidb
+
+
+def _split_topology():
+    """Small-Internet with AS300 hosted on a second emulation server."""
+    graph = small_internet()
+    for name, data in graph.nodes(data=True):
+        if data["asn"] == 300:
+            data["host"] = "serverb"
+    return graph
+
+
+@pytest.fixture(scope="module")
+def result():
+    return compile_multi(design_network(_split_topology()))
+
+
+def test_device_grouping():
+    anm = design_network(_split_topology())
+    groups = device_targets(anm)
+    assert set(groups) == {("localhost", "netkit"), ("serverb", "netkit")}
+    assert len(groups[("serverb", "netkit")]) == 4
+
+
+def test_one_nidb_per_target(result):
+    assert result.targets() == [("localhost", "netkit"), ("serverb", "netkit")]
+    assert len(result.nidb("localhost", "netkit")) == 10
+    assert len(result.nidb("serverb", "netkit")) == 4
+
+
+def test_unknown_target_raises(result):
+    with pytest.raises(CompilerError):
+        result.nidb("nowhere", "netkit")
+
+
+def test_cross_host_links_query():
+    anm = design_network(_split_topology())
+    links = cross_host_links(anm)
+    pairs = {tuple(sorted((link.src, link.dst))) for link in links}
+    # AS300's three inter-AS links leave serverb.
+    assert pairs == {
+        ("as300r1", "as30r1"),
+        ("as300r2", "as40r1"),
+        ("as200r1", "as300r4"),
+    }
+    assert all(link.collision_domain for link in links)
+
+
+def test_tunnels_attached_to_both_sides(result):
+    local = result.nidb("localhost", "netkit").topology.tunnels
+    remote = result.nidb("serverb", "netkit").topology.tunnels
+    assert len(local) == 3 and len(remote) == 3
+    assert {t.remote_host for t in local} == {"serverb"}
+    assert {t.remote_host for t in remote} == {"localhost"}
+
+
+def test_collision_domains_scoped_per_lab(result):
+    local_domains = set(
+        result.nidb("localhost", "netkit").topology.collision_domains.to_dict()
+    )
+    remote_domains = set(
+        result.nidb("serverb", "netkit").topology.collision_domains.to_dict()
+    )
+    # Cross-host domains appear in both labs; pure-local ones in one.
+    assert local_domains & remote_domains  # the 3 tunnel domains
+    assert local_domains - remote_domains  # localhost-only domains
+    assert remote_domains - local_domains  # AS300-internal domains
+
+
+def test_rendered_labs_land_in_separate_trees(result):
+    out = tempfile.mkdtemp()
+    for target in result.targets():
+        render_nidb(result.nidbs[target], out)
+    assert os.path.exists(os.path.join(out, "localhost", "netkit", "lab.conf"))
+    assert os.path.exists(os.path.join(out, "serverb", "netkit", "lab.conf"))
+    text = open(os.path.join(out, "serverb", "netkit", "lab.conf")).read()
+    assert "as300r1" in text and "as100r1" not in text
+
+
+def test_tunnel_script_rendered(result):
+    out = tempfile.mkdtemp()
+    render_nidb(result.nidb("serverb", "netkit"), out)
+    script = open(os.path.join(out, "serverb", "netkit", "tunnels.sh")).read()
+    assert "ovs-vsctl add-port" in script
+    assert "type=gre" in script
+    assert "remote_host=localhost" in script
+    assert script.count("add-port") == 3
+
+
+def test_mixed_platforms_supported():
+    graph = small_internet()
+    for name, data in graph.nodes(data=True):
+        if data["asn"] == 20:
+            data["platform"] = "dynagen"
+            data["syntax"] = "ios"
+    result = compile_multi(design_network(graph))
+    assert ("localhost", "dynagen") in result.nidbs
+    assert len(result.nidb("localhost", "dynagen")) == 3
+    # Cross-platform links on the same host also become tunnels.
+    assert result.cross_links
+
+
+def test_single_target_has_no_tunnels():
+    result = compile_multi(design_network(small_internet()))
+    assert result.targets() == [("localhost", "netkit")]
+    assert result.cross_links == []
+    assert result.nidb("localhost", "netkit").topology.tunnels is None

@@ -1,0 +1,136 @@
+"""Unit tests for deployment: archive, host, monitor, full flow (§5.7)."""
+
+import os
+import tarfile
+
+import pytest
+
+from repro.deployment import (
+    LocalEmulationHost,
+    ProgressMonitor,
+    archive_lab,
+    deploy,
+)
+from repro.exceptions import DeploymentError
+
+
+class TestArchive:
+    def test_archive_contains_lab_files(self, si_render, tmp_path):
+        archive_path = archive_lab(si_render.lab_dir, "si", str(tmp_path))
+        assert os.path.exists(archive_path)
+        with tarfile.open(archive_path) as archive:
+            names = archive.getnames()
+        assert "lab.conf" in names
+        assert any(name.endswith("bgpd.conf") for name in names)
+
+    def test_archive_missing_dir_raises(self, tmp_path):
+        with pytest.raises(DeploymentError):
+            archive_lab(str(tmp_path / "nope"), "x")
+
+
+class TestHost:
+    def test_receive_extract_start(self, si_render, tmp_path):
+        host = LocalEmulationHost(work_dir=str(tmp_path / "host"))
+        archive_path = archive_lab(si_render.lab_dir, "si", str(tmp_path))
+        remote = host.receive(archive_path, "si")
+        assert os.path.exists(remote)
+        lab_dir = host.extract(remote, "si")
+        assert os.path.exists(os.path.join(lab_dir, "lab.conf"))
+        lab = host.lstart(lab_dir, "si")
+        assert len(lab.network) == 14
+        assert host.running_labs() == ["si"]
+        assert host.vm_count("si") == 14
+
+    def test_receive_missing_archive_raises(self, tmp_path):
+        host = LocalEmulationHost(work_dir=str(tmp_path))
+        with pytest.raises(DeploymentError):
+            host.receive(str(tmp_path / "ghost.tar.gz"), "x")
+
+    def test_lstart_empty_dir_fails(self, tmp_path):
+        host = LocalEmulationHost(work_dir=str(tmp_path))
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(DeploymentError, match="failed to start"):
+            host.lstart(str(empty), "broken")
+
+    def test_lhalt(self, si_render, tmp_path):
+        host = LocalEmulationHost(work_dir=str(tmp_path / "host"))
+        record = deploy(si_render.lab_dir, host=host, lab_name="si")
+        assert host.running_labs() == ["si"]
+        host.lhalt("si")
+        assert host.running_labs() == []
+        with pytest.raises(DeploymentError):
+            host.lhalt("si")
+
+    def test_lab_lookup_missing_raises(self, tmp_path):
+        host = LocalEmulationHost(work_dir=str(tmp_path))
+        with pytest.raises(DeploymentError):
+            host.lab("nothing")
+
+
+class TestMonitor:
+    def test_events_collected_in_order(self):
+        monitor = ProgressMonitor()
+        monitor.start()
+        monitor.update("archive", "a")
+        monitor.update("transfer", "b")
+        assert monitor.stages() == ["archive", "transfer"]
+        assert monitor.events[0].elapsed <= monitor.events[1].elapsed
+
+    def test_callbacks_invoked(self):
+        seen = []
+        monitor = ProgressMonitor(callbacks=[seen.append])
+        monitor.start()
+        monitor.update("x", "msg")
+        assert len(seen) == 1 and seen[0].stage == "x"
+
+    def test_log_rendering(self):
+        monitor = ProgressMonitor()
+        monitor.start()
+        monitor.update("lstart", "starting lab")
+        assert "lstart" in monitor.log()
+
+
+class TestFullDeployFlow:
+    def test_deploy_produces_running_lab(self, si_deployment):
+        assert si_deployment.lab.converged
+        assert si_deployment.lab_name == "small_internet"
+        assert len(si_deployment.lab.network) == 14
+
+    def test_deploy_stage_timings(self, si_deployment):
+        assert set(si_deployment.timings) == {
+            "archive",
+            "transfer",
+            "extract",
+            "start",
+        }
+        assert all(value >= 0 for value in si_deployment.timings.values())
+
+    def test_deploy_monitor_stages(self, si_deployment):
+        assert si_deployment.monitor.stages() == [
+            "archive",
+            "transfer",
+            "extract",
+            "lstart",
+            "ready",
+        ]
+        ready = si_deployment.monitor.events[-1]
+        assert "14 virtual machines up" in ready.message
+
+    def test_deployment_artifacts_on_disk(self, si_deployment):
+        assert os.path.exists(si_deployment.archive_path)
+        assert os.path.exists(os.path.join(si_deployment.lab_dir, "lab.conf"))
+
+
+class TestLogging:
+    def test_boot_and_deploy_emit_log_records(self, si_render, tmp_path, caplog):
+        import logging
+
+        with caplog.at_level(logging.INFO, logger="repro.emulation"):
+            with caplog.at_level(logging.INFO, logger="repro.deployment"):
+                host = LocalEmulationHost(work_dir=str(tmp_path))
+                deploy(si_render.lab_dir, host=host, lab_name="logged")
+        messages = [record.getMessage() for record in caplog.records]
+        assert any("booting netkit lab" in message for message in messages)
+        assert any("BGP converged" in message for message in messages)
+        assert any("deployed to" in message for message in messages)

@@ -1,0 +1,177 @@
+"""Unit tests for the IPv4 addressing overlay (§5.3, §5.2.4)."""
+
+import ipaddress
+
+from repro.design import (
+    build_anm,
+    build_ipv4,
+    build_phy,
+    collision_domains,
+    design_network,
+    domain_between,
+    interface_address,
+)
+from repro.loader import (
+    attach_servers,
+    fig5_topology,
+    line_topology,
+    small_internet,
+    star_with_switch,
+)
+
+
+def _designed(graph):
+    anm = build_anm(graph)
+    build_phy(anm)
+    build_ipv4(anm)
+    return anm
+
+
+def test_every_link_gets_a_collision_domain(si_anm):
+    g_ip = si_anm["ipv4"]
+    # 18 physical links, all point-to-point.
+    assert len(collision_domains(g_ip)) == 18
+
+
+def test_p2p_domains_get_slash30(si_anm):
+    for domain in collision_domains(si_anm["ipv4"]):
+        assert domain.subnet.prefixlen == 30
+
+
+def test_loopbacks_unique_across_network(si_anm):
+    loopbacks = [node.loopback for node in si_anm["ipv4"] if node.loopback]
+    assert len(loopbacks) == 14
+    assert len(set(loopbacks)) == 14
+
+
+def test_interface_addresses_within_domain_subnet(si_anm):
+    g_ip = si_anm["ipv4"]
+    for domain in collision_domains(g_ip):
+        for device in domain.neighbors():
+            address, prefixlen = interface_address(g_ip, device, domain)
+            assert address in domain.subnet
+            assert prefixlen == domain.subnet.prefixlen
+
+
+def test_subnets_disjoint(si_anm):
+    domains = collision_domains(si_anm["ipv4"])
+    subnets = [d.subnet for d in domains]
+    for i, a in enumerate(subnets):
+        for b in subnets[i + 1:]:
+            assert not a.overlaps(b)
+
+
+def test_intra_as_domain_uses_as_block(si_anm):
+    g_ip = si_anm["ipv4"]
+    blocks = g_ip.data.infra_blocks
+    for domain in collision_domains(g_ip):
+        asns = {n.asn for n in domain.neighbors()}
+        if len(asns) == 1:
+            assert domain.subnet.subnet_of(blocks[domain.asn])
+
+
+def test_inter_as_domain_assigned_lower_asn(si_anm):
+    g_ip = si_anm["ipv4"]
+    for domain in collision_domains(g_ip):
+        asns = {n.asn for n in domain.neighbors()}
+        assert domain.asn == min(asns)
+
+
+def test_loopback_within_as_loopback_block(si_anm):
+    g_ip = si_anm["ipv4"]
+    blocks = g_ip.data.loopback_blocks
+    for node in g_ip:
+        if node.loopback is not None:
+            assert node.loopback in blocks[node.asn]
+
+
+def test_overlay_data_records_blocks(si_anm):
+    g_ip = si_anm["ipv4"]
+    assert set(g_ip.data.infra_blocks) == {1, 20, 30, 40, 100, 200, 300}
+    assert set(g_ip.data.loopback_blocks) == {1, 20, 30, 40, 100, 200, 300}
+
+
+def test_switch_aggregation_single_domain():
+    anm = _designed(star_with_switch(4, asn=1))
+    domains = collision_domains(anm["ipv4"])
+    assert len(domains) == 1
+    # Subnet sized for 4 attached routers: /29.
+    assert domains[0].subnet.prefixlen == 29
+    assert len(domains[0].neighbors()) == 4
+
+
+def test_switch_chain_aggregates_to_one_domain():
+    import networkx as nx
+
+    from repro.loader import normalise
+
+    graph = nx.Graph()
+    graph.add_node("r1", asn=1)
+    graph.add_node("r2", asn=1)
+    graph.add_node("sw1", device_type="switch")
+    graph.add_node("sw2", device_type="switch")
+    graph.add_edge("r1", "sw1")
+    graph.add_edge("sw1", "sw2")
+    graph.add_edge("sw2", "r2")
+    anm = _designed(normalise(graph, require_asn=False))
+    domains = collision_domains(anm["ipv4"])
+    assert len(domains) == 1
+    members = {n.node_id for n in domains[0].neighbors()}
+    assert members == {"r1", "r2"}
+
+
+def test_servers_addressed_but_no_loopback():
+    anm = _designed(attach_servers(line_topology(2), per_router=1))
+    g_ip = anm["ipv4"]
+    servers = [n for n in g_ip if n.device_type == "server"]
+    assert servers
+    for server in servers:
+        assert server.loopback is None
+        domains = [d for d in server.neighbors() if d.collision_domain]
+        assert domains
+        address, _ = interface_address(g_ip, server, domains[0])
+        assert isinstance(address, ipaddress.IPv4Address)
+
+
+def test_determinism_rebuild_identical():
+    first = design_network(small_internet())["ipv4"]
+    second = design_network(small_internet())["ipv4"]
+    for node in first:
+        assert second.node(node.node_id).loopback == node.loopback
+    for domain in collision_domains(first):
+        assert second.node(domain.node_id).subnet == domain.subnet
+
+
+def test_domain_between_p2p():
+    anm = _designed(fig5_topology())
+    g_ip = anm["ipv4"]
+    domain = domain_between(g_ip, "r1", "r2")
+    assert domain is not None and domain.collision_domain
+    members = {n.node_id for n in domain.neighbors()}
+    assert members == {"r1", "r2"}
+
+
+def test_domain_between_via_switch():
+    anm = _designed(star_with_switch(3, asn=1))
+    g_ip = anm["ipv4"]
+    domain = domain_between(g_ip, "r1", "sw1")
+    assert domain is not None
+    assert domain.collision_domain
+
+
+def test_domain_between_unrelated_returns_none():
+    anm = _designed(fig5_topology())
+    assert domain_between(anm["ipv4"], "r1", "r5") is None
+
+
+def test_custom_allocator_plugin():
+    from repro.addressing import PerAsnAllocator
+
+    anm = build_anm(fig5_topology())
+    build_phy(anm)
+    allocator = PerAsnAllocator(
+        infra_block="172.20.0.0/14", loopback_block="172.24.0.0/16"
+    )
+    g_ip = build_ipv4(anm, allocator=allocator)
+    for domain in collision_domains(g_ip):
+        assert domain.subnet.subnet_of(ipaddress.ip_network("172.20.0.0/14"))

@@ -1,0 +1,78 @@
+"""Unit tests for the OSPF design rule (§4.2.1 eq. 1, §5.2)."""
+
+import networkx as nx
+
+from repro.design import build_anm, build_ospf, build_phy
+from repro.loader import normalise, small_internet, star_with_switch
+
+
+def _design(graph):
+    anm = build_anm(graph)
+    build_phy(anm)
+    return build_ospf(anm)
+
+
+def test_only_intra_as_edges(si_anm):
+    for edge in si_anm["ospf"].edges():
+        assert edge.src.asn == edge.dst.asn
+
+
+def test_single_router_ases_have_no_edges(si_anm):
+    for name in ("as30r1", "as40r1", "as200r1"):
+        assert si_anm["ospf"].node(name).edges() == []
+
+
+def test_default_cost_and_area_applied(si_anm):
+    for edge in si_anm["ospf"].edges():
+        assert edge.ospf_cost == 1
+        assert edge.area == 0
+
+
+def test_custom_cost_preserved():
+    graph = nx.Graph()
+    graph.add_node("a", asn=1)
+    graph.add_node("b", asn=1)
+    graph.add_edge("a", "b", ospf_cost=55)
+    g_ospf = _design(normalise(graph))
+    assert g_ospf.edge("a", "b").ospf_cost == 55
+
+
+def test_backbone_flag_from_area_zero(si_anm):
+    g_ospf = si_anm["ospf"]
+    assert g_ospf.node("as100r1").backbone is True
+
+
+def test_custom_area_assignment():
+    graph = nx.Graph()
+    graph.add_node("a", asn=1, ospf_area=1)
+    graph.add_node("b", asn=1, ospf_area=1)
+    graph.add_edge("a", "b")
+    g_ospf = _design(normalise(graph))
+    assert g_ospf.node("a").area == 1
+    assert g_ospf.edge("a", "b").area == 1
+    # No area-0 edge: not a backbone router.
+    assert g_ospf.node("a").backbone is None
+
+
+def test_switch_explosion_creates_adjacency():
+    """Routers on one switch become pairwise OSPF-adjacent."""
+    g_ospf = _design(star_with_switch(3, asn=1))
+    assert not g_ospf.has_node("sw1")
+    for left, right in [("r1", "r2"), ("r1", "r3"), ("r2", "r3")]:
+        assert g_ospf.has_edge(left, right)
+
+
+def test_servers_excluded():
+    from repro.loader import attach_servers, line_topology
+
+    g_ospf = _design(attach_servers(line_topology(2), per_router=1))
+    assert all(node.node_id.startswith("r") for node in g_ospf)
+
+
+def test_process_id_set(si_anm):
+    assert all(node.process_id == 1 for node in si_anm["ospf"])
+
+
+def test_small_internet_edge_count(si_anm):
+    # 3 (AS20 triangle) + 3 (AS100 triangle) + 4 (AS300 ring) = 10.
+    assert si_anm["ospf"].number_of_edges() == 10

@@ -1,0 +1,62 @@
+"""Unit tests for the design-rule registry and pipeline (§4.2)."""
+
+import pytest
+
+from repro.design import (
+    DEFAULT_RULES,
+    DESIGN_RULES,
+    apply_design,
+    build_anm,
+    design_network,
+    register_design_rule,
+)
+from repro.exceptions import DesignError
+from repro.loader import fig5_topology
+
+
+def test_default_rules_build_expected_overlays():
+    anm = design_network(fig5_topology())
+    for overlay_id in DEFAULT_RULES:
+        assert anm.has_overlay(overlay_id), overlay_id
+
+
+def test_rule_subset_selection():
+    anm = design_network(fig5_topology(), rules=("phy", "ipv4", "ospf"))
+    assert anm.has_overlay("ospf")
+    assert not anm.has_overlay("ebgp")
+
+
+def test_unknown_rule_raises():
+    anm = build_anm(fig5_topology())
+    with pytest.raises(DesignError, match="no design rule"):
+        apply_design(anm, rules=("phy", "nonexistent"))
+
+
+def test_register_custom_rule():
+    """§7: a new protocol = one registered rule."""
+
+    def build_custom(anm):
+        overlay = anm.add_overlay("custom", anm["phy"].routers(), retain=["asn"])
+        overlay.add_edges_from(
+            e for e in anm["phy"].edges() if e.src.asn == e.dst.asn
+        )
+        return overlay
+
+    register_design_rule("custom", build_custom)
+    try:
+        anm = design_network(fig5_topology(), rules=("phy", "custom"))
+        assert anm.has_overlay("custom")
+        assert anm["custom"].number_of_edges() == 4
+    finally:
+        del DESIGN_RULES["custom"]
+
+
+def test_build_anm_seeds_input_overlay():
+    anm = build_anm(fig5_topology())
+    assert len(anm["input"]) == 5
+    assert anm["input"].node("r1").device_type == "router"
+
+
+def test_isis_rule_registered_but_not_default():
+    assert "isis" in DESIGN_RULES
+    assert "isis" not in DEFAULT_RULES

@@ -1,0 +1,154 @@
+"""Unit tests for the IS-IS, eBGP, DNS and RPKI design rules (§3.3, §7)."""
+
+import ipaddress
+
+import pytest
+
+from repro.design import (
+    build_anm,
+    build_dns,
+    build_ebgp,
+    build_ipv4,
+    build_isis,
+    build_ospf,
+    build_phy,
+    build_rpki,
+    dns_servers,
+    publication_point_of,
+    zone_name,
+)
+from repro.exceptions import DesignError
+from repro.loader import fig5_topology, rpki_topology, small_internet
+
+
+def _phy(graph):
+    anm = build_anm(graph)
+    build_phy(anm)
+    return anm
+
+
+class TestIsis:
+    def test_same_asn_rule(self):
+        anm = _phy(fig5_topology())
+        g_isis = build_isis(anm)
+        pairs = {tuple(sorted((str(e.src_id), str(e.dst_id)))) for e in g_isis.edges()}
+        assert pairs == {("r1", "r2"), ("r1", "r3"), ("r2", "r4"), ("r3", "r4")}
+
+    def test_default_metric(self):
+        anm = _phy(fig5_topology())
+        g_isis = build_isis(anm)
+        # fig5 has no isis_metric annotations -> default 10.
+        assert all(edge.isis_metric == 10 for edge in g_isis.edges())
+
+    def test_net_addresses_unique(self):
+        anm = _phy(small_internet())
+        g_isis = build_isis(anm)
+        ids = [node.isis_system_id for node in g_isis]
+        assert len(set(ids)) == len(ids)
+        assert all(node.isis_area.startswith("49.") for node in g_isis)
+
+    def test_custom_metric_retained(self):
+        graph = fig5_topology()
+        graph.edges["r1", "r2"]["isis_metric"] = 77
+        anm = _phy(graph)
+        g_isis = build_isis(anm)
+        assert g_isis.edge("r1", "r2").isis_metric == 77
+
+
+class TestEbgp:
+    def test_directed_bidirected_sessions(self, fig5_anm):
+        g_ebgp = fig5_anm["ebgp"]
+        assert g_ebgp.is_directed()
+        assert g_ebgp.has_edge("r3", "r5") and g_ebgp.has_edge("r5", "r3")
+
+    def test_local_pref_policy_attribute_carried(self):
+        graph = fig5_topology()
+        graph.edges["r3", "r5"]["local_pref"] = 200
+        anm = _phy(graph)
+        g_ebgp = build_ebgp(anm)
+        assert g_ebgp.edge("r3", "r5").local_pref == 200
+
+    def test_prefixes_retained(self):
+        graph = fig5_topology()
+        graph.nodes["r5"]["prefixes"] = ["203.0.113.0/24"]
+        anm = _phy(graph)
+        g_ebgp = build_ebgp(anm)
+        assert g_ebgp.node("r5").prefixes == ["203.0.113.0/24"]
+
+
+class TestDns:
+    def test_one_server_per_as(self, si_anm):
+        g_dns = si_anm["dns"]
+        servers = dns_servers(g_dns)
+        assert len(servers) == 7
+        assert {node.asn for node in servers} == {1, 20, 30, 40, 100, 200, 300}
+
+    def test_server_is_lowest_router_id(self, si_anm):
+        servers = {node.asn: node.node_id for node in dns_servers(si_anm["dns"])}
+        assert servers[100] == "as100r1"
+        assert servers[300] == "as300r1"
+
+    def test_explicit_server_marking_wins(self):
+        graph = small_internet()
+        graph.nodes["as100r3"]["dns_server"] = True
+        anm = _phy(graph)
+        build_ipv4(anm)
+        g_dns = build_dns(anm)
+        servers = {node.asn: node.node_id for node in dns_servers(g_dns)}
+        assert servers[100] == "as100r3"
+
+    def test_client_edges_cover_as(self, si_anm):
+        g_dns = si_anm["dns"]
+        edges = g_dns.edges(type="dns_client")
+        # 14 devices, 7 servers -> 7 client edges.
+        assert len(edges) == 7
+        for edge in edges:
+            assert edge.src.asn == edge.dst.asn
+
+    def test_zone_names(self, si_anm):
+        assert zone_name(100) == "as100.lab"
+        assert si_anm["dns"].node("as100r1").zone == "as100.lab"
+
+
+class TestRpki:
+    def test_overlay_edges_lifted_from_labels(self):
+        anm = build_anm(rpki_topology())
+        g_rpki = build_rpki(anm)
+        types = {edge.type for edge in g_rpki.edges()}
+        assert types == {"ca_parent", "publishes_to", "fetches_from", "rtr_feed"}
+
+    def test_resources_sliced_down_hierarchy(self):
+        anm = build_anm(rpki_topology(n_child_cas=2))
+        g_rpki = build_rpki(anm)
+        root_space = ipaddress.ip_network(g_rpki.node("ca_root").resources[0])
+        for child in ("ca1", "ca2"):
+            child_space = ipaddress.ip_network(g_rpki.node(child).resources[0])
+            assert child_space.subnet_of(root_space)
+        ca1 = ipaddress.ip_network(g_rpki.node("ca1").resources[0])
+        ca2 = ipaddress.ip_network(g_rpki.node("ca2").resources[0])
+        assert not ca1.overlaps(ca2)
+
+    def test_roas_generated_for_resources(self):
+        anm = build_anm(rpki_topology())
+        g_rpki = build_rpki(anm)
+        roas = g_rpki.node("ca1").roas
+        assert roas and roas[0]["prefix"] == g_rpki.node("ca1").resources[0]
+
+    def test_publication_point_lookup(self):
+        anm = build_anm(rpki_topology())
+        g_rpki = build_rpki(anm)
+        point = publication_point_of(g_rpki, g_rpki.node("ca_root"))
+        assert point is not None
+        assert point.service == "rpki_publication"
+
+    def test_no_service_edges_yields_empty_overlay(self):
+        anm = build_anm(fig5_topology())
+        g_rpki = build_rpki(anm)
+        assert len(g_rpki) == 0
+
+    def test_cas_without_root_raise(self):
+        graph = rpki_topology()
+        graph.nodes["ca_root"]["ca_root"] = False
+        anm = build_anm(graph)
+        with pytest.raises(DesignError, match="no root"):
+            build_rpki(anm)

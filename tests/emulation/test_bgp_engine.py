@@ -1,0 +1,178 @@
+"""Unit tests for the BGP decision process and simulation (§7.2)."""
+
+import ipaddress
+
+import pytest
+
+from repro.emulation import VENDOR_PROFILES, BgpRoute, BgpSimulation, IgpState
+from repro.emulation.bgp_engine import VendorProfile
+from repro.emulation.network import EmulatedNetwork
+
+
+def _route(**kwargs):
+    base = dict(
+        prefix=ipaddress.ip_network("203.0.113.0/24"),
+        as_path=(20,),
+        next_hop=ipaddress.ip_address("10.0.0.1"),
+        local_pref=100,
+        learned_via="ebgp",
+        learned_from="peer1",
+        peer_router_id="9.9.9.9",
+        peer_address="9.9.9.9",
+    )
+    base.update(kwargs)
+    return BgpRoute(**base)
+
+
+@pytest.fixture
+def sim(si_lab):
+    return si_lab._simulation
+
+
+class TestDecisionProcess:
+    def test_local_pref_dominates(self, sim):
+        low = _route(local_pref=100, as_path=())
+        high = _route(local_pref=200, as_path=(1, 2, 3), peer_router_id="8.8.8.8")
+        best = sim.decide("as100r1", [self._localise(sim, low), self._localise(sim, high)])
+        assert best.local_pref == 200
+
+    @staticmethod
+    def _localise(sim, route):
+        """Make the route valid at as100r1 by using a connected next hop."""
+        from dataclasses import replace
+
+        return replace(route, next_hop=ipaddress.ip_address("10.1.0.10"))
+
+    def test_shorter_as_path_wins(self, sim):
+        short = self._localise(sim, _route(as_path=(20,)))
+        long = self._localise(sim, _route(as_path=(30, 40), peer_router_id="8.8.8.8"))
+        assert sim.decide("as100r1", [short, long]).as_path == (20,)
+
+    def test_local_routes_beat_learned(self, sim):
+        local = _route(as_path=(), next_hop=None, learned_via="local", learned_from=None)
+        learned = self._localise(sim, _route(as_path=()))
+        assert sim.decide("as100r1", [local, learned]).learned_via == "local"
+
+    def test_ebgp_beats_ibgp(self, sim):
+        ebgp = self._localise(sim, _route(learned_via="ebgp"))
+        ibgp = self._localise(
+            sim, _route(learned_via="ibgp", peer_router_id="8.8.8.8")
+        )
+        assert sim.decide("as100r1", [ebgp, ibgp]).learned_via == "ebgp"
+
+    def test_router_id_final_tiebreak(self, sim):
+        a = self._localise(sim, _route(peer_router_id="2.2.2.2"))
+        b = self._localise(sim, _route(peer_router_id="1.1.1.1"))
+        assert sim.decide("as100r1", [a, b]).peer_router_id == "1.1.1.1"
+
+    def test_unresolvable_next_hop_invalid(self, sim):
+        bad = _route(next_hop=ipaddress.ip_address("198.51.100.1"))
+        assert sim.decide("as100r1", [bad]) is None
+
+    def test_med_elimination_same_neighbor_as(self):
+        low = _route(med=10)
+        high = _route(med=50, peer_router_id="8.8.8.8")
+        survivors = BgpSimulation._med_elimination(
+            [low, high], VENDOR_PROFILES["quagga"]
+        )
+        assert survivors == [low]
+
+    def test_med_ignored_across_different_as(self):
+        a = _route(med=50, as_path=(20,))
+        b = _route(med=10, as_path=(30,))
+        survivors = BgpSimulation._med_elimination(
+            [a, b], VENDOR_PROFILES["quagga"]
+        )
+        assert len(survivors) == 2
+
+    def test_always_compare_med_vendor(self):
+        a = _route(med=50, as_path=(20,))
+        b = _route(med=10, as_path=(30,))
+        profile = VendorProfile("x", igp_tiebreak=True, always_compare_med=True)
+        survivors = BgpSimulation._med_elimination([a, b], profile)
+        assert survivors == [b]
+
+
+class TestVendorProfiles:
+    def test_documented_defaults(self):
+        assert VENDOR_PROFILES["quagga"].igp_tiebreak is False
+        for vendor in ("ios", "junos", "cbgp"):
+            assert VENDOR_PROFILES[vendor].igp_tiebreak is True
+
+    def test_unknown_vendor_falls_back_to_quagga(self, si_lab):
+        sim = BgpSimulation(
+            si_lab.network, si_lab.igp, vendor_overrides={"as1r1": "mystery"}
+        )
+        assert sim.vendors["as1r1"].name == "quagga"
+
+
+class TestSimulation:
+    def test_small_internet_converges(self, si_lab):
+        assert si_lab.bgp_result.converged
+        assert not si_lab.bgp_result.oscillating
+
+    def test_full_reachability_of_loopback_blocks(self, si_lab):
+        """Every router ends with a route for every AS's loopback block."""
+        selected = si_lab.bgp_result.selected
+        all_prefixes = set()
+        for table in selected.values():
+            all_prefixes.update(table)
+        loopback_prefixes = {
+            p for p in all_prefixes if p.subnet_of(ipaddress.ip_network("192.168.0.0/16"))
+        }
+        assert len(loopback_prefixes) == 7
+        for machine, table in selected.items():
+            assert loopback_prefixes <= set(table), machine
+
+    def test_as_path_loop_prevention(self, si_lab):
+        for table in si_lab.bgp_result.selected.values():
+            for route in table.values():
+                assert len(route.as_path) == len(set(route.as_path))
+
+    def test_ibgp_routes_not_reflected_without_rr(self, si_lab):
+        """In a full mesh, iBGP-learned routes come straight from the border."""
+        for machine, table in si_lab.bgp_result.selected.items():
+            for route in table.values():
+                if route.learned_via == "ibgp":
+                    peer_table = si_lab.bgp_result.selected[route.learned_from]
+                    origin_route = peer_table[route.prefix]
+                    assert origin_route.learned_via in ("ebgp", "local")
+
+    def test_next_hop_self_applied(self, si_lab):
+        """iBGP-learned external routes carry the border's loopback."""
+        network = si_lab.network
+        for machine, table in si_lab.bgp_result.selected.items():
+            for route in table.values():
+                if route.learned_via == "ibgp":
+                    owner = network.owner_of(route.next_hop)
+                    assert owner == route.learned_from
+
+    def test_messages_counted(self, si_lab):
+        assert si_lab.bgp_result.messages > 0
+
+    def test_session_requires_reciprocal_config(self, si_render):
+        """Deleting one side's neighbor statement downs the session."""
+        import os
+        import shutil
+        import tempfile
+
+        from repro.emulation import EmulatedLab
+
+        clone = tempfile.mkdtemp()
+        shutil.copytree(si_render.lab_dir, clone, dirs_exist_ok=True)
+        bgpd = os.path.join(clone, "as30r1", "etc", "quagga", "bgpd.conf")
+        text = open(bgpd).read()
+        open(bgpd, "w").write(
+            "\n".join(
+                line for line in text.splitlines() if "neighbor" not in line
+            )
+        )
+        lab = EmulatedLab.boot(clone)
+        assert any("as30r1" in warning for warning in lab.bgp_result.session_warnings)
+
+    def test_max_rounds_exhaustion_reports_undetermined(self, si_render):
+        from repro.emulation import EmulatedLab
+
+        lab = EmulatedLab.boot(si_render.lab_dir, max_rounds=1)
+        assert not lab.bgp_result.converged
+        assert not lab.bgp_result.oscillating

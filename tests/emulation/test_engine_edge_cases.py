@@ -1,0 +1,177 @@
+"""Edge-case coverage for the emulation engines and parsers."""
+
+import ipaddress
+
+import pytest
+
+from repro.emulation import BgpRoute, EmulatedLab
+from repro.emulation.parsing import (
+    parse_bgpd,
+    parse_cbgp_script,
+    parse_ios_config,
+    parse_junos_config,
+)
+from repro.exceptions import ConfigParseError
+
+
+class TestQuaggaPolicyParsing:
+    BGPD = (
+        "hostname r1\n!\nrouter bgp 1\n"
+        " neighbor 10.0.0.2 remote-as 2\n"
+        " neighbor 10.0.0.2 route-map rm-out-x out\n!\n"
+        "route-map rm-out-x permit 10\n"
+        " set metric 30\n"
+        " set as-path prepend 1 1 1\n!\n"
+    )
+
+    def test_med_and_prepend_parsed(self):
+        intent = parse_bgpd(self.BGPD)
+        neighbor = intent.neighbor_for("10.0.0.2")
+        assert neighbor.med_out == 30
+        assert neighbor.prepend_out == 3
+
+    def test_out_map_without_actions(self):
+        text = self.BGPD.replace(" set metric 30\n", "").replace(
+            " set as-path prepend 1 1 1\n", ""
+        )
+        neighbor = parse_bgpd(text).neighbor_for("10.0.0.2")
+        assert neighbor.med_out is None
+        assert neighbor.prepend_out == 0
+
+
+class TestIosParsing:
+    def test_policy_roundtrip(self):
+        text = (
+            "hostname r1\n!\ninterface f0/0\n ip address 10.0.0.1 255.255.255.252\n"
+            " no shutdown\n!\nrouter bgp 1\n"
+            " neighbor 10.0.0.2 remote-as 2\n"
+            " neighbor 10.0.0.2 route-map rm-out-p out\n!\n"
+            "route-map rm-out-p permit 10\n set metric 7\n!\nend\n"
+        )
+        device = parse_ios_config(text, "r1")
+        assert device.bgp.neighbor_for("10.0.0.2").med_out == 7
+
+    def test_ipv6_lines_ignored_gracefully(self):
+        text = (
+            "hostname r1\n!\ninterface f0/0\n ip address 10.0.0.1 255.255.255.252\n"
+            " ipv6 address 2001:db8::1/64\n no shutdown\n!\nend\n"
+        )
+        device = parse_ios_config(text, "r1")
+        assert str(device.interface("f0/0").ip_address) == "10.0.0.1"
+
+
+class TestJunosParsing:
+    def test_export_policy_roundtrip(self):
+        text = """
+system { host-name r1; }
+interfaces { ge-0/0/0 { unit 0 { family inet { address 10.0.0.1/30; } } } }
+routing-options { router-id 10.0.0.1; autonomous-system 1; }
+protocols {
+    bgp {
+        group ebgp-p {
+            type external;
+            peer-as 2;
+            neighbor 10.0.0.2;
+            export out-p;
+        }
+    }
+}
+policy-options {
+    policy-statement out-p {
+        then {
+            metric 9;
+            as-path-prepend "1 1";
+        }
+    }
+}
+"""
+        device = parse_junos_config(text, "r1")
+        neighbor = device.bgp.neighbor_for("10.0.0.2")
+        assert neighbor.med_out == 9
+        assert neighbor.prepend_out == 2
+
+    def test_unbalanced_braces_tolerated(self):
+        device = parse_junos_config("system { host-name r9;", "r9")
+        assert device.hostname == "r9"
+
+
+class TestCbgpParsing:
+    def test_bad_line_raises(self):
+        with pytest.raises(ConfigParseError):
+            parse_cbgp_script("bgp router 1.2.3.4 add network\n")
+
+    def test_peer_option_before_add_raises(self):
+        script = (
+            "net add node 1.1.1.1\nbgp add router 1 1.1.1.1\n"
+            "bgp router 1.1.1.1 peer 2.2.2.2 rr-client\n"
+        )
+        with pytest.raises(ConfigParseError, match="before add"):
+            parse_cbgp_script(script)
+
+    def test_comments_and_sim_run_ignored(self):
+        lab = parse_cbgp_script("# header\nnet add node 1.1.1.1\nsim run\n")
+        assert "1.1.1.1" in lab.devices
+
+
+class TestBgpRouteDataclass:
+    def test_selection_key_fields(self):
+        route = BgpRoute(
+            prefix=ipaddress.ip_network("10.0.0.0/8"),
+            as_path=(1, 2),
+            next_hop=ipaddress.ip_address("10.0.0.1"),
+            local_pref=100,
+            learned_via="ebgp",
+            learned_from="p",
+        )
+        key = route.selection_key()
+        assert key == ("10.0.0.0/8", "10.0.0.1", "p", (1, 2))
+
+    def test_frozen(self):
+        route = BgpRoute(
+            prefix=ipaddress.ip_network("10.0.0.0/8"),
+            as_path=(),
+            next_hop=None,
+            local_pref=100,
+        )
+        with pytest.raises(Exception):
+            route.local_pref = 50
+
+
+class TestDataplaneEdgeCases:
+    def test_forwarding_loop_detected(self, si_lab):
+        """Craft a two-node next-hop loop in a snapshot dataplane."""
+        import copy
+
+        from repro.emulation import Dataplane
+
+        selected = copy.deepcopy(si_lab.bgp_result.selected)
+        prefix = ipaddress.ip_network("198.51.100.0/24")
+        a_loop = BgpRoute(
+            prefix=prefix,
+            as_path=(9,),
+            next_hop=si_lab.network.device("as100r2").loopback,
+            local_pref=100,
+            learned_via="ibgp",
+            learned_from="as100r2",
+        )
+        b_loop = BgpRoute(
+            prefix=prefix,
+            as_path=(9,),
+            next_hop=si_lab.network.device("as100r1").loopback,
+            local_pref=100,
+            learned_via="ibgp",
+            learned_from="as100r1",
+        )
+        selected["as100r1"][prefix] = a_loop
+        selected["as100r2"][prefix] = b_loop
+        dataplane = si_lab.dataplane.with_bgp_snapshot(selected)
+        trace = dataplane.trace("as100r1", "198.51.100.1")
+        assert not trace.reached
+        assert trace.reason in ("forwarding loop", "max hops exceeded")
+
+    def test_path_machines_includes_source(self, si_lab):
+        path = si_lab.dataplane.path_machines(
+            "as100r1", si_lab.network.device("as100r2").loopback
+        )
+        assert path[0] == "as100r1"
+        assert path[-1] == "as100r2"

@@ -1,0 +1,97 @@
+"""Unit tests for lab boot, platform detection, and the DNS engine."""
+
+import os
+
+import pytest
+
+from repro.emulation import EmulatedLab, detect_platform
+from repro.exceptions import EmulationError
+
+
+class TestDetectPlatform:
+    def test_netkit(self, si_render):
+        assert detect_platform(si_render.lab_dir) == "netkit"
+
+    def test_others(self, tmp_path):
+        (tmp_path / "lab.net").write_text("")
+        assert detect_platform(str(tmp_path)) == "dynagen"
+        os.remove(tmp_path / "lab.net")
+        (tmp_path / "topology.vmm").write_text("")
+        assert detect_platform(str(tmp_path)) == "junosphere"
+        os.remove(tmp_path / "topology.vmm")
+        (tmp_path / "network.cli").write_text("")
+        assert detect_platform(str(tmp_path)) == "cbgp"
+
+    def test_unknown_raises(self, tmp_path):
+        with pytest.raises(EmulationError, match="cannot detect"):
+            detect_platform(str(tmp_path))
+
+
+class TestEmulatedLab:
+    def test_boot_reports_converged(self, si_lab):
+        assert si_lab.converged
+        assert not si_lab.oscillating
+        assert "converged" in repr(si_lab)
+
+    def test_vm_access(self, si_lab):
+        assert si_lab.vm("as1r1").name == "as1r1"
+        with pytest.raises(EmulationError):
+            si_lab.vm("ghost")
+
+    def test_vm_by_tap_address(self, si_lab):
+        tap_ips = sorted(si_lab._tap_map)
+        assert len(tap_ips) == 14
+        vm = si_lab.vm_by_tap(tap_ips[0])
+        assert vm.name in si_lab.network.machines
+
+    def test_run_by_name_or_tap(self, si_lab):
+        by_name = si_lab.run("as100r1", "hostname")
+        tap = next(
+            ip for ip, name in si_lab._tap_map.items() if name == "as100r1"
+        )
+        by_tap = si_lab.run(tap, "hostname")
+        assert by_name == by_tap == "as100r1"
+
+    def test_vms_sorted(self, si_lab):
+        names = [vm.name for vm in si_lab.vms()]
+        assert names == sorted(names)
+        assert len(names) == 14
+
+    def test_dataplane_at_round_requires_history(self, si_lab):
+        dataplane = si_lab.dataplane_at_round(0)
+        # Round 0 has only locally originated routes: no cross-AS path.
+        assert not dataplane.ping(
+            "as100r1", si_lab.network.device("as300r1").loopback
+        )
+
+    def test_boot_without_history(self, si_render):
+        lab = EmulatedLab.boot(si_render.lab_dir, keep_history=False)
+        assert lab.bgp_result.history == []
+        with pytest.raises(EmulationError, match="history"):
+            lab.dataplane_at_round(0)
+
+
+class TestDnsEngine:
+    def test_zone_and_record_counts(self, si_lab):
+        assert si_lab.dns.zone_count() == 7
+        # Every device except the 7 servers appears as a client record;
+        # servers also record themselves: 14 forward records total.
+        assert si_lab.dns.record_count() == 14
+
+    def test_forward_resolution_qualified(self, si_lab):
+        assert si_lab.dns.resolve("as100r2.as100.lab") == "192.168.128.2"
+
+    def test_forward_resolution_with_client_domain(self, si_lab):
+        assert si_lab.dns.resolve("as100r2", client="as100r1") == "192.168.128.2"
+
+    def test_forward_resolution_cross_zone_fallback(self, si_lab):
+        assert si_lab.dns.resolve("as300r4") is not None
+
+    def test_reverse_resolution(self, si_lab):
+        assert si_lab.dns.reverse("192.168.128.1") == "as100r1.as100.lab"
+
+    def test_reverse_unknown_none(self, si_lab):
+        assert si_lab.dns.reverse("8.8.8.8") is None
+
+    def test_missing_name_none(self, si_lab):
+        assert si_lab.dns.resolve("doesnotexist") is None

@@ -1,0 +1,97 @@
+"""Unit tests for what-if failure injection (§8)."""
+
+import pytest
+
+from repro.emulation import (
+    EmulatedLab,
+    compare_reachability,
+    fail_links,
+    fail_node,
+    reachability_matrix,
+)
+from repro.exceptions import EmulationError
+
+
+@pytest.fixture(scope="module")
+def lab(tmp_path_factory):
+    from repro.compilers import platform_compiler
+    from repro.design import design_network
+    from repro.loader import small_internet
+    from repro.render import render_nidb
+
+    anm = design_network(small_internet())
+    nidb = platform_compiler("netkit", anm).compile()
+    rendered = render_nidb(nidb, tmp_path_factory.mktemp("whatif"))
+    return EmulatedLab.boot(rendered.lab_dir)
+
+
+def test_baseline_full_reachability(lab):
+    matrix = reachability_matrix(lab)
+    assert matrix and all(matrix.values())
+
+
+def test_fail_intra_as_link_reroutes(lab):
+    """AS100 is a triangle: one internal link down, traffic reroutes."""
+    degraded = fail_links(lab, [("as100r1", "as100r2")])
+    assert degraded.converged
+    loopback = degraded.network.device("as100r2").loopback
+    trace = degraded.dataplane.trace("as100r1", loopback)
+    assert trace.reached
+    assert trace.machines() == ["as100r3", "as100r2"]  # around the triangle
+
+
+def test_fail_link_does_not_mutate_original(lab):
+    fail_links(lab, [("as100r1", "as100r2")])
+    assert lab.network.shared_segments("as100r1", "as100r2")
+    loopback = lab.network.device("as100r2").loopback
+    assert lab.dataplane.trace("as100r1", loopback).machines() == ["as100r2"]
+
+
+def test_fail_cut_link_partitions(lab):
+    """as100r3 -- as200r1 is AS200's only non-transit southern path;
+    cutting both of AS200's links isolates it."""
+    degraded = fail_links(lab, [("as100r3", "as200r1"), ("as200r1", "as300r4")])
+    loopback = degraded.network.device("as200r1").loopback
+    assert not degraded.dataplane.ping("as1r1", loopback)
+
+
+def test_fail_missing_link_raises(lab):
+    with pytest.raises(EmulationError, match="no link"):
+        fail_links(lab, [("as100r1", "as300r1")])
+
+
+def test_fail_node_removes_machine(lab):
+    degraded = fail_node(lab, "as1r1")
+    assert "as1r1" not in degraded.network.machines
+    assert len(degraded.network) == 13
+
+
+def test_fail_transit_node_network_survives(lab):
+    """The lab is dual-homed everywhere: losing the transit hub as1r1
+    leaves every remaining pair reachable via the southern paths."""
+    degraded = fail_node(lab, "as1r1")
+    matrix = reachability_matrix(degraded)
+    assert all(matrix.values())
+    # And routes really did move: as20r1 now reaches AS30 around the
+    # southern ring instead of through as1r1.
+    loopback = degraded.network.device("as30r1").loopback
+    trace = degraded.dataplane.trace("as20r1", loopback)
+    assert trace.reached
+    assert "as300r1" in trace.machines()
+
+
+def test_fail_unknown_node_raises(lab):
+    with pytest.raises(EmulationError, match="no machine"):
+        fail_node(lab, "ghost")
+
+
+def test_compare_reachability_partitions(lab):
+    """Cut both of AS30's uplinks: it drops out of the matrix deltas."""
+    before = reachability_matrix(lab, ["as20r1", "as30r1", "as100r1"])
+    degraded = fail_links(lab, [("as1r1", "as30r1"), ("as30r1", "as300r1")])
+    after = reachability_matrix(degraded, ["as20r1", "as30r1", "as100r1"])
+    delta = compare_reachability(before, after)
+    assert ("as20r1", "as30r1") in delta["lost"]
+    assert ("as30r1", "as100r1") in delta["lost"]
+    assert ("as20r1", "as100r1") in delta["kept"]
+    assert delta["gained"] == set()

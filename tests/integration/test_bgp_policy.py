@@ -1,0 +1,248 @@
+"""Integration: eBGP routing policy end to end (§7.3).
+
+"The routing policy can be stored as a string attribute on the edge in
+the topology graph ... or use attributes that are transformed in the
+compiler."  These tests put ``local_pref`` / ``med`` /
+``as_path_prepend`` attributes on input edges and verify they steer
+route selection in the booted lab — through the rendered config text of
+each vendor.
+"""
+
+import ipaddress
+import tempfile
+
+import networkx as nx
+import pytest
+
+from repro.compilers import platform_compiler
+from repro.design import design_network
+from repro.emulation import EmulatedLab
+from repro.loader import normalise, small_internet
+from repro.render import render_nidb
+
+PREFIX = "203.0.113.0/24"
+
+
+def _dual_exit_topology(**edge_policy):
+    """AS 1 (r1a, r1b) dual-homed to AS 2 (r2): two eBGP exits.
+
+    ``edge_policy`` maps "a"/"b" to attribute dicts applied to the
+    r1a--r2 / r1b--r2 links respectively.
+    """
+    graph = nx.Graph()
+    for name in ("r1a", "r1b"):
+        graph.add_node(name, asn=1, device_type="router")
+    graph.add_node("r2", asn=2, device_type="router")
+    graph.add_node("origin", asn=3, device_type="router", prefixes=[PREFIX])
+    graph.add_edge("r1a", "r1b")
+    graph.add_edge("r1a", "r2", **edge_policy.get("a", {}))
+    graph.add_edge("r1b", "r2", **edge_policy.get("b", {}))
+    graph.add_edge("r1a", "origin")
+    return normalise(graph)
+
+
+def _boot(graph, platform="netkit"):
+    anm = design_network(graph)
+    nidb = platform_compiler(platform, anm).compile()
+    rendered = render_nidb(nidb, tempfile.mkdtemp())
+    return EmulatedLab.boot(rendered.lab_dir, max_rounds=40)
+
+
+def _selected_exit(lab, machine="r2"):
+    route = lab.bgp_result.selected[machine][ipaddress.ip_network(PREFIX)]
+    return route.learned_from, route
+
+
+def test_baseline_tie_breaks_by_router_id():
+    lab = _boot(_dual_exit_topology())
+    exit_machine, _ = _selected_exit(lab)
+    # Equal attributes: quagga falls to peer router-id; r1a < r1b.
+    assert exit_machine == "r1a"
+
+
+@pytest.mark.parametrize("platform", ["netkit", "dynagen", "junosphere"])
+def test_prepend_shifts_selection(platform):
+    """Prepending on the r1a link makes r2 prefer the r1b exit."""
+    lab = _boot(_dual_exit_topology(a={"as_path_prepend": 2}), platform)
+    exit_machine, route = _selected_exit(lab)
+    assert exit_machine == "r1b"
+    # The alternative (prepended) path would carry 1,1,1,3.
+    assert route.as_path == (1, 3)
+
+
+@pytest.mark.parametrize("platform", ["netkit", "dynagen", "junosphere"])
+def test_med_shifts_selection(platform):
+    """A lower MED on the r1b link wins within the same neighbour AS."""
+    lab = _boot(
+        _dual_exit_topology(a={"med": 50}, b={"med": 10}), platform
+    )
+    exit_machine, route = _selected_exit(lab)
+    assert exit_machine == "r1b"
+    assert route.med == 10
+
+
+def test_local_pref_dominates_prepend():
+    """local_pref on the prepended session still wins (step 1 beats 3)."""
+    lab = _boot(
+        _dual_exit_topology(a={"as_path_prepend": 3, "local_pref": 500})
+    )
+    exit_machine, route = _selected_exit(lab)
+    assert exit_machine == "r1a"
+    assert route.local_pref == 500
+
+
+def test_prepend_visible_in_rendered_configs():
+    graph = _dual_exit_topology(a={"as_path_prepend": 2})
+    anm = design_network(graph)
+    nidb = platform_compiler("netkit", anm).compile()
+    rendered = render_nidb(nidb, tempfile.mkdtemp())
+    import os
+
+    text = open(
+        os.path.join(rendered.lab_dir, "r1a", "etc", "quagga", "bgpd.conf")
+    ).read()
+    assert "route-map rm-out-r2 out" in text
+    assert "set as-path prepend 1 1" in text
+
+
+def test_med_visible_in_all_vendor_configs(tmp_path):
+    graph = _dual_exit_topology(a={"med": 50})
+    import os
+
+    anm = design_network(graph)
+    quagga = render_nidb(
+        platform_compiler("netkit", anm).compile(), tmp_path / "q"
+    )
+    assert "set metric 50" in open(
+        os.path.join(quagga.lab_dir, "r1a", "etc", "quagga", "bgpd.conf")
+    ).read()
+    anm = design_network(graph)
+    ios = render_nidb(
+        platform_compiler("dynagen", anm).compile(), tmp_path / "i"
+    )
+    assert "set metric 50" in open(
+        os.path.join(ios.lab_dir, "configs", "r1a.cfg")
+    ).read()
+    anm = design_network(graph)
+    junos = render_nidb(
+        platform_compiler("junosphere", anm).compile(), tmp_path / "j"
+    )
+    assert "metric 50;" in open(
+        os.path.join(junos.lab_dir, "configs", "r1a.conf")
+    ).read()
+
+
+def test_prepend_parse_roundtrip():
+    """The parsed intent carries the prepend count for every vendor."""
+    graph = _dual_exit_topology(a={"as_path_prepend": 2})
+    for platform, machine in (("netkit", "r1a"), ("dynagen", "r1a"), ("junosphere", "r1a")):
+        lab = _boot(graph, platform)
+        device = lab.network.device(machine)
+        r2_sessions = [
+            n for n in device.bgp.neighbors if n.remote_asn == 2
+        ]
+        assert r2_sessions and r2_sessions[0].prepend_out == 2, platform
+
+
+class TestCommunities:
+    def _community_topology(self):
+        return _dual_exit_topology(a={"community": "1:666"})
+
+    @pytest.mark.parametrize("platform", ["netkit", "dynagen", "junosphere"])
+    def test_communities_attached_on_export(self, platform):
+        lab = _boot(self._community_topology(), platform)
+        prefix = ipaddress.ip_network(PREFIX)
+        # r2's Adj-RIB holds two paths; the selected one (via r1a,
+        # router-id tie-break) carries the tagged community.
+        route = lab.bgp_result.selected["r2"][prefix]
+        assert route.learned_from == "r1a"
+        assert route.communities == ("1:666",)
+
+    def test_communities_transit_through_ibgp(self):
+        """Communities are transitive: they survive iBGP propagation."""
+        graph = small_internet()
+        graph.edges["as1r1", "as20r3"]["community"] = "1:100"
+        lab = _boot(graph)
+        prefix = next(
+            p
+            for p in lab.bgp_result.selected["as20r1"]
+            if str(p).startswith("192.168.0.")  # AS1's loopback block
+        )
+        route = lab.bgp_result.selected["as20r1"][prefix]
+        if route.learned_from == "as20r3" or route.learned_via == "ibgp":
+            assert "1:100" in route.communities
+
+    def test_community_rendered_in_configs(self, tmp_path):
+        import os
+
+        anm = design_network(self._community_topology())
+        nidb = platform_compiler("netkit", anm).compile()
+        rendered = render_nidb(nidb, tmp_path)
+        text = open(
+            os.path.join(rendered.lab_dir, "r1a", "etc", "quagga", "bgpd.conf")
+        ).read()
+        assert "set community 1:666 additive" in text
+
+    def test_community_parse_roundtrip_all_vendors(self):
+        for platform in ("netkit", "dynagen", "junosphere"):
+            lab = _boot(self._community_topology(), platform)
+            device = lab.network.device("r1a")
+            session = next(n for n in device.bgp.neighbors if n.remote_asn == 2)
+            assert session.communities_out == ("1:666",), platform
+
+
+class TestPrefixFilters:
+    """deny_prefixes_out / deny_prefixes_in edge attributes (§7.3)."""
+
+    def _filtered_topology(self, direction="out"):
+        graph = _dual_exit_topology()
+        # AS 1's loopback block (2 ASes + origin AS -> /18s? compute
+        # from the design) is what we filter; use the origin prefix
+        # instead, which is stable.
+        key = "deny_prefixes_%s" % direction
+        graph.edges["r1a", "r2"][key] = [PREFIX]
+        return graph
+
+    @pytest.mark.parametrize("platform", ["netkit", "dynagen", "junosphere"])
+    def test_outbound_filter_forces_other_exit(self, platform):
+        lab = _boot(self._filtered_topology("out"), platform)
+        exit_machine, route = _selected_exit(lab)
+        # r1a suppresses the prefix on its session: r2 learns via r1b.
+        assert exit_machine == "r1b", platform
+
+    @pytest.mark.parametrize("platform", ["netkit", "dynagen", "junosphere"])
+    def test_inbound_filter_equivalent(self, platform):
+        lab = _boot(self._filtered_topology("in"), platform)
+        exit_machine, _ = _selected_exit(lab)
+        assert exit_machine == "r1b", platform
+
+    def test_other_prefixes_unaffected(self):
+        lab = _boot(self._filtered_topology("out"))
+        # AS 1's own blocks still flow over the filtered session.
+        selected = lab.bgp_result.selected["r2"]
+        from_r1a = [
+            route for route in selected.values() if route.learned_from == "r1a"
+        ]
+        assert from_r1a  # only the filtered prefix moved away
+
+    def test_filter_rendered_in_quagga_config(self, tmp_path):
+        import os
+
+        anm = design_network(self._filtered_topology("out"))
+        nidb = platform_compiler("netkit", anm).compile()
+        rendered = render_nidb(nidb, tmp_path)
+        text = open(
+            os.path.join(rendered.lab_dir, "r1a", "etc", "quagga", "bgpd.conf")
+        ).read()
+        assert "prefix-list pl-out-r2 out" in text
+        assert "ip prefix-list pl-out-r2 seq 5 deny %s" % PREFIX in text
+        assert "permit 0.0.0.0/0 le 32" in text
+
+    def test_filter_parse_roundtrip_all_vendors(self):
+        import ipaddress as ipa
+
+        for platform in ("netkit", "dynagen", "junosphere"):
+            lab = _boot(self._filtered_topology("out"), platform)
+            device = lab.network.device("r1a")
+            session = next(n for n in device.bgp.neighbors if n.remote_asn == 2)
+            assert session.deny_out == (ipa.ip_network(PREFIX),), platform

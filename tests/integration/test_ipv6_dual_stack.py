@@ -1,0 +1,120 @@
+"""Integration: dual-stack IPv6 addressing through the pipeline (§5.3).
+
+The paper's allocator is a plugin; the IPv6 design rule reuses the
+same collision-domain machinery with IPv6 conventions (/64 per domain,
+/128 loopbacks) and the compiler emits dual-stack interface
+configuration for every vendor.
+"""
+
+import ipaddress
+import os
+import tempfile
+
+import pytest
+
+from repro.compilers import platform_compiler
+from repro.design import collision_domains, design_network
+from repro.emulation import EmulatedLab
+from repro.loader import fig5_topology, small_internet
+from repro.render import render_nidb
+
+DUAL_STACK_RULES = ("phy", "ipv4", "ipv6", "ospf", "ebgp", "ibgp", "dns")
+
+
+@pytest.fixture(scope="module")
+def anm():
+    return design_network(small_internet(), rules=DUAL_STACK_RULES)
+
+
+class TestIpv6Overlay:
+    def test_every_domain_gets_a_slash_64(self, anm):
+        domains = collision_domains(anm["ipv6"])
+        assert len(domains) == 18
+        assert all(domain.subnet.prefixlen == 64 for domain in domains)
+
+    def test_loopbacks_unique_v6(self, anm):
+        loopbacks = [node.loopback for node in anm["ipv6"] if node.loopback]
+        assert len(loopbacks) == 14
+        assert len(set(loopbacks)) == 14
+        assert all(
+            loopback in ipaddress.ip_network("2001:db8:ffff::/48")
+            for loopback in loopbacks
+        )
+
+    def test_v6_subnets_disjoint(self, anm):
+        subnets = [d.subnet for d in collision_domains(anm["ipv6"])]
+        for i, a in enumerate(subnets):
+            for b in subnets[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_per_as_blocks_recorded(self, anm):
+        blocks = anm["ipv6"].data.infra_blocks
+        assert set(blocks) == {1, 20, 30, 40, 100, 200, 300}
+        assert all(block.version == 6 for block in blocks.values())
+
+    def test_same_collision_domain_structure_as_v4(self, anm):
+        v4_ids = {str(d.node_id) for d in collision_domains(anm["ipv4"])}
+        v6_ids = {str(d.node_id) for d in collision_domains(anm["ipv6"])}
+        assert v4_ids == v6_ids
+
+    def test_deterministic(self):
+        first = design_network(small_internet(), rules=DUAL_STACK_RULES)["ipv6"]
+        second = design_network(small_internet(), rules=DUAL_STACK_RULES)["ipv6"]
+        for node in first:
+            assert second.node(node.node_id).loopback == node.loopback
+
+
+class TestDualStackCompile:
+    @pytest.fixture(scope="class")
+    def nidb(self, anm):
+        return platform_compiler("netkit", anm).compile()
+
+    def test_interfaces_carry_both_families(self, nidb):
+        device = nidb.node("as100r1")
+        assert device.loopback_v6 is not None
+        for interface in device.physical_interfaces():
+            assert interface.ipv6_address is not None
+            assert interface.ipv6_prefixlen == 64
+        loopback = device.loopback_interface()
+        assert loopback.ipv6_prefixlen == 128
+
+    def test_v4_only_designs_unaffected(self):
+        anm = design_network(small_internet())
+        nidb = platform_compiler("netkit", anm).compile()
+        device = nidb.node("as100r1")
+        assert device.loopback_v6 is None
+        assert device.physical_interfaces()[0].ipv6_address is None
+
+
+class TestDualStackRendering:
+    @pytest.fixture(scope="class")
+    def rendered(self, anm, tmp_path_factory):
+        nidb = platform_compiler("netkit", anm).compile()
+        return render_nidb(nidb, tmp_path_factory.mktemp("v6"))
+
+    def test_startup_has_v6_lines(self, rendered):
+        text = open(os.path.join(rendered.lab_dir, "as100r1.startup")).read()
+        assert "add 2001:db8:" in text
+        assert "/64 up" in text
+        assert "/128 up" in text
+
+    def test_ios_and_junos_dual_stack(self, tmp_path):
+        anm = design_network(fig5_topology(), rules=DUAL_STACK_RULES)
+        ios = render_nidb(platform_compiler("dynagen", anm).compile(), tmp_path / "i")
+        text = open(os.path.join(ios.lab_dir, "configs", "r1.cfg")).read()
+        assert "ipv6 address 2001:db8:" in text
+        anm = design_network(fig5_topology(), rules=DUAL_STACK_RULES)
+        junos = render_nidb(
+            platform_compiler("junosphere", anm).compile(), tmp_path / "j"
+        )
+        text = open(os.path.join(junos.lab_dir, "configs", "r1.conf")).read()
+        assert "family inet6 {" in text
+
+    def test_lab_boots_with_v6_intent(self, rendered):
+        lab = EmulatedLab.boot(rendered.lab_dir)
+        assert lab.converged  # v4 control plane unaffected
+        device = lab.network.device("as100r1")
+        physical = [i for i in device.interfaces if not i.is_loopback and not i.is_management]
+        assert all(i.ipv6_address is not None for i in physical)
+        loopback = next(i for i in device.interfaces if i.is_loopback)
+        assert loopback.ipv6_prefixlen == 128

@@ -1,0 +1,209 @@
+"""Unit tests for GraphML/GML/JSON round-trips (§5.1)."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import LoaderError
+from repro.loader import (
+    dump_json,
+    fig5_topology,
+    graph_from_dict,
+    load_gml,
+    load_graphml,
+    load_json,
+    save_gml,
+    save_graphml,
+)
+
+
+def test_graphml_roundtrip(tmp_path):
+    path = tmp_path / "net.graphml"
+    save_graphml(fig5_topology(), path)
+    loaded = load_graphml(path)
+    assert set(loaded.nodes) == {"r1", "r2", "r3", "r4", "r5"}
+    assert loaded.nodes["r5"]["asn"] == 2
+    assert loaded.has_edge("r1", "r2")
+
+
+def test_graphml_string_asn_coerced(tmp_path):
+    graph = nx.Graph()
+    graph.add_node("r1", asn="10")
+    graph.add_node("r2", asn="10")
+    graph.add_edge("r1", "r2")
+    path = tmp_path / "s.graphml"
+    nx.write_graphml(graph, path)
+    loaded = load_graphml(path)
+    assert loaded.nodes["r1"]["asn"] == 10
+
+
+def test_graphml_applies_defaults(tmp_path):
+    path = tmp_path / "net.graphml"
+    save_graphml(fig5_topology(), path)
+    loaded = load_graphml(path)
+    assert loaded.nodes["r1"]["platform"] == "netkit"
+
+
+def test_graphml_bad_file_raises(tmp_path):
+    path = tmp_path / "broken.graphml"
+    path.write_text("this is not xml")
+    with pytest.raises(LoaderError):
+        load_graphml(path)
+
+
+def test_graphml_missing_file_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_graphml(tmp_path / "missing.graphml")
+
+
+def test_gml_roundtrip(tmp_path):
+    path = tmp_path / "net.gml"
+    save_gml(fig5_topology(), path)
+    loaded = load_gml(path)
+    assert len(loaded) == 5
+    assert loaded.nodes["r1"]["device_type"] == "router"
+
+
+def test_gml_bad_file_raises(tmp_path):
+    path = tmp_path / "broken.gml"
+    path.write_text("graph [ node [ id")
+    with pytest.raises(LoaderError):
+        load_gml(path)
+
+
+def test_json_graph_from_dict():
+    graph = graph_from_dict(
+        {
+            "nodes": [{"id": "a", "asn": 1}, {"id": "b", "asn": 2}],
+            "links": [{"src": "a", "dst": "b", "ospf_cost": 5}],
+        }
+    )
+    assert graph.nodes["b"]["asn"] == 2
+    assert graph.edges["a", "b"]["ospf_cost"] == 5
+
+
+def test_json_dict_missing_nodes_key():
+    with pytest.raises(LoaderError, match="nodes"):
+        graph_from_dict({"links": []})
+
+
+def test_json_node_without_id():
+    with pytest.raises(LoaderError, match="id"):
+        graph_from_dict({"nodes": [{"asn": 1}]})
+
+
+def test_json_link_with_unknown_endpoint():
+    with pytest.raises(LoaderError, match="declared node"):
+        graph_from_dict(
+            {"nodes": [{"id": "a", "asn": 1}], "links": [{"src": "a", "dst": "ghost"}]}
+        )
+
+
+def test_json_file_roundtrip(tmp_path):
+    path = tmp_path / "net.json"
+    dump_json(fig5_topology(), path)
+    loaded = load_json(path)
+    assert set(loaded.nodes) == {"r1", "r2", "r3", "r4", "r5"}
+    assert loaded.has_edge("r3", "r5")
+
+
+def test_json_bad_file_raises(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    with pytest.raises(LoaderError):
+        load_json(path)
+
+
+def test_json_accepts_edges_alias():
+    graph = graph_from_dict(
+        {
+            "nodes": [{"id": "a", "asn": 1}, {"id": "b", "asn": 1}],
+            "edges": [{"src": "a", "dst": "b"}],
+        }
+    )
+    assert graph.has_edge("a", "b")
+
+
+class TestAnnotateAsByAttribute:
+    def _zoo_graph(self):
+        graph = nx.Graph()
+        graph.add_node("ber", Country="Germany")
+        graph.add_node("muc", Country="Germany")
+        graph.add_node("par", Country="France")
+        graph.add_node("unknown")
+        graph.add_edge("ber", "muc")
+        graph.add_edge("muc", "par")
+        graph.add_edge("par", "unknown")
+        return graph
+
+    def test_one_as_per_country(self):
+        from repro.loader import annotate_as_by_attribute
+
+        graph = annotate_as_by_attribute(self._zoo_graph())
+        assert graph.nodes["ber"]["asn"] == graph.nodes["muc"]["asn"]
+        assert graph.nodes["ber"]["asn"] != graph.nodes["par"]["asn"]
+
+    def test_fallback_asn_for_missing_attribute(self):
+        from repro.loader import annotate_as_by_attribute
+
+        graph = annotate_as_by_attribute(self._zoo_graph(), base_asn=200)
+        assert graph.nodes["unknown"]["asn"] == 199
+
+    def test_deterministic_assignment(self):
+        from repro.loader import annotate_as_by_attribute
+
+        first = annotate_as_by_attribute(self._zoo_graph())
+        second = annotate_as_by_attribute(self._zoo_graph())
+        for name in first.nodes:
+            assert first.nodes[name]["asn"] == second.nodes[name]["asn"]
+
+    def test_designs_end_to_end(self):
+        from repro.design import design_network
+        from repro.loader import annotate_as_by_attribute
+
+        graph = annotate_as_by_attribute(self._zoo_graph())
+        anm = design_network(graph)
+        # Germany's two routers form the only same-AS (OSPF) edge.
+        assert anm["ospf"].number_of_edges() == 1
+        assert anm["ebgp"].number_of_edges() == 4  # two links, bidirected
+
+
+class TestBundledTopologyFiles:
+    """The files under examples/topologies/ must stay loadable."""
+
+    DIR = __import__("os").path.join(
+        __import__("os").path.dirname(__file__), "..", "..", "examples", "topologies"
+    )
+
+    def _path(self, name):
+        import os
+
+        return os.path.join(self.DIR, name)
+
+    def test_small_internet_graphml(self):
+        graph = load_graphml(self._path("small_internet.graphml"))
+        assert len(graph) == 14
+
+    def test_fig5_all_formats_agree(self):
+        from_graphml = load_graphml(self._path("fig5.graphml"))
+        from_json = load_json(self._path("fig5.json"))
+        from_gml = load_gml(self._path("fig5.gml"))
+        assert set(from_graphml.nodes) == set(from_json.nodes) == set(from_gml.nodes)
+        assert (
+            from_graphml.number_of_edges()
+            == from_json.number_of_edges()
+            == from_gml.number_of_edges()
+        )
+
+    def test_isp_cch(self):
+        from repro.loader import load_rocketfuel
+
+        graph = load_rocketfuel(self._path("isp.cch"), asn=64512)
+        assert len(graph) == 8
+
+    def test_three_areas_designs(self):
+        from repro.design import design_network
+
+        graph = load_graphml(self._path("three_areas.graphml"))
+        anm = design_network(graph)
+        areas = {edge.area for edge in anm["ospf"].edges()}
+        assert areas == {0, 1, 2}

@@ -1,0 +1,89 @@
+"""Unit tests for the Rocketfuel .cch parser (§5.1)."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import LoaderError
+from repro.loader import load_rocketfuel, parse_cch_line, write_cch
+from repro.loader.topology_gen import ring_topology
+
+SAMPLE = """\
+# Rocketfuel-style map
+121 @ATLANTA,GA + bb (3) &1 -> <5227> <5229> {-1} =fe0.cr1.atl r0
+5227 @ATLANTA,GA + (2) -> <121> <5229> =ge1.ar1.atl r1
+5229 @CHICAGO,IL (2) -> <121> <5227> =so0.cr2.chi r1
+-1 @EXTERNAL (1) -> <121> =peer.example r2
+"""
+
+
+def test_parse_single_line_fields():
+    record = parse_cch_line("121 @ATLANTA,GA + bb (3) &1 -> <5227> <5229> {-1} =fe0.cr1.atl r0")
+    assert record["uid"] == 121
+    assert record["location"] == "ATLANTA,GA"
+    assert record["backbone"] is True
+    assert record["responsive"] is True
+    assert record["neighbors"] == [5227, 5229]
+    assert record["external_neighbors"] == [-1]
+    assert record["name"] == "fe0.cr1.atl"
+    assert record["radius"] == 0
+
+
+def test_parse_line_without_optionals():
+    record = parse_cch_line("5229 @CHICAGO,IL (2) -> <121> <5227> =so0.cr2.chi r1")
+    assert record["backbone"] is False
+    assert record["responsive"] is False
+    assert record["external_neighbors"] == []
+
+
+def test_parse_skips_blank_and_comments():
+    assert parse_cch_line("") is None
+    assert parse_cch_line("# comment") is None
+
+
+def test_parse_bad_line_raises():
+    with pytest.raises(LoaderError):
+        parse_cch_line("garbage line without structure")
+
+
+def test_load_rocketfuel_builds_graph(tmp_path):
+    path = tmp_path / "as1.cch"
+    path.write_text(SAMPLE)
+    graph = load_rocketfuel(path, asn=7018)
+    assert set(graph.nodes) == {"r121", "r5227", "r5229"}
+    assert graph.nodes["r121"]["asn"] == 7018
+    assert graph.nodes["r121"]["backbone"] is True
+    assert graph.has_edge("r121", "r5227")
+    assert graph.number_of_edges() == 3
+
+
+def test_load_rocketfuel_with_externals(tmp_path):
+    path = tmp_path / "as1.cch"
+    path.write_text(SAMPLE)
+    graph = load_rocketfuel(path, include_external=True)
+    assert "ext1" in graph.nodes
+    assert graph.nodes["ext1"]["device_type"] == "external"
+    assert graph.has_edge("r121", "ext1")
+
+
+def test_load_rocketfuel_empty_file(tmp_path):
+    path = tmp_path / "empty.cch"
+    path.write_text("# nothing\n")
+    with pytest.raises(LoaderError, match="no router records"):
+        load_rocketfuel(path)
+
+
+def test_write_cch_roundtrip(tmp_path):
+    original = ring_topology(5, asn=3)
+    path = tmp_path / "ring.cch"
+    write_cch(original, path)
+    loaded = load_rocketfuel(path, asn=3)
+    assert len(loaded) == 5
+    assert loaded.number_of_edges() == 5
+    assert nx.is_connected(loaded)
+
+
+def test_rocketfuel_labels_use_names(tmp_path):
+    path = tmp_path / "as1.cch"
+    path.write_text(SAMPLE)
+    graph = load_rocketfuel(path)
+    assert graph.nodes["r121"]["label"] == "fe0.cr1.atl"

@@ -1,0 +1,124 @@
+"""Unit tests for input validation and defaulting (§5.1, §6.1)."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import TopologyValidationError
+from repro.loader import apply_defaults, coerce_asn, normalise, validate
+from repro.loader.validate import EDGE_DEFAULTS, NODE_DEFAULTS, physical_edges
+
+
+def _graph(**node_attrs):
+    graph = nx.Graph()
+    graph.add_node("r1", asn=1, **node_attrs)
+    graph.add_node("r2", asn=1)
+    graph.add_edge("r1", "r2")
+    return graph
+
+
+def test_defaults_match_walkthrough():
+    """§6.1: device_type=router, platform=netkit, syntax=quagga."""
+    assert NODE_DEFAULTS["device_type"] == "router"
+    assert NODE_DEFAULTS["platform"] == "netkit"
+    assert NODE_DEFAULTS["syntax"] == "quagga"
+    assert EDGE_DEFAULTS["type"] == "physical"
+
+
+def test_apply_defaults_fills_missing_only():
+    graph = _graph(device_type="server")
+    apply_defaults(graph)
+    assert graph.nodes["r1"]["device_type"] == "server"
+    assert graph.nodes["r2"]["device_type"] == "router"
+    assert graph.edges["r1", "r2"]["type"] == "physical"
+
+
+def test_validate_accepts_good_graph():
+    validate(apply_defaults(_graph()))
+
+
+def test_validate_rejects_empty_graph():
+    with pytest.raises(TopologyValidationError):
+        validate(nx.Graph())
+
+
+def test_validate_rejects_self_loops():
+    graph = apply_defaults(_graph())
+    graph.add_edge("r1", "r1")
+    with pytest.raises(TopologyValidationError, match="self-loop"):
+        validate(graph)
+
+
+def test_validate_rejects_missing_asn():
+    graph = nx.Graph()
+    graph.add_node("r1")
+    apply_defaults(graph)
+    with pytest.raises(TopologyValidationError, match="no asn"):
+        validate(graph)
+
+
+def test_validate_asn_optional_when_disabled():
+    graph = nx.Graph()
+    graph.add_node("r1")
+    apply_defaults(graph)
+    validate(graph, require_asn=False)
+
+
+@pytest.mark.parametrize("bad_asn", [0, -5, 1.5, "20", True])
+def test_validate_rejects_bad_asn_values(bad_asn):
+    graph = nx.Graph()
+    graph.add_node("r1", asn=bad_asn)
+    apply_defaults(graph)
+    with pytest.raises(TopologyValidationError):
+        validate(graph)
+
+
+def test_validate_ignores_asn_on_switches():
+    graph = nx.Graph()
+    graph.add_node("sw1", device_type="switch")
+    graph.add_node("r1", asn=1)
+    apply_defaults(graph)
+    validate(graph)
+
+
+def test_validate_string_coercion_collision():
+    graph = nx.Graph()
+    graph.add_node(1, asn=1)
+    graph.add_node("1", asn=1)
+    apply_defaults(graph)
+    with pytest.raises(TopologyValidationError, match="collide"):
+        validate(graph)
+
+
+def test_coerce_asn_converts_strings():
+    graph = nx.Graph()
+    graph.add_node("r1", asn="42")
+    coerce_asn(graph)
+    assert graph.nodes["r1"]["asn"] == 42
+
+
+def test_coerce_asn_rejects_garbage():
+    graph = nx.Graph()
+    graph.add_node("r1", asn="twenty")
+    with pytest.raises(TopologyValidationError):
+        coerce_asn(graph)
+
+
+def test_normalise_full_pipeline():
+    graph = nx.Graph()
+    graph.add_node("r1", asn="7")
+    graph.add_node("r2", asn=7)
+    graph.add_edge("r1", "r2")
+    normalise(graph)
+    assert graph.nodes["r1"]["asn"] == 7
+    assert graph.nodes["r1"]["device_type"] == "router"
+
+
+def test_physical_edges_filter():
+    graph = _graph()
+    graph.add_edge("r1", "r1x") if False else None
+    graph.add_node("s1", asn=1)
+    graph.add_edge("r2", "s1", type="service")
+    apply_defaults(graph)
+    kept = list(physical_edges(graph))
+    assert len(kept) == 1
+    assert kept[0][:2] == ("r1", "r2")

@@ -1,0 +1,138 @@
+"""Unit tests for bundled templates, IP mapping, and the client (§5.7)."""
+
+import pytest
+
+from repro.measurement import (
+    IpMapper,
+    MeasurementClient,
+    map_traceroute,
+    parse_bgp_summary,
+    parse_ospf_neighbors,
+    parse_ping,
+    parse_traceroute,
+    send,
+    template_for_command,
+)
+from repro.exceptions import MeasurementError
+
+TRACEROUTE_OUTPUT = """\
+traceroute to 192.168.128.2 (192.168.128.2), 30 hops max, 60 byte packets
+ 1  10.6.0.1  0.920 ms  0.057 ms  0.094 ms
+ 2  10.6.0.6  0.438 ms  0.475 ms  0.512 ms
+ 3  192.168.128.2  0.491 ms  0.528 ms  0.565 ms
+"""
+
+
+class TestBundledTemplates:
+    def test_traceroute_rows(self):
+        rows = parse_traceroute(TRACEROUTE_OUTPUT)
+        assert [row["HOP"] for row in rows] == ["1", "2", "3"]
+        assert rows[0]["ADDRESS"] == "10.6.0.1"
+        assert rows[0]["DESTINATION"] == "192.168.128.2"
+
+    def test_traceroute_star_hops(self):
+        rows = parse_traceroute(
+            "traceroute to x (10.0.0.1), 30 hops max, 60 byte packets\n 1  * * *\n"
+        )
+        assert rows and rows[0]["HOP"] == "1"
+
+    def test_ospf_neighbor_rows(self, si_lab):
+        out = si_lab.vm("as100r1").run("show ip ospf neighbor")
+        rows = parse_ospf_neighbors(out)
+        assert len(rows) == 2
+        assert all(row["STATE"].startswith("Full") for row in rows)
+
+    def test_bgp_summary_rows(self, si_lab):
+        out = si_lab.vm("as100r1").run("show ip bgp summary")
+        rows = parse_bgp_summary(out)
+        assert len(rows) == 3
+        assert rows[0]["LOCAL_AS"] == "100"
+
+    def test_ping_rows(self, si_lab):
+        out = si_lab.vm("as100r1").run("ping -c 1 192.168.128.2")
+        rows = parse_ping(out)
+        assert rows == [
+            {
+                "DESTINATION": "192.168.128.2",
+                "TRANSMITTED": "1",
+                "RECEIVED": "1",
+                "LOSS": "0",
+            }
+        ]
+
+    def test_template_selection(self):
+        assert template_for_command("traceroute -naU 1.2.3.4") is not None
+        assert template_for_command("show ip ospf neighbor") is not None
+        assert template_for_command("show ip bgp summary") is not None
+        assert template_for_command("show ip bgp") is not None
+        assert template_for_command("hostname") is None
+
+
+class TestIpMapper:
+    def test_interface_and_loopback_lookup(self, si_nidb):
+        mapper = IpMapper(si_nidb)
+        device = si_nidb.node("as100r1")
+        assert mapper.device_for(device.loopback) == "as100r1"
+        first_interface = device.physical_interfaces()[0]
+        assert mapper.device_for(first_interface.ip_address) == "as100r1"
+        assert mapper.asn_for(device.loopback) == 100
+        assert mapper.interface_for(device.loopback) == "lo"
+
+    def test_unknown_address(self, si_nidb):
+        mapper = IpMapper(si_nidb)
+        assert mapper.device_for("8.8.8.8") is None
+
+    def test_map_path_keeps_unknowns(self, si_nidb):
+        mapper = IpMapper(si_nidb)
+        device = si_nidb.node("as1r1")
+        path = mapper.map_path([str(device.loopback), "8.8.8.8", "*"])
+        assert path == ["as1r1", "8.8.8.8", "*"]
+
+    def test_as_path_dedupes_consecutive(self, si_nidb):
+        mapper = IpMapper(si_nidb)
+        a = str(si_nidb.node("as100r1").loopback)
+        b = str(si_nidb.node("as100r2").loopback)
+        c = str(si_nidb.node("as1r1").loopback)
+        assert mapper.as_path([a, b, c]) == [100, 1]
+
+    def test_map_traceroute_helper(self, si_nidb, si_lab):
+        out = si_lab.vm("as300r2").run("traceroute -naU 192.168.128.2")
+        mapped = map_traceroute(si_nidb, parse_traceroute(out))
+        assert mapped["devices"][-1] == "as100r2"
+        assert mapped["as_path"][-1] == 100
+
+
+class TestMeasurementClient:
+    def test_fan_out_traceroute(self, si_lab, si_nidb):
+        client = MeasurementClient(si_lab, si_nidb)
+        run = client.send(
+            "traceroute -naU 192.168.128.2", ["as300r2", "as20r1"]
+        )
+        assert len(run.results) == 2
+        by_machine = run.by_machine()
+        assert by_machine["as300r2"].mapped_path[-1] == "as100r2"
+        assert by_machine["as300r2"].as_path[0] in (200, 300, 40, 30)
+        assert all(result.parsed for result in run.results)
+
+    def test_paper_walkthrough_api(self, si_lab, si_nidb):
+        """§6.1: measure.send(nidb, cmd, hosts) with TAP addresses."""
+        hosts = [device.tap.ip for device in si_nidb.routers()][:3]
+        run = send(si_nidb, "traceroute -naU 192.168.128.1", hosts, lab=si_lab)
+        assert len(run.results) == 3
+        assert all(result.machine for result in run.results)
+
+    def test_paths_collector(self, si_lab, si_nidb):
+        client = MeasurementClient(si_lab, si_nidb)
+        run = client.send("traceroute -naU 192.168.0.1", ["as100r1", "as300r3"])
+        assert len(run.paths()) == 2
+
+    def test_show_commands_parsed_without_mapping(self, si_lab, si_nidb):
+        client = MeasurementClient(si_lab, si_nidb)
+        run = client.send("show ip ospf neighbor", ["as100r1"])
+        assert run.results[0].parsed
+        assert run.results[0].mapped_path == []
+
+    def test_unknown_host_raises(self, si_lab, si_nidb):
+        client = MeasurementClient(si_lab, si_nidb)
+        with pytest.raises(MeasurementError, match="neither"):
+            client.send("hostname", ["10.99.99.99"])

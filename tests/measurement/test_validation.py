@@ -1,0 +1,54 @@
+"""Unit tests for design-vs-measured validation (§5.7, E9)."""
+
+from repro.measurement import (
+    ValidationReport,
+    measured_ospf_graph,
+    validate_bgp_sessions,
+    validate_ospf,
+)
+
+
+def test_measured_ospf_graph_shape(si_lab, si_nidb):
+    graph = measured_ospf_graph(si_lab, si_nidb)
+    # Only routers with OSPF configured appear: the 10 routers of the
+    # multi-router ASes (3 + 3 + 4); the four single-router ASes run none.
+    assert graph.number_of_nodes() == 10
+    assert graph.number_of_edges() == 10
+
+
+def test_ospf_validation_matches_design(si_lab, si_nidb, si_anm):
+    report = validate_ospf(si_lab, si_nidb, si_anm["ospf"])
+    assert report.ok, report.summary()
+    assert report.missing == set()
+    assert report.unexpected == set()
+    assert "matches design" in report.summary()
+
+
+def test_bgp_session_validation_matches_design(si_lab, si_nidb):
+    report = validate_bgp_sessions(si_lab, si_nidb)
+    assert report.ok, report.summary()
+    # 8 eBGP + 12 iBGP bidirectional sessions.
+    assert len(report.designed_edges) == 20
+
+
+def test_validation_detects_missing_adjacency(si_lab, si_nidb, si_anm):
+    """Design an extra edge the running network never had: flagged."""
+    report = validate_ospf(si_lab, si_nidb, si_anm["ospf"])
+    tampered = ValidationReport(
+        overlay_id="ospf",
+        designed_edges=report.designed_edges | {("as100r1", "as300r1")},
+        measured_edges=report.measured_edges,
+    )
+    assert not tampered.ok
+    assert tampered.missing == {("as100r1", "as300r1")}
+    assert "1 missing" in tampered.summary()
+
+
+def test_validation_detects_unexpected_adjacency(si_lab, si_nidb, si_anm):
+    report = validate_ospf(si_lab, si_nidb, si_anm["ospf"])
+    tampered = ValidationReport(
+        overlay_id="ospf",
+        designed_edges=report.designed_edges,
+        measured_edges=report.measured_edges | {("as1r1", "as30r1")},
+    )
+    assert tampered.unexpected == {("as1r1", "as30r1")}

@@ -1,0 +1,213 @@
+"""Unit tests for the Resource Database (NIDB) (§5.4, §5.5)."""
+
+import json
+
+import pytest
+
+from repro.exceptions import CompilerError, NodeNotFoundError
+from repro.nidb import ConfigStanza, DeviceModel, Nidb, subnet_items
+
+
+class TestConfigStanza:
+    def test_attribute_set_get(self):
+        stanza = ConfigStanza()
+        stanza.hostname = "r1"
+        assert stanza.hostname == "r1"
+
+    def test_missing_attribute_reads_none(self):
+        assert ConfigStanza().missing is None
+
+    def test_nested_dict_becomes_stanza(self):
+        stanza = ConfigStanza(zebra={"hostname": "r1", "password": "1234"})
+        assert stanza.zebra.hostname == "r1"
+        assert isinstance(stanza.zebra, ConfigStanza)
+
+    def test_list_of_dicts_becomes_stanza_list(self):
+        stanza = ConfigStanza(links=[{"network": "10.0.0.0/30", "area": 0}])
+        assert stanza.links[0].network == "10.0.0.0/30"
+
+    def test_to_dict_roundtrip(self):
+        original = {"ospf": {"process_id": 1, "ospf_links": [{"area": 0}]}}
+        assert ConfigStanza(**original).to_dict() == original
+
+    def test_to_json_paper_shape(self):
+        """The §5.4 dump: nested JSON with zebra/ospf stanzas."""
+        stanza = ConfigStanza(
+            zebra={"password": "1234", "hostname": "as100r1"},
+            ospf={"process_id": 1},
+        )
+        parsed = json.loads(stanza.to_json())
+        assert parsed["zebra"]["hostname"] == "as100r1"
+        assert parsed["ospf"]["process_id"] == 1
+
+    def test_contains_and_get(self):
+        stanza = ConfigStanza(x=1)
+        assert "x" in stanza and "y" not in stanza
+        assert stanza.get("y", 5) == 5
+
+    def test_require_raises_when_missing(self):
+        with pytest.raises(CompilerError, match="never compiled"):
+            ConfigStanza().require("hostname")
+
+    def test_setdefault(self):
+        stanza = ConfigStanza(x=1)
+        assert stanza.setdefault("x", 9) == 1
+        stanza.setdefault("y", [])
+        assert stanza.y == []
+
+    def test_equality_by_content(self):
+        assert ConfigStanza(a=1) == ConfigStanza(a=1)
+        assert ConfigStanza(a=1) != ConfigStanza(a=2)
+
+
+class TestDeviceModel:
+    def test_interfaces_default_empty(self):
+        device = DeviceModel("r1")
+        assert device.interfaces == []
+
+    def test_add_and_lookup_interface(self):
+        device = DeviceModel("r1")
+        device.add_interface(id="eth0", category="physical")
+        assert device.interface("eth0").category == "physical"
+        with pytest.raises(CompilerError):
+            device.interface("eth9")
+
+    def test_interface_category_partition(self):
+        device = DeviceModel("r1")
+        device.add_interface(id="lo", category="loopback")
+        device.add_interface(id="eth0", category="physical")
+        assert [i.id for i in device.physical_interfaces()] == ["eth0"]
+        assert device.loopback_interface().id == "lo"
+
+    def test_no_loopback_returns_none(self):
+        assert DeviceModel("r1").loopback_interface() is None
+
+    def test_type_predicates(self):
+        router = DeviceModel("r1", device_type="router")
+        server = DeviceModel("s1", device_type="server")
+        assert router.is_router() and not router.is_server()
+        assert server.is_server() and not server.is_router()
+
+
+class TestNidb:
+    def _populated(self):
+        nidb = Nidb()
+        r1 = nidb.add_device("r1", device_type="router", asn=1)
+        r1.add_interface(id="eth0", ip_address="10.0.0.1", prefixlen=30)
+        r2 = nidb.add_device("r2", device_type="router", asn=2)
+        nidb.add_device("s1", device_type="server", asn=1)
+        nidb.add_link("r1", "r2", collision_domain="cd_r1_r2")
+        return nidb
+
+    def test_add_and_lookup(self):
+        nidb = self._populated()
+        assert nidb.node("r1").asn == 1
+        assert nidb.has_node("r1")
+        assert not nidb.has_node("ghost")
+        with pytest.raises(NodeNotFoundError):
+            nidb.node("ghost")
+
+    def test_filtered_queries(self):
+        nidb = self._populated()
+        assert {d.node_id for d in nidb.routers()} == {"r1", "r2"}
+        assert [d.node_id for d in nidb.servers()] == ["s1"]
+        assert [d.node_id for d in nidb.nodes(asn=2)] == ["r2"]
+
+    def test_links_and_neighbors(self):
+        nidb = self._populated()
+        links = nidb.links()
+        assert len(links) == 1
+        src, dst, data = links[0]
+        assert {src.node_id, dst.node_id} == {"r1", "r2"}
+        assert data["collision_domain"] == "cd_r1_r2"
+        assert [d.node_id for d in nidb.neighbors("r1")] == ["r2"]
+
+    def test_iteration_and_len(self):
+        nidb = self._populated()
+        assert len(nidb) == 3
+        assert {d.node_id for d in nidb} == {"r1", "r2", "s1"}
+
+    def test_topology_stanza(self):
+        nidb = Nidb()
+        nidb.topology.platform = "netkit"
+        assert nidb.topology.platform == "netkit"
+
+    def test_to_dict_and_json(self):
+        nidb = self._populated()
+        payload = nidb.to_dict()
+        assert set(payload["devices"]) == {"r1", "r2", "s1"}
+        assert payload["links"][0]["collision_domain"] == "cd_r1_r2"
+        json.loads(nidb.to_json())
+
+    def test_subnet_items_iterates_addressed_interfaces(self):
+        nidb = self._populated()
+        items = list(subnet_items(nidb))
+        assert len(items) == 1
+        address, prefixlen, device, interface = items[0]
+        assert address == "10.0.0.1"
+        assert device.node_id == "r1"
+        assert interface.id == "eth0"
+
+
+class TestNidbDiff:
+    def _compiled(self, graph):
+        from repro.compilers import platform_compiler
+        from repro.design import design_network
+
+        return platform_compiler("netkit", design_network(graph)).compile()
+
+    def test_identical_rebuilds_diff_clean(self):
+        from repro.loader import small_internet
+        from repro.nidb import diff_nidbs
+
+        diff = diff_nidbs(
+            self._compiled(small_internet()), self._compiled(small_internet())
+        )
+        assert diff.unchanged
+        assert diff.summary() == "resource databases are identical"
+
+    def test_cost_change_blast_radius(self):
+        """Changing one OSPF cost touches only the two attached routers."""
+        from repro.loader import small_internet
+        from repro.nidb import diff_nidbs
+
+        before = self._compiled(small_internet())
+        tweaked = small_internet()
+        tweaked.edges["as100r1", "as100r2"]["ospf_cost"] = 50
+        after = self._compiled(tweaked)
+        diff = diff_nidbs(before, after)
+        assert diff.touched_devices() == ["as100r1", "as100r2"]
+        changed_paths = {c.path for c in diff.changed["as100r1"]}
+        assert any("ospf_cost" in path or "cost" in path for path in changed_paths)
+
+    def test_added_and_removed_devices(self):
+        from repro.loader import line_topology
+        from repro.nidb import diff_nidbs
+
+        diff = diff_nidbs(self._compiled(line_topology(3)), self._compiled(line_topology(4)))
+        assert diff.added_devices == ["r4"]
+        assert "added" in diff.summary()
+        reverse = diff_nidbs(self._compiled(line_topology(4)), self._compiled(line_topology(3)))
+        assert reverse.removed_devices == ["r4"]
+
+    def test_topology_change_propagates_to_addressing(self):
+        """Adding a link renumbers later collision domains: visible."""
+        from repro.loader import line_topology
+        from repro.nidb import diff_nidbs
+
+        before_graph = line_topology(4)
+        after_graph = line_topology(4)
+        after_graph.add_edge("r1", "r4")
+        diff = diff_nidbs(self._compiled(before_graph), self._compiled(after_graph))
+        assert "r1" in diff.changed and "r4" in diff.changed
+
+    def test_list_length_changes_reported(self):
+        from repro.nidb import AttributeChange, NidbDiff, diff_nidbs
+        from repro.nidb import Nidb
+
+        a, b = Nidb(), Nidb()
+        a.add_device("r1", tags=[1, 2])
+        b.add_device("r1", tags=[1, 2, 3])
+        diff = diff_nidbs(a, b)
+        assert diff.changed["r1"][0].path == "tags"
+        assert "list[2]" in str(diff.changed["r1"][0])

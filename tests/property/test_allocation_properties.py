@@ -1,0 +1,107 @@
+"""Property-based tests: address allocation invariants (§5.3).
+
+The paper's stated allocation requirements are *uniqueness* and
+*consistency*; these properties check them over randomly generated
+request sequences and topologies.
+"""
+
+import ipaddress
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.addressing import HostPool, PerAsnAllocator, SubnetPool
+from repro.design import collision_domains, design_network, interface_address
+from repro.exceptions import AddressAllocationError
+from repro.loader import multi_as_topology
+
+
+@given(st.lists(st.integers(min_value=24, max_value=30), min_size=1, max_size=40))
+def test_subnet_pool_disjoint_and_contained(prefixlens):
+    pool = SubnetPool("10.0.0.0/16")
+    allocated = []
+    for prefixlen in prefixlens:
+        try:
+            allocated.append(pool.subnet(prefixlen))
+        except AddressAllocationError:
+            break
+    parent = ipaddress.ip_network("10.0.0.0/16")
+    for subnet in allocated:
+        assert subnet.subnet_of(parent)
+    for i, a in enumerate(allocated):
+        for b in allocated[i + 1:]:
+            assert not a.overlaps(b)
+
+
+@given(st.lists(st.integers(min_value=24, max_value=30), min_size=1, max_size=20))
+def test_subnet_pool_deterministic(prefixlens):
+    first = SubnetPool("10.0.0.0/16")
+    second = SubnetPool("10.0.0.0/16")
+    for prefixlen in prefixlens:
+        try:
+            a = first.subnet(prefixlen)
+        except AddressAllocationError:
+            a = None
+        try:
+            b = second.subnet(prefixlen)
+        except AddressAllocationError:
+            b = None
+        assert a == b
+
+
+@given(st.integers(min_value=1, max_value=200))
+def test_host_pool_unique(count):
+    pool = HostPool("10.0.0.0/22")
+    addresses = [pool.next_address() for _ in range(count)]
+    assert len(set(addresses)) == count
+    assert all(address in ipaddress.ip_network("10.0.0.0/22") for address in addresses)
+
+
+@given(st.sets(st.integers(min_value=1, max_value=64000), min_size=1, max_size=30))
+def test_allocator_blocks_disjoint_for_any_asn_set(asns):
+    allocator = PerAsnAllocator()
+    allocator.allocate_asn_blocks(asns)
+    blocks = list(allocator.infra_blocks().values()) + list(
+        allocator.loopback_blocks().values()
+    )
+    for i, a in enumerate(blocks):
+        for b in blocks[i + 1:]:
+            assert not a.overlaps(b)
+
+
+@given(st.integers(min_value=1, max_value=14), st.integers(min_value=0, max_value=2 ** 31))
+def test_subnet_for_hosts_capacity(n_hosts, _seed):
+    pool = SubnetPool("10.0.0.0/8")
+    subnet = pool.subnet_for_hosts(n_hosts)
+    usable = subnet.num_addresses - 2
+    assert usable >= n_hosts
+    # And no more than twice oversized (smallest fitting power of two).
+    assert subnet.num_addresses <= 2 * (n_hosts + 2)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_designed_addressing_invariants(n_ases, routers_per_as, seed):
+    """End-to-end allocation on random topologies: global uniqueness."""
+    anm = design_network(
+        multi_as_topology(n_ases=n_ases, routers_per_as=routers_per_as, seed=seed),
+        rules=("phy", "ipv4"),
+    )
+    g_ip = anm["ipv4"]
+    assigned = []
+    for domain in collision_domains(g_ip):
+        for device in domain.neighbors():
+            address, _ = interface_address(g_ip, device, domain)
+            assert address in domain.subnet
+            assigned.append(address)
+    loopbacks = [node.loopback for node in g_ip if node.loopback is not None]
+    assigned.extend(loopbacks)
+    assert len(assigned) == len(set(assigned))
+    subnets = [domain.subnet for domain in collision_domains(g_ip)]
+    for i, a in enumerate(subnets):
+        for b in subnets[i + 1:]:
+            assert not a.overlaps(b)

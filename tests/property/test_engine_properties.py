@@ -1,0 +1,216 @@
+"""Property-based tests: protocol engines and the textfsm parser."""
+
+import ipaddress
+import random
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.emulation import EmulatedNetwork, IgpState
+from repro.emulation.intent import DeviceIntent, InterfaceIntent, LabIntent, OspfIntent
+from repro.measurement import parse_traceroute
+from repro.measurement.textfsm_lite import TextFsm
+
+
+def _random_single_as_lab(n_nodes, extra_edges, cost_seed):
+    """A connected random single-AS lab with symmetric costs."""
+    rng = random.Random(cost_seed)
+    graph = nx.random_labeled_tree(n_nodes, seed=cost_seed)
+    graph = nx.relabel_nodes(graph, {i: "r%d" % i for i in range(n_nodes)})
+    nodes = list(graph.nodes)
+    for _ in range(extra_edges):
+        u, v = rng.sample(nodes, 2)
+        graph.add_edge(u, v)
+    costs = {
+        tuple(sorted(edge)): rng.randint(1, 20) for edge in graph.edges
+    }
+
+    lab = LabIntent(platform="netkit")
+    subnet_pool = ipaddress.ip_network("10.0.0.0/8").subnets(new_prefix=30)
+    subnets = {tuple(sorted(edge)): next(subnet_pool) for edge in graph.edges}
+    for index, name in enumerate(nodes):
+        device = DeviceIntent(name=name, vendor="quagga", hostname=name)
+        loopback = ipaddress.ip_address("192.168.0.%d" % (index + 1))
+        device.interfaces.append(
+            InterfaceIntent(name="lo", ip_address=loopback, prefixlen=32, is_loopback=True)
+        )
+        advertised = [(ipaddress.ip_network("%s/32" % loopback), 0)]
+        interface_costs = {}
+        for port, neighbor in enumerate(sorted(graph.neighbors(name))):
+            key = tuple(sorted((name, neighbor)))
+            subnet = subnets[key]
+            hosts = list(subnet.hosts())
+            address = hosts[0] if name == key[0] else hosts[1]
+            iface_name = "eth%d" % port
+            device.interfaces.append(
+                InterfaceIntent(
+                    name=iface_name,
+                    ip_address=address,
+                    prefixlen=30,
+                    ospf_cost=costs[key],
+                )
+            )
+            advertised.append((subnet, 0))
+            interface_costs[iface_name] = costs[key]
+        device.ospf = OspfIntent(networks=advertised, interface_costs=interface_costs)
+        lab.devices[name] = device
+    return lab, graph, costs
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=10),
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_igp_distances_match_networkx_dijkstra(n_nodes, extra_edges, seed):
+    """Our SPF must agree with NetworkX on symmetric-cost graphs."""
+    lab, graph, costs = _random_single_as_lab(n_nodes, extra_edges, seed)
+    weighted = nx.Graph()
+    for (u, v), cost in costs.items():
+        weighted.add_edge(u, v, weight=cost)
+    igp = IgpState(EmulatedNetwork(lab))
+    reference = dict(nx.all_pairs_dijkstra_path_length(weighted))
+    for source in graph.nodes:
+        for target in graph.nodes:
+            if source == target:
+                continue
+            assert igp.distance(source, target) == reference[source][target]
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=8),
+    st.integers(min_value=0, max_value=4),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_igp_routes_follow_shortest_paths(n_nodes, extra_edges, seed):
+    """The first hop of every route lies on a shortest path."""
+    lab, graph, costs = _random_single_as_lab(n_nodes, extra_edges, seed)
+    igp = IgpState(EmulatedNetwork(lab))
+    weighted = nx.Graph()
+    for (u, v), cost in costs.items():
+        weighted.add_edge(u, v, weight=cost)
+    for source in graph.nodes:
+        for prefix, route in igp.routes(source).items():
+            if prefix.prefixlen != 32:
+                continue
+            target = route.advertiser
+            direct = nx.dijkstra_path_length(weighted, source, target)
+            via = costs[tuple(sorted((source, route.next_hop)))] + nx.dijkstra_path_length(
+                weighted, route.next_hop, target
+            )
+            assert via == direct == route.metric
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=30),
+            st.tuples(*[st.integers(min_value=0, max_value=255)] * 4),
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_traceroute_template_parses_generated_hops(hops):
+    """Round-trip: synthesised traceroute text parses hop-for-hop."""
+    lines = ["traceroute to 203.0.113.1 (203.0.113.1), 30 hops max, 60 byte packets"]
+    for hop, octets in hops:
+        address = ".".join(str(o) for o in octets)
+        lines.append(" %d  %s  0.123 ms  0.456 ms  0.789 ms" % (hop, address))
+    rows = parse_traceroute("\n".join(lines))
+    assert len(rows) == len(hops)
+    for row, (hop, octets) in zip(rows, hops):
+        assert row["HOP"] == str(hop)
+        assert row["ADDRESS"] == ".".join(str(o) for o in octets)
+        assert row["DESTINATION"] == "203.0.113.1"
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.text(max_size=400))
+def test_traceroute_template_never_crashes_on_noise(noise):
+    parse_traceroute(noise)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.text(alphabet=st.characters(blacklist_categories=("Cs",)), max_size=200))
+def test_bundled_templates_robust_to_arbitrary_text(noise):
+    from repro.measurement import TEMPLATES, template_for
+
+    for kind in TEMPLATES:
+        template_for(kind).parse_text_to_dicts(noise)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_bgp_decision_is_order_invariant(si_lab, data):
+    """Shuffling candidate order never changes the decision."""
+    import ipaddress as ipa
+    from dataclasses import replace
+
+    from repro.emulation import BgpRoute
+
+    sim = si_lab._simulation
+    n = data.draw(st.integers(min_value=2, max_value=6))
+    candidates = []
+    for index in range(n):
+        candidates.append(
+            BgpRoute(
+                prefix=ipa.ip_network("203.0.113.0/24"),
+                as_path=tuple(
+                    data.draw(
+                        st.lists(
+                            st.integers(min_value=1, max_value=500),
+                            min_size=0,
+                            max_size=4,
+                            unique=True,
+                        )
+                    )
+                ),
+                next_hop=ipa.ip_address("10.1.0.10"),
+                local_pref=data.draw(st.sampled_from([50, 100, 200])),
+                learned_via=data.draw(st.sampled_from(["ebgp", "ibgp"])),
+                learned_from="peer%d" % index,
+                peer_router_id="10.0.0.%d" % (index + 1),
+                peer_address="10.0.0.%d" % (index + 1),
+            )
+        )
+    best = sim.decide("as100r1", candidates)
+    shuffled = data.draw(st.permutations(candidates))
+    assert sim.decide("as100r1", list(shuffled)) == best
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_policy_free_networks_always_converge(n_ases, routers_per_as, seed):
+    """Safety property: without policy, shortest-AS-path BGP over a
+    full iBGP mesh converges (no Bad-Gadget without circular policy)."""
+    import tempfile
+
+    from repro.compilers import platform_compiler
+    from repro.design import design_network
+    from repro.emulation import EmulatedLab
+    from repro.loader import multi_as_topology
+    from repro.render import render_nidb
+
+    graph = multi_as_topology(n_ases=n_ases, routers_per_as=routers_per_as, seed=seed)
+    anm = design_network(graph)
+    nidb = platform_compiler("netkit", anm).compile()
+    rendered = render_nidb(nidb, tempfile.mkdtemp())
+    lab = EmulatedLab.boot(rendered.lab_dir, max_rounds=64, keep_history=False)
+    assert lab.converged
+    # And the result is total: every router holds a route for every
+    # AS's loopback block.
+    blocks = {
+        str(block) for block in anm["ipv4"].data.loopback_blocks.values()
+    }
+    for machine, table in lab.bgp_result.selected.items():
+        held = {str(prefix) for prefix in table}
+        assert blocks <= held, machine

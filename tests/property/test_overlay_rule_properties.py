@@ -1,0 +1,88 @@
+"""Property-based tests: the overlay derivation algebra (§4.2.1).
+
+For arbitrary annotated input topologies, the three rules must satisfy
+the set identities the paper's equations imply:
+
+* E_ospf and E_ebgp partition the (router-router) physical edges by
+  ASN equality;
+* E_ibgp is exactly the same-ASN complete graph per AS.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.design import design_network, ibgp_session_count
+from repro.loader import multi_as_topology
+
+
+def _designed(n_ases, routers_per_as, seed):
+    return design_network(
+        multi_as_topology(n_ases=n_ases, routers_per_as=routers_per_as, seed=seed),
+        rules=("phy", "ipv4", "ospf", "ebgp", "ibgp"),
+    )
+
+
+topologies = st.tuples(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=0, max_value=100_000),
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(topologies)
+def test_ospf_ebgp_partition_physical_edges(params):
+    anm = _designed(*params)
+    phy_pairs = {
+        tuple(sorted((str(e.src_id), str(e.dst_id)))) for e in anm["phy"].edges()
+    }
+    ospf_pairs = {
+        tuple(sorted((str(e.src_id), str(e.dst_id)))) for e in anm["ospf"].edges()
+    }
+    ebgp_pairs = {
+        tuple(sorted((str(e.src_id), str(e.dst_id)))) for e in anm["ebgp"].edges()
+    }
+    assert ospf_pairs | ebgp_pairs == phy_pairs
+    assert ospf_pairs & ebgp_pairs == set()
+
+
+@settings(max_examples=20, deadline=None)
+@given(topologies)
+def test_ibgp_is_complete_per_as(params):
+    n_ases, routers_per_as, _ = params
+    anm = _designed(*params)
+    g_ibgp = anm["ibgp"]
+    expected_directed = n_ases * 2 * ibgp_session_count(routers_per_as)
+    assert g_ibgp.number_of_edges() == expected_directed
+    for edge in g_ibgp.edges():
+        assert edge.src.asn == edge.dst.asn
+        assert g_ibgp.has_edge(edge.dst, edge.src)  # bidirected
+
+
+@settings(max_examples=20, deadline=None)
+@given(topologies)
+def test_design_is_deterministic(params):
+    first = _designed(*params)
+    second = _designed(*params)
+    for overlay_id in ("ospf", "ebgp", "ibgp"):
+        a = {
+            (str(e.src_id), str(e.dst_id)) for e in first[overlay_id].edges()
+        }
+        b = {
+            (str(e.src_id), str(e.dst_id)) for e in second[overlay_id].edges()
+        }
+        assert a == b
+
+
+@settings(max_examples=10, deadline=None)
+@given(topologies)
+def test_loopback_count_matches_router_count(params):
+    anm = _designed(*params)
+    routers = anm["phy"].routers()
+    loopbacks = [
+        anm["ipv4"].node(router).loopback
+        for router in routers
+        if anm["ipv4"].has_node(router)
+    ]
+    assert len(loopbacks) == len(routers)
+    assert all(loopback is not None for loopback in loopbacks)

@@ -1,0 +1,130 @@
+"""Unit tests for the rendering engine and filters (§4.1, §5.5)."""
+
+import os
+
+import pytest
+
+from repro.exceptions import RenderError
+from repro.nidb import DeviceModel
+from repro.render import render_nidb, render_template
+from repro.render.renderer import _netmask, _netmask_of, _network_address, _wildcard
+
+
+class TestFilters:
+    def test_netmask_from_prefixlen(self):
+        assert _netmask(30) == "255.255.255.252"
+        assert _netmask(24) == "255.255.255.0"
+        assert _netmask(32) == "255.255.255.255"
+
+    def test_netmask_of_cidr(self):
+        assert _netmask_of("10.0.0.0/30") == "255.255.255.252"
+
+    def test_wildcard(self):
+        assert _wildcard("10.0.0.0/30") == "0.0.0.3"
+        assert _wildcard("192.168.0.1/32") == "0.0.0.0"
+
+    def test_network_address(self):
+        assert _network_address("10.0.0.5/30") == "10.0.0.4"
+
+
+class TestRenderTemplate:
+    def test_missing_template_raises(self):
+        with pytest.raises(RenderError, match="not found"):
+            render_template("nope/missing.j2", node=None)
+
+    def test_template_logic_limited_to_substitution(self):
+        """§4.1's example shape: loops + ${...} substitution only."""
+        device = DeviceModel(
+            "as100r1",
+            zebra={"hostname": "as100r1", "password": "1234"},
+        )
+        device.add_interface(id="lo", category="loopback", description="loopback")
+        text = render_template("quagga/zebra.conf.j2", node=device)
+        assert "hostname as100r1" in text
+        assert "password 1234" in text
+        assert "interface lo" in text
+
+    def test_undefined_variable_is_error(self):
+        """StrictUndefined: compiler omissions fail loudly at render."""
+        device = DeviceModel("r1")  # no zebra stanza at all
+        with pytest.raises(RenderError):
+            render_template("quagga/ospfd.conf.j2", node=device)
+
+
+class TestRenderNidb:
+    def test_renders_all_files(self, si_nidb, tmp_path):
+        result = render_nidb(si_nidb, tmp_path)
+        assert result.n_files > 0
+        assert all(os.path.exists(path) for path in result.files)
+        assert result.total_bytes > 0
+        assert result.elapsed_seconds >= 0
+
+    def test_lab_dir_layout(self, si_nidb, tmp_path):
+        """§5.4: output under <host>/<platform>/."""
+        result = render_nidb(si_nidb, tmp_path)
+        assert result.lab_dir == os.path.join(str(tmp_path), "localhost", "netkit")
+        assert os.path.exists(os.path.join(result.lab_dir, "lab.conf"))
+        assert os.path.exists(
+            os.path.join(result.lab_dir, "as100r1", "etc", "quagga", "bgpd.conf")
+        )
+
+    def test_quagga_file_set_per_device(self, si_render):
+        lab = si_render.lab_dir
+        quagga_dir = os.path.join(lab, "as100r1", "etc", "quagga")
+        assert sorted(os.listdir(quagga_dir)) == [
+            "bgpd.conf",
+            "daemons",
+            "ospfd.conf",
+            "zebra.conf",
+        ]
+
+    def test_stub_router_has_no_ospfd(self, si_render):
+        quagga_dir = os.path.join(si_render.lab_dir, "as30r1", "etc", "quagga")
+        assert "ospfd.conf" not in os.listdir(quagga_dir)
+
+    def test_generated_config_matches_paper_example_shape(self, si_render):
+        """§6.1's rendered example: hostname/password/interface/router ospf."""
+        path = os.path.join(si_render.lab_dir, "as100r1", "etc", "quagga", "ospfd.conf")
+        text = open(path).read()
+        assert text.startswith("hostname as100r1\npassword 1234\n")
+        assert "ip ospf cost 1" in text
+        assert "router ospf" in text
+        assert "area 0" in text
+
+    def test_daemons_file_flags(self, si_render):
+        text = open(
+            os.path.join(si_render.lab_dir, "as100r1", "etc", "quagga", "daemons")
+        ).read()
+        assert "zebra=yes" in text
+        assert "ospfd=yes" in text
+        assert "bgpd=yes" in text
+        assert "isisd=no" in text
+
+    def test_lab_conf_lists_every_interface(self, si_render, si_nidb):
+        text = open(os.path.join(si_render.lab_dir, "lab.conf")).read()
+        n_wiring_lines = sum(1 for line in text.splitlines() if "[" in line and "]=" in line)
+        n_interfaces = sum(len(d.physical_interfaces()) for d in si_nidb)
+        assert n_wiring_lines == n_interfaces == 36
+
+    def test_resolv_conf_rendered_for_clients(self, si_render):
+        path = os.path.join(si_render.lab_dir, "as100r2", "etc", "resolv.conf")
+        text = open(path).read()
+        assert "nameserver" in text
+        assert "domain as100.lab" in text
+
+    def test_zone_files_rendered_for_dns_server(self, si_render):
+        bind_dir = os.path.join(si_render.lab_dir, "as100r1", "etc", "bind")
+        assert sorted(os.listdir(bind_dir)) == [
+            "db.as100.lab",
+            "db.reverse",
+            "named.conf",
+        ]
+        zone = open(os.path.join(bind_dir, "db.as100.lab")).read()
+        assert "as100r2 IN A" in zone
+
+    def test_render_is_deterministic(self, si_nidb, tmp_path):
+        first = render_nidb(si_nidb, tmp_path / "a")
+        second = render_nidb(si_nidb, tmp_path / "b")
+        texts_a = sorted(open(p).read() for p in first.files)
+        texts_b = sorted(open(p).read() for p in second.files)
+        assert texts_a == texts_b

@@ -1,0 +1,125 @@
+"""Tests for the user-template extension point and render edge cases."""
+
+import os
+
+import pytest
+
+from repro.nidb import DeviceModel, Nidb
+from repro.render import add_template_directory, render_nidb, render_template
+from repro.render.renderer import _entry
+
+
+class TestUserTemplateDirectories:
+    def test_user_directory_searched_first(self, tmp_path):
+        os.makedirs(tmp_path / "custom")
+        (tmp_path / "custom" / "motd.j2").write_text(
+            "Welcome to {{ node.hostname }}\n"
+        )
+        add_template_directory(tmp_path)
+        device = DeviceModel("r1", hostname="r1")
+        assert render_template("custom/motd.j2", node=device) == "Welcome to r1\n"
+
+    def test_user_template_can_shadow_bundled(self, tmp_path):
+        os.makedirs(tmp_path / "quagga")
+        (tmp_path / "quagga" / "daemons.j2").write_text("zebra=custom\n")
+        add_template_directory(tmp_path)
+        try:
+            device = DeviceModel("r1")
+            text = render_template("quagga/daemons.j2", node=device)
+            assert text == "zebra=custom\n"
+        finally:
+            # Restore the bundled environment for later tests.
+            from repro.render import renderer
+
+            renderer._EXTRA_TEMPLATE_DIRS.clear()
+            renderer._ENVIRONMENT = None
+
+    def test_registering_same_directory_twice_is_idempotent(self, tmp_path):
+        from repro.render import renderer
+
+        before = len(renderer._EXTRA_TEMPLATE_DIRS)
+        add_template_directory(tmp_path / "x")
+        add_template_directory(tmp_path / "x")
+        try:
+            assert len(renderer._EXTRA_TEMPLATE_DIRS) == before + 1
+        finally:
+            renderer._EXTRA_TEMPLATE_DIRS.clear()
+            renderer._ENVIRONMENT = None
+
+
+class TestRenderEntryNormalisation:
+    def test_dict_entry(self):
+        assert _entry({"template": "a.j2", "path": "out/a"}) == ("a.j2", "out/a")
+
+    def test_stanza_entry(self):
+        from repro.nidb import ConfigStanza
+
+        stanza = ConfigStanza(template="b.j2", path="out/b")
+        assert _entry(stanza) == ("b.j2", "out/b")
+
+
+class TestRenderRobustness:
+    def test_device_without_render_stanza_skipped(self, tmp_path):
+        nidb = Nidb()
+        nidb.add_device("bare", device_type="server")
+        nidb.topology.platform = "netkit"
+        nidb.topology.host = "localhost"
+        result = render_nidb(nidb, tmp_path)
+        assert result.n_files == 0
+
+    def test_empty_topology_render(self, tmp_path):
+        nidb = Nidb()
+        device = nidb.add_device("r1", device_type="router", hostname="r1")
+        device.zebra = {"hostname": "r1", "password": "x"}
+        device.render = {
+            "files": [
+                {"template": "quagga/zebra.conf.j2", "path": "r1/etc/quagga/zebra.conf"}
+            ]
+        }
+        result = render_nidb(nidb, tmp_path)
+        assert result.n_files == 1
+        assert "unknown" in result.lab_dir  # no platform set
+
+
+class TestTemplateFolders:
+    """§5.5: a user folder of static + template files per device."""
+
+    def _nidb_with_folder(self, tmp_path):
+        source = tmp_path / "service_skel"
+        os.makedirs(source / "conf.d")
+        (source / "motd").write_text("static banner\n")
+        (source / "conf.d" / "service.conf.j2").write_text(
+            "name={{ node.hostname }}\n"
+        )
+        nidb = Nidb()
+        device = nidb.add_device("r1", device_type="router", hostname="r1")
+        device.render = {
+            "files": [],
+            "folders": [{"source": str(source), "dst": "r1/etc/service"}],
+        }
+        nidb.topology.platform = "netkit"
+        nidb.topology.host = "localhost"
+        return nidb
+
+    def test_static_copied_and_templates_rendered(self, tmp_path):
+        nidb = self._nidb_with_folder(tmp_path)
+        result = render_nidb(nidb, tmp_path / "out")
+        base = os.path.join(result.lab_dir, "r1", "etc", "service")
+        assert open(os.path.join(base, "motd")).read() == "static banner\n"
+        rendered = open(os.path.join(base, "conf.d", "service.conf")).read()
+        assert rendered == "name=r1\n"
+        assert result.n_files == 2
+
+    def test_missing_folder_raises(self, tmp_path):
+        nidb = Nidb()
+        device = nidb.add_device("r1", device_type="router", hostname="r1")
+        device.render = {
+            "files": [],
+            "folders": [{"source": str(tmp_path / "ghost"), "dst": "x"}],
+        }
+        import pytest as _pytest
+
+        from repro.exceptions import RenderError
+
+        with _pytest.raises(RenderError, match="does not exist"):
+            render_nidb(nidb, tmp_path / "out")

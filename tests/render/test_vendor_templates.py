@@ -1,0 +1,117 @@
+"""Unit tests for the vendor template outputs (IOS, JunOS, C-BGP)."""
+
+import os
+
+import pytest
+
+from repro.compilers import platform_compiler
+from repro.design import design_network
+from repro.loader import bad_gadget_topology, small_internet
+from repro.render import render_nidb
+
+
+@pytest.fixture(scope="module")
+def labs(tmp_path_factory):
+    rendered = {}
+    for platform in ("dynagen", "junosphere", "cbgp"):
+        anm = design_network(small_internet())
+        nidb = platform_compiler(platform, anm).compile()
+        rendered[platform] = render_nidb(
+            nidb, tmp_path_factory.mktemp("render_%s" % platform)
+        )
+    return rendered
+
+
+class TestIosTemplate:
+    def test_config_shape(self, labs):
+        text = open(
+            os.path.join(labs["dynagen"].lab_dir, "configs", "as100r1.cfg")
+        ).read()
+        assert text.startswith("hostname as100r1")
+        assert "interface Loopback0" in text
+        assert "interface f0/0" in text
+        assert " ip address 10." in text
+        assert text.rstrip().endswith("end")
+
+    def test_dotted_masks_and_wildcards(self, labs):
+        text = open(
+            os.path.join(labs["dynagen"].lab_dir, "configs", "as100r1.cfg")
+        ).read()
+        assert "255.255.255.252" in text  # interface netmask
+        assert " 0.0.0.3 area 0" in text  # OSPF wildcard
+
+    def test_bgp_network_mask_syntax(self, labs):
+        text = open(
+            os.path.join(labs["dynagen"].lab_dir, "configs", "as100r1.cfg")
+        ).read()
+        assert " network " in text and " mask " in text
+
+    def test_lab_net_wiring(self, labs):
+        text = open(os.path.join(labs["dynagen"].lab_dir, "lab.net")).read()
+        assert "[[ROUTER as100r1]]" in text
+        assert "cnfg = configs/as100r1.cfg" in text
+        assert "=" in text
+
+
+class TestJunosTemplate:
+    def test_hierarchical_shape(self, labs):
+        text = open(
+            os.path.join(labs["junosphere"].lab_dir, "configs", "as100r1.conf")
+        ).read()
+        assert "host-name as100r1;" in text
+        assert "ge-0/0/0 {" in text
+        assert "family inet {" in text
+        assert "autonomous-system 100;" in text
+        assert text.count("{") == text.count("}")
+
+    def test_ospf_interfaces_and_metrics(self, labs):
+        text = open(
+            os.path.join(labs["junosphere"].lab_dir, "configs", "as100r1.conf")
+        ).read()
+        assert "ospf {" in text
+        assert "metric 1;" in text
+
+    def test_bgp_groups(self, labs):
+        text = open(
+            os.path.join(labs["junosphere"].lab_dir, "configs", "as100r1.conf")
+        ).read()
+        assert "group ebgp-as20r2 {" in text
+        assert "peer-as 20;" in text
+        assert "type internal;" in text
+
+    def test_vmm_topology(self, labs):
+        text = open(os.path.join(labs["junosphere"].lab_dir, "topology.vmm")).read()
+        assert 'vm "as100r1"' in text
+        assert "bridge" in text
+
+
+class TestCbgpTemplate:
+    def test_script_sections(self, labs):
+        text = open(os.path.join(labs["cbgp"].lab_dir, "network.cli")).read()
+        assert "net add node" in text
+        assert "igp-weight --bidir" in text
+        assert "net add domain 100 igp" in text
+        assert "bgp add router 100" in text
+        assert text.rstrip().endswith("sim run")
+
+    def test_rr_client_and_next_hop_self_emitted(self, tmp_path):
+        anm = design_network(bad_gadget_topology())
+        nidb = platform_compiler("cbgp", anm).compile()
+        result = render_nidb(nidb, tmp_path)
+        text = open(os.path.join(result.lab_dir, "network.cli")).read()
+        assert "rr-client" in text
+        assert "next-hop-self" in text
+
+
+class TestPolicyTemplates:
+    def test_quagga_route_map_for_local_pref(self, tmp_path):
+        graph = small_internet()
+        graph.edges["as1r1", "as20r3"]["local_pref"] = 250
+        anm = design_network(graph)
+        nidb = platform_compiler("netkit", anm).compile()
+        result = render_nidb(nidb, tmp_path)
+        text = open(
+            os.path.join(result.lab_dir, "as1r1", "etc", "quagga", "bgpd.conf")
+        ).read()
+        assert "route-map rm-in-as20r3 in" in text
+        assert "set local-preference 250" in text

@@ -1,0 +1,161 @@
+"""Unit tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.loader import fig5_topology, save_graphml
+
+
+@pytest.fixture()
+def topology_file(tmp_path):
+    path = tmp_path / "fig5.graphml"
+    save_graphml(fig5_topology(), path)
+    return str(path)
+
+
+def test_info_builtin(capsys):
+    assert main(["info", "fig5"]) == 0
+    out = capsys.readouterr().out
+    assert "overlay ospf" in out
+    assert "overlay ebgp" in out
+
+
+def test_info_from_file(topology_file, capsys):
+    assert main(["info", topology_file]) == 0
+    assert "overlay phy: 5 nodes" in capsys.readouterr().out
+
+
+def test_build_renders_lab(tmp_path, capsys):
+    assert main(["build", "fig5", "-o", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "rendered" in out
+    assert os.path.exists(tmp_path / "localhost" / "netkit" / "lab.conf")
+
+
+def test_build_other_platform(tmp_path):
+    assert main(["build", "fig5", "--platform", "cbgp", "-o", str(tmp_path)]) == 0
+    assert os.path.exists(tmp_path / "localhost" / "cbgp" / "network.cli")
+
+
+def test_build_with_rule_subset(tmp_path, capsys):
+    assert (
+        main(["build", "fig5", "--rules", "phy", "ipv4", "isis", "-o", str(tmp_path)])
+        == 0
+    )
+    quagga_dir = tmp_path / "localhost" / "netkit" / "r1" / "etc" / "quagga"
+    assert (quagga_dir / "isisd.conf").exists()
+    assert not (quagga_dir / "ospfd.conf").exists()
+
+
+def test_verify_clean_topology(capsys):
+    assert main(["verify", "small_internet"]) == 0
+    out = capsys.readouterr().out
+    assert "static verification passed" in out
+    assert "oscillation-free" in out
+
+
+def test_verify_flags_bad_gadget(capsys):
+    assert main(["verify", "bad_gadget"]) == 1
+    assert "risks oscillation" in capsys.readouterr().out
+
+
+def test_deploy(capsys):
+    assert main(["deploy", "fig5"]) == 0
+    out = capsys.readouterr().out
+    assert "lstart" in out
+    assert "lab up: 5 machines, BGP converged" in out
+
+
+def test_measure(capsys):
+    assert main(["measure", "fig5", "-c", "show ip bgp summary", "-H", "r3", "r5"]) == 0
+    out = capsys.readouterr().out
+    assert "=== r3 ===" in out
+    assert "local AS number 1" in out
+
+
+def test_measure_traceroute_maps_path(capsys):
+    assert main(["measure", "fig5", "-c", "traceroute -naU 192.168.128.1", "-H", "r1"]) == 0
+    out = capsys.readouterr().out
+    assert "mapped:" in out
+    assert "AS path:" in out
+
+
+def test_visualize_html(tmp_path, capsys):
+    output = str(tmp_path / "view.html")
+    assert main(["visualize", "fig5", "--overlay", "ebgp", "-o", output]) == 0
+    assert open(output).read().startswith("<!DOCTYPE html>")
+
+
+def test_visualize_json(tmp_path):
+    output = str(tmp_path / "view.json")
+    assert main(["visualize", "fig5", "--overlay", "ospf", "-o", output]) == 0
+    import json
+
+    data = json.loads(open(output).read())
+    assert data["overlay"] == "ospf"
+
+
+def test_missing_file_is_error(capsys):
+    assert main(["info", "/nonexistent/net.graphml"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_invalid_topology_is_error(tmp_path, capsys):
+    path = tmp_path / "broken.json"
+    path.write_text("{\"nodes\": []}")
+    assert main(["build", str(path)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+class TestWhatIf:
+    def test_requires_a_failure(self, capsys):
+        assert main(["whatif", "fig5"]) == 2
+        assert "nothing to fail" in capsys.readouterr().err
+
+    def test_redundant_link_failure_exits_zero(self, capsys):
+        assert main(["whatif", "small_internet", "--fail-link", "as100r1", "as100r2"]) == 0
+        out = capsys.readouterr().out
+        assert "pairs lost: 0" in out
+
+    def test_partition_exits_nonzero(self, capsys):
+        code = main([
+            "whatif", "small_internet",
+            "--fail-link", "as1r1", "as30r1",
+            "--fail-link", "as30r1", "as300r1",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "lost as100r1 -> as30r1" in out
+
+    def test_fail_node(self, capsys):
+        assert main(["whatif", "small_internet", "--fail-node", "as1r1"]) == 0
+        assert "pairs kept:" in capsys.readouterr().out
+
+
+class TestDiff:
+    def test_identical(self, capsys):
+        assert main(["diff", "fig5", "fig5"]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_changed_cost(self, tmp_path, capsys):
+        from repro.loader import save_graphml, small_internet
+
+        graph = small_internet()
+        graph.edges["as100r1", "as100r2"]["ospf_cost"] = 42
+        path = tmp_path / "tweak.graphml"
+        save_graphml(graph, path)
+        assert main(["diff", "small_internet", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "~ as100r1" in out
+        assert "ospf_cost: 1 -> 42" in out
+
+    def test_added_device(self, tmp_path, capsys):
+        from repro.loader import line_topology, save_graphml
+
+        save_graphml(line_topology(3), tmp_path / "a.graphml")
+        save_graphml(line_topology(4), tmp_path / "b.graphml")
+        assert main(["diff", str(tmp_path / "a.graphml"), str(tmp_path / "b.graphml")]) == 1
+        out = capsys.readouterr().out
+        assert "+ r4" in out

@@ -1,0 +1,44 @@
+"""Unit tests for design-time iBGP stability detection (§8)."""
+
+from repro.design import design_network
+from repro.loader import bad_gadget_topology, multi_as_topology, small_internet
+from repro.verification import check_ibgp_stability
+
+
+def test_full_mesh_is_stable(si_anm):
+    report = check_ibgp_stability(si_anm)
+    assert report.design == "full-mesh"
+    assert report.stable
+    assert "oscillation-free" in report.summary()
+
+
+def test_bad_gadget_flagged_before_deployment():
+    """The §7.2 gadget is caught *at design time* — no simulation run."""
+    anm = design_network(bad_gadget_topology())
+    report = check_ibgp_stability(anm)
+    assert report.design == "route-reflection"
+    assert not report.stable
+    # Each of the three reflectors is closer to another cluster's exit.
+    reflectors = {entry[0] for entry in report.risky_reflectors}
+    assert reflectors == {"rr1", "rr2", "rr3"}
+    assert "oscillation" in report.summary()
+
+
+def test_congruent_reflection_is_stable():
+    """Reflectors adjacent to their own clients at minimal cost: safe."""
+    graph = multi_as_topology(n_ases=1, routers_per_as=6, seed=5)
+    # as1r1 reflects for everyone; it is within one hop of every client
+    # on the ring, and no other cluster exists to be closer to.
+    graph.nodes["as1r1"]["rr"] = True
+    anm = design_network(graph)
+    report = check_ibgp_stability(anm)
+    assert report.design == "route-reflection"
+    assert report.stable
+
+
+def test_risky_entries_carry_distances():
+    anm = design_network(bad_gadget_topology())
+    report = check_ibgp_stability(anm)
+    reflector, other_client, own_client, other_dist, own_dist = report.risky_reflectors[0]
+    assert other_dist < own_dist
+    assert other_dist == 5 and own_dist == 10  # the gadget's constructed costs
