@@ -7,10 +7,13 @@ EXPERIMENTS.md can quote measured numbers.
 
 from __future__ import annotations
 
+import json
 import os
 import tempfile
+import time
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def record(name: str, lines) -> None:
@@ -35,6 +38,31 @@ def build_lab(topology, platform: str = "netkit"):
     anm = design_network(topology)
     nidb = platform_compiler(platform, anm).compile()
     return anm, nidb, render_nidb(nidb, tempfile.mkdtemp(prefix="bench_"))
+
+
+def record_pipeline(telemetry, name: str = "pipeline", path: str | None = None,
+                    **extra) -> str:
+    """Emit a ``BENCH_<name>.json`` perf record from a run's span data.
+
+    The record carries the per-phase durations from the telemetry's
+    span tree, the metrics snapshot, and any extra key/values (topology
+    name, device count...), giving the bench trajectory machine-checkable
+    per-phase evidence instead of one coarse wall-clock number.
+    """
+    path = path or os.path.join(REPO_ROOT, "BENCH_%s.json" % name)
+    root = telemetry.root_span()
+    record = {
+        "bench": name,
+        "timestamp": time.time(),
+        "total_seconds": root.duration if root is not None else None,
+        "phases": telemetry.phase_timings(),
+        "spans": len(telemetry.tracer),
+        "metrics": telemetry.metrics.snapshot(),
+    }
+    record.update(extra)
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2, default=str)
+    return path
 
 
 def full_scale() -> bool:

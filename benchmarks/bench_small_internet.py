@@ -20,7 +20,7 @@ from repro.measurement import MeasurementClient
 from repro.render import render_nidb
 from repro.workflow import run_experiment
 
-from _util import record
+from _util import record, record_pipeline
 
 
 def test_build_and_compile_under_a_second(benchmark):
@@ -52,7 +52,13 @@ def test_full_pipeline_with_deployment(benchmark):
     assert result.lab.converged
     record(
         "E2_small_internet_pipeline",
-        ["phase timings: %s" % result.timing_summary()],
+        ["phase timings: %s" % result.timing_summary(),
+         "", "timing tree:", result.timing_tree()],
+    )
+    record_pipeline(
+        result.telemetry,
+        topology="small_internet",
+        devices=len(result.nidb),
     )
 
 

@@ -15,16 +15,28 @@ the same stages as subcommands::
 Every subcommand accepts a GraphML/GML/JSON topology path or one of the
 built-in topology names (``small_internet``, ``fig5``, ``bad_gadget``,
 ``nren``).
+
+Every run records into a :class:`~repro.observability.Telemetry`; the
+observability flags work on all subcommands:
+
+* ``--trace out.jsonl`` — write the full run record as JSON lines;
+* ``--chrome-trace out.json`` — write a Chrome ``trace_event`` file;
+* ``--metrics`` — print the metrics registry after the command;
+* ``--timings`` — print the span timing tree after the command;
+* ``--quiet`` — suppress normal output (exit code still reports);
+* ``--json`` — machine-readable: one JSON document on stdout.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import tempfile
 
 from repro.design import DEFAULT_RULES
 from repro.exceptions import ReproError
+from repro.observability import INFO, Telemetry
 
 BUILTIN_TOPOLOGIES = {
     "small_internet": "small_internet",
@@ -32,6 +44,54 @@ BUILTIN_TOPOLOGIES = {
     "bad_gadget": "bad_gadget_topology",
     "nren": "european_nren_model",
 }
+
+
+class CliOutput:
+    """Routes all CLI output: console text, structured events, JSON.
+
+    Every message goes into the telemetry's event log; the console copy
+    is suppressed by ``--quiet``/``--json``.  In ``--json`` mode the
+    structured payload accumulated by the handlers (plus metrics and
+    phase timings) is printed as one document at the end.
+    """
+
+    def __init__(self, telemetry: Telemetry, command: str,
+                 quiet: bool = False, json_mode: bool = False):
+        self.telemetry = telemetry
+        self.command = command
+        self.quiet = quiet
+        self.json_mode = json_mode
+        self.payload: dict = {"command": command}
+
+    @property
+    def console(self) -> bool:
+        return not self.quiet and not self.json_mode
+
+    def emit(self, message: str, **fields) -> None:
+        """An output line: event-logged always, printed in console mode."""
+        self.telemetry.events.emit(INFO, self.command, message, **fields)
+        if self.console:
+            print(message)
+
+    def progress(self, event) -> None:
+        """Deployment ProgressEvent callback (monitor already logs it)."""
+        if self.console:
+            print(event)
+
+    def result(self, **data) -> None:
+        """Merge structured results into the ``--json`` payload."""
+        self.payload.update(data)
+
+    def finish(self, exit_code: int) -> None:
+        if self.json_mode:
+            self.payload["exit_code"] = exit_code
+            self.payload["metrics"] = self.telemetry.metrics.snapshot()
+            root = self.telemetry.root_span()
+            if root is not None:
+                self.payload["timings"] = {
+                    child.name: child.duration for child in root.children
+                }
+            print(json.dumps(self.payload, indent=2, default=str))
 
 
 def _load(source: str):
@@ -57,6 +117,30 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="design rules to apply (default: %(default)s)",
     )
     parser.add_argument("-o", "--output", default=None, help="output directory")
+    observability = parser.add_argument_group("observability")
+    observability.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write the run's spans/metrics/events as JSON lines",
+    )
+    observability.add_argument(
+        "--chrome-trace", default=None, metavar="PATH",
+        help="write the run's spans in Chrome trace_event format",
+    )
+    observability.add_argument(
+        "--metrics", action="store_true",
+        help="print the metrics registry after the command",
+    )
+    observability.add_argument(
+        "--timings", action="store_true",
+        help="print the span timing tree after the command",
+    )
+    observability.add_argument(
+        "--quiet", action="store_true", help="suppress normal output"
+    )
+    observability.add_argument(
+        "--json", action="store_true", dest="json_mode",
+        help="print one machine-readable JSON document instead of text",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -128,96 +212,177 @@ def _dispatch(args: argparse.Namespace) -> int:
         "whatif": _cmd_whatif,
         "diff": _cmd_diff,
     }[args.command]
-    return handler(args)
+    telemetry = Telemetry()
+    out = CliOutput(
+        telemetry,
+        args.command,
+        quiet=args.quiet,
+        json_mode=args.json_mode,
+    )
+    try:
+        with telemetry.activate():
+            with telemetry.span(args.command, topology=args.topology):
+                exit_code = handler(args, out)
+    except Exception as exc:
+        # a failure trace is the one most worth keeping: the root span
+        # carries status="error" and the exception text
+        try:
+            _write_trace_files(telemetry, args, out)
+        except OSError as trace_exc:
+            print("error: could not write trace: %s" % trace_exc, file=sys.stderr)
+        if args.json_mode:
+            out.result(error="%s" % exc)
+            out.finish(2)
+        raise
+    _write_trace_files(telemetry, args, out)
+    if args.timings and out.console:
+        print(telemetry.timing_tree())
+    if args.metrics and out.console:
+        print(telemetry.metrics.format())
+    out.finish(exit_code)
+    return exit_code
+
+
+def _write_trace_files(telemetry: Telemetry, args, out: "CliOutput") -> None:
+    if args.trace:
+        telemetry.write_trace(args.trace)
+        out.result(trace_file=args.trace)
+    if args.chrome_trace:
+        telemetry.write_chrome_trace(args.chrome_trace)
 
 
 def _designed(args):
     from repro.design import design_network
+    from repro.observability import span
 
-    return design_network(_load(args.topology), rules=tuple(args.rules))
+    with span("load_build"):
+        return design_network(_load(args.topology), rules=tuple(args.rules))
 
 
 def _built(args):
     from repro.compilers import platform_compiler
+    from repro.observability import span
     from repro.render import render_nidb
 
     anm = _designed(args)
-    nidb = platform_compiler(args.platform, anm).compile()
+    with span("compile", platform=args.platform):
+        nidb = platform_compiler(args.platform, anm).compile()
     output_dir = args.output or tempfile.mkdtemp(prefix="repro_")
-    return anm, nidb, render_nidb(nidb, output_dir)
+    with span("render"):
+        result = render_nidb(nidb, output_dir)
+    return anm, nidb, result
 
 
-def _cmd_info(args) -> int:
+def _cmd_info(args, out: CliOutput) -> int:
     from repro.visualization import overlay_summary
 
     anm = _designed(args)
+    summaries = []
     for overlay_id in anm.overlays():
         if overlay_id == "input":
             continue
-        print(overlay_summary(anm[overlay_id]))
-        print()
+        summary = overlay_summary(anm[overlay_id])
+        summaries.append({"overlay": overlay_id, "summary": summary})
+        out.emit(summary, overlay=overlay_id)
+        out.emit("")
+    out.result(overlays=summaries)
     return 0
 
 
-def _cmd_build(args) -> int:
+def _cmd_build(args, out: CliOutput) -> int:
     _, nidb, result = _built(args)
-    print(
+    out.emit(
         "rendered %d files (%d bytes) for %d devices in %.2fs"
-        % (result.n_files, result.total_bytes, len(nidb), result.elapsed_seconds)
+        % (result.n_files, result.total_bytes, len(nidb), result.elapsed_seconds),
+        n_files=result.n_files,
+        total_bytes=result.total_bytes,
+        devices=len(nidb),
     )
-    print("lab directory:", result.lab_dir)
+    out.emit("lab directory: %s" % result.lab_dir)
+    out.result(
+        n_files=result.n_files,
+        total_bytes=result.total_bytes,
+        devices=len(nidb),
+        elapsed_seconds=result.elapsed_seconds,
+        lab_dir=result.lab_dir,
+    )
     return 0
 
 
-def _cmd_verify(args) -> int:
+def _cmd_verify(args, out: CliOutput) -> int:
     from repro.verification import check_ibgp_stability, verify_nidb
 
     anm, nidb, _ = _built(args)
     report = verify_nidb(nidb)
-    print(report.summary())
+    out.emit(report.summary())
     for finding in report.findings:
-        print(" ", finding)
+        out.emit("  %s" % finding)
     stability = check_ibgp_stability(anm)
-    print(stability.summary())
+    out.emit(stability.summary())
+    out.result(
+        static_ok=report.ok,
+        findings=[str(finding) for finding in report.findings],
+        stable=stability.stable,
+    )
     return 0 if report.ok and stability.stable else 1
 
 
-def _cmd_deploy(args) -> int:
+def _cmd_deploy(args, out: CliOutput) -> int:
     from repro.deployment import ProgressMonitor, deploy
+    from repro.observability import span
 
     _, _, result = _built(args)
-    monitor = ProgressMonitor(callbacks=[print])
-    record = deploy(result.lab_dir, monitor=monitor)
+    monitor = ProgressMonitor(callbacks=[out.progress])
+    with span("deploy"):
+        record = deploy(result.lab_dir, monitor=monitor)
     lab = record.lab
     status = (
         "converged"
         if lab.converged
         else ("OSCILLATING period %d" % lab.bgp_result.period if lab.oscillating else "running")
     )
-    print("lab up: %d machines, BGP %s" % (len(lab.network), status))
+    out.emit(
+        "lab up: %d machines, BGP %s" % (len(lab.network), status),
+        machines=len(lab.network),
+        bgp_status=status,
+    )
+    out.result(machines=len(lab.network), bgp_status=status)
     return 0
 
 
-def _cmd_measure(args) -> int:
+def _cmd_measure(args, out: CliOutput) -> int:
     from repro.deployment import deploy
     from repro.measurement import MeasurementClient
+    from repro.observability import span
 
     _, nidb, result = _built(args)
-    record = deploy(result.lab_dir)
+    with span("deploy"):
+        record = deploy(result.lab_dir)
     client = MeasurementClient(record.lab, nidb)
     hosts = args.hosts or [str(device.node_id) for device in nidb.routers()]
     run = client.send(args.measure_command, hosts)
+    measurements = []
     for measurement in run.results:
-        print("=== %s ===" % measurement.machine)
-        print(measurement.output)
+        out.emit("=== %s ===" % measurement.machine, machine=measurement.machine)
+        out.emit(measurement.output)
         if measurement.mapped_path:
-            print("mapped:", " -> ".join(measurement.mapped_path))
-            print("AS path:", measurement.as_path)
-        print()
+            out.emit("mapped: %s" % " -> ".join(measurement.mapped_path))
+            out.emit("AS path: %s" % measurement.as_path)
+        out.emit("")
+        measurements.append(
+            {
+                "machine": measurement.machine,
+                "output": measurement.output,
+                "parsed": measurement.parsed,
+                "mapped_path": measurement.mapped_path,
+                "as_path": measurement.as_path,
+            }
+        )
+    out.result(measure_command=args.measure_command, results=measurements)
     return 0
 
 
-def _cmd_whatif(args) -> int:
+def _cmd_whatif(args, out: CliOutput) -> int:
     from repro.deployment import deploy
     from repro.emulation import (
         compare_reachability,
@@ -225,32 +390,40 @@ def _cmd_whatif(args) -> int:
         fail_node,
         reachability_matrix,
     )
+    from repro.observability import span
 
     if not args.fail_link and not args.fail_node:
         print("error: nothing to fail (use --fail-link / --fail-node)", file=sys.stderr)
         return 2
     _, _, result = _built(args)
-    lab = deploy(result.lab_dir).lab
-    before = reachability_matrix(lab)
-    degraded = lab
-    if args.fail_link:
-        degraded = fail_links(degraded, [tuple(pair) for pair in args.fail_link])
-    for machine in args.fail_node:
-        degraded = fail_node(degraded, machine)
-    survivors = sorted(degraded.network.machines)
-    after = reachability_matrix(degraded, survivors)
-    delta = compare_reachability(
-        {pair: ok for pair, ok in before.items() if set(pair) <= set(survivors)},
-        after,
-    )
-    print("reachable pairs kept: %d" % len(delta["kept"]))
-    print("reachable pairs lost: %d" % len(delta["lost"]))
+    with span("deploy"):
+        lab = deploy(result.lab_dir).lab
+    with span("whatif.compare"):
+        before = reachability_matrix(lab)
+        degraded = lab
+        if args.fail_link:
+            degraded = fail_links(degraded, [tuple(pair) for pair in args.fail_link])
+        for machine in args.fail_node:
+            degraded = fail_node(degraded, machine)
+        survivors = sorted(degraded.network.machines)
+        after = reachability_matrix(degraded, survivors)
+        delta = compare_reachability(
+            {pair: ok for pair, ok in before.items() if set(pair) <= set(survivors)},
+            after,
+        )
+    out.emit("reachable pairs kept: %d" % len(delta["kept"]))
+    out.emit("reachable pairs lost: %d" % len(delta["lost"]))
     for pair in sorted(delta["lost"])[:20]:
-        print("  lost %s -> %s" % pair)
+        out.emit("  lost %s -> %s" % pair)
+    out.result(
+        pairs_kept=len(delta["kept"]),
+        pairs_lost=len(delta["lost"]),
+        lost=[list(pair) for pair in sorted(delta["lost"])],
+    )
     return 0 if not delta["lost"] else 1
 
 
-def _cmd_diff(args) -> int:
+def _cmd_diff(args, out: CliOutput) -> int:
     from repro.compilers import platform_compiler
     from repro.design import design_network
     from repro.nidb import diff_nidbs
@@ -262,21 +435,30 @@ def _cmd_diff(args) -> int:
         args.platform, design_network(_load(args.topology_b), rules=tuple(args.rules))
     ).compile()
     diff = diff_nidbs(before, after)
-    print(diff.summary())
+    out.emit(diff.summary())
     for device in diff.added_devices:
-        print("  + %s" % device)
+        out.emit("  + %s" % device)
     for device in diff.removed_devices:
-        print("  - %s" % device)
+        out.emit("  - %s" % device)
     for device, changes in sorted(diff.changed.items()):
-        print("  ~ %s" % device)
+        out.emit("  ~ %s" % device)
         for change in changes[:10]:
-            print("      %s" % change)
+            out.emit("      %s" % change)
         if len(changes) > 10:
-            print("      ... %d more" % (len(changes) - 10))
+            out.emit("      ... %d more" % (len(changes) - 10))
+    out.result(
+        identical=diff.unchanged,
+        added=[str(device) for device in diff.added_devices],
+        removed=[str(device) for device in diff.removed_devices],
+        changed={
+            str(device): [str(change) for change in changes]
+            for device, changes in sorted(diff.changed.items())
+        },
+    )
     return 0 if diff.unchanged else 1
 
 
-def _cmd_visualize(args) -> int:
+def _cmd_visualize(args, out: CliOutput) -> int:
     from repro.visualization import overlay_to_d3, write_html, write_json
 
     anm = _designed(args)
@@ -286,7 +468,8 @@ def _cmd_visualize(args) -> int:
         write_json(data, output)
     else:
         write_html(data, output, title="Overlay %s" % args.overlay)
-    print("wrote", output)
+    out.emit("wrote %s" % output, output=output)
+    out.result(output=output, overlay=args.overlay)
     return 0
 
 

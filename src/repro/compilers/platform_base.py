@@ -23,6 +23,7 @@ from repro.compilers.base import DeviceCompiler, RouterCompiler, ServerCompiler
 from repro.design.ip_addressing import domain_between, interface_address
 from repro.exceptions import CompilerError
 from repro.nidb import DeviceModel, Nidb
+from repro.observability import metric_inc, span
 
 #: Management (TAP) block used for host-to-VM connectivity (§5.4).
 DEFAULT_TAP_BLOCK = "172.16.0.0/16"
@@ -130,8 +131,15 @@ class PlatformCompiler:
             syntax = device.syntax
             if device.device_type == "server":
                 syntax = "linux"
-            self.device_compiler_for(syntax).compile(phy_node, device)
-            self.render_device(device)
+            with span(
+                "compile.%s" % device.hostname,
+                device=str(phy_node.node_id),
+                syntax=syntax,
+                platform=self.platform,
+            ):
+                self.device_compiler_for(syntax).compile(phy_node, device)
+                self.render_device(device)
+            metric_inc("compile.devices_compiled")
 
         self._add_links(machines, g_phy, g_ip)
         members = collision_domain_members(self.anm)

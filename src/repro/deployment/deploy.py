@@ -13,13 +13,13 @@ import logging
 import os
 import tarfile
 import tempfile
-import time
 from dataclasses import dataclass, field
 
 from repro.deployment.host import LocalEmulationHost
 from repro.deployment.monitor import ProgressMonitor
 from repro.emulation import EmulatedLab
 from repro.exceptions import DeploymentError
+from repro.observability import metric_inc, span
 
 logger = logging.getLogger("repro.deployment")
 
@@ -69,25 +69,31 @@ def deploy(
     monitor.start()
     timings: dict[str, float] = {}
 
-    stage_start = time.perf_counter()
-    monitor.update("archive", "archiving %s" % source_dir)
-    archive_path = archive_lab(source_dir, lab_name)
-    timings["archive"] = time.perf_counter() - stage_start
+    with span("deploy.archive", lab_name=lab_name) as stage:
+        monitor.update("archive", "archiving %s" % source_dir, source_dir=source_dir)
+        archive_path = archive_lab(source_dir, lab_name)
+    timings["archive"] = stage.duration
 
-    stage_start = time.perf_counter()
-    monitor.update("transfer", "transferring to %s as %s" % (host.name, username))
-    remote_archive = host.receive(archive_path, lab_name)
-    timings["transfer"] = time.perf_counter() - stage_start
+    with span("deploy.transfer", host=host.name) as stage:
+        monitor.update(
+            "transfer",
+            "transferring to %s as %s" % (host.name, username),
+            host=host.name,
+            username=username,
+        )
+        remote_archive = host.receive(archive_path, lab_name)
+    timings["transfer"] = stage.duration
 
-    stage_start = time.perf_counter()
-    monitor.update("extract", "extracting %s" % remote_archive)
-    lab_dir = host.extract(remote_archive, lab_name)
-    timings["extract"] = time.perf_counter() - stage_start
+    with span("deploy.extract") as stage:
+        monitor.update("extract", "extracting %s" % remote_archive)
+        lab_dir = host.extract(remote_archive, lab_name)
+    timings["extract"] = stage.duration
 
-    stage_start = time.perf_counter()
-    monitor.update("lstart", "starting lab %s" % lab_name)
-    lab = host.lstart(lab_dir, lab_name, **boot_options)
-    timings["start"] = time.perf_counter() - stage_start
+    with span("deploy.lstart", lab_name=lab_name) as stage:
+        monitor.update("lstart", "starting lab %s" % lab_name, lab_name=lab_name)
+        lab = host.lstart(lab_dir, lab_name, **boot_options)
+    timings["start"] = stage.duration
+    metric_inc("deploy.labs_started")
 
     logger.info(
         "lab %s deployed to %s in %.2fs",

@@ -1,9 +1,13 @@
 """Deployment progress monitoring (§5.7, §6.1).
 
 "The progress is monitored with updates provided to the user through
-logs and the visualisation."  The monitor collects timestamped events
-per deployment stage and forwards them to optional callbacks (the CLI
-logger, the visualisation push channel, a test harness...).
+logs and the visualisation."  The monitor collects structured events
+per deployment stage — stage, message, wall-clock stamp, a *monotonic*
+stamp, elapsed offset, and free-form fields — and forwards them to
+optional callbacks (the CLI logger, the visualisation push channel, a
+test harness...).  Formatting happens in ``__str__`` at display time,
+not at creation, and every event is also routed into the structured
+event log of the active telemetry (or an explicit ``event_log``).
 """
 
 from __future__ import annotations
@@ -12,17 +16,35 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.observability import INFO, EventLog, current_telemetry
+
 ProgressCallback = Callable[["ProgressEvent"], None]
 
 
 @dataclass
 class ProgressEvent:
-    """One step of a deployment: stage name, message, wall-clock stamp."""
+    """One step of a deployment, as structured fields.
+
+    ``monotonic`` (a ``perf_counter`` stamp) orders events reliably
+    even across wall-clock adjustments; ``timestamp`` is wall time for
+    correlation; ``elapsed`` is the offset from the monitor's start.
+    """
 
     stage: str
     message: str
-    timestamp: float
-    elapsed: float
+    timestamp: float = 0.0
+    elapsed: float = 0.0
+    monotonic: float = 0.0
+    fields: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "stage": self.stage,
+            "message": self.message,
+            "timestamp": self.timestamp,
+            "elapsed": self.elapsed,
+            "fields": dict(self.fields),
+        }
 
     def __str__(self) -> str:
         return "[%7.3fs] %-10s %s" % (self.elapsed, self.stage, self.message)
@@ -30,17 +52,18 @@ class ProgressEvent:
 
 @dataclass
 class ProgressMonitor:
-    """Collects events and fans them out to callbacks."""
+    """Collects events and fans them out to callbacks and the event log."""
 
     callbacks: list[ProgressCallback] = field(default_factory=list)
     events: list[ProgressEvent] = field(default_factory=list)
     started: Optional[float] = None
+    event_log: Optional[EventLog] = None
 
     def start(self) -> None:
         self.started = time.perf_counter()
         self.events.clear()
 
-    def update(self, stage: str, message: str) -> ProgressEvent:
+    def update(self, stage: str, message: str, **fields) -> ProgressEvent:
         now = time.perf_counter()
         if self.started is None:
             self.started = now
@@ -49,10 +72,18 @@ class ProgressMonitor:
             message=message,
             timestamp=time.time(),
             elapsed=now - self.started,
+            monotonic=now,
+            fields=fields,
         )
         self.events.append(event)
         for callback in self.callbacks:
             callback(event)
+        event_log = self.event_log
+        if event_log is None:
+            telemetry = current_telemetry()
+            event_log = telemetry.events if telemetry is not None else None
+        if event_log is not None:
+            event_log.emit(INFO, "deploy.%s" % stage, message, **fields)
         return event
 
     def stages(self) -> list[str]:

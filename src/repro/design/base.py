@@ -27,6 +27,7 @@ from repro.design.ospf import build_ospf
 from repro.design.physical import build_phy
 from repro.design.rpki import build_rpki
 from repro.exceptions import DesignError
+from repro.observability import metric_inc, span
 
 DesignRule = Callable[[AbstractNetworkModel], object]
 
@@ -72,7 +73,11 @@ def apply_design(
     anm: AbstractNetworkModel,
     rules: Iterable[str] = DEFAULT_RULES,
 ) -> AbstractNetworkModel:
-    """Apply the named design rules in order and return the ANM."""
+    """Apply the named design rules in order and return the ANM.
+
+    Each rule runs under its own ``design.<overlay>`` span and counts
+    towards the ``design.rules_applied`` metric.
+    """
     for name in rules:
         try:
             rule = DESIGN_RULES[name]
@@ -81,7 +86,9 @@ def apply_design(
                 "no design rule registered for overlay %r (known: %s)"
                 % (name, ", ".join(sorted(DESIGN_RULES)))
             ) from None
-        rule(anm)
+        with span("design.%s" % name, overlay=name):
+            rule(anm)
+        metric_inc("design.rules_applied")
     return anm
 
 

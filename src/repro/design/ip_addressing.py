@@ -25,6 +25,7 @@ import networkx as nx
 from repro.addressing import BaseAllocator, PerAsnAllocator
 from repro.anm import AbstractNetworkModel, OverlayGraph, aggregate_nodes, split, unwrap_graph
 from repro.exceptions import DesignError
+from repro.observability import metric_inc
 
 #: Device types that participate in addressing.
 ADDRESSED_TYPES = ("router", "server", "external")
@@ -135,6 +136,7 @@ def _allocate(
     )
     for router in routers:
         router.loopback = allocator.loopback_pool(router.asn).next_address()
+        metric_inc("alloc.loopbacks_assigned")
 
     # Collision domains, in node-id order for determinism.
     domains = sorted(
@@ -153,6 +155,7 @@ def _allocate(
         else:
             subnet = pool.subnet_for_hosts(len(attached))
         domain.subnet = subnet
+        metric_inc("alloc.subnets_assigned")
         hosts = subnet.hosts()
         for device in attached:
             edge = g_ip.edge(device, domain)

@@ -41,6 +41,13 @@ from typing import Optional
 from repro.emulation.intent import BgpNeighborIntent
 from repro.emulation.network import EmulatedNetwork
 from repro.emulation.ospf_engine import IgpState
+from repro.observability import (
+    INFO,
+    WARNING,
+    gauge_set,
+    log_event,
+    metric_inc,
+)
 
 _ORIGIN_RANK = {"igp": 0, "egp": 1, "incomplete": 2}
 
@@ -379,6 +386,39 @@ class BgpSimulation:
 
     # -- the simulation loop ----------------------------------------------------
     def run(self, max_rounds: int = 64) -> BgpResult:
+        """Run the simulation and record per-run telemetry.
+
+        The metrics (``bgp.rounds``, ``bgp.messages``,
+        ``bgp.state_hash_checks``) and the convergence/oscillation
+        event make an E6-style oscillation diagnosable from the trace
+        alone: a run that oscillates shows ``bgp.period`` > 0 and a
+        warning event carrying the period.
+        """
+        result = self._simulate(max_rounds)
+        metric_inc("bgp.rounds", result.rounds)
+        metric_inc("bgp.messages", result.messages)
+        metric_inc("bgp.state_hash_checks", result.rounds + 1)
+        gauge_set("bgp.period", result.period)
+        if result.oscillating:
+            log_event(
+                WARNING,
+                "emulation",
+                "BGP oscillates with period %d" % result.period,
+                rounds=result.rounds,
+                period=result.period,
+            )
+        else:
+            log_event(
+                INFO,
+                "emulation",
+                "BGP %s after %d rounds"
+                % ("converged" if result.converged else "undetermined", result.rounds),
+                rounds=result.rounds,
+                messages=result.messages,
+            )
+        return result
+
+    def _simulate(self, max_rounds: int) -> BgpResult:
         selected: dict[str, dict] = {
             name: dict(table) for name, table in self.local_routes.items()
         }

@@ -22,6 +22,7 @@ from repro.emulation.ospf_engine import IgpState
 from repro.emulation.parsing import LAB_PARSERS
 from repro.emulation.vm import VirtualMachine
 from repro.exceptions import EmulationError
+from repro.observability import gauge_set, span
 
 logger = logging.getLogger("repro.emulation")
 
@@ -54,15 +55,17 @@ class EmulatedLab:
         keep_history: Optional[bool] = None,
     ):
         self.intent = intent
-        self.network = EmulatedNetwork(intent)
-        self.igp = IgpState(self.network)
-        if keep_history is None:
-            keep_history = len(self.network) <= HISTORY_MACHINE_LIMIT
+        with span("emulation.fabric"):
+            self.network = EmulatedNetwork(intent)
+        with span("emulation.igp"):
+            self.igp = IgpState(self.network)
         self._simulation = BgpSimulation(
             self.network,
             self.igp,
             vendor_overrides=vendor_overrides,
-            keep_history=keep_history,
+            keep_history=keep_history
+            if keep_history is not None
+            else len(self.network) <= HISTORY_MACHINE_LIMIT,
         )
         logger.info(
             "fabric up: %d machines, %d segments, %d IGP areas",
@@ -70,7 +73,14 @@ class EmulatedLab:
             len(self.network.segments),
             len(self.igp.areas()),
         )
-        self.bgp_result: BgpResult = self._simulation.run(max_rounds=max_rounds)
+        gauge_set("emulation.machines", len(self.network))
+        gauge_set("emulation.segments", len(self.network.segments))
+        with span("emulation.bgp", machines=len(self.network)) as bgp_span:
+            self.bgp_result: BgpResult = self._simulation.run(max_rounds=max_rounds)
+            bgp_span.set("rounds", self.bgp_result.rounds)
+            bgp_span.set("converged", self.bgp_result.converged)
+            bgp_span.set("oscillating", self.bgp_result.oscillating)
+            bgp_span.set("period", self.bgp_result.period)
         if self.bgp_result.converged:
             logger.info("BGP converged in %d rounds", self.bgp_result.rounds)
         elif self.bgp_result.oscillating:
@@ -107,7 +117,8 @@ class EmulatedLab:
             parser = LAB_PARSERS[platform]
         except KeyError:
             raise EmulationError("no parser for platform %r" % platform) from None
-        intent = parser(lab_dir)
+        with span("emulation.parse", platform=platform):
+            intent = parser(lab_dir)
         lab = cls(
             intent,
             max_rounds=max_rounds,

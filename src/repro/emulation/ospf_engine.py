@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.emulation.network import EmulatedNetwork
+from repro.observability import metric_inc
 
 BACKBONE = 0
 
@@ -176,7 +177,12 @@ class IgpState:
     # -- SPF ---------------------------------------------------------------------
     @functools.lru_cache(maxsize=8192)
     def spf(self, source: str, area: int = BACKBONE) -> tuple[dict, dict]:
-        """Dijkstra within one area: (distance, first-hop) per machine."""
+        """Dijkstra within one area: (distance, first-hop) per machine.
+
+        Counted as ``ospf.spf_runs`` — the body only runs on a cache
+        miss, so the metric is the number of actual Dijkstra runs.
+        """
+        metric_inc("ospf.spf_runs")
         graph = self.area_adjacency.get(area, {})
         distance = {source: 0}
         first_hop: dict[str, str] = {}
@@ -292,6 +298,7 @@ class IgpState:
         backbone) for the rest.  For each prefix the lowest-metric
         entry wins, ties broken by advertiser name for determinism.
         """
+        metric_inc("ospf.route_tables_computed")
         connected = set(self.network.connected_networks(source))
         table: dict[ipaddress.IPv4Network, IgpRoute] = {}
         for machine, device in self.network.machines.items():

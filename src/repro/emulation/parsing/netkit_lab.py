@@ -27,6 +27,7 @@ from repro.emulation.parsing.quagga_parse import (
     parse_ospfd,
 )
 from repro.exceptions import ConfigParseError
+from repro.observability import metric_inc
 
 #: The management (TAP) block: interfaces in it never carry lab traffic.
 MANAGEMENT_BLOCK = ipaddress.ip_network("172.16.0.0/16")
@@ -177,6 +178,7 @@ def parse_netkit_lab(lab_dir: str | os.PathLike) -> LabIntent:
         _load_quagga(lab_dir, machine, device)
         _load_services(lab_dir, machine, device)
         lab.devices[machine] = device
+        metric_inc("deploy.configs_parsed")
     return lab
 
 

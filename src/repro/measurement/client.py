@@ -26,6 +26,7 @@ from repro.exceptions import MeasurementError
 from repro.measurement.mapping import IpMapper
 from repro.measurement.parsers import template_for_command
 from repro.nidb import Nidb
+from repro.observability import metric_inc, span
 
 
 @dataclass
@@ -64,27 +65,36 @@ class MeasurementClient:
         self._mapper = IpMapper(nidb) if nidb is not None else None
 
     def send(self, command: str, hosts) -> MeasurementRun:
-        """Run ``command`` on each host (name or management address)."""
+        """Run ``command`` on each host (name or management address).
+
+        The fan-out runs under a ``measure`` span with one child per
+        host; parse volume is counted as ``measure.rows_parsed``.
+        """
         run = MeasurementRun(command=command)
         template = template_for_command(command)
-        for host in hosts:
-            vm = self._resolve(host)
-            output = vm.run(command)
-            result = MeasurementResult(
-                host=str(host),
-                machine=vm.name,
-                command=command,
-                output=output,
-            )
-            if template is not None:
-                result.parsed = template.parse_text_to_dicts(output)
-            if self._mapper is not None and command.startswith("traceroute"):
-                addresses = [
-                    row["ADDRESS"] for row in result.parsed if row.get("ADDRESS")
-                ]
-                result.mapped_path = self._mapper.map_path(addresses)
-                result.as_path = self._mapper.as_path(addresses)
-            run.results.append(result)
+        hosts = list(hosts)
+        with span("measure.send", command=command, hosts=len(hosts)):
+            for host in hosts:
+                with span("measure.%s" % host, host=str(host)):
+                    vm = self._resolve(host)
+                    output = vm.run(command)
+                    result = MeasurementResult(
+                        host=str(host),
+                        machine=vm.name,
+                        command=command,
+                        output=output,
+                    )
+                    if template is not None:
+                        result.parsed = template.parse_text_to_dicts(output)
+                        metric_inc("measure.rows_parsed", len(result.parsed))
+                    if self._mapper is not None and command.startswith("traceroute"):
+                        addresses = [
+                            row["ADDRESS"] for row in result.parsed if row.get("ADDRESS")
+                        ]
+                        result.mapped_path = self._mapper.map_path(addresses)
+                        result.as_path = self._mapper.as_path(addresses)
+                    metric_inc("measure.commands_sent")
+                run.results.append(result)
         return run
 
     def _resolve(self, host):

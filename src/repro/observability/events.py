@@ -1,0 +1,145 @@
+"""The structured event log.
+
+Replaces free-text progress strings with typed records: every event has
+a severity level, a stage (which pipeline phase produced it), a
+human-readable message, structured key/value fields, and two clocks — a
+wall timestamp for correlation with the outside world and a monotonic
+elapsed offset for ordering and latency math.
+
+Callbacks fan events out live (the CLI's console printer, a test
+harness); the buffer keeps everything for export.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+DEBUG = 10
+INFO = 20
+WARNING = 30
+ERROR = 40
+
+LEVEL_NAMES = {DEBUG: "debug", INFO: "info", WARNING: "warning", ERROR: "error"}
+
+EventCallback = Callable[["LogEvent"], None]
+
+
+@dataclass
+class LogEvent:
+    """One structured log record."""
+
+    level: int
+    stage: str
+    message: str
+    fields: dict = field(default_factory=dict)
+    timestamp: float = 0.0  # wall clock (time.time)
+    monotonic: float = 0.0  # perf_counter stamp
+    elapsed: float = 0.0  # seconds since the log was started
+
+    @property
+    def level_name(self) -> str:
+        return LEVEL_NAMES.get(self.level, str(self.level))
+
+    def to_dict(self) -> dict:
+        return {
+            "level": self.level_name,
+            "stage": self.stage,
+            "message": self.message,
+            "fields": dict(self.fields),
+            "timestamp": self.timestamp,
+            "elapsed": self.elapsed,
+        }
+
+    def __str__(self) -> str:
+        suffix = ""
+        if self.fields:
+            suffix = " " + " ".join(
+                "%s=%s" % (key, value) for key, value in sorted(self.fields.items())
+            )
+        return "[%7.3fs] %-7s %-10s %s%s" % (
+            self.elapsed,
+            self.level_name,
+            self.stage,
+            self.message,
+            suffix,
+        )
+
+
+class EventLog:
+    """Thread-safe buffer of :class:`LogEvent` with live callbacks."""
+
+    def __init__(self, min_level: int = DEBUG):
+        self.min_level = min_level
+        self.events: list[LogEvent] = []
+        self.callbacks: list[EventCallback] = []
+        self._lock = threading.Lock()
+        self._started = time.perf_counter()
+
+    def emit(
+        self, level: int, stage: str, message: str, **fields
+    ) -> Optional[LogEvent]:
+        if level < self.min_level:
+            return None
+        now = time.perf_counter()
+        event = LogEvent(
+            level=level,
+            stage=stage,
+            message=message,
+            fields=fields,
+            timestamp=time.time(),
+            monotonic=now,
+            elapsed=now - self._started,
+        )
+        with self._lock:
+            self.events.append(event)
+            callbacks = list(self.callbacks)
+        for callback in callbacks:
+            callback(event)
+        return event
+
+    # -- severity helpers ---------------------------------------------------
+    def debug(self, stage: str, message: str, **fields):
+        return self.emit(DEBUG, stage, message, **fields)
+
+    def info(self, stage: str, message: str, **fields):
+        return self.emit(INFO, stage, message, **fields)
+
+    def warning(self, stage: str, message: str, **fields):
+        return self.emit(WARNING, stage, message, **fields)
+
+    def error(self, stage: str, message: str, **fields):
+        return self.emit(ERROR, stage, message, **fields)
+
+    # -- reads --------------------------------------------------------------
+    def __iter__(self):
+        with self._lock:
+            return iter(list(self.events))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.events)
+
+    def filter(
+        self, level: Optional[int] = None, stage: Optional[str] = None
+    ) -> list[LogEvent]:
+        with self._lock:
+            events = list(self.events)
+        if level is not None:
+            events = [event for event in events if event.level >= level]
+        if stage is not None:
+            events = [event for event in events if event.stage == stage]
+        return events
+
+    def stages(self) -> list[str]:
+        """Distinct stages in first-seen order."""
+        ordered: list[str] = []
+        for event in self:
+            if event.stage not in ordered:
+                ordered.append(event.stage)
+        return ordered
+
+    def format(self, level: int = DEBUG) -> str:
+        return "\n".join(str(event) for event in self.filter(level=level))

@@ -1,0 +1,151 @@
+"""Telemetry exporters: JSON-lines, Chrome trace_event, timing tree.
+
+Three consumers, three formats:
+
+* :func:`write_jsonl` — one JSON object per line (``span`` / ``metric``
+  / ``event`` records), the machine-readable archive of a run;
+* :func:`chrome_trace` — the Chrome ``trace_event`` format (load the
+  file at ``chrome://tracing`` or https://ui.perfetto.dev) built from
+  the same spans;
+* :func:`timing_tree` — the human summary the CLI prints: the span
+  hierarchy with durations and percent-of-parent.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.observability.tracer import Span
+
+
+def _spans_of(source) -> list[Span]:
+    """Accept a Telemetry, a Tracer, or an iterable of spans."""
+    if hasattr(source, "tracer"):  # Telemetry
+        return source.tracer.all_spans()
+    if hasattr(source, "all_spans"):  # Tracer
+        return source.all_spans()
+    return list(source)
+
+
+# -- JSON lines --------------------------------------------------------------
+def trace_records(telemetry) -> Iterable[dict]:
+    """Every span, metric and event of a run as plain dicts."""
+    for span in _spans_of(telemetry):
+        record = span.to_dict()
+        record["type"] = "span"
+        yield record
+    if hasattr(telemetry, "metrics"):
+        snapshot = telemetry.metrics.snapshot()
+        for name, value in sorted(snapshot["counters"].items()):
+            yield {"type": "metric", "kind": "counter", "name": name, "value": value}
+        for name, value in sorted(snapshot["gauges"].items()):
+            yield {"type": "metric", "kind": "gauge", "name": name, "value": value}
+        for name, stats in sorted(snapshot["histograms"].items()):
+            yield {"type": "metric", "kind": "histogram", "name": name, "value": stats}
+    if hasattr(telemetry, "events"):
+        for event in telemetry.events:
+            record = event.to_dict()
+            record["type"] = "event"
+            yield record
+
+
+def write_jsonl(telemetry, path: str) -> str:
+    """Write the full run record as JSON lines; returns the path."""
+    with open(path, "w") as handle:
+        for record in trace_records(telemetry):
+            handle.write(json.dumps(record, default=str) + "\n")
+    return path
+
+
+def read_jsonl(path: str) -> list[dict]:
+    """Load a JSON-lines trace back into record dicts."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+# -- Chrome trace_event ------------------------------------------------------
+def chrome_trace(source) -> dict:
+    """The spans as a Chrome ``trace_event`` document.
+
+    Accepts a Telemetry/Tracer/span list *or* a list of record dicts
+    previously loaded with :func:`read_jsonl` (span records only).
+    """
+    spans = _spans_of(source)
+    records = [
+        span.to_dict() if isinstance(span, Span) else span
+        for span in spans
+        if not isinstance(span, dict) or span.get("type", "span") == "span"
+    ]
+    if not records:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+    origin = min(record["start"] for record in records)
+    threads = {}
+    trace_events = []
+    for record in records:
+        thread = record.get("thread", "main")
+        tid = threads.setdefault(thread, len(threads) + 1)
+        args = dict(record.get("attributes") or {})
+        if record.get("status") == "error":
+            args["error"] = record.get("error")
+        trace_events.append(
+            {
+                "name": record["name"],
+                "ph": "X",
+                "ts": (record["start"] - origin) * 1e6,
+                "dur": record["duration"] * 1e6,
+                "pid": 1,
+                "tid": tid,
+                "args": {key: str(value) for key, value in args.items()},
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(source, path: str) -> str:
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(source), handle, indent=1)
+    return path
+
+
+# -- the timing tree ---------------------------------------------------------
+def timing_tree(source, max_children: int = 20) -> str:
+    """The human summary: span hierarchy, durations, percent-of-parent.
+
+    Sibling runs past ``max_children`` (per-device spans at NREN scale)
+    are folded into one ``... n more (total)`` line.
+    """
+    if hasattr(source, "tracer"):
+        roots = source.tracer.roots
+    elif hasattr(source, "roots"):
+        roots = source.roots
+    else:
+        roots = list(source)
+    lines: list[str] = []
+
+    def render(span: Span, depth: int, parent_duration: float | None) -> None:
+        label = "%s%s" % ("  " * depth, span.name)
+        percent = ""
+        if parent_duration:
+            percent = "  %4.1f%%" % (100.0 * span.duration / parent_duration)
+        flag = "  [ERROR]" if span.status == "error" else ""
+        lines.append("%-44s %9.4fs%s%s" % (label, span.duration, percent, flag))
+        shown = span.children[:max_children]
+        for child in shown:
+            render(child, depth + 1, span.duration)
+        hidden = span.children[max_children:]
+        if hidden:
+            total = sum(child.duration for child in hidden)
+            lines.append(
+                "%s... %d more spans%45s"
+                % ("  " * (depth + 1), len(hidden), "%9.4fs" % total)
+            )
+
+    for root in roots:
+        render(root, 0, None)
+    return "\n".join(lines)

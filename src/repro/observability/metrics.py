@@ -1,0 +1,128 @@
+"""A registry of named counters, gauges and histograms.
+
+The pipeline's quantitative self-measurements live here: how many SPF
+runs the IGP engine performed (``ospf.spf_runs``), how many BGP rounds
+the simulation took (``bgp.rounds``), how many templates the renderer
+expanded (``render.templates_rendered``), and so on.  Names are plain
+dotted strings; there is no registration step — the first write creates
+the instrument.
+
+Thread-safe: every mutation takes the registry lock, so worker threads
+can bump the same counter concurrently without losing increments.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Histogram:
+    """Summary statistics of observed values (no bucketing)."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+            "mean": self.mean,
+        }
+
+
+@dataclass
+class MetricsRegistry:
+    """Named counters / gauges / histograms, created on first use."""
+
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self._lock = threading.Lock()
+
+    # -- writes -------------------------------------------------------------
+    def inc(self, name: str, value: float = 1) -> None:
+        """Add to a counter (created at zero on first use)."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record a point-in-time value (last write wins)."""
+        with self._lock:
+            self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Feed one sample into a histogram."""
+        with self._lock:
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = Histogram()
+            histogram.observe(value)
+
+    # -- reads --------------------------------------------------------------
+    def value(self, name: str, default: float = 0) -> float:
+        """Current counter or gauge value (0 when never written)."""
+        with self._lock:
+            if name in self.counters:
+                return self.counters[name]
+            if name in self.gauges:
+                return self.gauges[name]
+        return default
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            return self.histograms.get(name, Histogram())
+
+    def snapshot(self) -> dict:
+        """One plain dict of everything, for export and assertions."""
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "histograms": {
+                    name: histogram.to_dict()
+                    for name, histogram in self.histograms.items()
+                },
+            }
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(
+                set(self.counters) | set(self.gauges) | set(self.histograms)
+            )
+
+    def format(self) -> str:
+        """A human-readable table, one instrument per line."""
+        snapshot = self.snapshot()
+        lines = []
+        for name in sorted(snapshot["counters"]):
+            lines.append("%-40s %g" % (name, snapshot["counters"][name]))
+        for name in sorted(snapshot["gauges"]):
+            lines.append("%-40s %g (gauge)" % (name, snapshot["gauges"][name]))
+        for name in sorted(snapshot["histograms"]):
+            stats = snapshot["histograms"][name]
+            lines.append(
+                "%-40s n=%d mean=%.4g min=%.4g max=%.4g"
+                % (name, stats["count"], stats["mean"],
+                   stats["min"] or 0, stats["max"] or 0)
+            )
+        return "\n".join(lines)

@@ -1,0 +1,185 @@
+"""The :class:`Telemetry` bundle and the ambient instrumentation API.
+
+A ``Telemetry`` groups the three observability primitives — tracer,
+metrics registry, event log — for one pipeline run.  Layers deep inside
+the system (design rules, device compilers, the SPF engine) do not take
+a telemetry argument; they call the module-level helpers (:func:`span`,
+:func:`metric_inc`, :func:`log_event`...), which write to the *active*
+telemetry or do nothing when none is active:
+
+    telemetry = Telemetry()
+    with telemetry.activate():
+        run_experiment(...)          # every layer records into it
+    print(telemetry.timing_tree())
+
+The inactive path is a single global read plus an early return, so
+instrumented hot loops cost nothing measurable when nobody is looking.
+Activation nests (a stack) and is process-global: worker threads spawned
+during an activated region record into the same telemetry.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.observability.events import (
+    DEBUG,
+    ERROR,
+    INFO,
+    WARNING,
+    EventLog,
+    LogEvent,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracer import NULL_SPAN, Span, Tracer, detached_span
+
+_lock = threading.Lock()
+_STACK: list["Telemetry"] = []
+_ACTIVE: Optional["Telemetry"] = None
+
+
+class Telemetry:
+    """Tracer + metrics + event log for one pipeline run."""
+
+    def __init__(self):
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+        self.events = EventLog()
+
+    # -- activation ---------------------------------------------------------
+    def activate(self) -> "_Activation":
+        """Make this the ambient telemetry for the ``with`` block."""
+        return _Activation(self)
+
+    # -- convenience --------------------------------------------------------
+    def span(self, name: str, **attributes):
+        return self.tracer.span(name, **attributes)
+
+    def root_span(self) -> Optional[Span]:
+        roots = self.tracer.roots
+        return roots[0] if roots else None
+
+    def phase_timings(self) -> dict[str, float]:
+        """``{phase: seconds}`` from the first root span's children."""
+        root = self.root_span()
+        if root is None:
+            return {}
+        return {child.name: child.duration for child in root.children}
+
+    def timing_tree(self) -> str:
+        from repro.observability.export import timing_tree
+
+        return timing_tree(self)
+
+    def write_trace(self, path: str) -> str:
+        from repro.observability.export import write_jsonl
+
+        return write_jsonl(self, path)
+
+    def write_chrome_trace(self, path: str) -> str:
+        from repro.observability.export import write_chrome_trace
+
+        return write_chrome_trace(self, path)
+
+    def __repr__(self) -> str:
+        return "Telemetry(%d spans, %d metrics, %d events)" % (
+            len(self.tracer),
+            len(self.metrics.names()),
+            len(self.events),
+        )
+
+
+class _Activation:
+    """Context manager pushing/popping the ambient telemetry."""
+
+    __slots__ = ("telemetry",)
+
+    def __init__(self, telemetry: Telemetry):
+        self.telemetry = telemetry
+
+    def __enter__(self) -> Telemetry:
+        global _ACTIVE
+        with _lock:
+            _STACK.append(self.telemetry)
+            _ACTIVE = self.telemetry
+        return self.telemetry
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global _ACTIVE
+        with _lock:
+            if self.telemetry in _STACK:
+                _STACK.reverse()
+                _STACK.remove(self.telemetry)
+                _STACK.reverse()
+            _ACTIVE = _STACK[-1] if _STACK else None
+        return False
+
+
+def current_telemetry() -> Optional[Telemetry]:
+    """The ambient telemetry, or None outside any activation."""
+    return _ACTIVE
+
+
+# -- the ambient instrumentation API ----------------------------------------
+def span(name: str, **attributes):
+    """A nested span on the active telemetry.
+
+    With no active telemetry the span is *detached*: it still measures
+    real time (so ``span.duration`` stays meaningful to the caller) but
+    is recorded nowhere.
+    """
+    telemetry = _ACTIVE
+    if telemetry is None:
+        return detached_span(name, **attributes)
+    return telemetry.tracer.span(name, **attributes)
+
+
+def current_span() -> Span:
+    telemetry = _ACTIVE
+    if telemetry is None:
+        return NULL_SPAN
+    return telemetry.tracer.current_span() or NULL_SPAN
+
+
+def metric_inc(name: str, value: float = 1) -> None:
+    telemetry = _ACTIVE
+    if telemetry is not None:
+        telemetry.metrics.inc(name, value)
+
+
+def gauge_set(name: str, value: float) -> None:
+    telemetry = _ACTIVE
+    if telemetry is not None:
+        telemetry.metrics.set_gauge(name, value)
+
+
+def metric_observe(name: str, value: float) -> None:
+    telemetry = _ACTIVE
+    if telemetry is not None:
+        telemetry.metrics.observe(name, value)
+
+
+def log_event(
+    level: int, stage: str, message: str, **fields
+) -> Optional[LogEvent]:
+    telemetry = _ACTIVE
+    if telemetry is not None:
+        return telemetry.events.emit(level, stage, message, **fields)
+    return None
+
+
+__all__ = [
+    "DEBUG",
+    "INFO",
+    "WARNING",
+    "ERROR",
+    "Telemetry",
+    "current_span",
+    "current_telemetry",
+    "gauge_set",
+    "log_event",
+    "metric_inc",
+    "metric_observe",
+    "span",
+]

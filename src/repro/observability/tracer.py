@@ -1,0 +1,240 @@
+"""Nestable tracing spans with monotonic timings.
+
+A :class:`Span` measures one unit of pipeline work (a phase, a design
+rule, a device compile) with ``time.perf_counter`` and carries free-form
+attributes.  Spans nest: entering a span inside another makes it a
+child, so one experiment run produces a tree —
+
+    experiment
+      load_build
+        design.phy
+        design.ipv4
+      compile
+        compile.as100r1
+        ...
+
+The :class:`Tracer` is zero-dependency and thread-safe: the span buffer
+is guarded by a lock, and the *current span* stack is thread-local so
+spans opened on worker threads nest correctly within their own thread
+(cross-thread spans become additional roots).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+@dataclass
+class Span:
+    """One timed unit of work in the pipeline."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int] = None
+    attributes: dict = field(default_factory=dict)
+    start_wall: float = 0.0
+    start: float = 0.0
+    end: Optional[float] = None
+    status: str = "ok"
+    error: Optional[str] = None
+    thread: str = "main"
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (monotonic); live spans read the clock."""
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+    def set(self, key: str, value) -> "Span":
+        """Attach one attribute; chainable inside ``with`` blocks."""
+        self.attributes[key] = value
+        return self
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First descendant (or self) with the given name."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def find_all(self, name: str) -> list["Span"]:
+        return [span for span in self.walk() if span.name == name]
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "start": self.start_wall,
+            "duration": self.duration,
+            "status": self.status,
+            "error": self.error,
+            "thread": self.thread,
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self) -> str:
+        return "Span(%s, %.4fs, %s)" % (self.name, self.duration, self.status)
+
+
+class _NullSpan:
+    """Inert stand-in handed out when no telemetry is active."""
+
+    __slots__ = ()
+    name = "null"
+    attributes: dict = {}
+    children: list = []
+    duration = 0.0
+    status = "ok"
+
+    def set(self, key, value):
+        return self
+
+    def walk(self):
+        return iter(())
+
+    def find(self, name):
+        return None
+
+    def find_all(self, name):
+        return []
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _NullContext:
+    """``with`` target that yields the null span and swallows nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+NULL_CONTEXT = _NullContext()
+
+
+@contextmanager
+def detached_span(name: str, **attributes):
+    """A timed span registered nowhere — used when no telemetry is
+    active, so callers reading ``span.duration`` after the ``with``
+    block still get real timings."""
+    span = Span(
+        name=name,
+        span_id=0,
+        attributes=attributes,
+        start_wall=time.time(),
+        start=time.perf_counter(),
+        thread=threading.current_thread().name,
+    )
+    try:
+        yield span
+    except BaseException as exc:
+        span.status = "error"
+        span.error = "%s: %s" % (type(exc).__name__, exc)
+        raise
+    finally:
+        span.end = time.perf_counter()
+
+
+class Tracer:
+    """Collects spans into per-run trees; safe for concurrent use."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+        #: top-level spans, in start order
+        self.roots: list[Span] = []
+        #: every finished span, in finish order
+        self.finished: list[Span] = []
+
+    # -- span lifecycle -----------------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current_span(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def start_span(self, name: str, **attributes) -> Span:
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            span_id = next(self._ids)
+        span = Span(
+            name=name,
+            span_id=span_id,
+            parent_id=parent.span_id if parent else None,
+            attributes=attributes,
+            start_wall=time.time(),
+            start=time.perf_counter(),
+            thread=threading.current_thread().name,
+        )
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            with self._lock:
+                self.roots.append(span)
+        stack.append(span)
+        return span
+
+    def end_span(self, span: Span) -> None:
+        span.end = time.perf_counter()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # defensive: out-of-order exit
+            stack.remove(span)
+        with self._lock:
+            self.finished.append(span)
+
+    @contextmanager
+    def span(self, name: str, **attributes):
+        """Open a nested span; records errors and always closes."""
+        span = self.start_span(name, **attributes)
+        try:
+            yield span
+        except BaseException as exc:
+            span.status = "error"
+            span.error = "%s: %s" % (type(exc).__name__, exc)
+            raise
+        finally:
+            self.end_span(span)
+
+    # -- inspection ---------------------------------------------------------
+    def all_spans(self) -> list[Span]:
+        """Every span started so far, in start (id) order."""
+        with self._lock:
+            roots = list(self.roots)
+        spans = [span for root in roots for span in root.walk()]
+        spans.sort(key=lambda span: span.span_id)
+        return spans
+
+    def find(self, name: str) -> Optional[Span]:
+        for span in self.all_spans():
+            if span.name == name:
+                return span
+        return None
+
+    def __len__(self) -> int:
+        return len(self.all_spans())

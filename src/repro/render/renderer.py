@@ -26,6 +26,7 @@ import jinja2
 
 from repro.exceptions import RenderError
 from repro.nidb import Nidb
+from repro.observability import metric_inc, span
 
 _ENVIRONMENT: jinja2.Environment | None = None
 _EXTRA_TEMPLATE_DIRS: list[str] = []
@@ -113,9 +114,11 @@ def render_template(template_name: str, **context) -> str:
     except jinja2.TemplateNotFound as exc:
         raise RenderError("template %r not found" % template_name) from exc
     try:
-        return template.render(**context)
+        text = template.render(**context)
     except jinja2.TemplateError as exc:
         raise RenderError("rendering %r failed: %s" % (template_name, exc)) from exc
+    metric_inc("render.templates_rendered")
+    return text
 
 
 def render_nidb(nidb: Nidb, output_dir: str | os.PathLike) -> RenderResult:
@@ -136,17 +139,18 @@ def render_nidb(nidb: Nidb, output_dir: str | os.PathLike) -> RenderResult:
     for device in devices:
         if not device.render:
             continue
-        for folder in device.render.folders or []:
-            _render_folder(result, folder, lab_dir, device, nidb, devices)
-        for entry in device.render.files or []:
-            template_name, path = _entry(entry)
-            text = render_template(
-                template_name,
-                node=device,
-                topology=nidb.topology,
-                devices=devices,
-            )
-            _write(result, os.path.join(lab_dir, path), text)
+        with span("render.%s" % device.hostname, device=str(device.node_id)):
+            for folder in device.render.folders or []:
+                _render_folder(result, folder, lab_dir, device, nidb, devices)
+            for entry in device.render.files or []:
+                template_name, path = _entry(entry)
+                text = render_template(
+                    template_name,
+                    node=device,
+                    topology=nidb.topology,
+                    devices=devices,
+                )
+                _write(result, os.path.join(lab_dir, path), text)
 
     topology_render = nidb.topology.render
     if topology_render:
@@ -209,3 +213,5 @@ def _write(result: RenderResult, path: str, text: str) -> None:
         handle.write(text)
     result.files.append(path)
     result.total_bytes += len(text)
+    metric_inc("render.files_written")
+    metric_inc("render.bytes_written", len(text))

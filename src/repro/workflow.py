@@ -2,14 +2,17 @@
 
 One call takes an annotated input topology through the whole system —
 design rules, compilation, rendering, deployment into the emulation
-substrate — and returns handles to every intermediate artefact plus
-per-phase timings (the quantities the §3.2 scale experiment reports:
-load/build, compile, render).
+substrate — and returns handles to every intermediate artefact plus a
+:class:`~repro.observability.Telemetry` of the run: a span tree with
+one span per phase (and per-rule / per-device children recorded by the
+layers themselves), the metrics registry, and the structured event log.
+``ExperimentResult.timings`` stays as a derived per-phase view — the
+quantities the §3.2 scale experiment reports: load/build, compile,
+render — now measured uniformly from the phase spans.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
@@ -23,6 +26,7 @@ from repro.design import DEFAULT_RULES, apply_design, build_anm
 from repro.emulation import EmulatedLab
 from repro.loader import load_gml, load_graphml, load_json
 from repro.nidb import Nidb
+from repro.observability import Telemetry, current_telemetry
 from repro.render import RenderResult, render_nidb
 
 
@@ -35,6 +39,7 @@ class ExperimentResult:
     render_result: RenderResult
     deployment: Optional[DeploymentRecord] = None
     timings: dict = field(default_factory=dict)
+    telemetry: Optional[Telemetry] = None
 
     @property
     def lab(self) -> Optional[EmulatedLab]:
@@ -44,6 +49,10 @@ class ExperimentResult:
         return ", ".join(
             "%s %.2fs" % (phase, seconds) for phase, seconds in self.timings.items()
         )
+
+    def timing_tree(self) -> str:
+        """The full span hierarchy of the run, human formatted."""
+        return self.telemetry.timing_tree() if self.telemetry else ""
 
 
 def load_topology(source) -> nx.Graph:
@@ -67,42 +76,50 @@ def run_experiment(
     deploy: bool = True,
     lab_name: str = "lab",
     max_rounds: int = 64,
+    telemetry: Optional[Telemetry] = None,
 ) -> ExperimentResult:
-    """Input topology in, measured-ready emulated network out."""
+    """Input topology in, measured-ready emulated network out.
+
+    All phases are timed the same way — one span per phase on the run's
+    telemetry (an explicit argument, the ambient active one, or a fresh
+    bundle) — so the phase durations sum to the experiment total.
+    """
     import tempfile
 
-    timings: dict[str, float] = {}
+    telemetry = telemetry or current_telemetry() or Telemetry()
 
-    started = time.perf_counter()
-    graph = load_topology(source)
-    anm = build_anm(graph)
-    apply_design(anm, rules)
-    timings["load_build"] = time.perf_counter() - started
+    with telemetry.activate():
+        with telemetry.span(
+            "experiment", platform=platform, lab_name=lab_name
+        ) as experiment_span:
+            with telemetry.span("load_build"):
+                graph = load_topology(source)
+                anm = build_anm(graph)
+                apply_design(anm, rules)
 
-    started = time.perf_counter()
-    nidb = platform_compiler(platform, anm).compile()
-    timings["compile"] = time.perf_counter() - started
+            with telemetry.span("compile", platform=platform):
+                nidb = platform_compiler(platform, anm).compile()
 
-    started = time.perf_counter()
-    output_dir = output_dir or tempfile.mkdtemp(prefix="rendered_")
-    render_result = render_nidb(nidb, output_dir)
-    timings["render"] = render_result.elapsed_seconds
+            with telemetry.span("render"):
+                output_dir = output_dir or tempfile.mkdtemp(prefix="rendered_")
+                render_result = render_nidb(nidb, output_dir)
 
-    deployment = None
-    if deploy:
-        started = time.perf_counter()
-        deployment = deploy_lab(
-            render_result.lab_dir,
-            host=host,
-            lab_name=lab_name,
-            max_rounds=max_rounds,
-        )
-        timings["deploy"] = time.perf_counter() - started
+            deployment = None
+            if deploy:
+                with telemetry.span("deploy", lab_name=lab_name):
+                    deployment = deploy_lab(
+                        render_result.lab_dir,
+                        host=host,
+                        lab_name=lab_name,
+                        max_rounds=max_rounds,
+                    )
 
+    timings = {phase.name: phase.duration for phase in experiment_span.children}
     return ExperimentResult(
         anm=anm,
         nidb=nidb,
         render_result=render_result,
         deployment=deployment,
         timings=timings,
+        telemetry=telemetry,
     )

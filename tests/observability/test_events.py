@@ -1,0 +1,88 @@
+"""Unit tests for the structured event log."""
+
+from repro.observability import DEBUG, ERROR, INFO, WARNING, EventLog
+
+
+class TestStructure:
+    def test_events_carry_structured_fields(self):
+        log = EventLog()
+        event = log.info("deploy.lstart", "starting lab", lab_name="si", machines=14)
+        assert event.level == INFO
+        assert event.stage == "deploy.lstart"
+        assert event.fields == {"lab_name": "si", "machines": 14}
+        assert event.timestamp > 0
+        assert event.monotonic > 0
+        assert event.elapsed >= 0
+
+    def test_monotonic_ordering(self):
+        log = EventLog()
+        first = log.info("a", "one")
+        second = log.info("b", "two")
+        assert second.monotonic >= first.monotonic
+        assert second.elapsed >= first.elapsed
+
+    def test_str_formats_at_display_time(self):
+        log = EventLog()
+        event = log.warning("emulation", "BGP oscillates", period=3)
+        text = str(event)
+        assert "warning" in text
+        assert "emulation" in text
+        assert "BGP oscillates" in text
+        assert "period=3" in text
+
+    def test_to_dict(self):
+        log = EventLog()
+        record = log.error("render", "template missing", template="x.j2").to_dict()
+        assert record["level"] == "error"
+        assert record["stage"] == "render"
+        assert record["fields"] == {"template": "x.j2"}
+
+
+class TestFiltering:
+    def test_min_level_drops_below(self):
+        log = EventLog(min_level=INFO)
+        assert log.debug("s", "dropped") is None
+        log.info("s", "kept")
+        assert len(log) == 1
+
+    def test_filter_by_level_and_stage(self):
+        log = EventLog()
+        log.debug("a", "d")
+        log.info("a", "i")
+        log.warning("b", "w")
+        log.error("b", "e")
+        assert len(log.filter(level=WARNING)) == 2
+        assert len(log.filter(stage="a")) == 2
+        assert len(log.filter(level=ERROR, stage="b")) == 1
+
+    def test_stages_in_first_seen_order(self):
+        log = EventLog()
+        log.info("deploy.archive", "x")
+        log.info("deploy.lstart", "y")
+        log.info("deploy.archive", "z")
+        assert log.stages() == ["deploy.archive", "deploy.lstart"]
+
+    def test_format_renders_all(self):
+        log = EventLog()
+        log.info("one", "first")
+        log.info("two", "second")
+        text = log.format()
+        assert "first" in text and "second" in text
+        assert text.index("first") < text.index("second")
+
+
+class TestCallbacks:
+    def test_callbacks_see_each_event(self):
+        log = EventLog()
+        seen = []
+        log.callbacks.append(seen.append)
+        log.info("s", "hello")
+        assert len(seen) == 1 and seen[0].message == "hello"
+
+    def test_level_helpers(self):
+        log = EventLog()
+        log.debug("s", "1")
+        log.info("s", "2")
+        log.warning("s", "3")
+        log.error("s", "4")
+        assert [event.level for event in log] == [DEBUG, INFO, WARNING, ERROR]

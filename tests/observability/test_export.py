@@ -1,0 +1,100 @@
+"""Unit tests for the JSON-lines, Chrome-trace and timing-tree exporters."""
+
+import json
+
+from repro.observability import (
+    Telemetry,
+    chrome_trace,
+    read_jsonl,
+    timing_tree,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def _sample_telemetry() -> Telemetry:
+    telemetry = Telemetry()
+    with telemetry.activate():
+        with telemetry.span("experiment", platform="netkit"):
+            with telemetry.span("load_build"):
+                telemetry.metrics.inc("design.rules_applied", 6)
+            with telemetry.span("compile"):
+                telemetry.metrics.set_gauge("emulation.machines", 14)
+        telemetry.events.info("deploy.lstart", "starting lab", lab_name="si")
+    return telemetry
+
+
+class TestJsonLines:
+    def test_round_trip(self, tmp_path):
+        telemetry = _sample_telemetry()
+        path = write_jsonl(telemetry, str(tmp_path / "run.jsonl"))
+        records = read_jsonl(path)
+        kinds = {record["type"] for record in records}
+        assert kinds == {"span", "metric", "event"}
+        spans = [r for r in records if r["type"] == "span"]
+        assert [s["name"] for s in spans] == ["experiment", "load_build", "compile"]
+        metrics = {r["name"]: r for r in records if r["type"] == "metric"}
+        assert metrics["design.rules_applied"]["value"] == 6
+        assert metrics["emulation.machines"]["kind"] == "gauge"
+        events = [r for r in records if r["type"] == "event"]
+        assert events[0]["fields"] == {"lab_name": "si"}
+
+    def test_each_line_is_valid_json(self, tmp_path):
+        path = write_jsonl(_sample_telemetry(), str(tmp_path / "run.jsonl"))
+        for line in open(path):
+            json.loads(line)
+
+
+class TestChromeTrace:
+    def test_structure(self):
+        document = chrome_trace(_sample_telemetry())
+        events = document["traceEvents"]
+        assert len(events) == 3
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+            assert event["pid"] == 1
+        names = [event["name"] for event in events]
+        assert "experiment" in names
+
+    def test_loadable_from_jsonl_records(self, tmp_path):
+        """The JSON-lines file feeds the Chrome exporter directly."""
+        path = write_jsonl(_sample_telemetry(), str(tmp_path / "run.jsonl"))
+        document = chrome_trace(read_jsonl(path))
+        assert len(document["traceEvents"]) == 3
+
+    def test_write_file(self, tmp_path):
+        path = write_chrome_trace(_sample_telemetry(), str(tmp_path / "trace.json"))
+        document = json.load(open(path))
+        assert "traceEvents" in document
+
+    def test_empty(self):
+        assert chrome_trace([]) == {"traceEvents": [], "displayTimeUnit": "ms"}
+
+
+class TestTimingTree:
+    def test_hierarchy_and_percentages(self):
+        tree = timing_tree(_sample_telemetry())
+        lines = tree.splitlines()
+        assert lines[0].startswith("experiment")
+        assert lines[1].startswith("  load_build")
+        assert "%" in lines[1]
+
+    def test_error_span_flagged(self):
+        telemetry = Telemetry()
+        try:
+            with telemetry.span("fails"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        assert "[ERROR]" in timing_tree(telemetry)
+
+    def test_wide_sibling_runs_fold(self):
+        telemetry = Telemetry()
+        with telemetry.span("compile"):
+            for index in range(30):
+                with telemetry.span("compile.r%d" % index):
+                    pass
+        tree = timing_tree(telemetry, max_children=20)
+        assert "... 10 more spans" in tree

@@ -1,0 +1,107 @@
+"""Unit tests for metric accumulation, including under concurrency."""
+
+import threading
+
+from repro.observability import MetricsRegistry, Telemetry, metric_inc
+
+
+class TestCounters:
+    def test_created_on_first_inc(self):
+        metrics = MetricsRegistry()
+        assert metrics.value("ospf.spf_runs") == 0
+        metrics.inc("ospf.spf_runs")
+        metrics.inc("ospf.spf_runs", 4)
+        assert metrics.value("ospf.spf_runs") == 5
+
+    def test_independent_names(self):
+        metrics = MetricsRegistry()
+        metrics.inc("a")
+        metrics.inc("b", 2)
+        assert metrics.value("a") == 1
+        assert metrics.value("b") == 2
+        assert metrics.names() == ["a", "b"]
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        metrics = MetricsRegistry()
+        metrics.set_gauge("bgp.period", 0)
+        metrics.set_gauge("bgp.period", 3)
+        assert metrics.value("bgp.period") == 3
+
+
+class TestHistograms:
+    def test_summary_statistics(self):
+        metrics = MetricsRegistry()
+        for value in (1.0, 3.0, 2.0):
+            metrics.observe("render.file_bytes", value)
+        histogram = metrics.histogram("render.file_bytes")
+        assert histogram.count == 3
+        assert histogram.total == 6.0
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 3.0
+        assert histogram.mean == 2.0
+
+    def test_empty_histogram(self):
+        histogram = MetricsRegistry().histogram("missing")
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+
+
+class TestSnapshotAndFormat:
+    def test_snapshot_is_plain_data(self):
+        metrics = MetricsRegistry()
+        metrics.inc("c", 2)
+        metrics.set_gauge("g", 7)
+        metrics.observe("h", 1.5)
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"] == {"c": 2}
+        assert snapshot["gauges"] == {"g": 7}
+        assert snapshot["histograms"]["h"]["count"] == 1
+        # mutating the snapshot must not touch the registry
+        snapshot["counters"]["c"] = 99
+        assert metrics.value("c") == 2
+
+    def test_format_lists_every_instrument(self):
+        metrics = MetricsRegistry()
+        metrics.inc("compile.devices_compiled", 14)
+        metrics.set_gauge("emulation.machines", 14)
+        metrics.observe("spf.seconds", 0.25)
+        text = metrics.format()
+        assert "compile.devices_compiled" in text
+        assert "emulation.machines" in text
+        assert "spf.seconds" in text
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_none_lost(self):
+        metrics = MetricsRegistry()
+
+        def worker():
+            for _ in range(1000):
+                metrics.inc("shared")
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert metrics.value("shared") == 8000
+
+    def test_ambient_inc_from_threads(self):
+        telemetry = Telemetry()
+        with telemetry.activate():
+
+            def worker():
+                for _ in range(500):
+                    metric_inc("ambient.counter")
+
+            threads = [threading.Thread(target=worker) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert telemetry.metrics.value("ambient.counter") == 2000
+
+    def test_ambient_inc_without_telemetry_is_noop(self):
+        metric_inc("nobody.listening")  # must not raise

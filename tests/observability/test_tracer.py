@@ -1,0 +1,193 @@
+"""Unit tests for span nesting, exception safety and thread safety."""
+
+import threading
+
+import pytest
+
+from repro.observability import NULL_SPAN, Span, Telemetry, Tracer, span
+from repro.observability.tracer import detached_span
+
+
+class TestNesting:
+    def test_child_spans_nest_under_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("child_a") as child_a:
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child_b"):
+                pass
+        assert [child.name for child in parent.children] == ["child_a", "child_b"]
+        assert [child.name for child in child_a.children] == ["grandchild"]
+        assert tracer.roots == [parent]
+
+    def test_parent_ids_recorded(self):
+        tracer = Tracer()
+        with tracer.span("a") as a:
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id is None
+        assert b.parent_id == a.span_id
+
+    def test_sequential_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [root.name for root in tracer.roots] == ["first", "second"]
+
+    def test_walk_and_find(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("phase"):
+                with tracer.span("inner"):
+                    pass
+        root = tracer.roots[0]
+        assert [s.name for s in root.walk()] == ["root", "phase", "inner"]
+        assert root.find("inner").name == "inner"
+        assert root.find("missing") is None
+        assert tracer.find("phase").name == "phase"
+
+    def test_durations_monotonic(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.end is not None and inner.end is not None
+        assert outer.duration >= inner.duration >= 0
+
+    def test_attributes_and_set(self):
+        tracer = Tracer()
+        with tracer.span("s", device="r1") as current:
+            current.set("rounds", 6)
+        assert current.attributes == {"device": "r1", "rounds": 6}
+
+
+class TestExceptionSafety:
+    def test_span_closed_and_marked_on_error(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom") as failing:
+                raise ValueError("bad input")
+        assert failing.end is not None
+        assert failing.status == "error"
+        assert "ValueError" in failing.error
+        assert "bad input" in failing.error
+
+    def test_stack_unwinds_after_error(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with pytest.raises(RuntimeError):
+                with tracer.span("failing"):
+                    raise RuntimeError("x")
+            with tracer.span("sibling"):
+                pass
+        assert [child.name for child in outer.children] == ["failing", "sibling"]
+        assert outer.status == "ok"
+        assert tracer.current_span() is None
+
+    def test_detached_span_records_error_too(self):
+        with pytest.raises(KeyError):
+            with detached_span("lonely") as lonely:
+                raise KeyError("gone")
+        assert lonely.status == "error"
+        assert lonely.end is not None
+
+
+class TestThreadSafety:
+    def test_concurrent_spans_stay_per_thread(self):
+        tracer = Tracer()
+        errors = []
+
+        def worker(index):
+            try:
+                for _ in range(50):
+                    with tracer.span("w%d" % index) as outer:
+                        with tracer.span("w%d.inner" % index) as inner:
+                            assert inner.parent_id == outer.span_id
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # 4 workers x 50 outers, each a root (thread stacks are independent)
+        assert len(tracer.roots) == 200
+        for root in tracer.roots:
+            assert len(root.children) == 1
+            assert root.children[0].name == root.name + ".inner"
+
+    def test_span_ids_unique_across_threads(self):
+        tracer = Tracer()
+
+        def worker():
+            for _ in range(100):
+                with tracer.span("s"):
+                    pass
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        ids = [s.span_id for s in tracer.all_spans()]
+        assert len(ids) == len(set(ids)) == 400
+
+
+class TestAmbientApi:
+    def test_span_without_telemetry_is_detached_but_timed(self):
+        with span("orphan") as orphan:
+            pass
+        assert orphan.span_id == 0
+        assert orphan.duration >= 0
+        assert orphan.end is not None
+
+    def test_span_with_active_telemetry_records(self):
+        telemetry = Telemetry()
+        with telemetry.activate():
+            with span("phase") as phase:
+                pass
+        assert phase in telemetry.tracer.roots
+        assert telemetry.tracer.find("phase") is phase
+
+    def test_activation_nests(self):
+        outer_telemetry = Telemetry()
+        inner_telemetry = Telemetry()
+        with outer_telemetry.activate():
+            with span("outer_span"):
+                pass
+            with inner_telemetry.activate():
+                with span("inner_span"):
+                    pass
+            with span("outer_again"):
+                pass
+        assert [s.name for s in outer_telemetry.tracer.roots] == [
+            "outer_span",
+            "outer_again",
+        ]
+        assert [s.name for s in inner_telemetry.tracer.roots] == ["inner_span"]
+
+    def test_null_span_is_inert(self):
+        assert NULL_SPAN.set("k", "v") is NULL_SPAN
+        assert NULL_SPAN.find("x") is None
+        assert list(NULL_SPAN.walk()) == []
+
+
+class TestSpanSerialization:
+    def test_to_dict_round_trip_fields(self):
+        tracer = Tracer()
+        with tracer.span("phase", platform="netkit") as phase:
+            pass
+        record = phase.to_dict()
+        assert record["name"] == "phase"
+        assert record["attributes"] == {"platform": "netkit"}
+        assert record["status"] == "ok"
+        assert record["duration"] > 0
+        assert isinstance(record["id"], int)
+
+    def test_span_repr(self):
+        assert "Span(" in repr(Span(name="x", span_id=1))
