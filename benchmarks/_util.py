@@ -65,6 +65,30 @@ def record_pipeline(telemetry, name: str = "pipeline", path: str | None = None,
     return path
 
 
+def update_pipeline_record(name: str = "pipeline", path: str | None = None,
+                           **sections) -> str:
+    """Merge extra sections into an existing ``BENCH_<name>.json``.
+
+    Lets several benchmarks contribute to one perf record — e.g. the
+    engine benchmark adds its serial/parallel/warm-cache timings next to
+    the phase timings the pipeline benchmark recorded — without
+    clobbering each other's keys.
+    """
+    path = path or os.path.join(REPO_ROOT, "BENCH_%s.json" % name)
+    data = {"bench": name}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            pass
+    data.update(sections)
+    data["timestamp"] = time.time()
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, default=str)
+    return path
+
+
 def full_scale() -> bool:
     """Whether to run the full-size (minutes-long) variants."""
     return os.environ.get("REPRO_FULL_SCALE", "") not in ("", "0", "false")

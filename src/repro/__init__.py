@@ -24,6 +24,7 @@ from repro.design import (
     register_design_rule,
 )
 from repro.emulation import EmulatedLab
+from repro.engine import ArtifactCache, BuildEngine, BuildReport, incremental_update
 from repro.exceptions import ReproError
 from repro.loader import (
     bad_gadget_topology,
@@ -46,6 +47,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AbstractNetworkModel",
+    "ArtifactCache",
+    "BuildEngine",
+    "BuildReport",
     "DEFAULT_RULES",
     "EmulatedLab",
     "ExperimentResult",
@@ -62,6 +66,7 @@ __all__ = [
     "design_network",
     "european_nren_model",
     "fig5_topology",
+    "incremental_update",
     "load_gml",
     "load_graphml",
     "load_json",

@@ -162,6 +162,30 @@ def build_parser() -> argparse.ArgumentParser:
     ]:
         sub = commands.add_parser(name, help=help_text)
         _add_common(sub)
+        if name == "build":
+            engine_group = sub.add_argument_group("build engine")
+            engine_group.add_argument(
+                "-j", "--jobs", type=int, default=1,
+                help="parallel render jobs (default 1: serial)",
+            )
+            engine_group.add_argument(
+                "--executor", default=None,
+                choices=["serial", "thread", "process"],
+                help="executor kind (default: serial for -j1, threads above)",
+            )
+            engine_group.add_argument(
+                "--cache-dir", default=None, metavar="PATH",
+                help="persist the artifact cache here across invocations",
+            )
+            engine_group.add_argument(
+                "--no-cache", action="store_true",
+                help="disable the content-addressed artifact cache",
+            )
+            engine_group.add_argument(
+                "--incremental", action="store_true",
+                help="reuse the previous build recorded in --cache-dir and "
+                "prune outputs of devices that left the topology",
+            )
         if name == "measure":
             sub.add_argument("-c", "--command", required=True, dest="measure_command")
             sub.add_argument(
@@ -290,7 +314,28 @@ def _cmd_info(args, out: CliOutput) -> int:
 
 
 def _cmd_build(args, out: CliOutput) -> int:
-    _, nidb, result = _built(args)
+    from repro.engine import BuildEngine, make_executor
+
+    if args.incremental and not args.cache_dir:
+        print("error: --incremental requires --cache-dir", file=sys.stderr)
+        return 2
+    engine = BuildEngine(
+        platform=args.platform,
+        rules=tuple(args.rules),
+        executor=make_executor(args.jobs, args.executor),
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+    output_dir = args.output or tempfile.mkdtemp(prefix="repro_")
+    report = engine.build(
+        _load(args.topology),
+        output_dir=output_dir,
+        manifest_name="%s@%s" % (args.topology, args.platform),
+        prune_stale=args.incremental,
+    )
+    engine.shutdown()
+    result = report.render_result
+    nidb = engine.nidb
     out.emit(
         "rendered %d files (%d bytes) for %d devices in %.2fs"
         % (result.n_files, result.total_bytes, len(nidb), result.elapsed_seconds),
@@ -298,6 +343,18 @@ def _cmd_build(args, out: CliOutput) -> int:
         total_bytes=result.total_bytes,
         devices=len(nidb),
     )
+    out.emit(
+        "engine: %s" % report.summary(),
+        executor=report.executor,
+        cache_hits=report.cache_hits,
+        cache_misses=report.cache_misses,
+        tasks_run=report.tasks_run,
+    )
+    if report.removed_devices:
+        out.emit(
+            "pruned stale outputs of: %s" % ", ".join(report.removed_devices),
+            removed_devices=report.removed_devices,
+        )
     out.emit("lab directory: %s" % result.lab_dir)
     out.result(
         n_files=result.n_files,
@@ -305,6 +362,12 @@ def _cmd_build(args, out: CliOutput) -> int:
         devices=len(nidb),
         elapsed_seconds=result.elapsed_seconds,
         lab_dir=result.lab_dir,
+        executor=report.executor,
+        cache_hits=report.cache_hits,
+        cache_misses=report.cache_misses,
+        tasks_run=report.tasks_run,
+        rendered_devices=report.rendered_devices,
+        cached_devices=report.cached_devices,
     )
     return 0
 

@@ -1,0 +1,57 @@
+"""repro.engine: a parallel, incremental, content-addressed build engine.
+
+The compile→render half of the pipeline, restructured as a task DAG
+(:mod:`~repro.engine.dag`) run over a pluggable executor
+(:mod:`~repro.engine.executors`) with per-device artifacts cached by
+content hash (:mod:`~repro.engine.hashing`, :mod:`~repro.engine.cache`).
+Entry points: :class:`BuildEngine` for full builds and
+:func:`incremental_update` for change-driven rebuilds.
+"""
+
+from repro.engine.cache import Artifact, ArtifactCache, file_sha, text_sha
+from repro.engine.dag import Expansion, Scheduler, Task, TaskGraph
+from repro.engine.executors import (
+    EXECUTOR_KINDS,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    default_jobs,
+    make_executor,
+)
+from repro.engine.engine import (
+    BuildEngine,
+    BuildReport,
+    graph_delta,
+    incremental_update,
+)
+from repro.engine.hashing import (
+    ENGINE_CACHE_VERSION,
+    TemplateHasher,
+    device_cache_key,
+    topology_cache_key,
+)
+
+__all__ = [
+    "Artifact",
+    "ArtifactCache",
+    "BuildEngine",
+    "BuildReport",
+    "ENGINE_CACHE_VERSION",
+    "EXECUTOR_KINDS",
+    "Expansion",
+    "ProcessExecutor",
+    "Scheduler",
+    "SerialExecutor",
+    "Task",
+    "TaskGraph",
+    "TemplateHasher",
+    "ThreadExecutor",
+    "default_jobs",
+    "device_cache_key",
+    "file_sha",
+    "graph_delta",
+    "incremental_update",
+    "make_executor",
+    "text_sha",
+    "topology_cache_key",
+]

@@ -1,0 +1,173 @@
+"""Content-addressed artifact cache for rendered configurations.
+
+Artifacts are the unit of reuse: one device's (or the topology's) fully
+rendered file set, keyed by the content hash computed in
+:mod:`repro.engine.hashing`.  The cache is two-level — an in-process
+dict for warm rebuilds inside one engine, plus an optional on-disk
+store (``<dir>/objects/ab/abcd....json``) so ``repro build --cache-dir``
+skips rendering across CLI invocations.
+
+Alongside the object store the cache keeps named *manifests*: the
+fingerprint/file map of a previous build, which the incremental path
+uses to tell dirty devices from clean ones and to delete files that
+belonged to devices removed from the topology.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.observability import metric_inc
+
+
+def text_sha(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def file_sha(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 16), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+@dataclass
+class Artifact:
+    """One cached render result: every output file of one cache key.
+
+    ``files`` entries carry ``path`` (relative to the lab directory),
+    ``sha``/``size`` of the content, and either inline ``text`` or a
+    ``source`` path to copy from.
+    """
+
+    key: str
+    owner: str
+    files: list[dict] = field(default_factory=list)
+
+    def paths(self) -> list[str]:
+        return [entry["path"] for entry in self.files]
+
+    def total_bytes(self) -> int:
+        return sum(entry.get("size", 0) for entry in self.files)
+
+    def to_dict(self) -> dict:
+        return {"key": self.key, "owner": self.owner, "files": self.files}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Artifact":
+        return cls(
+            key=data["key"], owner=data.get("owner", ""), files=data.get("files", [])
+        )
+
+
+class ArtifactCache:
+    """Two-level (memory + optional disk) content-addressed store."""
+
+    def __init__(self, directory: str | os.PathLike | None = None):
+        self.directory = str(directory) if directory else None
+        self._memory: dict[str, Artifact] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        if self.directory:
+            os.makedirs(os.path.join(self.directory, "objects"), exist_ok=True)
+            os.makedirs(os.path.join(self.directory, "manifests"), exist_ok=True)
+
+    # -- object store -------------------------------------------------------
+    def _object_path(self, key: str) -> str:
+        return os.path.join(self.directory, "objects", key[:2], "%s.json" % key)
+
+    def get(self, key: str) -> Optional[Artifact]:
+        """The artifact for a key, or None; counts hit/miss metrics."""
+        with self._lock:
+            artifact = self._memory.get(key)
+        if artifact is None and self.directory:
+            path = self._object_path(key)
+            if os.path.exists(path):
+                try:
+                    with open(path) as handle:
+                        artifact = Artifact.from_dict(json.load(handle))
+                except (OSError, ValueError, KeyError):
+                    artifact = None  # corrupt object: treat as a miss
+                if artifact is not None:
+                    with self._lock:
+                        self._memory[key] = artifact
+        if artifact is None:
+            with self._lock:
+                self.misses += 1
+            metric_inc("engine.cache_misses")
+            return None
+        with self._lock:
+            self.hits += 1
+        metric_inc("engine.cache_hits")
+        return artifact
+
+    def put(self, artifact: Artifact) -> None:
+        with self._lock:
+            self._memory[artifact.key] = artifact
+        if self.directory:
+            path = self._object_path(artifact.key)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            _atomic_write_json(path, artifact.to_dict())
+
+    def contains(self, key: str) -> bool:
+        """Presence probe that does not touch the hit/miss counters."""
+        with self._lock:
+            if key in self._memory:
+                return True
+        return bool(self.directory) and os.path.exists(self._object_path(key))
+
+    def clear_memory(self) -> None:
+        with self._lock:
+            self._memory.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    def __bool__(self) -> bool:
+        # an *empty* cache is still a cache — never let truthiness
+        # follow __len__ and silently disable caching
+        return True
+
+    # -- manifests ----------------------------------------------------------
+    def _manifest_path(self, name: str) -> str:
+        slug = hashlib.sha256(name.encode("utf-8")).hexdigest()[:24]
+        return os.path.join(self.directory, "manifests", "%s.json" % slug)
+
+    def save_manifest(self, name: str, data: dict) -> None:
+        if not self.directory:
+            return
+        _atomic_write_json(self._manifest_path(name), {"name": name, **data})
+
+    def load_manifest(self, name: str) -> Optional[dict]:
+        if not self.directory:
+            return None
+        path = self._manifest_path(name)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path) as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+
+def _atomic_write_json(path: str, data: Any) -> None:
+    directory = os.path.dirname(path)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(data, handle, default=str)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise

@@ -1,0 +1,221 @@
+"""The build task graph: phase nodes, per-device fan-out, scheduling.
+
+An experiment build is modelled as a DAG of :class:`Task` nodes —
+``load_build -> compile -> {render.<device>...} -> deploy`` — and run
+by a :class:`Scheduler` over a pluggable executor.  The scheduler
+repeatedly takes every task whose dependencies are done (one *wave*),
+runs the parent-process tasks inline and dispatches the rest as a batch
+to the executor, so independent tasks in a wave run concurrently.
+
+The fan-out is *dynamic*: the set of per-device render tasks is only
+known once the compile task has produced the NIDB, so a task may return
+an :class:`Expansion` — the scheduler grafts the new tasks into the
+graph and makes everything that depended on the expanding task wait for
+them too.  This is the standard build-system trick (a rule that
+discovers its outputs while running) and keeps the graph honest without
+a separate planning pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+from repro.exceptions import EngineError
+from repro.observability import metric_inc, span
+
+from repro.engine.executors import run_calls
+
+
+@dataclass
+class Task:
+    """One schedulable unit of build work.
+
+    ``fn`` receives ``arg`` (default None).  ``in_parent`` forces the
+    task to run in the parent process/thread — required for closures
+    over engine state when the executor is a process pool, and for
+    tasks that mutate engine state.  ``phase`` groups tasks under one
+    telemetry phase span (``load_build``, ``compile``, ``render``...).
+    """
+
+    task_id: str
+    fn: Callable[[Any], Any]
+    arg: Any = None
+    deps: tuple[str, ...] = ()
+    phase: str = ""
+    in_parent: bool = False
+
+
+@dataclass
+class Expansion:
+    """Returned by a task to fan out: insert ``tasks``, keep ``result``.
+
+    Every task that depended on the expanding task additionally waits
+    for all inserted tasks.
+    """
+
+    tasks: list[Task] = field(default_factory=list)
+    result: Any = None
+
+
+class TaskGraph:
+    """A dependency graph of named tasks."""
+
+    def __init__(self):
+        self._tasks: dict[str, Task] = {}
+
+    def add(self, task: Task) -> Task:
+        if task.task_id in self._tasks:
+            raise EngineError("duplicate task id %r" % task.task_id)
+        self._tasks[task.task_id] = task
+        return task
+
+    def add_task(self, task_id: str, fn, arg=None, deps=(), phase="",
+                 in_parent=False) -> Task:
+        return self.add(
+            Task(task_id, fn, arg=arg, deps=tuple(deps), phase=phase,
+                 in_parent=in_parent)
+        )
+
+    def task(self, task_id: str) -> Task:
+        try:
+            return self._tasks[task_id]
+        except KeyError:
+            raise EngineError("unknown task id %r" % task_id) from None
+
+    def tasks(self) -> list[Task]:
+        return list(self._tasks.values())
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks.values())
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self._tasks
+
+    def validate(self) -> None:
+        """Check every dependency exists and the graph is acyclic."""
+        for task in self:
+            for dep in task.deps:
+                if dep not in self._tasks:
+                    raise EngineError(
+                        "task %r depends on unknown task %r" % (task.task_id, dep)
+                    )
+        self._topological_order()
+
+    def _topological_order(self) -> list[str]:
+        indegree = {task_id: len(task.deps) for task_id, task in self._tasks.items()}
+        dependents: dict[str, list[str]] = {task_id: [] for task_id in self._tasks}
+        for task in self:
+            for dep in task.deps:
+                dependents[dep].append(task.task_id)
+        ready = sorted(task_id for task_id, n in indegree.items() if n == 0)
+        order: list[str] = []
+        while ready:
+            task_id = ready.pop()
+            order.append(task_id)
+            for dependent in dependents[task_id]:
+                indegree[dependent] -= 1
+                if indegree[dependent] == 0:
+                    ready.append(dependent)
+        if len(order) != len(self._tasks):
+            cyclic = sorted(set(self._tasks) - set(order))
+            raise EngineError("dependency cycle among tasks: %s" % ", ".join(cyclic))
+        return order
+
+
+class Scheduler:
+    """Runs a task graph wave by wave over an executor."""
+
+    def __init__(self, executor):
+        self.executor = executor
+        self.tasks_run = 0
+
+    def run(self, graph: TaskGraph) -> dict[str, Any]:
+        """Execute every task; returns ``{task id: result}``."""
+        graph.validate()
+        results: dict[str, Any] = {}
+        done: set[str] = set()
+        pending: dict[str, Task] = {task.task_id: task for task in graph}
+
+        while pending:
+            wave = [
+                task for task in pending.values()
+                if all(dep in done for dep in task.deps)
+            ]
+            if not wave:
+                raise EngineError(
+                    "no runnable task (cycle or missing dependency) among: %s"
+                    % ", ".join(sorted(pending))
+                )
+            # One phase span per wave group, so a phase's parent tasks
+            # (cache restores, lab.conf) and its executor fan-out all
+            # land under a single ``render``/``compile`` span and the
+            # per-phase timings stay meaningful.
+            for phase, batch in _by_phase(wave):
+                if phase:
+                    with span(phase, tasks=len(batch), executor=self.executor.kind):
+                        self._run_batch(phase, batch, graph, results, done, pending)
+                else:
+                    self._run_batch(phase, batch, graph, results, done, pending)
+
+        return results
+
+    def _run_batch(self, phase, batch, graph, results, done, pending) -> None:
+        """Run one wave's tasks of one phase: parent inline, rest pooled."""
+        parent_tasks = [task for task in batch if task.in_parent]
+        pool_tasks = [task for task in batch if not task.in_parent]
+        for task in parent_tasks:
+            if task.task_id != phase:
+                with span(task.task_id, task=task.task_id):
+                    outcome = task.fn(task.arg)
+            else:
+                outcome = task.fn(task.arg)
+            self._finish(task, outcome, graph, results, done, pending)
+        if pool_tasks:
+            calls = [(task.task_id, task.fn, task.arg) for task in pool_tasks]
+            outcomes = run_calls(self.executor, calls)
+            for task, outcome in zip(pool_tasks, outcomes):
+                self._finish(task, outcome, graph, results, done, pending)
+
+    def _finish(self, task, outcome, graph, results, done, pending) -> None:
+        if isinstance(outcome, Expansion):
+            self._expand(task, outcome, graph, pending, done)
+            outcome = outcome.result
+        results[task.task_id] = outcome
+        done.add(task.task_id)
+        pending.pop(task.task_id, None)
+        self.tasks_run += 1
+        metric_inc("engine.tasks_run")
+
+    def _expand(self, task, expansion, graph, pending, done) -> None:
+        new_ids = []
+        for new_task in expansion.tasks:
+            graph.add(new_task)
+            pending[new_task.task_id] = new_task
+            new_ids.append(new_task.task_id)
+            for dep in new_task.deps:
+                if dep not in graph:
+                    raise EngineError(
+                        "expanded task %r depends on unknown task %r"
+                        % (new_task.task_id, dep)
+                    )
+        if not new_ids:
+            return
+        for dependent in graph:
+            if task.task_id in dependent.deps and dependent.task_id not in done:
+                extra = tuple(
+                    task_id for task_id in new_ids
+                    if task_id not in dependent.deps and task_id != dependent.task_id
+                )
+                dependent.deps = dependent.deps + extra
+
+
+def _by_phase(tasks: list[Task]) -> list[tuple[str, list[Task]]]:
+    """Group a wave's pool tasks by phase, preserving insertion order."""
+    groups: dict[str, list[Task]] = {}
+    for task in tasks:
+        groups.setdefault(task.phase, []).append(task)
+    return list(groups.items())

@@ -58,6 +58,10 @@ class CompilerError(ReproError):
     """The compiler could not condense the overlays into device state."""
 
 
+class EngineError(ReproError):
+    """The build engine could not schedule or execute the task graph."""
+
+
 class RenderError(ReproError):
     """Template rendering of the resource database failed."""
 

@@ -1,6 +1,12 @@
 """The Resource Database (NIDB): compiled device-level state (§5.4)."""
 
-from repro.nidb.database import ConfigStanza, DeviceModel, Nidb, subnet_items
+from repro.nidb.database import (
+    ConfigStanza,
+    DeviceModel,
+    Nidb,
+    stable_hash,
+    subnet_items,
+)
 from repro.nidb.diff import AttributeChange, NidbDiff, diff_nidbs
 
 __all__ = [
@@ -10,5 +16,6 @@ __all__ = [
     "Nidb",
     "NidbDiff",
     "diff_nidbs",
+    "stable_hash",
     "subnet_items",
 ]

@@ -14,12 +14,25 @@ templates can probe for optional features with plain truth tests.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any, Iterable, Iterator
 
 import networkx as nx
 
 from repro.exceptions import CompilerError, NodeNotFoundError
+
+
+def stable_hash(value: Any) -> str:
+    """A stable content hash of any JSON-representable value.
+
+    Canonical JSON (sorted keys, compact separators, non-JSON leaves
+    stringified) hashed with SHA-256 — the same value always produces
+    the same digest across processes and runs, which is what the build
+    engine's content-addressed cache keys require.
+    """
+    payload = json.dumps(value, sort_keys=True, default=str, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 class ConfigStanza:
@@ -120,6 +133,16 @@ class DeviceModel(ConfigStanza):
                 return interface
         return None
 
+    def fingerprint(self) -> str:
+        """Stable hash of the device's entire compiled subtree.
+
+        Two devices with identical compiled state (attributes,
+        interfaces, render entries) produce identical fingerprints, so
+        the build engine can decide from fingerprints alone whether a
+        device's configuration needs re-rendering.
+        """
+        return stable_hash({"id": str(self.node_id), "state": self.to_dict()})
+
     def is_router(self) -> bool:
         return self.device_type == "router"
 
@@ -154,6 +177,27 @@ class Nidb:
 
     def has_node(self, node) -> bool:
         return self._graph.has_node(getattr(node, "node_id", node))
+
+    def replace_device(self, device: DeviceModel) -> DeviceModel:
+        """Swap in a freshly compiled model for an existing device.
+
+        The incremental build path recompiles only dirty devices and
+        grafts them back into the previous run's database.
+        """
+        if not self._graph.has_node(device.node_id):
+            raise NodeNotFoundError(device.node_id, "nidb")
+        self._graph.nodes[device.node_id]["device"] = device
+        return device
+
+    def remove_device(self, node) -> None:
+        node_id = getattr(node, "node_id", node)
+        if not self._graph.has_node(node_id):
+            raise NodeNotFoundError(node_id, "nidb")
+        self._graph.remove_node(node_id)
+
+    def fingerprints(self) -> dict[str, str]:
+        """``{device id: fingerprint}`` over the whole database."""
+        return {str(device.node_id): device.fingerprint() for device in self.nodes()}
 
     def nodes(self, **filters: Any) -> list[DeviceModel]:
         found = []

@@ -1,17 +1,29 @@
 """Template rendering of the resource database (§4.1, §5.5)."""
 
 from repro.render.renderer import (
+    RenderJob,
     RenderResult,
     add_template_directory,
+    device_render_jobs,
     environment,
     render_nidb,
     render_template,
+    template_directories,
+    template_source,
+    topology_render_jobs,
+    write_job,
 )
 
 __all__ = [
+    "RenderJob",
     "RenderResult",
     "add_template_directory",
+    "device_render_jobs",
     "environment",
     "render_nidb",
     "render_template",
+    "template_directories",
+    "template_source",
+    "topology_render_jobs",
+    "write_job",
 ]

@@ -19,6 +19,7 @@ from __future__ import annotations
 import ipaddress
 import os
 import shutil
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -30,6 +31,9 @@ from repro.observability import metric_inc, span
 
 _ENVIRONMENT: jinja2.Environment | None = None
 _EXTRA_TEMPLATE_DIRS: list[str] = []
+#: Guards lazy (re)initialisation of the shared environment so worker
+#: threads rendering concurrently never observe a half-built one.
+_ENVIRONMENT_LOCK = threading.RLock()
 
 
 def add_template_directory(path: str | os.PathLike) -> None:
@@ -41,9 +45,16 @@ def add_template_directory(path: str | os.PathLike) -> None:
     """
     global _ENVIRONMENT
     path = str(path)
-    if path not in _EXTRA_TEMPLATE_DIRS:
-        _EXTRA_TEMPLATE_DIRS.append(path)
-    _ENVIRONMENT = None  # rebuild with the new search path
+    with _ENVIRONMENT_LOCK:
+        if path not in _EXTRA_TEMPLATE_DIRS:
+            _EXTRA_TEMPLATE_DIRS.append(path)
+        _ENVIRONMENT = None  # rebuild with the new search path
+
+
+def template_directories() -> list[str]:
+    """The registered user template directories, in search order."""
+    with _ENVIRONMENT_LOCK:
+        return list(_EXTRA_TEMPLATE_DIRS)
 
 
 def _netmask(prefixlen) -> str:
@@ -63,25 +74,50 @@ def _network_address(cidr) -> str:
 
 
 def environment() -> jinja2.Environment:
-    """The shared Jinja2 environment with the address filters loaded."""
+    """The shared Jinja2 environment with the address filters loaded.
+
+    Thread-safe: initialisation is double-checked under a lock, and the
+    fully built environment is published in a single assignment, so the
+    thread/process-pool executors can render concurrently.
+    """
     global _ENVIRONMENT
-    if _ENVIRONMENT is None:
-        loaders: list[jinja2.BaseLoader] = [
-            jinja2.FileSystemLoader(path) for path in _EXTRA_TEMPLATE_DIRS
-        ]
-        loaders.append(jinja2.PackageLoader("repro", "templates"))
-        _ENVIRONMENT = jinja2.Environment(
-            loader=jinja2.ChoiceLoader(loaders),
-            trim_blocks=True,
-            lstrip_blocks=True,
-            keep_trailing_newline=True,
-            undefined=jinja2.StrictUndefined,
-        )
-        _ENVIRONMENT.filters["netmask"] = _netmask
-        _ENVIRONMENT.filters["netmask_of"] = _netmask_of
-        _ENVIRONMENT.filters["wildcard"] = _wildcard
-        _ENVIRONMENT.filters["network_address"] = _network_address
-    return _ENVIRONMENT
+    env = _ENVIRONMENT
+    if env is not None:
+        return env
+    with _ENVIRONMENT_LOCK:
+        if _ENVIRONMENT is None:
+            loaders: list[jinja2.BaseLoader] = [
+                jinja2.FileSystemLoader(path) for path in _EXTRA_TEMPLATE_DIRS
+            ]
+            loaders.append(jinja2.PackageLoader("repro", "templates"))
+            env = jinja2.Environment(
+                loader=jinja2.ChoiceLoader(loaders),
+                trim_blocks=True,
+                lstrip_blocks=True,
+                keep_trailing_newline=True,
+                undefined=jinja2.StrictUndefined,
+            )
+            env.filters["netmask"] = _netmask
+            env.filters["netmask_of"] = _netmask_of
+            env.filters["wildcard"] = _wildcard
+            env.filters["network_address"] = _network_address
+            _ENVIRONMENT = env
+        return _ENVIRONMENT
+
+
+def template_source(template_name: str) -> str:
+    """The source text of a template as the loader resolves it.
+
+    The build engine hashes this (together with the device's compiled
+    state) into content-addressed cache keys, so editing a template
+    invalidates exactly the devices that reference it.
+    """
+    env = environment()
+    try:
+        source, _, _ = env.loader.get_source(env, template_name)
+    except jinja2.TemplateNotFound as exc:
+        raise RenderError("template %r not found" % template_name) from exc
+    return source
 
 
 @dataclass
@@ -104,6 +140,71 @@ class RenderResult:
             self.total_bytes,
             self.lab_dir,
         )
+
+
+@dataclass(frozen=True)
+class RenderJob:
+    """One output file of a render run, before it is written.
+
+    Either ``text`` carries rendered template output, or ``source``
+    names a static file to copy verbatim.  ``path`` is relative to the
+    lab directory.  Jobs are pure data, so the build engine can compute
+    them in worker threads/processes and write (or cache) them anywhere.
+    """
+
+    path: str
+    text: str | None = None
+    source: str | None = None
+
+
+def device_render_jobs(device, topology=None, devices=None) -> list[RenderJob]:
+    """The render jobs for one device: template folders, then files.
+
+    Pure with respect to the filesystem output: nothing is written.
+    ``topology``/``devices`` are passed through as template context
+    (device templates are node-scoped; the extra context exists for
+    user templates).
+    """
+    jobs: list[RenderJob] = []
+    if not device.render:
+        return jobs
+    for folder in device.render.folders or []:
+        jobs.extend(_folder_jobs(folder, device, topology, devices))
+    for entry in device.render.files or []:
+        template_name, path = _entry(entry)
+        text = render_template(
+            template_name,
+            node=device,
+            topology=topology,
+            devices=devices,
+        )
+        jobs.append(RenderJob(path=path, text=text))
+    return jobs
+
+
+def topology_render_jobs(topology, devices) -> list[RenderJob]:
+    """The render jobs for the topology-level files (lab.conf, ...)."""
+    jobs: list[RenderJob] = []
+    if not topology or not topology.render:
+        return jobs
+    for entry in topology.render.files or []:
+        template_name, path = _entry(entry)
+        text = render_template(template_name, topology=topology, devices=devices)
+        jobs.append(RenderJob(path=path, text=text))
+    return jobs
+
+
+def write_job(result: RenderResult, lab_dir: str, job: RenderJob) -> str:
+    """Write one job under the lab directory; returns the output path."""
+    out_path = os.path.join(lab_dir, job.path)
+    if job.text is not None:
+        _write(result, out_path, job.text)
+    else:
+        os.makedirs(os.path.dirname(out_path), exist_ok=True)
+        shutil.copyfile(job.source, out_path)
+        result.files.append(out_path)
+        result.total_bytes += os.path.getsize(out_path)
+    return out_path
 
 
 def render_template(template_name: str, **context) -> str:
@@ -140,35 +241,18 @@ def render_nidb(nidb: Nidb, output_dir: str | os.PathLike) -> RenderResult:
         if not device.render:
             continue
         with span("render.%s" % device.hostname, device=str(device.node_id)):
-            for folder in device.render.folders or []:
-                _render_folder(result, folder, lab_dir, device, nidb, devices)
-            for entry in device.render.files or []:
-                template_name, path = _entry(entry)
-                text = render_template(
-                    template_name,
-                    node=device,
-                    topology=nidb.topology,
-                    devices=devices,
-                )
-                _write(result, os.path.join(lab_dir, path), text)
+            for job in device_render_jobs(device, nidb.topology, devices):
+                write_job(result, lab_dir, job)
 
-    topology_render = nidb.topology.render
-    if topology_render:
-        for entry in topology_render.files or []:
-            template_name, path = _entry(entry)
-            text = render_template(
-                template_name,
-                topology=nidb.topology,
-                devices=devices,
-            )
-            _write(result, os.path.join(lab_dir, path), text)
+    for job in topology_render_jobs(nidb.topology, devices):
+        write_job(result, lab_dir, job)
 
     result.elapsed_seconds = time.perf_counter() - started
     return result
 
 
-def _render_folder(result, folder, lab_dir, device, nidb, devices) -> None:
-    """Render a template folder (§5.5): copy static files, render *.j2.
+def _folder_jobs(folder, device, topology, devices) -> list[RenderJob]:
+    """Jobs for a template folder (§5.5): copy static files, render *.j2.
 
     ``folder`` is ``{"source": <directory>, "dst": <path under the lab>}``;
     this "allows simple specification of nested folders to configure
@@ -178,6 +262,7 @@ def _render_folder(result, folder, lab_dir, device, nidb, devices) -> None:
     dst = str(folder["dst"] if isinstance(folder, dict) else folder.dst)
     if not os.path.isdir(source):
         raise RenderError("template folder %r does not exist" % source)
+    jobs: list[RenderJob] = []
     for root, _, names in os.walk(source):
         relative_root = os.path.relpath(root, source)
         for name in sorted(names):
@@ -187,17 +272,17 @@ def _render_folder(result, folder, lab_dir, device, nidb, devices) -> None:
                 env = environment()
                 with open(source_path) as handle:
                     template = env.from_string(handle.read())
-                text = template.render(
-                    node=device, topology=nidb.topology, devices=devices
+                text = template.render(node=device, topology=topology, devices=devices)
+                jobs.append(
+                    RenderJob(
+                        path=os.path.join(dst, relative[: -len(".j2")]), text=text
+                    )
                 )
-                out_path = os.path.join(lab_dir, dst, relative[: -len(".j2")])
-                _write(result, out_path, text)
             else:
-                out_path = os.path.join(lab_dir, dst, relative)
-                os.makedirs(os.path.dirname(out_path), exist_ok=True)
-                shutil.copyfile(source_path, out_path)
-                result.files.append(out_path)
-                result.total_bytes += os.path.getsize(out_path)
+                jobs.append(
+                    RenderJob(path=os.path.join(dst, relative), source=source_path)
+                )
+    return jobs
 
 
 def _entry(entry) -> tuple[str, str]:

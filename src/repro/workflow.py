@@ -24,6 +24,7 @@ from repro.deployment import DeploymentRecord, LocalEmulationHost
 from repro.deployment import deploy as deploy_lab
 from repro.design import DEFAULT_RULES, apply_design, build_anm
 from repro.emulation import EmulatedLab
+from repro.exceptions import LoaderError
 from repro.loader import load_gml, load_graphml, load_json
 from repro.nidb import Nidb
 from repro.observability import Telemetry, current_telemetry
@@ -55,16 +56,26 @@ class ExperimentResult:
         return self.telemetry.timing_tree() if self.telemetry else ""
 
 
+#: File extensions ``load_topology`` understands, mapped to loaders.
+TOPOLOGY_LOADERS = {
+    ".graphml": load_graphml,
+    ".gml": load_gml,
+    ".json": load_json,
+}
+
+
 def load_topology(source) -> nx.Graph:
     """Accept a graph object or a GraphML/GML/JSON path."""
     if isinstance(source, nx.Graph):
         return source
     path = str(source)
-    if path.endswith(".graphml"):
-        return load_graphml(path)
-    if path.endswith(".gml"):
-        return load_gml(path)
-    return load_json(path)
+    for extension, load in TOPOLOGY_LOADERS.items():
+        if path.endswith(extension):
+            return load(path)
+    raise LoaderError(
+        "unsupported topology format %r: expected one of %s"
+        % (path, ", ".join(sorted(TOPOLOGY_LOADERS)))
+    )
 
 
 def run_experiment(
@@ -77,12 +88,20 @@ def run_experiment(
     lab_name: str = "lab",
     max_rounds: int = 64,
     telemetry: Optional[Telemetry] = None,
+    engine=None,
 ) -> ExperimentResult:
     """Input topology in, measured-ready emulated network out.
 
     All phases are timed the same way — one span per phase on the run's
     telemetry (an explicit argument, the ambient active one, or a fresh
     bundle) — so the phase durations sum to the experiment total.
+
+    Passing a :class:`repro.engine.BuildEngine` routes the
+    load/compile/render phases through the engine's task DAG — parallel
+    executors and the content-addressed artifact cache — instead of the
+    straight-line path; the engine's own platform and rules settings
+    take precedence, and the phase spans (and therefore ``timings``)
+    keep the same names either way.
     """
     import tempfile
 
@@ -92,17 +111,24 @@ def run_experiment(
         with telemetry.span(
             "experiment", platform=platform, lab_name=lab_name
         ) as experiment_span:
-            with telemetry.span("load_build"):
-                graph = load_topology(source)
-                anm = build_anm(graph)
-                apply_design(anm, rules)
+            output_dir = output_dir or tempfile.mkdtemp(prefix="rendered_")
+            if engine is not None:
+                report = engine.build(
+                    source, output_dir=output_dir, telemetry=telemetry
+                )
+                anm, nidb = engine.anm, engine.nidb
+                render_result = report.render_result
+            else:
+                with telemetry.span("load_build"):
+                    graph = load_topology(source)
+                    anm = build_anm(graph)
+                    apply_design(anm, rules)
 
-            with telemetry.span("compile", platform=platform):
-                nidb = platform_compiler(platform, anm).compile()
+                with telemetry.span("compile", platform=platform):
+                    nidb = platform_compiler(platform, anm).compile()
 
-            with telemetry.span("render"):
-                output_dir = output_dir or tempfile.mkdtemp(prefix="rendered_")
-                render_result = render_nidb(nidb, output_dir)
+                with telemetry.span("render"):
+                    render_result = render_nidb(nidb, output_dir)
 
             deployment = None
             if deploy:

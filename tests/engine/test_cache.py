@@ -1,0 +1,90 @@
+"""The content-addressed artifact cache: memory, disk, manifests."""
+
+import json
+import os
+
+from repro.engine import Artifact, ArtifactCache
+
+
+def _artifact(key="k" * 64, owner="r1"):
+    return Artifact(
+        key=key,
+        owner=owner,
+        files=[{"path": "r1/zebra/ospfd.conf", "sha": "a" * 64, "size": 10,
+                "text": "x" * 10}],
+    )
+
+
+def test_memory_roundtrip_and_counters():
+    cache = ArtifactCache()
+    assert cache.get("missing" * 8) is None
+    cache.put(_artifact())
+    assert cache.get("k" * 64).owner == "r1"
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_empty_cache_is_still_truthy():
+    # truthiness must never follow __len__: `if cache` on an empty
+    # cache silently disabling caching was a real bug
+    assert bool(ArtifactCache())
+    assert len(ArtifactCache()) == 0
+
+
+def test_disk_roundtrip_across_instances(tmp_path):
+    first = ArtifactCache(tmp_path)
+    first.put(_artifact())
+    second = ArtifactCache(tmp_path)
+    found = second.get("k" * 64)
+    assert found is not None
+    assert found.files[0]["text"] == "x" * 10
+    assert second.hits == 1
+
+
+def test_corrupt_disk_object_is_a_miss(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    cache.put(_artifact())
+    cache.clear_memory()
+    object_path = cache._object_path("k" * 64)
+    with open(object_path, "w") as handle:
+        handle.write("{not json")
+    assert cache.get("k" * 64) is None
+    assert cache.misses == 1
+
+
+def test_contains_does_not_touch_counters(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    cache.put(_artifact())
+    assert cache.contains("k" * 64)
+    assert not cache.contains("z" * 64)
+    assert cache.hits == 0 and cache.misses == 0
+
+
+def test_manifest_roundtrip(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    cache.save_manifest("nren@netkit", {"fingerprints": {"r1": "abc"}})
+    manifest = cache.load_manifest("nren@netkit")
+    assert manifest["name"] == "nren@netkit"
+    assert manifest["fingerprints"] == {"r1": "abc"}
+    assert cache.load_manifest("other") is None
+
+
+def test_memory_only_cache_has_no_manifests():
+    cache = ArtifactCache()
+    cache.save_manifest("x", {"a": 1})
+    assert cache.load_manifest("x") is None
+
+
+def test_artifact_serialisation():
+    artifact = _artifact()
+    again = Artifact.from_dict(json.loads(json.dumps(artifact.to_dict())))
+    assert again.key == artifact.key
+    assert again.paths() == ["r1/zebra/ospfd.conf"]
+    assert again.total_bytes() == 10
+
+
+def test_objects_are_sharded_by_key_prefix(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    cache.put(_artifact())
+    assert os.path.exists(
+        os.path.join(tmp_path, "objects", "kk", "%s.json" % ("k" * 64))
+    )

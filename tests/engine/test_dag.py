@@ -1,0 +1,88 @@
+"""The task graph and scheduler: ordering, expansion, failure modes."""
+
+import pytest
+
+from repro.engine import Expansion, Scheduler, SerialExecutor, Task, TaskGraph
+from repro.exceptions import EngineError
+
+
+def test_tasks_run_in_dependency_order():
+    order = []
+    graph = TaskGraph()
+    graph.add_task("a", lambda _: order.append("a"))
+    graph.add_task("b", lambda _: order.append("b"), deps=("a",))
+    graph.add_task("c", lambda _: order.append("c"), deps=("a", "b"))
+    Scheduler(SerialExecutor()).run(graph)
+    assert order == ["a", "b", "c"]
+
+
+def test_results_keyed_by_task_id():
+    graph = TaskGraph()
+    graph.add_task("one", lambda _: 1)
+    graph.add_task("two", lambda n: n + 1, arg=1, deps=("one",))
+    results = Scheduler(SerialExecutor()).run(graph)
+    assert results == {"one": 1, "two": 2}
+
+
+def test_duplicate_task_id_rejected():
+    graph = TaskGraph()
+    graph.add_task("a", lambda _: None)
+    with pytest.raises(EngineError, match="duplicate"):
+        graph.add_task("a", lambda _: None)
+
+
+def test_unknown_dependency_rejected():
+    graph = TaskGraph()
+    graph.add_task("a", lambda _: None, deps=("ghost",))
+    with pytest.raises(EngineError, match="unknown task"):
+        graph.validate()
+
+
+def test_cycle_detected():
+    graph = TaskGraph()
+    graph.add_task("a", lambda _: None, deps=("b",))
+    graph.add_task("b", lambda _: None, deps=("a",))
+    with pytest.raises(EngineError, match="cycle"):
+        Scheduler(SerialExecutor()).run(graph)
+
+
+def test_expansion_inserts_tasks_and_blocks_dependents():
+    """A task that fans out delays everything that depended on it."""
+    order = []
+
+    def fan_out(_):
+        children = [
+            Task("child.%d" % index, lambda _, i=index: order.append("child.%d" % i))
+            for index in range(3)
+        ]
+        order.append("compile")
+        return Expansion(tasks=children, result="nidb")
+
+    graph = TaskGraph()
+    graph.add_task("compile", fan_out)
+    graph.add_task("deploy", lambda _: order.append("deploy"), deps=("compile",))
+    results = Scheduler(SerialExecutor()).run(graph)
+
+    assert results["compile"] == "nidb"
+    assert order[0] == "compile"
+    assert order[-1] == "deploy"
+    assert set(order[1:-1]) == {"child.0", "child.1", "child.2"}
+
+
+def test_expansion_with_unknown_dep_rejected():
+    def bad(_):
+        return Expansion(tasks=[Task("child", lambda _: None, deps=("ghost",))])
+
+    graph = TaskGraph()
+    graph.add_task("root", bad)
+    with pytest.raises(EngineError, match="unknown task"):
+        Scheduler(SerialExecutor()).run(graph)
+
+
+def test_scheduler_counts_tasks():
+    graph = TaskGraph()
+    for index in range(5):
+        graph.add_task("t%d" % index, lambda _: None)
+    scheduler = Scheduler(SerialExecutor())
+    scheduler.run(graph)
+    assert scheduler.tasks_run == 5

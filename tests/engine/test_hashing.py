@@ -1,0 +1,57 @@
+"""Cache keys: stability across compiles, sensitivity to real changes."""
+
+from repro.compilers import platform_compiler
+from repro.design import design_network
+from repro.engine import TemplateHasher, device_cache_key, topology_cache_key
+from repro.loader import fig5_topology
+from repro.nidb import stable_hash
+
+
+def _nidb():
+    return platform_compiler("netkit", design_network(fig5_topology())).compile()
+
+
+def test_stable_hash_is_order_insensitive():
+    assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+    assert stable_hash({"a": 1}) != stable_hash({"a": 2})
+
+
+def test_device_keys_stable_across_compiles():
+    first, second = _nidb(), _nidb()
+    hasher = TemplateHasher()
+    for device in first:
+        twin = second.node(device.node_id)
+        assert device_cache_key(device, hasher) == device_cache_key(twin, hasher)
+
+
+def test_device_key_tracks_compiled_state():
+    nidb = _nidb()
+    device = nidb.routers()[0]
+    before = device_cache_key(device)
+    device.zebra.hostname = "renamed"
+    assert device_cache_key(device) != before
+
+
+def test_keys_differ_between_devices():
+    nidb = _nidb()
+    hasher = TemplateHasher()
+    keys = {device_cache_key(device, hasher) for device in nidb}
+    assert len(keys) == len(nidb)
+
+
+def test_topology_key_moves_with_any_device():
+    first, second = _nidb(), _nidb()
+    assert topology_cache_key(first) == topology_cache_key(second)
+    second.routers()[0].zebra.hostname = "renamed"
+    assert topology_cache_key(first) != topology_cache_key(second)
+
+
+def test_template_hasher_memoises():
+    hasher = TemplateHasher()
+    nidb = _nidb()
+    device = nidb.routers()[0]
+    device_cache_key(device, hasher)
+    assert hasher._hashes  # sources were read...
+    first = dict(hasher._hashes)
+    device_cache_key(device, hasher)
+    assert hasher._hashes == first  # ...and not re-read

@@ -1,0 +1,52 @@
+"""Determinism: repeated and parallel builds yield identical corpora.
+
+The §2 repeatability claim, sharpened to bytes: the configuration
+corpus must be a pure function of the input topology — across repeated
+runs, across executor kinds, and across the classic straight-line
+renderer versus the build engine.
+"""
+
+import os
+
+import pytest
+
+from repro.engine import BuildEngine
+from repro.loader import small_internet
+from repro.workflow import run_experiment
+
+
+def _corpus(root):
+    found = {}
+    for dirpath, _, names in os.walk(root):
+        for name in names:
+            path = os.path.join(dirpath, name)
+            with open(path, "rb") as handle:
+                found[os.path.relpath(path, root)] = handle.read()
+    return found
+
+
+def test_back_to_back_runs_byte_identical(tmp_path):
+    first = run_experiment(
+        small_internet(), deploy=False, output_dir=str(tmp_path / "first")
+    )
+    second = run_experiment(
+        small_internet(), deploy=False, output_dir=str(tmp_path / "second")
+    )
+    corpus_a = _corpus(str(tmp_path / "first"))
+    corpus_b = _corpus(str(tmp_path / "second"))
+    assert corpus_a and corpus_a == corpus_b
+    assert first.render_result.n_files == second.render_result.n_files
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_engine_workflow_matches_classic(tmp_path, jobs):
+    classic_dir = tmp_path / "classic"
+    run_experiment(small_internet(), deploy=False, output_dir=str(classic_dir))
+
+    engine_dir = tmp_path / ("engine%d" % jobs)
+    engine = BuildEngine(jobs=jobs)
+    run_experiment(
+        small_internet(), deploy=False, output_dir=str(engine_dir), engine=engine
+    )
+    engine.shutdown()
+    assert _corpus(str(engine_dir)) == _corpus(str(classic_dir))

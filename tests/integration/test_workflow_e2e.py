@@ -52,6 +52,18 @@ def test_load_topology_from_files(tmp_path):
     assert load_topology(graph) is graph
 
 
+def test_load_topology_unknown_extension_is_a_clear_error(tmp_path):
+    from repro.exceptions import LoaderError
+
+    path = tmp_path / "topology.yaml"
+    path.write_text("routers: []\n")
+    with pytest.raises(LoaderError) as failure:
+        load_topology(str(path))
+    message = str(failure.value)
+    for extension in (".graphml", ".gml", ".json"):
+        assert extension in message
+
+
 def test_workflow_from_graphml_file(tmp_path):
     path = tmp_path / "fig5.graphml"
     save_graphml(fig5_topology(), path)

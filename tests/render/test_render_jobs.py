@@ -1,0 +1,104 @@
+"""Render jobs and the thread-safe shared environment."""
+
+import os
+import threading
+
+import pytest
+
+from repro.compilers import platform_compiler
+from repro.design import design_network
+from repro.exceptions import RenderError
+from repro.loader import fig5_topology
+from repro.render import (
+    RenderResult,
+    add_template_directory,
+    device_render_jobs,
+    environment,
+    render_nidb,
+    template_directories,
+    template_source,
+    topology_render_jobs,
+    write_job,
+)
+
+
+@pytest.fixture(scope="module")
+def nidb():
+    return platform_compiler("netkit", design_network(fig5_topology())).compile()
+
+
+def test_device_jobs_are_pure(nidb, tmp_path):
+    """Computing jobs writes nothing; writing them reproduces render_nidb."""
+    devices = sorted(nidb.nodes(), key=lambda device: str(device.node_id))
+    jobs = device_render_jobs(devices[0], nidb.topology, devices)
+    assert jobs and not any(tmp_path.iterdir())
+    for job in jobs:
+        assert job.path
+        assert (job.text is None) != (job.source is None)
+
+
+def test_jobs_reproduce_render_nidb(nidb, tmp_path):
+    classic_dir = tmp_path / "classic"
+    render_nidb(nidb, str(classic_dir))
+
+    jobs_dir = tmp_path / "jobs"
+    lab_dir = os.path.join(str(jobs_dir), nidb.topology.host, nidb.topology.platform)
+    result = RenderResult(output_dir=str(jobs_dir), lab_dir=lab_dir)
+    devices = sorted(nidb.nodes(), key=lambda device: str(device.node_id))
+    for device in devices:
+        for job in device_render_jobs(device, nidb.topology, devices):
+            write_job(result, lab_dir, job)
+    for job in topology_render_jobs(nidb.topology, devices):
+        write_job(result, lab_dir, job)
+
+    def corpus(root):
+        found = {}
+        for dirpath, _, names in os.walk(str(root)):
+            for name in names:
+                path = os.path.join(dirpath, name)
+                with open(path, "rb") as handle:
+                    found[os.path.relpath(path, str(root))] = handle.read()
+        return found
+
+    assert corpus(classic_dir) == corpus(jobs_dir)
+
+
+def test_template_source_reads_loader_text(nidb):
+    device = nidb.routers()[0]
+    name = str(device.render.files[0].template)
+    source = template_source(name)
+    assert source.strip()
+    with pytest.raises(RenderError, match="not found"):
+        template_source("no/such/template.j2")
+
+
+def test_environment_is_shared_across_threads():
+    environments = []
+    barrier = threading.Barrier(8)
+
+    def grab():
+        barrier.wait()
+        environments.append(environment())
+
+    threads = [threading.Thread(target=grab) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(set(map(id, environments))) == 1
+
+
+def test_add_template_directory_rebuilds_environment(tmp_path):
+    before = environment()
+    try:
+        add_template_directory(tmp_path)
+        assert str(tmp_path) in template_directories()
+        after = environment()
+        assert after is not before
+    finally:
+        # restore the module state for the rest of the suite
+        from repro.render import renderer
+
+        with renderer._ENVIRONMENT_LOCK:
+            renderer._EXTRA_TEMPLATE_DIRS.remove(str(tmp_path))
+            renderer._ENVIRONMENT = None
