@@ -10,6 +10,7 @@ the same stages as subcommands::
     repro measure   topology.graphml -c "traceroute -naU 192.168.0.1" -H r1 r2
     repro visualize topology.graphml --overlay ebgp -o view.html
     repro whatif    topology.graphml --fail-link r1 r2 --fail-node r9
+    repro chaos     topology.graphml --schedule incidents.fault
     repro diff      before.graphml after.graphml
 
 Every subcommand accepts a GraphML/GML/JSON topology path or one of the
@@ -117,6 +118,19 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="design rules to apply (default: %(default)s)",
     )
     parser.add_argument("-o", "--output", default=None, help="output directory")
+    resilience = parser.add_argument_group("resilience")
+    resilience.add_argument(
+        "--strict",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="--no-strict quarantines failed-parse devices instead of "
+        "aborting the boot (default: strict)",
+    )
+    resilience.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry transient deploy/measure errors up to N times "
+        "(default 0: fail fast)",
+    )
     observability = parser.add_argument_group("observability")
     observability.add_argument(
         "--trace", default=None, metavar="PATH",
@@ -158,6 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("measure", "deploy then run a measurement command"),
         ("visualize", "export an overlay as self-contained HTML/JSON"),
         ("whatif", "deploy, inject failures, compare reachability"),
+        ("chaos", "deploy, then run a timed fault schedule against the lab"),
         ("diff", "compare the compiled device state of two topologies"),
     ]:
         sub = commands.add_parser(name, help=help_text)
@@ -210,6 +225,17 @@ def build_parser() -> argparse.ArgumentParser:
                 default=[],
                 help="power a machine off (repeatable)",
             )
+        if name == "chaos":
+            sub.add_argument(
+                "--schedule", default=None, metavar="PATH",
+                help="fault schedule file ('at <round> <kind> <targets>' "
+                "per line)",
+            )
+            sub.add_argument(
+                "--event", action="append", default=[], metavar="SPEC",
+                help="inline schedule line, e.g. 'at 2 link_down r1 r2' "
+                "(repeatable)",
+            )
     return parser
 
 
@@ -234,6 +260,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         "measure": _cmd_measure,
         "visualize": _cmd_visualize,
         "whatif": _cmd_whatif,
+        "chaos": _cmd_chaos,
         "diff": _cmd_diff,
     }[args.command]
     telemetry = Telemetry()
@@ -273,6 +300,14 @@ def _write_trace_files(telemetry: Telemetry, args, out: "CliOutput") -> None:
         out.result(trace_file=args.trace)
     if args.chrome_trace:
         telemetry.write_chrome_trace(args.chrome_trace)
+
+
+def _retry_policy(args):
+    from repro.resilience import DEFAULT_RETRY, NO_RETRY
+
+    if getattr(args, "retries", 0) > 0:
+        return DEFAULT_RETRY.with_retries(args.retries)
+    return NO_RETRY
 
 
 def _designed(args):
@@ -325,6 +360,8 @@ def _cmd_build(args, out: CliOutput) -> int:
         executor=make_executor(args.jobs, args.executor),
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        strict=args.strict,
+        retry_policy=_retry_policy(args) if args.retries > 0 else None,
     )
     output_dir = args.output or tempfile.mkdtemp(prefix="repro_")
     report = engine.build(
@@ -336,6 +373,21 @@ def _cmd_build(args, out: CliOutput) -> int:
     engine.shutdown()
     result = report.render_result
     nidb = engine.nidb
+    if not report.ok:
+        for task_id, error in sorted(report.failed_tasks.items()):
+            out.emit("task %s FAILED: %s" % (task_id, error),
+                     task=task_id, error=error)
+        if report.skipped_tasks:
+            out.emit("skipped (dependency failed): %s"
+                     % ", ".join(report.skipped_tasks),
+                     skipped=report.skipped_tasks)
+        out.result(
+            failed_tasks=report.failed_tasks,
+            skipped_tasks=report.skipped_tasks,
+        )
+    if nidb is None or result is None:
+        out.emit("build failed before compile completed")
+        return 1
     out.emit(
         "rendered %d files (%d bytes) for %d devices in %.2fs"
         % (result.n_files, result.total_bytes, len(nidb), result.elapsed_seconds),
@@ -369,7 +421,7 @@ def _cmd_build(args, out: CliOutput) -> int:
         rendered_devices=report.rendered_devices,
         cached_devices=report.cached_devices,
     )
-    return 0
+    return 0 if report.ok else 1
 
 
 def _cmd_verify(args, out: CliOutput) -> int:
@@ -397,7 +449,12 @@ def _cmd_deploy(args, out: CliOutput) -> int:
     _, _, result = _built(args)
     monitor = ProgressMonitor(callbacks=[out.progress])
     with span("deploy"):
-        record = deploy(result.lab_dir, monitor=monitor)
+        record = deploy(
+            result.lab_dir,
+            monitor=monitor,
+            retry_policy=_retry_policy(args),
+            strict=args.strict,
+        )
     lab = record.lab
     status = (
         "converged"
@@ -409,6 +466,15 @@ def _cmd_deploy(args, out: CliOutput) -> int:
         machines=len(lab.network),
         bgp_status=status,
     )
+    if lab.degraded:
+        for name, diagnostic in sorted(lab.quarantined.items()):
+            out.emit("quarantined: %s" % diagnostic, machine=name)
+        out.result(
+            quarantined={
+                name: diagnostic.to_dict()
+                for name, diagnostic in lab.quarantined.items()
+            }
+        )
     out.result(machines=len(lab.network), bgp_status=status)
     return 0
 
@@ -420,8 +486,10 @@ def _cmd_measure(args, out: CliOutput) -> int:
 
     _, nidb, result = _built(args)
     with span("deploy"):
-        record = deploy(result.lab_dir)
-    client = MeasurementClient(record.lab, nidb)
+        record = deploy(
+            result.lab_dir, retry_policy=_retry_policy(args), strict=args.strict
+        )
+    client = MeasurementClient(record.lab, nidb, retry_policy=_retry_policy(args))
     hosts = args.hosts or [str(device.node_id) for device in nidb.routers()]
     run = client.send(args.measure_command, hosts)
     measurements = []
@@ -460,7 +528,9 @@ def _cmd_whatif(args, out: CliOutput) -> int:
         return 2
     _, _, result = _built(args)
     with span("deploy"):
-        lab = deploy(result.lab_dir).lab
+        lab = deploy(
+            result.lab_dir, retry_policy=_retry_policy(args), strict=args.strict
+        ).lab
     with span("whatif.compare"):
         before = reachability_matrix(lab)
         degraded = lab
@@ -484,6 +554,38 @@ def _cmd_whatif(args, out: CliOutput) -> int:
         lost=[list(pair) for pair in sorted(delta["lost"])],
     )
     return 0 if not delta["lost"] else 1
+
+
+def _cmd_chaos(args, out: CliOutput) -> int:
+    from repro.deployment import deploy
+    from repro.observability import span
+    from repro.resilience import FaultSchedule, apply_schedule
+
+    if not args.schedule and not args.event:
+        print(
+            "error: nothing to inject (use --schedule and/or --event)",
+            file=sys.stderr,
+        )
+        return 2
+    schedule = FaultSchedule()
+    if args.schedule:
+        schedule = FaultSchedule.load(args.schedule)
+    if args.event:
+        inline = FaultSchedule.parse("\n".join(args.event))
+        schedule = FaultSchedule(list(schedule) + list(inline))
+    _, _, result = _built(args)
+    with span("deploy"):
+        lab = deploy(
+            result.lab_dir, retry_policy=_retry_policy(args), strict=args.strict
+        ).lab
+    report = apply_schedule(lab, schedule)
+    for line in report.summary().splitlines():
+        out.emit(line)
+    if lab.degraded:
+        for name, diagnostic in sorted(lab.quarantined.items()):
+            out.emit("quarantined: %s" % diagnostic, machine=name)
+    out.result(chaos=report.to_dict())
+    return 0 if report.settled else 1
 
 
 def _cmd_diff(args, out: CliOutput) -> int:

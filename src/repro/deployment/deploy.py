@@ -5,12 +5,20 @@ files, transfers them to the emulation host, extracts them, and runs
 the Netkit lstart command."  This module is that script — the paper
 notes the whole flow is under a hundred lines of high-level code, a
 property this implementation preserves.
+
+Each stage runs under a :class:`~repro.resilience.RetryPolicy` (default
+:data:`~repro.resilience.NO_RETRY`, preserving fail-fast behaviour):
+transient host errors are retried with deterministic backoff and every
+attempt lands in telemetry as ``retry.*`` metrics and ``fault.*``
+events.  The archive staging directory is temporary and cleaned up when
+the deployment finishes unless ``keep_archive=True``.
 """
 
 from __future__ import annotations
 
 import logging
 import os
+import shutil
 import tarfile
 import tempfile
 from dataclasses import dataclass, field
@@ -19,7 +27,8 @@ from repro.deployment.host import LocalEmulationHost
 from repro.deployment.monitor import ProgressMonitor
 from repro.emulation import EmulatedLab
 from repro.exceptions import DeploymentError
-from repro.observability import metric_inc, span
+from repro.observability import gauge_set, metric_inc, span
+from repro.resilience import NO_RETRY, RetryPolicy, retry_call
 
 logger = logging.getLogger("repro.deployment")
 
@@ -38,7 +47,11 @@ class DeploymentRecord:
 
 
 def archive_lab(source_dir: str, lab_name: str, archive_dir: str | None = None) -> str:
-    """Tar up a rendered lab directory for transfer."""
+    """Tar up a rendered lab directory for transfer.
+
+    Without ``archive_dir`` a fresh temporary directory is created; the
+    caller owns its lifetime (:func:`deploy` removes it when done).
+    """
     if not os.path.isdir(source_dir):
         raise DeploymentError("rendered lab directory %s does not exist" % source_dir)
     archive_dir = archive_dir or tempfile.mkdtemp(prefix="lab_archive_")
@@ -55,6 +68,8 @@ def deploy(
     lab_name: str = "lab",
     username: str = "emulation",
     monitor: ProgressMonitor | None = None,
+    retry_policy: RetryPolicy = NO_RETRY,
+    keep_archive: bool = False,
     **boot_options,
 ) -> DeploymentRecord:
     """Run the full deployment flow and return the running lab.
@@ -63,37 +78,74 @@ def deploy(
     source directory of configurations — map directly onto the
     arguments; the username is kept for interface fidelity (a local
     host does not authenticate).
+
+    ``retry_policy`` governs every stage that touches the host; the
+    default single attempt preserves fail-fast semantics.  The staged
+    archive is deleted on return unless ``keep_archive=True`` (it has
+    already been transferred to the host either way).
     """
     host = host or LocalEmulationHost()
     monitor = monitor or ProgressMonitor()
     monitor.start()
     timings: dict[str, float] = {}
+    archive_staging: str | None = None
 
-    with span("deploy.archive", lab_name=lab_name) as stage:
-        monitor.update("archive", "archiving %s" % source_dir, source_dir=source_dir)
-        archive_path = archive_lab(source_dir, lab_name)
-    timings["archive"] = stage.duration
+    try:
+        with span("deploy.archive", lab_name=lab_name) as stage:
+            monitor.update("archive", "archiving %s" % source_dir, source_dir=source_dir)
+            archive_path = retry_call(
+                lambda: archive_lab(source_dir, lab_name),
+                policy=retry_policy,
+                operation="deploy.archive",
+            )
+            archive_staging = os.path.dirname(archive_path)
+        timings["archive"] = stage.duration
 
-    with span("deploy.transfer", host=host.name) as stage:
-        monitor.update(
-            "transfer",
-            "transferring to %s as %s" % (host.name, username),
-            host=host.name,
-            username=username,
+        with span("deploy.transfer", host=host.name) as stage:
+            monitor.update(
+                "transfer",
+                "transferring to %s as %s" % (host.name, username),
+                host=host.name,
+                username=username,
+            )
+            remote_archive = retry_call(
+                lambda: host.receive(archive_path, lab_name),
+                policy=retry_policy,
+                operation="deploy.transfer",
+            )
+        timings["transfer"] = stage.duration
+
+        with span("deploy.extract") as stage:
+            monitor.update("extract", "extracting %s" % remote_archive)
+            lab_dir = retry_call(
+                lambda: host.extract(remote_archive, lab_name),
+                policy=retry_policy,
+                operation="deploy.extract",
+            )
+        timings["extract"] = stage.duration
+
+        with span("deploy.lstart", lab_name=lab_name) as stage:
+            monitor.update("lstart", "starting lab %s" % lab_name, lab_name=lab_name)
+            lab = retry_call(
+                lambda: host.lstart(lab_dir, lab_name, **boot_options),
+                policy=retry_policy,
+                operation="deploy.lstart",
+            )
+        timings["start"] = stage.duration
+        metric_inc("deploy.labs_started")
+    finally:
+        if not keep_archive and archive_staging is not None:
+            shutil.rmtree(archive_staging, ignore_errors=True)
+
+    quarantined = getattr(lab, "quarantined", {})
+    gauge_set("deploy.quarantined_vms", len(quarantined))
+    if quarantined:
+        logger.warning(
+            "lab %s booted degraded: %d VM(s) quarantined (%s)",
+            lab_name,
+            len(quarantined),
+            ", ".join(sorted(quarantined)),
         )
-        remote_archive = host.receive(archive_path, lab_name)
-    timings["transfer"] = stage.duration
-
-    with span("deploy.extract") as stage:
-        monitor.update("extract", "extracting %s" % remote_archive)
-        lab_dir = host.extract(remote_archive, lab_name)
-    timings["extract"] = stage.duration
-
-    with span("deploy.lstart", lab_name=lab_name) as stage:
-        monitor.update("lstart", "starting lab %s" % lab_name, lab_name=lab_name)
-        lab = host.lstart(lab_dir, lab_name, **boot_options)
-    timings["start"] = stage.duration
-    metric_inc("deploy.labs_started")
 
     logger.info(
         "lab %s deployed to %s in %.2fs",
@@ -103,9 +155,10 @@ def deploy(
     )
     monitor.update(
         "ready",
-        "%d virtual machines up, BGP %s"
+        "%d virtual machines up%s, BGP %s"
         % (
             len(lab.network),
+            " (%d quarantined)" % len(quarantined) if quarantined else "",
             "converged" if lab.converged else ("oscillating" if lab.oscillating else "running"),
         ),
     )

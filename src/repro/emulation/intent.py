@@ -132,6 +132,10 @@ class DeviceIntent:
     #: Explicit IGP domain id (C-BGP style); other vendors derive IGP
     #: adjacency from mutually advertised subnets instead.
     igp_domain: Optional[int] = None
+    #: Configuration errors collected while parsing this device.  A
+    #: non-empty list marks the device un-bootable: strict labs raise
+    #: the first error, non-strict labs quarantine the machine.
+    boot_errors: list = field(default_factory=list)
 
     @property
     def loopback(self) -> Optional[ipaddress.IPv4Address]:

@@ -5,6 +5,21 @@ platform from the files present, parses every configuration back into
 device intent, brings up the fabric, converges the IGP, runs the BGP
 simulation, and exposes :class:`~repro.emulation.vm.VirtualMachine`
 handles for measurement.
+
+Failure is a first-class state of the boot.  In the default **strict**
+mode a device whose configuration failed to parse aborts the boot with
+the underlying :class:`~repro.exceptions.ConfigParseError`, exactly as
+before.  With ``strict=False`` the device is **quarantined** instead: a
+structured :class:`~repro.resilience.BootDiagnostic` (file, line,
+cause) lands in :attr:`quarantined`, the machine is excluded from the
+fabric, and the rest of the lab converges degraded
+(:attr:`degraded` is then true).
+
+A booted lab also accepts live topology faults — :meth:`link_down`,
+:meth:`link_up`, :meth:`node_down`, :meth:`node_up` — which mutate the
+fabric in place and :meth:`reconverge` the protocols incrementally,
+resuming BGP from the previous selected state rather than re-parsing
+or cold-starting anything.
 """
 
 from __future__ import annotations
@@ -22,7 +37,15 @@ from repro.emulation.ospf_engine import IgpState
 from repro.emulation.parsing import LAB_PARSERS
 from repro.emulation.vm import VirtualMachine
 from repro.exceptions import EmulationError
-from repro.observability import gauge_set, span
+from repro.observability import WARNING, gauge_set, log_event, metric_inc, span
+from repro.resilience.diagnostics import (
+    CONVERGED,
+    OSCILLATING,
+    PARTITIONED,
+    UNDETERMINED,
+    BootDiagnostic,
+    ConvergenceReport,
+)
 
 logger = logging.getLogger("repro.emulation")
 
@@ -53,20 +76,26 @@ class EmulatedLab:
         max_rounds: int = 64,
         vendor_overrides: Optional[dict[str, str]] = None,
         keep_history: Optional[bool] = None,
+        strict: bool = True,
     ):
         self.intent = intent
-        with span("emulation.fabric"):
-            self.network = EmulatedNetwork(intent)
-        with span("emulation.igp"):
-            self.igp = IgpState(self.network)
-        self._simulation = BgpSimulation(
-            self.network,
-            self.igp,
-            vendor_overrides=vendor_overrides,
-            keep_history=keep_history
-            if keep_history is not None
-            else len(self.network) <= HISTORY_MACHINE_LIMIT,
-        )
+        self.max_rounds = max_rounds
+        self.strict = strict
+        self._vendor_overrides = vendor_overrides
+        self._keep_history = keep_history
+        #: Directory the lab was booted from (None for intent-built labs).
+        self.lab_dir: Optional[str] = None
+        #: machine name -> BootDiagnostic for devices excluded at boot.
+        self.quarantined: dict[str, BootDiagnostic] = {}
+        #: live fault state, applied on top of the parsed topology.
+        self.disabled_machines: set[str] = set()
+        self.disabled_attachments: set[tuple[str, str]] = set()
+        self.igp: Optional[IgpState] = None
+        self._simulation: Optional[BgpSimulation] = None
+        self._resume_seed: Optional[dict] = None
+        self.bgp_result: Optional[BgpResult] = None
+        self._quarantine_scan()
+        self._build_fabric()
         logger.info(
             "fabric up: %d machines, %d segments, %d IGP areas",
             len(self.network),
@@ -75,8 +104,105 @@ class EmulatedLab:
         )
         gauge_set("emulation.machines", len(self.network))
         gauge_set("emulation.segments", len(self.network.segments))
+        self._build_simulation()
+        self._converge()
+
+    @classmethod
+    def boot(
+        cls,
+        lab_dir: str | os.PathLike,
+        platform: Optional[str] = None,
+        max_rounds: int = 64,
+        vendor_overrides: Optional[dict[str, str]] = None,
+        keep_history: Optional[bool] = None,
+        strict: bool = True,
+    ) -> "EmulatedLab":
+        """Parse a rendered lab directory and bring the network up."""
+        lab_dir = str(lab_dir)
+        platform = platform or detect_platform(lab_dir)
+        logger.info("booting %s lab from %s", platform, lab_dir)
+        try:
+            parser = LAB_PARSERS[platform]
+        except KeyError:
+            raise EmulationError("no parser for platform %r" % platform) from None
+        with span("emulation.parse", platform=platform):
+            intent = parser(lab_dir)
+        lab = cls(
+            intent,
+            max_rounds=max_rounds,
+            vendor_overrides=vendor_overrides,
+            keep_history=keep_history,
+            strict=strict,
+        )
+        lab.lab_dir = lab_dir
+        return lab
+
+    # -- boot stages -----------------------------------------------------------
+    def _quarantine_scan(self) -> None:
+        """Handle devices whose configurations failed to parse.
+
+        Strict: re-raise the first collected error (today's behaviour).
+        Non-strict: quarantine the device with a structured diagnostic
+        and keep booting the rest of the fabric.
+        """
+        for name in sorted(self.intent.devices):
+            device = self.intent.devices[name]
+            errors = getattr(device, "boot_errors", None) or []
+            if not errors:
+                continue
+            error = errors[0]
+            if self.strict:
+                if isinstance(error, Exception):
+                    raise error
+                raise EmulationError(str(error))
+            diagnostic = BootDiagnostic.from_error(name, error)
+            self.quarantined[name] = diagnostic
+            self.disabled_machines.add(name)
+            metric_inc("emulation.quarantined")
+            fields = {
+                "boot_%s" % key: value
+                for key, value in diagnostic.to_dict().items()
+            }
+            log_event(
+                WARNING,
+                "emulation.quarantine",
+                str(diagnostic),
+                **fields,
+            )
+            logger.warning("%s", diagnostic)
+        gauge_set("emulation.quarantined", len(self.quarantined))
+
+    def _build_fabric(self) -> None:
+        with span("emulation.fabric"):
+            self.network = EmulatedNetwork(
+                self.intent,
+                disabled_machines=self.disabled_machines,
+                disabled_attachments=self.disabled_attachments,
+            )
+        with span("emulation.igp"):
+            if self.igp is None:
+                self.igp = IgpState(self.network)
+            else:
+                self.igp.rebuild(self.network)
+
+    def _build_simulation(self) -> None:
+        if self._simulation is None:
+            self._simulation = BgpSimulation(
+                self.network,
+                self.igp,
+                vendor_overrides=self._vendor_overrides,
+                keep_history=self._keep_history
+                if self._keep_history is not None
+                else len(self.network) <= HISTORY_MACHINE_LIMIT,
+            )
+        else:
+            self._simulation.rebuild(self.network)
+
+    def _converge(self, resume_from: Optional[dict] = None) -> None:
         with span("emulation.bgp", machines=len(self.network)) as bgp_span:
-            self.bgp_result: BgpResult = self._simulation.run(max_rounds=max_rounds)
+            self.bgp_result = self._simulation.run(
+                max_rounds=self.max_rounds, resume_from=resume_from
+            )
             bgp_span.set("rounds", self.bgp_result.rounds)
             bgp_span.set("converged", self.bgp_result.converged)
             bgp_span.set("oscillating", self.bgp_result.oscillating)
@@ -97,36 +223,6 @@ class EmulatedLab:
         self.dns = DnsEngine(self.network)
         self._vms = {name: VirtualMachine(self, name) for name in self.network.machines}
         self._tap_map = self._build_tap_map()
-        #: Directory the lab was booted from (None for intent-built labs).
-        self.lab_dir: Optional[str] = None
-
-    @classmethod
-    def boot(
-        cls,
-        lab_dir: str | os.PathLike,
-        platform: Optional[str] = None,
-        max_rounds: int = 64,
-        vendor_overrides: Optional[dict[str, str]] = None,
-        keep_history: Optional[bool] = None,
-    ) -> "EmulatedLab":
-        """Parse a rendered lab directory and bring the network up."""
-        lab_dir = str(lab_dir)
-        platform = platform or detect_platform(lab_dir)
-        logger.info("booting %s lab from %s", platform, lab_dir)
-        try:
-            parser = LAB_PARSERS[platform]
-        except KeyError:
-            raise EmulationError("no parser for platform %r" % platform) from None
-        with span("emulation.parse", platform=platform):
-            intent = parser(lab_dir)
-        lab = cls(
-            intent,
-            max_rounds=max_rounds,
-            vendor_overrides=vendor_overrides,
-            keep_history=keep_history,
-        )
-        lab.lab_dir = lab_dir
-        return lab
 
     # -- state ----------------------------------------------------------------
     @property
@@ -137,6 +233,48 @@ class EmulatedLab:
     def oscillating(self) -> bool:
         return self.bgp_result.oscillating
 
+    @property
+    def degraded(self) -> bool:
+        """True when at least one device is quarantined."""
+        return bool(self.quarantined)
+
+    @property
+    def convergence_report(self) -> ConvergenceReport:
+        """Classify how the last convergence run ended."""
+        result = self.bgp_result
+        components = self._fabric_components()
+        if result.converged:
+            status = CONVERGED
+        elif result.oscillating:
+            status = OSCILLATING
+        elif components > 1:
+            status = PARTITIONED
+        else:
+            status = UNDETERMINED
+        return ConvergenceReport(
+            status=status,
+            rounds=result.rounds,
+            deadline=self.max_rounds,
+            period=result.period,
+            components=components,
+            quarantined=sorted(self.quarantined),
+        )
+
+    def _fabric_components(self) -> int:
+        """Connected components among the active machines."""
+        remaining = set(self.network.machines)
+        components = 0
+        while remaining:
+            components += 1
+            stack = [remaining.pop()]
+            while stack:
+                machine = stack.pop()
+                for neighbor in self.network.neighbors_of(machine):
+                    if neighbor in remaining:
+                        remaining.remove(neighbor)
+                        stack.append(neighbor)
+        return components
+
     def _build_tap_map(self) -> dict[str, str]:
         tap_map = {}
         for name, device in self.network.machines.items():
@@ -145,11 +283,114 @@ class EmulatedLab:
                     tap_map[str(interface.ip_address)] = name
         return tap_map
 
+    # -- live faults -----------------------------------------------------------
+    def _link_keys(self, left: str, right: str) -> list[str]:
+        for name in (left, right):
+            if name not in self.network.all_machines:
+                raise EmulationError("no machine named %r in the lab" % (name,))
+        keys = self.network.segment_keys_between(left, right)
+        if not keys:
+            raise EmulationError(
+                "no link between %r and %r to fail" % (left, right)
+            )
+        return keys
+
+    def link_down(self, left: str, right: str, reconverge: bool = True):
+        """Fail every link between two machines on the running lab."""
+        for key in self._link_keys(left, right):
+            self.disabled_attachments.add((left, key))
+            self.disabled_attachments.add((right, key))
+        metric_inc("fault.link_down")
+        return self.reconverge() if reconverge else None
+
+    def link_up(self, left: str, right: str, reconverge: bool = True):
+        """Restore previously failed links between two machines."""
+        for key in self._link_keys(left, right):
+            self.disabled_attachments.discard((left, key))
+            self.disabled_attachments.discard((right, key))
+        metric_inc("fault.link_up")
+        return self.reconverge() if reconverge else None
+
+    def node_down(self, machine: str, reconverge: bool = True):
+        """Power off one machine on the running lab."""
+        if machine not in self.network.all_machines:
+            raise EmulationError("no machine named %r to fail" % (machine,))
+        self.disabled_machines.add(machine)
+        metric_inc("fault.node_down")
+        return self.reconverge() if reconverge else None
+
+    def node_up(self, machine: str, reconverge: bool = True):
+        """Power a previously downed machine back on."""
+        if machine not in self.network.all_machines:
+            raise EmulationError("no machine named %r to restore" % (machine,))
+        if machine in self.quarantined:
+            raise EmulationError(
+                "machine %r is quarantined (%s) and cannot be restored"
+                % (machine, self.quarantined[machine].cause)
+            )
+        self.disabled_machines.discard(machine)
+        metric_inc("fault.node_up")
+        return self.reconverge() if reconverge else None
+
+    def reconverge(self) -> ConvergenceReport:
+        """Rebuild the fabric under the current fault state and resettle.
+
+        BGP resumes from the previous selected state — an incremental
+        reconvergence, not a cold reboot — and nothing is re-parsed.
+        """
+        seed = (
+            self.bgp_result.selected
+            if self.bgp_result is not None
+            else self._resume_seed
+        )
+        with span("emulation.reconverge", machines=len(self.network.all_machines)):
+            self._build_fabric()
+            self._build_simulation()
+            self._converge(resume_from=seed)
+        return self.convergence_report
+
+    def fork(self, converge: bool = True) -> "EmulatedLab":
+        """A cheap clone of this lab for destructive experiments.
+
+        The clone shares the parsed intent (no re-parse, no deep copy)
+        but owns its fabric and fault state, and resumes BGP from this
+        lab's selected routes.  With ``converge=False`` the clone is
+        returned before its protocols settle — callers then apply
+        faults and :meth:`reconverge` once, which is how the what-if
+        helpers avoid converging twice.
+        """
+        clone = object.__new__(type(self))
+        clone.intent = self.intent
+        clone.max_rounds = self.max_rounds
+        clone.strict = self.strict
+        clone._vendor_overrides = self._vendor_overrides
+        clone._keep_history = (
+            self._keep_history if self._keep_history is not None else False
+        )
+        clone.lab_dir = self.lab_dir
+        clone.quarantined = dict(self.quarantined)
+        clone.disabled_machines = set(self.disabled_machines)
+        clone.disabled_attachments = set(self.disabled_attachments)
+        clone.igp = None
+        clone._simulation = None
+        clone._resume_seed = self.bgp_result.selected if self.bgp_result else None
+        clone.bgp_result = None
+        clone._build_fabric()
+        clone._build_simulation()
+        if converge:
+            clone._converge(resume_from=clone._resume_seed)
+        return clone
+
     # -- access ---------------------------------------------------------------
     def vm(self, name: str) -> VirtualMachine:
         try:
             return self._vms[name]
         except KeyError:
+            if name in self.quarantined:
+                raise EmulationError(
+                    "machine %r is quarantined: %s"
+                    % (name, self.quarantined[name].cause)
+                ) from None
             raise EmulationError("no VM named %r" % (name,)) from None
 
     def vm_by_tap(self, tap_ip: str) -> VirtualMachine:
@@ -184,6 +425,8 @@ class EmulatedLab:
         status = "converged" if self.converged else (
             "oscillating" if self.oscillating else "not converged"
         )
+        if self.quarantined:
+            status += ", %d quarantined" % len(self.quarantined)
         return "EmulatedLab(%d machines, %s, %d BGP rounds)" % (
             len(self.network),
             status,

@@ -43,11 +43,37 @@ class Segment:
 
 
 class EmulatedNetwork:
-    """Machines plus the segments and address map connecting them."""
+    """Machines plus the segments and address map connecting them.
 
-    def __init__(self, lab: LabIntent):
+    ``disabled_machines`` and ``disabled_attachments`` model topology
+    faults without touching the intent: a disabled machine is excluded
+    from the fabric entirely (powered off or quarantined), a disabled
+    ``(machine, segment key)`` attachment takes that machine's interface
+    off one segment (a failed link end) while the segment survives for
+    its other members.  The full parsed topology stays available as
+    :attr:`all_machines` so faults can later be reverted.
+    """
+
+    def __init__(
+        self,
+        lab: LabIntent,
+        disabled_machines=(),
+        disabled_attachments=(),
+    ):
         self.lab = lab
-        self.machines: dict[str, DeviceIntent] = dict(lab.devices)
+        self.all_machines: dict[str, DeviceIntent] = dict(lab.devices)
+        if not self.all_machines:
+            raise EmulationError("lab has no machines to boot")
+        self.disabled_machines: set[str] = set(disabled_machines)
+        self.disabled_attachments: set[tuple[str, str]] = set(disabled_attachments)
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        self.machines: dict[str, DeviceIntent] = {
+            name: device
+            for name, device in self.all_machines.items()
+            if name not in self.disabled_machines
+        }
         if not self.machines:
             raise EmulationError("lab has no machines to boot")
         self.segments: dict[str, Segment] = {}
@@ -55,12 +81,26 @@ class EmulatedNetwork:
         self._segments_of: dict[str, list[Segment]] = {name: [] for name in self.machines}
         self._build()
 
+    @staticmethod
+    def _interface_key(interface: InterfaceIntent) -> Optional[str]:
+        """The layer-2 segment key an interface attaches to, if any."""
+        if interface.collision_domain is not None:
+            return interface.collision_domain
+        if interface.network is not None:
+            return "net_%s" % interface.network
+        return None
+
     def _build(self) -> None:
         for name in sorted(self.machines):
             device = self.machines[name]
             for interface in device.interfaces:
                 if interface.is_management:
                     continue
+                key = None
+                if not interface.is_loopback:
+                    key = self._interface_key(interface)
+                    if key is not None and (name, key) in self.disabled_attachments:
+                        continue  # failed link end: interface is down
                 if interface.ip_address is not None:
                     existing = self._address_map.get(interface.ip_address)
                     if existing is not None and not interface.is_loopback:
@@ -69,16 +109,35 @@ class EmulatedNetwork:
                             % (interface.ip_address, existing[0], name)
                         )
                     self._address_map[interface.ip_address] = (name, interface)
-                if interface.is_loopback:
-                    continue
-                key = interface.collision_domain
-                if key is None and interface.network is not None:
-                    key = "net_%s" % interface.network
-                if key is None:
+                if interface.is_loopback or key is None:
                     continue
                 segment = self.segments.setdefault(key, Segment(key))
                 segment.members.append((device, interface))
                 self._segments_of[name].append(segment)
+
+    def segment_keys_between(self, left: str, right: str) -> list[str]:
+        """Segment keys joining two machines in the *full* topology.
+
+        Computed from ``all_machines`` so a downed link is still
+        addressable (for restoration) even while its attachments are
+        disabled.
+        """
+
+        def keys(machine: str) -> set[str]:
+            device = self.all_machines.get(machine)
+            if device is None:
+                return set()
+            return {
+                key
+                for key in (
+                    self._interface_key(interface)
+                    for interface in device.interfaces
+                    if not interface.is_management and not interface.is_loopback
+                )
+                if key is not None
+            }
+
+        return sorted(keys(left) & keys(right))
 
     # -- lookups --------------------------------------------------------------
     def device(self, name: str) -> DeviceIntent:

@@ -58,6 +58,23 @@ class IgpState:
         self.machine_areas: dict[str, set[int]] = {}
         self._build_adjacency()
 
+    def rebuild(self, network: Optional[EmulatedNetwork] = None) -> None:
+        """Accept a topology delta: recompute adjacency and drop caches.
+
+        The SPF and route caches are keyed on the instance, so they
+        must be cleared when the underlying fabric changes — this is
+        what lets a running lab apply link/node faults without being
+        rebuilt from parsed configuration.
+        """
+        if network is not None:
+            self.network = network
+        self.area_adjacency = {}
+        self.machine_areas = {}
+        type(self).spf.cache_clear()
+        type(self).routes.cache_clear()
+        self._build_adjacency()
+        metric_inc("ospf.rebuilds")
+
     # -- topology --------------------------------------------------------------
     def _build_adjacency(self) -> None:
         adjacency: dict[int, dict[str, dict[str, int]]] = {}

@@ -194,7 +194,14 @@ def parse_dynagen_lab(lab_dir: str | os.PathLike) -> LabIntent:
             continue
         machine = entry[: -len(".cfg")]
         with open(os.path.join(configs_dir, entry)) as handle:
-            lab.devices[machine] = parse_ios_config(handle.read(), machine)
+            try:
+                lab.devices[machine] = parse_ios_config(handle.read(), machine)
+            except ConfigParseError as exc:
+                # One broken router does not abort the lab parse: the
+                # boot layer raises (strict) or quarantines (non-strict).
+                device = DeviceIntent(name=machine, vendor="ios")
+                device.boot_errors.append(exc)
+                lab.devices[machine] = device
     return lab
 
 

@@ -307,7 +307,14 @@ def parse_junosphere_lab(lab_dir: str | os.PathLike) -> LabIntent:
             continue
         machine = entry[: -len(".conf")]
         with open(os.path.join(configs_dir, entry)) as handle:
-            lab.devices[machine] = parse_junos_config(handle.read(), machine)
+            try:
+                lab.devices[machine] = parse_junos_config(handle.read(), machine)
+            except ConfigParseError as exc:
+                # One broken router does not abort the lab parse: the
+                # boot layer raises (strict) or quarantines (non-strict).
+                device = DeviceIntent(name=machine, vendor="junos")
+                device.boot_errors.append(exc)
+                lab.devices[machine] = device
     _apply_vmm_wiring(lab, os.path.join(lab_dir, "topology.vmm"))
     return lab
 

@@ -22,9 +22,9 @@ from repro.emulation.intent import (
 )
 from repro.emulation.parsing.quagga_parse import (
     parse_bgpd,
-    parse_hostname,
     parse_isisd,
     parse_ospfd,
+    parse_zebra,
 )
 from repro.exceptions import ConfigParseError
 from repro.observability import metric_inc
@@ -188,31 +188,53 @@ def _interface_index(name: str) -> int | None:
 
 
 def _load_quagga(lab_dir: str, machine: str, device: DeviceIntent) -> None:
+    """Parse one machine's quagga tree, collecting errors per device.
+
+    A daemon config that fails to parse does not abort the whole lab
+    parse: the error is recorded in ``device.boot_errors`` and the boot
+    layer decides (strict mode raises it, non-strict quarantines the
+    machine).  This mirrors a real host, where one broken VM leaves the
+    rest of the lab starting normally.
+    """
     quagga_dir = os.path.join(lab_dir, machine, "etc", "quagga")
     if not os.path.isdir(quagga_dir):
         return
     zebra_path = os.path.join(quagga_dir, "zebra.conf")
     if os.path.exists(zebra_path):
         with open(zebra_path) as handle:
-            device.hostname = parse_hostname(handle.read())
+            try:
+                device.hostname = parse_zebra(handle.read(), zebra_path)
+            except ConfigParseError as exc:
+                device.boot_errors.append(exc)
     ospfd_path = os.path.join(quagga_dir, "ospfd.conf")
     if os.path.exists(ospfd_path):
         with open(ospfd_path) as handle:
-            device.ospf = parse_ospfd(handle.read(), ospfd_path)
-        for interface in device.interfaces:
-            if interface.name in device.ospf.interface_costs:
-                interface.ospf_cost = device.ospf.interface_costs[interface.name]
+            try:
+                device.ospf = parse_ospfd(handle.read(), ospfd_path)
+            except ConfigParseError as exc:
+                device.boot_errors.append(exc)
+        if device.ospf is not None:
+            for interface in device.interfaces:
+                if interface.name in device.ospf.interface_costs:
+                    interface.ospf_cost = device.ospf.interface_costs[interface.name]
     bgpd_path = os.path.join(quagga_dir, "bgpd.conf")
     if os.path.exists(bgpd_path):
         with open(bgpd_path) as handle:
-            device.bgp = parse_bgpd(handle.read(), bgpd_path)
+            try:
+                device.bgp = parse_bgpd(handle.read(), bgpd_path)
+            except ConfigParseError as exc:
+                device.boot_errors.append(exc)
     isisd_path = os.path.join(quagga_dir, "isisd.conf")
     if os.path.exists(isisd_path):
         with open(isisd_path) as handle:
-            device.isis = parse_isisd(handle.read(), isisd_path)
-        for interface in device.interfaces:
-            if interface.name in device.isis.interface_metrics:
-                interface.ospf_cost = device.isis.interface_metrics[interface.name]
+            try:
+                device.isis = parse_isisd(handle.read(), isisd_path)
+            except ConfigParseError as exc:
+                device.boot_errors.append(exc)
+        if device.isis is not None:
+            for interface in device.interfaces:
+                if interface.name in device.isis.interface_metrics:
+                    interface.ospf_cost = device.isis.interface_metrics[interface.name]
 
 
 def _load_services(lab_dir: str, machine: str, device: DeviceIntent) -> None:

@@ -25,6 +25,37 @@ def parse_hostname(text: str) -> str | None:
     return match.group(1) if match else None
 
 
+#: Directives zebra accepts at the top level; anything else means the
+#: file is corrupt and the daemon would refuse to start.
+_ZEBRA_KEYWORDS = frozenset(
+    {
+        "hostname", "password", "enable", "interface", "description",
+        "log", "ip", "ipv6", "line", "service", "banner", "debug",
+        "access-list", "route-map", "no", "table", "multicast",
+        "shutdown", "link-detect", "bandwidth", "exit", "end",
+    }
+)
+
+
+def parse_zebra(text: str, filename: str = "zebra.conf") -> str | None:
+    """Validate a zebra.conf and return its hostname.
+
+    Zebra itself exits on an unrecognised directive, so an invalid file
+    means the VM never boots — this parser reproduces that by raising
+    :class:`ConfigParseError` naming the file and line.
+    """
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith(("!", "#")):
+            continue
+        keyword = line.split()[0]
+        if keyword not in _ZEBRA_KEYWORDS:
+            raise ConfigParseError(
+                "unrecognised zebra directive %r" % keyword, filename, lineno
+            )
+    return parse_hostname(text)
+
+
 def parse_ospfd(text: str, filename: str = "ospfd.conf") -> OspfIntent:
     """Parse an ospfd.conf: interface costs plus network statements."""
     intent = OspfIntent()

@@ -2,23 +2,24 @@
 
 "Emulation provides a way to support experimentation, testing, and
 'what-if' analysis" — and the paper's conclusion suggests building
-incident emulation on top of the system.  These helpers re-boot a lab
-with links or whole machines failed, so an experiment can compare
-routing and reachability before and after an incident, deterministically.
+incident emulation on top of the system.  These helpers produce a new
+lab with links or whole machines failed, so an experiment can compare
+routing and reachability before and after an incident,
+deterministically.
 
-Failures operate on the *intent* (the parsed configurations), exactly
-as unplugging a cable or powering off a VM would: the remaining
-configuration is untouched and the protocols reconverge on the
-degraded fabric.
+The original lab is never mutated: each helper forks it (sharing the
+parsed intent — no re-parse, no deep copy) and applies the failure as a
+live topology fault, reconverging the protocols incrementally from the
+parent's state.  For failure *timelines* rather than single incidents,
+see :mod:`repro.resilience` — a ``FaultSchedule`` drives the same fault
+primitives against one running lab round by round.
 """
 
 from __future__ import annotations
 
-import copy
 from typing import Iterable
 
 from repro.emulation.lab import EmulatedLab
-from repro.exceptions import EmulationError
 
 
 def fail_links(
@@ -32,51 +33,37 @@ def fail_links(
     go down).  Raises when a pair shares no segment — failing a link
     that does not exist is almost certainly an experiment bug.
     """
-    intent = copy.deepcopy(lab.intent)
+    failed = lab.fork(converge=False)
+    failed.max_rounds = max_rounds
     for left, right in pairs:
-        segments = lab.network.shared_segments(left, right)
-        if not segments:
-            raise EmulationError(
-                "no link between %r and %r to fail" % (left, right)
-            )
-        doomed_keys = {segment.key for segment in segments}
-        for name in (left, right):
-            device = intent.devices[name]
-            device.interfaces = [
-                interface
-                for interface in device.interfaces
-                if not _on_segment(interface, doomed_keys)
-            ]
-    return EmulatedLab(intent, max_rounds=max_rounds, keep_history=False)
-
-
-def _on_segment(interface, segment_keys: set[str]) -> bool:
-    if interface.collision_domain in segment_keys:
-        return True
-    network = interface.network
-    return network is not None and ("net_%s" % network) in segment_keys
+        failed.link_down(left, right, reconverge=False)
+    failed.reconverge()
+    return failed
 
 
 def fail_node(lab: EmulatedLab, machine: str, max_rounds: int = 64) -> EmulatedLab:
     """A new lab with one machine powered off entirely."""
-    if machine not in lab.network.machines:
-        raise EmulationError("no machine named %r to fail" % (machine,))
-    intent = copy.deepcopy(lab.intent)
-    del intent.devices[machine]
-    return EmulatedLab(intent, max_rounds=max_rounds, keep_history=False)
+    failed = lab.fork(converge=False)
+    failed.max_rounds = max_rounds
+    failed.node_down(machine, reconverge=False)
+    failed.reconverge()
+    return failed
 
 
 def reachability_matrix(lab: EmulatedLab, machines: Iterable[str] | None = None) -> dict:
     """Loopback-to-loopback reachability between the given machines.
 
     Returns ``{(src, dst): bool}``; the comparison input for before/after
-    incident studies.
+    incident studies.  Machines absent from the (possibly degraded)
+    fabric are skipped.
     """
     names = sorted(machines) if machines is not None else sorted(lab.network.machines)
     matrix: dict[tuple[str, str], bool] = {}
     for src in names:
+        if src not in lab.network.machines:
+            continue
         for dst in names:
-            if src == dst:
+            if src == dst or dst not in lab.network.machines:
                 continue
             loopback = lab.network.device(dst).loopback
             if loopback is None:

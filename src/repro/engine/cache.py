@@ -85,7 +85,14 @@ class ArtifactCache:
         return os.path.join(self.directory, "objects", key[:2], "%s.json" % key)
 
     def get(self, key: str) -> Optional[Artifact]:
-        """The artifact for a key, or None; counts hit/miss metrics."""
+        """The artifact for a key, or None; counts hit/miss metrics.
+
+        Disk objects are verified on read: every inline-text entry must
+        hash back to its recorded ``sha``.  A mismatch (bit rot, a
+        truncated write, hand-editing) evicts the object and counts
+        ``engine.cache_corrupt`` — the caller sees a plain miss and
+        re-renders, never a silently wrong configuration.
+        """
         with self._lock:
             artifact = self._memory.get(key)
         if artifact is None and self.directory:
@@ -95,7 +102,11 @@ class ArtifactCache:
                     with open(path) as handle:
                         artifact = Artifact.from_dict(json.load(handle))
                 except (OSError, ValueError, KeyError):
-                    artifact = None  # corrupt object: treat as a miss
+                    artifact = None  # unreadable object: treat as a miss
+                    self._evict_corrupt(key, path)
+                if artifact is not None and not _artifact_intact(artifact):
+                    artifact = None
+                    self._evict_corrupt(key, path)
                 if artifact is not None:
                     with self._lock:
                         self._memory[key] = artifact
@@ -108,6 +119,16 @@ class ArtifactCache:
             self.hits += 1
         metric_inc("engine.cache_hits")
         return artifact
+
+    def _evict_corrupt(self, key: str, path: str) -> None:
+        """Remove a corrupt disk object so the next read is a clean miss."""
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        with self._lock:
+            self._memory.pop(key, None)
+        metric_inc("engine.cache_corrupt")
 
     def put(self, artifact: Artifact) -> None:
         with self._lock:
@@ -158,6 +179,17 @@ class ArtifactCache:
                 return json.load(handle)
         except (OSError, ValueError):
             return None
+
+
+def _artifact_intact(artifact: Artifact) -> bool:
+    """True when every inline-text entry hashes back to its recorded sha."""
+    for entry in artifact.files:
+        text = entry.get("text")
+        if text is None:
+            continue
+        if text_sha(text) != entry.get("sha"):
+            return False
+    return True
 
 
 def _atomic_write_json(path: str, data: Any) -> None:

@@ -22,7 +22,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
 from repro.exceptions import EngineError
-from repro.observability import metric_inc, span
+from repro.observability import WARNING, log_event, metric_inc, span
+from repro.resilience import RetryPolicy, retry_call
 
 from repro.engine.executors import run_calls
 
@@ -126,12 +127,61 @@ class TaskGraph:
         return order
 
 
-class Scheduler:
-    """Runs a task graph wave by wave over an executor."""
+@dataclass
+class TaskFailure:
+    """Picklable record of one task's failure (crosses process pools)."""
 
-    def __init__(self, executor):
+    task_id: str
+    error: str
+    error_type: str
+
+    def __str__(self) -> str:
+        return "%s: %s" % (self.error_type, self.error)
+
+
+def _guarded_call(payload):
+    """Module-level task wrapper: retry, then fail soft or hard.
+
+    ``payload`` is ``(fn, arg, task_id, policy, strict)`` so the wrapper
+    stays picklable for process pools.  In non-strict mode an exception
+    becomes a :class:`TaskFailure` sentinel instead of propagating out
+    of the worker, which is what lets one device's failure yield a
+    partial build instead of aborting the whole DAG.
+    """
+    fn, arg, task_id, policy, strict = payload
+    try:
+        if policy is not None and policy.max_attempts > 1:
+            return retry_call(
+                lambda: fn(arg), policy=policy, operation="task.%s" % task_id
+            )
+        return fn(arg)
+    except Exception as exc:
+        if strict:
+            raise
+        return TaskFailure(
+            task_id=task_id, error=str(exc), error_type=type(exc).__name__
+        )
+
+
+class Scheduler:
+    """Runs a task graph wave by wave over an executor.
+
+    With ``strict=True`` (the default) the first task exception aborts
+    the run, exactly as before.  With ``strict=False`` a failing task is
+    quarantined into :attr:`failures`, its transitive dependents are
+    moved to :attr:`skipped`, and every unaffected task still runs — the
+    caller gets a partial result set instead of nothing.  An optional
+    ``retry_policy`` retries each task's transient errors first.
+    """
+
+    def __init__(self, executor, retry_policy: RetryPolicy | None = None,
+                 strict: bool = True):
         self.executor = executor
+        self.retry_policy = retry_policy
+        self.strict = strict
         self.tasks_run = 0
+        self.failures: dict[str, TaskFailure] = {}
+        self.skipped: set[str] = set()
 
     def run(self, graph: TaskGraph) -> dict[str, Any]:
         """Execute every task; returns ``{task id: result}``."""
@@ -141,6 +191,9 @@ class Scheduler:
         pending: dict[str, Task] = {task.task_id: task for task in graph}
 
         while pending:
+            self._cascade_skips(pending)
+            if not pending:
+                break
             wave = [
                 task for task in pending.values()
                 if all(dep in done for dep in task.deps)
@@ -163,24 +216,70 @@ class Scheduler:
 
         return results
 
+    def _cascade_skips(self, pending) -> None:
+        """Move every dependent of a failed/skipped task to ``skipped``."""
+        if not self.failures and not self.skipped:
+            return
+        blocked = set(self.failures) | self.skipped
+        changed = True
+        while changed:
+            changed = False
+            for task_id, task in list(pending.items()):
+                if any(dep in blocked for dep in task.deps):
+                    pending.pop(task_id)
+                    self.skipped.add(task_id)
+                    blocked.add(task_id)
+                    metric_inc("engine.tasks_skipped")
+                    log_event(
+                        WARNING,
+                        "engine.task_skipped",
+                        "task %s skipped: dependency failed" % task_id,
+                        task=task_id,
+                    )
+                    changed = True
+
+    def _wrap(self, task: Task):
+        """The ``(fn, arg)`` actually submitted for ``task``."""
+        if self.strict and self.retry_policy is None:
+            return task.fn, task.arg
+        payload = (task.fn, task.arg, task.task_id, self.retry_policy,
+                   self.strict)
+        return _guarded_call, payload
+
     def _run_batch(self, phase, batch, graph, results, done, pending) -> None:
         """Run one wave's tasks of one phase: parent inline, rest pooled."""
         parent_tasks = [task for task in batch if task.in_parent]
         pool_tasks = [task for task in batch if not task.in_parent]
         for task in parent_tasks:
+            fn, arg = self._wrap(task)
             if task.task_id != phase:
                 with span(task.task_id, task=task.task_id):
-                    outcome = task.fn(task.arg)
+                    outcome = fn(arg)
             else:
-                outcome = task.fn(task.arg)
+                outcome = fn(arg)
             self._finish(task, outcome, graph, results, done, pending)
         if pool_tasks:
-            calls = [(task.task_id, task.fn, task.arg) for task in pool_tasks]
+            calls = [
+                (task.task_id,) + self._wrap(task) for task in pool_tasks
+            ]
             outcomes = run_calls(self.executor, calls)
             for task, outcome in zip(pool_tasks, outcomes):
                 self._finish(task, outcome, graph, results, done, pending)
 
     def _finish(self, task, outcome, graph, results, done, pending) -> None:
+        if isinstance(outcome, TaskFailure):
+            self.failures[task.task_id] = outcome
+            pending.pop(task.task_id, None)
+            metric_inc("engine.tasks_failed")
+            log_event(
+                WARNING,
+                "engine.task_failed",
+                "task %s failed: %s" % (task.task_id, outcome),
+                task=task.task_id,
+                error=outcome.error,
+                error_type=outcome.error_type,
+            )
+            return
         if isinstance(outcome, Expansion):
             self._expand(task, outcome, graph, pending, done)
             outcome = outcome.result

@@ -80,9 +80,17 @@ class BuildReport:
     files_written: int = 0
     files_unchanged: int = 0
     deployment: Any = None
+    #: task id -> error text for tasks that failed in non-strict mode
+    failed_tasks: dict = field(default_factory=dict)
+    #: task ids skipped because a dependency failed
+    skipped_tasks: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed_tasks and not self.skipped_tasks
 
     def summary(self) -> str:
-        return (
+        text = (
             "%s build: %d devices (%d rendered, %d from cache), "
             "%d tasks, cache %d hit / %d miss, %d files written, %d unchanged"
             % (
@@ -97,6 +105,14 @@ class BuildReport:
                 self.files_unchanged,
             )
         )
+        if not self.ok:
+            text += ", %d task(s) FAILED (%s)" % (
+                len(self.failed_tasks),
+                ", ".join(sorted(self.failed_tasks)),
+            )
+            if self.skipped_tasks:
+                text += ", %d skipped" % len(self.skipped_tasks)
+        return text
 
 
 @dataclass
@@ -158,11 +174,15 @@ class BuildEngine:
         cache: ArtifactCache | None = None,
         cache_dir: str | os.PathLike | None = None,
         use_cache: bool = True,
+        strict: bool = True,
+        retry_policy=None,
     ):
         self.platform = platform
         self.rules = tuple(rules)
         self.host = host
         self.output_dir = str(output_dir) if output_dir else None
+        self.strict = strict
+        self.retry_policy = retry_policy
         self.executor = executor if executor is not None else make_executor(jobs)
         if not use_cache:
             self.cache: ArtifactCache | None = None
@@ -229,7 +249,7 @@ class BuildEngine:
                     arg=(lab_name, max_rounds, deploy_host),
                     deps=("compile",), phase="deploy", in_parent=True,
                 )
-            scheduler = Scheduler(self.executor)
+            scheduler = self._scheduler()
             results = scheduler.run(graph)
         report = self._assemble_report(results, scheduler, telemetry, mode="full")
         report.deployment = results.get("deploy")
@@ -296,7 +316,7 @@ class BuildEngine:
             graph = TaskGraph()
             for task in self._plan_render_tasks(limit_to=dirty):
                 graph.add(task)
-            scheduler = Scheduler(self.executor)
+            scheduler = self._scheduler()
             results = scheduler.run(graph)
             self._delete_artifacts(removed)
         report = self._assemble_report(results, scheduler, telemetry, mode=mode)
@@ -330,12 +350,23 @@ class BuildEngine:
         metric_inc("engine.builds")
         return Expansion(tasks=self._plan_render_tasks(), result=self.nidb)
 
+    def _scheduler(self) -> Scheduler:
+        return Scheduler(
+            self.executor, retry_policy=self.retry_policy, strict=self.strict
+        )
+
     def _task_deploy(self, arg):
         from repro.deployment import deploy as deploy_lab
+        from repro.resilience import NO_RETRY
 
         lab_name, max_rounds, deploy_host = arg
         return deploy_lab(
-            self.lab_dir, host=deploy_host, lab_name=lab_name, max_rounds=max_rounds
+            self.lab_dir,
+            host=deploy_host,
+            lab_name=lab_name,
+            max_rounds=max_rounds,
+            strict=self.strict,
+            retry_policy=self.retry_policy or NO_RETRY,
         )
 
     # -- render planning ----------------------------------------------------
@@ -481,6 +512,11 @@ class BuildEngine:
             lab_dir=self.lab_dir,
             mode=mode,
             executor=self.executor.kind,
+            failed_tasks={
+                task_id: str(failure)
+                for task_id, failure in scheduler.failures.items()
+            },
+            skipped_tasks=sorted(scheduler.skipped),
         )
         for task_id, record in results.items():
             if not isinstance(record, dict) or "artifact" not in record:
@@ -500,6 +536,14 @@ class BuildEngine:
                     report.rendered_devices.append(record["owner"])
                 if self.cache is not None and artifact.key:
                     self.cache.put(artifact)
+
+        if self.nidb is None:
+            # load/compile failed in non-strict mode: there is nothing to
+            # fingerprint or collect — return the (empty) partial report.
+            report.tasks_run = scheduler.tasks_run
+            gauge_set("engine.devices_rendered", 0)
+            gauge_set("engine.devices_cached", 0)
+            return report
 
         self.fingerprints = self.nidb.fingerprints()
         renderable = [device for device in self._context_devices() if device.render]

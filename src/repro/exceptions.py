@@ -66,6 +66,34 @@ class RenderError(ReproError):
     """Template rendering of the resource database failed."""
 
 
+class TransientError(ReproError):
+    """An operation failed in a way that is safe to retry.
+
+    Raised (or wrapped) by layers that talk to unreliable substrates —
+    emulation hosts, virtual machines, the artifact store — to signal
+    that a :class:`repro.resilience.RetryPolicy` may re-attempt the
+    call.  Permanent failures keep their subsystem-specific classes and
+    are never retried.
+    """
+
+
+class RetryExhaustedError(ReproError):
+    """Every attempt allowed by a retry policy failed.
+
+    ``last_error`` carries the final underlying exception and
+    ``attempts`` how many tries the budget allowed.
+    """
+
+    def __init__(self, operation: str, attempts: int, last_error: BaseException):
+        super().__init__(
+            "%s failed after %d attempt%s: %s"
+            % (operation, attempts, "" if attempts == 1 else "s", last_error)
+        )
+        self.operation = operation
+        self.attempts = attempts
+        self.last_error = last_error
+
+
 class DeploymentError(ReproError):
     """Deployment of rendered configurations to an emulation host failed."""
 
@@ -90,6 +118,19 @@ class ConfigParseError(EmulationError):
                 location += ":%d" % self.line
             location += ")"
         return super().__str__() + location
+
+
+class FaultScheduleError(EmulationError):
+    """A fault schedule is malformed or references unknown topology."""
+
+    def __init__(self, message: str, line: int | None = None):
+        super().__init__(message)
+        self.line = line
+
+    def __str__(self) -> str:
+        if self.line is not None:
+            return "%s (line %d)" % (super().__str__(), self.line)
+        return super().__str__()
 
 
 class MeasurementError(ReproError):

@@ -26,7 +26,8 @@ from repro.exceptions import MeasurementError
 from repro.measurement.mapping import IpMapper
 from repro.measurement.parsers import template_for_command
 from repro.nidb import Nidb
-from repro.observability import metric_inc, span
+from repro.observability import WARNING, log_event, metric_inc, span
+from repro.resilience import NO_RETRY, RetryPolicy, retry_call
 
 
 @dataclass
@@ -40,6 +41,12 @@ class MeasurementResult:
     parsed: list[dict] = field(default_factory=list)
     mapped_path: list[str] = field(default_factory=list)
     as_path: list[int] = field(default_factory=list)
+    #: error text when this host's measurement failed; None on success
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
 
 @dataclass
@@ -55,20 +62,38 @@ class MeasurementRun:
     def paths(self) -> list[list[str]]:
         return [result.mapped_path for result in self.results if result.mapped_path]
 
+    def failures(self) -> list[MeasurementResult]:
+        """Results whose host failed (error captured, no output)."""
+        return [result for result in self.results if not result.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures()
+
 
 class MeasurementClient:
     """Fans commands out to lab VMs and structures the responses."""
 
-    def __init__(self, lab: EmulatedLab, nidb: Optional[Nidb] = None):
+    def __init__(
+        self,
+        lab: EmulatedLab,
+        nidb: Optional[Nidb] = None,
+        retry_policy: RetryPolicy = NO_RETRY,
+    ):
         self.lab = lab
         self.nidb = nidb
+        self.retry_policy = retry_policy
         self._mapper = IpMapper(nidb) if nidb is not None else None
 
     def send(self, command: str, hosts) -> MeasurementRun:
         """Run ``command`` on each host (name or management address).
 
         The fan-out runs under a ``measure`` span with one child per
-        host; parse volume is counted as ``measure.rows_parsed``.
+        host; parse volume is counted as ``measure.rows_parsed``.  One
+        failing host does not abort the fan-out: its result carries the
+        error (``result.ok`` is false) and ``measure.failures`` counts
+        it, while the remaining hosts are still measured.  Transient VM
+        errors are retried under the client's retry policy first.
         """
         run = MeasurementRun(command=command)
         template = template_for_command(command)
@@ -76,26 +101,53 @@ class MeasurementClient:
         with span("measure.send", command=command, hosts=len(hosts)):
             for host in hosts:
                 with span("measure.%s" % host, host=str(host)):
-                    vm = self._resolve(host)
-                    output = vm.run(command)
-                    result = MeasurementResult(
-                        host=str(host),
-                        machine=vm.name,
-                        command=command,
-                        output=output,
-                    )
-                    if template is not None:
-                        result.parsed = template.parse_text_to_dicts(output)
-                        metric_inc("measure.rows_parsed", len(result.parsed))
-                    if self._mapper is not None and command.startswith("traceroute"):
-                        addresses = [
-                            row["ADDRESS"] for row in result.parsed if row.get("ADDRESS")
-                        ]
-                        result.mapped_path = self._mapper.map_path(addresses)
-                        result.as_path = self._mapper.as_path(addresses)
-                    metric_inc("measure.commands_sent")
+                    try:
+                        result = self._measure_one(host, command, template)
+                    except Exception as exc:
+                        metric_inc("measure.failures")
+                        log_event(
+                            WARNING,
+                            "fault.measure",
+                            "measurement on %s failed: %s" % (host, exc),
+                            host=str(host),
+                            command=command,
+                            error=str(exc),
+                            error_type=type(exc).__name__,
+                        )
+                        result = MeasurementResult(
+                            host=str(host),
+                            machine=str(host),
+                            command=command,
+                            output="",
+                            error=str(exc),
+                        )
                 run.results.append(result)
         return run
+
+    def _measure_one(self, host, command: str, template) -> MeasurementResult:
+        vm = self._resolve(host)
+        output = retry_call(
+            lambda: vm.run(command),
+            policy=self.retry_policy,
+            operation="measure.run",
+        )
+        result = MeasurementResult(
+            host=str(host),
+            machine=vm.name,
+            command=command,
+            output=output,
+        )
+        if template is not None:
+            result.parsed = template.parse_text_to_dicts(output)
+            metric_inc("measure.rows_parsed", len(result.parsed))
+        if self._mapper is not None and command.startswith("traceroute"):
+            addresses = [
+                row["ADDRESS"] for row in result.parsed if row.get("ADDRESS")
+            ]
+            result.mapped_path = self._mapper.map_path(addresses)
+            result.as_path = self._mapper.as_path(addresses)
+        metric_inc("measure.commands_sent")
+        return result
 
     def _resolve(self, host):
         host = str(host)

@@ -1,0 +1,57 @@
+"""Fault tolerance for the pipeline: retries, quarantine, chaos.
+
+The resilience package makes failure a first-class, observable state of
+every runtime layer:
+
+* :mod:`repro.resilience.policy` — deterministic retry with exponential
+  backoff and deadline budgets (:class:`RetryPolicy`, :func:`retry_call`);
+* :mod:`repro.resilience.diagnostics` — structured failure records
+  (:class:`BootDiagnostic`, :class:`ConvergenceReport`);
+* :mod:`repro.resilience.faults` — timed fault schedules
+  (:class:`FaultSchedule`, :class:`FaultEvent`) with a one-line DSL;
+* :mod:`repro.resilience.chaos` — applying schedules to a running lab
+  (:func:`apply_schedule`);
+* :mod:`repro.resilience.doubles` — fault-injecting test doubles
+  (:class:`FlakyHost`, :class:`FlakyVM`).
+"""
+
+from repro.resilience.chaos import ChaosReport, ChaosStep, apply_schedule
+from repro.resilience.diagnostics import (
+    CONVERGED,
+    OSCILLATING,
+    PARTITIONED,
+    UNDETERMINED,
+    BootDiagnostic,
+    ConvergenceReport,
+)
+from repro.resilience.doubles import FlakyHost, FlakyVM, inject_flaky_vm
+from repro.resilience.faults import FaultEvent, FaultSchedule
+from repro.resilience.policy import (
+    DEFAULT_RETRY,
+    NO_RETRY,
+    RetryAttempt,
+    RetryPolicy,
+    retry_call,
+)
+
+__all__ = [
+    "BootDiagnostic",
+    "ChaosReport",
+    "ChaosStep",
+    "ConvergenceReport",
+    "CONVERGED",
+    "DEFAULT_RETRY",
+    "FaultEvent",
+    "FaultSchedule",
+    "FlakyHost",
+    "FlakyVM",
+    "NO_RETRY",
+    "OSCILLATING",
+    "PARTITIONED",
+    "RetryAttempt",
+    "RetryPolicy",
+    "UNDETERMINED",
+    "apply_schedule",
+    "inject_flaky_vm",
+    "retry_call",
+]

@@ -1,0 +1,136 @@
+"""Apply a fault schedule to a running lab and watch it reconverge.
+
+:func:`apply_schedule` is the chaos-engineering driver: it validates a
+:class:`~repro.resilience.faults.FaultSchedule` against a booted
+:class:`~repro.emulation.lab.EmulatedLab`, then walks the schedule in
+round order — all events sharing a round are applied as one atomic
+topology delta, the lab reconverges incrementally (resuming from the
+previous BGP state, no config re-parse), and the outcome is recorded as
+a :class:`ChaosStep`.  The result is a :class:`ChaosReport` an incident
+study can diff round by round.
+
+The lab is mutated in place.  Callers who need the pristine lab
+afterwards should pass ``lab.fork()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.observability import INFO, WARNING, log_event, metric_inc, span
+
+from repro.resilience.diagnostics import ConvergenceReport
+from repro.resilience.faults import (
+    LINK_DOWN,
+    LINK_UP,
+    NODE_DOWN,
+    NODE_UP,
+    FaultEvent,
+    FaultSchedule,
+)
+
+
+@dataclass
+class ChaosStep:
+    """One schedule round: the events applied and how the lab settled."""
+
+    at_round: int
+    events: list[FaultEvent]
+    report: ConvergenceReport
+
+    def to_dict(self) -> dict:
+        return {
+            "at_round": self.at_round,
+            "events": [event.to_dict() for event in self.events],
+            "report": self.report.to_dict(),
+        }
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of running a whole schedule against a lab."""
+
+    steps: list[ChaosStep] = field(default_factory=list)
+
+    @property
+    def final(self) -> ConvergenceReport | None:
+        return self.steps[-1].report if self.steps else None
+
+    @property
+    def settled(self) -> bool:
+        """Did the lab converge after the last injected incident?"""
+        return bool(self.steps) and self.steps[-1].report.converged
+
+    @property
+    def total_rounds(self) -> int:
+        return sum(step.report.rounds for step in self.steps)
+
+    def to_dict(self) -> dict:
+        return {
+            "steps": [step.to_dict() for step in self.steps],
+            "settled": self.settled,
+            "total_rounds": self.total_rounds,
+        }
+
+    def summary(self) -> str:
+        if not self.steps:
+            return "no fault events applied"
+        lines = []
+        for step in self.steps:
+            lines.append(
+                "round %d: %s -> %s"
+                % (
+                    step.at_round,
+                    "; ".join(str(event) for event in step.events),
+                    step.report.summary(),
+                )
+            )
+        return "\n".join(lines)
+
+
+def _apply_event(lab, event: FaultEvent) -> None:
+    if event.kind == LINK_DOWN:
+        lab.link_down(*event.target, reconverge=False)
+    elif event.kind == LINK_UP:
+        lab.link_up(*event.target, reconverge=False)
+    elif event.kind == NODE_DOWN:
+        lab.node_down(event.target[0], reconverge=False)
+    else:  # NODE_UP — FaultEvent already validated the kind
+        lab.node_up(event.target[0], reconverge=False)
+
+
+def apply_schedule(lab, schedule: FaultSchedule) -> ChaosReport:
+    """Run every event of ``schedule`` against ``lab``, in round order.
+
+    Mutates the lab.  Returns the per-incident convergence record; all
+    injections also land in telemetry as ``fault.*`` events, so the
+    JSONL trace alone reconstructs the incident timeline.
+    """
+    schedule.validate(lab)
+    report = ChaosReport()
+    with span("chaos.schedule", events=len(schedule)):
+        for at_round, events in schedule.grouped():
+            for event in events:
+                log_event(
+                    INFO,
+                    "fault.%s" % event.kind,
+                    "injecting %s" % event,
+                    at_round=at_round,
+                    kind=event.kind,
+                    target=list(event.target),
+                )
+                metric_inc("fault.injected")
+                _apply_event(lab, event)
+            with span("chaos.reconverge", at_round=at_round):
+                convergence = lab.reconverge()
+            step = ChaosStep(at_round=at_round, events=list(events), report=convergence)
+            report.steps.append(step)
+            level = INFO if convergence.converged else WARNING
+            log_event(
+                level,
+                "fault.reconverge",
+                "after round-%d events: %s" % (at_round, convergence.summary()),
+                at_round=at_round,
+                **convergence.to_dict(),
+            )
+    return report

@@ -1,0 +1,112 @@
+"""Structured failure diagnostics: boot quarantine and convergence.
+
+A :class:`BootDiagnostic` is the answer to "*which* device broke, and
+why" — the file, line and cause of a configuration that failed to parse
+or boot.  Devices carrying one are quarantined in non-strict boots
+instead of aborting the whole lab.
+
+A :class:`ConvergenceReport` classifies how a boot (or reconvergence
+after a fault) ended against its round deadline:
+
+* ``converged`` — the protocol state reached a fixpoint;
+* ``oscillating`` — the state revisits itself with a period > 1
+  (persistent oscillation, the §7.2 Bad-Gadget behaviour);
+* ``partitioned`` — no fixpoint within the deadline *and* the active
+  fabric is disconnected, so full convergence is impossible;
+* ``undetermined`` — the deadline elapsed without a verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+CONVERGED = "converged"
+OSCILLATING = "oscillating"
+PARTITIONED = "partitioned"
+UNDETERMINED = "undetermined"
+
+
+@dataclass(frozen=True)
+class BootDiagnostic:
+    """Why one device could not boot: file, line, and cause."""
+
+    device: str
+    cause: str
+    file: Optional[str] = None
+    line: Optional[int] = None
+    stage: str = "parse"  # parse | boot
+
+    @classmethod
+    def from_error(cls, device: str, error: BaseException, stage: str = "parse"):
+        file = getattr(error, "filename", None)
+        line = getattr(error, "line", None)
+        # ConfigParseError.__str__ appends "(file:line)"; keep the bare
+        # cause here since file/line are structured fields already.
+        cause = error.args[0] if error.args else str(error)
+        return cls(device=device, cause=str(cause), file=file, line=line, stage=stage)
+
+    def location(self) -> str:
+        if self.file is None:
+            return self.device
+        if self.line is None:
+            return self.file
+        return "%s:%d" % (self.file, self.line)
+
+    def to_dict(self) -> dict:
+        return {
+            "device": self.device,
+            "cause": self.cause,
+            "file": self.file,
+            "line": self.line,
+            "stage": self.stage,
+        }
+
+    def __str__(self) -> str:
+        return "%s quarantined (%s): %s" % (self.device, self.location(), self.cause)
+
+
+@dataclass
+class ConvergenceReport:
+    """How a convergence run ended, against its round deadline."""
+
+    status: str  # converged | oscillating | partitioned | undetermined
+    rounds: int
+    deadline: int
+    period: int = 0
+    components: int = 1
+    quarantined: list = field(default_factory=list)  # device names
+
+    @property
+    def converged(self) -> bool:
+        return self.status == CONVERGED
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.quarantined)
+
+    def to_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "rounds": self.rounds,
+            "deadline": self.deadline,
+            "period": self.period,
+            "components": self.components,
+            "quarantined": list(self.quarantined),
+        }
+
+    def summary(self) -> str:
+        text = "%s after %d/%d rounds" % (self.status, self.rounds, self.deadline)
+        if self.status == OSCILLATING:
+            text += " (period %d)" % self.period
+        if self.status == PARTITIONED:
+            text += " (%d fabric components)" % self.components
+        if self.quarantined:
+            text += ", %d quarantined: %s" % (
+                len(self.quarantined),
+                ", ".join(sorted(self.quarantined)),
+            )
+        return text
+
+    def __str__(self) -> str:
+        return self.summary()

@@ -1,0 +1,96 @@
+"""Fault-injecting test doubles for the deployment and measurement paths.
+
+These wrap real objects and make their first *N* calls fail with
+:class:`~repro.exceptions.TransientError`, then delegate normally — the
+shape of a host that drops one SSH connection or a VM that is still
+booting.  They exist so retry behaviour is exercised end-to-end by the
+test suite (and by ``repro chaos`` demos) without patching internals:
+
+* :class:`FlakyHost` wraps an emulation host's ``receive`` / ``extract``
+  / ``lstart`` stages;
+* :class:`FlakyVM` wraps a :class:`~repro.emulation.vm.VirtualMachine`'s
+  ``run``;
+* :func:`inject_flaky_vm` swaps a booted lab's VM handle for a flaky
+  one in place.
+
+Everything not explicitly wrapped is delegated via ``__getattr__``, so
+a double is drop-in wherever the real object is accepted.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.exceptions import TransientError
+
+_HOST_STAGES = ("receive", "extract", "lstart")
+
+
+class FlakyHost:
+    """An emulation host whose first ``failures`` calls per stage fail."""
+
+    def __init__(self, host, failures: int = 1, stages: Iterable[str] = _HOST_STAGES):
+        self._host = host
+        self._remaining = {stage: failures for stage in stages}
+        #: every stage call in order, for assertions on retry behaviour
+        self.calls: list[str] = []
+
+    def _maybe_fail(self, stage: str) -> None:
+        self.calls.append(stage)
+        remaining = self._remaining.get(stage, 0)
+        if remaining > 0:
+            self._remaining[stage] = remaining - 1
+            raise TransientError(
+                "injected transient %s failure on host %s"
+                % (stage, getattr(self._host, "name", "?"))
+            )
+
+    def receive(self, archive_path, lab_name):
+        self._maybe_fail("receive")
+        return self._host.receive(archive_path, lab_name)
+
+    def extract(self, archive_path, lab_name):
+        self._maybe_fail("extract")
+        return self._host.extract(archive_path, lab_name)
+
+    def lstart(self, lab_dir, lab_name, **boot_options):
+        self._maybe_fail("lstart")
+        return self._host.lstart(lab_dir, lab_name, **boot_options)
+
+    def __getattr__(self, name):
+        return getattr(self._host, name)
+
+    def __repr__(self) -> str:
+        return "FlakyHost(%r, remaining=%r)" % (self._host, self._remaining)
+
+
+class FlakyVM:
+    """A VM whose first ``failures`` command executions fail."""
+
+    def __init__(self, vm, failures: int = 1):
+        self._vm = vm
+        self._remaining = failures
+        self.calls: list[str] = []
+
+    def run(self, command: str) -> str:
+        self.calls.append(command)
+        if self._remaining > 0:
+            self._remaining -= 1
+            raise TransientError(
+                "injected transient failure on %s running %r"
+                % (self._vm.name, command)
+            )
+        return self._vm.run(command)
+
+    def __getattr__(self, name):
+        return getattr(self._vm, name)
+
+    def __repr__(self) -> str:
+        return "FlakyVM(%s, remaining=%d)" % (self._vm.name, self._remaining)
+
+
+def inject_flaky_vm(lab, machine: str, failures: int = 1) -> FlakyVM:
+    """Replace ``lab``'s handle for ``machine`` with a flaky wrapper."""
+    flaky = FlakyVM(lab.vm(machine), failures=failures)
+    lab._vms[machine] = flaky
+    return flaky

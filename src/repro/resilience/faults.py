@@ -1,0 +1,171 @@
+"""Fault schedules: timed topology events against a running lab.
+
+A :class:`FaultSchedule` is an ordered list of :class:`FaultEvent`
+entries — ``link_down``/``link_up``/``node_down``/``node_up`` pinned to
+a BGP round — written either programmatically or in a one-line-per-event
+DSL::
+
+    # take the r1-r2 link down two rounds in, restore it at round 5
+    at 2 link_down r1 r2
+    at 5 link_up r1 r2
+    at 7 node_down r9
+
+Events sharing an ``at_round`` are applied together before the lab
+reconverges, so a correlated incident (a whole PoP failing) is one
+atomic topology delta.  Schedules are plain data: they validate against
+a lab without mutating it, and round-trip through ``to_dicts`` for JSON
+transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.exceptions import FaultScheduleError
+
+LINK_DOWN = "link_down"
+LINK_UP = "link_up"
+NODE_DOWN = "node_down"
+NODE_UP = "node_up"
+
+EVENT_KINDS = (LINK_DOWN, LINK_UP, NODE_DOWN, NODE_UP)
+_LINK_KINDS = (LINK_DOWN, LINK_UP)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed topology change: kind + target at a BGP round."""
+
+    at_round: int
+    kind: str  # link_down | link_up | node_down | node_up
+    target: tuple  # (left, right) for links, (machine,) for nodes
+
+    def __post_init__(self):
+        if self.kind not in EVENT_KINDS:
+            raise FaultScheduleError(
+                "unknown fault kind %r (choose from %s)"
+                % (self.kind, ", ".join(EVENT_KINDS))
+            )
+        expected = 2 if self.kind in _LINK_KINDS else 1
+        if len(self.target) != expected:
+            raise FaultScheduleError(
+                "%s takes %d target name%s, got %r"
+                % (self.kind, expected, "" if expected == 1 else "s", self.target)
+            )
+        if self.at_round < 0:
+            raise FaultScheduleError("at_round must be >= 0, got %d" % self.at_round)
+
+    def to_dict(self) -> dict:
+        return {"at_round": self.at_round, "kind": self.kind,
+                "target": list(self.target)}
+
+    def __str__(self) -> str:
+        return "at %d %s %s" % (self.at_round, self.kind, " ".join(self.target))
+
+
+class FaultSchedule:
+    """An ordered set of fault events, sorted by round then input order."""
+
+    def __init__(self, events: Iterable[FaultEvent] = ()):
+        self.events: list[FaultEvent] = sorted(
+            events, key=lambda event: event.at_round
+        )
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "FaultSchedule":
+        """Parse the DSL: ``at <round> <kind> <name> [<name>]`` per line."""
+        events = []
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if parts[0] != "at" or len(parts) < 3:
+                raise FaultScheduleError(
+                    "expected 'at <round> <kind> <targets...>', got %r" % line,
+                    line=lineno,
+                )
+            try:
+                at_round = int(parts[1])
+            except ValueError:
+                raise FaultScheduleError(
+                    "bad round number %r" % parts[1], line=lineno
+                ) from None
+            try:
+                events.append(
+                    FaultEvent(at_round=at_round, kind=parts[2],
+                               target=tuple(parts[3:]))
+                )
+            except FaultScheduleError as exc:
+                raise FaultScheduleError(str(exc), line=lineno) from None
+        return cls(events)
+
+    @classmethod
+    def load(cls, path: str) -> "FaultSchedule":
+        with open(path) as handle:
+            return cls.parse(handle.read())
+
+    @classmethod
+    def from_dicts(cls, entries: Iterable[dict]) -> "FaultSchedule":
+        return cls(
+            FaultEvent(
+                at_round=int(entry["at_round"]),
+                kind=entry["kind"],
+                target=tuple(entry["target"]),
+            )
+            for entry in entries
+        )
+
+    def to_dicts(self) -> list[dict]:
+        return [event.to_dict() for event in self.events]
+
+    # -- validation ----------------------------------------------------------
+    def validate(self, lab) -> None:
+        """Check every event's targets exist in the lab's full topology.
+
+        Uses the *full* machine set (quarantined and downed machines
+        included) so a schedule can legitimately restore a machine that
+        an earlier event took down.
+        """
+        known = set(lab.network.all_machines)
+        for event in self.events:
+            for name in event.target:
+                if name not in known:
+                    raise FaultScheduleError(
+                        "%s targets unknown machine %r" % (event, name)
+                    )
+            if event.kind in _LINK_KINDS:
+                left, right = event.target
+                if not lab.network.segment_keys_between(left, right):
+                    raise FaultScheduleError(
+                        "%s: no link between %r and %r" % (event, left, right)
+                    )
+
+    # -- iteration -----------------------------------------------------------
+    def rounds(self) -> list[int]:
+        seen: list[int] = []
+        for event in self.events:
+            if event.at_round not in seen:
+                seen.append(event.at_round)
+        return seen
+
+    def grouped(self) -> Iterator[tuple[int, list[FaultEvent]]]:
+        """Events grouped by round, in round order."""
+        for at_round in self.rounds():
+            yield at_round, [
+                event for event in self.events if event.at_round == at_round
+            ]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __repr__(self) -> str:
+        return "FaultSchedule(%d events over %d rounds)" % (
+            len(self.events),
+            len(self.rounds()),
+        )

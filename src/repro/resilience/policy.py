@@ -1,0 +1,161 @@
+"""Deterministic retry policies with backoff, deadlines, and telemetry.
+
+A :class:`RetryPolicy` is a frozen value object: the same policy always
+produces the same backoff sequence, so retried runs stay reproducible —
+there is deliberately no jitter.  :func:`retry_call` executes a callable
+under a policy, recording every attempt into the ambient telemetry:
+
+* ``retry.attempts`` counts every call attempt made under a policy;
+* ``retry.recoveries`` counts calls that failed then later succeeded;
+* ``retry.exhausted`` counts calls that ran out of budget;
+* each transient failure emits a ``fault.<operation>`` warning event
+  carrying the attempt number and the error text.
+
+Only exceptions matching ``retry_on`` are retried; anything else is a
+permanent failure and propagates immediately.  A ``deadline`` caps the
+*total* time budget: once the next backoff would cross it, the call
+fails with :class:`~repro.exceptions.RetryExhaustedError` rather than
+sleeping past the budget.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional
+
+from repro.exceptions import RetryExhaustedError, TransientError
+from repro.observability import WARNING, INFO, log_event, metric_inc, metric_observe
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try, and how long to wait between tries."""
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    deadline: Optional[float] = None  # total seconds across all attempts
+    retry_on: tuple = (TransientError, OSError)
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+
+    def delays(self) -> Iterator[float]:
+        """The deterministic backoff sequence between attempts."""
+        delay = self.base_delay
+        for _ in range(self.max_attempts - 1):
+            yield min(delay, self.max_delay)
+            delay *= self.multiplier
+
+    def should_retry(self, error: BaseException) -> bool:
+        return isinstance(error, self.retry_on)
+
+    def with_retries(self, retries: int) -> "RetryPolicy":
+        """The same policy allowing ``retries`` retries (attempts - 1)."""
+        from dataclasses import replace
+
+        return replace(self, max_attempts=retries + 1)
+
+
+#: A single attempt and no waiting: the "retries disabled" policy.
+NO_RETRY = RetryPolicy(max_attempts=1, base_delay=0.0)
+
+#: A small default for interactive use: 3 attempts, fast backoff.
+DEFAULT_RETRY = RetryPolicy(max_attempts=3, base_delay=0.05)
+
+
+@dataclass
+class RetryAttempt:
+    """Telemetry record of one attempt under :func:`retry_call`."""
+
+    number: int
+    succeeded: bool
+    elapsed: float
+    error: Optional[BaseException] = None
+
+
+def retry_call(
+    fn: Callable[[], Any],
+    policy: RetryPolicy = DEFAULT_RETRY,
+    operation: str = "operation",
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.perf_counter,
+    attempts_log: Optional[list] = None,
+) -> Any:
+    """Call ``fn`` under ``policy``; returns its result or raises.
+
+    ``sleep`` and ``clock`` are injectable so tests (and simulations)
+    can run the full backoff schedule without waiting real time.
+    ``attempts_log``, when given, collects a :class:`RetryAttempt` per
+    try for callers that want the per-attempt record programmatically.
+    """
+    started = clock()
+    delays = list(policy.delays())
+    last_error: Optional[BaseException] = None
+    for attempt in range(1, policy.max_attempts + 1):
+        attempt_started = clock()
+        metric_inc("retry.attempts")
+        try:
+            result = fn()
+        except BaseException as error:
+            elapsed = clock() - attempt_started
+            if attempts_log is not None:
+                attempts_log.append(
+                    RetryAttempt(attempt, False, elapsed, error=error)
+                )
+            if not policy.should_retry(error):
+                raise
+            last_error = error
+            metric_inc("fault.transient_errors")
+            log_event(
+                WARNING,
+                "fault.%s" % operation,
+                "transient failure in %s (attempt %d/%d): %s"
+                % (operation, attempt, policy.max_attempts, error),
+                operation=operation,
+                attempt=attempt,
+                max_attempts=policy.max_attempts,
+                error=str(error),
+                error_type=type(error).__name__,
+            )
+            if attempt >= policy.max_attempts:
+                break
+            delay = delays[attempt - 1]
+            if policy.deadline is not None:
+                spent = clock() - started
+                if spent + delay > policy.deadline:
+                    log_event(
+                        WARNING,
+                        "fault.%s" % operation,
+                        "retry deadline %.2fs exhausted for %s after %d attempts"
+                        % (policy.deadline, operation, attempt),
+                        operation=operation,
+                        attempt=attempt,
+                        deadline=policy.deadline,
+                    )
+                    break
+            if delay > 0:
+                sleep(delay)
+            continue
+        elapsed = clock() - attempt_started
+        metric_observe("retry.attempt_seconds", elapsed)
+        if attempts_log is not None:
+            attempts_log.append(RetryAttempt(attempt, True, elapsed))
+        if attempt > 1:
+            metric_inc("retry.recoveries")
+            log_event(
+                INFO,
+                "fault.%s" % operation,
+                "%s recovered on attempt %d/%d"
+                % (operation, attempt, policy.max_attempts),
+                operation=operation,
+                attempt=attempt,
+            )
+        return result
+    metric_inc("retry.exhausted")
+    raise RetryExhaustedError(operation, attempt, last_error) from last_error

@@ -65,12 +65,16 @@ TOPOLOGY_LOADERS = {
 
 
 def load_topology(source) -> nx.Graph:
-    """Accept a graph object or a GraphML/GML/JSON path."""
+    """Accept a graph object or a GraphML/GML/JSON path.
+
+    Extension matching is case-insensitive — ``TOPO.GraphML`` and
+    ``topo.graphml`` load the same way.
+    """
     if isinstance(source, nx.Graph):
         return source
     path = str(source)
     for extension, load in TOPOLOGY_LOADERS.items():
-        if path.endswith(extension):
+        if path.lower().endswith(extension):
             return load(path)
     raise LoaderError(
         "unsupported topology format %r: expected one of %s"
@@ -89,6 +93,8 @@ def run_experiment(
     max_rounds: int = 64,
     telemetry: Optional[Telemetry] = None,
     engine=None,
+    strict: bool = True,
+    retry_policy=None,
 ) -> ExperimentResult:
     """Input topology in, measured-ready emulated network out.
 
@@ -102,6 +108,10 @@ def run_experiment(
     straight-line path; the engine's own platform and rules settings
     take precedence, and the phase spans (and therefore ``timings``)
     keep the same names either way.
+
+    ``strict=False`` boots the lab with failed-parse devices
+    quarantined instead of aborting, and ``retry_policy`` retries
+    transient host errors during deployment.
     """
     import tempfile
 
@@ -132,12 +142,16 @@ def run_experiment(
 
             deployment = None
             if deploy:
+                from repro.resilience import NO_RETRY
+
                 with telemetry.span("deploy", lab_name=lab_name):
                     deployment = deploy_lab(
                         render_result.lab_dir,
                         host=host,
                         lab_name=lab_name,
                         max_rounds=max_rounds,
+                        strict=strict,
+                        retry_policy=retry_policy or NO_RETRY,
                     )
 
     timings = {phase.name: phase.duration for phase in experiment_span.children}

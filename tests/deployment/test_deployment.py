@@ -1,7 +1,9 @@
 """Unit tests for deployment: archive, host, monitor, full flow (§5.7)."""
 
 import os
+import shutil
 import tarfile
+import tempfile
 
 import pytest
 
@@ -118,8 +120,33 @@ class TestFullDeployFlow:
         assert "14 virtual machines up" in ready.message
 
     def test_deployment_artifacts_on_disk(self, si_deployment):
-        assert os.path.exists(si_deployment.archive_path)
+        # The staged archive is cleaned up by default; what survives is
+        # the extracted lab on the host.
+        assert not os.path.exists(si_deployment.archive_path)
         assert os.path.exists(os.path.join(si_deployment.lab_dir, "lab.conf"))
+
+    def test_keep_archive_flag_preserves_archive(self, si_render, tmp_path):
+        host = LocalEmulationHost(work_dir=str(tmp_path / "host"))
+        record = deploy(
+            si_render.lab_dir, host=host, lab_name="kept", keep_archive=True
+        )
+        assert os.path.exists(record.archive_path)
+        shutil.rmtree(os.path.dirname(record.archive_path))
+
+    def test_no_stray_archive_dirs_survive(self, si_render, tmp_path, monkeypatch):
+        # Route mkdtemp under tmp_path so the test sees exactly the
+        # staging dirs this deploy creates.
+        staging_root = tmp_path / "staging"
+        staging_root.mkdir()
+        monkeypatch.setattr(tempfile, "tempdir", str(staging_root))
+        host = LocalEmulationHost(work_dir=str(tmp_path / "host"))
+        deploy(si_render.lab_dir, host=host, lab_name="tidy")
+        strays = [
+            entry
+            for entry in os.listdir(staging_root)
+            if entry.startswith("lab_archive_")
+        ]
+        assert strays == []
 
 
 class TestLogging:

@@ -4,14 +4,17 @@ import json
 import os
 
 from repro.engine import Artifact, ArtifactCache
+from repro.engine.cache import text_sha
 
 
 def _artifact(key="k" * 64, owner="r1"):
+    # the sha must be honest: disk reads verify it since the cache
+    # grew corruption detection
     return Artifact(
         key=key,
         owner=owner,
-        files=[{"path": "r1/zebra/ospfd.conf", "sha": "a" * 64, "size": 10,
-                "text": "x" * 10}],
+        files=[{"path": "r1/zebra/ospfd.conf", "sha": text_sha("x" * 10),
+                "size": 10, "text": "x" * 10}],
     )
 
 

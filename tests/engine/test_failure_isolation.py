@@ -1,0 +1,181 @@
+"""Failure-isolated builds: partial reports, skips, cache corruption."""
+
+import json
+import os
+
+import pytest
+
+from repro.engine import ArtifactCache, BuildEngine
+from repro.engine.cache import text_sha
+from repro.engine.dag import Scheduler, Task, TaskFailure, TaskGraph
+from repro.engine.executors import SerialExecutor, ThreadExecutor
+from repro.exceptions import EngineError, TransientError
+from repro.loader import small_internet
+from repro.observability import Telemetry
+from repro.resilience import RetryPolicy
+
+
+def _boom(_arg):
+    raise EngineError("kaboom")
+
+
+def _ok(_arg):
+    return "fine"
+
+
+class TestSchedulerIsolation:
+    def _graph(self):
+        graph = TaskGraph()
+        graph.add_task("a", _ok, in_parent=True)
+        graph.add_task("bad", _boom, deps=("a",), in_parent=True)
+        graph.add_task("good", _ok, deps=("a",), in_parent=True)
+        graph.add_task("dependent", _ok, deps=("bad",), in_parent=True)
+        graph.add_task("grandchild", _ok, deps=("dependent",), in_parent=True)
+        return graph
+
+    def test_strict_mode_still_raises(self):
+        scheduler = Scheduler(SerialExecutor())
+        with pytest.raises(EngineError, match="kaboom"):
+            scheduler.run(self._graph())
+
+    def test_non_strict_isolates_and_cascades(self):
+        scheduler = Scheduler(SerialExecutor(), strict=False)
+        results = scheduler.run(self._graph())
+        assert results["a"] == "fine" and results["good"] == "fine"
+        assert set(scheduler.failures) == {"bad"}
+        assert scheduler.failures["bad"].error_type == "EngineError"
+        # everything downstream of the failure is skipped, transitively
+        assert scheduler.skipped == {"dependent", "grandchild"}
+        assert "bad" not in results and "dependent" not in results
+
+    def test_pool_tasks_isolated_too(self):
+        graph = TaskGraph()
+        graph.add_task("bad", _boom)
+        graph.add_task("good", _ok)
+        scheduler = Scheduler(ThreadExecutor(jobs=2), strict=False)
+        results = scheduler.run(graph)
+        assert results["good"] == "fine"
+        assert isinstance(scheduler.failures["bad"], TaskFailure)
+
+    def test_retry_policy_recovers_transients(self):
+        state = {"calls": 0}
+
+        def flaky(_arg):
+            state["calls"] += 1
+            if state["calls"] < 3:
+                raise TransientError("warming up")
+            return "warm"
+
+        graph = TaskGraph()
+        graph.add_task("flaky", flaky, in_parent=True)
+        scheduler = Scheduler(
+            SerialExecutor(),
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=0.0),
+        )
+        results = scheduler.run(graph)
+        assert results["flaky"] == "warm"
+        assert state["calls"] == 3
+        assert not scheduler.failures
+
+    def test_telemetry_counts_failures(self):
+        telemetry = Telemetry()
+        with telemetry.activate():
+            Scheduler(SerialExecutor(), strict=False).run(self._graph())
+        counters = telemetry.metrics.snapshot()["counters"]
+        assert counters["engine.tasks_failed"] == 1
+        assert counters["engine.tasks_skipped"] == 2
+
+
+class TestEnginePartialBuilds:
+    def test_render_failure_yields_partial_report(self, tmp_path, monkeypatch):
+        engine = BuildEngine(output_dir=tmp_path, strict=False, use_cache=False)
+        original = BuildEngine._task_render_device
+
+        def sabotage(self, arg):
+            device, key = arg
+            if str(device.node_id) == "as100r1":
+                raise EngineError("render sabotaged")
+            return original(self, arg)
+
+        monkeypatch.setattr(BuildEngine, "_task_render_device", sabotage)
+        report = engine.build(small_internet())
+        assert not report.ok
+        assert set(report.failed_tasks) == {"render.as100r1"}
+        assert "render sabotaged" in report.failed_tasks["render.as100r1"]
+        # every other device still rendered
+        assert len(report.rendered_devices) == report.devices_total - 1
+        assert "as100r1" not in report.rendered_devices
+        assert os.path.exists(os.path.join(engine.lab_dir, "lab.conf"))
+
+    def test_strict_engine_preserves_abort(self, tmp_path, monkeypatch):
+        engine = BuildEngine(output_dir=tmp_path, use_cache=False)
+
+        def sabotage(self, arg):
+            raise EngineError("render sabotaged")
+
+        monkeypatch.setattr(BuildEngine, "_task_render_device", sabotage)
+        with pytest.raises(EngineError, match="sabotaged"):
+            engine.build(small_internet())
+
+    def test_compile_failure_reports_instead_of_crashing(self, tmp_path, monkeypatch):
+        engine = BuildEngine(output_dir=tmp_path, strict=False, use_cache=False)
+
+        def sabotage(self, _arg):
+            raise EngineError("compile sabotaged")
+
+        monkeypatch.setattr(BuildEngine, "_task_compile", sabotage)
+        report = engine.build(small_internet())
+        assert not report.ok
+        assert "compile" in report.failed_tasks
+        assert report.rendered_devices == []
+        assert "FAILED" in report.summary()
+
+
+class TestCacheCorruption:
+    def _cache_with_object(self, tmp_path):
+        from repro.engine import Artifact
+
+        cache = ArtifactCache(tmp_path)
+        cache.put(
+            Artifact(
+                key="c" * 64,
+                owner="r1",
+                files=[{"path": "r1.conf", "sha": text_sha("hello"),
+                        "size": 5, "text": "hello"}],
+            )
+        )
+        cache.clear_memory()
+        return cache
+
+    def test_tampered_text_evicts_and_counts(self, tmp_path):
+        cache = self._cache_with_object(tmp_path)
+        object_path = cache._object_path("c" * 64)
+        with open(object_path) as handle:
+            data = json.load(handle)
+        data["files"][0]["text"] = "hellp"  # bit flip, sha now stale
+        with open(object_path, "w") as handle:
+            json.dump(data, handle)
+
+        telemetry = Telemetry()
+        with telemetry.activate():
+            assert cache.get("c" * 64) is None
+        assert not os.path.exists(object_path), "corrupt object not evicted"
+        counters = telemetry.metrics.snapshot()["counters"]
+        assert counters["engine.cache_corrupt"] == 1
+        assert counters["engine.cache_misses"] == 1
+
+    def test_unreadable_object_also_evicted(self, tmp_path):
+        cache = self._cache_with_object(tmp_path)
+        object_path = cache._object_path("c" * 64)
+        with open(object_path, "w") as handle:
+            handle.write("{truncated")
+        telemetry = Telemetry()
+        with telemetry.activate():
+            assert cache.get("c" * 64) is None
+        assert not os.path.exists(object_path)
+        assert telemetry.metrics.snapshot()["counters"]["engine.cache_corrupt"] == 1
+
+    def test_intact_object_unaffected(self, tmp_path):
+        cache = self._cache_with_object(tmp_path)
+        found = cache.get("c" * 64)
+        assert found is not None and found.files[0]["text"] == "hello"

@@ -132,7 +132,14 @@ class TestMeasurementClient:
         assert run.results[0].parsed
         assert run.results[0].mapped_path == []
 
-    def test_unknown_host_raises(self, si_lab, si_nidb):
+    def test_unknown_host_recorded_as_failure(self, si_lab, si_nidb):
+        # One bad host no longer aborts the fan-out: its result carries
+        # the error while the good host is still measured.
         client = MeasurementClient(si_lab, si_nidb)
-        with pytest.raises(MeasurementError, match="neither"):
-            client.send("hostname", ["10.99.99.99"])
+        run = client.send("hostname", ["10.99.99.99", "as100r1"])
+        assert len(run.results) == 2
+        failed, good = run.results
+        assert not failed.ok and "neither" in failed.error
+        assert good.ok and good.output
+        assert run.failures() == [failed]
+        assert not run.ok

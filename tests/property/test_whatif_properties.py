@@ -1,0 +1,127 @@
+"""Property-based tests for what-if failure analysis invariants."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.emulation import (
+    compare_reachability,
+    fail_links,
+    fail_node,
+    reachability_matrix,
+)
+from repro.exceptions import EmulationError
+
+# links of the small-internet topology that actually exist
+SI_LINKS = [
+    ("as100r1", "as100r2"),
+    ("as100r1", "as100r3"),
+    ("as100r2", "as100r3"),
+]
+SI_MACHINES = [
+    "as100r1", "as100r2", "as100r3", "as1r1", "as20r1", "as30r1", "as40r1",
+]
+
+_lab_settings = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+class TestCompareReachabilityPartition:
+    @given(
+        pairs=st.dictionaries(
+            st.tuples(st.sampled_from("abcdef"), st.sampled_from("abcdef")),
+            st.booleans(),
+            max_size=20,
+        ),
+        flips=st.sets(
+            st.tuples(st.sampled_from("abcdef"), st.sampled_from("abcdef")),
+            max_size=10,
+        ),
+    )
+    def test_partition_is_disjoint_and_exhaustive(self, pairs, flips):
+        """kept/lost/gained partition the union of both matrices."""
+        after = dict(pairs)
+        for pair in flips:
+            after[pair] = not after.get(pair, False)
+        delta = compare_reachability(pairs, after)
+        kept, lost, gained = (
+            set(delta["kept"]), set(delta["lost"]), set(delta["gained"])
+        )
+        assert kept.isdisjoint(lost)
+        assert kept.isdisjoint(gained)
+        assert lost.isdisjoint(gained)
+        reachable_anywhere = {
+            pair for pair, ok in pairs.items() if ok
+        } | {pair for pair, ok in after.items() if ok}
+        assert kept | lost | gained == reachable_anywhere
+
+    @given(
+        pairs=st.dictionaries(
+            st.tuples(st.sampled_from("abcd"), st.sampled_from("abcd")),
+            st.booleans(),
+            max_size=12,
+        )
+    )
+    def test_identical_matrices_lose_and_gain_nothing(self, pairs):
+        delta = compare_reachability(pairs, dict(pairs))
+        assert not delta["lost"] and not delta["gained"]
+        assert set(delta["kept"]) == {pair for pair, ok in pairs.items() if ok}
+
+
+class TestFailLinkProperties:
+    @_lab_settings
+    @given(link=st.sampled_from(SI_LINKS))
+    def test_failed_link_never_improves_reachability(self, si_lab, link):
+        before = reachability_matrix(si_lab)
+        degraded = fail_links(si_lab, [link])
+        after = reachability_matrix(degraded)
+        delta = compare_reachability(before, after)
+        assert not delta["gained"]
+
+    @_lab_settings
+    @given(
+        pair=st.sampled_from(
+            [("as100r1", "as1r1"), ("as100r2", "as20r1"), ("as200r1", "as20r1")]
+        )
+    )
+    def test_nonexistent_link_raises(self, si_lab, pair):
+        with pytest.raises(EmulationError, match="no link"):
+            fail_links(si_lab, [pair])
+
+    def test_unknown_machine_raises(self, si_lab):
+        with pytest.raises(EmulationError, match="no machine"):
+            fail_links(si_lab, [("ghost", "as100r1")])
+
+    @_lab_settings
+    @given(link=st.sampled_from(SI_LINKS))
+    def test_original_lab_untouched(self, si_lab, link):
+        before = reachability_matrix(si_lab)
+        fail_links(si_lab, [link])
+        assert reachability_matrix(si_lab) == before
+
+
+class TestFailNodeProperties:
+    @_lab_settings
+    @given(machine=st.sampled_from(SI_MACHINES))
+    def test_failed_node_absent_from_post_incident_matrix(self, si_lab, machine):
+        degraded = fail_node(si_lab, machine)
+        matrix = reachability_matrix(degraded)
+        assert machine not in degraded.network.machines
+        assert all(
+            machine not in pair for pair in matrix
+        ), "failed node appeared in the post-incident matrix"
+
+    @_lab_settings
+    @given(machine=st.sampled_from(SI_MACHINES))
+    def test_survivors_keep_symmetric_matrix_keys(self, si_lab, machine):
+        degraded = fail_node(si_lab, machine)
+        survivors = sorted(degraded.network.machines)
+        matrix = reachability_matrix(degraded)
+        expected = {
+            (src, dst)
+            for src in survivors for dst in survivors if src != dst
+        }
+        assert set(matrix) == expected

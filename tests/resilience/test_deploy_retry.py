@@ -1,0 +1,76 @@
+"""Fault-tolerant deployment: flaky hosts recover within the budget."""
+
+import pytest
+
+from repro.deployment import LocalEmulationHost, deploy
+from repro.exceptions import RetryExhaustedError
+from repro.observability import Telemetry
+from repro.resilience import FlakyHost, RetryPolicy
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.0)
+
+
+def test_flaky_host_recovers_within_budget(si_render, tmp_path):
+    host = FlakyHost(
+        LocalEmulationHost(work_dir=str(tmp_path / "host")),
+        failures=1,
+        stages=("receive", "extract"),
+    )
+    telemetry = Telemetry()
+    with telemetry.activate():
+        record = deploy(
+            si_render.lab_dir, host=host, lab_name="flaky",
+            retry_policy=FAST_RETRY,
+        )
+    assert record.lab.converged
+    counters = telemetry.metrics.snapshot()["counters"]
+    assert counters["retry.recoveries"] == 2
+    assert counters["fault.transient_errors"] == 2
+    assert counters["deploy.labs_started"] == 1
+    faults = [e for e in telemetry.events.events if e.stage.startswith("fault.")]
+    assert any(e.stage == "fault.deploy.transfer" for e in faults)
+    assert any(e.stage == "fault.deploy.extract" for e in faults)
+
+
+def test_flaky_lstart_recovers(si_render, tmp_path):
+    host = FlakyHost(
+        LocalEmulationHost(work_dir=str(tmp_path / "host")),
+        failures=2,
+        stages=("lstart",),
+    )
+    record = deploy(
+        si_render.lab_dir, host=host, lab_name="flaky",
+        retry_policy=FAST_RETRY,
+    )
+    assert record.lab.converged
+    assert host.calls.count("lstart") == 3
+
+
+def test_budget_exhaustion_raises(si_render, tmp_path):
+    host = FlakyHost(
+        LocalEmulationHost(work_dir=str(tmp_path / "host")),
+        failures=5,
+        stages=("receive",),
+    )
+    telemetry = Telemetry()
+    with telemetry.activate():
+        with pytest.raises(RetryExhaustedError) as err:
+            deploy(
+                si_render.lab_dir, host=host, lab_name="flaky",
+                retry_policy=FAST_RETRY,
+            )
+    assert err.value.operation == "deploy.transfer"
+    assert telemetry.metrics.snapshot()["counters"]["retry.exhausted"] == 1
+
+
+def test_default_policy_still_fails_fast(si_render, tmp_path):
+    # NO_RETRY makes one attempt: the transient error surfaces (wrapped
+    # as exhaustion of a 1-attempt budget) without a second call.
+    host = FlakyHost(
+        LocalEmulationHost(work_dir=str(tmp_path / "host")),
+        failures=1,
+        stages=("receive",),
+    )
+    with pytest.raises(RetryExhaustedError):
+        deploy(si_render.lab_dir, host=host, lab_name="flaky")
+    assert host.calls == ["receive"]

@@ -1,0 +1,168 @@
+"""Fault schedules: the DSL, validation, and live-lab chaos runs."""
+
+import pytest
+
+from repro.emulation import EmulatedLab
+from repro.exceptions import FaultScheduleError
+from repro.observability import Telemetry
+from repro.resilience import (
+    FaultEvent,
+    FaultSchedule,
+    apply_schedule,
+)
+
+
+def _rib_view(lab):
+    """A comparable projection of every machine's selected BGP routes."""
+    view = {}
+    for machine, table in lab.bgp_result.selected.items():
+        view[machine] = {
+            str(prefix): (route.as_path, route.learned_via, str(route.next_hop))
+            for prefix, route in table.items()
+        }
+    return view
+
+
+class TestDsl:
+    def test_parse_events_and_comments(self):
+        schedule = FaultSchedule.parse(
+            """
+            # incident one
+            at 2 link_down r1 r2   # inline comment
+            at 5 link_up r1 r2
+            at 7 node_down r9
+            """
+        )
+        assert len(schedule) == 3
+        assert schedule.rounds() == [2, 5, 7]
+        first = schedule.events[0]
+        assert (first.at_round, first.kind, first.target) == (2, "link_down", ("r1", "r2"))
+
+    def test_events_sorted_by_round(self):
+        schedule = FaultSchedule.parse("at 9 node_down r1\nat 1 node_up r1\n")
+        assert [event.at_round for event in schedule] == [1, 9]
+
+    def test_bad_round_number_names_the_line(self):
+        with pytest.raises(FaultScheduleError, match="line 2"):
+            FaultSchedule.parse("at 1 node_down r1\nat soon node_down r2\n")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultScheduleError, match="unknown fault kind"):
+            FaultSchedule.parse("at 1 explode r1\n")
+
+    def test_wrong_target_arity_rejected(self):
+        with pytest.raises(FaultScheduleError):
+            FaultEvent(at_round=1, kind="link_down", target=("r1",))
+        with pytest.raises(FaultScheduleError):
+            FaultEvent(at_round=1, kind="node_down", target=("r1", "r2"))
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(FaultScheduleError):
+            FaultEvent(at_round=-1, kind="node_down", target=("r1",))
+
+    def test_dict_roundtrip(self):
+        schedule = FaultSchedule.parse("at 2 link_down r1 r2\nat 5 node_up r9\n")
+        again = FaultSchedule.from_dicts(schedule.to_dicts())
+        assert again.to_dicts() == schedule.to_dicts()
+
+    def test_grouped_batches_same_round(self):
+        schedule = FaultSchedule.parse(
+            "at 3 link_down r1 r2\nat 3 node_down r9\nat 5 link_up r1 r2\n"
+        )
+        groups = list(schedule.grouped())
+        assert [at_round for at_round, _ in groups] == [3, 5]
+        assert len(groups[0][1]) == 2
+
+
+class TestValidation:
+    def test_unknown_machine_rejected(self, si_lab):
+        schedule = FaultSchedule.parse("at 1 node_down ghost\n")
+        with pytest.raises(FaultScheduleError, match="unknown machine"):
+            schedule.validate(si_lab)
+
+    def test_nonexistent_link_rejected(self, si_lab):
+        # both machines exist, but share no segment
+        schedule = FaultSchedule.parse("at 1 link_down as100r1 as1r1\n")
+        with pytest.raises(FaultScheduleError, match="no link"):
+            schedule.validate(si_lab)
+
+    def test_valid_schedule_passes(self, si_lab):
+        FaultSchedule.parse(
+            "at 1 link_down as100r1 as100r2\nat 3 link_up as100r1 as100r2\n"
+        ).validate(si_lab)
+
+
+class TestApplySchedule:
+    def test_down_then_restore_matches_fresh_boot(self, si_render):
+        """Determinism: a lab that lived through an incident and recovered
+        ends with exactly the RIBs of a lab that never saw it."""
+        lab = EmulatedLab.boot(si_render.lab_dir)
+        pristine = _rib_view(lab)
+        schedule = FaultSchedule.parse(
+            "at 2 link_down as100r1 as100r2\nat 5 link_up as100r1 as100r2\n"
+        )
+        report = apply_schedule(lab, schedule)
+        assert report.settled
+        assert len(report.steps) == 2
+        assert _rib_view(lab) == pristine
+
+    def test_incident_matches_whatif_reboot(self, si_render):
+        """A live link_down settles on the same reachability as the
+        fork-based what-if path for the same incident."""
+        from repro.emulation import fail_links, reachability_matrix
+
+        lab = EmulatedLab.boot(si_render.lab_dir)
+        whatif_lab = fail_links(lab, [("as100r1", "as100r2")])
+        schedule = FaultSchedule.parse("at 2 link_down as100r1 as100r2\n")
+        apply_schedule(lab, schedule)
+        assert _rib_view(lab) == _rib_view(whatif_lab)
+        assert reachability_matrix(lab) == reachability_matrix(whatif_lab)
+
+    def test_node_down_removes_machine_until_restored(self, si_render):
+        lab = EmulatedLab.boot(si_render.lab_dir)
+        schedule = FaultSchedule.parse("at 1 node_down as1r1\n")
+        apply_schedule(lab, schedule)
+        assert "as1r1" not in lab.network.machines
+        assert "as1r1" not in lab.bgp_result.selected
+        restore = FaultSchedule.parse("at 9 node_up as1r1\n")
+        apply_schedule(lab, restore)
+        assert "as1r1" in lab.network.machines
+        assert lab.converged
+
+    def test_no_config_reparse_during_schedule(self, si_render, monkeypatch):
+        """The whole point of live schedules: no re-parse, no reboot."""
+        import repro.emulation.lab as lab_module
+
+        lab = EmulatedLab.boot(si_render.lab_dir)
+        def _explode(*_args, **_kwargs):
+            raise AssertionError("config re-parse during live schedule")
+        monkeypatch.setitem(
+            lab_module.LAB_PARSERS, "netkit", _explode
+        )
+        schedule = FaultSchedule.parse(
+            "at 2 link_down as100r1 as100r2\nat 4 link_up as100r1 as100r2\n"
+        )
+        report = apply_schedule(lab, schedule)
+        assert report.settled
+
+    def test_telemetry_records_fault_events(self, si_render):
+        lab = EmulatedLab.boot(si_render.lab_dir)
+        telemetry = Telemetry()
+        with telemetry.activate():
+            apply_schedule(
+                lab,
+                FaultSchedule.parse("at 2 link_down as100r1 as100r2\n"),
+            )
+        counters = telemetry.metrics.snapshot()["counters"]
+        assert counters["fault.injected"] == 1
+        assert counters["fault.link_down"] == 1
+        stages = {event.stage for event in telemetry.events.events}
+        assert "fault.link_down" in stages
+        assert "fault.reconverge" in stages
+
+    def test_schedule_against_unknown_target_raises_before_mutation(self, si_render):
+        lab = EmulatedLab.boot(si_render.lab_dir)
+        before = _rib_view(lab)
+        with pytest.raises(FaultScheduleError):
+            apply_schedule(lab, FaultSchedule.parse("at 1 node_down ghost\n"))
+        assert _rib_view(lab) == before

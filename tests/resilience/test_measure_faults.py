@@ -1,0 +1,54 @@
+"""Measurement fan-out under faults: retries recover, failures isolate."""
+
+from repro.emulation import EmulatedLab
+from repro.measurement import MeasurementClient
+from repro.observability import Telemetry
+from repro.resilience import RetryPolicy, inject_flaky_vm
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.0)
+
+
+def _lab(si_render):
+    # a private boot: these tests swap VM handles in place
+    return EmulatedLab.boot(si_render.lab_dir)
+
+
+def test_flaky_vm_recovers_under_retry(si_render, si_nidb):
+    lab = _lab(si_render)
+    flaky = inject_flaky_vm(lab, "as100r1", failures=1)
+    client = MeasurementClient(lab, si_nidb, retry_policy=FAST_RETRY)
+    telemetry = Telemetry()
+    with telemetry.activate():
+        run = client.send("hostname", ["as100r1"])
+    assert run.ok
+    assert run.results[0].output
+    assert flaky.calls == ["hostname", "hostname"]
+    counters = telemetry.metrics.snapshot()["counters"]
+    assert counters["retry.recoveries"] == 1
+
+
+def test_exhausted_vm_is_isolated_not_fatal(si_render, si_nidb):
+    lab = _lab(si_render)
+    inject_flaky_vm(lab, "as100r1", failures=10)
+    client = MeasurementClient(lab, si_nidb, retry_policy=FAST_RETRY)
+    telemetry = Telemetry()
+    with telemetry.activate():
+        run = client.send("hostname", ["as100r1", "as100r2"])
+    assert len(run.results) == 2
+    failed = run.by_machine()["as100r1"]
+    assert not failed.ok and "injected transient" in failed.error
+    assert run.by_machine()["as100r2"].ok
+    counters = telemetry.metrics.snapshot()["counters"]
+    assert counters["measure.failures"] == 1
+    assert counters["retry.exhausted"] == 1
+    stages = {event.stage for event in telemetry.events.events}
+    assert "fault.measure" in stages
+
+
+def test_no_retry_default_fails_on_first_transient(si_render, si_nidb):
+    lab = _lab(si_render)
+    flaky = inject_flaky_vm(lab, "as100r1", failures=1)
+    client = MeasurementClient(lab, si_nidb)  # NO_RETRY default
+    run = client.send("hostname", ["as100r1"])
+    assert not run.ok
+    assert flaky.calls == ["hostname"]

@@ -1,0 +1,131 @@
+"""Deterministic retry policies: backoff, deadlines, telemetry."""
+
+import pytest
+
+from repro.exceptions import RetryExhaustedError, TransientError
+from repro.observability import Telemetry
+from repro.resilience import (
+    DEFAULT_RETRY,
+    NO_RETRY,
+    RetryPolicy,
+    retry_call,
+)
+
+
+class TestPolicy:
+    def test_backoff_sequence_is_deterministic(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1, multiplier=2.0,
+                             max_delay=1.0)
+        assert list(policy.delays()) == [0.1, 0.2, 0.4]
+        assert list(policy.delays()) == list(policy.delays())
+
+    def test_max_delay_caps_backoff(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=1.0, multiplier=10.0,
+                             max_delay=2.0)
+        assert list(policy.delays()) == [1.0, 2.0, 2.0, 2.0]
+
+    def test_no_retry_is_single_attempt(self):
+        assert NO_RETRY.max_attempts == 1
+        assert list(NO_RETRY.delays()) == []
+
+    def test_with_retries(self):
+        assert DEFAULT_RETRY.with_retries(5).max_attempts == 6
+        # the original is frozen and unchanged
+        assert DEFAULT_RETRY.max_attempts == 3
+
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1)
+
+    def test_should_retry_matches_retry_on(self):
+        policy = RetryPolicy()
+        assert policy.should_retry(TransientError("x"))
+        assert policy.should_retry(OSError("x"))
+        assert not policy.should_retry(ValueError("x"))
+
+
+class TestRetryCall:
+    def _flaky(self, failures, exc=TransientError):
+        state = {"calls": 0}
+
+        def fn():
+            state["calls"] += 1
+            if state["calls"] <= failures:
+                raise exc("boom %d" % state["calls"])
+            return "ok"
+
+        return fn, state
+
+    def test_recovers_within_budget(self):
+        fn, state = self._flaky(2)
+        slept = []
+        result = retry_call(
+            fn,
+            policy=RetryPolicy(max_attempts=3, base_delay=0.5),
+            sleep=slept.append,
+        )
+        assert result == "ok"
+        assert state["calls"] == 3
+        assert slept == [0.5, 1.0]
+
+    def test_exhaustion_raises_with_context(self):
+        fn, _ = self._flaky(10)
+        with pytest.raises(RetryExhaustedError) as err:
+            retry_call(
+                fn,
+                policy=RetryPolicy(max_attempts=2, base_delay=0),
+                operation="deploy.transfer",
+                sleep=lambda _s: None,
+            )
+        assert err.value.operation == "deploy.transfer"
+        assert err.value.attempts == 2
+        assert isinstance(err.value.last_error, TransientError)
+
+    def test_permanent_error_propagates_immediately(self):
+        fn, state = self._flaky(10, exc=ValueError)
+        with pytest.raises(ValueError):
+            retry_call(fn, policy=RetryPolicy(max_attempts=5, base_delay=0),
+                       sleep=lambda _s: None)
+        assert state["calls"] == 1
+
+    def test_deadline_stops_before_sleeping_past_budget(self):
+        fn, state = self._flaky(10)
+        clock = {"now": 0.0}
+
+        def fake_sleep(seconds):
+            clock["now"] += seconds
+
+        with pytest.raises(RetryExhaustedError):
+            retry_call(
+                fn,
+                policy=RetryPolicy(max_attempts=10, base_delay=1.0,
+                                   multiplier=1.0, deadline=2.5),
+                sleep=fake_sleep,
+                clock=lambda: clock["now"],
+            )
+        # attempts at t=0, 1, 2; the next sleep would cross 2.5
+        assert state["calls"] == 3
+
+    def test_attempts_log_records_each_try(self):
+        fn, _ = self._flaky(1)
+        log = []
+        retry_call(fn, policy=RetryPolicy(max_attempts=3, base_delay=0),
+                   sleep=lambda _s: None, attempts_log=log)
+        assert [a.number for a in log] == [1, 2]
+        assert [a.succeeded for a in log] == [False, True]
+        assert isinstance(log[0].error, TransientError)
+
+    def test_metrics_and_events_recorded(self):
+        telemetry = Telemetry()
+        with telemetry.activate():
+            fn, _ = self._flaky(1)
+            retry_call(fn, policy=RetryPolicy(max_attempts=3, base_delay=0),
+                       operation="unit.op", sleep=lambda _s: None)
+        metrics = telemetry.metrics.snapshot()
+        assert metrics["counters"]["retry.attempts"] == 2
+        assert metrics["counters"]["retry.recoveries"] == 1
+        assert metrics["counters"]["fault.transient_errors"] == 1
+        events = [e for e in telemetry.events.events if e.stage == "fault.unit.op"]
+        assert events, "expected fault.* events for the failed attempt"
