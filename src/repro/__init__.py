@@ -13,6 +13,13 @@ paper-versus-measured record.
 """
 
 from repro.anm import AbstractNetworkModel
+from repro.campaign import (
+    CampaignResult,
+    CampaignRunner,
+    CampaignSpec,
+    compare_campaigns,
+    run_campaign,
+)
 from repro.compilers import PLATFORM_COMPILERS, platform_compiler
 from repro.deployment import LocalEmulationHost, deploy
 from repro.design import (
@@ -50,6 +57,9 @@ __all__ = [
     "ArtifactCache",
     "BuildEngine",
     "BuildReport",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
     "DEFAULT_RULES",
     "EmulatedLab",
     "ExperimentResult",
@@ -62,6 +72,7 @@ __all__ = [
     "assign_route_reflectors_by_centrality",
     "bad_gadget_topology",
     "build_anm",
+    "compare_campaigns",
     "deploy",
     "design_network",
     "european_nren_model",
@@ -77,6 +88,7 @@ __all__ = [
     "register_design_rule",
     "render_nidb",
     "rpki_topology",
+    "run_campaign",
     "run_experiment",
     "small_internet",
     "validate_ospf",

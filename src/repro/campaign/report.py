@@ -1,0 +1,276 @@
+"""Cross-trial aggregation: campaign tables and baseline comparison.
+
+Rolls the result store's trial records up into the artefacts a paper
+reports: a per-(topology, platform) outcome table — the §7.2 "Bad
+Gadget per platform" table drops straight out of
+:func:`outcome_table` — plus convergence/timing/cache summaries, in
+Markdown or CSV.  :func:`compare_campaigns` diffs two campaign indexes
+trial-by-trial (keyed on spec hash) and flags regressions: trials that
+newly fail, convergence verdicts that changed, and significant
+slowdowns.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.campaign.store import TrialRecord, load_records
+
+#: A slowdown beyond this ratio counts as a timing regression.
+SLOWDOWN_THRESHOLD = 2.0
+
+
+# -- tables ------------------------------------------------------------------
+def outcome_table(records: Iterable[TrialRecord]) -> list[dict]:
+    """One row per (topology, platform): the trial outcome cells.
+
+    Multiple trials in the same cell (different rule sets, schedules or
+    overrides) are summarised as ``n ok / m failed`` with the first
+    distinct outcomes listed.
+    """
+    cells: dict[tuple[str, str], list[TrialRecord]] = {}
+    for record in records:
+        cells.setdefault((record.topology, record.platform), []).append(record)
+    rows = []
+    for (topology, platform), members in sorted(cells.items()):
+        outcomes = []
+        for record in members:
+            outcome = record.outcome()
+            if outcome not in outcomes:
+                outcomes.append(outcome)
+        rows.append(
+            {
+                "topology": topology,
+                "platform": platform,
+                "trials": len(members),
+                "ok": sum(1 for record in members if record.ok),
+                "failed": sum(1 for record in members if not record.ok),
+                "outcome": "; ".join(outcomes),
+                "rounds": max(
+                    (record.convergence.get("rounds", 0) for record in members),
+                    default=0,
+                ),
+                "seconds": sum(record.duration_seconds for record in members),
+            }
+        )
+    return rows
+
+
+def summary(records: Iterable[TrialRecord]) -> dict:
+    """Campaign-level roll-up: counts, verdict mix, cache traffic."""
+    records = list(records)
+    statuses: dict[str, int] = {}
+    for record in records:
+        verdict = record.convergence.get("status") if record.ok else "failed"
+        statuses[verdict or "built"] = statuses.get(verdict or "built", 0) + 1
+    return {
+        "trials": len(records),
+        "ok": sum(1 for record in records if record.ok),
+        "failed": sum(1 for record in records if not record.ok),
+        "verdicts": statuses,
+        "total_seconds": sum(record.duration_seconds for record in records),
+        "cache_hits": sum(
+            record.engine.get("cache_hits", 0) for record in records
+        ),
+        "cache_misses": sum(
+            record.engine.get("cache_misses", 0) for record in records
+        ),
+    }
+
+
+def render_markdown(records: Iterable[TrialRecord], title: str = "") -> str:
+    """The outcome table plus the roll-up, as a Markdown document."""
+    records = list(records)
+    rows = outcome_table(records)
+    out = io.StringIO()
+    if title:
+        out.write("# %s\n\n" % title)
+    out.write("| topology | platform | outcome | trials | time (s) |\n")
+    out.write("|---|---|---|---|---|\n")
+    for row in rows:
+        out.write(
+            "| %s | %s | %s | %d | %.2f |\n"
+            % (
+                row["topology"],
+                row["platform"],
+                row["outcome"],
+                row["trials"],
+                row["seconds"],
+            )
+        )
+    stats = summary(records)
+    out.write(
+        "\n%d trials: %d ok, %d failed; cache %d hit / %d miss; %.2fs total\n"
+        % (
+            stats["trials"],
+            stats["ok"],
+            stats["failed"],
+            stats["cache_hits"],
+            stats["cache_misses"],
+            stats["total_seconds"],
+        )
+    )
+    return out.getvalue()
+
+
+def render_csv(records: Iterable[TrialRecord]) -> str:
+    """Per-trial flat CSV — one row per trial, stable column order."""
+    import csv
+
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(
+        [
+            "trial_id", "topology", "platform", "status", "outcome",
+            "convergence", "rounds", "period", "reachable_fraction",
+            "cache_hits", "cache_misses", "duration_seconds",
+        ]
+    )
+    for record in sorted(records, key=lambda r: r.trial_id):
+        writer.writerow(
+            [
+                record.trial_id,
+                record.topology,
+                record.platform,
+                record.status,
+                record.outcome(),
+                record.convergence.get("status", ""),
+                record.convergence.get("rounds", ""),
+                record.convergence.get("period", ""),
+                record.reachability.get("fraction", ""),
+                record.engine.get("cache_hits", ""),
+                record.engine.get("cache_misses", ""),
+                "%.4f" % record.duration_seconds,
+            ]
+        )
+    return out.getvalue()
+
+
+def render_report(source, fmt: str = "markdown", title: str = "") -> str:
+    """Render a store directory / index path / record list as md or csv."""
+    records = load_records(source)
+    if fmt in ("markdown", "md"):
+        return render_markdown(records, title=title)
+    if fmt == "csv":
+        return render_csv(records)
+    if fmt == "json":
+        return json.dumps(
+            {
+                "summary": summary(records),
+                "table": outcome_table(records),
+                "trials": [record.to_dict() for record in records],
+            },
+            indent=2,
+            default=str,
+        )
+    raise ValueError("unknown report format %r (markdown, csv, json)" % fmt)
+
+
+# -- baseline comparison -----------------------------------------------------
+@dataclass
+class CampaignComparison:
+    """Trial-by-trial diff of two campaign indexes (baseline vs current)."""
+
+    regressions: list[dict] = field(default_factory=list)
+    improvements: list[dict] = field(default_factory=list)
+    unchanged: int = 0
+    added: list[str] = field(default_factory=list)    # trials only in current
+    removed: list[str] = field(default_factory=list)  # trials only in baseline
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def summary(self) -> str:
+        return (
+            "%d regression(s), %d improvement(s), %d unchanged, "
+            "%d added, %d removed"
+            % (
+                len(self.regressions),
+                len(self.improvements),
+                self.unchanged,
+                len(self.added),
+                len(self.removed),
+            )
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "regressions": self.regressions,
+            "improvements": self.improvements,
+            "unchanged": self.unchanged,
+            "added": self.added,
+            "removed": self.removed,
+        }
+
+    def format(self) -> str:
+        lines = [self.summary()]
+        for entry in self.regressions:
+            lines.append(
+                "  REGRESSION %s: %s" % (entry["trial_id"], entry["reason"])
+            )
+        for entry in self.improvements:
+            lines.append(
+                "  improved %s: %s" % (entry["trial_id"], entry["reason"])
+            )
+        return "\n".join(lines)
+
+
+def compare_campaigns(
+    baseline, current, slowdown_threshold: float = SLOWDOWN_THRESHOLD
+) -> CampaignComparison:
+    """Diff two campaigns; each side is a directory, index path, or records.
+
+    A trial regresses when it newly fails, its convergence verdict
+    changes (e.g. converged → oscillating), or it slows down beyond
+    ``slowdown_threshold``×; the inverse transitions are improvements.
+    """
+    base = {record.spec_hash: record for record in load_records(baseline)}
+    new = {record.spec_hash: record for record in load_records(current)}
+    comparison = CampaignComparison(
+        added=sorted(new[h].trial_id for h in set(new) - set(base)),
+        removed=sorted(base[h].trial_id for h in set(base) - set(new)),
+    )
+    for spec_hash in sorted(set(base) & set(new)):
+        before, after = base[spec_hash], new[spec_hash]
+        reason = _regression_reason(before, after, slowdown_threshold)
+        if reason:
+            comparison.regressions.append(
+                {"trial_id": after.trial_id, "reason": reason}
+            )
+            continue
+        improvement = _regression_reason(after, before, slowdown_threshold)
+        if improvement:
+            comparison.improvements.append(
+                {"trial_id": after.trial_id, "reason": improvement}
+            )
+        else:
+            comparison.unchanged += 1
+    return comparison
+
+
+def _regression_reason(
+    before: TrialRecord, after: TrialRecord, slowdown_threshold: float
+) -> Optional[str]:
+    """Why ``after`` is worse than ``before`` — or None when it is not."""
+    if before.ok and not after.ok:
+        return "now fails: %s" % after.error
+    if before.ok and after.ok:
+        old = before.convergence.get("status")
+        new = after.convergence.get("status")
+        if old != new:
+            return "convergence changed: %s -> %s" % (old, new)
+        if (
+            before.duration_seconds > 0
+            and after.duration_seconds
+            > before.duration_seconds * slowdown_threshold
+        ):
+            return "slowed %.1fx (%.2fs -> %.2fs)" % (
+                after.duration_seconds / before.duration_seconds,
+                before.duration_seconds,
+                after.duration_seconds,
+            )
+    return None

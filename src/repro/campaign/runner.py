@@ -1,0 +1,397 @@
+"""The sharded, resumable campaign runner.
+
+Executes a :class:`~repro.campaign.spec.CampaignSpec` trial by trial
+through the existing build/deploy/emulation stack:
+
+* every trial builds through a :class:`~repro.engine.BuildEngine`
+  sharing **one** :class:`~repro.engine.ArtifactCache`, so trials that
+  differ only in scenario (fault schedule, round budget) reuse each
+  other's compiled/rendered artifacts;
+* trials fan out over the engine's executors (``jobs``/``executor`` —
+  serial, thread, process); process pools share the cache through its
+  on-disk store;
+* each trial is quarantined (``strict=False`` semantics at the campaign
+  level): an exception becomes a ``failed`` record in the index — with
+  the error, not a traceback — and the rest of the matrix keeps
+  running.  Transient errors retry first under a
+  :class:`~repro.resilience.RetryPolicy`;
+* finished trials append to the store's JSONL index immediately, so an
+  interrupted campaign resumes with only the delta; ``shard=(i, n)``
+  restricts one invocation to a deterministic slice of the matrix for
+  multi-host fan-out.
+
+Each trial runs under its own :class:`~repro.observability.Telemetry`
+(trace written into its run directory) while the campaign's telemetry
+carries the campaign-level span, per-trial events, and the
+``campaign.*`` metrics.  With parallel trials the ambient-span
+attribution between concurrently active telemetries is best-effort;
+the per-trial phase *timings* in the index are always exact.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.campaign.spec import CampaignSpec, TrialSpec
+from repro.campaign.store import STATUS_FAILED, STATUS_OK, ResultStore, TrialRecord
+from repro.exceptions import CampaignError
+from repro.observability import (
+    INFO,
+    WARNING,
+    Telemetry,
+    current_telemetry,
+    log_event,
+    metric_inc,
+    metric_observe,
+)
+from repro.resilience import NO_RETRY, RetryPolicy, retry_call
+
+
+@dataclass
+class CampaignResult:
+    """What one runner invocation did against the campaign matrix."""
+
+    campaign: str
+    directory: str
+    records: list[TrialRecord] = field(default_factory=list)  # executed this run
+    skipped: list[str] = field(default_factory=list)          # resumed trial ids
+    shard: Optional[tuple] = None
+    duration_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def executed(self) -> int:
+        return len(self.records)
+
+    @property
+    def failed(self) -> list[TrialRecord]:
+        return [record for record in self.records if not record.ok]
+
+    @property
+    def ok(self) -> bool:
+        """True when every *executed* trial succeeded."""
+        return not self.failed
+
+    def summary(self) -> str:
+        text = "campaign %s: %d executed (%d failed), %d resumed" % (
+            self.campaign,
+            self.executed,
+            len(self.failed),
+            len(self.skipped),
+        )
+        if self.shard:
+            text += ", shard %d/%d" % self.shard
+        text += ", cache %d hit / %d miss, %.2fs" % (
+            self.cache_hits,
+            self.cache_misses,
+            self.duration_seconds,
+        )
+        return text
+
+
+class CampaignRunner:
+    """Drives one campaign against one result store."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        directory: str | os.PathLike | None = None,
+        store: ResultStore | None = None,
+        jobs: int = 1,
+        executor: str | None = None,
+        shard: tuple[int, int] | None = None,
+        retry_policy: RetryPolicy | None = None,
+        retry_failed: bool = False,
+        limit: int | None = None,
+        cache=None,
+        cache_dir: str | os.PathLike | None = None,
+    ):
+        from repro.engine import ArtifactCache
+
+        self.spec = spec
+        if store is not None:
+            self.store = store
+        else:
+            directory = directory or spec.directory
+            if directory is None:
+                raise CampaignError(
+                    "campaign %r names no directory: pass directory=... or put "
+                    "'directory' in the spec" % spec.name
+                )
+            if not os.path.isabs(str(directory)):
+                directory = spec.resolve_path(str(directory))
+            self.store = ResultStore(directory)
+        self.jobs = max(1, jobs)
+        self.executor_kind = executor
+        self.shard = shard
+        self.retry_policy = retry_policy or NO_RETRY
+        self.retry_failed = retry_failed
+        self.limit = limit
+        self.cache_dir = str(cache_dir) if cache_dir else self.store.cache_dir()
+        self.cache = cache if cache is not None else ArtifactCache(self.cache_dir)
+
+    # -- planning ------------------------------------------------------------
+    def pending_trials(self) -> tuple[list[TrialSpec], list[TrialSpec]]:
+        """(to run, to skip) after sharding and resume filtering."""
+        trials = (
+            self.spec.shard(*self.shard) if self.shard else list(self.spec.trials)
+        )
+        done = self.store.completed_hashes(include_failed=not self.retry_failed)
+        to_run = [trial for trial in trials if trial.spec_hash not in done]
+        skipped = [trial for trial in trials if trial.spec_hash in done]
+        if self.limit is not None:
+            to_run = to_run[: max(0, self.limit)]
+        return to_run, skipped
+
+    # -- execution -----------------------------------------------------------
+    def run(self, telemetry: Telemetry | None = None) -> CampaignResult:
+        from repro.engine.executors import make_executor, run_calls
+
+        telemetry = telemetry or current_telemetry() or Telemetry()
+        to_run, skipped = self.pending_trials()
+        result = CampaignResult(
+            campaign=self.spec.name,
+            directory=self.store.directory,
+            skipped=[trial.trial_id for trial in skipped],
+            shard=self.shard,
+        )
+        started = time.perf_counter()
+        hits_before, misses_before = self.cache.hits, self.cache.misses
+        executor = make_executor(self.jobs, self.executor_kind)
+        with telemetry.activate():
+            with telemetry.span(
+                "campaign",
+                campaign=self.spec.name,
+                trials=len(self.spec),
+                to_run=len(to_run),
+                resumed=len(skipped),
+            ):
+                metric_inc("campaign.trials_resumed", len(skipped))
+                if skipped:
+                    log_event(
+                        INFO, "campaign",
+                        "resuming %s: %d trial(s) already in the index"
+                        % (self.spec.name, len(skipped)),
+                        campaign=self.spec.name, resumed=len(skipped),
+                    )
+                calls = [
+                    (trial.trial_id, _execute_trial, self._payload(executor, trial))
+                    for trial in to_run
+                ]
+                try:
+                    raw_records = run_calls(executor, calls)
+                finally:
+                    executor.shutdown()
+                for record_dict in raw_records:
+                    record = TrialRecord.from_dict(record_dict)
+                    self.store.append(record)
+                    self.store.write_trial_result(record)
+                    result.records.append(record)
+                    self._account(record)
+        result.duration_seconds = time.perf_counter() - started
+        result.cache_hits = self.cache.hits - hits_before
+        result.cache_misses = self.cache.misses - misses_before
+        return result
+
+    def _payload(self, executor, trial: TrialSpec) -> dict:
+        payload = {
+            "trial": trial.canonical(),
+            "trial_id": trial.trial_id,
+            "spec_hash": trial.spec_hash,
+            "source": self._resolve_source(trial),
+            "run_dir": self.store.trial_dir(trial),
+            "retry_policy": self.retry_policy,
+        }
+        if executor.supports_closures:
+            payload["_cache"] = self.cache  # share the in-memory level too
+        else:
+            payload["cache_dir"] = self.cache_dir  # processes share via disk
+        return payload
+
+    def _resolve_source(self, trial: TrialSpec) -> str:
+        """Builtin names pass through; paths resolve beside the spec file."""
+        from repro.loader import BUILTIN_TOPOLOGIES
+
+        if trial.topology in BUILTIN_TOPOLOGIES:
+            return trial.topology
+        return self.spec.resolve_path(trial.topology)
+
+    def _account(self, record: TrialRecord) -> None:
+        metric_inc("campaign.trials_executed")
+        metric_observe("campaign.trial_seconds", record.duration_seconds)
+        if record.ok:
+            metric_inc("campaign.trials_ok")
+            log_event(
+                INFO, "campaign",
+                "trial %s: %s" % (record.trial_id, record.outcome()),
+                trial=record.trial_id, status=record.status,
+            )
+        else:
+            metric_inc("campaign.trials_failed")
+            log_event(
+                WARNING, "campaign",
+                "trial %s quarantined: %s" % (record.trial_id, record.error),
+                trial=record.trial_id, status=record.status, error=record.error,
+            )
+
+
+def run_campaign(
+    spec,
+    directory: str | os.PathLike | None = None,
+    jobs: int = 1,
+    executor: str | None = None,
+    shard: tuple[int, int] | None = None,
+    retry_policy: RetryPolicy | None = None,
+    retry_failed: bool = False,
+    limit: int | None = None,
+    cache_dir: str | os.PathLike | None = None,
+    telemetry: Telemetry | None = None,
+) -> CampaignResult:
+    """Expand, shard, resume and execute a campaign in one call.
+
+    ``spec`` is a :class:`CampaignSpec`, a spec dict, or a path to a
+    spec JSON file.  Completed trials (present in ``<directory>/index.jsonl``)
+    are skipped; only the delta executes.
+    """
+    if isinstance(spec, (str, os.PathLike)):
+        spec = CampaignSpec.load(spec)
+    elif isinstance(spec, dict):
+        spec = CampaignSpec.from_dict(spec)
+    runner = CampaignRunner(
+        spec,
+        directory=directory,
+        jobs=jobs,
+        executor=executor,
+        shard=shard,
+        retry_policy=retry_policy,
+        retry_failed=retry_failed,
+        limit=limit,
+        cache_dir=cache_dir,
+    )
+    return runner.run(telemetry=telemetry)
+
+
+# -- trial execution (runs on the executor, possibly in another process) -----
+def _execute_trial(payload: dict) -> dict:
+    """Run one trial end to end; always returns a plain record dict.
+
+    Every exception except ``KeyboardInterrupt``/``SystemExit`` is
+    quarantined into a ``failed`` record — one bad trial never kills
+    the campaign.
+    """
+    from repro.engine import ArtifactCache
+
+    trial = payload["trial"]
+    trial_id = payload["trial_id"]
+    run_dir = payload["run_dir"]
+    cache = payload.get("_cache")
+    if cache is None and payload.get("cache_dir"):
+        cache = ArtifactCache(payload["cache_dir"])
+    os.makedirs(run_dir, exist_ok=True)
+
+    telemetry = Telemetry()
+    started = time.perf_counter()
+    record = {
+        "trial_id": trial_id,
+        "spec_hash": payload["spec_hash"],
+        "status": STATUS_OK,
+        "topology": trial["topology"],
+        "platform": trial["platform"],
+        "run_dir": run_dir,
+        "error": None,
+        "convergence": {},
+        "reachability": {},
+        "engine": {},
+    }
+    try:
+        with telemetry.activate():
+            with telemetry.span(
+                "trial", trial=trial_id, platform=trial["platform"],
+                topology=trial["topology"],
+            ) as trial_span:
+                _trial_body(payload, trial, cache, telemetry, record)
+        record["timings"] = {
+            child.name: child.duration for child in trial_span.children
+        }
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except BaseException as error:
+        record["status"] = STATUS_FAILED
+        record["error"] = "%s: %s" % (type(error).__name__, error)
+    record["duration_seconds"] = time.perf_counter() - started
+    try:
+        telemetry.write_trace(os.path.join(run_dir, "trace.jsonl"))
+    except OSError:
+        pass  # a missing trace never fails the trial
+    return record
+
+
+def _trial_body(payload: dict, trial: dict, cache, telemetry, record: dict) -> None:
+    from repro.emulation import EmulatedLab, reachability_summary
+    from repro.engine import BuildEngine, SerialExecutor
+    from repro.loader import BUILTIN_TOPOLOGIES, builtin_topology
+    from repro.resilience import FaultSchedule, apply_schedule
+
+    overrides = trial.get("overrides") or {}
+    policy = payload.get("retry_policy") or NO_RETRY
+    source = payload["source"]
+    if isinstance(source, str) and source in BUILTIN_TOPOLOGIES:
+        source = builtin_topology(source)
+    _maybe_inject(overrides, "build")
+    engine = BuildEngine(
+        platform=trial["platform"],
+        rules=tuple(trial["rules"]),
+        executor=SerialExecutor(),
+        cache=cache,
+    )
+    report = retry_call(
+        lambda: engine.build(
+            source,
+            output_dir=os.path.join(payload["run_dir"], "rendered"),
+            telemetry=telemetry,
+        ),
+        policy=policy,
+        operation="campaign.build",
+    )
+    record["engine"] = {
+        "cache_hits": report.cache_hits,
+        "cache_misses": report.cache_misses,
+        "rendered_devices": len(report.rendered_devices),
+        "cached_devices": len(report.cached_devices),
+        "tasks_run": report.tasks_run,
+    }
+
+    if not overrides.get("deploy", True):
+        return
+    _maybe_inject(overrides, "deploy")
+    max_rounds = int(overrides.get("max_rounds", 64))
+    with telemetry.span("deploy", trial=payload["trial_id"]):
+        lab = retry_call(
+            lambda: EmulatedLab.boot(
+                engine.lab_dir, max_rounds=max_rounds, strict=False
+            ),
+            policy=policy,
+            operation="campaign.deploy",
+        )
+    if trial.get("schedule"):
+        schedule = FaultSchedule.parse(trial["schedule"])
+        with telemetry.span("chaos", events=len(schedule)):
+            apply_schedule(lab, schedule)
+
+    _maybe_inject(overrides, "measure")
+    with telemetry.span("measure", trial=payload["trial_id"]):
+        record["convergence"] = lab.convergence_report.to_dict()
+        if overrides.get("reachability", True):
+            record["reachability"] = reachability_summary(lab)
+
+
+def _maybe_inject(overrides: dict, stage: str) -> None:
+    """The chaos hook: a spec can force a trial to fail at a stage."""
+    if overrides.get("inject_fault") == stage:
+        raise CampaignError(
+            "fault injected at %s stage (spec override 'inject_fault')" % stage
+        )

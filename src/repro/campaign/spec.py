@@ -1,0 +1,308 @@
+"""Declarative experiment-campaign specifications.
+
+The paper's evaluation is a *matrix* of experiments — the same gadget
+compiled for four platforms (§7.2), the same NREN model at several
+scales (§3.2), what-if incident sweeps — and a campaign spec captures
+one such matrix declaratively.  Its axes::
+
+    topologies × platforms × rule_sets × fault_schedules × overrides
+
+expand, in deterministic order, into a list of :class:`TrialSpec`
+values.  Every trial carries a stable content hash
+(:attr:`TrialSpec.spec_hash`) over its canonical form, which is the
+resume key: a re-run of an interrupted or extended campaign executes
+only the trials whose hash is not yet in the result store's index.
+
+Specs are plain JSON (or dicts)::
+
+    {
+      "name": "bad_gadget_platforms",
+      "topologies": ["bad_gadget"],
+      "platforms": ["netkit", "dynagen", "junosphere", "cbgp"],
+      "max_rounds": 40,
+      "trials": [
+        {"topology": "bad_gadget", "platform": "netkit",
+         "overrides": {"inject_fault": "deploy"}}
+      ]
+    }
+
+Fault-schedule axis entries are ``null``, a path to a ``.fault`` file
+(relative to the spec file), or ``{"inline": "at 2 link_down r1 r2"}``;
+either way the schedule is canonicalised to its DSL text at load time
+so the trial hash moves when the schedule *content* changes.  The
+optional ``trials`` list appends explicit one-off trials after the axis
+product — the idiomatic place for a deliberately fault-injected trial.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from repro.design import DEFAULT_RULES
+from repro.exceptions import CampaignError
+from repro.nidb.database import stable_hash
+from repro.resilience import FaultSchedule
+
+#: Override keys a trial may carry; anything else is a spec typo.
+KNOWN_OVERRIDES = (
+    "max_rounds",     # convergence round deadline (int)
+    "deploy",         # boot the lab after rendering (bool, default true)
+    "reachability",   # measure the loopback reachability matrix (bool)
+    "inject_fault",   # force this trial to fail at a stage (chaos hook)
+    "lab_name",       # deployment lab name (str)
+)
+
+#: Stages ``inject_fault`` may name.
+INJECTABLE_STAGES = ("build", "deploy", "measure")
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One fully resolved cell of the campaign matrix."""
+
+    topology: str            # builtin name or path as written in the spec
+    platform: str
+    rules: tuple
+    schedule: Optional[str]  # canonical fault-schedule DSL text
+    overrides: tuple         # sorted (key, value) pairs
+    sequence: int = 0        # position in the expansion (sharding order)
+
+    def canonical(self) -> dict:
+        """The hash input: everything that defines the trial's outcome."""
+        return {
+            "topology": self.topology,
+            "platform": self.platform,
+            "rules": list(self.rules),
+            "schedule": self.schedule,
+            "overrides": dict(self.overrides),
+        }
+
+    @property
+    def spec_hash(self) -> str:
+        return stable_hash(self.canonical())
+
+    @property
+    def trial_id(self) -> str:
+        """Readable and unique: ``<topology>@<platform>-<hash8>``."""
+        stem = os.path.splitext(os.path.basename(self.topology))[0]
+        return "%s@%s-%s" % (stem, self.platform, self.spec_hash[:8])
+
+    def override(self, key: str, default: Any = None) -> Any:
+        return dict(self.overrides).get(key, default)
+
+    def to_dict(self) -> dict:
+        data = self.canonical()
+        data["trial_id"] = self.trial_id
+        data["spec_hash"] = self.spec_hash
+        data["sequence"] = self.sequence
+        return data
+
+    def __str__(self) -> str:
+        return self.trial_id
+
+
+@dataclass
+class CampaignSpec:
+    """A named experiment matrix, expanded into its trial list."""
+
+    name: str
+    trials: list[TrialSpec] = field(default_factory=list)
+    directory: Optional[str] = None  # result-store directory, if the spec names one
+    base_dir: str = "."              # resolves relative topology/schedule paths
+    raw: dict = field(default_factory=dict)
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "CampaignSpec":
+        """Load a spec from a JSON file; relative paths resolve beside it."""
+        path = str(path)
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except ValueError as exc:
+            raise CampaignError("campaign spec %s is not valid JSON: %s" % (path, exc))
+        return cls.from_dict(data, base_dir=os.path.dirname(os.path.abspath(path)))
+
+    @classmethod
+    def from_dict(cls, data: dict, base_dir: str | None = None) -> "CampaignSpec":
+        if not isinstance(data, dict):
+            raise CampaignError("campaign spec must be a JSON object")
+        base_dir = base_dir or os.getcwd()
+        name = data.get("name")
+        if not name:
+            raise CampaignError("campaign spec needs a 'name'")
+        topologies = _string_list(data, "topologies")
+        platforms = _string_list(data, "platforms")
+        rule_sets = data.get("rule_sets") or [list(DEFAULT_RULES)]
+        schedules = data.get("fault_schedules") or [None]
+        override_axis = data.get("overrides") or [{}]
+        defaults = _trial_defaults(data)
+
+        spec = cls(
+            name=str(name),
+            directory=data.get("directory"),
+            base_dir=base_dir,
+            raw=data,
+        )
+        cells = [
+            (topology, platform, rules, schedule, overrides)
+            for topology in topologies
+            for platform in platforms
+            for rules in rule_sets
+            for schedule in schedules
+            for overrides in override_axis
+        ]
+        for topology, platform, rules, schedule, overrides in cells:
+            spec.trials.append(
+                _make_trial(
+                    topology, platform, rules, schedule,
+                    {**defaults, **_check_overrides(overrides)},
+                    base_dir, sequence=len(spec.trials),
+                )
+            )
+        for extra in data.get("trials") or []:
+            if not isinstance(extra, dict) or "topology" not in extra or "platform" not in extra:
+                raise CampaignError(
+                    "explicit trial entries need 'topology' and 'platform': %r" % (extra,)
+                )
+            spec.trials.append(
+                _make_trial(
+                    extra["topology"],
+                    extra["platform"],
+                    extra.get("rules") or (rule_sets[0] if rule_sets else DEFAULT_RULES),
+                    extra.get("fault_schedule"),
+                    {**defaults, **_check_overrides(extra.get("overrides") or {})},
+                    base_dir, sequence=len(spec.trials),
+                )
+            )
+        if not spec.trials:
+            raise CampaignError("campaign %r expands to zero trials" % spec.name)
+        _check_unique(spec.trials)
+        return spec
+
+    # -- selection -----------------------------------------------------------
+    def shard(self, index: int, count: int) -> list[TrialSpec]:
+        """The deterministic slice of trials shard ``index`` of ``count`` owns."""
+        if count < 1 or not 0 <= index < count:
+            raise CampaignError(
+                "bad shard %d/%d: index must be in [0, count)" % (index, count)
+            )
+        return [trial for trial in self.trials if trial.sequence % count == index]
+
+    def trial_by_hash(self, spec_hash: str) -> Optional[TrialSpec]:
+        for trial in self.trials:
+            if trial.spec_hash == spec_hash:
+                return trial
+        return None
+
+    def resolve_path(self, token: str) -> str:
+        """A spec-relative path made absolute (builtin names pass through)."""
+        if os.path.isabs(token):
+            return token
+        return os.path.join(self.base_dir, token)
+
+    def __len__(self) -> int:
+        return len(self.trials)
+
+    def __iter__(self):
+        return iter(self.trials)
+
+    def __repr__(self) -> str:
+        return "CampaignSpec(%r, %d trials)" % (self.name, len(self.trials))
+
+
+def _string_list(data: dict, key: str) -> list[str]:
+    values = data.get(key)
+    if not values or not isinstance(values, list):
+        raise CampaignError("campaign spec needs a non-empty %r list" % key)
+    return [str(value) for value in values]
+
+
+def _trial_defaults(data: dict) -> dict:
+    """Top-level spec keys that seed every trial's overrides."""
+    defaults: dict = {}
+    if "max_rounds" in data:
+        defaults["max_rounds"] = int(data["max_rounds"])
+    if "deploy" in data:
+        defaults["deploy"] = bool(data["deploy"])
+    if "reachability" in data:
+        defaults["reachability"] = bool(data["reachability"])
+    return defaults
+
+
+def _check_overrides(overrides: dict) -> dict:
+    if not isinstance(overrides, dict):
+        raise CampaignError("overrides entries must be objects, got %r" % (overrides,))
+    for key in overrides:
+        if key not in KNOWN_OVERRIDES:
+            raise CampaignError(
+                "unknown override %r (choose from %s)"
+                % (key, ", ".join(KNOWN_OVERRIDES))
+            )
+    stage = overrides.get("inject_fault")
+    if stage is not None and stage not in INJECTABLE_STAGES:
+        raise CampaignError(
+            "inject_fault must name a stage (%s), got %r"
+            % (", ".join(INJECTABLE_STAGES), stage)
+        )
+    return overrides
+
+
+def _make_trial(
+    topology, platform, rules, schedule, overrides: dict,
+    base_dir: str, sequence: int,
+) -> TrialSpec:
+    return TrialSpec(
+        topology=str(topology),
+        platform=str(platform),
+        rules=tuple(str(rule) for rule in rules),
+        schedule=_canonical_schedule(schedule, base_dir),
+        overrides=tuple(sorted(overrides.items())),
+        sequence=sequence,
+    )
+
+
+def _canonical_schedule(entry, base_dir: str) -> Optional[str]:
+    """Normalise a schedule axis entry to validated DSL text (or None)."""
+    if entry is None:
+        return None
+    if isinstance(entry, dict):
+        if "inline" in entry:
+            text = str(entry["inline"])
+        elif "file" in entry:
+            text = _read_schedule(str(entry["file"]), base_dir)
+        else:
+            raise CampaignError(
+                "fault schedule entries need 'inline' or 'file': %r" % (entry,)
+            )
+    elif isinstance(entry, str):
+        text = _read_schedule(entry, base_dir)
+    else:
+        raise CampaignError("bad fault schedule entry %r" % (entry,))
+    schedule = FaultSchedule.parse(text)  # validates the DSL early
+    return "\n".join(str(event) for event in schedule)
+
+
+def _read_schedule(path: str, base_dir: str) -> str:
+    if not os.path.isabs(path):
+        path = os.path.join(base_dir, path)
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except OSError as exc:
+        raise CampaignError("cannot read fault schedule %s: %s" % (path, exc))
+
+
+def _check_unique(trials: Iterable[TrialSpec]) -> None:
+    seen: dict[str, TrialSpec] = {}
+    for trial in trials:
+        clash = seen.get(trial.spec_hash)
+        if clash is not None:
+            raise CampaignError(
+                "campaign contains duplicate trials: %s and %s expand to the "
+                "same specification" % (clash.trial_id, trial.trial_id)
+            )
+        seen[trial.spec_hash] = trial

@@ -1,0 +1,273 @@
+"""The resumable campaign result store.
+
+One campaign owns one directory::
+
+    <campaign_dir>/
+      index.jsonl          # one JSON record per finished trial (append-only)
+      cache/               # shared artifact cache (default location)
+      trials/<trial_id>/   # per-trial run directory
+        rendered/          # the trial's lab files
+        result.json        # the trial's full record
+        trace.jsonl        # the trial's telemetry trace
+
+The JSONL index is the resume contract: records are keyed on the
+trial's :attr:`~repro.campaign.spec.TrialSpec.spec_hash`, appended
+atomically (one ``write`` of one line) as each trial finishes, so an
+interrupted campaign loses at most the in-flight trials.  Re-running
+the campaign skips every hash already present — only the delta
+executes — and re-running an *extended* spec executes exactly the new
+cells.  When a trial is re-executed (``retry_failed``), its new record
+is appended and supersedes the old one: readers keep the **last**
+record per hash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.campaign.spec import CampaignSpec, TrialSpec
+from repro.exceptions import CampaignError
+
+INDEX_NAME = "index.jsonl"
+
+#: Trial statuses recorded in the index.
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+
+
+@dataclass
+class TrialRecord:
+    """What one executed trial left behind."""
+
+    trial_id: str
+    spec_hash: str
+    status: str                      # ok | failed
+    topology: str = ""
+    platform: str = ""
+    error: Optional[str] = None      # failure cause when status == failed
+    convergence: dict = field(default_factory=dict)   # ConvergenceReport.to_dict()
+    reachability: dict = field(default_factory=dict)  # pairs / reachable / fraction
+    timings: dict = field(default_factory=dict)       # phase -> seconds
+    engine: dict = field(default_factory=dict)        # cache_hits / misses / rendered
+    run_dir: str = ""
+    duration_seconds: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def outcome(self) -> str:
+        """One human cell: the trial's verdict for the report tables."""
+        if not self.ok:
+            return "FAILED: %s" % (self.error or "unknown error")
+        status = self.convergence.get("status")
+        if status is None:
+            return "built (not deployed)"
+        if status == "converged":
+            return "converged in %d rounds" % self.convergence.get("rounds", 0)
+        if status == "oscillating":
+            return "oscillating (period %d)" % self.convergence.get("period", 0)
+        if status == "partitioned":
+            return "partitioned (%d components)" % self.convergence.get("components", 1)
+        return "undetermined after %d rounds" % self.convergence.get("rounds", 0)
+
+    def to_dict(self) -> dict:
+        return {
+            "trial_id": self.trial_id,
+            "spec_hash": self.spec_hash,
+            "status": self.status,
+            "topology": self.topology,
+            "platform": self.platform,
+            "error": self.error,
+            "convergence": self.convergence,
+            "reachability": self.reachability,
+            "timings": self.timings,
+            "engine": self.engine,
+            "run_dir": self.run_dir,
+            "duration_seconds": self.duration_seconds,
+            "finished_at": self.finished_at,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrialRecord":
+        return cls(
+            trial_id=data.get("trial_id", ""),
+            spec_hash=data.get("spec_hash", ""),
+            status=data.get("status", STATUS_FAILED),
+            topology=data.get("topology", ""),
+            platform=data.get("platform", ""),
+            error=data.get("error"),
+            convergence=data.get("convergence") or {},
+            reachability=data.get("reachability") or {},
+            timings=data.get("timings") or {},
+            engine=data.get("engine") or {},
+            run_dir=data.get("run_dir", ""),
+            duration_seconds=data.get("duration_seconds", 0.0),
+            finished_at=data.get("finished_at", 0.0),
+        )
+
+
+class ResultStore:
+    """Append-only, hash-keyed storage for one campaign's results."""
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = str(directory)
+        os.makedirs(os.path.join(self.directory, "trials"), exist_ok=True)
+        self._lock = threading.Lock()
+
+    # -- paths ---------------------------------------------------------------
+    @property
+    def index_path(self) -> str:
+        return os.path.join(self.directory, INDEX_NAME)
+
+    def cache_dir(self) -> str:
+        return os.path.join(self.directory, "cache")
+
+    def trial_dir(self, trial: TrialSpec | TrialRecord) -> str:
+        return os.path.join(self.directory, "trials", trial.trial_id)
+
+    # -- the index -----------------------------------------------------------
+    def append(self, record: TrialRecord) -> None:
+        """Durably add one finished trial: a single appended JSON line."""
+        record.finished_at = record.finished_at or time.time()
+        line = json.dumps(record.to_dict(), sort_keys=True, default=str)
+        with self._lock:
+            with open(self.index_path, "a") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def records(self) -> list[TrialRecord]:
+        """Every valid index record, in append order (duplicates kept)."""
+        if not os.path.exists(self.index_path):
+            return []
+        found = []
+        with self._lock:
+            with open(self.index_path) as handle:
+                lines = handle.readlines()
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                found.append(TrialRecord.from_dict(json.loads(line)))
+            except ValueError:
+                # a torn final line from an interrupted run is expected;
+                # that trial simply re-executes on resume
+                continue
+        return found
+
+    def latest(self) -> dict[str, TrialRecord]:
+        """Last record per spec hash — the store's authoritative view."""
+        latest: dict[str, TrialRecord] = {}
+        for record in self.records():
+            latest[record.spec_hash] = record
+        return latest
+
+    def completed_hashes(self, include_failed: bool = True) -> set[str]:
+        """Spec hashes resume should skip.
+
+        Failed trials count as completed by default — their failure is
+        the recorded result; ``include_failed=False`` is the
+        ``retry_failed`` view, which re-executes them.
+        """
+        return {
+            spec_hash
+            for spec_hash, record in self.latest().items()
+            if include_failed or record.ok
+        }
+
+    # -- per-trial artefacts -------------------------------------------------
+    def write_trial_result(self, record: TrialRecord) -> str:
+        run_dir = record.run_dir or self.trial_dir(record)
+        os.makedirs(run_dir, exist_ok=True)
+        path = os.path.join(run_dir, "result.json")
+        with open(path, "w") as handle:
+            json.dump(record.to_dict(), handle, indent=2, sort_keys=True, default=str)
+        return path
+
+    # -- campaign-level views ------------------------------------------------
+    def status(self, spec: CampaignSpec) -> dict:
+        """Where a campaign stands against this store's index."""
+        latest = self.latest()
+        done, failed, pending = [], [], []
+        for trial in spec:
+            record = latest.get(trial.spec_hash)
+            if record is None:
+                pending.append(trial.trial_id)
+            elif record.ok:
+                done.append(trial.trial_id)
+            else:
+                failed.append(trial.trial_id)
+        return {
+            "campaign": spec.name,
+            "total": len(spec),
+            "completed": len(done) + len(failed),
+            "ok": len(done),
+            "failed": len(failed),
+            "pending": len(pending),
+            "pending_trials": pending,
+            "failed_trials": failed,
+        }
+
+    def __len__(self) -> int:
+        return len(self.latest())
+
+    def __repr__(self) -> str:
+        return "ResultStore(%r, %d trials)" % (self.directory, len(self))
+
+
+def load_records(source: str | os.PathLike | Iterable[TrialRecord]) -> list[TrialRecord]:
+    """Records from a store directory, an index file, or a record list.
+
+    The report and comparison layers accept any of the three, so
+    ``repro campaign report`` works on a campaign directory while the
+    API composes from in-memory results; duplicates collapse to the
+    last record per spec hash, in first-seen order.
+    """
+    if isinstance(source, (str, os.PathLike)):
+        path = str(source)
+        if os.path.isdir(path):
+            path = os.path.join(path, INDEX_NAME)
+        if not os.path.exists(path):
+            raise CampaignError("no campaign index at %s" % path)
+        records = ResultStoreReader(path).records()
+    else:
+        records = list(source)
+    latest: dict[str, TrialRecord] = {}
+    for record in records:
+        latest[record.spec_hash] = record
+    ordered: list[TrialRecord] = []
+    seen: set[str] = set()
+    for record in records:
+        if record.spec_hash in seen:
+            continue
+        seen.add(record.spec_hash)
+        ordered.append(latest[record.spec_hash])
+    return ordered
+
+
+class ResultStoreReader:
+    """Read-only index access for stores we did not create (baselines)."""
+
+    def __init__(self, index_path: str):
+        self.index_path = index_path
+
+    def records(self) -> list[TrialRecord]:
+        found = []
+        with open(self.index_path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    found.append(TrialRecord.from_dict(json.loads(line)))
+                except ValueError:
+                    continue
+        return found

@@ -12,6 +12,9 @@ the same stages as subcommands::
     repro whatif    topology.graphml --fail-link r1 r2 --fail-node r9
     repro chaos     topology.graphml --schedule incidents.fault
     repro diff      before.graphml after.graphml
+    repro campaign  run spec.json -j4           # a whole experiment matrix
+    repro campaign  status spec.json            # completed / failed / pending
+    repro campaign  report results_dir/         # cross-trial tables
 
 Every subcommand accepts a GraphML/GML/JSON topology path or one of the
 built-in topology names (``small_internet``, ``fig5``, ``bad_gadget``,
@@ -32,19 +35,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import tempfile
 
 from repro.design import DEFAULT_RULES
 from repro.exceptions import ReproError
 from repro.observability import INFO, Telemetry
-
-BUILTIN_TOPOLOGIES = {
-    "small_internet": "small_internet",
-    "fig5": "fig5_topology",
-    "bad_gadget": "bad_gadget_topology",
-    "nren": "european_nren_model",
-}
 
 
 class CliOutput:
@@ -96,15 +93,16 @@ class CliOutput:
 
 
 def _load(source: str):
-    from repro import loader
+    from repro.loader import BUILTIN_TOPOLOGIES, builtin_topology
     from repro.workflow import load_topology
 
     if source in BUILTIN_TOPOLOGIES:
-        return getattr(loader, BUILTIN_TOPOLOGIES[source])()
+        return builtin_topology(source)
     return load_topology(source)
 
 
-def _add_common(parser: argparse.ArgumentParser) -> None:
+# -- shared option groups ----------------------------------------------------
+def _add_topology_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("topology", help="topology file or built-in name")
     parser.add_argument(
         "--platform",
@@ -118,19 +116,28 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="design rules to apply (default: %(default)s)",
     )
     parser.add_argument("-o", "--output", default=None, help="output directory")
+
+
+def _add_resilience_options(
+    parser: argparse.ArgumentParser, strict_default: bool = True
+) -> None:
     resilience = parser.add_argument_group("resilience")
     resilience.add_argument(
         "--strict",
         action=argparse.BooleanOptionalAction,
-        default=True,
+        default=strict_default,
         help="--no-strict quarantines failed-parse devices instead of "
-        "aborting the boot (default: strict)",
+        "aborting the boot (default: %s)"
+        % ("strict" if strict_default else "no-strict"),
     )
     resilience.add_argument(
         "--retries", type=int, default=0, metavar="N",
         help="retry transient deploy/measure errors up to N times "
         "(default 0: fail fast)",
     )
+
+
+def _add_observability_options(parser: argparse.ArgumentParser) -> None:
     observability = parser.add_argument_group("observability")
     observability.add_argument(
         "--trace", default=None, metavar="PATH",
@@ -157,85 +164,182 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    _add_topology_options(parser)
+    _add_resilience_options(parser)
+    _add_observability_options(parser)
+
+
+# -- per-subcommand extras ---------------------------------------------------
+def _add_build_options(sub: argparse.ArgumentParser) -> None:
+    engine_group = sub.add_argument_group("build engine")
+    engine_group.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="parallel render jobs (default 1: serial)",
+    )
+    engine_group.add_argument(
+        "--executor", default=None,
+        choices=["serial", "thread", "process"],
+        help="executor kind (default: serial for -j1, threads above)",
+    )
+    engine_group.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="persist the artifact cache here across invocations",
+    )
+    engine_group.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the content-addressed artifact cache",
+    )
+    engine_group.add_argument(
+        "--incremental", action="store_true",
+        help="reuse the previous build recorded in --cache-dir and "
+        "prune outputs of devices that left the topology",
+    )
+
+
+def _add_measure_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("-c", "--command", required=True, dest="measure_command")
+    sub.add_argument(
+        "-H", "--hosts", nargs="+", default=None, help="machines to run on"
+    )
+
+
+def _add_visualize_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--overlay", default="phy")
+
+
+def _add_diff_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("topology_b", help="second topology file or built-in name")
+
+
+def _add_whatif_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--fail-link",
+        nargs=2,
+        action="append",
+        metavar=("SRC", "DST"),
+        default=[],
+        help="fail the link between two machines (repeatable)",
+    )
+    sub.add_argument(
+        "--fail-node",
+        action="append",
+        default=[],
+        help="power a machine off (repeatable)",
+    )
+
+
+def _add_chaos_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--schedule", default=None, metavar="PATH",
+        help="fault schedule file ('at <round> <kind> <targets>' per line)",
+    )
+    sub.add_argument(
+        "--event", action="append", default=[], metavar="SPEC",
+        help="inline schedule line, e.g. 'at 2 link_down r1 r2' (repeatable)",
+    )
+
+
+def _add_campaign_options(sub: argparse.ArgumentParser) -> None:
+    """The campaign subcommand has its own shape: no single topology."""
+    sub.add_argument(
+        "action", choices=["run", "status", "report"],
+        help="run the pending trials, show progress, or aggregate results",
+    )
+    sub.add_argument(
+        "spec",
+        help="campaign spec JSON; status/report also accept a campaign "
+        "results directory",
+    )
+    sub.add_argument(
+        "-o", "--campaign-dir", default=None, metavar="PATH",
+        help="results directory (default: the spec's 'directory', else "
+        "<name>.campaign in the working directory)",
+    )
+    runner = sub.add_argument_group("runner")
+    runner.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="trials to execute in parallel (default 1: serial)",
+    )
+    runner.add_argument(
+        "--executor", default=None,
+        choices=["serial", "thread", "process"],
+        help="executor kind (default: serial for -j1, threads above)",
+    )
+    runner.add_argument(
+        "--shard", default=None, metavar="I/N",
+        help="run only shard I of N (deterministic slice of the matrix)",
+    )
+    runner.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="shared artifact cache (default: <campaign-dir>/cache)",
+    )
+    runner.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="execute at most N pending trials this invocation",
+    )
+    runner.add_argument(
+        "--retry-failed", action="store_true",
+        help="re-execute trials whose last record is a failure",
+    )
+    runner.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry transient per-trial errors up to N times",
+    )
+    runner.add_argument(
+        "--strict",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="--strict exits non-zero when any executed trial failed "
+        "(default: quarantine failures and exit 0)",
+    )
+    report = sub.add_argument_group("report")
+    report.add_argument(
+        "--format", default="markdown", dest="report_format",
+        choices=["markdown", "csv", "json"],
+        help="report output format (default: markdown)",
+    )
+    report.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="compare against another campaign's index and flag regressions",
+    )
+    _add_observability_options(sub)
+
+
+#: (name, help text, extra-options wiring); campaign wires itself fully.
+_SUBCOMMANDS = [
+    ("info", "print the designed overlay topologies", None),
+    ("build", "design, compile and render configurations", _add_build_options),
+    ("verify", "static checks and iBGP stability detection", None),
+    ("deploy", "build then boot the lab in the emulation substrate", None),
+    ("measure", "deploy then run a measurement command", _add_measure_options),
+    ("visualize", "export an overlay as self-contained HTML/JSON",
+     _add_visualize_options),
+    ("whatif", "deploy, inject failures, compare reachability",
+     _add_whatif_options),
+    ("chaos", "deploy, then run a timed fault schedule against the lab",
+     _add_chaos_options),
+    ("diff", "compare the compiled device state of two topologies",
+     _add_diff_options),
+    ("campaign", "run a whole experiment matrix with resume and reports",
+     _add_campaign_options),
+]
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="automated configuration of emulated network experiments",
     )
     commands = parser.add_subparsers(dest="command", required=True)
-
-    for name, help_text in [
-        ("info", "print the designed overlay topologies"),
-        ("build", "design, compile and render configurations"),
-        ("verify", "static checks and iBGP stability detection"),
-        ("deploy", "build then boot the lab in the emulation substrate"),
-        ("measure", "deploy then run a measurement command"),
-        ("visualize", "export an overlay as self-contained HTML/JSON"),
-        ("whatif", "deploy, inject failures, compare reachability"),
-        ("chaos", "deploy, then run a timed fault schedule against the lab"),
-        ("diff", "compare the compiled device state of two topologies"),
-    ]:
+    for name, help_text, add_options in _SUBCOMMANDS:
         sub = commands.add_parser(name, help=help_text)
+        if name == "campaign":
+            add_options(sub)
+            continue
         _add_common(sub)
-        if name == "build":
-            engine_group = sub.add_argument_group("build engine")
-            engine_group.add_argument(
-                "-j", "--jobs", type=int, default=1,
-                help="parallel render jobs (default 1: serial)",
-            )
-            engine_group.add_argument(
-                "--executor", default=None,
-                choices=["serial", "thread", "process"],
-                help="executor kind (default: serial for -j1, threads above)",
-            )
-            engine_group.add_argument(
-                "--cache-dir", default=None, metavar="PATH",
-                help="persist the artifact cache here across invocations",
-            )
-            engine_group.add_argument(
-                "--no-cache", action="store_true",
-                help="disable the content-addressed artifact cache",
-            )
-            engine_group.add_argument(
-                "--incremental", action="store_true",
-                help="reuse the previous build recorded in --cache-dir and "
-                "prune outputs of devices that left the topology",
-            )
-        if name == "measure":
-            sub.add_argument("-c", "--command", required=True, dest="measure_command")
-            sub.add_argument(
-                "-H", "--hosts", nargs="+", default=None, help="machines to run on"
-            )
-        if name == "visualize":
-            sub.add_argument("--overlay", default="phy")
-        if name == "diff":
-            sub.add_argument("topology_b", help="second topology file or built-in name")
-        if name == "whatif":
-            sub.add_argument(
-                "--fail-link",
-                nargs=2,
-                action="append",
-                metavar=("SRC", "DST"),
-                default=[],
-                help="fail the link between two machines (repeatable)",
-            )
-            sub.add_argument(
-                "--fail-node",
-                action="append",
-                default=[],
-                help="power a machine off (repeatable)",
-            )
-        if name == "chaos":
-            sub.add_argument(
-                "--schedule", default=None, metavar="PATH",
-                help="fault schedule file ('at <round> <kind> <targets>' "
-                "per line)",
-            )
-            sub.add_argument(
-                "--event", action="append", default=[], metavar="SPEC",
-                help="inline schedule line, e.g. 'at 2 link_down r1 r2' "
-                "(repeatable)",
-            )
+        if add_options is not None:
+            add_options(sub)
     return parser
 
 
@@ -249,6 +353,12 @@ def main(argv: list[str] | None = None) -> int:
     except FileNotFoundError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # a half-finished campaign (or any run) must exit cleanly: the
+        # result stores are append-only, so interrupt-and-resume is a
+        # supported workflow, not a crash
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -262,6 +372,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         "whatif": _cmd_whatif,
         "chaos": _cmd_chaos,
         "diff": _cmd_diff,
+        "campaign": _cmd_campaign,
     }[args.command]
     telemetry = Telemetry()
     out = CliOutput(
@@ -270,9 +381,11 @@ def _dispatch(args: argparse.Namespace) -> int:
         quiet=args.quiet,
         json_mode=args.json_mode,
     )
+    # `campaign` takes a spec, not a single topology
+    subject = getattr(args, "topology", None) or getattr(args, "spec", None)
     try:
         with telemetry.activate():
-            with telemetry.span(args.command, topology=args.topology):
+            with telemetry.span(args.command, topology=subject):
                 exit_code = handler(args, out)
     except Exception as exc:
         # a failure trace is the one most worth keeping: the root span
@@ -493,24 +606,40 @@ def _cmd_measure(args, out: CliOutput) -> int:
     hosts = args.hosts or [str(device.node_id) for device in nidb.routers()]
     run = client.send(args.measure_command, hosts)
     measurements = []
+    failures = []
     for measurement in run.results:
         out.emit("=== %s ===" % measurement.machine, machine=measurement.machine)
-        out.emit(measurement.output)
-        if measurement.mapped_path:
-            out.emit("mapped: %s" % " -> ".join(measurement.mapped_path))
-            out.emit("AS path: %s" % measurement.as_path)
+        if measurement.ok:
+            out.emit(measurement.output)
+            if measurement.mapped_path:
+                out.emit("mapped: %s" % " -> ".join(measurement.mapped_path))
+                out.emit("AS path: %s" % measurement.as_path)
+        else:
+            out.emit("FAILED: %s" % measurement.error)
+            failures.append(measurement.machine)
         out.emit("")
         measurements.append(
             {
                 "machine": measurement.machine,
+                "ok": measurement.ok,
+                "error": measurement.error,
                 "output": measurement.output,
                 "parsed": measurement.parsed,
                 "mapped_path": measurement.mapped_path,
                 "as_path": measurement.as_path,
             }
         )
-    out.result(measure_command=args.measure_command, results=measurements)
-    return 0
+    if failures:
+        out.emit(
+            "%d/%d measurements failed: %s"
+            % (len(failures), len(measurements), ", ".join(failures))
+        )
+    out.result(
+        measure_command=args.measure_command,
+        results=measurements,
+        failures=failures,
+    )
+    return 0 if not failures else 1
 
 
 def _cmd_whatif(args, out: CliOutput) -> int:
@@ -621,6 +750,140 @@ def _cmd_diff(args, out: CliOutput) -> int:
         },
     )
     return 0 if diff.unchanged else 1
+
+
+def _campaign_directory(args, spec) -> str:
+    """CLI flag beats the spec's 'directory'; last resort is <name>.campaign."""
+    if args.campaign_dir:
+        return args.campaign_dir
+    if spec.directory:
+        directory = str(spec.directory)
+        if os.path.isabs(directory):
+            return directory
+        return spec.resolve_path(directory)
+    return os.path.join(os.getcwd(), "%s.campaign" % spec.name)
+
+
+def _parse_shard(token):
+    from repro.exceptions import CampaignError
+
+    if token is None:
+        return None
+    try:
+        index_text, count_text = token.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise CampaignError("--shard expects I/N (e.g. 0/4), got %r" % token)
+    if count < 1 or not 0 <= index < count:
+        raise CampaignError("--shard needs 0 <= I < N, got %r" % token)
+    return index, count
+
+
+def _cmd_campaign(args, out: CliOutput) -> int:
+    from repro.campaign import CampaignRunner, CampaignSpec
+    from repro.exceptions import CampaignError
+
+    if args.action == "report":
+        return _campaign_report(args, out)
+    if os.path.isdir(args.spec):
+        raise CampaignError(
+            "campaign %s needs the spec JSON, not a directory" % args.action
+        )
+    spec = CampaignSpec.load(args.spec)
+    directory = _campaign_directory(args, spec)
+    if args.action == "status":
+        return _campaign_status(spec, directory, out)
+
+    runner = CampaignRunner(
+        spec,
+        directory=directory,
+        jobs=args.jobs,
+        executor=args.executor,
+        shard=_parse_shard(args.shard),
+        retry_policy=_retry_policy(args),
+        retry_failed=args.retry_failed,
+        limit=args.limit,
+        cache_dir=args.cache_dir,
+    )
+    result = runner.run()
+    for record in result.records:
+        out.emit(
+            "%s %s" % (record.trial_id, record.outcome()),
+            trial=record.trial_id,
+            status=record.status,
+        )
+    out.emit(result.summary())
+    out.result(
+        campaign=spec.name,
+        directory=result.directory,
+        executed=result.executed,
+        resumed=result.skipped,
+        failed=[record.trial_id for record in result.failed],
+        cache_hits=result.cache_hits,
+        cache_misses=result.cache_misses,
+        trials=[record.to_dict() for record in result.records],
+    )
+    # failed trials are quarantined in the index, not fatal -- a matrix
+    # with a known-broken cell should still complete and report
+    if args.strict and not result.ok:
+        return 1
+    return 0
+
+
+def _campaign_status(spec, directory, out: CliOutput) -> int:
+    from repro.campaign import ResultStore
+
+    status = ResultStore(directory).status(spec)
+    out.emit(
+        "campaign %s: %d/%d trials complete (%d ok, %d failed, %d pending)"
+        % (
+            status["campaign"],
+            status["completed"],
+            status["total"],
+            status["ok"],
+            status["failed"],
+            status["pending"],
+        )
+    )
+    for trial_id in status["failed_trials"]:
+        out.emit("  failed: %s" % trial_id, trial=trial_id)
+    for trial_id in status["pending_trials"]:
+        out.emit("  pending: %s" % trial_id, trial=trial_id)
+    out.result(directory=directory, **status)
+    return 0 if status["pending"] == 0 else 3
+
+
+def _campaign_report(args, out: CliOutput) -> int:
+    from repro.campaign import (
+        CampaignSpec,
+        campaign_summary,
+        compare_campaigns,
+        load_records,
+        render_report,
+    )
+
+    token = args.spec
+    spec = None
+    if os.path.isdir(token) or token.endswith(".jsonl"):
+        source = token  # a results directory or the index itself
+    else:
+        spec = CampaignSpec.load(token)
+        source = _campaign_directory(args, spec)
+    records = load_records(source)
+    if args.baseline:
+        comparison = compare_campaigns(load_records(args.baseline), records)
+        out.emit(comparison.format())
+        out.result(comparison=comparison.to_dict())
+        return 0 if comparison.ok else 1
+    title = spec.name if spec is not None else ""
+    text = render_report(records, fmt=args.report_format, title=title)
+    out.emit(text)
+    out.result(
+        format=args.report_format,
+        report=text,
+        summary=campaign_summary(records),
+    )
+    return 0
 
 
 def _cmd_visualize(args, out: CliOutput) -> int:

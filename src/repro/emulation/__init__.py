@@ -36,6 +36,7 @@ from repro.emulation.whatif import (
     fail_links,
     fail_node,
     reachability_matrix,
+    reachability_summary,
 )
 
 __all__ = [
@@ -68,4 +69,5 @@ __all__ = [
     "fail_links",
     "fail_node",
     "reachability_matrix",
+    "reachability_summary",
 ]

@@ -72,6 +72,23 @@ def reachability_matrix(lab: EmulatedLab, machines: Iterable[str] | None = None)
     return matrix
 
 
+def reachability_summary(
+    lab: EmulatedLab, machines: Iterable[str] | None = None
+) -> dict:
+    """The reachability matrix condensed to the numbers reports roll up.
+
+    ``{"pairs": N, "reachable": K, "fraction": K/N}`` — what a campaign
+    trial records per scenario, instead of the full O(n²) matrix.
+    """
+    matrix = reachability_matrix(lab, machines)
+    reachable = sum(1 for ok in matrix.values() if ok)
+    return {
+        "pairs": len(matrix),
+        "reachable": reachable,
+        "fraction": round(reachable / len(matrix), 4) if matrix else 1.0,
+    }
+
+
 def compare_reachability(before: dict, after: dict) -> dict:
     """Partition pairs into kept / lost / gained reachability."""
     kept = {pair for pair, ok in after.items() if ok and before.get(pair)}

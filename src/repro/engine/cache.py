@@ -145,6 +145,16 @@ class ArtifactCache:
                 return True
         return bool(self.directory) and os.path.exists(self._object_path(key))
 
+    def stats(self) -> dict:
+        """Hit/miss traffic and residency — what campaign reports roll up."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "memory_objects": len(self._memory),
+                "directory": self.directory,
+            }
+
     def clear_memory(self) -> None:
         with self._lock:
             self._memory.clear()

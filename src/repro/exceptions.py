@@ -62,6 +62,10 @@ class EngineError(ReproError):
     """The build engine could not schedule or execute the task graph."""
 
 
+class CampaignError(ReproError):
+    """An experiment campaign could not be specified or orchestrated."""
+
+
 class RenderError(ReproError):
     """Template rendering of the resource database failed."""
 

@@ -19,11 +19,37 @@ from repro.loader.topology_gen import (
 )
 from repro.loader.validate import apply_defaults, coerce_asn, normalise, validate
 
+#: Built-in topology names usable wherever a topology file is expected
+#: (the CLI, campaign specs), mapped to their generator functions.
+BUILTIN_TOPOLOGIES = {
+    "small_internet": small_internet,
+    "fig5": fig5_topology,
+    "bad_gadget": bad_gadget_topology,
+    "nren": european_nren_model,
+}
+
+
+def builtin_topology(name: str):
+    """Instantiate a built-in topology by name."""
+    from repro.exceptions import LoaderError
+
+    try:
+        generator = BUILTIN_TOPOLOGIES[name]
+    except KeyError:
+        raise LoaderError(
+            "unknown built-in topology %r (choose from %s)"
+            % (name, ", ".join(sorted(BUILTIN_TOPOLOGIES)))
+        ) from None
+    return generator()
+
+
 __all__ = [
+    "BUILTIN_TOPOLOGIES",
     "annotate_as_by_attribute",
     "apply_defaults",
     "attach_servers",
     "bad_gadget_topology",
+    "builtin_topology",
     "coerce_asn",
     "dump_json",
     "european_nren_model",

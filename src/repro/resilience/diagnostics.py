@@ -95,6 +95,18 @@ class ConvergenceReport:
             "quarantined": list(self.quarantined),
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "ConvergenceReport":
+        """Rebuild a report from its ``to_dict`` form (result-store records)."""
+        return cls(
+            status=data.get("status", UNDETERMINED),
+            rounds=int(data.get("rounds", 0)),
+            deadline=int(data.get("deadline", 0)),
+            period=int(data.get("period", 0)),
+            components=int(data.get("components", 1)),
+            quarantined=list(data.get("quarantined") or []),
+        )
+
     def summary(self) -> str:
         text = "%s after %d/%d rounds" % (self.status, self.rounds, self.deadline)
         if self.status == OSCILLATING:

@@ -9,6 +9,11 @@ layers themselves), the metrics registry, and the structured event log.
 ``ExperimentResult.timings`` stays as a derived per-phase view — the
 quantities the §3.2 scale experiment reports: load/build, compile,
 render — now measured uniformly from the phase spans.
+
+For *matrices* of runs — the same experiment across platforms, rule
+sets, or fault scenarios — :func:`run_campaign` (re-exported from
+:mod:`repro.campaign`) drives a whole sharded, resumable campaign and
+aggregates its results.
 """
 
 from __future__ import annotations
@@ -29,6 +34,21 @@ from repro.loader import load_gml, load_graphml, load_json
 from repro.nidb import Nidb
 from repro.observability import Telemetry, current_telemetry
 from repro.render import RenderResult, render_nidb
+
+# The campaign orchestrator builds *on* the single-experiment workflow;
+# re-exported here so `from repro.workflow import run_campaign` mirrors
+# `run_experiment` for callers scripting whole evaluation matrices.
+from repro.campaign import CampaignResult, CampaignSpec, run_campaign  # noqa: E402
+
+__all__ = [
+    "CampaignResult",
+    "CampaignSpec",
+    "ExperimentResult",
+    "TOPOLOGY_LOADERS",
+    "load_topology",
+    "run_campaign",
+    "run_experiment",
+]
 
 
 @dataclass

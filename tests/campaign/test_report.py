@@ -1,0 +1,97 @@
+"""Cross-trial reports: outcome tables, rendering, baseline diffs."""
+
+import json
+
+from repro.campaign import (
+    TrialRecord,
+    compare_campaigns,
+    outcome_table,
+    render_csv,
+    render_markdown,
+    render_report,
+)
+
+
+def record(platform, status="ok", convergence=None, **extra) -> TrialRecord:
+    return TrialRecord(
+        trial_id="bad_gadget@%s-0000" % platform,
+        spec_hash="hash-%s" % platform,
+        status=status,
+        topology="bad_gadget",
+        platform=platform,
+        convergence=convergence or {},
+        **extra,
+    )
+
+
+GADGET = [
+    record("netkit", convergence={"status": "converged", "rounds": 3}),
+    record("dynagen", convergence={"status": "oscillating", "period": 2, "rounds": 40}),
+    record("cbgp", convergence={"status": "oscillating", "period": 2, "rounds": 40}),
+    record("junosphere", status="failed", error="boom"),
+]
+
+
+def test_outcome_table_one_row_per_platform():
+    rows = outcome_table(GADGET)
+    assert len(rows) == 4
+    by_platform = {row["platform"]: row for row in rows}
+    assert by_platform["netkit"]["outcome"] == "converged in 3 rounds"
+    assert by_platform["dynagen"]["outcome"] == "oscillating (period 2)"
+    assert by_platform["junosphere"]["outcome"] == "FAILED: boom"
+    assert by_platform["junosphere"]["failed"] == 1
+
+
+def test_markdown_has_the_section_7_2_table():
+    text = render_markdown(GADGET, title="bad gadget")
+    assert "# bad gadget" in text
+    assert "| topology | platform | outcome | trials | time (s) |" in text
+    assert "| bad_gadget | dynagen | oscillating (period 2) |" in text
+    assert "4 trials: 3 ok, 1 failed" in text
+
+
+def test_csv_one_row_per_trial():
+    lines = render_csv(GADGET).strip().splitlines()
+    assert lines[0].startswith("trial_id,topology,platform,status")
+    assert len(lines) == 1 + 4
+
+
+def test_render_report_formats():
+    assert "| topology |" in render_report(GADGET, fmt="markdown")
+    assert render_report(GADGET, fmt="csv").startswith("trial_id,")
+    data = json.loads(render_report(GADGET, fmt="json"))
+    assert data["summary"]["trials"] == 4
+    assert data["summary"]["verdicts"]["oscillating"] == 2
+
+
+def test_compare_identical_campaigns_is_clean():
+    comparison = compare_campaigns(GADGET, GADGET)
+    assert comparison.ok
+    assert comparison.unchanged == 4
+    assert "0 regression(s)" in comparison.summary()
+
+
+def test_compare_flags_new_failures_and_verdict_changes():
+    current = [
+        record("netkit", status="failed", error="now broken"),
+        record("dynagen", convergence={"status": "converged", "rounds": 5}),
+        record("cbgp", convergence={"status": "oscillating", "period": 2, "rounds": 40}),
+        record("junosphere", convergence={"status": "converged", "rounds": 4}),
+    ]
+    comparison = compare_campaigns(GADGET, current)
+    assert not comparison.ok
+    reasons = {entry["trial_id"]: entry["reason"] for entry in comparison.regressions}
+    assert "now fails" in reasons["bad_gadget@netkit-0000"]
+    # a verdict change in either direction breaks reproducibility
+    assert "convergence changed" in reasons["bad_gadget@dynagen-0000"]
+    # a baseline failure that now passes is an improvement
+    assert any(
+        entry["trial_id"] == "bad_gadget@junosphere-0000"
+        for entry in comparison.improvements
+    )
+
+
+def test_compare_tracks_added_and_removed_trials():
+    comparison = compare_campaigns(GADGET[:3], GADGET[1:])
+    assert comparison.added == ["bad_gadget@junosphere-0000"]
+    assert comparison.removed == ["bad_gadget@netkit-0000"]

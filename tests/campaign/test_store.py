@@ -1,0 +1,98 @@
+"""The resumable result store: JSONL index, run dirs, status."""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import CampaignSpec, ResultStore, TrialRecord, load_records
+from repro.exceptions import CampaignError
+
+
+def record(hash_suffix: str, status: str = "ok", **extra) -> TrialRecord:
+    return TrialRecord(
+        trial_id="fig5@netkit-%s" % hash_suffix,
+        spec_hash="hash-%s" % hash_suffix,
+        status=status,
+        topology="fig5",
+        platform="netkit",
+        **extra,
+    )
+
+
+def test_append_and_read_round_trip(tmp_path):
+    store = ResultStore(tmp_path / "campaign")
+    store.append(record("a", convergence={"status": "converged", "rounds": 3}))
+    store.append(record("b", status="failed", error="boom"))
+    got = ResultStore(tmp_path / "campaign").records()
+    assert [r.spec_hash for r in got] == ["hash-a", "hash-b"]
+    assert got[0].convergence["rounds"] == 3
+    assert got[1].error == "boom"
+
+
+def test_last_record_per_hash_wins(tmp_path):
+    store = ResultStore(tmp_path)
+    store.append(record("a", status="failed", error="first try"))
+    store.append(record("a", status="ok"))
+    assert store.latest()["hash-a"].ok
+    assert store.completed_hashes() == {"hash-a"}
+    assert store.completed_hashes(include_failed=False) == {"hash-a"}
+
+
+def test_failed_counts_as_completed_unless_excluded(tmp_path):
+    store = ResultStore(tmp_path)
+    store.append(record("a", status="failed", error="x"))
+    assert store.completed_hashes() == {"hash-a"}
+    assert store.completed_hashes(include_failed=False) == set()
+
+
+def test_torn_final_line_is_tolerated(tmp_path):
+    store = ResultStore(tmp_path)
+    store.append(record("a"))
+    with open(store.index_path, "a") as handle:
+        handle.write('{"trial_id": "torn", "spec_')  # interrupted write
+    assert [r.spec_hash for r in store.records()] == ["hash-a"]
+
+
+def test_trial_result_written_into_run_dir(tmp_path):
+    store = ResultStore(tmp_path)
+    path = store.write_trial_result(record("a"))
+    assert os.path.exists(path)
+    assert json.load(open(path))["spec_hash"] == "hash-a"
+
+
+def test_status_against_a_spec(tmp_path):
+    spec = CampaignSpec.from_dict(
+        {"name": "s", "topologies": ["fig5"], "platforms": ["netkit", "cbgp"]}
+    )
+    store = ResultStore(tmp_path)
+    store.append(
+        TrialRecord(
+            trial_id=spec.trials[0].trial_id,
+            spec_hash=spec.trials[0].spec_hash,
+            status="failed",
+            error="x",
+        )
+    )
+    status = store.status(spec)
+    assert status["total"] == 2
+    assert status["completed"] == 1
+    assert status["failed"] == 1
+    assert status["pending"] == 1
+    assert status["pending_trials"] == [spec.trials[1].trial_id]
+
+
+def test_load_records_from_dir_index_or_list(tmp_path):
+    store = ResultStore(tmp_path)
+    store.append(record("a", status="failed", error="x"))
+    store.append(record("a"))
+    store.append(record("b"))
+    for source in (tmp_path, store.index_path, store.records()):
+        got = load_records(source)
+        assert [r.spec_hash for r in got] == ["hash-a", "hash-b"]
+        assert got[0].ok  # the later record replaced the failure
+
+
+def test_load_records_missing_index_raises(tmp_path):
+    with pytest.raises(CampaignError):
+        load_records(tmp_path / "nowhere")

@@ -75,6 +75,63 @@ def test_measure(capsys):
     assert "local AS number 1" in out
 
 
+def test_measure_json_reports_per_host_results(capsys):
+    import json
+
+    assert (
+        main(["measure", "fig5", "-c", "show ip bgp summary", "-H", "r3", "--json"])
+        == 0
+    )
+    data = json.loads(capsys.readouterr().out)
+    assert data["failures"] == []
+    (result,) = data["results"]
+    assert result["machine"] == "r3"
+    assert result["ok"] is True
+    assert result["error"] is None
+    assert "local AS number 1" in result["output"]
+
+
+def test_measure_failed_host_is_reported_and_nonzero(capsys):
+    import json
+
+    assert (
+        main(
+            [
+                "measure", "fig5", "-c", "show ip bgp summary",
+                "-H", "r3", "nosuch", "--json",
+            ]
+        )
+        == 1
+    )
+    data = json.loads(capsys.readouterr().out)
+    assert data["failures"] == ["nosuch"]
+    by_machine = {result["machine"]: result for result in data["results"]}
+    assert by_machine["r3"]["ok"] is True
+    assert by_machine["nosuch"]["ok"] is False
+    assert by_machine["nosuch"]["error"]
+    assert data["exit_code"] == 1
+
+
+def test_measure_failed_host_text_output(capsys):
+    assert (
+        main(["measure", "fig5", "-c", "show ip bgp summary", "-H", "nosuch"]) == 1
+    )
+    out = capsys.readouterr().out
+    assert "FAILED:" in out
+    assert "1/1 measurements failed: nosuch" in out
+
+
+def test_keyboard_interrupt_exits_130(monkeypatch, capsys):
+    from repro import cli
+
+    def interrupted(args, out):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(cli, "_cmd_info", interrupted)
+    assert main(["info", "fig5"]) == 130
+    assert "interrupted" in capsys.readouterr().err
+
+
 def test_measure_traceroute_maps_path(capsys):
     assert main(["measure", "fig5", "-c", "traceroute -naU 192.168.128.1", "-H", "r1"]) == 0
     out = capsys.readouterr().out

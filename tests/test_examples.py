@@ -50,6 +50,15 @@ def test_bad_gadget(capsys):
     assert "rr1 exits via c1" in out
 
 
+def test_campaign_driver(capsys):
+    _run_example("campaign_driver")
+    out = capsys.readouterr().out
+    assert "4 executed (0 failed)" in out
+    assert "re-run executed 0 trials (resumed 4)" in out
+    assert "| bad_gadget | netkit | converged in 3 rounds |" in out
+    assert out.count("oscillating (period 2)") >= 3
+
+
 def test_dns_lab(capsys):
     _run_example("dns_lab")
     out = capsys.readouterr().out
