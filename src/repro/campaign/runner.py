@@ -109,6 +109,7 @@ class CampaignRunner:
         limit: int | None = None,
         cache=None,
         cache_dir: str | os.PathLike | None = None,
+        boot_jobs: int = 1,
     ):
         from repro.engine import ArtifactCache
 
@@ -131,6 +132,9 @@ class CampaignRunner:
         self.retry_policy = retry_policy or NO_RETRY
         self.retry_failed = retry_failed
         self.limit = limit
+        #: Fan-out width for each trial's lab boot (config parsing and
+        #: per-VM bring-up); independent of ``jobs``, the trial fan-out.
+        self.boot_jobs = max(1, boot_jobs)
         self.cache_dir = str(cache_dir) if cache_dir else self.store.cache_dir()
         self.cache = cache if cache is not None else ArtifactCache(self.cache_dir)
 
@@ -205,6 +209,7 @@ class CampaignRunner:
             "source": self._resolve_source(trial),
             "run_dir": self.store.trial_dir(trial),
             "retry_policy": self.retry_policy,
+            "boot_jobs": self.boot_jobs,
         }
         if executor.supports_closures:
             payload["_cache"] = self.cache  # share the in-memory level too
@@ -250,6 +255,7 @@ def run_campaign(
     limit: int | None = None,
     cache_dir: str | os.PathLike | None = None,
     telemetry: Telemetry | None = None,
+    boot_jobs: int = 1,
 ) -> CampaignResult:
     """Expand, shard, resume and execute a campaign in one call.
 
@@ -271,6 +277,7 @@ def run_campaign(
         retry_failed=retry_failed,
         limit=limit,
         cache_dir=cache_dir,
+        boot_jobs=boot_jobs,
     )
     return runner.run(telemetry=telemetry)
 
@@ -369,10 +376,18 @@ def _trial_body(payload: dict, trial: dict, cache, telemetry, record: dict) -> N
         return
     _maybe_inject(overrides, "deploy")
     max_rounds = int(overrides.get("max_rounds", 64))
+    boot_jobs = int(overrides.get("boot_jobs", payload.get("boot_jobs", 1)))
+    spf_mode = str(overrides.get("spf_mode", "incremental"))
+    bgp_mode = str(overrides.get("bgp_mode", "events"))
     with telemetry.span("deploy", trial=payload["trial_id"]):
         lab = retry_call(
             lambda: EmulatedLab.boot(
-                engine.lab_dir, max_rounds=max_rounds, strict=False
+                engine.lab_dir,
+                max_rounds=max_rounds,
+                strict=False,
+                jobs=boot_jobs,
+                spf_mode=spf_mode,
+                bgp_mode=bgp_mode,
             ),
             policy=policy,
             operation="campaign.deploy",

@@ -53,6 +53,9 @@ KNOWN_OVERRIDES = (
     "reachability",   # measure the loopback reachability matrix (bool)
     "inject_fault",   # force this trial to fail at a stage (chaos hook)
     "lab_name",       # deployment lab name (str)
+    "boot_jobs",      # per-trial boot fan-out width (int, default 1)
+    "spf_mode",       # IGP recomputation: incremental (default) | full
+    "bgp_mode",       # BGP scheduling: events (default) | rounds
 )
 
 #: Stages ``inject_fault`` may name.
@@ -230,6 +233,12 @@ def _trial_defaults(data: dict) -> dict:
         defaults["deploy"] = bool(data["deploy"])
     if "reachability" in data:
         defaults["reachability"] = bool(data["reachability"])
+    if "boot_jobs" in data:
+        defaults["boot_jobs"] = int(data["boot_jobs"])
+    if "spf_mode" in data:
+        defaults["spf_mode"] = str(data["spf_mode"])
+    if "bgp_mode" in data:
+        defaults["bgp_mode"] = str(data["bgp_mode"])
     return defaults
 
 

@@ -170,6 +170,34 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     _add_observability_options(parser)
 
 
+def _add_emulation_options(sub: argparse.ArgumentParser) -> None:
+    """Boot knobs shared by the deploy-family commands."""
+    emulation = sub.add_argument_group("emulation")
+    emulation.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="fan config parsing and per-VM bring-up over N workers "
+        "(default 1: serial)",
+    )
+    emulation.add_argument(
+        "--spf-mode", choices=("incremental", "full"), default="incremental",
+        help="IGP recomputation on topology events: incremental "
+        "invalidation (default) or the full-recompute reference oracle",
+    )
+    emulation.add_argument(
+        "--bgp-mode", choices=("events", "rounds"), default="events",
+        help="BGP scheduling: event-driven pending-update queues "
+        "(default) or the synchronous-rounds reference oracle",
+    )
+
+
+def _boot_options(args) -> dict:
+    return {
+        "jobs": getattr(args, "jobs", 1),
+        "spf_mode": getattr(args, "spf_mode", "incremental"),
+        "bgp_mode": getattr(args, "bgp_mode", "events"),
+    }
+
+
 # -- per-subcommand extras ---------------------------------------------------
 def _add_build_options(sub: argparse.ArgumentParser) -> None:
     engine_group = sub.add_argument_group("build engine")
@@ -262,6 +290,11 @@ def _add_campaign_options(sub: argparse.ArgumentParser) -> None:
         help="trials to execute in parallel (default 1: serial)",
     )
     runner.add_argument(
+        "--boot-jobs", type=int, default=1, metavar="N",
+        help="fan each trial's config parsing and per-VM bring-up over "
+        "N workers (default 1: serial boot)",
+    )
+    runner.add_argument(
         "--executor", default=None,
         choices=["serial", "thread", "process"],
         help="executor kind (default: serial for -j1, threads above)",
@@ -338,6 +371,8 @@ def build_parser() -> argparse.ArgumentParser:
             add_options(sub)
             continue
         _add_common(sub)
+        if name in ("deploy", "measure", "whatif", "chaos"):
+            _add_emulation_options(sub)
         if add_options is not None:
             add_options(sub)
     return parser
@@ -567,6 +602,7 @@ def _cmd_deploy(args, out: CliOutput) -> int:
             monitor=monitor,
             retry_policy=_retry_policy(args),
             strict=args.strict,
+            **_boot_options(args),
         )
     lab = record.lab
     status = (
@@ -600,7 +636,10 @@ def _cmd_measure(args, out: CliOutput) -> int:
     _, nidb, result = _built(args)
     with span("deploy"):
         record = deploy(
-            result.lab_dir, retry_policy=_retry_policy(args), strict=args.strict
+            result.lab_dir,
+            retry_policy=_retry_policy(args),
+            strict=args.strict,
+            **_boot_options(args),
         )
     client = MeasurementClient(record.lab, nidb, retry_policy=_retry_policy(args))
     hosts = args.hosts or [str(device.node_id) for device in nidb.routers()]
@@ -658,7 +697,10 @@ def _cmd_whatif(args, out: CliOutput) -> int:
     _, _, result = _built(args)
     with span("deploy"):
         lab = deploy(
-            result.lab_dir, retry_policy=_retry_policy(args), strict=args.strict
+            result.lab_dir,
+            retry_policy=_retry_policy(args),
+            strict=args.strict,
+            **_boot_options(args),
         ).lab
     with span("whatif.compare"):
         before = reachability_matrix(lab)
@@ -705,7 +747,10 @@ def _cmd_chaos(args, out: CliOutput) -> int:
     _, _, result = _built(args)
     with span("deploy"):
         lab = deploy(
-            result.lab_dir, retry_policy=_retry_policy(args), strict=args.strict
+            result.lab_dir,
+            retry_policy=_retry_policy(args),
+            strict=args.strict,
+            **_boot_options(args),
         ).lab
     report = apply_schedule(lab, schedule)
     for line in report.summary().splitlines():
@@ -804,6 +849,7 @@ def _cmd_campaign(args, out: CliOutput) -> int:
         retry_failed=args.retry_failed,
         limit=args.limit,
         cache_dir=args.cache_dir,
+        boot_jobs=args.boot_jobs,
     )
     result = runner.run()
     for record in result.records:

@@ -6,6 +6,27 @@ session (route-reflection export rules applied), then all routers
 re-run the decision process on the freshly delivered Adj-RIB-In.
 Withdrawals are implicit — the Adj-RIB-In is rebuilt every round.
 
+Two scheduling modes implement those semantics
+(:class:`BgpSimulation` ``bgp_mode``):
+
+* ``"events"`` (the default) keeps a persistent Adj-RIB-In and a
+  per-router pending-update queue: only routers whose selection
+  changed last round re-export, and only (receiver, prefix) pairs
+  whose incoming contributions changed re-run the decision process.
+  Quiescent routers do no work, yet every per-round global selection
+  state — and therefore every convergence/oscillation verdict, period,
+  and history snapshot — is bit-identical to the reference schedule.
+  Imported routes are interned, so identical paths are shared across
+  RIBs and history snapshots instead of reallocated each round.
+* ``"rounds"`` is the reference oracle: the Adj-RIB-In is rebuilt from
+  scratch every round, every router re-decides everything.  The
+  differential test layer asserts both modes agree on final state
+  hashes under random topologies and fault schedules.
+
+``bgp.messages`` reflects the schedule: in rounds mode it counts every
+(session, prefix) advertisement every round; in events mode it counts
+only actual update messages — re-advertisements of changed selections.
+
 Convergence detection hashes the global selection state each round:
 
 * state unchanged  → converged;
@@ -41,6 +62,7 @@ from typing import Optional
 from repro.emulation.intent import BgpNeighborIntent
 from repro.emulation.network import EmulatedNetwork
 from repro.emulation.ospf_engine import IgpState
+from repro.exceptions import EmulationError
 from repro.observability import (
     INFO,
     WARNING,
@@ -50,6 +72,9 @@ from repro.observability import (
 )
 
 _ORIGIN_RANK = {"igp": 0, "egp": 1, "incomplete": 2}
+
+#: Recognised :class:`BgpSimulation` scheduling modes.
+BGP_MODES = ("events", "rounds")
 
 
 @dataclass(frozen=True)
@@ -112,12 +137,22 @@ class Session:
 
 @dataclass
 class BgpResult:
-    """Outcome of a simulation run."""
+    """Outcome of a simulation run.
+
+    ``period`` keeps the legacy convention (0 when converged, the
+    cycle length when oscillating).  ``detected_period`` records what
+    the state-hash detector actually measured: 1 for a converged
+    fixpoint (the state mapped to itself), N > 1 for a persistent
+    oscillation, and 0 only when the run hit ``max_rounds`` without a
+    verdict — which is what the ``bgp.period`` gauge now reports, with
+    ``bgp.converged`` disambiguating the converged case.
+    """
 
     converged: bool
     oscillating: bool
     rounds: int
     period: int = 0
+    detected_period: int = 0
     selected: dict = field(default_factory=dict)  # machine -> prefix -> BgpRoute
     history: list = field(default_factory=list)  # per-round selection snapshots
     session_warnings: list = field(default_factory=list)
@@ -137,11 +172,21 @@ class BgpSimulation:
         igp: IgpState,
         vendor_overrides: Optional[dict[str, str]] = None,
         keep_history: bool = True,
+        bgp_mode: str = "events",
     ):
+        if bgp_mode not in BGP_MODES:
+            raise EmulationError(
+                "unknown bgp_mode %r (choose from %s)"
+                % (bgp_mode, ", ".join(BGP_MODES))
+            )
         self.network = network
         self.igp = igp
         self.keep_history = keep_history
+        self.bgp_mode = bgp_mode
         self._vendor_overrides = dict(vendor_overrides or {})
+        #: Intern pool: identical routes are shared across RIBs,
+        #: selections, and history snapshots instead of reallocated.
+        self._route_pool: dict[BgpRoute, BgpRoute] = {}
         self.rebuild(network)
 
     def rebuild(self, network: Optional[EmulatedNetwork] = None) -> None:
@@ -154,6 +199,10 @@ class BgpSimulation:
         """
         if network is not None:
             self.network = network
+        #: (machine, next hop) -> IGP cost memo; the decision process
+        #: resolves the same next hops for every candidate every round,
+        #: and the answer only changes when the fabric does.
+        self._next_hop_costs: dict[tuple, Optional[int]] = {}
         self.warnings = []
         self.vendors = {}
         for name, device in self.network.machines.items():
@@ -212,16 +261,27 @@ class BgpSimulation:
             vendor = self.vendors[name]
             table = {}
             for prefix in device.bgp.networks:
-                table[prefix] = BgpRoute(
-                    prefix=prefix,
-                    as_path=(),
-                    next_hop=None,
-                    local_pref=vendor.default_local_pref,
-                    learned_via="local",
-                    originator=name,
+                table[prefix] = self._intern(
+                    BgpRoute(
+                        prefix=prefix,
+                        as_path=(),
+                        next_hop=None,
+                        local_pref=vendor.default_local_pref,
+                        learned_via="local",
+                        originator=name,
+                    )
                 )
             local[name] = table
         return local
+
+    def _intern(self, route: BgpRoute) -> BgpRoute:
+        """Return the pooled instance equal to ``route``."""
+        pooled = self._route_pool.setdefault(route, route)
+        if pooled is route:
+            metric_inc("bgp.routes_interned")
+        else:
+            metric_inc("bgp.route_pool_hits")
+        return pooled
 
     # -- export / import ----------------------------------------------------
     def _can_export(self, route: BgpRoute, session: Session) -> bool:
@@ -304,39 +364,48 @@ class BgpSimulation:
             ):
                 return None  # inbound prefix filter
             local_pref = receiving_intent.local_pref_in or vendor.default_local_pref
-            return replace(
-                route,
-                local_pref=local_pref,
-                learned_via="ebgp",
-                learned_from=sender,
-                from_client=False,
-                originator=None,
-                peer_router_id=peer_router_id,
-                peer_address=str(receiving_intent.peer_ip),
+            return self._intern(
+                replace(
+                    route,
+                    local_pref=local_pref,
+                    learned_via="ebgp",
+                    learned_from=sender,
+                    from_client=False,
+                    originator=None,
+                    peer_router_id=peer_router_id,
+                    peer_address=str(receiving_intent.peer_ip),
+                )
             )
         if route.originator == receiver:
             return None  # reflection loop back to the originator
-        return replace(
-            route,
-            learned_via="ibgp",
-            learned_from=sender,
-            from_client=receiving_intent.rr_client,
-            peer_router_id=peer_router_id,
-            peer_address=str(receiving_intent.peer_ip),
+        return self._intern(
+            replace(
+                route,
+                learned_via="ibgp",
+                learned_from=sender,
+                from_client=receiving_intent.rr_client,
+                peer_router_id=peer_router_id,
+                peer_address=str(receiving_intent.peer_ip),
+            )
         )
 
     # -- decision process ----------------------------------------------------
     def _next_hop_cost(self, machine: str, next_hop) -> Optional[int]:
+        key = (machine, next_hop)
+        try:
+            return self._next_hop_costs[key]
+        except KeyError:
+            pass
         cost = self.igp.cost_to_address(machine, next_hop)
-        if cost is not None:
-            return cost
-        # Unnumbered (C-BGP style) links: a next hop owned by a direct
-        # fabric neighbour is reachable at zero cost even without an
-        # IGP route to it.
-        owner = self.network.owner_of(next_hop)
-        if owner is not None and owner in self.network.neighbors_of(machine):
-            return 0
-        return None
+        if cost is None:
+            # Unnumbered (C-BGP style) links: a next hop owned by a
+            # direct fabric neighbour is reachable at zero cost even
+            # without an IGP route to it.
+            owner = self.network.owner_of(next_hop)
+            if owner is not None and owner in self.network.neighbors_of(machine):
+                cost = 0
+        self._next_hop_costs[key] = cost
+        return cost
 
     def _valid(self, machine: str, route: BgpRoute) -> bool:
         if route.learned_via == "local":
@@ -411,14 +480,21 @@ class BgpSimulation:
         The metrics (``bgp.rounds``, ``bgp.messages``,
         ``bgp.state_hash_checks``) and the convergence/oscillation
         event make an E6-style oscillation diagnosable from the trace
-        alone: a run that oscillates shows ``bgp.period`` > 0 and a
-        warning event carrying the period.
+        alone: a converged run shows ``bgp.converged`` = 1 with
+        ``bgp.period`` = 1 (the detected fixpoint period), an
+        oscillating run shows ``bgp.period`` > 1 plus a warning event
+        carrying the period, and ``bgp.period`` = 0 means the run hit
+        ``max_rounds`` undetermined.
         """
-        result = self._simulate(max_rounds, resume_from=resume_from)
+        if self.bgp_mode == "rounds":
+            result = self._simulate_rounds(max_rounds, resume_from=resume_from)
+        else:
+            result = self._simulate_events(max_rounds, resume_from=resume_from)
         metric_inc("bgp.rounds", result.rounds)
         metric_inc("bgp.messages", result.messages)
         metric_inc("bgp.state_hash_checks", result.rounds + 1)
-        gauge_set("bgp.period", result.period)
+        gauge_set("bgp.period", result.detected_period)
+        gauge_set("bgp.converged", 1 if result.converged else 0)
         if result.oscillating:
             log_event(
                 WARNING,
@@ -438,7 +514,7 @@ class BgpSimulation:
             )
         return result
 
-    def _simulate(self, max_rounds: int, resume_from: Optional[dict] = None) -> BgpResult:
+    def _seed_selected(self, resume_from: Optional[dict]) -> dict[str, dict]:
         selected: dict[str, dict] = {
             name: dict(table) for name, table in self.local_routes.items()
         }
@@ -455,6 +531,13 @@ class BgpSimulation:
                     if route.learned_via != "local":
                         merged[prefix] = route
                 selected[name] = merged
+        return selected
+
+    def _simulate_rounds(
+        self, max_rounds: int, resume_from: Optional[dict] = None
+    ) -> BgpResult:
+        """The reference schedule: full Adj-RIB-In rebuild every round."""
+        selected = self._seed_selected(resume_from)
         seen: dict[tuple, int] = {}
         history: list[dict] = []
         messages = 0
@@ -474,6 +557,7 @@ class BgpSimulation:
                     oscillating=not converged,
                     rounds=round_index,
                     period=0 if converged else period,
+                    detected_period=period,
                     selected=selected,
                     history=history,
                     session_warnings=list(self.warnings),
@@ -509,6 +593,133 @@ class BgpSimulation:
                         table[prefix] = best
                 new_selected[name] = table
             selected = new_selected
+
+        return BgpResult(
+            converged=False,
+            oscillating=False,
+            rounds=max_rounds,
+            selected=selected,
+            history=history,
+            session_warnings=list(self.warnings),
+            messages=messages,
+        )
+
+    def _simulate_events(
+        self, max_rounds: int, resume_from: Optional[dict] = None
+    ) -> BgpResult:
+        """Event-driven schedule, bit-identical to the reference rounds.
+
+        Invariant maintained every round: the persistent Adj-RIB-In
+        equals what the reference schedule would rebuild from the
+        current selections.  The contribution a sender makes to a
+        peer's RIB for one prefix is a pure function of the sender's
+        selected route (sessions and IGP are fixed within a run), so a
+        contribution only needs recomputing when that selection changed
+        — the pending-export queue.  A decision only needs re-running
+        when one of its incoming contributions (or its validity inputs)
+        changed — the pending-decide queue.  Everything else carries
+        over, which is why per-round global states (and hence
+        convergence verdicts, periods, and history) match the reference
+        exactly while quiescent routers do no work.
+        """
+        selected = self._seed_selected(resume_from)
+        seen: dict[tuple, int] = {}
+        history: list[dict] = []
+        messages = 0
+
+        #: receiver -> prefix -> sender -> imported route.
+        rib_in: dict[str, dict] = {name: {} for name in self.network.machines}
+        #: (sender, prefix) -> {peer: imported route} currently in RIBs.
+        contributions: dict[tuple, dict] = {}
+        # Every seeded selection is an unsent update; resumed learned
+        # routes must also be re-decided (the reference drops them
+        # unless re-delivered), so seed the decide queue with them.
+        pending_exports = {
+            (name, prefix)
+            for name, table in selected.items()
+            for prefix in table
+        }
+        pending_decides = {
+            (name, prefix)
+            for name, table in selected.items()
+            for prefix, route in table.items()
+            if route.learned_via != "local"
+        }
+
+        for round_index in range(max_rounds + 1):
+            state = self._state_key(selected)
+            if self.keep_history:
+                history.append(self._snapshot(selected))
+            if state in seen:
+                period = round_index - seen[state]
+                converged = period == 1
+                return BgpResult(
+                    converged=converged,
+                    oscillating=not converged,
+                    rounds=round_index,
+                    period=0 if converged else period,
+                    detected_period=period,
+                    selected=selected,
+                    history=history,
+                    session_warnings=list(self.warnings),
+                    messages=messages,
+                )
+            seen[state] = round_index
+
+            # Propagate: recompute contributions of changed selections.
+            for sender, prefix in sorted(pending_exports):
+                route = selected.get(sender, {}).get(prefix)
+                new_map: dict = {}
+                if route is not None:
+                    for session in self.sessions.get(sender, []):
+                        if not self._can_export(route, session):
+                            continue
+                        advert = self._export(sender, route, session)
+                        imported = self._import(
+                            session.peer, sender, advert, session
+                        )
+                        messages += 1
+                        if imported is not None:
+                            # Parallel sessions to the same peer: the
+                            # last non-None import wins, as in the
+                            # reference schedule.
+                            new_map[session.peer] = imported
+                old_map = contributions.get((sender, prefix), {})
+                if new_map == old_map:
+                    continue
+                for peer in old_map.keys() - new_map.keys():
+                    rib_in[peer].get(prefix, {}).pop(sender, None)
+                    pending_decides.add((peer, prefix))
+                for peer, imported in new_map.items():
+                    if old_map.get(peer) != imported:
+                        rib_in[peer].setdefault(prefix, {})[sender] = imported
+                        pending_decides.add((peer, prefix))
+                if new_map:
+                    contributions[(sender, prefix)] = new_map
+                else:
+                    contributions.pop((sender, prefix), None)
+
+            # Decide: re-run the decision process where inputs changed.
+            pending_exports = set()
+            for receiver, prefix in sorted(pending_decides):
+                device = self.network.machines.get(receiver)
+                if device is None or device.bgp is None:
+                    continue
+                candidates = []
+                local = self.local_routes.get(receiver, {}).get(prefix)
+                if local is not None:
+                    candidates.append(local)
+                candidates.extend(rib_in[receiver].get(prefix, {}).values())
+                best = self.decide(receiver, candidates)
+                table = selected.setdefault(receiver, {})
+                previous = table.get(prefix)
+                if best is None:
+                    table.pop(prefix, None)
+                else:
+                    table[prefix] = best
+                if best != previous:
+                    pending_exports.add((receiver, prefix))
+            pending_decides = set()
 
         return BgpResult(
             converged=False,

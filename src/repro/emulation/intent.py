@@ -33,9 +33,19 @@ class InterfaceIntent:
     def network(self) -> Optional[ipaddress.IPv4Network]:
         if self.ip_address is None or self.prefixlen is None:
             return None
-        return ipaddress.ip_network(
-            "%s/%d" % (self.ip_address, self.prefixlen), strict=False
-        )
+        # Memoised: the protocol engines resolve interface subnets on
+        # every next-hop check, and IPv4Network construction dominated
+        # the boot profile before this cache.  Keyed on the address pair
+        # so parsers that patch an interface in place stay correct.
+        key = (self.ip_address, self.prefixlen)
+        cached = self.__dict__.get("_network_cache")
+        if cached is None or cached[0] != key:
+            cached = (
+                key,
+                ipaddress.ip_network("%s/%d" % key, strict=False),
+            )
+            self.__dict__["_network_cache"] = cached
+        return cached[1]
 
 
 @dataclass

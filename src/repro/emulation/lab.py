@@ -77,10 +77,18 @@ class EmulatedLab:
         vendor_overrides: Optional[dict[str, str]] = None,
         keep_history: Optional[bool] = None,
         strict: bool = True,
+        jobs: int = 1,
+        spf_mode: str = "incremental",
+        bgp_mode: str = "events",
     ):
         self.intent = intent
         self.max_rounds = max_rounds
         self.strict = strict
+        #: Fan-out width for per-VM bring-up (and, via :meth:`boot`,
+        #: config parsing); 1 is the serial reference path.
+        self.jobs = jobs
+        self.spf_mode = spf_mode
+        self.bgp_mode = bgp_mode
         self._vendor_overrides = vendor_overrides
         self._keep_history = keep_history
         #: Directory the lab was booted from (None for intent-built labs).
@@ -116,8 +124,19 @@ class EmulatedLab:
         vendor_overrides: Optional[dict[str, str]] = None,
         keep_history: Optional[bool] = None,
         strict: bool = True,
+        jobs: int = 1,
+        spf_mode: str = "incremental",
+        bgp_mode: str = "events",
     ) -> "EmulatedLab":
-        """Parse a rendered lab directory and bring the network up."""
+        """Parse a rendered lab directory and bring the network up.
+
+        ``jobs`` fans per-machine config parsing and per-VM bring-up
+        over the engine executors; ``spf_mode``/``bgp_mode`` select the
+        protocol engines' fast paths (the defaults) or the naive
+        reference oracles (``"full"``/``"rounds"``).  Every combination
+        produces an identical lab — the parallel-boot determinism and
+        differential tests pin that down.
+        """
         lab_dir = str(lab_dir)
         platform = platform or detect_platform(lab_dir)
         logger.info("booting %s lab from %s", platform, lab_dir)
@@ -125,14 +144,17 @@ class EmulatedLab:
             parser = LAB_PARSERS[platform]
         except KeyError:
             raise EmulationError("no parser for platform %r" % platform) from None
-        with span("emulation.parse", platform=platform):
-            intent = parser(lab_dir)
+        with span("emulation.parse", platform=platform, jobs=jobs):
+            intent = parser(lab_dir, jobs=jobs)
         lab = cls(
             intent,
             max_rounds=max_rounds,
             vendor_overrides=vendor_overrides,
             keep_history=keep_history,
             strict=strict,
+            jobs=jobs,
+            spf_mode=spf_mode,
+            bgp_mode=bgp_mode,
         )
         lab.lab_dir = lab_dir
         return lab
@@ -181,7 +203,7 @@ class EmulatedLab:
             )
         with span("emulation.igp"):
             if self.igp is None:
-                self.igp = IgpState(self.network)
+                self.igp = IgpState(self.network, spf_mode=self.spf_mode)
             else:
                 self.igp.rebuild(self.network)
 
@@ -194,6 +216,7 @@ class EmulatedLab:
                 keep_history=self._keep_history
                 if self._keep_history is not None
                 else len(self.network) <= HISTORY_MACHINE_LIMIT,
+                bgp_mode=self.bgp_mode,
             )
         else:
             self._simulation.rebuild(self.network)
@@ -221,8 +244,34 @@ class EmulatedLab:
             logger.warning("session: %s", warning)
         self.dataplane = Dataplane(self.network, self.igp, self.bgp_result)
         self.dns = DnsEngine(self.network)
-        self._vms = {name: VirtualMachine(self, name) for name in self.network.machines}
+        self._vms = self._bring_up_vms()
         self._tap_map = self._build_tap_map()
+
+    def _bring_up_vms(self) -> dict[str, "VirtualMachine"]:
+        """Build the per-machine VM handles, fanned out when jobs > 1.
+
+        Handles are assembled in sorted machine order either way, so a
+        parallel bring-up yields a lab indistinguishable from a serial
+        one.
+        """
+        names = sorted(self.network.machines)
+        if self.jobs > 1 and len(names) > 1:
+            from repro.engine.executors import make_executor, run_calls
+
+            executor = make_executor(self.jobs)
+            try:
+                with span("emulation.vms", jobs=self.jobs, machines=len(names)):
+                    handles = run_calls(
+                        executor,
+                        [
+                            ("vm:%s" % name, lambda n: VirtualMachine(self, n), name)
+                            for name in names
+                        ],
+                    )
+            finally:
+                executor.shutdown()
+            return dict(zip(names, handles))
+        return {name: VirtualMachine(self, name) for name in names}
 
     # -- state ----------------------------------------------------------------
     @property
@@ -363,6 +412,9 @@ class EmulatedLab:
         clone.intent = self.intent
         clone.max_rounds = self.max_rounds
         clone.strict = self.strict
+        clone.jobs = self.jobs
+        clone.spf_mode = self.spf_mode
+        clone.bgp_mode = self.bgp_mode
         clone._vendor_overrides = self._vendor_overrides
         clone._keep_history = (
             self._keep_history if self._keep_history is not None else False

@@ -20,20 +20,38 @@ exactly the summary-LSA arithmetic.
 Routes are computed lazily per source machine (Dijkstra on demand,
 cached), which keeps thousand-router labs workable: the NREN-scale
 experiment only ever asks for a handful of sources.
+
+Two recomputation modes govern what happens when the fabric changes
+under a running lab (:meth:`IgpState.rebuild`):
+
+* ``spf_mode="incremental"`` (the default) diffs the old and new
+  adjacency, and drops only the cached SPF runs whose shortest-path
+  DAG could be affected — a changed edge endpoint the source could
+  previously reach — plus the route tables that *consulted* one of the
+  dropped runs (tracked as explicit dependencies while each table is
+  computed).  A link event between two leaf routers leaves every other
+  router's SPF and routing table untouched.
+* ``spf_mode="full"`` is the reference oracle: every cache is dropped
+  on every rebuild, exactly the naive semantics.  The differential
+  test layer asserts both modes produce identical RIBs under random
+  fault schedules.
 """
 
 from __future__ import annotations
 
-import functools
 import heapq
 import ipaddress
 from dataclasses import dataclass
 from typing import Optional
 
 from repro.emulation.network import EmulatedNetwork
+from repro.exceptions import EmulationError
 from repro.observability import metric_inc
 
 BACKBONE = 0
+
+#: Recognised :class:`IgpState` recomputation modes.
+SPF_MODES = ("incremental", "full")
 
 
 @dataclass(frozen=True)
@@ -50,30 +68,125 @@ class IgpRoute:
 class IgpState:
     """Per-lab IGP view: adjacency, distances, and routes."""
 
-    def __init__(self, network: EmulatedNetwork):
+    def __init__(self, network: EmulatedNetwork, spf_mode: str = "incremental"):
+        if spf_mode not in SPF_MODES:
+            raise EmulationError(
+                "unknown spf_mode %r (choose from %s)"
+                % (spf_mode, ", ".join(SPF_MODES))
+            )
         self.network = network
+        self.spf_mode = spf_mode
         #: per-area adjacency: area -> machine -> [(neighbor, cost out)]
         self.area_adjacency: dict[int, dict[str, list[tuple[str, int]]]] = {}
         #: areas each machine participates in
         self.machine_areas: dict[str, set[int]] = {}
+        #: (source, area) -> (distance, first_hop); the cached SPF runs.
+        self._spf_cache: dict[tuple[str, int], tuple[dict, dict]] = {}
+        #: source -> cached routing table.
+        self._routes_cache: dict[str, dict] = {}
+        #: source -> the SPF keys its routing table consulted.
+        self._route_deps: dict[str, frozenset] = {}
+        #: source -> connected-network fingerprint at compute time.
+        self._route_connected: dict[str, tuple] = {}
+        self._dep_collector: Optional[set] = None
         self._build_adjacency()
 
     def rebuild(self, network: Optional[EmulatedNetwork] = None) -> None:
-        """Accept a topology delta: recompute adjacency and drop caches.
+        """Accept a topology delta: recompute adjacency, refresh caches.
 
-        The SPF and route caches are keyed on the instance, so they
-        must be cleared when the underlying fabric changes — this is
-        what lets a running lab apply link/node faults without being
-        rebuilt from parsed configuration.
+        In ``full`` mode every cache is dropped (the reference
+        behaviour).  In ``incremental`` mode the adjacency delta is
+        computed first and only the affected SPF runs and dependent
+        route tables are invalidated — what lets a fault schedule
+        reconverge a large lab without re-running Dijkstra everywhere.
         """
+        old_adjacency = self.area_adjacency
+        old_areas = self.machine_areas
+        old_prefixes = self._advertised_fingerprint()
         if network is not None:
             self.network = network
         self.area_adjacency = {}
         self.machine_areas = {}
-        type(self).spf.cache_clear()
-        type(self).routes.cache_clear()
         self._build_adjacency()
         metric_inc("ospf.rebuilds")
+        if self.spf_mode == "full":
+            self._invalidate_all()
+            return
+        self._invalidate_incremental(old_adjacency, old_areas, old_prefixes)
+
+    def _invalidate_all(self) -> None:
+        metric_inc("ospf.spf_invalidated", len(self._spf_cache))
+        metric_inc("ospf.routes_invalidated", len(self._routes_cache))
+        self._spf_cache.clear()
+        self._routes_cache.clear()
+        self._route_deps.clear()
+        self._route_connected.clear()
+
+    def _advertised_fingerprint(self) -> dict[str, tuple]:
+        """Per-machine advertised prefixes — route tables depend on all."""
+        return {
+            name: tuple(self.advertised_prefixes(device))
+            for name, device in self.network.machines.items()
+        }
+
+    def _invalidate_incremental(
+        self, old_adjacency, old_areas, old_prefixes
+    ) -> None:
+        """Drop exactly the cached state the adjacency delta can touch.
+
+        A cached SPF run ``(source, area)`` survives unless one of the
+        changed endpoints in that area was reachable from the source —
+        any path to newly connected territory must cross a changed edge
+        whose nearer endpoint was previously reachable, so surviving
+        runs are provably identical.  Route tables survive unless a run
+        they consulted was dropped, the source's own connected networks
+        changed, or the lab's structure (area membership / advertised
+        prefixes) shifted, which reshapes ABR sets globally.
+        """
+        changed: dict[int, set[str]] = {}
+        for area in set(old_adjacency) | set(self.area_adjacency):
+            before = old_adjacency.get(area, {})
+            after = self.area_adjacency.get(area, {})
+            endpoints = {
+                machine
+                for machine in set(before) | set(after)
+                if before.get(machine) != after.get(machine)
+            }
+            if endpoints:
+                changed[area] = endpoints
+
+        dropped: set[tuple[str, int]] = set()
+        for key, (distance, _) in list(self._spf_cache.items()):
+            source, area = key
+            endpoints = changed.get(area)
+            if endpoints is None:
+                continue
+            if source in endpoints or any(e in distance for e in endpoints):
+                dropped.add(key)
+                del self._spf_cache[key]
+        metric_inc("ospf.spf_invalidated", len(dropped))
+        metric_inc("ospf.spf_retained", len(self._spf_cache))
+
+        structural = (
+            old_areas != self.machine_areas
+            or old_prefixes != self._advertised_fingerprint()
+        )
+        invalidated_routes = 0
+        for source in list(self._routes_cache):
+            if structural or source not in self.network.machines:
+                stale = True
+            elif self._route_deps.get(source, frozenset()) & dropped:
+                stale = True
+            else:
+                connected = tuple(self.network.connected_networks(source))
+                stale = connected != self._route_connected.get(source)
+            if stale:
+                invalidated_routes += 1
+                del self._routes_cache[source]
+                self._route_deps.pop(source, None)
+                self._route_connected.pop(source, None)
+        metric_inc("ospf.routes_invalidated", invalidated_routes)
+        metric_inc("ospf.routes_retained", len(self._routes_cache))
 
     # -- topology --------------------------------------------------------------
     def _build_adjacency(self) -> None:
@@ -192,13 +305,22 @@ class IgpState:
         )
 
     # -- SPF ---------------------------------------------------------------------
-    @functools.lru_cache(maxsize=8192)
     def spf(self, source: str, area: int = BACKBONE) -> tuple[dict, dict]:
         """Dijkstra within one area: (distance, first-hop) per machine.
 
         Counted as ``ospf.spf_runs`` — the body only runs on a cache
         miss, so the metric is the number of actual Dijkstra runs.
+        While a routing table is being computed, every consulted key is
+        recorded as that table's dependency for incremental
+        invalidation.
         """
+        key = (source, area)
+        if self._dep_collector is not None:
+            self._dep_collector.add(key)
+        cached = self._spf_cache.get(key)
+        if cached is not None:
+            metric_inc("ospf.spf_cache_hits")
+            return cached
         metric_inc("ospf.spf_runs")
         graph = self.area_adjacency.get(area, {})
         distance = {source: 0}
@@ -220,6 +342,7 @@ class IgpState:
                         heap,
                         (candidate, neighbor, via if via is not None else neighbor),
                     )
+        self._spf_cache[key] = (distance, first_hop)
         return distance, first_hop
 
     def distance(self, source: str, target: str) -> Optional[int]:
@@ -306,7 +429,6 @@ class IgpState:
                     best = ("inter", total, hop)
         return best
 
-    @functools.lru_cache(maxsize=1024)
     def routes(self, source: str) -> dict[ipaddress.IPv4Network, IgpRoute]:
         """The IGP routing table of ``source``.
 
@@ -315,7 +437,28 @@ class IgpState:
         backbone) for the rest.  For each prefix the lowest-metric
         entry wins, ties broken by advertiser name for determinism.
         """
+        cached = self._routes_cache.get(source)
+        if cached is not None:
+            metric_inc("ospf.route_cache_hits")
+            return cached
         metric_inc("ospf.route_tables_computed")
+        deps: set[tuple[str, int]] = set()
+        previous_collector = self._dep_collector
+        self._dep_collector = deps
+        try:
+            table = self._compute_routes(source)
+        finally:
+            self._dep_collector = previous_collector
+        if previous_collector is not None:
+            previous_collector.update(deps)
+        self._routes_cache[source] = table
+        self._route_deps[source] = frozenset(deps)
+        self._route_connected[source] = tuple(
+            self.network.connected_networks(source)
+        )
+        return table
+
+    def _compute_routes(self, source: str) -> dict[ipaddress.IPv4Network, IgpRoute]:
         connected = set(self.network.connected_networks(source))
         table: dict[ipaddress.IPv4Network, IgpRoute] = {}
         for machine, device in self.network.machines.items():

@@ -134,8 +134,14 @@ def _apply_domains(lab: LabIntent, domains: dict[str, int]) -> None:
             intent.ospf.interface_costs[interface.name] = interface.ospf_cost
 
 
-def parse_cbgp_lab(lab_dir: str | os.PathLike) -> LabIntent:
-    """Parse a rendered C-BGP lab directory (network.cli)."""
+def parse_cbgp_lab(lab_dir: str | os.PathLike, jobs: int = 1) -> LabIntent:
+    """Parse a rendered C-BGP lab directory (network.cli).
+
+    A C-BGP lab is one monolithic script, so there is no per-machine
+    work to fan out; ``jobs`` is accepted for interface parity with
+    the other platform parsers and ignored.
+    """
+    del jobs
     path = os.path.join(str(lab_dir), "network.cli")
     if not os.path.exists(path):
         raise ConfigParseError("no network.cli in %s" % lab_dir, path)

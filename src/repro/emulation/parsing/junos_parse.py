@@ -20,6 +20,7 @@ from repro.emulation.intent import (
     LabIntent,
     OspfIntent,
 )
+from repro.emulation.parsing.parallel import parse_machines
 from repro.exceptions import ConfigParseError
 
 
@@ -295,26 +296,38 @@ def _policy_local_prefs(policy_options: dict) -> dict[str, int]:
     return prefs
 
 
-def parse_junosphere_lab(lab_dir: str | os.PathLike) -> LabIntent:
-    """Parse a rendered Junosphere lab: topology.vmm plus configs/."""
+def parse_junosphere_lab(lab_dir: str | os.PathLike, jobs: int = 1) -> LabIntent:
+    """Parse a rendered Junosphere lab: topology.vmm plus configs/.
+
+    Per-router configs are independent; ``jobs > 1`` fans the parses
+    out over the engine executors with results assembled in sorted
+    order, identical to a serial parse.  The VMM wiring pass stays
+    serial — it is one small file applied after all devices exist.
+    """
     lab_dir = str(lab_dir)
     configs_dir = os.path.join(lab_dir, "configs")
     if not os.path.isdir(configs_dir):
         raise ConfigParseError("no configs/ directory in %s" % lab_dir, configs_dir)
     lab = LabIntent(platform="junosphere")
-    for entry in sorted(os.listdir(configs_dir)):
-        if not entry.endswith(".conf"):
-            continue
-        machine = entry[: -len(".conf")]
-        with open(os.path.join(configs_dir, entry)) as handle:
+    machines = sorted(
+        entry[: -len(".conf")]
+        for entry in os.listdir(configs_dir)
+        if entry.endswith(".conf")
+    )
+
+    def parse_one(machine: str) -> DeviceIntent:
+        with open(os.path.join(configs_dir, machine + ".conf")) as handle:
             try:
-                lab.devices[machine] = parse_junos_config(handle.read(), machine)
+                return parse_junos_config(handle.read(), machine)
             except ConfigParseError as exc:
                 # One broken router does not abort the lab parse: the
                 # boot layer raises (strict) or quarantines (non-strict).
                 device = DeviceIntent(name=machine, vendor="junos")
                 device.boot_errors.append(exc)
-                lab.devices[machine] = device
+                return device
+
+    for machine, device in parse_machines(machines, parse_one, jobs=jobs):
+        lab.devices[machine] = device
     _apply_vmm_wiring(lab, os.path.join(lab_dir, "topology.vmm"))
     return lab
 

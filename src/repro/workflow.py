@@ -115,6 +115,9 @@ def run_experiment(
     engine=None,
     strict: bool = True,
     retry_policy=None,
+    jobs: int = 1,
+    spf_mode: str = "incremental",
+    bgp_mode: str = "events",
 ) -> ExperimentResult:
     """Input topology in, measured-ready emulated network out.
 
@@ -131,7 +134,12 @@ def run_experiment(
 
     ``strict=False`` boots the lab with failed-parse devices
     quarantined instead of aborting, and ``retry_policy`` retries
-    transient host errors during deployment.
+    transient host errors during deployment.  ``jobs`` fans config
+    parsing and per-VM bring-up over the engine executors, and
+    ``spf_mode``/``bgp_mode`` select the protocol engines' fast paths
+    (the defaults) or the naive reference oracles
+    (``"full"``/``"rounds"``) — every combination boots an identical
+    lab.
     """
     import tempfile
 
@@ -172,6 +180,9 @@ def run_experiment(
                         max_rounds=max_rounds,
                         strict=strict,
                         retry_policy=retry_policy or NO_RETRY,
+                        jobs=jobs,
+                        spf_mode=spf_mode,
+                        bgp_mode=bgp_mode,
                     )
 
     timings = {phase.name: phase.duration for phase in experiment_span.children}

@@ -76,3 +76,13 @@ def gadget_lab_junos(tmp_path_factory):
 @pytest.fixture(scope="session")
 def gadget_lab_cbgp(tmp_path_factory):
     return _gadget_lab("cbgp", tmp_path_factory)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the golden rendered-config snapshots under "
+        "tests/golden/ instead of comparing against them",
+    )

@@ -1,0 +1,120 @@
+"""Golden-snapshot tests: rendered configs pinned byte-for-byte.
+
+The Small Internet is rendered for every vendor target and compared
+against the canonical trees checked in under ``tests/golden/``.  Any
+drift in the design rules, compilers, templates, or renderer shows up
+here as a unified diff of the exact configuration lines that changed —
+the rcc-style property that what we emit is what we validated.
+
+To bless intentional changes::
+
+    pytest tests/golden --update-golden
+
+which regenerates the snapshots in place (review the git diff before
+committing them).
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+import shutil
+
+import pytest
+
+from repro.compilers import platform_compiler
+from repro.design import design_network
+from repro.loader import small_internet
+from repro.render import render_nidb
+
+GOLDEN_ROOT = os.path.join(os.path.dirname(__file__), "small_internet")
+PLATFORMS = ("netkit", "dynagen", "junosphere", "cbgp")
+
+
+def _render(platform, tmp_path):
+    anm = design_network(small_internet())
+    nidb = platform_compiler(platform, anm).compile()
+    result = render_nidb(nidb, str(tmp_path))
+    return result.lab_dir
+
+
+def _tree_files(base):
+    """Relative paths of every file under ``base``, sorted."""
+    found = []
+    for root, dirs, files in os.walk(base):
+        dirs.sort()
+        for name in sorted(files):
+            found.append(os.path.relpath(os.path.join(root, name), base))
+    return found
+
+
+def _read(path):
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def _unified_diff(golden_path, rendered_path, label):
+    try:
+        golden_lines = _read(golden_path).decode().splitlines(keepends=True)
+        rendered_lines = _read(rendered_path).decode().splitlines(keepends=True)
+    except UnicodeDecodeError:
+        return "binary files differ: %s" % label
+    return "".join(
+        difflib.unified_diff(
+            golden_lines,
+            rendered_lines,
+            fromfile="golden/%s" % label,
+            tofile="rendered/%s" % label,
+        )
+    )
+
+
+@pytest.mark.parametrize("platform", PLATFORMS)
+def test_small_internet_rendering_matches_golden(platform, tmp_path, request):
+    golden_dir = os.path.join(GOLDEN_ROOT, platform)
+    lab_dir = _render(platform, tmp_path)
+
+    if request.config.getoption("--update-golden"):
+        if os.path.isdir(golden_dir):
+            shutil.rmtree(golden_dir)
+        shutil.copytree(lab_dir, golden_dir)
+        pytest.skip("golden snapshots for %s regenerated" % platform)
+
+    assert os.path.isdir(golden_dir), (
+        "no golden snapshots for %s: run pytest tests/golden --update-golden"
+        % platform
+    )
+
+    golden_files = _tree_files(golden_dir)
+    rendered_files = _tree_files(lab_dir)
+    missing = sorted(set(golden_files) - set(rendered_files))
+    extra = sorted(set(rendered_files) - set(golden_files))
+    assert not missing and not extra, (
+        "rendered tree shape drifted for %s\nmissing (in golden, not "
+        "rendered): %s\nextra (rendered, not in golden): %s"
+        % (platform, missing, extra)
+    )
+
+    diffs = []
+    for relative in golden_files:
+        golden_path = os.path.join(golden_dir, relative)
+        rendered_path = os.path.join(lab_dir, relative)
+        if _read(golden_path) != _read(rendered_path):
+            diffs.append(_unified_diff(golden_path, rendered_path, relative))
+    assert not diffs, (
+        "%d file(s) drifted from the golden snapshots for %s "
+        "(--update-golden blesses intentional changes):\n\n%s"
+        % (len(diffs), platform, "\n".join(diffs))
+    )
+
+
+@pytest.mark.parametrize("platform", PLATFORMS)
+def test_golden_lab_still_boots(platform):
+    """The checked-in snapshots are themselves bootable labs."""
+    from repro.emulation import EmulatedLab
+
+    golden_dir = os.path.join(GOLDEN_ROOT, platform)
+    if not os.path.isdir(golden_dir):
+        pytest.skip("no golden snapshots for %s yet" % platform)
+    lab = EmulatedLab.boot(golden_dir)
+    assert lab.converged

@@ -143,8 +143,27 @@ class TestOscillationDiagnosableFromTrace:
         metrics = result.telemetry.metrics
         assert result.lab.oscillating
         assert metrics.value("bgp.period") > 0
+        assert metrics.value("bgp.converged") == 0
+        assert (
+            metrics.value("bgp.period")
+            == result.lab.bgp_result.detected_period
+            > 1
+        )
         warnings = result.telemetry.events.filter(stage="emulation")
         assert any("oscillates" in event.message for event in warnings)
+
+    def test_converged_lab_reports_period_one_not_zero(self, result):
+        """Regression: ``bgp.period`` used to read 0 on converged labs,
+        indistinguishable from "undetermined at the round budget".  A
+        converged run is a fixpoint — detected period 1 — and the
+        separate ``bgp.converged`` gauge makes the verdict explicit."""
+        metrics = result.telemetry.metrics
+        assert result.lab.converged
+        assert metrics.value("bgp.period") == 1
+        assert metrics.value("bgp.converged") == 1
+        assert result.lab.bgp_result.detected_period == 1
+        # the legacy field keeps its old meaning (0 unless oscillating)
+        assert result.lab.bgp_result.period == 0
 
 
 class TestCliTrace:
