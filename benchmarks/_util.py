@@ -16,6 +16,22 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
+def _provenance() -> dict:
+    """git SHA + schema version + environment, so BENCH records are
+    comparable across commits (`repro perf` keys on these)."""
+    from repro.observability.baseline import (
+        SCHEMA_VERSION,
+        environment_fingerprint,
+        git_sha,
+    )
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "git_sha": git_sha(REPO_ROOT),
+        "environment": environment_fingerprint(),
+    }
+
+
 def record(name: str, lines) -> None:
     """Print a result block and persist it under benchmarks/results/."""
     os.makedirs(RESULTS_DIR, exist_ok=True)
@@ -59,6 +75,7 @@ def record_pipeline(telemetry, name: str = "pipeline", path: str | None = None,
         "spans": len(telemetry.tracer),
         "metrics": telemetry.metrics.snapshot(),
     }
+    record.update(_provenance())
     record.update(extra)
     with open(path, "w") as handle:
         json.dump(record, handle, indent=2, default=str)
@@ -83,6 +100,7 @@ def update_pipeline_record(name: str = "pipeline", path: str | None = None,
         except (OSError, ValueError):
             pass
     data.update(sections)
+    data.update(_provenance())
     data["timestamp"] = time.time()
     with open(path, "w") as handle:
         json.dump(data, handle, indent=2, default=str)

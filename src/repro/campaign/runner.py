@@ -110,6 +110,7 @@ class CampaignRunner:
         cache=None,
         cache_dir: str | os.PathLike | None = None,
         boot_jobs: int = 1,
+        profile: bool = False,
     ):
         from repro.engine import ArtifactCache
 
@@ -135,6 +136,9 @@ class CampaignRunner:
         #: Fan-out width for each trial's lab boot (config parsing and
         #: per-VM bring-up); independent of ``jobs``, the trial fan-out.
         self.boot_jobs = max(1, boot_jobs)
+        #: Capture a per-trial profile (hot functions + collapsed
+        #: stacks) into each trial's run directory.
+        self.profile = profile
         self.cache_dir = str(cache_dir) if cache_dir else self.store.cache_dir()
         self.cache = cache if cache is not None else ArtifactCache(self.cache_dir)
 
@@ -210,6 +214,7 @@ class CampaignRunner:
             "run_dir": self.store.trial_dir(trial),
             "retry_policy": self.retry_policy,
             "boot_jobs": self.boot_jobs,
+            "profile": self.profile,
         }
         if executor.supports_closures:
             payload["_cache"] = self.cache  # share the in-memory level too
@@ -314,13 +319,25 @@ def _execute_trial(payload: dict) -> dict:
         "reachability": {},
         "engine": {},
     }
+    profiler = None
+    if payload.get("profile"):
+        from repro.observability.profiling import Profiler
+
+        # Deterministic profiling is per-thread: with thread-parallel
+        # trials the sampler's stacks are best-effort shared, but the
+        # cProfile hot-function table stays exact per trial.
+        profiler = Profiler()
     try:
         with telemetry.activate():
             with telemetry.span(
                 "trial", trial=trial_id, platform=trial["platform"],
                 topology=trial["topology"],
             ) as trial_span:
-                _trial_body(payload, trial, cache, telemetry, record)
+                if profiler is not None:
+                    with profiler:
+                        _trial_body(payload, trial, cache, telemetry, record)
+                else:
+                    _trial_body(payload, trial, cache, telemetry, record)
         record["timings"] = {
             child.name: child.duration for child in trial_span.children
         }
@@ -334,7 +351,33 @@ def _execute_trial(payload: dict) -> dict:
         telemetry.write_trace(os.path.join(run_dir, "trace.jsonl"))
     except OSError:
         pass  # a missing trace never fails the trial
+    if profiler is not None:
+        try:
+            record["profile"] = _write_trial_profile(
+                profiler, telemetry, run_dir
+            )
+        except OSError:
+            pass  # a missing profile never fails the trial either
     return record
+
+
+def _write_trial_profile(profiler, telemetry, run_dir: str) -> dict:
+    """Persist one trial's profile next to its trace."""
+    from repro.observability.profiling import format_span_table
+
+    report = profiler.report()
+    collapsed = os.path.join(run_dir, "profile.collapsed")
+    report.write_collapsed(collapsed)
+    table_path = os.path.join(run_dir, "profile.txt")
+    with open(table_path, "w") as handle:
+        handle.write(format_span_table(telemetry) + "\n\n")
+        handle.write(report.format_table() + "\n")
+    return {
+        "collapsed": collapsed,
+        "table": table_path,
+        "samples": report.sample_count,
+        "unique_stacks": len(report.stacks),
+    }
 
 
 def _trial_body(payload: dict, trial: dict, cache, telemetry, record: dict) -> None:

@@ -54,6 +54,7 @@ class TrialRecord:
     reachability: dict = field(default_factory=dict)  # pairs / reachable / fraction
     timings: dict = field(default_factory=dict)       # phase -> seconds
     engine: dict = field(default_factory=dict)        # cache_hits / misses / rendered
+    profile: dict = field(default_factory=dict)       # collapsed/table paths, samples
     run_dir: str = ""
     duration_seconds: float = 0.0
     finished_at: float = 0.0
@@ -89,6 +90,7 @@ class TrialRecord:
             "reachability": self.reachability,
             "timings": self.timings,
             "engine": self.engine,
+            "profile": self.profile,
             "run_dir": self.run_dir,
             "duration_seconds": self.duration_seconds,
             "finished_at": self.finished_at,
@@ -107,6 +109,7 @@ class TrialRecord:
             reachability=data.get("reachability") or {},
             timings=data.get("timings") or {},
             engine=data.get("engine") or {},
+            profile=data.get("profile") or {},
             run_dir=data.get("run_dir", ""),
             duration_seconds=data.get("duration_seconds", 0.0),
             finished_at=data.get("finished_at", 0.0),

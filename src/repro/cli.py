@@ -148,6 +148,17 @@ def _add_observability_options(parser: argparse.ArgumentParser) -> None:
         help="write the run's spans in Chrome trace_event format",
     )
     observability.add_argument(
+        "--profile", nargs="?", const="profile", default=None,
+        metavar="PREFIX",
+        help="profile the command: print per-span and hot-function "
+        "tables, write collapsed stacks to PREFIX.collapsed "
+        "(default prefix: 'profile')",
+    )
+    observability.add_argument(
+        "--profile-interval", type=float, default=0.001, metavar="SECONDS",
+        help="sampling interval for the stack sampler (default 1ms)",
+    )
+    observability.add_argument(
         "--metrics", action="store_true",
         help="print the metrics registry after the command",
     )
@@ -339,6 +350,59 @@ def _add_campaign_options(sub: argparse.ArgumentParser) -> None:
     _add_observability_options(sub)
 
 
+def _add_perf_options(sub: argparse.ArgumentParser) -> None:
+    """`repro perf` works on benchmark records, not a topology."""
+    sub.add_argument(
+        "action", choices=["record", "compare", "report"],
+        help="append the bench file to history, gate it against the "
+        "committed baseline, or render the trend report",
+    )
+    sub.add_argument(
+        "--bench", default="BENCH_pipeline.json", metavar="PATH",
+        help="benchmark JSON produced by the bench harness "
+        "(default: %(default)s)",
+    )
+    sub.add_argument(
+        "--history", default=os.path.join("benchmarks", "results",
+                                          "history.jsonl"),
+        metavar="PATH",
+        help="baseline history store (default: %(default)s)",
+    )
+    sub.add_argument(
+        "--key", default=None, metavar="BENCH:TOPOLOGY:MODE",
+        help="restrict compare/report to one baseline key",
+    )
+    gate = sub.add_argument_group("tolerance gate")
+    gate.add_argument(
+        "--tolerance", type=float, default=0.15, metavar="RATIO",
+        help="allowed relative drift for wall-clock series "
+        "(default 0.15; a >=20%% slowdown always trips it)",
+    )
+    gate.add_argument(
+        "--metric-tolerance", type=float, default=0.05, metavar="RATIO",
+        help="allowed relative drift for deterministic counters "
+        "(default 0.05)",
+    )
+    gate.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but exit 0 (noisy shared runners)",
+    )
+    sub.add_argument(
+        "--note", default="", help="free-form note stored on the record"
+    )
+    report = sub.add_argument_group("report")
+    report.add_argument(
+        "--format", default="markdown", dest="report_format",
+        choices=["markdown", "html"],
+        help="trend report format (default: markdown)",
+    )
+    report.add_argument(
+        "-o", "--output", default=None, metavar="PATH",
+        help="write the trend report here instead of stdout",
+    )
+    _add_observability_options(sub)
+
+
 #: (name, help text, extra-options wiring); campaign wires itself fully.
 _SUBCOMMANDS = [
     ("info", "print the designed overlay topologies", None),
@@ -356,6 +420,8 @@ _SUBCOMMANDS = [
      _add_diff_options),
     ("campaign", "run a whole experiment matrix with resume and reports",
      _add_campaign_options),
+    ("perf", "record, gate and trend benchmark results against baselines",
+     _add_perf_options),
 ]
 
 
@@ -367,7 +433,7 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
     for name, help_text, add_options in _SUBCOMMANDS:
         sub = commands.add_parser(name, help=help_text)
-        if name == "campaign":
+        if name in ("campaign", "perf"):
             add_options(sub)
             continue
         _add_common(sub)
@@ -394,6 +460,13 @@ def main(argv: list[str] | None = None) -> int:
         # supported workflow, not a crash
         print("interrupted", file=sys.stderr)
         return 130
+    except BrokenPipeError:
+        # `repro perf report | head` closing stdout early is normal use
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -408,6 +481,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         "chaos": _cmd_chaos,
         "diff": _cmd_diff,
         "campaign": _cmd_campaign,
+        "perf": _cmd_perf,
     }[args.command]
     telemetry = Telemetry()
     out = CliOutput(
@@ -418,15 +492,26 @@ def _dispatch(args: argparse.Namespace) -> int:
     )
     # `campaign` takes a spec, not a single topology
     subject = getattr(args, "topology", None) or getattr(args, "spec", None)
+    profiler = None
+    if getattr(args, "profile", None):
+        from repro.observability import Profiler
+
+        profiler = Profiler(interval=args.profile_interval)
     try:
         with telemetry.activate():
             with telemetry.span(args.command, topology=subject):
-                exit_code = handler(args, out)
+                if profiler is not None:
+                    with profiler:
+                        exit_code = handler(args, out)
+                else:
+                    exit_code = handler(args, out)
     except Exception as exc:
         # a failure trace is the one most worth keeping: the root span
         # carries status="error" and the exception text
         try:
             _write_trace_files(telemetry, args, out)
+            if profiler is not None:
+                _write_profile_files(profiler, telemetry, args, out)
         except OSError as trace_exc:
             print("error: could not write trace: %s" % trace_exc, file=sys.stderr)
         if args.json_mode:
@@ -434,6 +519,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             out.finish(2)
         raise
     _write_trace_files(telemetry, args, out)
+    if profiler is not None:
+        _write_profile_files(profiler, telemetry, args, out)
     if args.timings and out.console:
         print(telemetry.timing_tree())
     if args.metrics and out.console:
@@ -448,6 +535,33 @@ def _write_trace_files(telemetry: Telemetry, args, out: "CliOutput") -> None:
         out.result(trace_file=args.trace)
     if args.chrome_trace:
         telemetry.write_chrome_trace(args.chrome_trace)
+
+
+def _write_profile_files(profiler, telemetry: Telemetry, args,
+                         out: "CliOutput") -> None:
+    """--profile epilogue: tables to the console, stacks to disk."""
+    from repro.observability import format_span_table, span_hotspots
+
+    report = profiler.report()
+    collapsed_path = "%s.collapsed" % args.profile
+    report.write_collapsed(collapsed_path)
+    if out.console:
+        print()
+        print("-- span hotspots (self time) " + "-" * 34)
+        print(format_span_table(telemetry))
+        print()
+        print("-- hot functions " + "-" * 46)
+        print(report.format_table())
+        print()
+        print(
+            "collapsed stacks: %s (%d samples, %d unique stacks; feed to "
+            "flamegraph.pl or speedscope)"
+            % (collapsed_path, report.sample_count, len(report.stacks))
+        )
+    profile_payload = report.to_dict()
+    profile_payload["collapsed_file"] = collapsed_path
+    profile_payload["span_hotspots"] = span_hotspots(telemetry)[:15]
+    out.result(profile=profile_payload)
 
 
 def _retry_policy(args):
@@ -850,6 +964,7 @@ def _cmd_campaign(args, out: CliOutput) -> int:
         limit=args.limit,
         cache_dir=args.cache_dir,
         boot_jobs=args.boot_jobs,
+        profile=bool(args.profile),
     )
     result = runner.run()
     for record in result.records:
@@ -930,6 +1045,95 @@ def _campaign_report(args, out: CliOutput) -> int:
         summary=campaign_summary(records),
     )
     return 0
+
+
+def _load_bench_records(path: str):
+    """A BENCH_*.json as baseline records (one per bench document).
+
+    All sections (``control_plane``, ``engine``, ``campaign``...)
+    flatten into the record's dotted series, so every number the bench
+    harness emits is a tracked, gateable series under one key.
+    """
+    from repro.observability import git_sha, record_from_bench
+
+    with open(path) as handle:
+        bench = json.load(handle)
+    sha = bench.get("git_sha") or git_sha()
+    return [record_from_bench(bench, sha=sha)]
+
+
+def _cmd_perf(args, out: CliOutput) -> int:
+    from repro.observability import (
+        BaselineStore,
+        compare_records,
+        render_trend_report,
+    )
+
+    store = BaselineStore(args.history)
+    if args.action == "report":
+        keys = [args.key] if args.key else None
+        text = render_trend_report(store, fmt=args.report_format, keys=keys)
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text)
+            out.emit("wrote %s" % args.output, output=args.output)
+        else:
+            out.emit(text)
+        out.result(format=args.report_format, keys=store.keys())
+        return 0
+
+    records = _load_bench_records(args.bench)
+    if args.key:
+        records = [record for record in records if record.key == args.key]
+        if not records:
+            out.emit("no record in %s matches key %s" % (args.bench, args.key))
+            return 2
+
+    if args.action == "record":
+        for record in records:
+            if args.note:
+                record.note = args.note
+            store.append(record)
+            out.emit(
+                "recorded %s @ %s (%d series) -> %s"
+                % (record.key, record.git_sha, len(record.series), store.path),
+                key=record.key, git_sha=record.git_sha,
+            )
+        out.result(
+            history=store.path,
+            recorded=[record.key for record in records],
+        )
+        return 0
+
+    # compare: current bench vs the latest committed baseline per key
+    exit_code = 0
+    comparisons = []
+    for record in records:
+        baseline = store.latest(record.key)
+        if baseline is None:
+            out.emit(
+                "no baseline for %s in %s — record one first"
+                % (record.key, store.path),
+                key=record.key,
+            )
+            continue
+        comparison = compare_records(
+            baseline,
+            record,
+            tolerance=args.tolerance,
+            metric_tolerance=args.metric_tolerance,
+        )
+        comparisons.append(comparison)
+        out.emit(comparison.format())
+        if not comparison.ok and not args.warn_only:
+            exit_code = 1
+    if not comparisons:
+        out.emit("nothing compared (empty history?)")
+    out.result(
+        comparisons=[comparison.to_dict() for comparison in comparisons],
+        warn_only=args.warn_only,
+    )
+    return exit_code
 
 
 def _cmd_visualize(args, out: CliOutput) -> int:

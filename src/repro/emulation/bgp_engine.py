@@ -69,6 +69,7 @@ from repro.observability import (
     gauge_set,
     log_event,
     metric_inc,
+    metric_observe,
 )
 
 _ORIGIN_RANK = {"igp": 0, "egp": 1, "incomplete": 2}
@@ -647,6 +648,12 @@ class BgpSimulation:
         }
 
         for round_index in range(max_rounds + 1):
+            # Queue depth per round is *the* visibility into what the
+            # event-driven schedule saves: the reference rebuilds every
+            # RIB every round, the fast path touches only these.
+            metric_observe(
+                "bgp.queue_depth", len(pending_exports) + len(pending_decides)
+            )
             state = self._state_key(selected)
             if self.keep_history:
                 history.append(self._snapshot(selected))

@@ -117,6 +117,9 @@ class IgpState:
     def _invalidate_all(self) -> None:
         metric_inc("ospf.spf_invalidated", len(self._spf_cache))
         metric_inc("ospf.routes_invalidated", len(self._routes_cache))
+        metric_inc(
+            "ospf.invalidations", len(self._spf_cache) + len(self._routes_cache)
+        )
         self._spf_cache.clear()
         self._routes_cache.clear()
         self._route_deps.clear()
@@ -187,6 +190,9 @@ class IgpState:
                 self._route_connected.pop(source, None)
         metric_inc("ospf.routes_invalidated", invalidated_routes)
         metric_inc("ospf.routes_retained", len(self._routes_cache))
+        # the single number the incremental-vs-full comparison needs:
+        # total cache entries dropped by this topology event
+        metric_inc("ospf.invalidations", len(dropped) + invalidated_routes)
 
     # -- topology --------------------------------------------------------------
     def _build_adjacency(self) -> None:

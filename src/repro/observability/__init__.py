@@ -34,7 +34,24 @@ from repro.observability.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.observability.baseline import (
+    SCHEMA_VERSION,
+    BaselineRecord,
+    BaselineStore,
+    PerfComparison,
+    compare_records,
+    environment_fingerprint,
+    git_sha,
+    record_from_bench,
+    render_trend_report,
+)
 from repro.observability.metrics import Histogram, MetricsRegistry
+from repro.observability.profiling import (
+    ProfileReport,
+    Profiler,
+    format_span_table,
+    span_hotspots,
+)
 from repro.observability.telemetry import (
     Telemetry,
     current_span,
@@ -48,6 +65,8 @@ from repro.observability.telemetry import (
 from repro.observability.tracer import NULL_SPAN, Span, Tracer
 
 __all__ = [
+    "BaselineRecord",
+    "BaselineStore",
     "DEBUG",
     "ERROR",
     "EventLog",
@@ -56,11 +75,22 @@ __all__ = [
     "LogEvent",
     "MetricsRegistry",
     "NULL_SPAN",
+    "PerfComparison",
+    "ProfileReport",
+    "Profiler",
+    "SCHEMA_VERSION",
     "Span",
     "Telemetry",
     "Tracer",
     "WARNING",
     "chrome_trace",
+    "compare_records",
+    "environment_fingerprint",
+    "format_span_table",
+    "git_sha",
+    "record_from_bench",
+    "render_trend_report",
+    "span_hotspots",
     "current_span",
     "current_telemetry",
     "gauge_set",

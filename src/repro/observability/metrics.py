@@ -17,14 +17,28 @@ import threading
 from dataclasses import dataclass, field
 
 
+#: Retained-sample cap per histogram; beyond it, samples are decimated
+#: deterministically (every 2nd kept, stride doubled) so memory stays
+#: bounded while the distribution estimate keeps covering the run.
+_SAMPLE_CAP = 512
+
+
 @dataclass
 class Histogram:
-    """Summary statistics of observed values (no bucketing)."""
+    """Summary statistics of observed values, with percentile estimates.
+
+    Aggregates (count/sum/min/max) are exact.  Percentiles come from a
+    bounded, deterministically decimated sample reservoir: once
+    ``_SAMPLE_CAP`` samples are held, every second one is dropped and
+    only every ``stride``-th future observation is kept.
+    """
 
     count: int = 0
     total: float = 0.0
     minimum: float = float("inf")
     maximum: float = float("-inf")
+    samples: list = field(default_factory=list)
+    stride: int = 1
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -33,10 +47,28 @@ class Histogram:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
+        if (self.count - 1) % self.stride == 0:
+            self.samples.append(value)
+            if len(self.samples) >= _SAMPLE_CAP:
+                self.samples = self.samples[::2]
+                self.stride *= 2
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float | None:
+        """Linear-interpolated percentile estimate (``q`` in 0..100)."""
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = rank - low
+        return ordered[low] + (ordered[high] - ordered[low]) * fraction
 
     def to_dict(self) -> dict:
         return {
@@ -45,6 +77,9 @@ class Histogram:
             "min": self.minimum if self.count else None,
             "max": self.maximum if self.count else None,
             "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
         }
 
 
@@ -121,8 +156,10 @@ class MetricsRegistry:
         for name in sorted(snapshot["histograms"]):
             stats = snapshot["histograms"][name]
             lines.append(
-                "%-40s n=%d mean=%.4g min=%.4g max=%.4g"
+                "%-40s n=%d mean=%.4g p50=%.4g p95=%.4g p99=%.4g "
+                "min=%.4g max=%.4g"
                 % (name, stats["count"], stats["mean"],
+                   stats["p50"] or 0, stats["p95"] or 0, stats["p99"] or 0,
                    stats["min"] or 0, stats["max"] or 0)
             )
         return "\n".join(lines)

@@ -51,6 +51,22 @@ def test_run_survives_a_failed_trial(spec_file, campaign_dir, capsys):
     assert sorted(record.status for record in records) == ["failed", "ok", "ok", "ok"]
 
 
+def test_run_with_profile_captures_per_trial_profiles(spec_file, campaign_dir):
+    import os
+
+    assert main(["campaign", "run", spec_file, "-o", campaign_dir,
+                 "--profile", "--quiet"]) == 0
+    store = ResultStore(campaign_dir)
+    ok_records = [record for record in store.records() if record.ok]
+    assert ok_records
+    for record in ok_records:
+        assert record.profile, "trial record carries no profile summary"
+        assert os.path.exists(record.profile["collapsed"])
+        assert os.path.exists(record.profile["table"])
+        table = open(record.profile["table"]).read()
+        assert "hot functions" in table or "function" in table
+
+
 def test_strict_run_exits_nonzero_on_failures(spec_file, campaign_dir):
     assert main(["campaign", "run", spec_file, "-o", campaign_dir, "--strict"]) == 1
 

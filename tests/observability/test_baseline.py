@@ -1,0 +1,216 @@
+"""The perf-baseline store: records, history, tolerance gates, trends."""
+
+import json
+
+import pytest
+
+from repro.observability import (
+    SCHEMA_VERSION,
+    BaselineRecord,
+    BaselineStore,
+    compare_records,
+    environment_fingerprint,
+    git_sha,
+    record_from_bench,
+    render_trend_report,
+)
+from repro.observability.baseline import flatten_series, higher_is_better
+
+
+BENCH = {
+    "bench": "pipeline",
+    "timestamp": 123.0,
+    "topology": "small_internet",
+    "total_seconds": 0.1,
+    "phases": {"render": 0.04, "deploy": 0.06},
+    "metrics": {
+        "counters": {"bgp.messages": 296, "ospf.spf_cache_hits": 80},
+    },
+    "control_plane": {"fault_cycle_speedup": 0.85, "fast": {"converged": True}},
+}
+
+
+def make_record(series, sha="abc1234", timestamp=1.0, key="pipeline:small_internet:default"):
+    return BaselineRecord(
+        key=key, bench="pipeline", topology="small_internet", mode="default",
+        git_sha=sha, timestamp=timestamp, series=dict(series),
+    )
+
+
+class TestFlatten:
+    def test_nested_numbers_get_dotted_keys(self):
+        series = flatten_series(BENCH)
+        assert series["total_seconds"] == 0.1
+        assert series["phases.render"] == 0.04
+        assert series["metrics.counters.bgp.messages"] == 296
+        assert series["control_plane.fault_cycle_speedup"] == 0.85
+
+    def test_booleans_become_binary_series(self):
+        assert flatten_series(BENCH)["control_plane.fast.converged"] == 1.0
+
+    def test_provenance_keys_skipped_at_top_level(self):
+        series = flatten_series({"timestamp": 5.0, "schema_version": 1,
+                                 "inner": {"timestamp": 7.0}})
+        assert "timestamp" not in series
+        assert series["inner.timestamp"] == 7.0
+
+
+class TestRecordFromBench:
+    def test_key_and_stamps(self):
+        record = record_from_bench(BENCH, sha="deadbee", timestamp=42.0)
+        assert record.key == "pipeline:small_internet:default"
+        assert record.git_sha == "deadbee"
+        assert record.schema_version == SCHEMA_VERSION
+        assert record.environment["python"]
+        assert record.series["phases.deploy"] == 0.06
+
+    def test_round_trip(self):
+        record = record_from_bench(BENCH, sha="deadbee", timestamp=42.0)
+        again = BaselineRecord.from_dict(
+            json.loads(json.dumps(record.to_dict()))
+        )
+        assert again == record
+
+
+class TestGitShaAndEnvironment:
+    def test_git_sha_in_repo(self):
+        import os
+
+        root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        sha = git_sha(root)
+        assert sha == "unknown" or len(sha) >= 7
+
+    def test_git_sha_outside_repo(self, tmp_path):
+        assert git_sha(str(tmp_path)) == "unknown"
+
+    def test_fingerprint_fields(self):
+        fingerprint = environment_fingerprint()
+        assert set(fingerprint) == {
+            "python", "implementation", "system", "machine", "cpu_count"
+        }
+
+
+class TestStore:
+    def test_append_and_latest(self, tmp_path):
+        store = BaselineStore(tmp_path / "history.jsonl")
+        store.append(make_record({"total_seconds": 0.1}, timestamp=1.0))
+        store.append(make_record({"total_seconds": 0.2}, timestamp=2.0))
+        latest = store.latest("pipeline:small_internet:default")
+        assert latest.series["total_seconds"] == 0.2
+        assert store.keys() == ["pipeline:small_internet:default"]
+
+    def test_missing_history_is_empty(self, tmp_path):
+        store = BaselineStore(tmp_path / "nope.jsonl")
+        assert store.records() == []
+        assert store.latest("anything") is None
+
+    def test_torn_tail_line_tolerated(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        store = BaselineStore(path)
+        store.append(make_record({"a": 1.0}))
+        with open(path, "a") as handle:
+            handle.write('{"key": "pipeline:small_inte')  # torn write
+        assert len(store.records()) == 1
+
+    def test_newer_schema_records_skipped(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        store = BaselineStore(path)
+        record = make_record({"a": 1.0}).to_dict()
+        record["schema_version"] = SCHEMA_VERSION + 1
+        with open(path, "w") as handle:
+            handle.write(json.dumps(record) + "\n")
+        assert store.records() == []
+
+    def test_series_across_history(self, tmp_path):
+        store = BaselineStore(tmp_path / "history.jsonl")
+        store.append(make_record({"total_seconds": 0.1}, sha="a", timestamp=1))
+        store.append(make_record({"total_seconds": 0.3}, sha="b", timestamp=2))
+        points = store.series("pipeline:small_internet:default", "total_seconds")
+        assert points == [(1, "a", 0.1), (2, "b", 0.3)]
+
+
+class TestCompare:
+    def test_twenty_percent_slowdown_regresses(self):
+        baseline = make_record({"total_seconds": 1.0})
+        current = make_record({"total_seconds": 1.2}, sha="def5678")
+        comparison = compare_records(baseline, current)
+        assert not comparison.ok
+        assert [d.name for d in comparison.regressions] == ["total_seconds"]
+        assert comparison.regressions[0].delta_ratio == pytest.approx(0.2)
+
+    def test_within_tolerance_is_ok(self):
+        baseline = make_record({"total_seconds": 1.0})
+        current = make_record({"total_seconds": 1.1})
+        assert compare_records(baseline, current, tolerance=0.15).ok
+
+    def test_counters_gate_tighter_than_wall_clock(self):
+        baseline = make_record({"metrics.counters.bgp.messages": 100.0})
+        current = make_record({"metrics.counters.bgp.messages": 110.0})
+        comparison = compare_records(baseline, current,
+                                     tolerance=0.15, metric_tolerance=0.05)
+        assert not comparison.ok  # +10% counter drift > 5% gate
+
+    def test_higher_is_better_series_regress_on_decrease(self):
+        assert higher_is_better("control_plane.fault_cycle_speedup")
+        assert not higher_is_better("phases.render")
+        baseline = make_record({"control_plane.fault_cycle_speedup": 2.0})
+        current = make_record({"control_plane.fault_cycle_speedup": 1.0})
+        comparison = compare_records(baseline, current)
+        assert [d.name for d in comparison.regressions] == [
+            "control_plane.fault_cycle_speedup"
+        ]
+
+    def test_speedup_increase_is_improvement(self):
+        baseline = make_record({"control_plane.fault_cycle_speedup": 1.0})
+        current = make_record({"control_plane.fault_cycle_speedup": 2.0})
+        comparison = compare_records(baseline, current)
+        assert comparison.ok
+        assert comparison.improvements
+
+    def test_added_and_removed_series_do_not_gate(self):
+        baseline = make_record({"old": 1.0})
+        current = make_record({"new": 1.0})
+        comparison = compare_records(baseline, current)
+        assert comparison.ok
+        statuses = {d.name: d.status for d in comparison.deltas}
+        assert statuses == {"old": "removed", "new": "added"}
+
+    def test_format_mentions_regression(self):
+        baseline = make_record({"phases.deploy": 1.0})
+        current = make_record({"phases.deploy": 2.0})
+        text = compare_records(baseline, current).format()
+        assert "WORSE" in text
+        assert "phases.deploy" in text
+
+
+class TestTrendReport:
+    def _store(self, tmp_path):
+        store = BaselineStore(tmp_path / "history.jsonl")
+        for i, sha in enumerate(["aaa1111", "bbb2222", "ccc3333"]):
+            store.append(make_record(
+                {"total_seconds": 0.1 * (i + 1), "phases.render": 0.01},
+                sha=sha, timestamp=float(i),
+            ))
+        return store
+
+    def test_markdown_table_with_sparkline(self, tmp_path):
+        text = render_trend_report(self._store(tmp_path))
+        assert "## pipeline:small_internet:default" in text
+        assert "| total_seconds |" in text
+        assert "aaa1111" in text and "ccc3333" in text
+        assert "▁" in text  # sparkline rendered
+
+    def test_html_document(self, tmp_path):
+        text = render_trend_report(self._store(tmp_path), fmt="html")
+        assert text.startswith("<!doctype html>")
+        assert "<table>" in text
+        assert "total_seconds" in text
+
+    def test_unknown_format_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            render_trend_report(self._store(tmp_path), fmt="pdf")
+
+    def test_empty_store(self, tmp_path):
+        text = render_trend_report(BaselineStore(tmp_path / "none.jsonl"))
+        assert "no history" in text

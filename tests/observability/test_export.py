@@ -1,11 +1,14 @@
 """Unit tests for the JSON-lines, Chrome-trace and timing-tree exporters."""
 
 import json
+import time
 
+from repro.engine import ProcessExecutor, ThreadExecutor
 from repro.observability import (
     Telemetry,
     chrome_trace,
     read_jsonl,
+    span,
     timing_tree,
     write_chrome_trace,
     write_jsonl,
@@ -71,6 +74,93 @@ class TestChromeTrace:
 
     def test_empty(self):
         assert chrome_trace([]) == {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def test_round_trip_matches_direct_export(self, tmp_path):
+        """jsonl -> read_jsonl -> chrome_trace equals the direct export."""
+        telemetry = _sample_telemetry()
+        direct = chrome_trace(telemetry)
+        path = write_jsonl(telemetry, str(tmp_path / "run.jsonl"))
+        assert chrome_trace(read_jsonl(path)) == direct
+
+
+def _traced_square(value):
+    """Module-level so the process executor can pickle it."""
+    with span("proc.task"):
+        return value * value
+
+
+class TestExecutorSpanTrees:
+    """Spans opened on executor workers must form correct trees."""
+
+    def _run_on_threads(self, telemetry, jobs=4, tasks=8):
+        executor = ThreadExecutor(jobs=jobs)
+
+        def task(index):
+            with span("render.device", device=index):
+                time.sleep(0.002)
+            return index
+
+        try:
+            with telemetry.span("engine.run"):
+                results = executor.run(
+                    [("t%d" % i, task, i) for i in range(tasks)]
+                )
+        finally:
+            executor.shutdown()
+        return results
+
+    def test_thread_executor_parents_stay_on_thread(self):
+        telemetry = Telemetry()
+        with telemetry.activate():
+            results = self._run_on_threads(telemetry)
+        spans = telemetry.tracer.all_spans()
+        device_spans = [s for s in spans if s.name == "render.device"]
+        assert results == list(range(8))
+        assert len(device_spans) == 8
+        # a span's parent must live on the span's own thread — worker
+        # spans never interleave into another thread's open span
+        by_id = {s.span_id: s for s in spans}
+        for record in device_spans:
+            if record.parent_id is not None:
+                assert by_id[record.parent_id].thread == record.thread
+
+    def test_worker_spans_become_roots_not_children_of_main(self):
+        telemetry = Telemetry()
+        with telemetry.activate():
+            self._run_on_threads(telemetry)
+        outer = telemetry.tracer.find("engine.run")
+        assert outer is not None
+        assert [child.name for child in outer.children] == []
+        root_names = [root.name for root in telemetry.tracer.roots]
+        assert root_names.count("render.device") == 8
+
+    def test_chrome_trace_gives_worker_threads_distinct_tids(self):
+        telemetry = Telemetry()
+        with telemetry.activate():
+            self._run_on_threads(telemetry)
+        document = chrome_trace(telemetry)
+        tid_of = {event["name"]: event["tid"]
+                  for event in document["traceEvents"]}
+        main_tid = tid_of["engine.run"]
+        worker_tids = {event["tid"] for event in document["traceEvents"]
+                       if event["name"] == "render.device"}
+        assert main_tid not in worker_tids
+
+    def test_process_executor_spans_stay_in_child(self):
+        telemetry = Telemetry()
+        executor = ProcessExecutor(jobs=2)
+        try:
+            with telemetry.activate():
+                results = executor.run(
+                    [("p%d" % i, _traced_square, i) for i in range(4)]
+                )
+        finally:
+            executor.shutdown()
+        assert results == [0, 1, 4, 9]
+        # child processes have their own (inactive) telemetry — their
+        # spans never leak into the parent's tracer
+        names = [s.name for s in telemetry.tracer.all_spans()]
+        assert "proc.task" not in names
 
 
 class TestTimingTree:

@@ -46,6 +46,59 @@ class TestHistograms:
         histogram = MetricsRegistry().histogram("missing")
         assert histogram.count == 0
         assert histogram.mean == 0.0
+        assert histogram.percentile(50) is None
+
+
+class TestPercentiles:
+    def test_p50_p95_p99_on_uniform_values(self):
+        metrics = MetricsRegistry()
+        for value in range(1, 101):  # 1..100
+            metrics.observe("spf.seconds", float(value))
+        histogram = metrics.histogram("spf.seconds")
+        assert histogram.percentile(50) == 50.5
+        assert histogram.percentile(95) == 95.05
+        assert histogram.percentile(99) == 99.01
+        assert histogram.percentile(0) == 1.0
+        assert histogram.percentile(100) == 100.0
+
+    def test_single_sample(self):
+        metrics = MetricsRegistry()
+        metrics.observe("h", 7.0)
+        histogram = metrics.histogram("h")
+        assert histogram.percentile(50) == 7.0
+        assert histogram.percentile(99) == 7.0
+
+    def test_to_dict_carries_percentiles(self):
+        metrics = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0):
+            metrics.observe("h", value)
+        stats = metrics.snapshot()["histograms"]["h"]
+        assert stats["p50"] == 2.0
+        assert stats["p95"] >= stats["p50"]
+        assert stats["p99"] >= stats["p95"]
+
+    def test_reservoir_decimates_deterministically(self):
+        metrics = MetricsRegistry()
+        for value in range(2000):
+            metrics.observe("h", float(value))
+        histogram = metrics.histogram("h")
+        # aggregates stay exact even after decimation...
+        assert histogram.count == 2000
+        assert histogram.minimum == 0.0
+        assert histogram.maximum == 1999.0
+        # ...while the reservoir stays bounded and still spans the run
+        assert len(histogram.samples) < 512
+        assert histogram.stride > 1
+        p50 = histogram.percentile(50)
+        assert 800 <= p50 <= 1200
+
+    def test_format_shows_percentiles(self):
+        metrics = MetricsRegistry()
+        for value in (0.1, 0.2, 0.9):
+            metrics.observe("engine.task_seconds", value)
+        line = [l for l in metrics.format().splitlines()
+                if "engine.task_seconds" in l][0]
+        assert "p50=" in line and "p95=" in line and "p99=" in line
 
 
 class TestSnapshotAndFormat:

@@ -1,0 +1,145 @@
+"""The profiler layer: hot functions, collapsed stacks, span hotspots."""
+
+import threading
+import time
+
+from repro.observability import (
+    ProfileReport,
+    Profiler,
+    Telemetry,
+    format_span_table,
+    span_hotspots,
+)
+
+
+def _busy(deadline_seconds: float = 0.05) -> int:
+    """Pure-python spin that the sampler reliably catches."""
+    total = 0
+    stop = time.perf_counter() + deadline_seconds
+    while time.perf_counter() < stop:
+        for i in range(1000):
+            total += i * i
+    return total
+
+
+class TestDeterministicProfiler:
+    def test_hot_function_table_names_the_hot_function(self):
+        profiler = Profiler(interval=0.001)
+        with profiler:
+            _busy()
+        report = profiler.report()
+        top = report.hot_functions(limit=5)
+        assert top, "profiler produced no function stats"
+        names = [stat.name for stat in top]
+        assert any("_busy" in name for name in names)
+        # deterministic stats carry exact call counts
+        busy_stat = next(stat for stat in top if "_busy" in stat.name)
+        assert busy_stat.calls == 1
+        assert busy_stat.self_seconds > 0
+
+    def test_format_table_is_aligned_text(self):
+        profiler = Profiler()
+        with profiler:
+            _busy(0.02)
+        table = profiler.report().format_table(limit=5)
+        lines = table.splitlines()
+        assert lines[0].split() == ["self(s)", "cum(s)", "calls", "function"]
+        assert len(lines) > 1
+
+    def test_report_is_cached(self):
+        profiler = Profiler()
+        with profiler:
+            _busy(0.01)
+        assert profiler.report() is profiler.report()
+
+
+class TestSamplingProfiler:
+    def test_collapsed_stacks_capture_the_busy_frame(self):
+        profiler = Profiler(interval=0.001, deterministic=False)
+        with profiler:
+            _busy()
+        report = profiler.report()
+        assert report.sample_count > 0
+        assert any("_busy" in stack for stack in report.stacks)
+        assert any("_busy" in frame for frame in report.top_frames())
+
+    def test_collapsed_line_format(self, tmp_path):
+        profiler = Profiler(interval=0.001, deterministic=False)
+        with profiler:
+            _busy()
+        path = profiler.report().write_collapsed(str(tmp_path / "out.collapsed"))
+        lines = open(path).read().splitlines()
+        assert lines
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) >= 1
+            assert ";" in stack or ":" in stack
+
+    def test_sampling_sees_worker_threads(self):
+        profiler = Profiler(interval=0.001, deterministic=False)
+        with profiler:
+            worker = threading.Thread(target=_busy, args=(0.08,),
+                                      name="busy-worker")
+            worker.start()
+            worker.join()
+        report = profiler.report()
+        assert any("busy-worker" in name for name in report.threads_seen)
+        assert any("_busy" in stack for stack in report.stacks)
+
+    def test_sampled_function_stats_estimate_time(self):
+        profiler = Profiler(interval=0.001, deterministic=False)
+        with profiler:
+            _busy()
+        stats = profiler.report().hot_functions(limit=3)
+        assert stats
+        assert all(stat.calls is None for stat in stats)
+        assert all(stat.source == "sampling" for stat in stats)
+
+    def test_to_dict_payload(self):
+        profiler = Profiler(interval=0.001)
+        with profiler:
+            _busy(0.02)
+        payload = profiler.report().to_dict(limit=3)
+        assert payload["sample_count"] >= 0
+        assert len(payload["hot_functions"]) <= 3
+        assert payload["elapsed_seconds"] > 0
+
+
+class TestSpanHotspots:
+    def test_self_time_excludes_children(self):
+        telemetry = Telemetry()
+        with telemetry.activate():
+            with telemetry.span("outer"):
+                time.sleep(0.01)
+                with telemetry.span("inner"):
+                    time.sleep(0.03)
+        rows = {row["name"]: row for row in span_hotspots(telemetry)}
+        assert rows["inner"]["self_seconds"] >= 0.02
+        assert rows["outer"]["total_seconds"] >= rows["inner"]["total_seconds"]
+        # outer's self time must not include inner's sleep
+        assert rows["outer"]["self_seconds"] < rows["outer"]["total_seconds"]
+
+    def test_repeated_span_names_aggregate(self):
+        telemetry = Telemetry()
+        with telemetry.activate():
+            for _ in range(3):
+                with telemetry.span("render.device"):
+                    pass
+        rows = {row["name"]: row for row in span_hotspots(telemetry)}
+        assert rows["render.device"]["count"] == 3
+
+    def test_format_span_table(self):
+        telemetry = Telemetry()
+        with telemetry.activate():
+            with telemetry.span("phase"):
+                pass
+        table = format_span_table(telemetry)
+        assert "phase" in table
+        assert table.splitlines()[0].split() == [
+            "self(s)", "total(s)", "count", "span"
+        ]
+
+    def test_empty_report_collapsed_is_empty(self):
+        report = ProfileReport()
+        assert report.collapsed() == []
+        assert report.top_frames() == []
