@@ -115,6 +115,7 @@ def test_control_plane_fast_vs_reference():
             "fault_cycle_seconds": round(fault_seconds, 4),
             "boot_rounds": boot_rounds,
             "converged": lab.converged,
+            "spf_mode": lab.igp.spf_mode,
             # deterministic work counters: the noise-free comparison
             "spf_runs": telemetry.metrics.value("ospf.spf_runs"),
             "bgp_messages": telemetry.metrics.value("bgp.messages"),
@@ -137,10 +138,17 @@ def test_control_plane_fast_vs_reference():
             "  spf runs %(spf_runs)d  bgp msgs %(bgp_messages)d" % rows["fast"],
             "  reference  boot %(boot_seconds).4fs  fault cycles %(fault_cycle_seconds).4fs"
             "  spf runs %(spf_runs)d  bgp msgs %(bgp_messages)d" % rows["reference"],
-            "  fault-cycle speedup %.2fx (incremental SPF + event-driven BGP)" % speedup,
+            "  fault-cycle speedup %.2fx (auto SPF [resolved %s] + event-driven BGP)"
+            % (speedup, rows["fast"]["spf_mode"]),
         ],
     )
-    assert rows["fast"]["spf_runs"] < rows["reference"]["spf_runs"]
+    # auto spf resolves to "full" below the size threshold: on this
+    # 14-machine lab incremental SPF's bookkeeping cost more than it
+    # saved (the old sub-1.0x fault-cycle speedup), so the SPF counters
+    # now tie here — the incremental win is measured at NREN scale by
+    # bench_nren_scale.  Event-driven BGP still wins outright.
+    assert rows["fast"]["spf_mode"] == "full"
+    assert rows["fast"]["spf_runs"] <= rows["reference"]["spf_runs"]
     assert rows["fast"]["bgp_messages"] < rows["reference"]["bgp_messages"]
     update_pipeline_record(
         control_plane={

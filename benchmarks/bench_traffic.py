@@ -1,0 +1,131 @@
+"""E12 — flow-level traffic through the emulated NREN.
+
+The traffic engine offers the ramp-style workload from
+``examples/traffic_ramp.json`` (~1.1M flows: web + api request/response,
+a locust-style ramped user load, and bulk transfers) to a booted NREN
+lab and measures how many flows per second the discrete-event simulator
+pushes through the dataplane.  Two properties are pinned alongside the
+throughput number:
+
+* the same seed reproduces a bit-identical ``TrafficReport``;
+* a mid-run backbone ``link_down`` degrades the delivered p99 during the
+  fault window and the later buckets recover after reconvergence.
+
+Results land in ``BENCH_traffic.json`` (its own `repro perf` key,
+``traffic:nren:ramp``) and as a ``traffic`` section in
+``BENCH_pipeline.json``.
+"""
+
+import os
+import tempfile
+import time
+
+import pytest
+
+from repro.compilers import platform_compiler
+from repro.design import design_network
+from repro.emulation import EmulatedLab
+from repro.loader import european_nren_model
+from repro.render import render_nidb
+from repro.resilience import FaultSchedule
+from repro.traffic import TrafficProfile, run_traffic
+
+from _util import REPO_ROOT, full_scale, record, update_pipeline_record
+
+RAMP_PROFILE = os.path.join(REPO_ROOT, "examples", "traffic_ramp.json")
+
+#: Topology scale: the flow count comes from the profile (not the
+#: topology), so the 1M-flow target holds at CI scale too; full scale
+#: exercises the path cache across all 1158 routers.
+SCALE = 1.0 if full_scale() else 0.1
+
+
+@pytest.fixture(scope="module")
+def nren_lab():
+    graph = european_nren_model(scale=SCALE)
+    anm = design_network(graph)
+    nidb = platform_compiler("netkit", anm).compile()
+    rendered = render_nidb(nidb, tempfile.mkdtemp(prefix="bench_traffic_"))
+    lab = EmulatedLab.boot(rendered.lab_dir, jobs=os.cpu_count() or 1)
+    return graph, lab
+
+
+def test_traffic_ramp_throughput(nren_lab):
+    graph, lab = nren_lab
+    profile = TrafficProfile.load(RAMP_PROFILE)
+
+    started = time.perf_counter()
+    report = run_traffic(lab, profile, seed=7)
+    elapsed = time.perf_counter() - started
+    rerun = run_traffic(lab, profile, seed=7)
+
+    # the acceptance bar: a million flows, stable under the same seed
+    assert report.offered_flows >= 1_000_000
+    assert report.to_json() == rerun.to_json()
+
+    flows_per_sec = report.offered_flows / max(elapsed, 1e-9)
+    web_latency = report.class_report("web").latency_ms()
+    rows = {
+        "scale": SCALE,
+        "routers": graph.number_of_nodes(),
+        "offered_flows": report.offered_flows,
+        "delivered_flows": report.delivered_flows,
+        "loss_rate": round(report.loss_rate, 6),
+        "elapsed_seconds": round(elapsed, 4),
+        "flows_per_min": round(flows_per_sec * 60.0, 1),
+        "web_p50_ms": round(web_latency["p50"], 4),
+        "web_p99_ms": round(web_latency["p99"], 4),
+    }
+    record(
+        "E12_traffic",
+        [
+            "NREN @%.2f scale (%d routers), profile %r seed 7:"
+            % (SCALE, rows["routers"], profile.name),
+            "  %d flows offered, %d delivered (loss %.3f%%)"
+            % (
+                report.offered_flows,
+                report.delivered_flows,
+                report.loss_rate * 100.0,
+            ),
+            "  engine wall clock %.2fs -> %d flows/sec"
+            % (elapsed, int(flows_per_sec)),
+            "  web p50 %.3f ms, p99 %.3f ms (bit-identical on same-seed rerun)"
+            % (web_latency["p50"], web_latency["p99"]),
+        ],
+    )
+    update_pipeline_record(name="traffic", topology="nren", mode="ramp",
+                           traffic=rows)
+    update_pipeline_record(traffic=rows)
+
+
+def test_traffic_fault_window_disrupts_p99(nren_lab):
+    """A backbone link_down mid-run must show up in the timeline."""
+    graph, lab = nren_lab
+    profile = TrafficProfile.load(RAMP_PROFILE).scaled(0.1)
+
+    baseline = run_traffic(lab.fork(), profile, seed=7)
+    # fail the link the baseline run leaned on hardest, so flows in
+    # flight at the fault time genuinely lose their path
+    machine, peer = baseline.links[0]["link"].split("->")
+    schedule = FaultSchedule.parse(
+        "at 3 link_down %s %s" % (machine, peer)
+    )
+    faulted = run_traffic(lab.fork(), profile, seed=7, schedule=schedule)
+
+    assert faulted.faults and faulted.faults[0]["kind"] == "link_down"
+    by_start = {bucket["start"]: bucket for bucket in faulted.timeline}
+    calm = {bucket["start"]: bucket for bucket in baseline.timeline}
+    fault_start = faulted.faults[0]["time"]
+    disrupted = by_start[fault_start]["p99_ms"]
+    settled = by_start[max(by_start)]["p99_ms"]
+    record(
+        "E12_traffic_fault",
+        [
+            "link_down %s-%s @%.0fs over %r (seed 7):" % (
+                machine, peer, fault_start, profile.name),
+            "  fault-window p99 %.3f ms vs calm %.3f ms; final bucket %.3f ms"
+            % (disrupted, calm[fault_start]["p99_ms"], settled),
+        ],
+    )
+    assert disrupted > calm[fault_start]["p99_ms"]
+    assert settled < disrupted

@@ -420,7 +420,7 @@ def _trial_body(payload: dict, trial: dict, cache, telemetry, record: dict) -> N
     _maybe_inject(overrides, "deploy")
     max_rounds = int(overrides.get("max_rounds", 64))
     boot_jobs = int(overrides.get("boot_jobs", payload.get("boot_jobs", 1)))
-    spf_mode = str(overrides.get("spf_mode", "incremental"))
+    spf_mode = str(overrides.get("spf_mode", "auto"))
     bgp_mode = str(overrides.get("bgp_mode", "events"))
     with telemetry.span("deploy", trial=payload["trial_id"]):
         lab = retry_call(
@@ -445,6 +445,23 @@ def _trial_body(payload: dict, trial: dict, cache, telemetry, record: dict) -> N
         record["convergence"] = lab.convergence_report.to_dict()
         if overrides.get("reachability", True):
             record["reachability"] = reachability_summary(lab)
+
+    if trial.get("traffic"):
+        from repro.traffic import (
+            TrafficProfile,
+            link_overrides_from_anm,
+            run_traffic,
+        )
+
+        profile = TrafficProfile.from_json(trial["traffic"])
+        with telemetry.span("traffic", trial=payload["trial_id"]):
+            traffic_report = run_traffic(
+                lab,
+                profile,
+                seed=int(overrides.get("traffic_seed", 0)),
+                link_overrides=link_overrides_from_anm(engine.anm),
+            )
+        record["traffic"] = traffic_report.summary()
 
 
 def _maybe_inject(overrides: dict, stage: str) -> None:

@@ -5,7 +5,8 @@ compiled for four platforms (§7.2), the same NREN model at several
 scales (§3.2), what-if incident sweeps — and a campaign spec captures
 one such matrix declaratively.  Its axes::
 
-    topologies × platforms × rule_sets × fault_schedules × overrides
+    topologies × platforms × rule_sets × fault_schedules
+               × traffic_profiles × overrides
 
 expand, in deterministic order, into a list of :class:`TrialSpec`
 values.  Every trial carries a stable content hash
@@ -30,8 +31,12 @@ Fault-schedule axis entries are ``null``, a path to a ``.fault`` file
 (relative to the spec file), or ``{"inline": "at 2 link_down r1 r2"}``;
 either way the schedule is canonicalised to its DSL text at load time
 so the trial hash moves when the schedule *content* changes.  The
-optional ``trials`` list appends explicit one-off trials after the axis
-product — the idiomatic place for a deliberately fault-injected trial.
+``traffic_profiles`` axis works the same way — ``null``, a path to a
+profile ``.json``, or ``{"inline": {...}}`` — and is canonicalised to
+the profile's sorted JSON text, so trials that offer no traffic keep
+the hashes they had before the axis existed.  The optional ``trials``
+list appends explicit one-off trials after the axis product — the
+idiomatic place for a deliberately fault-injected trial.
 """
 
 from __future__ import annotations
@@ -54,8 +59,9 @@ KNOWN_OVERRIDES = (
     "inject_fault",   # force this trial to fail at a stage (chaos hook)
     "lab_name",       # deployment lab name (str)
     "boot_jobs",      # per-trial boot fan-out width (int, default 1)
-    "spf_mode",       # IGP recomputation: incremental (default) | full
+    "spf_mode",       # IGP recomputation: auto (default) | incremental | full
     "bgp_mode",       # BGP scheduling: events (default) | rounds
+    "traffic_seed",   # seed for the trial's traffic engine (int, default 0)
 )
 
 #: Stages ``inject_fault`` may name.
@@ -72,16 +78,24 @@ class TrialSpec:
     schedule: Optional[str]  # canonical fault-schedule DSL text
     overrides: tuple         # sorted (key, value) pairs
     sequence: int = 0        # position in the expansion (sharding order)
+    traffic: Optional[str] = None  # canonical traffic-profile JSON text
 
     def canonical(self) -> dict:
-        """The hash input: everything that defines the trial's outcome."""
-        return {
+        """The hash input: everything that defines the trial's outcome.
+
+        ``traffic`` joins the hash only when set, so pre-existing
+        campaigns (which had no traffic axis) keep their resume keys.
+        """
+        data = {
             "topology": self.topology,
             "platform": self.platform,
             "rules": list(self.rules),
             "schedule": self.schedule,
             "overrides": dict(self.overrides),
         }
+        if self.traffic is not None:
+            data["traffic"] = self.traffic
+        return data
 
     @property
     def spec_hash(self) -> str:
@@ -141,6 +155,7 @@ class CampaignSpec:
         platforms = _string_list(data, "platforms")
         rule_sets = data.get("rule_sets") or [list(DEFAULT_RULES)]
         schedules = data.get("fault_schedules") or [None]
+        traffic_axis = data.get("traffic_profiles") or [None]
         override_axis = data.get("overrides") or [{}]
         defaults = _trial_defaults(data)
 
@@ -151,19 +166,21 @@ class CampaignSpec:
             raw=data,
         )
         cells = [
-            (topology, platform, rules, schedule, overrides)
+            (topology, platform, rules, schedule, traffic, overrides)
             for topology in topologies
             for platform in platforms
             for rules in rule_sets
             for schedule in schedules
+            for traffic in traffic_axis
             for overrides in override_axis
         ]
-        for topology, platform, rules, schedule, overrides in cells:
+        for topology, platform, rules, schedule, traffic, overrides in cells:
             spec.trials.append(
                 _make_trial(
                     topology, platform, rules, schedule,
                     {**defaults, **_check_overrides(overrides)},
                     base_dir, sequence=len(spec.trials),
+                    traffic=traffic,
                 )
             )
         for extra in data.get("trials") or []:
@@ -179,6 +196,7 @@ class CampaignSpec:
                     extra.get("fault_schedule"),
                     {**defaults, **_check_overrides(extra.get("overrides") or {})},
                     base_dir, sequence=len(spec.trials),
+                    traffic=extra.get("traffic_profile"),
                 )
             )
         if not spec.trials:
@@ -262,7 +280,7 @@ def _check_overrides(overrides: dict) -> dict:
 
 def _make_trial(
     topology, platform, rules, schedule, overrides: dict,
-    base_dir: str, sequence: int,
+    base_dir: str, sequence: int, traffic=None,
 ) -> TrialSpec:
     return TrialSpec(
         topology=str(topology),
@@ -271,6 +289,7 @@ def _make_trial(
         schedule=_canonical_schedule(schedule, base_dir),
         overrides=tuple(sorted(overrides.items())),
         sequence=sequence,
+        traffic=_canonical_traffic_profile(traffic, base_dir),
     )
 
 
@@ -293,6 +312,36 @@ def _canonical_schedule(entry, base_dir: str) -> Optional[str]:
         raise CampaignError("bad fault schedule entry %r" % (entry,))
     schedule = FaultSchedule.parse(text)  # validates the DSL early
     return "\n".join(str(event) for event in schedule)
+
+
+def _canonical_traffic_profile(entry, base_dir: str) -> Optional[str]:
+    """Normalise a traffic axis entry to the profile's sorted JSON text.
+
+    Entries mirror the fault-schedule axis: ``None``, a path to a
+    profile ``.json`` (relative to the spec file), or an inline object —
+    either ``{"inline": {...profile...}}`` or the profile dict itself.
+    Canonicalising to content (not the path) means the trial hash moves
+    exactly when the offered workload changes.
+    """
+    if entry is None:
+        return None
+    from repro.exceptions import TrafficError
+    from repro.traffic import TrafficProfile
+
+    try:
+        if isinstance(entry, dict):
+            data = entry.get("inline") if set(entry) == {"inline"} else entry
+            profile = TrafficProfile.from_dict(data)
+        elif isinstance(entry, str):
+            path = entry
+            if not os.path.isabs(path):
+                path = os.path.join(base_dir, path)
+            profile = TrafficProfile.load(path)
+        else:
+            raise CampaignError("bad traffic profile entry %r" % (entry,))
+    except (TrafficError, OSError) as exc:
+        raise CampaignError("cannot load traffic profile %r: %s" % (entry, exc))
+    return profile.to_json()
 
 
 def _read_schedule(path: str, base_dir: str) -> str:

@@ -55,6 +55,7 @@ class TrialRecord:
     timings: dict = field(default_factory=dict)       # phase -> seconds
     engine: dict = field(default_factory=dict)        # cache_hits / misses / rendered
     profile: dict = field(default_factory=dict)       # collapsed/table paths, samples
+    traffic: dict = field(default_factory=dict)       # TrafficReport.summary()
     run_dir: str = ""
     duration_seconds: float = 0.0
     finished_at: float = 0.0
@@ -91,6 +92,7 @@ class TrialRecord:
             "timings": self.timings,
             "engine": self.engine,
             "profile": self.profile,
+            "traffic": self.traffic,
             "run_dir": self.run_dir,
             "duration_seconds": self.duration_seconds,
             "finished_at": self.finished_at,
@@ -110,6 +112,7 @@ class TrialRecord:
             timings=data.get("timings") or {},
             engine=data.get("engine") or {},
             profile=data.get("profile") or {},
+            traffic=data.get("traffic") or {},
             run_dir=data.get("run_dir", ""),
             duration_seconds=data.get("duration_seconds", 0.0),
             finished_at=data.get("finished_at", 0.0),

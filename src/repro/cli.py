@@ -15,6 +15,7 @@ the same stages as subcommands::
     repro campaign  run spec.json -j4           # a whole experiment matrix
     repro campaign  status spec.json            # completed / failed / pending
     repro campaign  report results_dir/         # cross-trial tables
+    repro traffic   run --topology nren --profile ramp.json --seed 7
 
 Every subcommand accepts a GraphML/GML/JSON topology path or one of the
 built-in topology names (``small_internet``, ``fig5``, ``bad_gadget``,
@@ -137,7 +138,9 @@ def _add_resilience_options(
     )
 
 
-def _add_observability_options(parser: argparse.ArgumentParser) -> None:
+def _add_observability_options(
+    parser: argparse.ArgumentParser, include_profiler: bool = True
+) -> None:
     observability = parser.add_argument_group("observability")
     observability.add_argument(
         "--trace", default=None, metavar="PATH",
@@ -147,17 +150,20 @@ def _add_observability_options(parser: argparse.ArgumentParser) -> None:
         "--chrome-trace", default=None, metavar="PATH",
         help="write the run's spans in Chrome trace_event format",
     )
-    observability.add_argument(
-        "--profile", nargs="?", const="profile", default=None,
-        metavar="PREFIX",
-        help="profile the command: print per-span and hot-function "
-        "tables, write collapsed stacks to PREFIX.collapsed "
-        "(default prefix: 'profile')",
-    )
-    observability.add_argument(
-        "--profile-interval", type=float, default=0.001, metavar="SECONDS",
-        help="sampling interval for the stack sampler (default 1ms)",
-    )
+    if include_profiler:
+        # `repro traffic` claims --profile for its workload spec, so it
+        # opts out of the profiler flags
+        observability.add_argument(
+            "--profile", nargs="?", const="profile", default=None,
+            metavar="PREFIX",
+            help="profile the command: print per-span and hot-function "
+            "tables, write collapsed stacks to PREFIX.collapsed "
+            "(default prefix: 'profile')",
+        )
+        observability.add_argument(
+            "--profile-interval", type=float, default=0.001, metavar="SECONDS",
+            help="sampling interval for the stack sampler (default 1ms)",
+        )
     observability.add_argument(
         "--metrics", action="store_true",
         help="print the metrics registry after the command",
@@ -190,9 +196,10 @@ def _add_emulation_options(sub: argparse.ArgumentParser) -> None:
         "(default 1: serial)",
     )
     emulation.add_argument(
-        "--spf-mode", choices=("incremental", "full"), default="incremental",
-        help="IGP recomputation on topology events: incremental "
-        "invalidation (default) or the full-recompute reference oracle",
+        "--spf-mode", choices=("auto", "incremental", "full"), default="auto",
+        help="IGP recomputation on topology events: auto picks by "
+        "topology size (default), incremental forces delta invalidation, "
+        "full is the recompute-everything reference oracle",
     )
     emulation.add_argument(
         "--bgp-mode", choices=("events", "rounds"), default="events",
@@ -204,7 +211,7 @@ def _add_emulation_options(sub: argparse.ArgumentParser) -> None:
 def _boot_options(args) -> dict:
     return {
         "jobs": getattr(args, "jobs", 1),
-        "spf_mode": getattr(args, "spf_mode", "incremental"),
+        "spf_mode": getattr(args, "spf_mode", "auto"),
         "bgp_mode": getattr(args, "bgp_mode", "events"),
     }
 
@@ -240,6 +247,16 @@ def _add_measure_options(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("-c", "--command", required=True, dest="measure_command")
     sub.add_argument(
         "-H", "--hosts", nargs="+", default=None, help="machines to run on"
+    )
+    traffic = sub.add_argument_group("traffic")
+    traffic.add_argument(
+        "--traffic", default=None, metavar="PROFILE", dest="traffic_profile",
+        help="also offer this traffic profile (JSON path) to the lab and "
+        "report per-class latency percentiles",
+    )
+    traffic.add_argument(
+        "--traffic-seed", type=int, default=0, metavar="N",
+        help="seed for the traffic engine's workload generators (default 0)",
     )
 
 
@@ -403,6 +420,65 @@ def _add_perf_options(sub: argparse.ArgumentParser) -> None:
     _add_observability_options(sub)
 
 
+def _add_traffic_options(sub: argparse.ArgumentParser) -> None:
+    """`repro traffic` drives a workload profile over a deployed lab.
+
+    Wires itself fully: the topology is a flag (not a positional) and
+    ``--profile`` means the *traffic* profile, so the profiler flags are
+    omitted.
+    """
+    sub.add_argument(
+        "action", choices=["run", "show"],
+        help="run the profile against the topology, or just print the "
+        "parsed profile",
+    )
+    sub.add_argument(
+        "--topology", required=True,
+        help="topology file or built-in name",
+    )
+    sub.add_argument(
+        "--platform",
+        default="netkit",
+        choices=["netkit", "dynagen", "junosphere", "cbgp"],
+    )
+    sub.add_argument(
+        "--rules",
+        nargs="+",
+        default=list(DEFAULT_RULES),
+        help="design rules to apply (default: %(default)s)",
+    )
+    sub.add_argument("-o", "--output", default=None, help="output directory")
+    sub.add_argument(
+        "--profile", required=True, metavar="PATH", dest="traffic_profile",
+        help="traffic profile JSON (classes, duration, link model)",
+    )
+    sub.add_argument(
+        "--seed", type=int, default=0,
+        help="workload generator seed; same seed + profile reproduces "
+        "the report bit-for-bit (default 0)",
+    )
+    sub.add_argument(
+        "--scale", type=float, default=1.0, metavar="FACTOR",
+        help="multiply every class's offered rate (load sweeps)",
+    )
+    sub.add_argument(
+        "--schedule", default=None, metavar="PATH",
+        help="fault schedule applied on the traffic clock "
+        "(round N fires at N * round_seconds)",
+    )
+    sub.add_argument(
+        "--event", action="append", default=[], metavar="SPEC",
+        help="inline schedule line, e.g. 'at 3 link_down a b' (repeatable)",
+    )
+    sub.add_argument(
+        "--max-links", type=int, default=10, metavar="N",
+        help="busiest links to show/emit (default 10)",
+    )
+    _add_resilience_options(sub)
+    _add_emulation_options(sub)
+    _add_observability_options(sub, include_profiler=False)
+
+
 #: (name, help text, extra-options wiring); campaign wires itself fully.
 _SUBCOMMANDS = [
     ("info", "print the designed overlay topologies", None),
@@ -422,6 +498,8 @@ _SUBCOMMANDS = [
      _add_campaign_options),
     ("perf", "record, gate and trend benchmark results against baselines",
      _add_perf_options),
+    ("traffic", "offer a workload profile to a deployed lab and measure it",
+     _add_traffic_options),
 ]
 
 
@@ -433,7 +511,7 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
     for name, help_text, add_options in _SUBCOMMANDS:
         sub = commands.add_parser(name, help=help_text)
-        if name in ("campaign", "perf"):
+        if name in ("campaign", "perf", "traffic"):
             add_options(sub)
             continue
         _add_common(sub)
@@ -482,6 +560,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         "diff": _cmd_diff,
         "campaign": _cmd_campaign,
         "perf": _cmd_perf,
+        "traffic": _cmd_traffic,
     }[args.command]
     telemetry = Telemetry()
     out = CliOutput(
@@ -747,7 +826,7 @@ def _cmd_measure(args, out: CliOutput) -> int:
     from repro.measurement import MeasurementClient
     from repro.observability import span
 
-    _, nidb, result = _built(args)
+    anm, nidb, result = _built(args)
     with span("deploy"):
         record = deploy(
             result.lab_dir,
@@ -792,6 +871,25 @@ def _cmd_measure(args, out: CliOutput) -> int:
         results=measurements,
         failures=failures,
     )
+    # the traffic section appears in text and --json output only when
+    # --traffic was passed — an unrequested key would imply a run
+    if getattr(args, "traffic_profile", None):
+        from repro.traffic import (
+            coerce_profile,
+            link_overrides_from_anm,
+            run_traffic,
+        )
+
+        with span("traffic"):
+            traffic_report = run_traffic(
+                record.lab,
+                coerce_profile(args.traffic_profile),
+                seed=args.traffic_seed,
+                link_overrides=link_overrides_from_anm(anm),
+            )
+        for line in traffic_report.format_lines():
+            out.emit(line)
+        out.result(traffic=traffic_report.to_dict(max_links=10))
     return 0 if not failures else 1
 
 
@@ -874,6 +972,71 @@ def _cmd_chaos(args, out: CliOutput) -> int:
             out.emit("quarantined: %s" % diagnostic, machine=name)
     out.result(chaos=report.to_dict())
     return 0 if report.settled else 1
+
+
+def _cmd_traffic(args, out: CliOutput) -> int:
+    from repro.deployment import deploy
+    from repro.observability import span
+    from repro.resilience import FaultSchedule
+    from repro.traffic import (
+        coerce_profile,
+        link_overrides_from_anm,
+        run_traffic,
+    )
+
+    profile = coerce_profile(args.traffic_profile)
+    if args.scale != 1.0:
+        profile = profile.scaled(args.scale)
+    if args.action == "show":
+        text = json.dumps(profile.to_dict(), indent=2)
+        out.emit(text)
+        out.result(profile=profile.to_dict())
+        return 0
+
+    schedule = None
+    if args.schedule or args.event:
+        schedule = FaultSchedule()
+        if args.schedule:
+            schedule = FaultSchedule.load(args.schedule)
+        if args.event:
+            inline = FaultSchedule.parse("\n".join(args.event))
+            schedule = FaultSchedule(list(schedule) + list(inline))
+
+    anm, _, result = _built(args)
+    with span("deploy"):
+        lab = deploy(
+            result.lab_dir,
+            retry_policy=_retry_policy(args),
+            strict=args.strict,
+            **_boot_options(args),
+        ).lab
+    out.emit(
+        "lab up: %d machines; offering profile %r for %.1fs (seed %d)"
+        % (len(lab.network), profile.name, profile.duration, args.seed),
+        machines=len(lab.network),
+    )
+    with span("traffic"):
+        report = run_traffic(
+            lab,
+            profile,
+            seed=args.seed,
+            schedule=schedule,
+            link_overrides=link_overrides_from_anm(anm),
+        )
+    for line in report.format_lines(max_links=args.max_links):
+        out.emit(line)
+    out.emit(
+        "simulated %d flows in %.2fs (%.0f flows/sec)"
+        % (
+            report.offered_flows,
+            report.elapsed_seconds,
+            report.offered_flows / report.elapsed_seconds
+            if report.elapsed_seconds
+            else 0.0,
+        )
+    )
+    out.result(traffic=report.to_dict(max_links=args.max_links))
+    return 0
 
 
 def _cmd_diff(args, out: CliOutput) -> int:

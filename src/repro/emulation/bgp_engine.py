@@ -188,6 +188,10 @@ class BgpSimulation:
         #: Intern pool: identical routes are shared across RIBs,
         #: selections, and history snapshots instead of reallocated.
         self._route_pool: dict[BgpRoute, BgpRoute] = {}
+        #: Memo for the export->import pipeline (event schedule only).
+        #: Survives ``rebuild``: a fault cycle revisits the same
+        #: selections, and the pipeline is a pure function of its key.
+        self._advert_cache: dict[tuple, Optional[BgpRoute]] = {}
         self.rebuild(network)
 
     def rebuild(self, network: Optional[EmulatedNetwork] = None) -> None:
@@ -389,6 +393,31 @@ class BgpSimulation:
                 peer_address=str(receiving_intent.peer_ip),
             )
         )
+
+    def _advertise(self, sender: str, route: BgpRoute, session: Session):
+        """The export->import pipeline for one advert, memoised.
+
+        Given the resolved session address (the only network-dependent
+        input — everything else is config values that survive topology
+        deltas), the outcome is a pure function of (sender, session,
+        route), so a fault cycle that revisits earlier selections skips
+        the policy evaluation and route construction entirely.  Only the
+        event schedule calls this; the reference schedule stays naive.
+        """
+        anchor = self._session_address(sender, session) if session.is_ebgp else None
+        key = (sender, session.peer, session.intent.peer_ip, route, anchor)
+        try:
+            imported = self._advert_cache[key]
+            metric_inc("bgp.advert_cache_hits")
+            return imported
+        except KeyError:
+            pass
+        advert = self._export(sender, route, session)
+        imported = self._import(session.peer, sender, advert, session)
+        if len(self._advert_cache) > 200_000:
+            self._advert_cache.clear()
+        self._advert_cache[key] = imported
+        return imported
 
     # -- decision process ----------------------------------------------------
     def _next_hop_cost(self, machine: str, next_hop) -> Optional[int]:
@@ -681,10 +710,7 @@ class BgpSimulation:
                     for session in self.sessions.get(sender, []):
                         if not self._can_export(route, session):
                             continue
-                        advert = self._export(sender, route, session)
-                        imported = self._import(
-                            session.peer, sender, advert, session
-                        )
+                        imported = self._advertise(sender, route, session)
                         messages += 1
                         if imported is not None:
                             # Parallel sessions to the same peer: the

@@ -78,7 +78,7 @@ class EmulatedLab:
         keep_history: Optional[bool] = None,
         strict: bool = True,
         jobs: int = 1,
-        spf_mode: str = "incremental",
+        spf_mode: str = "auto",
         bgp_mode: str = "events",
     ):
         self.intent = intent
@@ -125,7 +125,7 @@ class EmulatedLab:
         keep_history: Optional[bool] = None,
         strict: bool = True,
         jobs: int = 1,
-        spf_mode: str = "incremental",
+        spf_mode: str = "auto",
         bgp_mode: str = "events",
     ) -> "EmulatedLab":
         """Parse a rendered lab directory and bring the network up.

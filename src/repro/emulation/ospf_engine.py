@@ -35,6 +35,10 @@ under a running lab (:meth:`IgpState.rebuild`):
   on every rebuild, exactly the naive semantics.  The differential
   test layer asserts both modes produce identical RIBs under random
   fault schedules.
+* ``spf_mode="auto"`` resolves to one of the above by fabric size: below
+  :data:`SPF_AUTO_THRESHOLD` machines the incremental bookkeeping costs
+  more than the Dijkstras it saves (the BENCH fault-cycle regression),
+  so small labs run "full" and large labs "incremental".
 """
 
 from __future__ import annotations
@@ -51,7 +55,22 @@ from repro.observability import metric_inc
 BACKBONE = 0
 
 #: Recognised :class:`IgpState` recomputation modes.
-SPF_MODES = ("incremental", "full")
+SPF_MODES = ("incremental", "full", "auto")
+
+#: Labs below this machine count resolve ``spf_mode="auto"`` to "full":
+#: at small scale the incremental mode's invalidation bookkeeping costs
+#: more than just re-running Dijkstra (the BENCH_pipeline fault-cycle
+#: numbers), while large fabrics win big from incremental invalidation.
+SPF_AUTO_THRESHOLD = 48
+
+
+def resolve_spf_mode(spf_mode: str, network: EmulatedNetwork) -> str:
+    """Map ``"auto"`` to the mode that wins at this topology's size."""
+    if spf_mode != "auto":
+        return spf_mode
+    if len(network.all_machines) < SPF_AUTO_THRESHOLD:
+        return "full"
+    return "incremental"
 
 
 @dataclass(frozen=True)
@@ -75,7 +94,8 @@ class IgpState:
                 % (spf_mode, ", ".join(SPF_MODES))
             )
         self.network = network
-        self.spf_mode = spf_mode
+        self.requested_spf_mode = spf_mode
+        self.spf_mode = resolve_spf_mode(spf_mode, network)
         #: per-area adjacency: area -> machine -> [(neighbor, cost out)]
         self.area_adjacency: dict[int, dict[str, list[tuple[str, int]]]] = {}
         #: areas each machine participates in

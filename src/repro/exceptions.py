@@ -141,5 +141,9 @@ class MeasurementError(ReproError):
     """A measurement command failed or its output could not be parsed."""
 
 
+class TrafficError(ReproError):
+    """A traffic profile is malformed or a traffic run cannot proceed."""
+
+
 class TemplateParseError(MeasurementError):
     """A textfsm-lite template definition is malformed."""

@@ -1,0 +1,34 @@
+"""Flow-level traffic engine over the emulated dataplane.
+
+Turns "does it route" experiments into "does it perform under load"
+experiments: a deterministic, seedable discrete-event simulator offers
+HTTP-style request/response mixes, bulk transfers and locust-style
+ramped user loads (a :class:`TrafficProfile`) to a booted lab, models
+per-link capacity and tail-drop queueing, and reports per-class latency
+percentiles, loss and per-link utilization (a :class:`TrafficReport`).
+"""
+
+from repro.traffic.engine import TrafficEngine, run_traffic
+from repro.traffic.links import LinkModel, link_overrides_from_anm
+from repro.traffic.profile import (
+    CLASS_KINDS,
+    LinkOverride,
+    TrafficClass,
+    TrafficProfile,
+    coerce_profile,
+)
+from repro.traffic.report import ClassReport, TrafficReport
+
+__all__ = [
+    "CLASS_KINDS",
+    "ClassReport",
+    "LinkModel",
+    "LinkOverride",
+    "TrafficClass",
+    "TrafficEngine",
+    "TrafficProfile",
+    "TrafficReport",
+    "coerce_profile",
+    "link_overrides_from_anm",
+    "run_traffic",
+]

@@ -1,0 +1,132 @@
+"""The link model: per-hop capacity, propagation delay, queue depth.
+
+The emulated dataplane answers *where* a flow goes; this module answers
+*how fast* each hop carries it.  Capacity and delay resolve, in
+precedence order: per-pair overrides in the profile, then
+``capacity_mbps`` / ``delay_ms`` / ``link_capacity`` attributes carried
+through the design layer's physical overlay, then the profile defaults.
+
+Each *directed* machine pair gets its own mutable transmission state
+(``busy_until`` plus counters) so congestion on a→b does not slow b→a —
+full-duplex links, half-duplex queues.
+"""
+
+from __future__ import annotations
+
+from repro.traffic.profile import TrafficProfile
+
+# Indices into the per-directed-link state list the simulator mutates.
+# A plain list beats a dataclass here: the 1M-flow inner loop touches
+# these slots several times per hop.
+BUSY_UNTIL = 0
+CAPACITY_BPS = 1   # bytes/second
+DELAY_S = 2
+QUEUE_BYTES = 3
+BYTES = 4
+FLOWS = 5
+DROPS = 6
+BUSY_SECONDS = 7
+
+
+def _as_float(value):
+    try:
+        return None if value is None else float(value)
+    except (TypeError, ValueError):
+        return None
+
+
+def link_overrides_from_anm(anm) -> dict:
+    """Capacity/delay attributes from the physical overlay, per pair.
+
+    Returns ``{(a, b) sorted: {"capacity_mbps": ..., "delay_ms": ...}}``
+    for every phy edge that declares either attribute (``link_capacity``
+    is accepted as a legacy spelling of ``capacity_mbps``).
+    """
+    overrides: dict = {}
+    try:
+        phy = anm["phy"]
+    except Exception:
+        return overrides
+    for edge in phy.edges():
+        capacity = _as_float(edge.get("capacity_mbps"))
+        if capacity is None:
+            capacity = _as_float(edge.get("link_capacity"))
+        delay = _as_float(edge.get("delay_ms"))
+        if capacity is None and delay is None:
+            continue
+        key = tuple(sorted((str(edge.src_id), str(edge.dst_id))))
+        entry = overrides.setdefault(key, {})
+        if capacity is not None:
+            entry["capacity_mbps"] = float(capacity)
+        if delay is not None:
+            entry["delay_ms"] = float(delay)
+    return overrides
+
+
+class LinkModel:
+    """Resolves and holds the mutable per-directed-link state."""
+
+    def __init__(self, profile: TrafficProfile, overrides: dict | None = None):
+        self.default_capacity = profile.default_capacity_mbps * 1e6 / 8.0
+        self.default_delay = profile.default_delay_ms / 1e3
+        self.default_queue = profile.resolved_queue_bytes()
+        # unordered pair -> (capacity_Bps, delay_s, queue_bytes)
+        self._params: dict = {}
+        merged: dict = {}
+        for key, entry in (overrides or {}).items():
+            merged[tuple(sorted(key))] = dict(entry)
+        for link in profile.links:
+            entry = merged.setdefault(link.key(), {})
+            # profile overrides win over design-layer attributes
+            if link.capacity_mbps is not None:
+                entry["capacity_mbps"] = link.capacity_mbps
+            if link.delay_ms is not None:
+                entry["delay_ms"] = link.delay_ms
+        for key, entry in merged.items():
+            capacity = entry.get("capacity_mbps")
+            delay = entry.get("delay_ms")
+            capacity_bps = (
+                self.default_capacity if capacity is None else float(capacity) * 1e6 / 8.0
+            )
+            delay_s = self.default_delay if delay is None else float(delay) / 1e3
+            queue = max(int(capacity_bps * 2.0 * delay_s), 1) if capacity is not None \
+                else self.default_queue
+            self._params[key] = (capacity_bps, delay_s, queue)
+        # directed (a, b) -> mutable state list
+        self.state: dict = {}
+
+    def params_for(self, a: str, b: str) -> tuple:
+        return self._params.get(
+            (a, b) if a <= b else (b, a),
+            (self.default_capacity, self.default_delay, self.default_queue),
+        )
+
+    def link_state(self, a: str, b: str) -> list:
+        """The mutable state for directed hop a→b (created on first use)."""
+        state = self.state.get((a, b))
+        if state is None:
+            capacity, delay, queue = self.params_for(a, b)
+            state = [0.0, capacity, delay, queue, 0, 0, 0, 0.0]
+            self.state[(a, b)] = state
+        return state
+
+    def utilization_rows(self, duration: float) -> list:
+        """Per-directed-link counters, sorted by utilization descending."""
+        rows = []
+        for (a, b), state in self.state.items():
+            utilization = (
+                state[BUSY_SECONDS] / duration if duration > 0 else 0.0
+            )
+            rows.append(
+                {
+                    "link": "%s->%s" % (a, b),
+                    "capacity_mbps": state[CAPACITY_BPS] * 8.0 / 1e6,
+                    "delay_ms": state[DELAY_S] * 1e3,
+                    "bytes": state[BYTES],
+                    "flows": state[FLOWS],
+                    "drops": state[DROPS],
+                    "utilization": utilization,
+                }
+            )
+        rows.sort(key=lambda row: (-row["utilization"], row["link"]))
+        return rows

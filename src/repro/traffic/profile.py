@@ -1,0 +1,325 @@
+"""The ``TrafficProfile`` spec: a small JSON workload description.
+
+A profile names the traffic *classes* to offer to an emulated lab —
+HTTP-style request/response mixes, bulk transfers, and locust-style
+ramped user loads — plus the link model defaults (capacity, one-way
+delay, queue depth) the engine uses for every segment that carries the
+flows.  Like :class:`repro.resilience.FaultSchedule` the spec is plain
+JSON, canonically serialisable, and content-hashable, so campaigns can
+put profiles on an axis and resume by hash.
+
+Example::
+
+    {
+      "name": "ramp",
+      "duration": 10.0,
+      "classes": [
+        {"name": "web", "kind": "request_response", "qps": 400,
+         "request_bytes": 400, "response_bytes": 12000},
+        {"name": "bulk", "kind": "bulk", "flows": 50, "bytes": 5000000},
+        {"name": "users", "kind": "ramp", "users": 200, "qps": 2.0,
+         "ramp_seconds": 5.0}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field, replace
+
+from repro.exceptions import TrafficError
+
+#: Workload generator kinds a class may declare.
+CLASS_KINDS = ("request_response", "bulk", "ramp")
+
+#: Link-model defaults applied to every segment without an override.
+DEFAULT_CAPACITY_MBPS = 1000.0
+DEFAULT_DELAY_MS = 1.0
+
+#: Floor for the tail-drop queue, whatever the bandwidth-delay product.
+MIN_QUEUE_BYTES = 16384
+
+
+@dataclass(frozen=True)
+class TrafficClass:
+    """One named workload inside a profile."""
+
+    name: str
+    kind: str = "request_response"
+    #: request_response: mean arrivals/second (Poisson);
+    #: ramp: per-user request rate once a user is active.
+    qps: float = 10.0
+    #: ramp: target concurrent users after the ramp.
+    users: int = 1
+    #: ramp: seconds of linear ramp-up from 0 to ``users``.
+    ramp_seconds: float = 0.0
+    #: bulk: how many transfers to start (spread uniformly over the window).
+    flows: int = 10
+    request_bytes: int = 400
+    response_bytes: int = 16000
+    #: bulk: transfer size per flow.
+    bytes: int = 1_000_000
+    #: Window inside the profile duration this class is active.
+    start: float = 0.0
+    duration: float | None = None
+    #: Candidate endpoints; empty means every machine in the lab.
+    sources: tuple = ()
+    destinations: tuple = ()
+    #: Size of the deterministic (src, dst) pair pool flows draw from.
+    pair_count: int = 64
+
+    def flow_bytes(self) -> int:
+        """Bytes one flow of this class pushes through the path."""
+        if self.kind == "bulk":
+            return int(self.bytes)
+        return int(self.request_bytes) + int(self.response_bytes)
+
+    def validate(self) -> None:
+        if not self.name:
+            raise TrafficError("traffic class needs a name")
+        if self.kind not in CLASS_KINDS:
+            raise TrafficError(
+                "unknown traffic class kind %r (choose from %s)"
+                % (self.kind, ", ".join(CLASS_KINDS))
+            )
+        if self.qps < 0 or self.users < 0 or self.flows < 0:
+            raise TrafficError("traffic class %r: rates must be >= 0" % self.name)
+        if self.flow_bytes() <= 0:
+            raise TrafficError("traffic class %r: flow size must be > 0" % self.name)
+        if self.pair_count < 1:
+            raise TrafficError("traffic class %r: pair_count must be >= 1" % self.name)
+        if self.start < 0:
+            raise TrafficError("traffic class %r: start must be >= 0" % self.name)
+
+    def to_dict(self) -> dict:
+        data = {
+            "name": self.name,
+            "kind": self.kind,
+            "qps": self.qps,
+            "users": self.users,
+            "ramp_seconds": self.ramp_seconds,
+            "flows": self.flows,
+            "request_bytes": self.request_bytes,
+            "response_bytes": self.response_bytes,
+            "bytes": self.bytes,
+            "start": self.start,
+            "duration": self.duration,
+            "sources": list(self.sources),
+            "destinations": list(self.destinations),
+            "pair_count": self.pair_count,
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrafficClass":
+        if not isinstance(data, dict):
+            raise TrafficError("traffic class entry must be an object")
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise TrafficError(
+                "traffic class %r: unknown field(s) %s"
+                % (data.get("name", "?"), ", ".join(unknown))
+            )
+        entry = cls(
+            name=str(data.get("name", "")),
+            kind=str(data.get("kind", "request_response")),
+            qps=float(data.get("qps", 10.0)),
+            users=int(data.get("users", 1)),
+            ramp_seconds=float(data.get("ramp_seconds", 0.0)),
+            flows=int(data.get("flows", 10)),
+            request_bytes=int(data.get("request_bytes", 400)),
+            response_bytes=int(data.get("response_bytes", 16000)),
+            bytes=int(data.get("bytes", 1_000_000)),
+            start=float(data.get("start", 0.0)),
+            duration=(
+                None if data.get("duration") is None else float(data["duration"])
+            ),
+            sources=tuple(str(s) for s in data.get("sources") or ()),
+            destinations=tuple(str(s) for s in data.get("destinations") or ()),
+            pair_count=int(data.get("pair_count", 64)),
+        )
+        entry.validate()
+        return entry
+
+
+@dataclass(frozen=True)
+class LinkOverride:
+    """Capacity/delay override for one (unordered) machine pair."""
+
+    a: str
+    b: str
+    capacity_mbps: float | None = None
+    delay_ms: float | None = None
+
+    def key(self) -> tuple:
+        return tuple(sorted((self.a, self.b)))
+
+    def to_dict(self) -> dict:
+        return {
+            "a": self.a,
+            "b": self.b,
+            "capacity_mbps": self.capacity_mbps,
+            "delay_ms": self.delay_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LinkOverride":
+        if not isinstance(data, dict) or "a" not in data or "b" not in data:
+            raise TrafficError("link override needs 'a' and 'b' machine names")
+        return cls(
+            a=str(data["a"]),
+            b=str(data["b"]),
+            capacity_mbps=(
+                None
+                if data.get("capacity_mbps") is None
+                else float(data["capacity_mbps"])
+            ),
+            delay_ms=(
+                None if data.get("delay_ms") is None else float(data["delay_ms"])
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class TrafficProfile:
+    """A complete workload: classes plus the link-model defaults."""
+
+    name: str = "traffic"
+    duration: float = 10.0
+    classes: tuple = ()
+    default_capacity_mbps: float = DEFAULT_CAPACITY_MBPS
+    default_delay_ms: float = DEFAULT_DELAY_MS
+    #: Tail-drop queue depth per link; None derives it from the
+    #: bandwidth-delay product (2 * delay * capacity, floored).
+    queue_bytes: int | None = None
+    #: Seconds of simulated time one FaultSchedule round spans.
+    round_seconds: float = 1.0
+    #: How long flows keep using the stale forwarding state after a
+    #: mid-run fault before the reconverged paths take over.
+    reconvergence_seconds: float = 0.25
+    links: tuple = field(default_factory=tuple)
+
+    def validate(self) -> None:
+        if self.duration <= 0:
+            raise TrafficError("profile duration must be > 0")
+        if self.round_seconds <= 0:
+            raise TrafficError("profile round_seconds must be > 0")
+        if self.reconvergence_seconds < 0:
+            raise TrafficError("profile reconvergence_seconds must be >= 0")
+        if not self.classes:
+            raise TrafficError("profile %r declares no traffic classes" % self.name)
+        names = [entry.name for entry in self.classes]
+        if len(names) != len(set(names)):
+            raise TrafficError("profile %r has duplicate class names" % self.name)
+        for entry in self.classes:
+            entry.validate()
+
+    def resolved_queue_bytes(self) -> int:
+        if self.queue_bytes is not None:
+            return max(int(self.queue_bytes), 1)
+        bdp = (
+            self.default_capacity_mbps * 1e6 / 8.0
+        ) * (2.0 * self.default_delay_ms / 1e3)
+        return max(int(bdp), MIN_QUEUE_BYTES)
+
+    def class_window(self, entry: TrafficClass) -> tuple:
+        """The (start, end) simulated-time window a class is active in."""
+        start = min(entry.start, self.duration)
+        if entry.duration is None:
+            return start, self.duration
+        return start, min(start + entry.duration, self.duration)
+
+    def scaled(self, factor: float) -> "TrafficProfile":
+        """A copy with every offered rate multiplied by ``factor``.
+
+        Used by benchmarks and load sweeps: the flow *pattern* (pairs,
+        windows, sizes) is preserved while offered load scales.
+        """
+        scaled_classes = tuple(
+            replace(
+                entry,
+                qps=entry.qps * factor,
+                users=max(1, int(round(entry.users * factor))) if entry.users else 0,
+                flows=int(round(entry.flows * factor)),
+            )
+            for entry in self.classes
+        )
+        return replace(self, classes=scaled_classes)
+
+    # -- serialisation ------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "duration": self.duration,
+            "classes": [entry.to_dict() for entry in self.classes],
+            "default_capacity_mbps": self.default_capacity_mbps,
+            "default_delay_ms": self.default_delay_ms,
+            "queue_bytes": self.queue_bytes,
+            "round_seconds": self.round_seconds,
+            "reconvergence_seconds": self.reconvergence_seconds,
+            "links": [link.to_dict() for link in self.links],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: key-sorted, so equal profiles hash equal."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrafficProfile":
+        if not isinstance(data, dict):
+            raise TrafficError("traffic profile must be a JSON object")
+        profile = cls(
+            name=str(data.get("name", "traffic")),
+            duration=float(data.get("duration", 10.0)),
+            classes=tuple(
+                TrafficClass.from_dict(entry) for entry in data.get("classes") or ()
+            ),
+            default_capacity_mbps=float(
+                data.get("default_capacity_mbps", DEFAULT_CAPACITY_MBPS)
+            ),
+            default_delay_ms=float(data.get("default_delay_ms", DEFAULT_DELAY_MS)),
+            queue_bytes=(
+                None if data.get("queue_bytes") is None else int(data["queue_bytes"])
+            ),
+            round_seconds=float(data.get("round_seconds", 1.0)),
+            reconvergence_seconds=float(data.get("reconvergence_seconds", 0.25)),
+            links=tuple(
+                LinkOverride.from_dict(entry) for entry in data.get("links") or ()
+            ),
+        )
+        profile.validate()
+        return profile
+
+    @classmethod
+    def from_json(cls, text: str) -> "TrafficProfile":
+        try:
+            data = json.loads(text)
+        except ValueError as error:
+            raise TrafficError("invalid traffic profile JSON: %s" % error)
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path: str) -> "TrafficProfile":
+        if not os.path.exists(path):
+            raise TrafficError("traffic profile not found: %s" % path)
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+
+def coerce_profile(source) -> TrafficProfile:
+    """Accept a TrafficProfile, a dict, JSON text, or a file path."""
+    if isinstance(source, TrafficProfile):
+        return source
+    if isinstance(source, dict):
+        return TrafficProfile.from_dict(source)
+    if isinstance(source, str):
+        stripped = source.lstrip()
+        if stripped.startswith("{"):
+            return TrafficProfile.from_json(source)
+        return TrafficProfile.load(source)
+    raise TrafficError(
+        "cannot build a traffic profile from %r" % type(source).__name__
+    )

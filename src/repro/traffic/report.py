@@ -1,0 +1,230 @@
+"""The ``TrafficReport``: what a traffic run measured.
+
+Per-class latency percentiles come from the same deterministic
+decimated reservoir the observability layer uses
+(:class:`repro.observability.metrics.Histogram`), so two runs with the
+same seed and profile produce *bit-identical* reports — the property
+the determinism tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.observability.metrics import Histogram
+
+
+def _ms(value):
+    return None if value is None else value * 1e3
+
+
+@dataclass
+class ClassReport:
+    """One traffic class's delivered experience."""
+
+    name: str
+    kind: str = ""
+    offered_flows: int = 0
+    delivered_flows: int = 0
+    dropped_flows: int = 0
+    unroutable_flows: int = 0
+    offered_bytes: int = 0
+    delivered_bytes: int = 0
+    #: RFC3550-style mean absolute consecutive latency difference (ms).
+    jitter_ms: float = 0.0
+    latency: Histogram = field(default_factory=Histogram)
+
+    @property
+    def loss_rate(self) -> float:
+        if not self.offered_flows:
+            return 0.0
+        return (self.offered_flows - self.delivered_flows) / self.offered_flows
+
+    def latency_ms(self) -> dict:
+        """The latency distribution in milliseconds."""
+        raw = self.latency.to_dict()
+        return {
+            "count": raw["count"],
+            "mean": _ms(raw["mean"]),
+            "min": _ms(raw["min"]),
+            "max": _ms(raw["max"]),
+            "p50": _ms(raw["p50"]),
+            "p95": _ms(raw["p95"]),
+            "p99": _ms(raw["p99"]),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "offered_flows": self.offered_flows,
+            "delivered_flows": self.delivered_flows,
+            "dropped_flows": self.dropped_flows,
+            "unroutable_flows": self.unroutable_flows,
+            "offered_bytes": self.offered_bytes,
+            "delivered_bytes": self.delivered_bytes,
+            "loss_rate": self.loss_rate,
+            "jitter_ms": self.jitter_ms,
+            "latency_ms": self.latency_ms(),
+        }
+
+
+@dataclass
+class TrafficReport:
+    """Everything one traffic run measured, serialisable and comparable."""
+
+    profile: str = ""
+    seed: int = 0
+    duration: float = 0.0
+    classes: list = field(default_factory=list)        # [ClassReport]
+    links: list = field(default_factory=list)          # utilization rows
+    #: per-bucket time series: [{"start", "offered", "delivered",
+    #:  "dropped", "p99_ms"}], bucket width = profile.round_seconds
+    timeline: list = field(default_factory=list)
+    faults: list = field(default_factory=list)         # applied fault events
+    elapsed_seconds: float = 0.0
+
+    @property
+    def offered_flows(self) -> int:
+        return sum(entry.offered_flows for entry in self.classes)
+
+    @property
+    def delivered_flows(self) -> int:
+        return sum(entry.delivered_flows for entry in self.classes)
+
+    @property
+    def dropped_flows(self) -> int:
+        return sum(entry.dropped_flows for entry in self.classes)
+
+    @property
+    def offered_bytes(self) -> int:
+        return sum(entry.offered_bytes for entry in self.classes)
+
+    @property
+    def delivered_bytes(self) -> int:
+        return sum(entry.delivered_bytes for entry in self.classes)
+
+    @property
+    def loss_rate(self) -> float:
+        offered = self.offered_flows
+        if not offered:
+            return 0.0
+        return (offered - self.delivered_flows) / offered
+
+    def class_report(self, name: str) -> ClassReport:
+        for entry in self.classes:
+            if entry.name == name:
+                return entry
+        raise KeyError(name)
+
+    def totals(self) -> dict:
+        duration = self.duration or 1.0
+        return {
+            "offered_flows": self.offered_flows,
+            "delivered_flows": self.delivered_flows,
+            "dropped_flows": self.dropped_flows,
+            "offered_bytes": self.offered_bytes,
+            "delivered_bytes": self.delivered_bytes,
+            "offered_load_mbps": self.offered_bytes * 8.0 / 1e6 / duration,
+            "delivered_load_mbps": self.delivered_bytes * 8.0 / 1e6 / duration,
+            "loss_rate": self.loss_rate,
+        }
+
+    def to_dict(self, max_links: int | None = None) -> dict:
+        links = self.links if max_links is None else self.links[:max_links]
+        return {
+            "profile": self.profile,
+            "seed": self.seed,
+            "duration": self.duration,
+            "totals": self.totals(),
+            "classes": {entry.name: entry.to_dict() for entry in self.classes},
+            "links": links,
+            "timeline": self.timeline,
+            "faults": self.faults,
+        }
+
+    def to_json(self, max_links: int | None = None) -> str:
+        return json.dumps(self.to_dict(max_links=max_links), sort_keys=True)
+
+    def summary(self) -> dict:
+        """The compact form campaign trial records embed."""
+        return {
+            "profile": self.profile,
+            "seed": self.seed,
+            "totals": self.totals(),
+            "classes": {
+                entry.name: {
+                    "loss_rate": entry.loss_rate,
+                    "jitter_ms": entry.jitter_ms,
+                    "latency_ms": entry.latency_ms(),
+                }
+                for entry in self.classes
+            },
+        }
+
+    def format_lines(self, max_links: int = 10) -> list:
+        """Human-readable table lines for the CLI."""
+        lines = []
+        totals = self.totals()
+        lines.append(
+            "traffic %r: %d flows offered, %d delivered, %d dropped "
+            "(loss %.3f%%) over %.1fs"
+            % (
+                self.profile,
+                totals["offered_flows"],
+                totals["delivered_flows"],
+                totals["dropped_flows"],
+                totals["loss_rate"] * 100.0,
+                self.duration,
+            )
+        )
+        lines.append(
+            "offered %.1f Mbps, delivered %.1f Mbps"
+            % (totals["offered_load_mbps"], totals["delivered_load_mbps"])
+        )
+        header = "%-14s %10s %10s %8s %9s %9s %9s %9s" % (
+            "class", "offered", "delivered", "loss%", "p50 ms", "p95 ms",
+            "p99 ms", "jitter",
+        )
+        lines.append(header)
+        for entry in self.classes:
+            latency = entry.latency_ms()
+            lines.append(
+                "%-14s %10d %10d %8.3f %9s %9s %9s %9.3f"
+                % (
+                    entry.name,
+                    entry.offered_flows,
+                    entry.delivered_flows,
+                    entry.loss_rate * 100.0,
+                    _fmt(latency["p50"]),
+                    _fmt(latency["p95"]),
+                    _fmt(latency["p99"]),
+                    entry.jitter_ms,
+                )
+            )
+        busy = [row for row in self.links if row["utilization"] > 0][:max_links]
+        if busy:
+            lines.append("busiest links:")
+            for row in busy:
+                lines.append(
+                    "  %-24s util %6.1f%% %10d flows %8d drops"
+                    % (
+                        row["link"],
+                        row["utilization"] * 100.0,
+                        row["flows"],
+                        row["drops"],
+                    )
+                )
+        for event in self.faults:
+            lines.append(
+                "fault @%.1fs: %s %s" % (
+                    event.get("time", 0.0), event.get("kind", "?"),
+                    event.get("target", "?"),
+                )
+            )
+        return lines
+
+
+def _fmt(value) -> str:
+    return "-" if value is None else "%.3f" % value

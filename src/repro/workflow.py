@@ -61,6 +61,8 @@ class ExperimentResult:
     deployment: Optional[DeploymentRecord] = None
     timings: dict = field(default_factory=dict)
     telemetry: Optional[Telemetry] = None
+    #: TrafficReport when the run offered a traffic profile, else None.
+    traffic: Optional[object] = None
 
     @property
     def lab(self) -> Optional[EmulatedLab]:
@@ -116,8 +118,11 @@ def run_experiment(
     strict: bool = True,
     retry_policy=None,
     jobs: int = 1,
-    spf_mode: str = "incremental",
+    spf_mode: str = "auto",
     bgp_mode: str = "events",
+    traffic_profile=None,
+    traffic_seed: int = 0,
+    traffic_schedule=None,
 ) -> ExperimentResult:
     """Input topology in, measured-ready emulated network out.
 
@@ -140,6 +145,13 @@ def run_experiment(
     (the defaults) or the naive reference oracles
     (``"full"``/``"rounds"``) — every combination boots an identical
     lab.
+
+    ``traffic_profile`` (a :class:`repro.traffic.TrafficProfile`, dict,
+    JSON text, or file path) additionally offers that workload to the
+    deployed lab and stores the :class:`repro.traffic.TrafficReport` on
+    ``result.traffic``; ``traffic_schedule`` injects a FaultSchedule on
+    the traffic clock mid-run.  Link capacity/delay attributes from the
+    design layer's physical overlay shape the traffic link model.
     """
     import tempfile
 
@@ -169,6 +181,7 @@ def run_experiment(
                     render_result = render_nidb(nidb, output_dir)
 
             deployment = None
+            traffic_report = None
             if deploy:
                 from repro.resilience import NO_RETRY
 
@@ -184,6 +197,21 @@ def run_experiment(
                         spf_mode=spf_mode,
                         bgp_mode=bgp_mode,
                     )
+                if traffic_profile is not None:
+                    from repro.traffic import (
+                        coerce_profile,
+                        link_overrides_from_anm,
+                        run_traffic,
+                    )
+
+                    with telemetry.span("traffic"):
+                        traffic_report = run_traffic(
+                            deployment.lab,
+                            coerce_profile(traffic_profile),
+                            seed=traffic_seed,
+                            schedule=traffic_schedule,
+                            link_overrides=link_overrides_from_anm(anm),
+                        )
 
     timings = {phase.name: phase.duration for phase in experiment_span.children}
     return ExperimentResult(
@@ -193,4 +221,5 @@ def run_experiment(
         deployment=deployment,
         timings=timings,
         telemetry=telemetry,
+        traffic=traffic_report,
     )

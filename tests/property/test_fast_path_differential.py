@@ -187,14 +187,36 @@ _si_events = st.one_of(
 
 @pytest.fixture(scope="module")
 def si_mode_labs(si_render):
-    """The Small Internet booted twice: fast paths vs reference oracles."""
-    fast = EmulatedLab.boot(si_render.lab_dir)  # incremental + events
+    """The Small Internet booted twice: fast paths vs reference oracles.
+
+    ``spf_mode`` is pinned to ``"incremental"`` because the default
+    (``"auto"``) resolves to ``"full"`` below the auto threshold, which
+    would collapse the SPF differential on this small topology.
+    """
+    fast = EmulatedLab.boot(si_render.lab_dir, spf_mode="incremental")
     reference = EmulatedLab.boot(
         si_render.lab_dir, spf_mode="full", bgp_mode="rounds"
     )
     assert fast.spf_mode == "incremental" and fast.bgp_mode == "events"
     assert fast.bgp_result.selected == reference.bgp_result.selected
     return fast, reference
+
+
+def test_auto_spf_mode_resolves_by_topology_size(si_render):
+    """The default ``"auto"`` picks full SPF below the machine threshold
+    (recomputing a small graph is cheaper than maintaining incremental
+    state) and incremental above it, and keeps the requested mode
+    visible on the lab."""
+    from repro.emulation.ospf_engine import SPF_AUTO_THRESHOLD, resolve_spf_mode
+
+    lab = EmulatedLab.boot(si_render.lab_dir)
+    assert lab.spf_mode == "auto"
+    machines = len(lab.network.all_machines)
+    expected = "full" if machines < SPF_AUTO_THRESHOLD else "incremental"
+    assert lab.igp.spf_mode == expected
+    assert lab.igp.requested_spf_mode == "auto"
+    assert resolve_spf_mode("incremental", lab.network) == "incremental"
+    assert resolve_spf_mode("full", lab.network) == "full"
 
 
 class TestFaultScheduleDifferential:

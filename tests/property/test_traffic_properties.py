@@ -1,0 +1,105 @@
+"""Property tests for the traffic engine's conservation laws.
+
+Whatever workload a profile describes:
+
+* delivered flows/bytes never exceed offered flows/bytes;
+* a network whose links dwarf the offered load delivers everything —
+  loss only ever comes from congestion (or faults), never from the
+  bookkeeping;
+* the report is bit-identical when re-run with the same seed.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.emulation import EmulatedLab
+from repro.traffic import TrafficProfile, run_traffic
+
+_class_strategy = st.one_of(
+    st.fixed_dictionaries(
+        {
+            "kind": st.just("request_response"),
+            "qps": st.floats(min_value=1.0, max_value=400.0),
+            "request_bytes": st.integers(min_value=40, max_value=2000),
+            "response_bytes": st.integers(min_value=100, max_value=40000),
+            "pair_count": st.integers(min_value=1, max_value=32),
+        }
+    ),
+    st.fixed_dictionaries(
+        {
+            "kind": st.just("bulk"),
+            "flows": st.integers(min_value=1, max_value=60),
+            "bytes": st.integers(min_value=1000, max_value=2_000_000),
+            "pair_count": st.integers(min_value=1, max_value=16),
+        }
+    ),
+    st.fixed_dictionaries(
+        {
+            "kind": st.just("ramp"),
+            "users": st.integers(min_value=1, max_value=60),
+            "qps": st.floats(min_value=0.5, max_value=8.0),
+            "ramp_seconds": st.floats(min_value=0.0, max_value=2.0),
+            "pair_count": st.integers(min_value=1, max_value=32),
+        }
+    ),
+)
+
+_profile_strategy = st.builds(
+    lambda classes, duration: TrafficProfile.from_dict(
+        {
+            "name": "prop",
+            "duration": duration,
+            # far more capacity than any generated class can offer
+            "default_capacity_mbps": 100000.0,
+            "classes": [
+                dict(entry, name="c%d" % index)
+                for index, entry in enumerate(classes)
+            ],
+        }
+    ),
+    st.lists(_class_strategy, min_size=1, max_size=3),
+    st.floats(min_value=0.5, max_value=4.0),
+)
+
+_settings = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@pytest.fixture(scope="module")
+def lab(si_render):
+    return EmulatedLab.boot(si_render.lab_dir)
+
+
+@_settings
+@given(profile=_profile_strategy, seed=st.integers(min_value=0, max_value=2**16))
+def test_conservation_and_unsaturated_delivery(lab, profile, seed):
+    report = run_traffic(lab, profile, seed=seed)
+
+    # conservation: nothing delivered that was not offered
+    assert report.delivered_flows <= report.offered_flows
+    assert report.delivered_bytes <= report.offered_bytes
+    for entry in report.classes:
+        assert entry.delivered_flows <= entry.offered_flows
+        assert (
+            entry.delivered_flows + entry.dropped_flows + entry.unroutable_flows
+            == entry.offered_flows
+        )
+        assert 0.0 <= entry.loss_rate <= 1.0
+
+    # no link saturated (capacity dwarfs offered load) => no loss at all
+    assert all(row["utilization"] < 0.5 for row in report.links)
+    assert report.loss_rate == 0.0
+    assert report.delivered_flows == report.offered_flows
+
+
+@_settings
+@given(profile=_profile_strategy, seed=st.integers(min_value=0, max_value=2**16))
+def test_same_seed_reruns_bit_identical(lab, profile, seed):
+    assert (
+        run_traffic(lab, profile, seed=seed).to_json()
+        == run_traffic(lab, profile, seed=seed).to_json()
+    )

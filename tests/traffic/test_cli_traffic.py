@@ -1,0 +1,119 @@
+"""CLI surface of the traffic engine: `repro traffic` and `repro measure`."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+PROFILE = {
+    "name": "cli",
+    "duration": 2.0,
+    "default_capacity_mbps": 20.0,
+    "classes": [
+        {"name": "web", "kind": "request_response", "qps": 120, "pair_count": 16},
+        {"name": "bulk", "kind": "bulk", "flows": 5, "bytes": 400000, "pair_count": 4},
+    ],
+}
+
+
+@pytest.fixture()
+def profile_file(tmp_path):
+    path = tmp_path / "profile.json"
+    path.write_text(json.dumps(PROFILE))
+    return str(path)
+
+
+def test_traffic_show_prints_parsed_profile(profile_file, capsys):
+    assert main(
+        ["traffic", "show", "--topology", "small_internet",
+         "--profile", profile_file]
+    ) == 0
+    out = capsys.readouterr().out
+    assert json.loads(out)["name"] == "cli"
+
+
+def test_traffic_run_reports_percentiles(profile_file, capsys):
+    assert main(
+        ["traffic", "run", "--topology", "small_internet",
+         "--profile", profile_file, "--seed", "7"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "lab up: 14 machines" in out
+    assert "p50 ms" in out and "p99 ms" in out
+    assert "web" in out and "bulk" in out
+    assert "flows/sec" in out
+
+
+def test_traffic_run_json_payload(profile_file, capsys):
+    assert main(
+        ["traffic", "run", "--topology", "small_internet",
+         "--profile", profile_file, "--seed", "7", "--json", "--max-links", "4"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    traffic = payload["traffic"]
+    assert traffic["seed"] == 7
+    assert traffic["totals"]["offered_flows"] > 0
+    assert set(traffic["classes"]) == {"web", "bulk"}
+    assert len(traffic["links"]) <= 4
+    for entry in traffic["classes"].values():
+        assert "p99" in entry["latency_ms"]
+
+
+def test_traffic_run_same_seed_same_payload(profile_file, capsys):
+    main(["traffic", "run", "--topology", "small_internet",
+          "--profile", profile_file, "--seed", "3", "--json"])
+    first = json.loads(capsys.readouterr().out)["traffic"]
+    main(["traffic", "run", "--topology", "small_internet",
+          "--profile", profile_file, "--seed", "3", "--json"])
+    second = json.loads(capsys.readouterr().out)["traffic"]
+    assert first == second
+
+
+def test_traffic_run_with_inline_fault_event(profile_file, capsys):
+    assert main(
+        ["traffic", "run", "--topology", "small_internet",
+         "--profile", profile_file, "--seed", "1",
+         "--event", "at 1 link_down as100r1 as100r2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "fault @1.0s: link_down as100r1 as100r2" in out
+
+
+def test_traffic_run_scale_multiplies_offered_load(profile_file, capsys):
+    main(["traffic", "run", "--topology", "small_internet",
+          "--profile", profile_file, "--seed", "2", "--json"])
+    base = json.loads(capsys.readouterr().out)["traffic"]["totals"]
+    main(["traffic", "run", "--topology", "small_internet",
+          "--profile", profile_file, "--seed", "2", "--scale", "3.0", "--json"])
+    scaled = json.loads(capsys.readouterr().out)["traffic"]["totals"]
+    assert scaled["offered_flows"] > 2 * base["offered_flows"]
+
+
+def test_traffic_missing_profile_is_clean_error(capsys):
+    assert main(
+        ["traffic", "run", "--topology", "small_internet",
+         "--profile", "/nonexistent/profile.json"]
+    ) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_measure_json_has_no_traffic_key_by_default(capsys):
+    assert main(
+        ["measure", "fig5", "-c", "show ip bgp summary", "-H", "r3", "--json"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "traffic" not in payload
+
+
+def test_measure_with_traffic_flag_adds_section(profile_file, capsys):
+    assert main(
+        ["measure", "fig5", "-c", "show ip bgp summary", "-H", "r3", "--json",
+         "--traffic", profile_file, "--traffic-seed", "5"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["traffic"]["seed"] == 5
+    assert payload["traffic"]["totals"]["offered_flows"] > 0
+    # the measurement results are still there alongside
+    (result,) = payload["results"]
+    assert result["machine"] == "r3" and result["ok"] is True

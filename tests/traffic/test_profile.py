@@ -1,0 +1,126 @@
+"""TrafficProfile spec: parsing, validation, canonical serialisation."""
+
+import json
+
+import pytest
+
+from repro.exceptions import TrafficError
+from repro.traffic import (
+    CLASS_KINDS,
+    LinkOverride,
+    TrafficClass,
+    TrafficProfile,
+    coerce_profile,
+)
+
+WEB = {"name": "web", "kind": "request_response", "qps": 100}
+BULK = {"name": "bulk", "kind": "bulk", "flows": 10, "bytes": 500000}
+RAMP = {"name": "users", "kind": "ramp", "users": 20, "qps": 2.0, "ramp_seconds": 2.0}
+
+
+def make_profile(**extra):
+    data = {"name": "p", "duration": 5.0, "classes": [WEB, BULK, RAMP]}
+    data.update(extra)
+    return TrafficProfile.from_dict(data)
+
+
+def test_round_trip_is_identity():
+    profile = make_profile(
+        default_capacity_mbps=50.0,
+        default_delay_ms=2.0,
+        links=[{"a": "r1", "b": "r2", "capacity_mbps": 10.0}],
+    )
+    again = TrafficProfile.from_json(profile.to_json())
+    assert again == profile
+    assert again.to_json() == profile.to_json()
+
+
+def test_canonical_json_is_key_sorted():
+    text = make_profile().to_json()
+    assert json.loads(text) == json.loads(
+        json.dumps(json.loads(text), sort_keys=True)
+    )
+
+
+def test_every_kind_parses():
+    profile = make_profile()
+    assert sorted({entry.kind for entry in profile.classes}) == sorted(
+        set(CLASS_KINDS)
+    )
+
+
+def test_unknown_class_field_rejected():
+    with pytest.raises(TrafficError, match="unknown field"):
+        make_profile(classes=[{"name": "web", "qqps": 4}])
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(TrafficError, match="unknown traffic class kind"):
+        make_profile(classes=[{"name": "web", "kind": "voip"}])
+
+
+def test_duplicate_class_names_rejected():
+    with pytest.raises(TrafficError, match="duplicate class names"):
+        make_profile(classes=[WEB, WEB])
+
+
+def test_empty_profile_rejected():
+    with pytest.raises(TrafficError, match="no traffic classes"):
+        make_profile(classes=[])
+
+
+def test_nonpositive_duration_rejected():
+    with pytest.raises(TrafficError, match="duration"):
+        make_profile(duration=0)
+
+
+def test_class_window_clamps_to_profile_duration():
+    profile = make_profile(
+        duration=5.0,
+        classes=[dict(WEB, start=2.0, duration=10.0)],
+    )
+    assert profile.class_window(profile.classes[0]) == (2.0, 5.0)
+
+
+def test_queue_bytes_defaults_to_bandwidth_delay_product():
+    profile = make_profile(default_capacity_mbps=1000.0, default_delay_ms=1.0)
+    # 1000 Mbps * 2ms round trip = 250000 bytes
+    assert profile.resolved_queue_bytes() == 250000
+    explicit = make_profile(queue_bytes=4096)
+    assert explicit.resolved_queue_bytes() == 4096
+
+
+def test_scaled_multiplies_rates_only():
+    profile = make_profile()
+    doubled = profile.scaled(2.0)
+    by_name = {entry.name: entry for entry in doubled.classes}
+    assert by_name["web"].qps == 200
+    assert by_name["bulk"].flows == 20
+    assert by_name["users"].users == 40
+    # the pattern (sizes, windows, pairs) is preserved
+    assert by_name["web"].request_bytes == profile.classes[0].request_bytes
+    assert doubled.duration == profile.duration
+
+
+def test_link_override_key_is_unordered():
+    assert LinkOverride("b", "a").key() == LinkOverride("a", "b").key()
+
+
+def test_coerce_accepts_all_forms(tmp_path):
+    profile = make_profile()
+    assert coerce_profile(profile) is profile
+    assert coerce_profile(profile.to_dict()) == profile
+    assert coerce_profile(profile.to_json()) == profile
+    path = tmp_path / "p.json"
+    path.write_text(profile.to_json())
+    assert coerce_profile(str(path)) == profile
+    with pytest.raises(TrafficError):
+        coerce_profile(42)
+    with pytest.raises(TrafficError, match="not found"):
+        coerce_profile(str(tmp_path / "missing.json"))
+
+
+def test_flow_bytes_by_kind():
+    assert TrafficClass(name="w", kind="request_response",
+                        request_bytes=400, response_bytes=600).flow_bytes() == 1000
+    assert TrafficClass(name="b", kind="bulk", bytes=5000).flow_bytes() == 5000
