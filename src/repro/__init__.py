@@ -48,6 +48,13 @@ from repro.loader import (
 from repro.measurement import MeasurementClient, validate_ospf
 from repro.nidb import Nidb
 from repro.render import render_nidb
+from repro.supervision import (
+    Budget,
+    CancelToken,
+    CircuitBreaker,
+    TrialJournal,
+    run_with_deadline,
+)
 from repro.workflow import ExperimentResult, load_topology, run_experiment
 
 __version__ = "1.0.0"
@@ -55,11 +62,14 @@ __version__ = "1.0.0"
 __all__ = [
     "AbstractNetworkModel",
     "ArtifactCache",
+    "Budget",
     "BuildEngine",
     "BuildReport",
     "CampaignResult",
     "CampaignRunner",
     "CampaignSpec",
+    "CancelToken",
+    "CircuitBreaker",
     "DEFAULT_RULES",
     "EmulatedLab",
     "ExperimentResult",
@@ -68,6 +78,7 @@ __all__ = [
     "Nidb",
     "PLATFORM_COMPILERS",
     "ReproError",
+    "TrialJournal",
     "apply_design",
     "assign_route_reflectors_by_centrality",
     "bad_gadget_topology",
@@ -90,6 +101,7 @@ __all__ = [
     "rpki_topology",
     "run_campaign",
     "run_experiment",
+    "run_with_deadline",
     "small_internet",
     "validate_ospf",
 ]

@@ -29,9 +29,21 @@ from repro.campaign.report import (
 from repro.campaign.report import summary as campaign_summary
 from repro.campaign.runner import CampaignResult, CampaignRunner, run_campaign
 from repro.campaign.spec import CampaignSpec, TrialSpec
-from repro.campaign.store import ResultStore, TrialRecord, load_records
+from repro.campaign.store import (
+    STATUS_FAILED,
+    STATUS_INTERRUPTED,
+    STATUS_OK,
+    STATUS_TIMED_OUT,
+    ResultStore,
+    TrialRecord,
+    load_records,
+)
 
 __all__ = [
+    "STATUS_FAILED",
+    "STATUS_INTERRUPTED",
+    "STATUS_OK",
+    "STATUS_TIMED_OUT",
     "CampaignComparison",
     "CampaignResult",
     "CampaignRunner",

@@ -62,6 +62,9 @@ KNOWN_OVERRIDES = (
     "spf_mode",       # IGP recomputation: auto (default) | incremental | full
     "bgp_mode",       # BGP scheduling: events (default) | rounds
     "traffic_seed",   # seed for the trial's traffic engine (int, default 0)
+    "inject_hang",    # force this trial to hang at a stage (chaos hook)
+    "hang_seconds",   # how long an injected hang sleeps (float, default 30)
+    "trial_deadline_s",  # per-trial wall-clock budget override (float)
 )
 
 #: Stages ``inject_fault`` may name.
@@ -130,6 +133,11 @@ class CampaignSpec:
     directory: Optional[str] = None  # result-store directory, if the spec names one
     base_dir: str = "."              # resolves relative topology/schedule paths
     raw: dict = field(default_factory=dict)
+    # Supervision settings ride on the spec, NOT in the trial hashes:
+    # tightening a deadline must never invalidate completed results.
+    trial_deadline_s: Optional[float] = None   # per-trial wall-clock budget
+    phase_deadlines: dict = field(default_factory=dict)  # phase -> seconds
+    stall_after_s: Optional[float] = None      # watchdog stall window
 
     # -- construction --------------------------------------------------------
     @classmethod
@@ -164,6 +172,9 @@ class CampaignSpec:
             directory=data.get("directory"),
             base_dir=base_dir,
             raw=data,
+            trial_deadline_s=_positive_or_none(data, "trial_deadline_s"),
+            phase_deadlines=_phase_deadlines(data),
+            stall_after_s=_positive_or_none(data, "stall_after_s"),
         )
         cells = [
             (topology, platform, rules, schedule, traffic, overrides)
@@ -260,6 +271,35 @@ def _trial_defaults(data: dict) -> dict:
     return defaults
 
 
+def _positive_or_none(data: dict, key: str) -> Optional[float]:
+    value = data.get(key)
+    if value is None:
+        return None
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise CampaignError("%r must be a number, got %r" % (key, data.get(key)))
+    if value <= 0:
+        raise CampaignError("%r must be positive, got %r" % (key, value))
+    return value
+
+
+def _phase_deadlines(data: dict) -> dict:
+    entries = data.get("phase_deadlines")
+    if entries is None:
+        return {}
+    if not isinstance(entries, dict):
+        raise CampaignError(
+            "'phase_deadlines' must map phase names to seconds, got %r" % (entries,)
+        )
+    deadlines = {}
+    for phase, seconds in entries.items():
+        deadlines[str(phase)] = _positive_or_none(
+            {"phase_deadlines.%s" % phase: seconds}, "phase_deadlines.%s" % phase
+        )
+    return deadlines
+
+
 def _check_overrides(overrides: dict) -> dict:
     if not isinstance(overrides, dict):
         raise CampaignError("overrides entries must be objects, got %r" % (overrides,))
@@ -269,12 +309,13 @@ def _check_overrides(overrides: dict) -> dict:
                 "unknown override %r (choose from %s)"
                 % (key, ", ".join(KNOWN_OVERRIDES))
             )
-    stage = overrides.get("inject_fault")
-    if stage is not None and stage not in INJECTABLE_STAGES:
-        raise CampaignError(
-            "inject_fault must name a stage (%s), got %r"
-            % (", ".join(INJECTABLE_STAGES), stage)
-        )
+    for hook in ("inject_fault", "inject_hang"):
+        stage = overrides.get(hook)
+        if stage is not None and stage not in INJECTABLE_STAGES:
+            raise CampaignError(
+                "%s must name a stage (%s), got %r"
+                % (hook, ", ".join(INJECTABLE_STAGES), stage)
+            )
     return overrides
 
 

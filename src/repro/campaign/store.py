@@ -38,6 +38,13 @@ INDEX_NAME = "index.jsonl"
 #: Trial statuses recorded in the index.
 STATUS_OK = "ok"
 STATUS_FAILED = "failed"
+#: The trial overran its wall-clock budget.  Quarantine-adjacent: the
+#: overrun *is* the recorded outcome, so resume skips it like a failure
+#: (``--retry-failed`` re-executes it).
+STATUS_TIMED_OUT = "timed_out"
+#: The trial was cut off mid-flight (SIGKILL recovery, SIGTERM
+#: checkpoint).  Never counts as completed: resume always re-executes.
+STATUS_INTERRUPTED = "interrupted"
 
 
 @dataclass
@@ -46,7 +53,7 @@ class TrialRecord:
 
     trial_id: str
     spec_hash: str
-    status: str                      # ok | failed
+    status: str                      # ok | failed | timed_out | interrupted
     topology: str = ""
     platform: str = ""
     error: Optional[str] = None      # failure cause when status == failed
@@ -66,6 +73,10 @@ class TrialRecord:
 
     def outcome(self) -> str:
         """One human cell: the trial's verdict for the report tables."""
+        if self.status == STATUS_TIMED_OUT:
+            return "TIMED OUT: %s" % (self.error or "deadline exceeded")
+        if self.status == STATUS_INTERRUPTED:
+            return "INTERRUPTED: %s" % (self.error or "run cut short")
         if not self.ok:
             return "FAILED: %s" % (self.error or "unknown error")
         status = self.convergence.get("status")
@@ -126,6 +137,8 @@ class ResultStore:
         self.directory = str(directory)
         os.makedirs(os.path.join(self.directory, "trials"), exist_ok=True)
         self._lock = threading.Lock()
+        #: torn (half-written) index lines skipped by the last read
+        self.torn_lines = 0
 
     # -- paths ---------------------------------------------------------------
     @property
@@ -151,6 +164,7 @@ class ResultStore:
 
     def records(self) -> list[TrialRecord]:
         """Every valid index record, in append order (duplicates kept)."""
+        self.torn_lines = 0
         if not os.path.exists(self.index_path):
             return []
         found = []
@@ -165,7 +179,9 @@ class ResultStore:
                 found.append(TrialRecord.from_dict(json.loads(line)))
             except ValueError:
                 # a torn final line from an interrupted run is expected;
-                # that trial simply re-executes on resume
+                # it is counted for forensics and that trial simply
+                # re-executes on resume
+                self.torn_lines += 1
                 continue
         return found
 
@@ -179,14 +195,17 @@ class ResultStore:
     def completed_hashes(self, include_failed: bool = True) -> set[str]:
         """Spec hashes resume should skip.
 
-        Failed trials count as completed by default — their failure is
-        the recorded result; ``include_failed=False`` is the
-        ``retry_failed`` view, which re-executes them.
+        Failed and timed-out trials count as completed by default —
+        their failure is the recorded result; ``include_failed=False``
+        is the ``retry_failed`` view, which re-executes them.
+        ``interrupted`` records never count: the trial did not run to
+        an outcome, so resume always re-executes it.
         """
         return {
             spec_hash
             for spec_hash, record in self.latest().items()
-            if include_failed or record.ok
+            if record.status != STATUS_INTERRUPTED
+            and (include_failed or record.ok)
         }
 
     # -- per-trial artefacts -------------------------------------------------
@@ -200,26 +219,43 @@ class ResultStore:
 
     # -- campaign-level views ------------------------------------------------
     def status(self, spec: CampaignSpec) -> dict:
-        """Where a campaign stands against this store's index."""
+        """Where a campaign stands against this store's index.
+
+        ``interrupted`` trials (a crashed run recovered by the journal)
+        count as pending — they will re-execute on resume — and are
+        also listed separately so operators can see *why* they are
+        pending.  ``torn_lines`` counts half-written index lines from
+        the last read, evidence of an unclean stop.
+        """
         latest = self.latest()
-        done, failed, pending = [], [], []
+        done, failed, timed_out, interrupted, pending = [], [], [], [], []
         for trial in spec:
             record = latest.get(trial.spec_hash)
             if record is None:
                 pending.append(trial.trial_id)
             elif record.ok:
                 done.append(trial.trial_id)
+            elif record.status == STATUS_TIMED_OUT:
+                timed_out.append(trial.trial_id)
+            elif record.status == STATUS_INTERRUPTED:
+                interrupted.append(trial.trial_id)
+                pending.append(trial.trial_id)
             else:
                 failed.append(trial.trial_id)
         return {
             "campaign": spec.name,
             "total": len(spec),
-            "completed": len(done) + len(failed),
+            "completed": len(done) + len(failed) + len(timed_out),
             "ok": len(done),
             "failed": len(failed),
+            "timed_out": len(timed_out),
+            "interrupted": len(interrupted),
             "pending": len(pending),
             "pending_trials": pending,
             "failed_trials": failed,
+            "timed_out_trials": timed_out,
+            "interrupted_trials": interrupted,
+            "torn_lines": self.torn_lines,
         }
 
     def __len__(self) -> int:
@@ -264,8 +300,10 @@ class ResultStoreReader:
 
     def __init__(self, index_path: str):
         self.index_path = index_path
+        self.torn_lines = 0
 
     def records(self) -> list[TrialRecord]:
+        self.torn_lines = 0
         found = []
         with open(self.index_path) as handle:
             for line in handle:
@@ -275,5 +313,6 @@ class ResultStoreReader:
                 try:
                     found.append(TrialRecord.from_dict(json.loads(line)))
                 except ValueError:
+                    self.torn_lines += 1
                     continue
         return found

@@ -41,7 +41,7 @@ import sys
 import tempfile
 
 from repro.design import DEFAULT_RULES
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, TerminationRequested
 from repro.observability import INFO, Telemetry
 
 
@@ -135,6 +135,12 @@ def _add_resilience_options(
         "--retries", type=int, default=0, metavar="N",
         help="retry transient deploy/measure errors up to N times "
         "(default 0: fail fast)",
+    )
+    resilience.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the whole command; it also bounds "
+        "each retry loop and each per-host measurement (default: "
+        "unlimited)",
     )
 
 
@@ -344,6 +350,18 @@ def _add_campaign_options(sub: argparse.ArgumentParser) -> None:
         help="re-execute trials whose last record is a failure",
     )
     runner.add_argument(
+        "--trial-deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per trial; an overrunning trial is "
+        "abandoned and recorded as timed_out (default: the spec's "
+        "trial_deadline_s, else unlimited)",
+    )
+    runner.add_argument(
+        "--stall-after", type=float, default=None, metavar="SECONDS",
+        help="watchdog window per trial: a trial silent (no supervision "
+        "checkpoints) for this long is reaped (default: the spec's "
+        "stall_after_s, else off)",
+    )
+    runner.add_argument(
         "--retries", type=int, default=0, metavar="N",
         help="retry transient per-trial errors up to N times",
     )
@@ -522,8 +540,29 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _install_sigterm_handler() -> None:
+    """Turn SIGTERM into :class:`TerminationRequested`.
+
+    SIGTERM gets the same orderly treatment as ctrl-C: the campaign
+    runner checkpoints its journal, stores flush (they are fsync'd per
+    append anyway), and the process exits 143.  ``TerminationRequested``
+    derives from ``BaseException`` so no quarantine layer can swallow
+    it on the way out.
+    """
+    import signal
+
+    def _raise_termination(signum, frame):
+        raise TerminationRequested(signum)
+
+    try:
+        signal.signal(signal.SIGTERM, _raise_termination)
+    except ValueError:
+        pass  # not the main thread (embedded use): leave signals alone
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    _install_sigterm_handler()
     try:
         return _dispatch(args)
     except ReproError as exc:
@@ -538,6 +577,10 @@ def main(argv: list[str] | None = None) -> int:
         # supported workflow, not a crash
         print("interrupted", file=sys.stderr)
         return 130
+    except TerminationRequested:
+        # same contract as ctrl-C, via SIGTERM (orchestrators, timeouts)
+        print("terminated", file=sys.stderr)
+        return 143
     except BrokenPipeError:
         # `repro perf report | head` closing stdout early is normal use
         try:
@@ -576,14 +619,27 @@ def _dispatch(args: argparse.Namespace) -> int:
         from repro.observability import Profiler
 
         profiler = Profiler(interval=args.profile_interval)
+    def run_handler():
+        # the command span opens on the thread doing the work: under
+        # --deadline that is a supervised worker thread, and the span
+        # stack is thread-local
+        with telemetry.span(args.command, topology=subject):
+            if profiler is not None:
+                with profiler:
+                    return handler(args, out)
+            return handler(args, out)
+
+    deadline = getattr(args, "deadline", None)
     try:
         with telemetry.activate():
-            with telemetry.span(args.command, topology=subject):
-                if profiler is not None:
-                    with profiler:
-                        exit_code = handler(args, out)
-                else:
-                    exit_code = handler(args, out)
+            if deadline is not None:
+                from repro.supervision import run_with_deadline
+
+                exit_code = run_with_deadline(
+                    run_handler, deadline, operation=args.command
+                )
+            else:
+                exit_code = run_handler()
     except Exception as exc:
         # a failure trace is the one most worth keeping: the root span
         # carries status="error" and the exception text
@@ -644,11 +700,21 @@ def _write_profile_files(profiler, telemetry: Telemetry, args,
 
 
 def _retry_policy(args):
+    import dataclasses
+
     from repro.resilience import DEFAULT_RETRY, NO_RETRY
 
-    if getattr(args, "retries", 0) > 0:
-        return DEFAULT_RETRY.with_retries(args.retries)
-    return NO_RETRY
+    policy = (
+        DEFAULT_RETRY.with_retries(args.retries)
+        if getattr(args, "retries", 0) > 0
+        else NO_RETRY
+    )
+    deadline = getattr(args, "deadline", None)
+    if deadline is not None:
+        # the command budget also caps each retry loop and each
+        # per-host measurement, so no inner layer can outlive it
+        policy = dataclasses.replace(policy, deadline=deadline)
+    return policy
 
 
 def _designed(args):
@@ -1128,6 +1194,8 @@ def _cmd_campaign(args, out: CliOutput) -> int:
         cache_dir=args.cache_dir,
         boot_jobs=args.boot_jobs,
         profile=bool(args.profile),
+        trial_deadline_s=args.trial_deadline,
+        stall_after_s=args.stall_after,
     )
     result = runner.run()
     for record in result.records:
@@ -1143,6 +1211,10 @@ def _cmd_campaign(args, out: CliOutput) -> int:
         executed=result.executed,
         resumed=result.skipped,
         failed=[record.trial_id for record in result.failed],
+        timed_out=[record.trial_id for record in result.timed_out],
+        recovered=result.recovered,
+        deferred=result.deferred,
+        degraded_to=result.degraded_to,
         cache_hits=result.cache_hits,
         cache_misses=result.cache_misses,
         trials=[record.to_dict() for record in result.records],
@@ -1156,24 +1228,79 @@ def _cmd_campaign(args, out: CliOutput) -> int:
 
 def _campaign_status(spec, directory, out: CliOutput) -> int:
     from repro.campaign import ResultStore
+    from repro.supervision import TrialJournal
 
     status = ResultStore(directory).status(spec)
     out.emit(
-        "campaign %s: %d/%d trials complete (%d ok, %d failed, %d pending)"
+        "campaign %s: %d/%d trials complete (%d ok, %d failed, "
+        "%d timed out, %d pending)"
         % (
             status["campaign"],
             status["completed"],
             status["total"],
             status["ok"],
             status["failed"],
+            status["timed_out"],
             status["pending"],
         )
     )
     for trial_id in status["failed_trials"]:
         out.emit("  failed: %s" % trial_id, trial=trial_id)
+    for trial_id in status["timed_out_trials"]:
+        out.emit("  timed out: %s" % trial_id, trial=trial_id)
     for trial_id in status["pending_trials"]:
         out.emit("  pending: %s" % trial_id, trial=trial_id)
-    out.result(directory=directory, **status)
+
+    # -- health: what supervision knows about the last run(s) ---------------
+    journal = TrialJournal(directory)
+    open_intents = journal.open_intents()
+    last_checkpoint = journal.last_checkpoint()
+    health = {
+        "timed_out": status["timed_out"],
+        "interrupted": status["interrupted"],
+        "torn_index_lines": status["torn_lines"],
+        "torn_journal_lines": journal.torn_lines,
+        "open_intents": sorted(
+            entry.trial_id for entry in open_intents.values()
+        ),
+        "last_checkpoint": (
+            {"reason": last_checkpoint.reason, "at": last_checkpoint.at}
+            if last_checkpoint is not None
+            else None
+        ),
+    }
+    concerns = []
+    if health["open_intents"]:
+        concerns.append(
+            "%d trial(s) were cut off mid-flight and will re-execute: %s"
+            % (len(health["open_intents"]), ", ".join(health["open_intents"]))
+        )
+    if status["interrupted"]:
+        concerns.append(
+            "%d interrupted trial(s) pending re-execution" % status["interrupted"]
+        )
+    if status["timed_out"]:
+        concerns.append(
+            "%d trial(s) overran their deadline or stalled (timed out)"
+            % status["timed_out"]
+        )
+    if health["torn_index_lines"] or health["torn_journal_lines"]:
+        concerns.append(
+            "unclean stop detected (%d torn index line(s), %d torn journal "
+            "line(s))"
+            % (health["torn_index_lines"], health["torn_journal_lines"])
+        )
+    if last_checkpoint is not None:
+        concerns.append(
+            "last run stopped on %s" % (last_checkpoint.reason or "checkpoint")
+        )
+    if concerns:
+        out.emit("health:")
+        for concern in concerns:
+            out.emit("  %s" % concern)
+    else:
+        out.emit("health: clean (no crash evidence, no overruns)")
+    out.result(directory=directory, health=health, **status)
     return 0 if status["pending"] == 0 else 3
 
 

@@ -29,6 +29,7 @@ from repro.emulation import EmulatedLab
 from repro.exceptions import DeploymentError
 from repro.observability import gauge_set, metric_inc, span
 from repro.resilience import NO_RETRY, RetryPolicy, retry_call
+from repro.supervision import checkpoint
 
 logger = logging.getLogger("repro.deployment")
 
@@ -92,6 +93,7 @@ def deploy(
 
     try:
         with span("deploy.archive", lab_name=lab_name) as stage:
+            checkpoint("deploy.archive")
             monitor.update("archive", "archiving %s" % source_dir, source_dir=source_dir)
             archive_path = retry_call(
                 lambda: archive_lab(source_dir, lab_name),
@@ -102,6 +104,7 @@ def deploy(
         timings["archive"] = stage.duration
 
         with span("deploy.transfer", host=host.name) as stage:
+            checkpoint("deploy.transfer")
             monitor.update(
                 "transfer",
                 "transferring to %s as %s" % (host.name, username),
@@ -116,6 +119,7 @@ def deploy(
         timings["transfer"] = stage.duration
 
         with span("deploy.extract") as stage:
+            checkpoint("deploy.extract")
             monitor.update("extract", "extracting %s" % remote_archive)
             lab_dir = retry_call(
                 lambda: host.extract(remote_archive, lab_name),
@@ -125,6 +129,7 @@ def deploy(
         timings["extract"] = stage.duration
 
         with span("deploy.lstart", lab_name=lab_name) as stage:
+            checkpoint("deploy.lstart")
             monitor.update("lstart", "starting lab %s" % lab_name, lab_name=lab_name)
             lab = retry_call(
                 lambda: host.lstart(lab_dir, lab_name, **boot_options),

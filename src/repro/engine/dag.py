@@ -24,6 +24,7 @@ from typing import Any, Callable, Iterator, Optional
 from repro.exceptions import EngineError
 from repro.observability import WARNING, log_event, metric_inc, span
 from repro.resilience import RetryPolicy, retry_call
+from repro.supervision.context import checkpoint
 
 from repro.engine.executors import run_calls
 
@@ -191,6 +192,7 @@ class Scheduler:
         pending: dict[str, Task] = {task.task_id: task for task in graph}
 
         while pending:
+            checkpoint("engine.wave")
             self._cascade_skips(pending)
             if not pending:
                 break
@@ -248,6 +250,7 @@ class Scheduler:
 
     def _run_batch(self, phase, batch, graph, results, done, pending) -> None:
         """Run one wave's tasks of one phase: parent inline, rest pooled."""
+        checkpoint("engine.%s" % phase if phase else "engine.batch")
         parent_tasks = [task for task in batch if task.in_parent]
         pool_tasks = [task for task in batch if not task.in_parent]
         for task in parent_tasks:

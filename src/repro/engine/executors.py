@@ -22,9 +22,14 @@ from typing import Any, Callable, Optional, Sequence
 
 from repro.exceptions import EngineError
 from repro.observability import gauge_set, metric_inc, metric_observe
+from repro.supervision.context import beat as _beat
 
 #: One schedulable unit: (task id, callable, single argument).
 TaskCall = tuple[str, Callable[[Any], Any], Any]
+
+#: One streamed completion from :meth:`run_iter`:
+#: ``(index into the submitted batch, result or None, error or None)``.
+TaskCompletion = tuple[int, Any, Optional[Exception]]
 
 
 def default_jobs() -> int:
@@ -48,6 +53,22 @@ class SerialExecutor:
             results.append(fn(arg))
             metric_observe("engine.task_seconds", time.perf_counter() - started)
         return results
+
+    def run_iter(self, calls: Sequence[TaskCall]):
+        """Stream completions in submission order, capturing errors."""
+        for index, (_, fn, arg) in enumerate(calls):
+            metric_observe("engine.queue_seconds", 0.0)
+            started = time.perf_counter()
+            try:
+                result = fn(arg)
+            except Exception as error:
+                metric_observe("engine.task_seconds", time.perf_counter() - started)
+                _beat()
+                yield index, None, error
+                continue
+            metric_observe("engine.task_seconds", time.perf_counter() - started)
+            _beat()
+            yield index, result, None
 
     def shutdown(self) -> None:
         pass
@@ -81,6 +102,24 @@ class ThreadExecutor:
             for _, fn, arg in calls
         ]
         return [future.result() for future in pending]
+
+    def run_iter(self, calls: Sequence[TaskCall]):
+        """Stream completions in *completion* order, capturing errors."""
+        pool = self._ensure_pool()
+        pending = {
+            pool.submit(_timed_call, fn, arg, time.perf_counter()): index
+            for index, (_, fn, arg) in enumerate(calls)
+        }
+        for future in _futures.as_completed(pending):
+            index = pending[future]
+            try:
+                result = future.result()
+            except Exception as error:
+                _beat()
+                yield index, None, error
+                continue
+            _beat()
+            yield index, result, None
 
     def shutdown(self) -> None:
         if self._pool is not None:
@@ -149,6 +188,33 @@ class ProcessExecutor:
             )
         return results
 
+    def run_iter(self, calls: Sequence[TaskCall]):
+        """Stream completions in *completion* order, capturing errors.
+
+        A dead worker surfaces here as ``BrokenProcessPool`` on every
+        unfinished future — callers classify that as infrastructure
+        failure (and typically step down the degradation ladder) rather
+        than a task failure.
+        """
+        pool = self._ensure_pool()
+        submitted = time.perf_counter()
+        pending = {
+            pool.submit(fn, arg): index for index, (_, fn, arg) in enumerate(calls)
+        }
+        for future in _futures.as_completed(pending):
+            index = pending[future]
+            try:
+                result = future.result()
+            except Exception as error:
+                _beat()
+                yield index, None, error
+                continue
+            metric_observe(
+                "engine.task_roundtrip_seconds", time.perf_counter() - submitted
+            )
+            _beat()
+            yield index, result, None
+
     def shutdown(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
@@ -183,3 +249,17 @@ def run_calls(executor, calls: Sequence[TaskCall]) -> list[Any]:
         return []
     metric_inc("engine.tasks_scheduled", len(calls))
     return executor.run(calls)
+
+
+def iter_calls(executor, calls: Sequence[TaskCall]):
+    """Stream ``(index, result, error)`` completions from any executor.
+
+    Unlike :func:`run_calls` this never raises for a failing task — each
+    error rides out in its completion tuple, in completion order, so
+    callers can record finished work incrementally and decide per-error
+    whether it was the task or the infrastructure that died.
+    """
+    if not calls:
+        return iter(())
+    metric_inc("engine.tasks_scheduled", len(calls))
+    return executor.run_iter(calls)

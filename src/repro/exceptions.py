@@ -137,6 +137,79 @@ class FaultScheduleError(EmulationError):
         return super().__str__()
 
 
+class SupervisionError(ReproError):
+    """Base class for supervised-execution failures (budgets, watchdogs)."""
+
+
+class DeadlineExceededError(SupervisionError):
+    """A wall-clock budget ran out before the operation finished.
+
+    ``operation`` names what overran and ``deadline`` the budget in
+    seconds.  Campaign trials hitting this finish as ``timed_out``
+    records instead of hanging the run.
+    """
+
+    def __init__(self, operation: str, deadline: float, elapsed: float | None = None):
+        detail = "%.3gs deadline exceeded in %s" % (deadline, operation)
+        if elapsed is not None:
+            detail += " (ran %.3gs)" % elapsed
+        super().__init__(detail)
+        self.operation = operation
+        self.deadline = deadline
+        self.elapsed = elapsed
+
+
+class CancelledError(SupervisionError):
+    """A cooperative cancellation token was honoured mid-operation."""
+
+    def __init__(self, operation: str, reason: str = ""):
+        super().__init__(
+            "%s cancelled%s" % (operation, (": %s" % reason) if reason else "")
+        )
+        self.operation = operation
+        self.reason = reason
+
+
+class StallError(SupervisionError):
+    """The watchdog saw no heartbeat from a worker within its window."""
+
+    def __init__(self, operation: str, silent_for: float, stall_after: float):
+        super().__init__(
+            "%s stalled: no heartbeat for %.3gs (watchdog window %.3gs)"
+            % (operation, silent_for, stall_after)
+        )
+        self.operation = operation
+        self.silent_for = silent_for
+        self.stall_after = stall_after
+
+
+class CircuitOpenError(SupervisionError):
+    """A circuit breaker is open: the subsystem is failing fast."""
+
+    def __init__(self, name: str, failures: int):
+        super().__init__(
+            "circuit %r is open after %d consecutive failure%s"
+            % (name, failures, "" if failures == 1 else "s")
+        )
+        self.name = name
+        self.failures = failures
+
+
+class TerminationRequested(BaseException):
+    """SIGTERM arrived: checkpoint and exit 143.
+
+    Deliberately *not* a :class:`ReproError` (nor even ``Exception``):
+    quarantine layers catch broad exception classes to keep a campaign
+    alive, but an operator's terminate request must unwind all the way
+    out — exactly like ``KeyboardInterrupt``, which this mirrors for
+    SIGTERM.
+    """
+
+    def __init__(self, signum: int = 15):
+        super().__init__("termination requested (signal %d)" % signum)
+        self.signum = signum
+
+
 class MeasurementError(ReproError):
     """A measurement command failed or its output could not be parsed."""
 

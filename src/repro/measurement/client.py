@@ -26,8 +26,10 @@ from repro.exceptions import MeasurementError
 from repro.measurement.mapping import IpMapper
 from repro.measurement.parsers import template_for_command
 from repro.nidb import Nidb
+from repro.exceptions import DeadlineExceededError
 from repro.observability import WARNING, log_event, metric_inc, span
 from repro.resilience import NO_RETRY, RetryPolicy, retry_call
+from repro.supervision import run_with_deadline
 
 
 @dataclass
@@ -43,6 +45,9 @@ class MeasurementResult:
     as_path: list[int] = field(default_factory=list)
     #: error text when this host's measurement failed; None on success
     error: str | None = None
+    #: failure classification: "" on success, "timeout" when the host
+    #: blew the client's per-host deadline, "error" otherwise
+    reason: str = ""
 
     @property
     def ok(self) -> bool:
@@ -93,17 +98,33 @@ class MeasurementClient:
         failing host does not abort the fan-out: its result carries the
         error (``result.ok`` is false) and ``measure.failures`` counts
         it, while the remaining hosts are still measured.  Transient VM
-        errors are retried under the client's retry policy first.
+        errors are retried under the client's retry policy first; when
+        the policy carries a ``deadline`` it also bounds each host's
+        wall-clock — a hung VM is abandoned and recorded as a failure
+        with reason ``timeout`` instead of wedging the whole fan-out.
         """
         run = MeasurementRun(command=command)
         template = template_for_command(command)
         hosts = list(hosts)
+        deadline = self.retry_policy.deadline
         with span("measure.send", command=command, hosts=len(hosts)):
             for host in hosts:
                 with span("measure.%s" % host, host=str(host)):
                     try:
-                        result = self._measure_one(host, command, template)
+                        if deadline is not None:
+                            result = run_with_deadline(
+                                lambda: self._measure_one(host, command, template),
+                                deadline,
+                                operation="measure.%s" % host,
+                            )
+                        else:
+                            result = self._measure_one(host, command, template)
                     except Exception as exc:
+                        reason = (
+                            "timeout"
+                            if isinstance(exc, DeadlineExceededError)
+                            else "error"
+                        )
                         metric_inc("measure.failures")
                         log_event(
                             WARNING,
@@ -113,6 +134,7 @@ class MeasurementClient:
                             command=command,
                             error=str(exc),
                             error_type=type(exc).__name__,
+                            reason=reason,
                         )
                         result = MeasurementResult(
                             host=str(host),
@@ -120,6 +142,7 @@ class MeasurementClient:
                             command=command,
                             output="",
                             error=str(exc),
+                            reason=reason,
                         )
                 run.results.append(result)
         return run

@@ -12,7 +12,7 @@ every runtime layer:
 * :mod:`repro.resilience.chaos` — applying schedules to a running lab
   (:func:`apply_schedule`);
 * :mod:`repro.resilience.doubles` — fault-injecting test doubles
-  (:class:`FlakyHost`, :class:`FlakyVM`).
+  (:class:`FlakyHost`, :class:`FlakyVM`, :class:`SleepyVM`).
 """
 
 from repro.resilience.chaos import ChaosReport, ChaosStep, apply_schedule
@@ -24,7 +24,13 @@ from repro.resilience.diagnostics import (
     BootDiagnostic,
     ConvergenceReport,
 )
-from repro.resilience.doubles import FlakyHost, FlakyVM, inject_flaky_vm
+from repro.resilience.doubles import (
+    FlakyHost,
+    FlakyVM,
+    SleepyVM,
+    inject_flaky_vm,
+    inject_sleepy_vm,
+)
 from repro.resilience.faults import FaultEvent, FaultSchedule
 from repro.resilience.policy import (
     DEFAULT_RETRY,
@@ -50,8 +56,10 @@ __all__ = [
     "PARTITIONED",
     "RetryAttempt",
     "RetryPolicy",
+    "SleepyVM",
     "UNDETERMINED",
     "apply_schedule",
     "inject_flaky_vm",
+    "inject_sleepy_vm",
     "retry_call",
 ]

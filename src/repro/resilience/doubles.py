@@ -11,7 +11,12 @@ test suite (and by ``repro chaos`` demos) without patching internals:
 * :class:`FlakyVM` wraps a :class:`~repro.emulation.vm.VirtualMachine`'s
   ``run``;
 * :func:`inject_flaky_vm` swaps a booted lab's VM handle for a flaky
-  one in place.
+  one in place;
+* :class:`SleepyVM` / :func:`inject_sleepy_vm` are the *hang* variant:
+  the first ``hangs`` command executions block in a plain
+  ``time.sleep`` (no heartbeats, no cooperation) — the shape of a VM
+  whose console wedged.  They exist so deadline and watchdog reaping is
+  exercised against a genuinely stuck worker.
 
 Everything not explicitly wrapped is delegated via ``__getattr__``, so
 a double is drop-in wherever the real object is accepted.
@@ -19,6 +24,7 @@ a double is drop-in wherever the real object is accepted.
 
 from __future__ import annotations
 
+import time
 from typing import Iterable
 
 from repro.exceptions import TransientError
@@ -94,3 +100,44 @@ def inject_flaky_vm(lab, machine: str, failures: int = 1) -> FlakyVM:
     flaky = FlakyVM(lab.vm(machine), failures=failures)
     lab._vms[machine] = flaky
     return flaky
+
+
+class SleepyVM:
+    """A VM whose first ``hangs`` command executions block for ``sleep_s``.
+
+    Unlike :class:`FlakyVM` this does not raise — it *wedges*, sleeping
+    uncooperatively with no heartbeat, then delegates.  Retry logic
+    never sees an error; only a deadline budget or watchdog can cut the
+    call short.  ``sleep_s`` defaults high enough that any test which
+    reaches the sleep without supervision would visibly hang.
+    """
+
+    def __init__(self, vm, sleep_s: float = 30.0, hangs: int = 1):
+        self._vm = vm
+        self.sleep_s = sleep_s
+        self._remaining = hangs
+        self.calls: list[str] = []
+
+    def run(self, command: str) -> str:
+        self.calls.append(command)
+        if self._remaining > 0:
+            self._remaining -= 1
+            time.sleep(self.sleep_s)
+        return self._vm.run(command)
+
+    def __getattr__(self, name):
+        return getattr(self._vm, name)
+
+    def __repr__(self) -> str:
+        return "SleepyVM(%s, sleep_s=%s, remaining=%d)" % (
+            self._vm.name,
+            self.sleep_s,
+            self._remaining,
+        )
+
+
+def inject_sleepy_vm(lab, machine: str, sleep_s: float = 30.0, hangs: int = 1) -> SleepyVM:
+    """Replace ``lab``'s handle for ``machine`` with a wedging wrapper."""
+    sleepy = SleepyVM(lab.vm(machine), sleep_s=sleep_s, hangs=hangs)
+    lab._vms[machine] = sleepy
+    return sleepy

@@ -1,0 +1,170 @@
+"""Wall-clock budgets and cooperative cancellation tokens.
+
+A :class:`Budget` is the deadline carried by one supervised operation
+(a trial, a deploy, a whole campaign): it knows when it started, how
+much wall-clock it was given overall, and optionally a per-phase
+allowance.  A :class:`CancelToken` is the cooperative kill switch that
+rides alongside it — watchdogs and signal handlers *set* it, running
+code *checks* it at safe points via :func:`~repro.supervision.context.
+checkpoint` and unwinds with :class:`~repro.exceptions.CancelledError`.
+
+Both are deliberately dumb value-ish objects: no threads, injectable
+clocks, so every expiry path is unit-testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.exceptions import CancelledError, DeadlineExceededError
+
+
+class CancelToken:
+    """A thread-safe, one-way cancellation flag with a reason.
+
+    Tokens chain: a child token created with ``parent=`` is cancelled
+    whenever its parent is, so cancelling a campaign token reaches
+    every in-flight trial that derived from it.
+    """
+
+    def __init__(self, parent: Optional["CancelToken"] = None):
+        self._event = threading.Event()
+        self._reason = ""
+        self._parent = parent
+
+    def cancel(self, reason: str = "") -> None:
+        """Set the flag (idempotent; the first reason wins)."""
+        if not self._event.is_set():
+            self._reason = reason
+            self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        if self._parent is not None and self._parent.cancelled:
+            return True
+        return self._event.is_set()
+
+    @property
+    def reason(self) -> str:
+        if self._event.is_set():
+            return self._reason
+        if self._parent is not None and self._parent.cancelled:
+            return self._parent.reason
+        return ""
+
+    def child(self) -> "CancelToken":
+        """A token that is cancelled when this one is (or on its own)."""
+        return CancelToken(parent=self)
+
+    def raise_if_cancelled(self, operation: str = "operation") -> None:
+        if self.cancelled:
+            raise CancelledError(operation, self.reason)
+
+    def __repr__(self) -> str:
+        return "CancelToken(cancelled=%r, reason=%r)" % (self.cancelled, self.reason)
+
+
+class Budget:
+    """A wall-clock allowance, optionally subdivided per phase.
+
+    ``deadline_s`` is the total budget in seconds from construction (or
+    the explicit ``started`` stamp); ``phase_deadlines`` maps phase
+    names (``build``, ``deploy``, ``measure``, ``traffic``...) to their
+    own allowances, enforced while a :meth:`phase` block is open.
+    ``None`` deadlines mean unlimited, so a Budget with neither is a
+    no-op carrier that always passes :meth:`check`.
+    """
+
+    def __init__(
+        self,
+        deadline_s: float | None = None,
+        phase_deadlines: dict | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        started: float | None = None,
+    ):
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (got %r)" % deadline_s)
+        self.deadline_s = deadline_s
+        self.phase_deadlines = dict(phase_deadlines or {})
+        self._clock = clock
+        self.started = started if started is not None else clock()
+        self._phase: Optional[str] = None
+        self._phase_started: float = 0.0
+
+    # -- queries -------------------------------------------------------------
+    def elapsed(self) -> float:
+        return self._clock() - self.started
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left overall, or None when unlimited (never negative)."""
+        if self.deadline_s is None:
+            return None
+        return max(0.0, self.deadline_s - self.elapsed())
+
+    @property
+    def expired(self) -> bool:
+        return self.deadline_s is not None and self.elapsed() > self.deadline_s
+
+    # -- enforcement ---------------------------------------------------------
+    def check(self, operation: str = "operation") -> None:
+        """Raise :class:`DeadlineExceededError` once any limit is crossed."""
+        if self.deadline_s is not None:
+            elapsed = self.elapsed()
+            if elapsed > self.deadline_s:
+                raise DeadlineExceededError(operation, self.deadline_s, elapsed)
+        if self._phase is not None:
+            allowed = self.phase_deadlines.get(self._phase)
+            if allowed is not None:
+                phase_elapsed = self._clock() - self._phase_started
+                if phase_elapsed > allowed:
+                    raise DeadlineExceededError(
+                        "%s[phase=%s]" % (operation, self._phase),
+                        allowed,
+                        phase_elapsed,
+                    )
+
+    def phase(self, name: str) -> "_PhaseScope":
+        """Scope ``name``'s per-phase allowance over a ``with`` block.
+
+        Entering checks the overall budget; exiting checks the phase's
+        own allowance, so a phase that quietly overran its slice (a
+        blocking call with no internal checkpoints) still surfaces as a
+        deadline error at the first opportunity.
+        """
+        return _PhaseScope(self, name)
+
+    def __repr__(self) -> str:
+        return "Budget(deadline_s=%r, phases=%r, elapsed=%.3f)" % (
+            self.deadline_s, self.phase_deadlines, self.elapsed(),
+        )
+
+
+class _PhaseScope:
+    __slots__ = ("budget", "name", "previous", "previous_started")
+
+    def __init__(self, budget: Budget, name: str):
+        self.budget = budget
+        self.name = name
+        self.previous: Optional[str] = None
+        self.previous_started = 0.0
+
+    def __enter__(self) -> Budget:
+        budget = self.budget
+        self.previous, self.previous_started = budget._phase, budget._phase_started
+        budget._phase = self.name
+        budget._phase_started = budget._clock()
+        budget.check(self.name)
+        return budget
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        budget = self.budget
+        try:
+            if exc_type is None:
+                budget.check(self.name)
+        finally:
+            budget._phase, budget._phase_started = (
+                self.previous, self.previous_started,
+            )
+        return False

@@ -1,0 +1,137 @@
+"""The ambient supervision context: checkpoints without plumbing.
+
+Mirrors :mod:`repro.observability.telemetry`'s ambient pattern, but
+**thread-local** instead of process-global: a budget/token pair governs
+one supervised call chain (one trial, one deploy), and parallel trials
+in sibling threads must not see each other's deadlines.
+
+Deep layers (the scheduler's wave loop, deploy stages, the traffic
+simulation loop, emulation rounds) call :func:`checkpoint` at safe
+points.  A checkpoint does three things:
+
+* beats the ambient heartbeat, feeding the watchdog evidence of life;
+* raises :class:`~repro.exceptions.CancelledError` if the ambient
+  token was cancelled (watchdog reap, SIGTERM fan-out);
+* raises :class:`~repro.exceptions.DeadlineExceededError` if the
+  ambient budget (overall or current phase) is spent.
+
+With no active supervision a checkpoint is one thread-local read and
+an early return — instrumented hot loops cost nothing when nobody set
+a deadline.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.supervision.budget import Budget, CancelToken
+
+
+class Heartbeat:
+    """The liveness signal one supervised worker emits.
+
+    ``beat()`` is cheap (one clock read, one attribute store) and safe
+    to call from any thread; ``age()`` is what watchdogs poll.
+    """
+
+    __slots__ = ("name", "_clock", "_last", "beats")
+
+    def __init__(self, name: str = "worker", clock: Callable[[], float] = time.monotonic):
+        self.name = name
+        self._clock = clock
+        self._last = clock()
+        self.beats = 0
+
+    def beat(self) -> None:
+        self._last = self._clock()
+        self.beats += 1
+
+    def age(self) -> float:
+        """Seconds since the last beat."""
+        return self._clock() - self._last
+
+    def __repr__(self) -> str:
+        return "Heartbeat(%r, age=%.3fs, beats=%d)" % (
+            self.name, self.age(), self.beats,
+        )
+
+
+_local = threading.local()
+
+
+def _stack() -> list:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+class _Scope:
+    """Context manager installing a supervision scope on this thread."""
+
+    __slots__ = ("budget", "token", "heartbeat", "operation")
+
+    def __init__(self, budget, token, heartbeat, operation):
+        self.budget = budget
+        self.token = token
+        self.heartbeat = heartbeat
+        self.operation = operation
+
+    def __enter__(self) -> "_Scope":
+        _stack().append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        stack = _stack()
+        if self in stack:
+            stack.remove(self)
+        return False
+
+
+def supervised(
+    budget: Budget | None = None,
+    token: CancelToken | None = None,
+    heartbeat: Heartbeat | None = None,
+    operation: str = "operation",
+) -> _Scope:
+    """Install ``budget``/``token``/``heartbeat`` as this thread's ambient
+    supervision for the ``with`` block."""
+    return _Scope(budget, token, heartbeat, operation)
+
+
+def current_scope() -> Optional[_Scope]:
+    stack = getattr(_local, "stack", None)
+    return stack[-1] if stack else None
+
+
+def current_budget() -> Optional[Budget]:
+    scope = current_scope()
+    return scope.budget if scope else None
+
+
+def current_token() -> Optional[CancelToken]:
+    scope = current_scope()
+    return scope.token if scope else None
+
+
+def beat() -> None:
+    """Beat the ambient heartbeat (no-op outside supervision)."""
+    scope = current_scope()
+    if scope is not None and scope.heartbeat is not None:
+        scope.heartbeat.beat()
+
+
+def checkpoint(operation: str | None = None) -> None:
+    """Prove liveness, then honour any ambient cancellation/deadline."""
+    scope = current_scope()
+    if scope is None:
+        return
+    if scope.heartbeat is not None:
+        scope.heartbeat.beat()
+    name = operation or scope.operation
+    if scope.token is not None:
+        scope.token.raise_if_cancelled(name)
+    if scope.budget is not None:
+        scope.budget.check(name)

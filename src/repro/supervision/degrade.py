@@ -1,0 +1,100 @@
+"""Graceful degradation: trade throughput for survival, never crash.
+
+A :class:`DegradationLadder` is an ordered list of operating modes from
+fastest/most-fragile to slowest/most-robust.  When infrastructure — not
+the experiment — fails (a process-pool worker dies, a cache file keeps
+corrupting), the supervisor *steps down* one rung and retries the same
+work rather than aborting the campaign.  Each step is recorded as a
+``supervision.degraded`` metric and a structured warning, so a campaign
+that silently finished on the serial executor is never mistaken for a
+healthy parallel run.
+
+The canonical instance is :data:`EXECUTOR_LADDER`:
+``process → thread → serial``.  Trial re-runs after a step are
+idempotent — results only reach the index when a trial completes, so a
+batch that died mid-flight simply re-executes its unrecorded calls on
+the next rung with bit-identical output.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.observability import WARNING, log_event, metric_inc
+
+#: The executor fallback order: fastest first, most robust last.
+EXECUTOR_LADDER = ("process", "thread", "serial")
+
+
+class DegradationLadder:
+    """An ordered descent through operating modes.
+
+    ``levels`` runs from preferred to last-resort.  ``start`` picks the
+    initial rung (defaults to the first level; an unknown start means
+    the ladder begins wherever that mode would slot — callers pass the
+    executor kind they were asked for, which may already be the bottom).
+    """
+
+    def __init__(self, levels: Sequence[str] = EXECUTOR_LADDER, start: Optional[str] = None):
+        if not levels:
+            raise ValueError("a degradation ladder needs at least one level")
+        self.levels = tuple(levels)
+        if start is None:
+            self._index = 0
+        elif start in self.levels:
+            self._index = self.levels.index(start)
+        else:
+            raise ValueError(
+                "unknown ladder level %r (expected one of %s)"
+                % (start, ", ".join(self.levels))
+            )
+        #: (from_level, to_level, reason) for every step taken
+        self.steps: list[tuple[str, str, str]] = []
+
+    @property
+    def current(self) -> str:
+        return self.levels[self._index]
+
+    @property
+    def exhausted(self) -> bool:
+        """True when already on the last rung (no further fallback)."""
+        return self._index >= len(self.levels) - 1
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.steps)
+
+    def step(self, reason: str = "") -> Optional[str]:
+        """Descend one rung; returns the new level, or None if exhausted."""
+        if self.exhausted:
+            return None
+        was = self.current
+        self._index += 1
+        now = self.current
+        self.steps.append((was, now, reason))
+        metric_inc("supervision.degraded")
+        log_event(
+            WARNING,
+            "supervision.degraded",
+            "degrading %s -> %s%s" % (was, now, (": " + reason) if reason else ""),
+            from_level=was,
+            to_level=now,
+            reason=reason,
+        )
+        return now
+
+    def snapshot(self) -> dict:
+        return {
+            "current": self.current,
+            "levels": list(self.levels),
+            "degraded": self.degraded,
+            "steps": [
+                {"from": was, "to": now, "reason": reason}
+                for was, now, reason in self.steps
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return "DegradationLadder(current=%r, degraded=%r)" % (
+            self.current, self.degraded,
+        )

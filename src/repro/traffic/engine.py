@@ -62,8 +62,14 @@ from repro.traffic.links import (
     QUEUE_BYTES,
     LinkModel,
 )
+from repro.supervision.context import checkpoint
 from repro.traffic.profile import TrafficProfile, coerce_profile
 from repro.traffic.report import ClassReport, TrafficReport
+
+#: Supervision checkpoint cadence inside the flow loop — frequent enough
+#: that a cancelled/overdue run unwinds promptly, rare enough to stay
+#: invisible in the per-flow cost profile.
+_CHECKPOINT_EVERY = 1024
 
 
 def _class_seed(seed: int, profile_name: str, class_name: str, index: int) -> int:
@@ -304,11 +310,15 @@ class TrafficEngine:
         jitter_sum = [0.0] * len(class_entries)
         jitter_n = [0] * len(class_entries)
 
+        flows_seen = 0
         with span(
             "traffic.run", profile=profile.name, seed=self.seed,
             classes=len(class_entries),
         ):
             for start, class_index, slot in heapq.merge(*streams):
+                flows_seen += 1
+                if not flows_seen % _CHECKPOINT_EVERY:
+                    checkpoint("traffic.run")
                 while (
                     fault_cursor < len(fault_queue)
                     and fault_queue[fault_cursor][0] <= start

@@ -1,0 +1,57 @@
+"""A hung VM blows the per-host deadline instead of wedging the fan-out."""
+
+import time
+
+from repro.emulation import EmulatedLab
+from repro.measurement import MeasurementClient
+from repro.observability import Telemetry
+from repro.resilience import RetryPolicy, SleepyVM, inject_sleepy_vm
+
+BOUNDED = RetryPolicy(max_attempts=1, base_delay=0.0, deadline=0.3)
+
+
+def _lab(si_render):
+    # a private boot: these tests swap VM handles in place
+    return EmulatedLab.boot(si_render.lab_dir)
+
+
+def test_hung_vm_is_reaped_with_reason_timeout(si_render, si_nidb):
+    lab = _lab(si_render)
+    sleepy = inject_sleepy_vm(lab, "as100r1", sleep_s=30.0, hangs=1)
+    client = MeasurementClient(lab, si_nidb, retry_policy=BOUNDED)
+    telemetry = Telemetry()
+    started = time.perf_counter()
+    with telemetry.activate():
+        run = client.send("hostname", ["as100r1", "as100r2"])
+    elapsed = time.perf_counter() - started
+    assert elapsed < 10.0  # the 30s hang was abandoned, not awaited
+
+    hung = run.by_machine()["as100r1"]
+    assert not hung.ok
+    assert hung.reason == "timeout"
+    assert "deadline exceeded" in hung.error
+    # the rest of the fan-out still happened
+    healthy = run.by_machine()["as100r2"]
+    assert healthy.ok
+    assert healthy.reason == ""
+
+    counters = telemetry.metrics.snapshot()["counters"]
+    assert counters["measure.failures"] == 1
+    assert sleepy.calls == ["hostname"]
+
+
+def test_sleepy_vm_delegates_after_its_hangs_are_spent(si_render):
+    lab = _lab(si_render)
+    sleepy = SleepyVM(lab.vm("as100r1"), sleep_s=0.01, hangs=1)
+    first = sleepy.run("hostname")
+    second = sleepy.run("hostname")
+    assert first == second
+    assert sleepy.calls == ["hostname", "hostname"]
+
+
+def test_failures_without_deadline_keep_reason_error(si_render, si_nidb):
+    lab = _lab(si_render)
+    client = MeasurementClient(lab, si_nidb)
+    run = client.send("hostname", ["no_such_machine"])
+    assert not run.ok
+    assert run.results[0].reason == "error"

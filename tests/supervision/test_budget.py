@@ -1,0 +1,192 @@
+"""Budgets, cancellation tokens, and the ambient checkpoint contract."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import CancelledError, DeadlineExceededError
+from repro.supervision import (
+    Budget,
+    CancelToken,
+    Heartbeat,
+    checkpoint,
+    current_budget,
+    current_scope,
+    current_token,
+    supervised,
+)
+
+
+class FakeClock:
+    """A hand-cranked monotonic clock so no expiry test ever sleeps."""
+
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# -- CancelToken --------------------------------------------------------------
+def test_token_starts_clear_and_cancels_once():
+    token = CancelToken()
+    assert not token.cancelled
+    assert token.reason == ""
+    token.cancel("first")
+    token.cancel("second")  # idempotent: the first reason wins
+    assert token.cancelled
+    assert token.reason == "first"
+
+
+def test_token_raise_if_cancelled():
+    token = CancelToken()
+    token.raise_if_cancelled("op")  # no-op while clear
+    token.cancel("watchdog: reaped")
+    with pytest.raises(CancelledError) as err:
+        token.raise_if_cancelled("trial-3")
+    assert "trial-3" in str(err.value)
+    assert err.value.reason == "watchdog: reaped"
+
+
+def test_child_token_sees_parent_cancellation():
+    parent = CancelToken()
+    child = parent.child()
+    grandchild = child.child()
+    parent.cancel("campaign stopping")
+    assert child.cancelled
+    assert grandchild.cancelled
+    assert grandchild.reason == "campaign stopping"
+
+
+def test_child_cancellation_does_not_reach_the_parent():
+    parent = CancelToken()
+    child = parent.child()
+    child.cancel("one trial reaped")
+    assert child.cancelled
+    assert not parent.cancelled
+
+
+# -- Budget -------------------------------------------------------------------
+def test_budget_rejects_non_positive_deadline():
+    with pytest.raises(ValueError):
+        Budget(deadline_s=0)
+    with pytest.raises(ValueError):
+        Budget(deadline_s=-1.0)
+
+
+def test_unlimited_budget_never_expires():
+    clock = FakeClock()
+    budget = Budget(clock=clock)
+    clock.advance(1e6)
+    assert not budget.expired
+    assert budget.remaining() is None
+    budget.check("op")  # no raise
+
+
+def test_budget_expires_on_the_injected_clock():
+    clock = FakeClock()
+    budget = Budget(deadline_s=10.0, clock=clock)
+    clock.advance(9.0)
+    assert not budget.expired
+    assert budget.remaining() == pytest.approx(1.0)
+    budget.check("op")
+    clock.advance(2.0)
+    assert budget.expired
+    assert budget.remaining() == 0.0  # clamped, never negative
+    with pytest.raises(DeadlineExceededError) as err:
+        budget.check("trial-7")
+    assert err.value.operation == "trial-7"
+    assert err.value.deadline == 10.0
+
+
+def test_phase_deadline_enforced_inside_its_scope_only():
+    clock = FakeClock()
+    budget = Budget(phase_deadlines={"deploy": 5.0}, clock=clock)
+    # outside the phase the allowance is dormant
+    clock.advance(100.0)
+    budget.check("op")
+    with pytest.raises(DeadlineExceededError) as err:
+        with budget.phase("deploy"):
+            clock.advance(6.0)  # overran the slice; surfaces on exit
+    assert "deploy" in str(err.value)
+    # the scope unwound: the phase allowance is dormant again
+    clock.advance(50.0)
+    budget.check("op")
+
+
+def test_phase_scope_checks_overall_budget_on_entry():
+    clock = FakeClock()
+    budget = Budget(deadline_s=10.0, clock=clock)
+    clock.advance(11.0)
+    with pytest.raises(DeadlineExceededError):
+        with budget.phase("build"):
+            pytest.fail("an expired budget must not admit a new phase")
+
+
+def test_phase_scopes_nest_and_restore():
+    clock = FakeClock()
+    budget = Budget(phase_deadlines={"outer": 100.0, "inner": 1.0}, clock=clock)
+    with budget.phase("outer"):
+        with pytest.raises(DeadlineExceededError):
+            with budget.phase("inner"):
+                clock.advance(2.0)
+        # the outer phase (started at t=0, allowance 100) is restored
+        clock.advance(10.0)
+        budget.check("op")
+
+
+# -- the ambient scope --------------------------------------------------------
+def test_checkpoint_is_a_noop_outside_supervision():
+    assert current_scope() is None
+    assert current_budget() is None
+    assert current_token() is None
+    checkpoint("anywhere")  # must not raise
+
+
+def test_checkpoint_honours_ambient_token_and_budget():
+    clock = FakeClock()
+    budget = Budget(deadline_s=5.0, clock=clock)
+    token = CancelToken()
+    with supervised(budget, token, Heartbeat("t", clock=clock), "trial-1"):
+        assert current_budget() is budget
+        assert current_token() is token
+        checkpoint()
+        token.cancel("reaped")
+        with pytest.raises(CancelledError):
+            checkpoint("trial.build")
+    # cancellation wins over deadline; with the token clear the budget bites
+    with supervised(budget, CancelToken(), None, "trial-1"):
+        clock.advance(6.0)
+        with pytest.raises(DeadlineExceededError):
+            checkpoint()
+
+
+def test_checkpoint_beats_the_ambient_heartbeat():
+    heartbeat = Heartbeat("worker")
+    with supervised(None, None, heartbeat, "op"):
+        before = heartbeat.beats
+        checkpoint()
+        checkpoint()
+    assert heartbeat.beats == before + 2
+
+
+def test_supervision_scope_is_thread_local():
+    """A sibling thread must not inherit this thread's deadline."""
+    token = CancelToken()
+    token.cancel("only this thread")
+    seen = {}
+
+    def sibling():
+        seen["scope"] = current_scope()
+        checkpoint("sibling.op")  # must not raise: no ambient scope here
+        seen["clean"] = True
+
+    with supervised(Budget(deadline_s=1.0), token, None, "parent"):
+        thread = threading.Thread(target=sibling)
+        thread.start()
+        thread.join()
+    assert seen["scope"] is None
+    assert seen["clean"]

@@ -1,0 +1,57 @@
+"""The degradation ladder: ordered descent, never a crash."""
+
+import pytest
+
+from repro.supervision import EXECUTOR_LADDER, DegradationLadder
+
+
+def test_executor_ladder_order():
+    assert EXECUTOR_LADDER == ("process", "thread", "serial")
+
+
+def test_defaults_start_at_the_top():
+    ladder = DegradationLadder()
+    assert ladder.current == "process"
+    assert not ladder.degraded
+    assert not ladder.exhausted
+
+
+def test_steps_descend_in_order_with_reasons():
+    ladder = DegradationLadder()
+    assert ladder.step("pool broke") == "thread"
+    assert ladder.step("worker died") == "serial"
+    assert ladder.exhausted
+    assert ladder.step("nothing left") is None
+    assert ladder.current == "serial"
+    assert ladder.steps == [
+        ("process", "thread", "pool broke"),
+        ("thread", "serial", "worker died"),
+    ]
+
+
+def test_start_picks_the_rung():
+    ladder = DegradationLadder(start="thread")
+    assert ladder.current == "thread"
+    assert ladder.step() == "serial"
+    # starting at the bottom means no fallback exists
+    bottom = DegradationLadder(start="serial")
+    assert bottom.exhausted
+    assert bottom.step() is None
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DegradationLadder(levels=())
+    with pytest.raises(ValueError):
+        DegradationLadder(start="quantum")
+
+
+def test_snapshot():
+    ladder = DegradationLadder(start="thread")
+    ladder.step("worker died")
+    snap = ladder.snapshot()
+    assert snap["current"] == "serial"
+    assert snap["degraded"]
+    assert snap["steps"] == [
+        {"from": "thread", "to": "serial", "reason": "worker died"}
+    ]
