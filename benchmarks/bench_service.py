@@ -1,0 +1,119 @@
+"""Campaign service throughput and API latency.
+
+Runs the whole service stack in-process — HTTP server on an ephemeral
+port, worker pool, SQLite indexer — submits a small campaign matrix
+through the REST API, and measures:
+
+* **submission -> completion throughput**: trials per minute from the
+  moment ``POST /campaigns`` is acknowledged to the job's terminal
+  state, service overhead (journaling, scheduling, indexing) included;
+* **API latency**: p50/p95 over a burst of ``GET`` requests against a
+  populated index, the dashboard's interactive feel.
+
+Emits ``BENCH_service.json`` (perf key ``service:fig5:smoke``) for the
+warn-only `repro perf compare` gate, and contributes a ``service``
+section to the shared pipeline record.
+"""
+
+import json
+import os
+import tempfile
+import threading
+import time
+
+from _util import record, update_pipeline_record
+
+VARIANTS = 6
+
+SPEC = {
+    "name": "bench_service",
+    "topologies": ["fig5"],
+    "platforms": ["netkit"],
+    "deploy": False,
+    "overrides": [{"max_rounds": 10 + index} for index in range(VARIANTS)],
+}
+
+GET_BURST = 60
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(fraction * len(ordered)))]
+
+
+def test_service_throughput_and_api_latency():
+    from repro.service import CampaignService, ServiceClient, make_server
+
+    data_dir = tempfile.mkdtemp(prefix="bench_service_")
+    service = CampaignService(data_dir, workers=2, poll_interval_s=0.02)
+    service.start()
+    server = make_server(service, port=0)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    client = ServiceClient(
+        "http://127.0.0.1:%d" % server.server_address[1], client_name="bench"
+    )
+    try:
+        started = time.perf_counter()
+        job = client.submit(SPEC)
+        view = client.wait(job["id"], timeout=300)
+        view = client.wait_indexed(job["id"], VARIANTS, timeout=60)
+        elapsed = time.perf_counter() - started
+        assert view["state"] == "done", view
+        trials = view["counts"]["indexed"]
+
+        latencies = []
+        reads = (
+            lambda: client.job(job["id"]),
+            lambda: client.trials(job["id"]),
+            lambda: client.aggregate(group_by="platform"),
+            lambda: client.queue(),
+        )
+        for number in range(GET_BURST):
+            begin = time.perf_counter()
+            reads[number % len(reads)]()
+            latencies.append((time.perf_counter() - begin) * 1e3)
+
+        throughput = {
+            "trials": trials,
+            "seconds": round(elapsed, 4),
+            "trials_per_min": round(trials * 60.0 / elapsed, 1),
+        }
+        api = {
+            "requests": len(latencies),
+            "p50_ms": round(_percentile(latencies, 0.50), 3),
+            "p95_ms": round(_percentile(latencies, 0.95), 3),
+            "max_ms": round(max(latencies), 3),
+        }
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()
+
+    record(
+        "service_throughput",
+        [
+            "submit->done  %(trials)d trials in %(seconds).2fs -> "
+            "%(trials_per_min).1f trials/min (service overhead included)"
+            % throughput,
+            "api GETs      %(requests)d requests, p50 %(p50_ms).2fms, "
+            "p95 %(p95_ms).2fms, max %(max_ms).2fms" % api,
+        ],
+    )
+    bench_path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_service.json",
+    )
+    payload = {
+        "bench": "service",
+        "topology": "fig5",
+        "mode": "smoke",
+        "throughput": throughput,
+        "api_latency": api,
+    }
+    from _util import _provenance
+
+    payload.update(_provenance())
+    payload["timestamp"] = time.time()
+    with open(bench_path, "w") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+    update_pipeline_record(service={"throughput": throughput, "api": api})

@@ -185,6 +185,7 @@ class CampaignRunner:
         stall_after_s: float | None = None,
         breaker_threshold: int = 3,
         breaker_cooldown_s: float = 60.0,
+        cancel=None,
     ):
         from repro.engine import ArtifactCache
 
@@ -227,6 +228,16 @@ class CampaignRunner:
         self.stall_after_s = (
             stall_after_s if stall_after_s is not None else spec.stall_after_s
         )
+        #: cooperative cancellation (the service's DELETE /campaigns):
+        #: checked between chunks, so in-flight trials finish and land
+        #: durably before the run unwinds with CancelledError
+        self.cancel = cancel
+        try:
+            # persist the expanded matrix so status/report (and the
+            # service) can recover the spec from the results directory
+            self.store.write_spec(spec)
+        except OSError:
+            pass  # a read-only store still runs; status needs the spec JSON
         self.journal = TrialJournal(self.store.directory)
         self.breakers = BreakerRegistry(
             failure_threshold=breaker_threshold,
@@ -332,12 +343,13 @@ class CampaignRunner:
                     )
                 try:
                     self._execute(to_run, result)
-                except (KeyboardInterrupt, TerminationRequested) as stop:
-                    reason = (
-                        "sigterm"
-                        if isinstance(stop, TerminationRequested)
-                        else "interrupt"
-                    )
+                except (KeyboardInterrupt, TerminationRequested, CancelledError) as stop:
+                    if isinstance(stop, TerminationRequested):
+                        reason = "sigterm"
+                    elif isinstance(stop, CancelledError):
+                        reason = "cancelled"
+                    else:
+                        reason = "interrupt"
                     # The open intents stay open on purpose: the next
                     # run recovers them as interrupted and re-executes.
                     self.journal.checkpoint(reason)
@@ -377,6 +389,8 @@ class CampaignRunner:
         queue = list(to_run)
         chunk_size = max(1, self.jobs) * 2
         while queue:
+            if self.cancel is not None:
+                self.cancel.raise_if_cancelled("campaign %s" % self.spec.name)
             chunk: list[TrialSpec] = []
             while queue and len(chunk) < chunk_size:
                 trial = queue.pop(0)

@@ -215,6 +215,40 @@ class CampaignSpec:
         _check_unique(spec.trials)
         return spec
 
+    @classmethod
+    def from_expanded(cls, data: dict) -> "CampaignSpec":
+        """Rebuild a spec from its stored expanded trial list.
+
+        The input is what :meth:`ResultStore.write_spec` persisted: the
+        campaign name plus each trial's canonical dict.  Canonical
+        forms are content-complete (schedules and traffic profiles are
+        inlined text), so the rebuilt trials hash identically to the
+        originals — ``repro campaign status <results-dir>`` sees the
+        same pending set the original run would.
+        """
+        if not isinstance(data, dict) or not data.get("name"):
+            raise CampaignError("expanded campaign spec needs a 'name'")
+        entries = data.get("trials")
+        if not entries or not isinstance(entries, list):
+            raise CampaignError("expanded campaign spec needs a 'trials' list")
+        spec = cls(name=str(data["name"]), raw=data)
+        for position, entry in enumerate(entries):
+            if not isinstance(entry, dict):
+                raise CampaignError("bad expanded trial entry %r" % (entry,))
+            overrides = entry.get("overrides") or {}
+            spec.trials.append(
+                TrialSpec(
+                    topology=str(entry.get("topology", "")),
+                    platform=str(entry.get("platform", "")),
+                    rules=tuple(str(rule) for rule in entry.get("rules") or ()),
+                    schedule=entry.get("schedule"),
+                    overrides=tuple(sorted(overrides.items())),
+                    sequence=int(entry.get("sequence", position)),
+                    traffic=entry.get("traffic"),
+                )
+            )
+        return spec
+
     # -- selection -----------------------------------------------------------
     def shard(self, index: int, count: int) -> list[TrialSpec]:
         """The deterministic slice of trials shard ``index`` of ``count`` owns."""

@@ -34,6 +34,7 @@ from repro.campaign.spec import CampaignSpec, TrialSpec
 from repro.exceptions import CampaignError
 
 INDEX_NAME = "index.jsonl"
+SPEC_NAME = "spec.json"
 
 #: Trial statuses recorded in the index.
 STATUS_OK = "ok"
@@ -139,11 +140,21 @@ class ResultStore:
         self._lock = threading.Lock()
         #: torn (half-written) index lines skipped by the last read
         self.torn_lines = 0
+        # incremental read state (see poll_records): byte offset of the
+        # last fully consumed index line, the latest-record cache built
+        # from everything consumed so far, and the cost of the last poll
+        self._poll_offset = 0
+        self._poll_latest: dict[str, TrialRecord] = {}
+        self.last_poll_bytes = 0
 
     # -- paths ---------------------------------------------------------------
     @property
     def index_path(self) -> str:
         return os.path.join(self.directory, INDEX_NAME)
+
+    @property
+    def spec_path(self) -> str:
+        return os.path.join(self.directory, SPEC_NAME)
 
     def cache_dir(self) -> str:
         return os.path.join(self.directory, "cache")
@@ -153,14 +164,27 @@ class ResultStore:
 
     # -- the index -----------------------------------------------------------
     def append(self, record: TrialRecord) -> None:
-        """Durably add one finished trial: a single appended JSON line."""
+        """Durably add one finished trial: a single appended JSON line.
+
+        If a crash left the index ending mid-line (a torn append with no
+        newline), the new record starts on a fresh line so the torn tail
+        becomes an ordinary skippable torn line instead of corrupting
+        this record.
+        """
         record.finished_at = record.finished_at or time.time()
         line = json.dumps(record.to_dict(), sort_keys=True, default=str)
         with self._lock:
-            with open(self.index_path, "a") as handle:
-                handle.write(line + "\n")
+            with open(self.index_path, "ab") as handle:
+                if handle.tell() and not self._ends_with_newline():
+                    handle.write(b"\n")
+                handle.write(line.encode() + b"\n")
                 handle.flush()
                 os.fsync(handle.fileno())
+
+    def _ends_with_newline(self) -> bool:
+        with open(self.index_path, "rb") as handle:
+            handle.seek(-1, os.SEEK_END)
+            return handle.read(1) == b"\n"
 
     def records(self) -> list[TrialRecord]:
         """Every valid index record, in append order (duplicates kept)."""
@@ -192,6 +216,64 @@ class ResultStore:
             latest[record.spec_hash] = record
         return latest
 
+    # -- incremental reads ---------------------------------------------------
+    def poll_records(self) -> list[TrialRecord]:
+        """New index records since the last poll — an O(delta) read.
+
+        Reads from the byte offset where the previous poll stopped, so
+        repeated polling (the service tailer, ``status`` loops) costs
+        the appended delta, not the whole history.  Only lines
+        terminated by a newline are consumed: a torn *trailing* line
+        (an append cut off mid-write) stays pending until its writer —
+        or crash recovery — completes or supersedes it.  A terminated
+        but unparseable line is skipped and counted in ``torn_lines``
+        (cumulative across polls, unlike :meth:`records` which resets).
+        ``last_poll_bytes`` records what the poll actually read.
+        """
+        self.last_poll_bytes = 0
+        new_records: list[TrialRecord] = []
+        with self._lock:
+            try:
+                handle = open(self.index_path, "rb")
+            except FileNotFoundError:
+                return []
+            with handle:
+                size = os.fstat(handle.fileno()).st_size
+                if size < self._poll_offset:
+                    # the index shrank (a fresh store in a reused
+                    # directory): start over from the top
+                    self._poll_offset = 0
+                    self._poll_latest = {}
+                handle.seek(self._poll_offset)
+                chunk = handle.read()
+            self.last_poll_bytes = len(chunk)
+            consumed = chunk.rfind(b"\n") + 1
+            if not consumed:
+                return []
+            for line in chunk[:consumed].splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = TrialRecord.from_dict(json.loads(line.decode()))
+                except (ValueError, UnicodeDecodeError):
+                    self.torn_lines += 1
+                    continue
+                new_records.append(record)
+                self._poll_latest[record.spec_hash] = record
+            self._poll_offset += consumed
+        return new_records
+
+    def latest_view(self) -> dict[str, TrialRecord]:
+        """The authoritative view, maintained incrementally.
+
+        Equivalent to :meth:`latest` but costs one :meth:`poll_records`
+        delta read instead of a full index scan, so callers that poll
+        (``status``, the service) stay O(new records).
+        """
+        self.poll_records()
+        return dict(self._poll_latest)
+
     def completed_hashes(self, include_failed: bool = True) -> set[str]:
         """Spec hashes resume should skip.
 
@@ -207,6 +289,45 @@ class ResultStore:
             if record.status != STATUS_INTERRUPTED
             and (include_failed or record.ok)
         }
+
+    # -- the stored spec -----------------------------------------------------
+    def write_spec(self, spec: CampaignSpec) -> str:
+        """Persist the campaign's expanded trial list beside the index.
+
+        The stored form is path-independent — fault schedules and
+        traffic profiles are already canonicalised to their content —
+        so ``repro campaign status <results-dir>`` (and the service)
+        can recover the full matrix, pending trials included, from the
+        results directory alone.
+        """
+        data = {
+            "name": spec.name,
+            "trials": [
+                dict(trial.canonical(), sequence=trial.sequence)
+                for trial in spec
+            ],
+        }
+        temp_path = self.spec_path + ".tmp"
+        with open(temp_path, "w") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+        os.replace(temp_path, self.spec_path)
+        return self.spec_path
+
+    def load_spec(self) -> CampaignSpec:
+        """The campaign spec recovered from the stored trial list."""
+        try:
+            with open(self.spec_path) as handle:
+                data = json.load(handle)
+        except FileNotFoundError:
+            raise CampaignError(
+                "%s has no stored spec (%s): the campaign predates spec "
+                "storage — pass the spec JSON instead" % (self.directory, SPEC_NAME)
+            )
+        except ValueError as exc:
+            raise CampaignError(
+                "stored spec %s is not valid JSON: %s" % (self.spec_path, exc)
+            )
+        return CampaignSpec.from_expanded(data)
 
     # -- per-trial artefacts -------------------------------------------------
     def write_trial_result(self, record: TrialRecord) -> str:
@@ -224,10 +345,14 @@ class ResultStore:
         ``interrupted`` trials (a crashed run recovered by the journal)
         count as pending — they will re-execute on resume — and are
         also listed separately so operators can see *why* they are
-        pending.  ``torn_lines`` counts half-written index lines from
-        the last read, evidence of an unclean stop.
+        pending.  ``torn_lines`` counts half-written index lines seen
+        so far, evidence of an unclean stop.
+
+        Uses the incremental view: repeated status polls read only the
+        index lines appended since the previous call, so polling cost
+        tracks new work, not completed-trial history.
         """
-        latest = self.latest()
+        latest = self.latest_view()
         done, failed, timed_out, interrupted, pending = [], [], [], [], []
         for trial in spec:
             record = latest.get(trial.spec_hash)

@@ -497,6 +497,58 @@ def _add_traffic_options(sub: argparse.ArgumentParser) -> None:
     _add_observability_options(sub, include_profiler=False)
 
 
+def _add_serve_options(sub: argparse.ArgumentParser) -> None:
+    """`repro serve` runs the campaign service, not a single topology."""
+    sub.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: %(default)s)",
+    )
+    sub.add_argument(
+        "--port", type=int, default=8351,
+        help="listen port (default: %(default)s; 0 picks a free port)",
+    )
+    sub.add_argument(
+        "--data-dir", default="service.data", metavar="PATH",
+        help="service state root: job journal, SQLite index, shared "
+        "artifact cache, one results directory per campaign "
+        "(default: %(default)s)",
+    )
+    sub.add_argument(
+        "--db", default=None, metavar="PATH",
+        help="SQLite result index (default: <data-dir>/service.db)",
+    )
+    scheduler = sub.add_argument_group("scheduler")
+    scheduler.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="campaigns to run concurrently (default 2)",
+    )
+    scheduler.add_argument(
+        "--quota", type=int, default=2, metavar="N",
+        help="max concurrently running campaigns per client (default 2)",
+    )
+    scheduler.add_argument(
+        "--aging", type=float, default=30.0, metavar="SECONDS",
+        help="priority aging period: a queued job gains one effective "
+        "priority level per SECONDS waited (default 30)",
+    )
+    runner = sub.add_argument_group("runner")
+    runner.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="trial parallelism within each campaign (default 1)",
+    )
+    runner.add_argument(
+        "--trial-deadline", type=float, default=None, metavar="SECONDS",
+        help="default wall-clock budget per trial (submissions may "
+        "override via options.trial_deadline_s)",
+    )
+    runner.add_argument(
+        "--base-dir", default=None, metavar="PATH",
+        help="resolve relative paths in submitted specs against PATH "
+        "(default: the service's working directory)",
+    )
+    _add_observability_options(sub)
+
+
 #: (name, help text, extra-options wiring); campaign wires itself fully.
 _SUBCOMMANDS = [
     ("info", "print the designed overlay topologies", None),
@@ -518,6 +570,8 @@ _SUBCOMMANDS = [
      _add_perf_options),
     ("traffic", "offer a workload profile to a deployed lab and measure it",
      _add_traffic_options),
+    ("serve", "run the long-running campaign service with a live dashboard",
+     _add_serve_options),
 ]
 
 
@@ -529,7 +583,7 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
     for name, help_text, add_options in _SUBCOMMANDS:
         sub = commands.add_parser(name, help=help_text)
-        if name in ("campaign", "perf", "traffic"):
+        if name in ("campaign", "perf", "traffic", "serve"):
             add_options(sub)
             continue
         _add_common(sub)
@@ -604,6 +658,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         "campaign": _cmd_campaign,
         "perf": _cmd_perf,
         "traffic": _cmd_traffic,
+        "serve": _cmd_serve,
     }[args.command]
     telemetry = Telemetry()
     out = CliOutput(
@@ -1174,8 +1229,17 @@ def _cmd_campaign(args, out: CliOutput) -> int:
     if args.action == "report":
         return _campaign_report(args, out)
     if os.path.isdir(args.spec):
-        raise CampaignError(
-            "campaign %s needs the spec JSON, not a directory" % args.action
+        if args.action != "status":
+            raise CampaignError(
+                "campaign %s needs the spec JSON, not a directory" % args.action
+            )
+        # status on a results directory: the runner stores the expanded
+        # matrix (spec.json) beside the index, so pending trials are
+        # known without the original spec file
+        from repro.campaign import ResultStore
+
+        return _campaign_status(
+            ResultStore(args.spec).load_spec(), args.spec, out
         )
     spec = CampaignSpec.load(args.spec)
     directory = _campaign_directory(args, spec)
@@ -1423,6 +1487,38 @@ def _cmd_perf(args, out: CliOutput) -> int:
         comparisons=[comparison.to_dict() for comparison in comparisons],
         warn_only=args.warn_only,
     )
+    return exit_code
+
+
+def _cmd_serve(args, out: CliOutput) -> int:
+    from repro.service import CampaignService, serve
+
+    service = CampaignService(
+        args.data_dir,
+        workers=args.workers,
+        quota=args.quota,
+        db_path=args.db,
+        jobs=args.jobs,
+        trial_deadline_s=args.trial_deadline,
+        aging_s=args.aging,
+        base_dir=args.base_dir,
+    )
+
+    def banner(server):
+        host, port = server.server_address[:2]
+        out.emit(
+            "serving on http://%s:%d (workers %d, quota %d/client, data %s)"
+            % (host, port, args.workers, args.quota, service.data_dir),
+            host=host,
+            port=port,
+            data_dir=service.data_dir,
+        )
+        for job_id in service.recovered:
+            out.emit("  recovered pending campaign %s" % job_id, job=job_id)
+
+    exit_code = serve(service, host=args.host, port=args.port, banner=banner)
+    out.emit("service stopped")
+    out.result(data_dir=service.data_dir, exit_code=exit_code)
     return exit_code
 
 

@@ -220,3 +220,16 @@ class TrafficError(ReproError):
 
 class TemplateParseError(MeasurementError):
     """A textfsm-lite template definition is malformed."""
+
+
+class ServiceError(ReproError):
+    """The campaign service rejected a request or cannot proceed.
+
+    Carries the HTTP status the API layer should answer with, so the
+    same exception type expresses 'bad submission' (400), 'no such
+    campaign' (404), and server-side failures (500).
+    """
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status

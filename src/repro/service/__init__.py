@@ -1,0 +1,66 @@
+"""``repro.service``: the long-running campaign service.
+
+Submit campaigns over HTTP, share one artifact cache across clients,
+watch trials land live, and survive ``kill -9`` without losing or
+repeating work.  Stdlib only — ``http.server`` + ``sqlite3``.
+
+* :class:`~repro.service.queue.JobQueue` / ``JobJournal`` — quota'd,
+  priority-aged scheduling with a crash-safe submission log;
+* :class:`~repro.service.db.ResultIndex` — incremental SQLite index
+  over the JSONL result stores, with aggregation queries;
+* :class:`~repro.service.api.CampaignService` + ``serve`` — the
+  orchestrator and its REST API;
+* :class:`~repro.service.client.ServiceClient` — the urllib client;
+* :func:`~repro.service.dashboard.render_dashboard` — the live page.
+
+Start one with ``repro serve --port 8351 --data-dir service.data``.
+"""
+
+from repro.service.api import (
+    DB_NAME,
+    CampaignService,
+    EventBus,
+    make_handler,
+    make_server,
+    serve,
+)
+from repro.service.client import ServiceClient
+from repro.service.dashboard import render_dashboard
+from repro.service.db import AGGREGATE_AXES, ResultIndex
+from repro.service.queue import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    JOBS_NAME,
+    PENDING_STATES,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+    JobJournal,
+    JobQueue,
+)
+
+__all__ = [
+    "AGGREGATE_AXES",
+    "CANCELLED",
+    "CampaignService",
+    "DB_NAME",
+    "DONE",
+    "EventBus",
+    "FAILED",
+    "JOBS_NAME",
+    "Job",
+    "JobJournal",
+    "JobQueue",
+    "PENDING_STATES",
+    "QUEUED",
+    "RUNNING",
+    "ResultIndex",
+    "ServiceClient",
+    "TERMINAL_STATES",
+    "make_handler",
+    "make_server",
+    "render_dashboard",
+    "serve",
+]

@@ -1,0 +1,646 @@
+"""The campaign service: orchestrator, REST API, and event stream.
+
+:class:`CampaignService` glues the pieces together — the
+:class:`~repro.service.queue.JobQueue` feeding a pool of worker threads
+that each drive a :class:`~repro.campaign.runner.CampaignRunner` against
+a **shared** :class:`~repro.engine.ArtifactCache` (two clients building
+the same topology pay for it once), an indexer thread tailing every
+campaign's JSONL store into the :class:`~repro.service.db.ResultIndex`,
+and an :class:`EventBus` that turns index progress into long-pollable
+events for the dashboard.
+
+Everything durable is crash-safe by construction: job submissions and
+state transitions land in the fsync'd job journal *before* they take
+effect, trial outcomes land in the campaign layer's own index + trial
+journal.  ``kill -9`` the process and :meth:`CampaignService.start`
+replays the journal, re-enqueues every unfinished job, and the campaign
+layer resumes exactly the pending delta.
+
+The HTTP layer is a thin translation: stdlib ``ThreadingHTTPServer``
+handlers parse the path, call one service method, and serialise the
+answer.  All state lives in :class:`CampaignService`, so tests exercise
+the full API in-process without a socket when they want to.
+
+Routes::
+
+    GET    /                       dashboard (single HTML page)
+    POST   /campaigns              submit a campaign spec (JSON body)
+    GET    /campaigns              every job, newest last
+    GET    /campaigns/<id>         one job + indexed trial counts
+    GET    /campaigns/<id>/trials  indexed trial rows (?status= filters)
+    GET    /campaigns/<id>/topology  d3 export annotated with traffic
+    DELETE /campaigns/<id>         cancel (queued: dequeue; running: token)
+    GET    /aggregate              ?group_by=platform|topology|status|campaign
+    GET    /events                 long-poll ?since=<seq>&timeout=<s>
+    GET    /queue                  scheduler snapshot
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, urlparse
+
+from repro.campaign import CampaignRunner, CampaignSpec
+from repro.exceptions import (
+    CancelledError,
+    ReproError,
+    ServiceError,
+    TerminationRequested,
+)
+from repro.observability import metric_inc, span
+from repro.service.db import ResultIndex
+from repro.service.queue import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    PENDING_STATES,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobJournal,
+    JobQueue,
+)
+
+#: Longest long-poll the events endpoint will hold a connection.
+MAX_POLL_S = 30.0
+DB_NAME = "service.db"
+
+
+class EventBus:
+    """A bounded, sequence-numbered event ring for long-polling.
+
+    Every event gets a monotonically increasing ``seq``; clients poll
+    with the last seq they saw and block until something newer arrives
+    (or the timeout lapses).  The ring keeps the most recent ~2048
+    events — a lagging client that fell off the window learns so from
+    the gap between its ``since`` and the first event returned.
+    """
+
+    def __init__(self, capacity: int = 2048):
+        self.capacity = capacity
+        self._events: list[dict] = []
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._arrival = threading.Condition(self._lock)
+
+    def publish(self, kind: str, **data) -> dict:
+        with self._arrival:
+            self._seq += 1
+            event = {"seq": self._seq, "kind": kind, "at": time.time()}
+            event.update(data)
+            self._events.append(event)
+            if len(self._events) > self.capacity:
+                del self._events[: len(self._events) - self.capacity]
+            self._arrival.notify_all()
+        return event
+
+    def wait_for(self, since: int = 0, timeout: float = 0.0) -> list[dict]:
+        """Events with ``seq > since``, blocking up to ``timeout``."""
+        deadline = time.monotonic() + max(0.0, timeout)
+        with self._arrival:
+            while True:
+                fresh = [e for e in self._events if e["seq"] > since]
+                if fresh:
+                    return fresh
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return []
+                self._arrival.wait(remaining)
+
+    @property
+    def seq(self) -> int:
+        with self._lock:
+            return self._seq
+
+
+class CampaignService:
+    """The long-running orchestrator behind ``repro serve``.
+
+    ``data_dir`` layout::
+
+        data_dir/
+          jobs.jsonl           fsync'd job journal (the restart contract)
+          service.db           derived SQLite result index
+          cache/               artifact cache shared by every campaign
+          campaigns/<job_id>/  one ResultStore per submitted campaign
+    """
+
+    def __init__(
+        self,
+        data_dir: str | os.PathLike,
+        workers: int = 2,
+        quota: int = 2,
+        db_path: str | os.PathLike | None = None,
+        jobs: int = 1,
+        trial_deadline_s: float | None = None,
+        aging_s: float = 30.0,
+        poll_interval_s: float = 0.1,
+        base_dir: str | os.PathLike | None = None,
+    ):
+        from repro.engine import ArtifactCache
+
+        self.data_dir = os.path.abspath(str(data_dir))
+        os.makedirs(self.data_dir, exist_ok=True)
+        self.campaigns_dir = os.path.join(self.data_dir, "campaigns")
+        os.makedirs(self.campaigns_dir, exist_ok=True)
+        self.cache = ArtifactCache(os.path.join(self.data_dir, "cache"))
+        self.workers = max(1, workers)
+        self.default_jobs = max(1, jobs)
+        self.trial_deadline_s = trial_deadline_s
+        self.poll_interval_s = poll_interval_s
+        #: default base_dir for resolving relative paths in submitted
+        #: specs (schedules, traffic profiles); a submission may carry
+        #: its own in ``options["base_dir"]``
+        self.base_dir = str(base_dir) if base_dir else os.getcwd()
+        self.queue = JobQueue(quota=quota, aging_s=aging_s)
+        self.journal = JobJournal(self.data_dir)
+        self.index = ResultIndex(db_path or os.path.join(self.data_dir, DB_NAME))
+        self.events = EventBus()
+        self.started_at = time.time()
+        self._jobs: dict[str, Job] = {}
+        self._jobs_lock = threading.Lock()
+        self._sequence = 0
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self.recovered: list[str] = []
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        """Replay the journal, re-enqueue unfinished jobs, start threads."""
+        for job in self.journal.replay():
+            with self._jobs_lock:
+                self._jobs[job.job_id] = job
+                self._sequence = max(self._sequence, _id_sequence(job.job_id))
+            self.index.upsert_campaign(job.to_dict())
+            if job.state in PENDING_STATES:
+                # cut off mid-flight (or never started): run it again —
+                # the campaign layer's index + trial journal make the
+                # re-run execute exactly the unfinished delta
+                self.recovered.append(job.job_id)
+                self.queue.submit(job)
+                self.journal.state(job)
+                self.index.upsert_campaign(job.to_dict())
+        if self.recovered:
+            self.events.publish("recovered", jobs=list(self.recovered))
+        for number in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name="service-worker-%d" % number,
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        indexer = threading.Thread(
+            target=self._indexer_loop, name="service-indexer", daemon=True
+        )
+        indexer.start()
+        self._threads.append(indexer)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop accepting work, cancel running jobs, join the threads."""
+        self._stop.set()
+        with self._jobs_lock:
+            running = [j for j in self._jobs.values() if j.state == RUNNING]
+        for job in running:
+            job.cancel.cancel("service stopping")
+        self.queue.kick()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads = []
+        self.index.close()
+
+    # -- submission ----------------------------------------------------------
+    def submit(self, spec_data: dict, client: str = "anon", priority: int = 0,
+               options: dict | None = None) -> dict:
+        """Validate, journal, index, and enqueue one campaign."""
+        if self._stop.is_set():
+            raise ServiceError("service is shutting down", status=503)
+        if not isinstance(spec_data, dict):
+            raise ServiceError("campaign spec must be a JSON object")
+        options = dict(options or {})
+        base_dir = str(options.get("base_dir") or self.base_dir)
+        try:
+            spec = CampaignSpec.from_dict(spec_data, base_dir=base_dir)
+        except ReproError as error:
+            raise ServiceError("invalid campaign spec: %s" % error)
+        with self._jobs_lock:
+            self._sequence += 1
+            job_id = "%s-%06d" % (spec.name, self._sequence)
+            job = Job(
+                job_id=job_id,
+                client=str(client or "anon"),
+                campaign=spec.name,
+                spec_data=spec_data,
+                directory=os.path.join(self.campaigns_dir, job_id),
+                priority=int(priority),
+                options=options,
+                total_trials=len(spec.trials),
+                submitted_at=time.time(),
+            )
+            self._jobs[job_id] = job
+        # journal first: the submission exists once it is durable
+        self.journal.submit(job)
+        self.index.upsert_campaign(job.to_dict())
+        self.queue.submit(job)
+        metric_inc("service.submitted")
+        self.events.publish(
+            "submitted", job=job_id, client=job.client,
+            trials=job.total_trials, depth=self.queue.depth(),
+        )
+        return job.to_dict()
+
+    def cancel(self, job_id: str) -> dict:
+        """Cancel a queued job immediately or a running one cooperatively."""
+        job = self._job(job_id)
+        if job.finished:
+            raise ServiceError(
+                "campaign %r already %s" % (job_id, job.state), status=409
+            )
+        dequeued = self.queue.cancel(job_id)
+        if dequeued is not None:
+            dequeued.finished_at = time.time()
+            self.journal.state(dequeued)
+            self.index.upsert_campaign(dequeued.to_dict())
+            self.events.publish("cancelled", job=job_id, was="queued")
+        else:
+            # running: the token is honoured between runner chunks, so
+            # in-flight trials finish and land durably first
+            job.cancel.cancel("cancelled via API")
+            self.events.publish("cancelling", job=job_id, was="running")
+        metric_inc("service.cancelled")
+        return self._job_view(job)
+
+    # -- queries -------------------------------------------------------------
+    def _job(self, job_id: str) -> Job:
+        with self._jobs_lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError("no campaign %r" % job_id, status=404)
+        return job
+
+    def _job_view(self, job: Job) -> dict:
+        view = job.to_dict()
+        view["counts"] = self.index.counts(job.job_id)
+        return view
+
+    def job(self, job_id: str) -> dict:
+        return self._job_view(self._job(job_id))
+
+    def jobs(self) -> list[dict]:
+        with self._jobs_lock:
+            ordered = sorted(
+                self._jobs.values(), key=lambda j: (j.submitted_at, j.job_id)
+            )
+        return [self._job_view(job) for job in ordered]
+
+    def trials(self, job_id: str, status: str | None = None) -> list[dict]:
+        self._job(job_id)
+        return self.index.trials(campaign_id=job_id, status=status)
+
+    def aggregate(self, group_by: str = "platform",
+                  campaign_id: str | None = None) -> dict:
+        if campaign_id is not None:
+            self._job(campaign_id)
+        return {
+            "group_by": group_by,
+            "rows": self.index.aggregate(group_by, campaign_id=campaign_id),
+            "latency": self.index.latency_stats(
+                group_by, campaign_id=campaign_id
+            ),
+            "platform_rollup": self.index.platform_rollup(
+                campaign_id=campaign_id
+            ),
+        }
+
+    def queue_snapshot(self) -> dict:
+        snapshot = self.queue.snapshot()
+        snapshot["events_seq"] = self.events.seq
+        snapshot["uptime_s"] = round(time.time() - self.started_at, 3)
+        snapshot["recovered"] = list(self.recovered)
+        return snapshot
+
+    def topology(self, job_id: str) -> dict:
+        """The job's first topology as an annotated d3 export.
+
+        Links carry the hottest indexed traffic utilization for the
+        dashboard heat-map; nodes carry their group for colouring.
+        """
+        from repro.design import design_network
+        from repro.visualization import annotate_d3, overlay_to_d3
+
+        job = self._job(job_id)
+        base_dir = str(job.options.get("base_dir") or self.base_dir)
+        try:
+            spec = CampaignSpec.from_dict(job.spec_data, base_dir=base_dir)
+        except ReproError as error:
+            raise ServiceError(
+                "cannot rebuild spec for %r: %s" % (job_id, error), status=500
+            )
+        if not spec.trials:
+            raise ServiceError("campaign %r has no trials" % job_id, status=404)
+        trial = spec.trials[0]
+        anm = design_network(
+            _load_topology(trial.topology), rules=tuple(trial.rules)
+        )
+        data = overlay_to_d3(anm["phy"])
+        link_metrics: dict = {}
+        for row in self.trials(job_id):
+            record = self.index.trial_record(job_id, row["spec_hash"])
+            if not record:
+                continue
+            for link_row in (record.get("traffic") or {}).get("links") or []:
+                metrics = link_metrics.setdefault(link_row["link"], {})
+                for key in ("utilization", "flows", "drops"):
+                    value = link_row.get(key)
+                    if value is None:
+                        continue
+                    if key not in metrics or value > metrics[key]:
+                        metrics[key] = value
+        annotate_d3(data, link_metrics=link_metrics)
+        data["campaign"] = job_id
+        return data
+
+    # -- worker / indexer loops ----------------------------------------------
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.queue.claim(timeout=0.2)
+            if job is None:
+                continue
+            if self._stop.is_set():
+                # shutting down: park it back as queued for the restart
+                job.state = QUEUED
+                self.queue.finish(job, QUEUED)
+                break
+            self._run_job(job)
+
+    def _run_job(self, job: Job) -> None:
+        job.started_at = time.time()
+        self.journal.state(job)           # durable "running" before work
+        self.index.upsert_campaign(job.to_dict())
+        self.events.publish("started", job=job.job_id, client=job.client)
+        metric_inc("service.jobs_started")
+        state, error = DONE, None
+        try:
+            with span("service.job", job=job.job_id):
+                base_dir = str(job.options.get("base_dir") or self.base_dir)
+                spec = CampaignSpec.from_dict(job.spec_data, base_dir=base_dir)
+                runner = CampaignRunner(
+                    spec,
+                    directory=job.directory,
+                    jobs=int(job.options.get("jobs", self.default_jobs)),
+                    cache=self.cache,
+                    trial_deadline_s=job.options.get(
+                        "trial_deadline_s", self.trial_deadline_s
+                    ),
+                    cancel=job.cancel,
+                )
+                result = runner.run()
+                job.result = {
+                    "executed": len(result.records),
+                    "skipped": len(result.skipped),
+                    "recovered": len(result.recovered),
+                    "duration_seconds": round(result.duration_seconds, 6),
+                    "cache_hits": result.cache_hits,
+                    "cache_misses": result.cache_misses,
+                }
+        except CancelledError as exc:
+            state, error = CANCELLED, str(exc)
+        except (KeyboardInterrupt, TerminationRequested):
+            # operator shutdown mid-job: leave the job pending so the
+            # journal replays it on restart, and stop the service
+            self.queue.finish(job, QUEUED)
+            self._stop.set()
+            self.queue.kick()
+            return
+        except Exception as exc:            # noqa: BLE001 - job quarantine
+            state, error = FAILED, "%s: %s" % (type(exc).__name__, exc)
+        job.finished_at = time.time()
+        self.queue.finish(job, state, error)
+        self.journal.state(job)
+        self.index.upsert_campaign(job.to_dict())
+        metric_inc("service.jobs_%s" % state)
+        self.events.publish(
+            "finished", job=job.job_id, state=state, error=error,
+            depth=self.queue.depth(),
+        )
+
+    def _indexer_loop(self) -> None:
+        while True:
+            self.index_once()
+            if self._stop.is_set():
+                # one final pass above drained anything the last job
+                # appended after the stop flag went up
+                return
+            self._stop.wait(self.poll_interval_s)
+
+    def index_once(self) -> int:
+        """One indexing sweep over every known campaign; returns #records."""
+        with self._jobs_lock:
+            jobs = list(self._jobs.values())
+        indexed = 0
+        for job in jobs:
+            if not os.path.isdir(job.directory):
+                continue
+            try:
+                fresh = self.index.index_store(job.job_id, job.directory)
+            except Exception as exc:        # noqa: BLE001 - keep indexing
+                metric_inc("service.index_errors")
+                self.events.publish(
+                    "index_error", job=job.job_id, error=str(exc)
+                )
+                continue
+            for record in fresh:
+                indexed += 1
+                self.events.publish(
+                    "trial",
+                    job=job.job_id,
+                    trial=record.trial_id,
+                    spec_hash=record.spec_hash,
+                    status=record.status,
+                    outcome=record.outcome(),
+                    platform=record.platform,
+                )
+        if indexed:
+            metric_inc("service.trials_indexed", indexed)
+        return indexed
+
+
+def _id_sequence(job_id: str) -> int:
+    tail = job_id.rsplit("-", 1)[-1]
+    return int(tail) if tail.isdigit() else 0
+
+
+def _load_topology(source: str):
+    from repro.loader import BUILTIN_TOPOLOGIES, builtin_topology
+    from repro.workflow import load_topology
+
+    if source in BUILTIN_TOPOLOGIES:
+        return builtin_topology(source)
+    return load_topology(source)
+
+
+# -- HTTP layer --------------------------------------------------------------
+def make_handler(service: CampaignService):
+    """The request handler class bound to one service instance."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-service"
+
+        def log_message(self, *args) -> None:   # quiet by default
+            pass
+
+        # -- plumbing ----------------------------------------------------
+        def _json(self, payload, status: int = 200) -> None:
+            body = json.dumps(payload, sort_keys=True, default=str).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _html(self, text: str, status: int = 200) -> None:
+            body = text.encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "text/html; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _body(self) -> dict:
+            length = int(self.headers.get("Content-Length") or 0)
+            if not length:
+                raise ServiceError("request body required")
+            raw = self.rfile.read(length)
+            try:
+                data = json.loads(raw.decode())
+            except ValueError:
+                raise ServiceError("request body is not valid JSON")
+            if not isinstance(data, dict):
+                raise ServiceError("request body must be a JSON object")
+            return data
+
+        def _route(self, method: str) -> None:
+            metric_inc("service.requests")
+            url = urlparse(self.path)
+            parts = [p for p in url.path.split("/") if p]
+            query = {k: v[-1] for k, v in parse_qs(url.query).items()}
+            try:
+                with span("service.request", method=method, path=url.path):
+                    self._dispatch(method, parts, query)
+            except ServiceError as error:
+                self._json({"error": str(error)}, status=error.status)
+            except BrokenPipeError:
+                pass                          # client went away mid-reply
+            except Exception as exc:          # noqa: BLE001 - 500 boundary
+                metric_inc("service.errors")
+                self._json(
+                    {"error": "%s: %s" % (type(exc).__name__, exc)}, status=500
+                )
+
+        def _dispatch(self, method: str, parts: list, query: dict) -> None:
+            if method == "GET" and not parts:
+                from repro.service.dashboard import render_dashboard
+
+                return self._html(render_dashboard(service))
+            if parts and parts[0] == "campaigns":
+                return self._campaigns(method, parts[1:], query)
+            if method == "GET" and parts == ["aggregate"]:
+                return self._json(
+                    service.aggregate(
+                        group_by=query.get("group_by", "platform"),
+                        campaign_id=query.get("campaign"),
+                    )
+                )
+            if method == "GET" and parts == ["events"]:
+                since = int(query.get("since", 0) or 0)
+                timeout = min(
+                    float(query.get("timeout", 0.0) or 0.0), MAX_POLL_S
+                )
+                events = service.events.wait_for(since=since, timeout=timeout)
+                return self._json({
+                    "events": events,
+                    "next": events[-1]["seq"] if events else since,
+                })
+            if method == "GET" and parts == ["queue"]:
+                return self._json(service.queue_snapshot())
+            raise ServiceError(
+                "no route for %s /%s" % (method, "/".join(parts)), status=404
+            )
+
+        def _campaigns(self, method: str, rest: list, query: dict) -> None:
+            if method == "POST" and not rest:
+                data = self._body()
+                submitted = service.submit(
+                    data.get("spec") or data,
+                    client=str(
+                        data.get("client")
+                        or self.headers.get("X-Client")
+                        or "anon"
+                    ),
+                    priority=int(data.get("priority", 0) or 0),
+                    options=data.get("options") or {},
+                )
+                return self._json(submitted, status=202)
+            if method == "GET" and not rest:
+                return self._json({"campaigns": service.jobs()})
+            if not rest:
+                raise ServiceError("no route", status=404)
+            job_id = rest[0]
+            if method == "DELETE" and len(rest) == 1:
+                return self._json(service.cancel(job_id))
+            if method == "GET" and len(rest) == 1:
+                return self._json(service.job(job_id))
+            if method == "GET" and rest[1:] == ["trials"]:
+                return self._json({
+                    "campaign": job_id,
+                    "trials": service.trials(
+                        job_id, status=query.get("status")
+                    ),
+                })
+            if method == "GET" and rest[1:] == ["topology"]:
+                return self._json(service.topology(job_id))
+            raise ServiceError("no route", status=404)
+
+        def do_GET(self) -> None:
+            self._route("GET")
+
+        def do_POST(self) -> None:
+            self._route("POST")
+
+        def do_DELETE(self) -> None:
+            self._route("DELETE")
+
+    return Handler
+
+
+def make_server(service: CampaignService, host: str = "127.0.0.1",
+                port: int = 8351) -> ThreadingHTTPServer:
+    """A ready-to-serve HTTP server bound to ``service``."""
+    server = ThreadingHTTPServer((host, port), make_handler(service))
+    server.daemon_threads = True
+    return server
+
+
+def serve(service: CampaignService, host: str = "127.0.0.1",
+          port: int = 8351, banner=None) -> int:
+    """Run the service until interrupted; returns the exit code."""
+    service.start()
+    server = make_server(service, host=host, port=port)
+    if banner is not None:
+        banner(server)
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        pass
+    except TerminationRequested:
+        server.server_close()
+        service.stop()
+        return 143
+    server.server_close()
+    service.stop()
+    return 0

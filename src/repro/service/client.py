@@ -1,0 +1,150 @@
+"""A tiny urllib client for the campaign service.
+
+Wraps the REST API one method per route, raising
+:class:`~repro.exceptions.ServiceError` with the server's message and
+HTTP status on any error response.  Used by the test-suite and the CI
+smoke job; handy interactively too::
+
+    client = ServiceClient("http://127.0.0.1:8351")
+    job = client.submit(spec_data, client_name="alice")
+    client.wait(job["id"])
+    print(client.aggregate(group_by="platform"))
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Optional
+
+from repro.exceptions import ServiceError
+
+
+class ServiceClient:
+    """Talk to one running campaign service."""
+
+    def __init__(self, base_url: str, client_name: str = "anon",
+                 timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.client_name = client_name
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: dict | None = None, timeout: float | None = None):
+        data = None
+        headers = {"X-Client": self.client_name}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=timeout or self.timeout
+            ) as response:
+                payload = response.read()
+        except urllib.error.HTTPError as error:
+            detail = error.read().decode(errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except ValueError:
+                pass
+            raise ServiceError(
+                "%s %s -> %d: %s" % (method, path, error.code, detail),
+                status=error.code,
+            )
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                "%s %s failed: %s" % (method, path, error.reason), status=503
+            )
+        return json.loads(payload.decode()) if payload else None
+
+    # -- the API -------------------------------------------------------------
+    def submit(self, spec_data: dict, priority: int = 0,
+               options: dict | None = None,
+               client_name: str | None = None) -> dict:
+        """POST /campaigns — returns the accepted job view."""
+        return self._request(
+            "POST",
+            "/campaigns",
+            body={
+                "spec": spec_data,
+                "client": client_name or self.client_name,
+                "priority": priority,
+                "options": options or {},
+            },
+        )
+
+    def jobs(self) -> list:
+        return self._request("GET", "/campaigns")["campaigns"]
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", "/campaigns/%s" % job_id)
+
+    def trials(self, job_id: str, status: str | None = None) -> list:
+        path = "/campaigns/%s/trials" % job_id
+        if status:
+            path += "?status=%s" % status
+        return self._request("GET", path)["trials"]
+
+    def topology(self, job_id: str) -> dict:
+        return self._request("GET", "/campaigns/%s/topology" % job_id)
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", "/campaigns/%s" % job_id)
+
+    def aggregate(self, group_by: str = "platform",
+                  campaign: str | None = None) -> dict:
+        path = "/aggregate?group_by=%s" % group_by
+        if campaign:
+            path += "&campaign=%s" % campaign
+        return self._request("GET", path)
+
+    def events(self, since: int = 0, timeout: float = 0.0) -> dict:
+        """GET /events — long-polls server-side up to ``timeout``."""
+        return self._request(
+            "GET",
+            "/events?since=%d&timeout=%s" % (since, timeout),
+            timeout=timeout + self.timeout,
+        )
+
+    def queue(self) -> dict:
+        return self._request("GET", "/queue")
+
+    # -- conveniences --------------------------------------------------------
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll_s: float = 0.2) -> dict:
+        """Poll until the job reaches a terminal state; returns its view."""
+        deadline = time.monotonic() + timeout
+        while True:
+            view = self.job(job_id)
+            if view["state"] in ("done", "failed", "cancelled"):
+                return view
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    "campaign %r still %s after %.1fs"
+                    % (job_id, view["state"], timeout),
+                    status=504,
+                )
+            time.sleep(poll_s)
+
+    def wait_indexed(self, job_id: str, count: int,
+                     timeout: float = 60.0, poll_s: float = 0.2) -> dict:
+        """Poll until ``count`` trials are indexed for the job."""
+        deadline = time.monotonic() + timeout
+        while True:
+            view = self.job(job_id)
+            if view["counts"].get("indexed", 0) >= count:
+                return view
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    "campaign %r indexed %d/%d trials after %.1fs"
+                    % (job_id, view["counts"].get("indexed", 0), count,
+                       timeout),
+                    status=504,
+                )
+            time.sleep(poll_s)

@@ -1,0 +1,260 @@
+"""The live dashboard: one self-contained HTML page, zero dependencies.
+
+The page is plain vanilla JS against the service's own JSON API — no
+CDN, no build step, works from ``file://``-hostile air-gapped lab
+networks.  It long-polls ``/events`` for liveness, refreshes the
+campaign table and aggregate rollup on every event batch, and draws the
+selected campaign's topology (the same d3-force ``{nodes, links}``
+document ``repro visualize`` exports, annotated with per-link traffic
+metrics) as an SVG with a deterministic circular layout: link width and
+colour follow utilization, so hot links glow red as trials land.
+"""
+
+from __future__ import annotations
+
+import json
+
+_PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro campaign service</title>
+<style>
+  body { font-family: ui-monospace, Menlo, Consolas, monospace;
+         margin: 0; background: #11151c; color: #d8dee9; }
+  header { padding: 10px 16px; background: #1b2330;
+           border-bottom: 1px solid #2e3947; display: flex; gap: 18px;
+           align-items: baseline; flex-wrap: wrap; }
+  header h1 { font-size: 15px; margin: 0; color: #88c0d0; }
+  header .stat { font-size: 12px; color: #9aa5b1; }
+  header .stat b { color: #d8dee9; }
+  main { display: flex; flex-wrap: wrap; gap: 14px; padding: 14px; }
+  section { background: #161c26; border: 1px solid #2e3947;
+            border-radius: 6px; padding: 10px 12px; min-width: 320px;
+            flex: 1 1 360px; }
+  section h2 { font-size: 12px; text-transform: uppercase;
+               letter-spacing: .08em; color: #81a1c1; margin: 0 0 8px; }
+  table { border-collapse: collapse; width: 100%%; font-size: 12px; }
+  th, td { text-align: left; padding: 3px 8px 3px 0;
+           border-bottom: 1px solid #232c3a; }
+  th { color: #9aa5b1; font-weight: normal; }
+  tr.selectable { cursor: pointer; }
+  tr.selected td { background: #223048; }
+  .state-done { color: #a3be8c; }   .state-failed { color: #bf616a; }
+  .state-running { color: #ebcb8b; } .state-queued { color: #81a1c1; }
+  .state-cancelled { color: #9aa5b1; }
+  #events { max-height: 220px; overflow-y: auto; font-size: 11px;
+            color: #9aa5b1; }
+  #events div { padding: 1px 0; }
+  #topology svg { width: 100%%; height: 360px; background: #0d1117;
+                  border-radius: 4px; }
+  .node circle { stroke: #11151c; stroke-width: 1.5px; }
+  .node text { fill: #9aa5b1; font-size: 10px; }
+  #live { width: 8px; height: 8px; border-radius: 50%%;
+          display: inline-block; background: #bf616a; }
+  #live.ok { background: #a3be8c; }
+</style>
+</head>
+<body>
+<header>
+  <h1>repro campaign service</h1>
+  <span class="stat"><span id="live"></span> live</span>
+  <span class="stat">queue <b id="depth">-</b></span>
+  <span class="stat">running <b id="running">-</b></span>
+  <span class="stat">quota <b id="quota">-</b>/client</span>
+  <span class="stat">uptime <b id="uptime">-</b></span>
+</header>
+<main>
+  <section style="flex: 2 1 460px">
+    <h2>Campaigns</h2>
+    <table id="campaigns"><thead><tr>
+      <th>id</th><th>client</th><th>state</th><th>trials</th>
+      <th>ok</th><th>failed</th><th>indexed</th>
+    </tr></thead><tbody></tbody></table>
+  </section>
+  <section>
+    <h2>Aggregate by platform</h2>
+    <table id="aggregate"><thead><tr>
+      <th>platform</th><th>trials</th><th>ok</th><th>failed</th>
+      <th>mean s</th>
+    </tr></thead><tbody></tbody></table>
+  </section>
+  <section style="flex: 2 1 460px">
+    <h2>Topology <span id="topo-title" class="stat"></span></h2>
+    <div id="topology"><svg viewBox="0 0 640 360"></svg></div>
+  </section>
+  <section>
+    <h2>Events</h2>
+    <div id="events"></div>
+  </section>
+</main>
+<script>
+"use strict";
+var since = 0, selected = null;
+var bootstrap = %(bootstrap)s;
+
+function get(path) {
+  return fetch(path).then(function (r) {
+    if (!r.ok) throw new Error(path + " -> " + r.status);
+    return r.json();
+  });
+}
+
+function text(id, value) { document.getElementById(id).textContent = value; }
+
+function renderQueue(q) {
+  text("depth", q.depth); text("running", q.running);
+  text("quota", q.quota); text("uptime", q.uptime_s + "s");
+}
+
+function renderCampaigns(jobs) {
+  var body = document.querySelector("#campaigns tbody");
+  body.innerHTML = "";
+  jobs.forEach(function (job) {
+    if (selected === null) selected = job.id;
+    var row = document.createElement("tr");
+    row.className = "selectable" + (job.id === selected ? " selected" : "");
+    var counts = job.counts || {};
+    [job.id, job.client,
+     {v: job.state, c: "state-" + job.state},
+     job.total_trials, counts.ok || 0, counts.failed || 0,
+     counts.indexed || 0].forEach(function (cell) {
+      var td = document.createElement("td");
+      if (cell && cell.c !== undefined) {
+        td.textContent = cell.v; td.className = cell.c;
+      } else td.textContent = cell;
+      row.appendChild(td);
+    });
+    row.onclick = function () { selected = job.id; refresh(); drawTopology(); };
+    body.appendChild(row);
+  });
+}
+
+function renderAggregate(agg) {
+  var body = document.querySelector("#aggregate tbody");
+  body.innerHTML = "";
+  (agg.rows || []).forEach(function (row) {
+    var tr = document.createElement("tr");
+    [row.platform, row.trials, row.ok, row.failed,
+     row.mean_seconds].forEach(function (cell) {
+      var td = document.createElement("td");
+      td.textContent = cell; tr.appendChild(td);
+    });
+    body.appendChild(tr);
+  });
+}
+
+function heat(u) {           // utilization 0..1+ -> cool blue .. hot red
+  var t = Math.max(0, Math.min(1, u || 0));
+  var r = Math.round(76 + t * (191 - 76));
+  var g = Math.round(120 - t * (120 - 97));
+  var b = Math.round(193 - t * (193 - 106));
+  return "rgb(" + r + "," + g + "," + b + ")";
+}
+
+function drawTopology() {
+  if (!selected) return;
+  get("/campaigns/" + selected + "/topology").then(function (data) {
+    text("topo-title", selected);
+    var svg = document.querySelector("#topology svg");
+    svg.innerHTML = "";
+    var W = 640, H = 360, cx = W / 2, cy = H / 2,
+        radius = Math.min(W, H) / 2 - 40;
+    var pos = {};
+    data.nodes.forEach(function (node, i) {   // deterministic circle
+      var angle = 2 * Math.PI * i / data.nodes.length - Math.PI / 2;
+      pos[node.id] = [cx + radius * Math.cos(angle),
+                      cy + radius * Math.sin(angle)];
+    });
+    var ns = "http://www.w3.org/2000/svg";
+    data.links.forEach(function (link) {
+      var a = pos[link.source], b = pos[link.target];
+      if (!a || !b) return;
+      var util = (link.metrics || {}).utilization || 0;
+      var line = document.createElementNS(ns, "line");
+      line.setAttribute("x1", a[0]); line.setAttribute("y1", a[1]);
+      line.setAttribute("x2", b[0]); line.setAttribute("y2", b[1]);
+      line.setAttribute("stroke", util ? heat(util) : "#2e3947");
+      line.setAttribute("stroke-width", 1 + 4 * Math.min(1, util));
+      var title = document.createElementNS(ns, "title");
+      title.textContent = link.source + " - " + link.target +
+        (util ? " util " + (100 * util).toFixed(1) + "%%" : "");
+      line.appendChild(title);
+      svg.appendChild(line);
+    });
+    var palette = ["#88c0d0", "#a3be8c", "#ebcb8b", "#b48ead", "#d08770"];
+    var groups = {};
+    data.nodes.forEach(function (node) {
+      var p = pos[node.id];
+      if (!(node.group in groups))
+        groups[node.group] = Object.keys(groups).length;
+      var g = document.createElementNS(ns, "g");
+      g.setAttribute("class", "node");
+      var c = document.createElementNS(ns, "circle");
+      c.setAttribute("cx", p[0]); c.setAttribute("cy", p[1]);
+      c.setAttribute("r", 7);
+      c.setAttribute("fill",
+        palette[groups[node.group] %% palette.length]);
+      var t = document.createElementNS(ns, "text");
+      t.setAttribute("x", p[0] + 9); t.setAttribute("y", p[1] + 3);
+      t.textContent = node.id;
+      g.appendChild(c); g.appendChild(t); svg.appendChild(g);
+    });
+  }).catch(function () { text("topo-title", "(unavailable)"); });
+}
+
+function logEvent(event) {
+  var box = document.getElementById("events");
+  var line = document.createElement("div");
+  var stamp = new Date(event.at * 1000).toISOString().slice(11, 19);
+  line.textContent = stamp + " " + event.kind + " " +
+    (event.job || "") + " " + (event.trial || "") + " " +
+    (event.status || event.state || "");
+  box.insertBefore(line, box.firstChild);
+  while (box.childNodes.length > 200) box.removeChild(box.lastChild);
+}
+
+function refresh() {
+  get("/queue").then(renderQueue);
+  get("/campaigns").then(function (data) {
+    renderCampaigns(data.campaigns);
+  });
+  get("/aggregate?group_by=platform").then(renderAggregate);
+}
+
+function poll() {
+  get("/events?since=" + since + "&timeout=25").then(function (data) {
+    document.getElementById("live").className = "ok";
+    (data.events || []).forEach(logEvent);
+    if (data.next > since) { since = data.next; refresh(); drawTopology(); }
+    poll();
+  }).catch(function () {
+    document.getElementById("live").className = "";
+    setTimeout(poll, 2000);
+  });
+}
+
+renderQueue(bootstrap.queue);
+renderCampaigns(bootstrap.campaigns);
+refresh();
+drawTopology();
+poll();
+</script>
+</body>
+</html>
+"""
+
+
+def render_dashboard(service) -> str:
+    """The dashboard page with the current state inlined as bootstrap.
+
+    Inlining means the page shows real data even if JS fetches are slow
+    to land; everything after first paint comes from the JSON API.
+    """
+    bootstrap = {
+        "queue": service.queue_snapshot(),
+        "campaigns": service.jobs(),
+    }
+    blob = json.dumps(bootstrap, sort_keys=True, default=str)
+    # JSON inside <script>: neuter any close-tag sequence, nothing else
+    return _PAGE % {"bootstrap": blob.replace("</", "<\\/")}

@@ -147,8 +147,13 @@ class TrafficReport:
     def to_json(self, max_links: int | None = None) -> str:
         return json.dumps(self.to_dict(max_links=max_links), sort_keys=True)
 
-    def summary(self) -> dict:
-        """The compact form campaign trial records embed."""
+    def summary(self, max_links: int = 8) -> dict:
+        """The compact form campaign trial records embed.
+
+        Carries the busiest ``max_links`` utilization rows so downstream
+        consumers (the service dashboard's topology heat-map) can colour
+        links without re-running the engine.
+        """
         return {
             "profile": self.profile,
             "seed": self.seed,
@@ -161,6 +166,9 @@ class TrafficReport:
                 }
                 for entry in self.classes
             },
+            "links": [
+                row for row in self.links if row["utilization"] > 0
+            ][:max_links],
         }
 
     def format_lines(self, max_links: int = 10) -> list:

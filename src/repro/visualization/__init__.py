@@ -1,13 +1,14 @@
 """Visualization: d3 JSON export, highlighting, SVG/ASCII rendering (§5.6)."""
 
 from repro.visualization.ascii_draw import adjacency_table, overlay_summary, path_diagram
-from repro.visualization.d3_export import anm_to_d3, overlay_to_d3, write_json
+from repro.visualization.d3_export import annotate_d3, anm_to_d3, overlay_to_d3, write_json
 from repro.visualization.highlight import highlight, highlight_trace
 from repro.visualization.render_html import render_svg, write_html
 
 __all__ = [
     "adjacency_table",
     "anm_to_d3",
+    "annotate_d3",
     "highlight",
     "highlight_trace",
     "overlay_summary",

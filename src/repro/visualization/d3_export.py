@@ -19,8 +19,17 @@ def overlay_to_d3(
     overlay: OverlayGraph,
     group_attr: str = "asn",
     attributes: Iterable[str] | None = None,
+    node_metrics: dict | None = None,
+    link_metrics: dict | None = None,
 ) -> dict:
-    """One overlay as a d3-force {nodes, links} document."""
+    """One overlay as a d3-force {nodes, links} document.
+
+    ``node_metrics`` (``{node_id: {metric: value}}``) and
+    ``link_metrics`` (``{(src, dst): {metric: value}}``, matched in
+    either orientation) annotate the export with measurement overlays —
+    traffic utilization, trial-outcome colouring — under a ``metrics``
+    key, which the dashboard heat-maps.
+    """
     nodes = []
     for node in sorted(overlay, key=lambda n: str(n.node_id)):
         payload: dict[str, Any] = {
@@ -47,12 +56,63 @@ def overlay_to_d3(
                 },
             }
         )
-    return {
+    data = {
         "overlay": overlay.overlay_id,
         "directed": overlay.is_directed(),
         "nodes": nodes,
         "links": links,
     }
+    if node_metrics or link_metrics:
+        annotate_d3(data, node_metrics=node_metrics, link_metrics=link_metrics)
+    return data
+
+
+def annotate_d3(
+    data: dict,
+    node_metrics: dict | None = None,
+    link_metrics: dict | None = None,
+) -> dict:
+    """Merge metric annotations into an existing d3 export, in place.
+
+    Node keys are node ids; link keys are ``(source, target)`` pairs or
+    ``"source->target"`` strings, matched in either orientation so
+    per-directed-hop measurements (the traffic engine's utilization
+    rows) land on the undirected display edge.  Metrics accumulate
+    under each element's ``metrics`` dict; annotating twice merges, and
+    a reversed duplicate keeps the larger value (the hotter direction
+    is what a heat-map should show).
+    """
+    for node in data.get("nodes", ()):
+        metrics = (node_metrics or {}).get(node["id"])
+        if metrics:
+            node.setdefault("metrics", {}).update(
+                {str(name): _jsonable(value) for name, value in metrics.items()}
+            )
+    normalised: dict[tuple, dict] = {}
+    for key, metrics in (link_metrics or {}).items():
+        if isinstance(key, str):
+            src, _, dst = key.partition("->")
+        else:
+            src, dst = key
+        normalised.setdefault((str(src), str(dst)), {}).update(metrics)
+    for link in data.get("links", ()):
+        for key in ((link["source"], link["target"]),
+                    (link["target"], link["source"])):
+            metrics = normalised.get(key)
+            if not metrics:
+                continue
+            merged = link.setdefault("metrics", {})
+            for name, value in metrics.items():
+                name = str(name)
+                if (
+                    name in merged
+                    and isinstance(value, (int, float))
+                    and isinstance(merged[name], (int, float))
+                ):
+                    merged[name] = max(merged[name], value)
+                else:
+                    merged[name] = _jsonable(value)
+    return data
 
 
 def anm_to_d3(anm: AbstractNetworkModel, group_attr: str = "asn") -> dict:

@@ -169,3 +169,32 @@ def test_keyboard_interrupt_exits_130(monkeypatch, spec_file, capsys):
     )
     assert main(["campaign", "run", spec_file]) == 130
     assert "interrupted" in capsys.readouterr().err
+
+
+def test_status_accepts_a_results_directory(spec_file, campaign_dir, capsys):
+    """The spec is recoverable from the stored index: `repro campaign
+    status <dir>` needs no spec file at all."""
+    assert main(["campaign", "run", spec_file, "-o", campaign_dir,
+                 "--limit", "1", "--quiet"]) == 0
+    capsys.readouterr()
+    assert main(["campaign", "status", campaign_dir]) == 3
+    out = capsys.readouterr().out
+    assert "campaign cli_matrix" in out
+    assert "3 pending" in out
+    # finish the matrix: the directory view flips to complete/exit 0
+    assert main(["campaign", "run", spec_file, "-o", campaign_dir, "--quiet"]) == 0
+    assert main(["campaign", "status", campaign_dir, "--quiet"]) == 0
+
+
+def test_status_on_a_directory_without_spec_json_explains(tmp_path, capsys):
+    empty = tmp_path / "not_a_campaign"
+    empty.mkdir()
+    assert main(["campaign", "status", str(empty)]) == 2
+    assert "spec" in capsys.readouterr().err
+
+
+def test_run_on_a_directory_is_rejected(spec_file, campaign_dir, capsys):
+    assert main(["campaign", "run", spec_file, "-o", campaign_dir,
+                 "--quiet"]) == 0
+    assert main(["campaign", "run", campaign_dir]) == 2
+    assert "directory" in capsys.readouterr().err

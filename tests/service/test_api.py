@@ -1,0 +1,376 @@
+"""The campaign service end to end: REST API, fairness, cancellation,
+live events, aggregate-vs-report equivalence, and kill -9 recovery.
+
+Everything runs against a real ``ThreadingHTTPServer`` on an ephemeral
+port through the :class:`ServiceClient`, except the crash test, which
+SIGKILLs a subprocess service mid-campaign and restarts on the same
+data directory.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.campaign import ResultStore
+from repro.campaign.report import outcome_table, summary
+from repro.exceptions import ServiceError
+from repro.service import CampaignService, ServiceClient, make_server
+from repro.supervision import TrialJournal
+
+SRC = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+#: A small build-only matrix: four quick trials across two platforms.
+SPEC = {
+    "name": "svc_matrix",
+    "topologies": ["fig5"],
+    "platforms": ["netkit", "cbgp"],
+    "deploy": False,
+    "trials": [
+        {"topology": "fig5", "platform": "netkit",
+         "overrides": {"deploy": False, "max_rounds": 10}},
+        {"topology": "fig5", "platform": "cbgp",
+         "overrides": {"deploy": False, "max_rounds": 12}},
+    ],
+}
+
+
+def slow_spec(name: str, naps: int = 4, nap_s: float = 0.15) -> dict:
+    """A campaign whose every trial sleeps: cancellable mid-flight."""
+    return {
+        "name": name,
+        "topologies": ["fig5"],
+        "platforms": ["netkit"],
+        "deploy": False,
+        "trials": [
+            {"topology": "fig5", "platform": "netkit",
+             "overrides": {"deploy": False, "inject_hang": "build",
+                           "hang_seconds": nap_s, "max_rounds": 10 + n}}
+            for n in range(naps)
+        ],
+    }
+
+
+class Service:
+    """An in-process service + HTTP server on an ephemeral port."""
+
+    def __init__(self, data_dir, **kwargs):
+        kwargs.setdefault("workers", 2)
+        kwargs.setdefault("poll_interval_s", 0.02)
+        self.service = CampaignService(str(data_dir), **kwargs)
+        self.service.start()
+        self.server = make_server(self.service, port=0)
+        self.url = "http://127.0.0.1:%d" % self.server.server_address[1]
+        self._thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True
+        )
+        self._thread.start()
+
+    def client(self, name: str = "anon") -> ServiceClient:
+        return ServiceClient(self.url, client_name=name)
+
+    def close(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        self.service.stop()
+
+
+@pytest.fixture()
+def service(tmp_path):
+    box = Service(tmp_path / "svc")
+    yield box
+    box.close()
+
+
+def test_submit_run_and_query_lifecycle(service):
+    client = service.client("alice")
+    job = client.submit(SPEC)
+    assert job["state"] == "queued"
+    assert job["total_trials"] == 4
+    assert job["client"] == "alice"
+
+    done = client.wait(job["id"])
+    assert done["state"] == "done"
+    assert done["result"]["executed"] == 4
+    done = client.wait_indexed(job["id"], 4)
+    assert done["counts"]["ok"] == 4
+
+    trials = client.trials(job["id"])
+    assert len(trials) == 4
+    assert {t["platform"] for t in trials} == {"netkit", "cbgp"}
+    assert client.trials(job["id"], status="failed") == []
+    assert [j["id"] for j in client.jobs()] == [job["id"]]
+
+    # unknown routes and ids answer with clean errors, not tracebacks
+    with pytest.raises(ServiceError) as missing:
+        client.job("nope")
+    assert missing.value.status == 404
+
+
+def test_invalid_spec_is_rejected_with_400(service):
+    with pytest.raises(ServiceError) as rejected:
+        service.client().submit({"name": "broken"})   # no trials, no matrix
+    assert rejected.value.status == 400
+    assert service.client().jobs() == []
+
+
+def test_aggregate_matches_offline_campaign_report(service):
+    client = service.client()
+    job = client.submit(SPEC)
+    client.wait(job["id"])
+    client.wait_indexed(job["id"], 4)
+
+    records = list(
+        ResultStore(client.job(job["id"])["directory"]).latest().values()
+    )
+    offline_rows = outcome_table(records)
+    offline_summary = summary(records)
+
+    aggregate = client.aggregate(group_by="platform", campaign=job["id"])
+    rollup = aggregate["platform_rollup"]
+    assert len(rollup) == len(offline_rows)
+    for got, expected in zip(rollup, offline_rows):
+        assert got["topology"] == expected["topology"]
+        assert got["platform"] == expected["platform"]
+        assert got["trials"] == expected["trials"]
+        assert got["ok"] == expected["ok"]
+        assert got["failed"] == expected["failed"]
+        assert got["rounds"] == expected["rounds"]
+        assert set(got["outcome"].split("; ")) == set(
+            expected["outcome"].split("; ")
+        )
+        # the index rounds durations to microseconds on the way in
+        assert got["seconds"] == pytest.approx(expected["seconds"], abs=1e-6)
+    assert sum(r["trials"] for r in aggregate["rows"]) == offline_summary["trials"]
+    assert sum(r["ok"] for r in aggregate["rows"]) == offline_summary["ok"]
+    assert sum(r["failed"] for r in aggregate["rows"]) == offline_summary["failed"]
+
+
+def test_two_clients_share_one_artifact_cache(service):
+    """The second client's identical build renders nothing: every
+    artifact comes from the cache the first client warmed."""
+    alice, bob = service.client("alice"), service.client("bob")
+    first = alice.submit(SPEC)
+    alice.wait(first["id"])
+    second = bob.submit(dict(SPEC, name="svc_matrix_again"))
+    view = bob.wait(second["id"])
+    assert view["result"]["cache_misses"] == 0
+    assert view["result"]["cache_hits"] > 0
+
+
+def test_quota_prevents_starvation_between_clients(tmp_path):
+    """A flood of one client's jobs cannot lock out another client:
+    with quota=1 only one flood job may run at a time, so the modest
+    client's single job starts on the second worker immediately."""
+    box = Service(tmp_path / "svc", workers=2, quota=1)
+    try:
+        flood, modest = box.client("flood"), box.client("modest")
+        flooded = [flood.submit(slow_spec("flood_%d" % n)) for n in range(4)]
+        lone = modest.submit(slow_spec("modest"))
+        view = modest.wait(lone["id"], timeout=60)
+        assert view["state"] == "done"
+        # the modest job must not have waited for the flood to drain:
+        # at most one flood job can have finished before it started
+        finished_before = [
+            job for job in flooded
+            if (flood.job(job["id"]).get("finished_at") or float("inf"))
+            <= view["started_at"]
+        ]
+        assert len(finished_before) <= 1, finished_before
+        for job in flooded:
+            flood.wait(job["id"], timeout=120)
+    finally:
+        box.close()
+
+
+def test_cancel_queued_and_running_jobs(tmp_path):
+    box = Service(tmp_path / "svc", workers=1)
+    try:
+        client = box.client()
+        running = client.submit(slow_spec("victim_running", naps=30))
+        queued = client.submit(slow_spec("victim_queued"))
+        # the single worker is busy with the first: the second is queued
+        view = client.cancel(queued["id"])
+        assert view["state"] == "cancelled"
+        # the running job cancels cooperatively between trial chunks:
+        # wait for the first trial to land, then pull the token
+        client.wait_indexed(running["id"], 1, timeout=60)
+        view = client.cancel(running["id"])
+        final = client.wait(running["id"], timeout=60)
+        assert final["state"] == "cancelled"
+        # completed trials landed durably before the cancel took hold
+        store = ResultStore(final["directory"])
+        assert 0 < len(store.latest()) < final["total_trials"]
+        # cancelling a finished job is a conflict, not a crash
+        with pytest.raises(ServiceError) as conflict:
+            client.cancel(running["id"])
+        assert conflict.value.status == 409
+    finally:
+        box.close()
+
+
+def test_events_long_poll_streams_progress(service):
+    client = service.client()
+    job = client.submit(SPEC)
+    seen, since = [], 0
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        batch = client.events(since=since, timeout=5.0)
+        seen.extend(batch["events"])
+        since = batch["next"]
+        kinds = [e["kind"] for e in seen]
+        # the indexer tails the store asynchronously: the last trial
+        # event may land after the job's own finished event
+        if "finished" in kinds and kinds.count("trial") == 4:
+            break
+    kinds = [e["kind"] for e in seen]
+    assert "submitted" in kinds
+    assert "started" in kinds
+    assert kinds.count("trial") == 4
+    assert "finished" in kinds
+    # seqs are strictly increasing: the long-poll cursor never replays
+    seqs = [e["seq"] for e in seen]
+    assert seqs == sorted(set(seqs))
+    trial_events = [e for e in seen if e["kind"] == "trial"]
+    assert all(e["job"] == job["id"] for e in trial_events)
+    assert {e["status"] for e in trial_events} == {"ok"}
+
+
+def test_dashboard_and_queue_endpoints(service):
+    import urllib.request
+
+    client = service.client()
+    job = client.submit(SPEC)
+    client.wait(job["id"])
+    snapshot = client.queue()
+    assert snapshot["depth"] == 0
+    assert snapshot["quota"] == 2
+    page = urllib.request.urlopen(service.url + "/").read().decode()
+    assert "repro campaign service" in page
+    assert "/events?since=" in page
+
+
+def test_topology_endpoint_exports_d3(service):
+    client = service.client()
+    job = client.submit(SPEC)
+    client.wait(job["id"])
+    data = client.topology(job["id"])
+    assert data["campaign"] == job["id"]
+    assert {n["id"] for n in data["nodes"]}
+    assert all({"source", "target"} <= set(l) for l in data["links"])
+
+
+#: Runs a service in a subprocess and SIGKILLs it the instant the wired
+#: trial reaches its chaos stage — a worker thread dies exactly like a
+#: power loss, mid-campaign, with the journal's start intent open.
+KILLER_SERVICE = """
+import os, signal, sys, time
+
+sys.path.insert(0, %(src)r)
+import repro.campaign.runner as runner
+
+def kill9(overrides, stage):
+    if overrides.get("inject_hang") == stage:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+runner._maybe_hang = kill9
+
+import json
+from repro.service import CampaignService
+
+service = CampaignService(%(data_dir)r, workers=1, poll_interval_s=0.02)
+service.start()
+job = service.submit(json.loads(%(spec)r), client="crashme")
+print(job["id"], flush=True)
+time.sleep(300)   # the SIGKILL in the worker thread ends the process
+"""
+
+
+def crash_spec() -> dict:
+    return {
+        "name": "crash",
+        "topologies": ["fig5"],
+        "platforms": ["netkit", "cbgp"],
+        "deploy": False,
+        "trials": [
+            {"topology": "fig5", "platform": "netkit",
+             "overrides": {"deploy": False, "inject_hang": "build",
+                           "hang_seconds": 0.01}},
+        ],
+    }
+
+
+def outcome_view(directory) -> dict:
+    return {
+        record.trial_id: (
+            record.status,
+            record.outcome(),
+            record.convergence,
+            record.reachability,
+        )
+        for record in ResultStore(directory).latest().values()
+    }
+
+
+def test_kill9_restart_resumes_exactly_the_pending_delta(tmp_path):
+    data_dir = str(tmp_path / "svc")
+    spec = crash_spec()
+    driver = KILLER_SERVICE % {
+        "src": SRC, "data_dir": data_dir, "spec": json.dumps(spec),
+    }
+    process = subprocess.run(
+        [sys.executable, "-c", driver], capture_output=True, timeout=300
+    )
+    assert process.returncode == -signal.SIGKILL, process.stderr.decode()
+    job_id = process.stdout.decode().split()[0]
+    job_dir = os.path.join(data_dir, "campaigns", job_id)
+
+    # kill-time state: the healthy trials landed, the in-flight one left
+    # an open start intent in the trial journal
+    latest = ResultStore(job_dir).latest()
+    assert len(latest) == 2
+    assert TrialJournal(job_dir).open_intents() != {}
+
+    # restart on the same data dir: the job journal replays the cut-off
+    # job and the campaign layer re-executes exactly the delta
+    restarted = CampaignService(data_dir, workers=1, poll_interval_s=0.02)
+    restarted.start()
+    try:
+        assert restarted.recovered == [job_id]
+        deadline = time.monotonic() + 120
+        while not restarted.job(job_id)["state"] == "done":
+            assert time.monotonic() < deadline, restarted.job(job_id)
+            time.sleep(0.05)
+        view = restarted.job(job_id)
+        # exactly the one interrupted trial re-ran
+        assert view["result"]["executed"] == 1
+        assert view["result"]["skipped"] == 2
+        assert view["result"]["recovered"] == 1
+        # journal-verified: no intent left open, nothing duplicated
+        assert TrialJournal(job_dir).open_intents() == {}
+        restarted.index_once()   # drain the tail the last append left
+        indexed = restarted.index.trials(job_id)
+        assert len(indexed) == 3
+        assert all(row["status"] == "ok" for row in indexed)
+    finally:
+        restarted.stop()
+
+    # bit-identical to a run that was never killed
+    healthy = Service(tmp_path / "healthy", workers=1)
+    try:
+        client = healthy.client()
+        fresh = client.submit(spec)
+        fresh_view = client.wait(fresh["id"])
+        assert outcome_view(job_dir) == outcome_view(fresh_view["directory"])
+    finally:
+        healthy.close()
+
+    # the append-only history still shows the crash happened
+    history = ResultStore(job_dir).records()
+    assert sum(1 for r in history if r.status == "interrupted") == 1

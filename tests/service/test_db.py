@@ -1,0 +1,181 @@
+"""The SQLite result index: incremental tailing, idempotent upserts,
+aggregation queries."""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import ResultStore, TrialRecord
+from repro.exceptions import ServiceError
+from repro.service import ResultIndex
+
+
+def record(suffix: str, status: str = "ok", platform: str = "netkit",
+           topology: str = "fig5", **extra) -> TrialRecord:
+    return TrialRecord(
+        trial_id="%s@%s-%s" % (topology, platform, suffix),
+        spec_hash="hash-%s" % suffix,
+        status=status,
+        topology=topology,
+        platform=platform,
+        **extra,
+    )
+
+
+def traffic(p50: float, p95: float, p99: float, loss: float = 0.01) -> dict:
+    return {
+        "totals": {"loss_rate": loss},
+        "classes": {
+            "web": {"latency_ms": {"p50": p50, "p95": p95, "p99": p99}},
+            "bulk": {"latency_ms": {"p50": p50 / 2, "p95": p95 / 2,
+                                    "p99": p99 / 2}},
+        },
+    }
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ResultStore(tmp_path / "campaign")
+
+
+def test_index_is_incremental(store):
+    index = ResultIndex()
+    store.append(record("a"))
+    store.append(record("b", status="failed", error="boom"))
+    first = index.index_store("job-1", store.directory)
+    assert [r.spec_hash for r in first] == ["hash-a", "hash-b"]
+    # nothing appended -> nothing re-read, nothing returned
+    assert index.index_store("job-1", store.directory) == []
+    store.append(record("c"))
+    delta = index.index_store("job-1", store.directory)
+    assert [r.spec_hash for r in delta] == ["hash-c"]
+    assert {row["spec_hash"] for row in index.trials("job-1")} == {
+        "hash-a", "hash-b", "hash-c",
+    }
+
+
+def test_offsets_persist_across_index_instances(tmp_path, store):
+    db_path = tmp_path / "service.db"
+    store.append(record("a"))
+    ResultIndex(db_path).index_store("job-1", store.directory)
+    store.append(record("b"))
+    # a fresh index (service restart) resumes from the stored offset
+    reopened = ResultIndex(db_path)
+    delta = reopened.index_store("job-1", store.directory)
+    assert [r.spec_hash for r in delta] == ["hash-b"]
+    assert len(reopened.trials("job-1")) == 2
+
+
+def test_torn_trailing_line_stays_pending(store):
+    index = ResultIndex()
+    store.append(record("a"))
+    with open(store.index_path, "a") as handle:
+        handle.write('{"trial_id": "torn", "spec_')   # power loss mid-write
+    assert [r.spec_hash for r in index.index_store("j", store.directory)] == [
+        "hash-a"
+    ]
+    # the writer recovers: append self-heals the torn tail and the new
+    # record is picked up; the torn fragment never becomes a row
+    store.append(record("b"))
+    delta = index.index_store("j", store.directory)
+    assert [r.spec_hash for r in delta] == ["hash-b"]
+    assert len(index.trials("j")) == 2
+
+
+def test_replayed_records_upsert_not_duplicate(store):
+    """Crash-recovery appends superseding records for re-run trials; the
+    index must converge to one row per (campaign, spec_hash)."""
+    index = ResultIndex()
+    store.append(record("a", status="interrupted"))
+    index.index_store("j", store.directory)
+    store.append(record("a", status="ok"))   # the recovery re-run
+    index.index_store("j", store.directory)
+    rows = index.trials("j")
+    assert len(rows) == 1
+    assert rows[0]["status"] == "ok"
+
+
+def test_reindex_from_scratch_matches(store):
+    index = ResultIndex()
+    store.append(record("a"))
+    store.append(record("b", status="failed", error="x"))
+    index.index_store("j", store.directory)
+    before = index.trials("j")
+    index.reset_offsets()
+    assert index.index_store("j", store.directory) != []
+    assert index.trials("j") == before
+
+
+def test_counts_and_status_filter(store):
+    index = ResultIndex()
+    store.append(record("a"))
+    store.append(record("b", status="failed", error="x"))
+    store.append(record("c"))
+    index.index_store("j", store.directory)
+    assert index.counts("j") == {"ok": 2, "failed": 1, "indexed": 3}
+    assert [r["spec_hash"] for r in index.trials("j", status="failed")] == [
+        "hash-b"
+    ]
+
+
+def test_aggregate_by_platform_and_campaign(store):
+    index = ResultIndex()
+    store.append(record("a", platform="netkit", duration_seconds=1.0))
+    store.append(record("b", platform="netkit", status="failed", error="x",
+                        duration_seconds=3.0))
+    store.append(record("c", platform="cbgp", duration_seconds=2.0))
+    index.index_store("j1", store.directory)
+    rows = {row["platform"]: row for row in index.aggregate("platform")}
+    assert rows["netkit"]["trials"] == 2
+    assert rows["netkit"]["ok"] == 1
+    assert rows["netkit"]["failed"] == 1
+    assert rows["netkit"]["total_seconds"] == pytest.approx(4.0)
+    assert rows["cbgp"]["mean_seconds"] == pytest.approx(2.0)
+    by_campaign = index.aggregate("campaign")
+    assert by_campaign[0]["campaign"] == "j1"
+    assert by_campaign[0]["trials"] == 3
+    with pytest.raises(ServiceError):
+        index.aggregate("nonsense")
+
+
+def test_platform_rollup_shape(store):
+    index = ResultIndex()
+    store.append(record("a", convergence={"status": "converged", "rounds": 4}))
+    store.append(record("b", platform="cbgp",
+                        convergence={"status": "oscillating", "rounds": 9}))
+    index.index_store("j", store.directory)
+    rollup = index.platform_rollup()
+    assert [(row["topology"], row["platform"]) for row in rollup] == [
+        ("fig5", "cbgp"), ("fig5", "netkit"),
+    ]
+    assert all(row["trials"] == 1 for row in rollup)
+
+
+def test_latency_percentiles_come_from_traffic_reports(store):
+    index = ResultIndex()
+    store.append(record("a", traffic=traffic(10.0, 50.0, 90.0, loss=0.02)))
+    store.append(record("b", traffic=traffic(20.0, 60.0, 120.0, loss=0.04)))
+    store.append(record("c"))   # no traffic: excluded from latency stats
+    index.index_store("j", store.directory)
+    stats = index.latency_stats("platform")
+    assert len(stats) == 1
+    row = stats[0]
+    assert row["trials"] == 2
+    # per-trial figures are the worst class; rollup is mean/max of those
+    assert row["latency_ms"]["p50"] == {"mean": 15.0, "max": 20.0}
+    assert row["latency_ms"]["p99"] == {"mean": 105.0, "max": 120.0}
+    assert row["mean_loss_rate"] == pytest.approx(0.03)
+
+
+def test_campaign_metadata_upserts(tmp_path):
+    index = ResultIndex(tmp_path / "db.sqlite")
+    job = {"id": "j1", "campaign": "demo", "client": "alice",
+           "state": "queued", "priority": 1, "submitted_at": 1.0,
+           "total_trials": 4, "directory": "/tmp/j1"}
+    index.upsert_campaign(job)
+    job["state"] = "done"
+    index.upsert_campaign(job)
+    assert len(index.campaigns()) == 1
+    assert index.campaign("j1")["state"] == "done"
+    assert index.campaign("missing") is None

@@ -1,0 +1,193 @@
+"""Scheduling semantics of the service job queue, on a fake clock.
+
+Quota keeps one client from occupying every worker, aging keeps low
+priority work from starving, round-robin breaks ties fairly — all
+asserted deterministically without a single sleep.
+"""
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service import (
+    CANCELLED,
+    DONE,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobJournal,
+    JobQueue,
+)
+
+
+class FakeClock:
+    def __init__(self, value: float = 0.0):
+        self.value = value
+
+    def __call__(self) -> float:
+        return self.value
+
+    def advance(self, delta: float) -> None:
+        self.value += delta
+
+
+def job(job_id: str, client: str = "a", priority: int = 0) -> Job:
+    return Job(
+        job_id=job_id, client=client, spec_data={"name": job_id},
+        directory="/tmp/%s" % job_id, priority=priority,
+    )
+
+
+def test_fifo_within_one_client():
+    queue = JobQueue(quota=4, clock=FakeClock())
+    for name in ("one", "two", "three"):
+        queue.submit(job(name))
+    assert [queue.claim(timeout=0).job_id for _ in range(3)] == [
+        "one", "two", "three",
+    ]
+
+
+def test_higher_priority_jumps_the_line():
+    queue = JobQueue(quota=4, clock=FakeClock())
+    queue.submit(job("routine"))
+    queue.submit(job("urgent", priority=5))
+    assert queue.claim(timeout=0).job_id == "urgent"
+
+
+def test_quota_blocks_a_clients_second_job():
+    queue = JobQueue(quota=1, clock=FakeClock())
+    queue.submit(job("a1", client="alice"))
+    queue.submit(job("a2", client="alice"))
+    queue.submit(job("b1", client="bob"))
+    first = queue.claim(timeout=0)
+    assert first.job_id == "a1"
+    # alice is at quota: her a2 is skipped even though it is older
+    second = queue.claim(timeout=0)
+    assert second.job_id == "b1"
+    # both clients saturated -> nothing claimable
+    assert queue.claim(timeout=0) is None
+    # finishing a1 frees alice's slot
+    queue.finish(first, DONE)
+    assert queue.claim(timeout=0).job_id == "a2"
+
+
+def test_quota_prevents_starvation_between_two_clients():
+    """One enthusiastic client cannot lock out a modest one (the ISSUE
+    acceptance shape, condensed onto a fake clock)."""
+    queue = JobQueue(quota=1, clock=FakeClock())
+    for number in range(5):
+        queue.submit(job("flood-%d" % number, client="flood"))
+    queue.submit(job("modest-1", client="modest"))
+    order = []
+    running = []
+    # two workers draining the queue, jobs finish in claim order
+    for _ in range(6):
+        while len(running) < 2:
+            claimed = queue.claim(timeout=0)
+            if claimed is None:
+                break
+            running.append(claimed)
+            order.append(claimed.job_id)
+        queue.finish(running.pop(0), DONE)
+    assert "modest-1" in order[:2], order
+
+
+def test_aging_lifts_a_starved_job_past_fresh_priorities():
+    clock = FakeClock()
+    queue = JobQueue(quota=4, aging_s=10.0, clock=clock)
+    queue.submit(job("old-low", priority=0))
+    clock.advance(25.0)   # 2.5 aging periods -> effective priority 2.5
+    queue.submit(job("new-high", priority=2))
+    assert queue.claim(timeout=0).job_id == "old-low"
+
+
+def test_ties_rotate_to_the_least_recently_served_client():
+    clock = FakeClock()
+    queue = JobQueue(quota=4, clock=clock)
+    queue.submit(job("a1", client="alice"))
+    queue.submit(job("b1", client="bob"))
+    queue.submit(job("a2", client="alice"))
+    queue.submit(job("b2", client="bob"))
+    clock.advance(1.0)     # every job has waited equally: priorities tie
+    first = queue.claim(timeout=0)
+    assert first.job_id == "a1"
+    # alice's served stamp (1.0) now trails bob's never-served default:
+    # bob's b1 outranks alice's a2 despite identical priorities
+    assert queue.claim(timeout=0).job_id == "b1"
+    assert queue.claim(timeout=0).job_id == "a2"
+    assert queue.claim(timeout=0).job_id == "b2"
+
+
+def test_cancel_removes_a_queued_job():
+    queue = JobQueue(clock=FakeClock())
+    queue.submit(job("victim"))
+    cancelled = queue.cancel("victim")
+    assert cancelled.state == CANCELLED
+    assert queue.claim(timeout=0) is None
+    assert queue.cancel("missing") is None
+
+
+def test_snapshot_reports_effective_priorities():
+    clock = FakeClock()
+    queue = JobQueue(quota=2, aging_s=10.0, clock=clock)
+    queue.submit(job("one", priority=1))
+    clock.advance(5.0)
+    snapshot = queue.snapshot()
+    assert snapshot["depth"] == 1
+    assert snapshot["queued"][0]["effective_priority"] == pytest.approx(1.5)
+
+
+def test_bad_parameters_are_rejected():
+    with pytest.raises(ServiceError):
+        JobQueue(quota=0)
+    with pytest.raises(ServiceError):
+        JobQueue(aging_s=0)
+
+
+# -- the journal -------------------------------------------------------------
+def test_journal_replays_last_known_state(tmp_path):
+    journal = JobJournal(tmp_path)
+    one, two, three = job("one"), job("two"), job("three")
+    for entry in (one, two, three):
+        journal.submit(entry)
+    one.state = RUNNING
+    journal.state(one)
+    one.state = DONE
+    one.result = {"executed": 4}
+    journal.state(one)
+    two.state = RUNNING
+    journal.state(two)   # cut off mid-run: stays pending
+
+    replayed = {j.job_id: j for j in JobJournal(tmp_path).replay()}
+    assert replayed["one"].state == DONE
+    assert replayed["one"].result == {"executed": 4}
+    assert replayed["two"].state == RUNNING
+    assert replayed["three"].state == QUEUED
+    pending = [j.job_id for j in replayed.values()
+               if j.state in (QUEUED, RUNNING)]
+    assert sorted(pending) == ["three", "two"]
+
+
+def test_journal_tolerates_a_torn_final_line(tmp_path):
+    journal = JobJournal(tmp_path)
+    journal.submit(job("whole"))
+    with open(journal.path, "a") as handle:
+        handle.write('{"op": "state", "id": "whole", "sta')  # power loss
+    fresh = JobJournal(tmp_path)
+    replayed = fresh.replay()
+    assert [j.job_id for j in replayed] == ["whole"]
+    assert replayed[0].state == QUEUED
+    assert fresh.torn_lines == 1
+
+
+def test_journal_replay_preserves_spec_and_options(tmp_path):
+    journal = JobJournal(tmp_path)
+    submitted = job("rich", client="carol", priority=3)
+    submitted.options = {"jobs": 2}
+    submitted.total_trials = 7
+    journal.submit(submitted)
+    replayed = JobJournal(tmp_path).replay()[0]
+    assert replayed.client == "carol"
+    assert replayed.priority == 3
+    assert replayed.options == {"jobs": 2}
+    assert replayed.total_trials == 7
+    assert replayed.spec_data == {"name": "rich"}

@@ -1,0 +1,92 @@
+"""Metric annotations on the d3 export: the service dashboard's feed."""
+
+import pytest
+
+from repro.visualization import annotate_d3, overlay_to_d3
+
+
+@pytest.fixture()
+def anm():
+    from repro.design import design_network
+    from repro.loader import small_internet
+
+    return design_network(small_internet())
+
+
+def link_index(data):
+    return {
+        (link["source"], link["target"]): link for link in data["links"]
+    }
+
+
+def test_annotated_export_shape(anm):
+    data = overlay_to_d3(
+        anm["phy"],
+        node_metrics={"as1r1": {"trials_ok": 3, "role": "core"}},
+        link_metrics={("as1r1", "as20r3"): {"utilization": 0.75, "drops": 2}},
+    )
+    nodes = {node["id"]: node for node in data["nodes"]}
+    assert nodes["as1r1"]["metrics"] == {"trials_ok": 3, "role": "core"}
+    assert "metrics" not in nodes["as20r1"]
+    annotated = [link for link in data["links"] if "metrics" in link]
+    assert annotated
+    for link in annotated:
+        assert {link["source"], link["target"]} == {"as1r1", "as20r3"}
+        assert link["metrics"] == {"utilization": 0.75, "drops": 2}
+    # the base shape is untouched: plain consumers keep working
+    assert set(data) >= {"overlay", "nodes", "links"}
+    assert set(data["nodes"][0]) >= {"id", "label", "group"}
+
+
+def test_string_link_keys_match_either_orientation(anm):
+    data = overlay_to_d3(anm["phy"])
+    reference = next(iter(link_index(data)))
+    backwards = "%s->%s" % (reference[1], reference[0])
+    annotate_d3(data, link_metrics={backwards: {"utilization": 0.4}})
+    assert link_index(data)[reference]["metrics"] == {"utilization": 0.4}
+
+
+def test_reversed_duplicates_keep_the_hotter_direction(anm):
+    data = overlay_to_d3(anm["phy"])
+    (a, b) = next(iter(link_index(data)))
+    annotate_d3(
+        data,
+        link_metrics={
+            "%s->%s" % (a, b): {"utilization": 0.2, "flows": 10},
+            "%s->%s" % (b, a): {"utilization": 0.9, "flows": 4},
+        },
+    )
+    merged = link_index(data)[(a, b)]["metrics"]
+    assert merged["utilization"] == 0.9
+    assert merged["flows"] == 10
+
+
+def test_annotating_twice_merges(anm):
+    data = overlay_to_d3(anm["phy"])
+    (a, b) = next(iter(link_index(data)))
+    annotate_d3(data, link_metrics={(a, b): {"utilization": 0.1}})
+    annotate_d3(data, link_metrics={(a, b): {"drops": 5}})
+    assert link_index(data)[(a, b)]["metrics"] == {
+        "utilization": 0.1, "drops": 5,
+    }
+
+
+def test_unknown_ids_are_ignored(anm):
+    data = overlay_to_d3(anm["phy"])
+    before = [dict(link) for link in data["links"]]
+    annotate_d3(
+        data,
+        node_metrics={"ghost": {"x": 1}},
+        link_metrics={("ghost", "phantom"): {"utilization": 1.0}},
+    )
+    assert data["links"] == before
+    assert all("metrics" not in node for node in data["nodes"])
+
+
+def test_export_is_json_serialisable(anm):
+    import json
+
+    data = overlay_to_d3(
+        anm["phy"], link_metrics={("as1r1", "as20r3"): {"utilization": 0.5}}
+    )
+    json.dumps(data)
