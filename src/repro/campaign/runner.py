@@ -827,6 +827,65 @@ def _trial_body(payload: dict, trial: dict, cache, telemetry, record: dict) -> N
                 policy=policy,
                 operation="campaign.deploy",
             )
+    if trial.get("delta"):
+        # Rolling-change trial: the lab booted the *base* design; the
+        # delta is diffed from the rendered trees and applied live (one
+        # incremental reconvergence, no reboot).  verify_live (default
+        # on) boots the edited design fresh and insists the live lab is
+        # bit-identical — a failed check fails the trial.
+        from repro.exceptions import LiveUpdateError
+        from repro.liveupdate import (
+            apply_edits,
+            apply_plan,
+            diff_rendered,
+            parse_edits,
+            verify_equivalence,
+        )
+        from repro.workflow import load_topology, run_experiment
+
+        with phase_scope("liveupdate"):
+            checkpoint("trial.liveupdate")
+            edits = parse_edits(trial["delta"])
+            edited = apply_edits(load_topology(source), edits)
+            target = run_experiment(
+                edited,
+                platform=trial["platform"],
+                rules=tuple(trial["rules"]),
+                output_dir=os.path.join(payload["run_dir"], "rendered_target"),
+                deploy=False,
+                telemetry=telemetry,
+            )
+            plan = diff_rendered(
+                engine.lab_dir, target.render_result.lab_dir,
+            )
+            apply_report = apply_plan(
+                lab, plan,
+                journal_dir=os.path.join(payload["run_dir"], "liveupdate"),
+            )
+            record["liveupdate"] = {
+                "edits": [edit.describe() for edit in edits],
+                "plan": plan.summary(),
+                "operations": len(plan),
+                "by_kind": plan.count_by_kind(),
+                "apply": apply_report.to_dict(),
+            }
+            if overrides.get("verify_live", True):
+                fresh = EmulatedLab.boot(
+                    target.render_result.lab_dir,
+                    max_rounds=max_rounds,
+                    strict=False,
+                    jobs=boot_jobs,
+                    spf_mode=spf_mode,
+                    bgp_mode=bgp_mode,
+                )
+                equivalence = verify_equivalence(lab, fresh)
+                record["liveupdate"]["equivalent"] = equivalence.ok
+                if not equivalence.ok:
+                    raise LiveUpdateError(
+                        "live-applied delta diverged from fresh boot: %s"
+                        % equivalence.summary()
+                    )
+
     if trial.get("schedule"):
         schedule = FaultSchedule.parse(trial["schedule"])
         with telemetry.span("chaos", events=len(schedule)):

@@ -6,7 +6,7 @@ scales (§3.2), what-if incident sweeps — and a campaign spec captures
 one such matrix declaratively.  Its axes::
 
     topologies × platforms × rule_sets × fault_schedules
-               × traffic_profiles × overrides
+               × traffic_profiles × design_deltas × overrides
 
 expand, in deterministic order, into a list of :class:`TrialSpec`
 values.  Every trial carries a stable content hash
@@ -34,7 +34,13 @@ so the trial hash moves when the schedule *content* changes.  The
 ``traffic_profiles`` axis works the same way — ``null``, a path to a
 profile ``.json``, or ``{"inline": {...}}`` — and is canonicalised to
 the profile's sorted JSON text, so trials that offer no traffic keep
-the hashes they had before the axis existed.  The optional ``trials``
+the hashes they had before the axis existed.  The ``design_deltas``
+axis (rolling-change scenarios) follows the same convention: ``null``,
+a path to a design-edit ``.json``, or an inline edit list, canonicalised
+to sorted edit JSON; a trial with a delta boots the base design, then
+live-applies the diff to the edited design instead of rebooting (and,
+under ``verify_live``, checks the result against a fresh boot).  The
+optional ``trials``
 list appends explicit one-off trials after the axis product — the
 idiomatic place for a deliberately fault-injected trial.
 """
@@ -65,6 +71,7 @@ KNOWN_OVERRIDES = (
     "inject_hang",    # force this trial to hang at a stage (chaos hook)
     "hang_seconds",   # how long an injected hang sleeps (float, default 30)
     "trial_deadline_s",  # per-trial wall-clock budget override (float)
+    "verify_live",    # check live-applied delta ≡ fresh boot (bool, default true)
 )
 
 #: Stages ``inject_fault`` may name.
@@ -82,12 +89,14 @@ class TrialSpec:
     overrides: tuple         # sorted (key, value) pairs
     sequence: int = 0        # position in the expansion (sharding order)
     traffic: Optional[str] = None  # canonical traffic-profile JSON text
+    delta: Optional[str] = None    # canonical design-edits JSON text
 
     def canonical(self) -> dict:
         """The hash input: everything that defines the trial's outcome.
 
-        ``traffic`` joins the hash only when set, so pre-existing
-        campaigns (which had no traffic axis) keep their resume keys.
+        ``traffic`` and ``delta`` join the hash only when set, so
+        pre-existing campaigns (which had neither axis) keep their
+        resume keys.
         """
         data = {
             "topology": self.topology,
@@ -98,6 +107,8 @@ class TrialSpec:
         }
         if self.traffic is not None:
             data["traffic"] = self.traffic
+        if self.delta is not None:
+            data["delta"] = self.delta
         return data
 
     @property
@@ -164,6 +175,7 @@ class CampaignSpec:
         rule_sets = data.get("rule_sets") or [list(DEFAULT_RULES)]
         schedules = data.get("fault_schedules") or [None]
         traffic_axis = data.get("traffic_profiles") or [None]
+        delta_axis = data.get("design_deltas") or [None]
         override_axis = data.get("overrides") or [{}]
         defaults = _trial_defaults(data)
 
@@ -177,21 +189,22 @@ class CampaignSpec:
             stall_after_s=_positive_or_none(data, "stall_after_s"),
         )
         cells = [
-            (topology, platform, rules, schedule, traffic, overrides)
+            (topology, platform, rules, schedule, traffic, delta, overrides)
             for topology in topologies
             for platform in platforms
             for rules in rule_sets
             for schedule in schedules
             for traffic in traffic_axis
+            for delta in delta_axis
             for overrides in override_axis
         ]
-        for topology, platform, rules, schedule, traffic, overrides in cells:
+        for topology, platform, rules, schedule, traffic, delta, overrides in cells:
             spec.trials.append(
                 _make_trial(
                     topology, platform, rules, schedule,
                     {**defaults, **_check_overrides(overrides)},
                     base_dir, sequence=len(spec.trials),
-                    traffic=traffic,
+                    traffic=traffic, delta=delta,
                 )
             )
         for extra in data.get("trials") or []:
@@ -208,6 +221,7 @@ class CampaignSpec:
                     {**defaults, **_check_overrides(extra.get("overrides") or {})},
                     base_dir, sequence=len(spec.trials),
                     traffic=extra.get("traffic_profile"),
+                    delta=extra.get("design_delta"),
                 )
             )
         if not spec.trials:
@@ -245,6 +259,7 @@ class CampaignSpec:
                     overrides=tuple(sorted(overrides.items())),
                     sequence=int(entry.get("sequence", position)),
                     traffic=entry.get("traffic"),
+                    delta=entry.get("delta"),
                 )
             )
         return spec
@@ -355,7 +370,7 @@ def _check_overrides(overrides: dict) -> dict:
 
 def _make_trial(
     topology, platform, rules, schedule, overrides: dict,
-    base_dir: str, sequence: int, traffic=None,
+    base_dir: str, sequence: int, traffic=None, delta=None,
 ) -> TrialSpec:
     return TrialSpec(
         topology=str(topology),
@@ -365,6 +380,7 @@ def _make_trial(
         overrides=tuple(sorted(overrides.items())),
         sequence=sequence,
         traffic=_canonical_traffic_profile(traffic, base_dir),
+        delta=_canonical_delta(delta, base_dir),
     )
 
 
@@ -417,6 +433,40 @@ def _canonical_traffic_profile(entry, base_dir: str) -> Optional[str]:
     except (TrafficError, OSError) as exc:
         raise CampaignError("cannot load traffic profile %r: %s" % (entry, exc))
     return profile.to_json()
+
+
+def _canonical_delta(entry, base_dir: str) -> Optional[str]:
+    """Normalise a design-delta axis entry to canonical edits JSON.
+
+    Entries mirror the traffic axis: ``None``, a path to a design-edit
+    ``.json`` (relative to the spec file), an inline edit list, or
+    ``{"inline": [...]}``.  Canonicalising to sorted edit JSON means
+    the trial hash moves exactly when the rolling change itself does.
+    """
+    if entry is None:
+        return None
+    from repro.exceptions import LiveUpdateError
+    from repro.liveupdate import canonical_edits, parse_edits
+
+    try:
+        if isinstance(entry, dict):
+            if set(entry) != {"inline"}:
+                raise CampaignError(
+                    "design delta objects need exactly 'inline': %r" % (entry,)
+                )
+            edits = parse_edits(entry["inline"])
+        elif isinstance(entry, list):
+            edits = parse_edits(entry)
+        elif isinstance(entry, str):
+            path = entry
+            if not os.path.isabs(path) and not path.lstrip().startswith("["):
+                path = os.path.join(base_dir, path)
+            edits = parse_edits(path)
+        else:
+            raise CampaignError("bad design delta entry %r" % (entry,))
+    except (LiveUpdateError, OSError) as exc:
+        raise CampaignError("cannot load design delta %r: %s" % (entry, exc))
+    return canonical_edits(edits)
 
 
 def _read_schedule(path: str, base_dir: str) -> str:

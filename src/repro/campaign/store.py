@@ -64,6 +64,7 @@ class TrialRecord:
     engine: dict = field(default_factory=dict)        # cache_hits / misses / rendered
     profile: dict = field(default_factory=dict)       # collapsed/table paths, samples
     traffic: dict = field(default_factory=dict)       # TrafficReport.summary()
+    liveupdate: dict = field(default_factory=dict)    # rolling-change apply/verify
     run_dir: str = ""
     duration_seconds: float = 0.0
     finished_at: float = 0.0
@@ -105,6 +106,7 @@ class TrialRecord:
             "engine": self.engine,
             "profile": self.profile,
             "traffic": self.traffic,
+            "liveupdate": self.liveupdate,
             "run_dir": self.run_dir,
             "duration_seconds": self.duration_seconds,
             "finished_at": self.finished_at,
@@ -125,6 +127,7 @@ class TrialRecord:
             engine=data.get("engine") or {},
             profile=data.get("profile") or {},
             traffic=data.get("traffic") or {},
+            liveupdate=data.get("liveupdate") or {},
             run_dir=data.get("run_dir", ""),
             duration_seconds=data.get("duration_seconds", 0.0),
             finished_at=data.get("finished_at", 0.0),

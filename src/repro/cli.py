@@ -272,6 +272,62 @@ def _add_visualize_options(sub: argparse.ArgumentParser) -> None:
 
 def _add_diff_options(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("topology_b", help="second topology file or built-in name")
+    plan = sub.add_argument_group("live update")
+    plan.add_argument(
+        "--plan", action="store_true", dest="diff_plan",
+        help="emit a structured DiffPlan of per-device change commands "
+        "(diffed from the rendered config trees) instead of the NIDB "
+        "device diff",
+    )
+    plan.add_argument(
+        "--plan-out", default=None, metavar="FILE",
+        help="write the DiffPlan as canonical JSON to FILE (implies --plan)",
+    )
+
+
+def _add_apply_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "topology_b", nargs="?", default=None,
+        help="target topology file or built-in name (or use --delta)",
+    )
+    live = sub.add_argument_group("live update")
+    live.add_argument(
+        "--delta", default=None, metavar="EDITS",
+        help="design edits as a JSON file or inline JSON list "
+        "(e.g. '[{\"kind\": \"cost\", \"link\": [\"r1\", \"r2\"], "
+        "\"value\": 20}]'); the target design is the source topology "
+        "with these edits applied",
+    )
+    live.add_argument(
+        "--live", action="store_true",
+        help="boot the source design and apply the plan against the "
+        "running lab (default: dry run, print the plan only)",
+    )
+    live.add_argument(
+        "--verify", action="store_true",
+        help="after applying, boot the target design fresh and check the "
+        "live lab is equivalent (RIBs, reachability, verdict); "
+        "implies --live",
+    )
+    live.add_argument(
+        "--rollback", action="store_true",
+        help="after applying (and verifying), apply the inverse plan and "
+        "check the original state is restored; implies --live",
+    )
+    live.add_argument(
+        "--journal", default=None, metavar="DIR", dest="journal_dir",
+        help="write-ahead journal each operation into DIR (checkpointed "
+        "on interrupt, campaign journal format)",
+    )
+    live.add_argument(
+        "--apply-deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the live apply itself (the common "
+        "--deadline bounds the whole command instead)",
+    )
+    live.add_argument(
+        "--plan-out", default=None, metavar="FILE",
+        help="write the DiffPlan as canonical JSON to FILE",
+    )
 
 
 def _add_whatif_options(sub: argparse.ArgumentParser) -> None:
@@ -564,6 +620,8 @@ _SUBCOMMANDS = [
      _add_chaos_options),
     ("diff", "compare the compiled device state of two topologies",
      _add_diff_options),
+    ("apply", "diff two designs and apply the delta to a running lab",
+     _add_apply_options),
     ("campaign", "run a whole experiment matrix with resume and reports",
      _add_campaign_options),
     ("perf", "record, gate and trend benchmark results against baselines",
@@ -587,7 +645,7 @@ def build_parser() -> argparse.ArgumentParser:
             add_options(sub)
             continue
         _add_common(sub)
-        if name in ("deploy", "measure", "whatif", "chaos"):
+        if name in ("deploy", "measure", "whatif", "chaos", "apply"):
             _add_emulation_options(sub)
         if add_options is not None:
             add_options(sub)
@@ -636,7 +694,17 @@ def main(argv: list[str] | None = None) -> int:
         print("terminated", file=sys.stderr)
         return 143
     except BrokenPipeError:
-        # `repro perf report | head` closing stdout early is normal use
+        # `repro perf report | head` (or `repro apply | head` closing a
+        # long plan listing early) is normal use.  Point stdout at
+        # /dev/null *before* closing so the interpreter's shutdown
+        # flush cannot raise a second BrokenPipeError and override the
+        # clean exit code with noise.
+        try:
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, sys.stdout.fileno())
+            os.close(devnull)
+        except OSError:
+            pass
         try:
             sys.stdout.close()
         except OSError:
@@ -655,6 +723,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         "whatif": _cmd_whatif,
         "chaos": _cmd_chaos,
         "diff": _cmd_diff,
+        "apply": _cmd_apply,
         "campaign": _cmd_campaign,
         "perf": _cmd_perf,
         "traffic": _cmd_traffic,
@@ -1160,10 +1229,45 @@ def _cmd_traffic(args, out: CliOutput) -> int:
     return 0
 
 
+def _emit_plan(out: CliOutput, plan, plan_out=None) -> None:
+    """Shared DiffPlan presentation for `repro diff --plan` / `repro apply`."""
+    out.emit("plan: %s" % plan.summary())
+    for line in plan.describe():
+        out.emit("  %s" % line)
+    for change in plan.file_changes:
+        out.emit(
+            "  file %s %s" % (change["status"], change["path"]),
+            before_hash=change.get("before_hash"),
+            after_hash=change.get("after_hash"),
+        )
+    if plan_out:
+        plan.save(plan_out)
+        out.emit("plan written to %s" % plan_out)
+    out.result(
+        plan_summary=plan.summary(),
+        operations=len(plan),
+        by_kind=plan.count_by_kind(),
+        devices=plan.devices(),
+        file_changes=plan.file_changes,
+    )
+
+
 def _cmd_diff(args, out: CliOutput) -> int:
     from repro.compilers import platform_compiler
     from repro.design import design_network
     from repro.nidb import diff_nidbs
+
+    if args.diff_plan or args.plan_out:
+        from repro.liveupdate import diff_designs
+
+        delta = diff_designs(
+            _load(args.topology),
+            _load(args.topology_b),
+            platform=args.platform,
+            rules=tuple(args.rules),
+        )
+        _emit_plan(out, delta.plan, plan_out=args.plan_out)
+        return 0 if delta.plan.is_empty else 1
 
     before = platform_compiler(
         args.platform, design_network(_load(args.topology), rules=tuple(args.rules))
@@ -1193,6 +1297,84 @@ def _cmd_diff(args, out: CliOutput) -> int:
         },
     )
     return 0 if diff.unchanged else 1
+
+
+def _cmd_apply(args, out: CliOutput) -> int:
+    from repro.emulation import EmulatedLab
+    from repro.exceptions import LiveUpdateError
+    from repro.liveupdate import (
+        apply_edits,
+        apply_plan,
+        diff_designs,
+        parse_edits,
+        verify_equivalence,
+    )
+    from repro.observability import span
+
+    graph_a = _load(args.topology)
+    if args.delta:
+        edits = parse_edits(args.delta)
+        for edit in edits:
+            out.emit("edit: %s" % edit.describe())
+        graph_b = apply_edits(graph_a, edits)
+    elif args.topology_b:
+        graph_b = _load(args.topology_b)
+    else:
+        raise LiveUpdateError(
+            "apply needs a target design: TOPOLOGY_B or --delta EDITS"
+        )
+
+    delta = diff_designs(
+        graph_a, graph_b, platform=args.platform, rules=tuple(args.rules),
+    )
+    plan = delta.plan
+    _emit_plan(out, plan, plan_out=args.plan_out)
+
+    live = args.live or args.verify or args.rollback
+    if not live:
+        out.emit("dry run: pass --live to apply against a booted lab")
+        out.result(applied=False)
+        return 0
+
+    boot_options = _boot_options(args)
+    with span("liveupdate.boot_source"):
+        lab = EmulatedLab.boot(delta.old_dir, strict=args.strict, **boot_options)
+    report = apply_plan(
+        lab, plan,
+        journal_dir=args.journal_dir,
+        deadline_s=args.apply_deadline,
+    )
+    out.emit("apply: %s" % report.summary())
+    out.result(applied=True, apply=report.to_dict())
+
+    exit_code = 0
+    if args.verify or args.rollback:
+        with span("liveupdate.boot_oracle"):
+            fresh = EmulatedLab.boot(
+                delta.new_dir, strict=args.strict, **boot_options
+            )
+        equivalence = verify_equivalence(lab, fresh)
+        out.emit("verify: %s" % equivalence.summary())
+        out.result(equivalent=equivalence.ok, mismatches=equivalence.mismatches)
+        if not equivalence.ok:
+            exit_code = 1
+    if args.rollback:
+        rollback_report = apply_plan(
+            lab, plan.inverse(),
+            journal_dir=args.journal_dir,
+            deadline_s=args.apply_deadline,
+        )
+        out.emit("rollback: %s" % rollback_report.summary())
+        with span("liveupdate.boot_original"):
+            original = EmulatedLab.boot(
+                delta.old_dir, strict=args.strict, **boot_options
+            )
+        restored = verify_equivalence(lab, original)
+        out.emit("rollback verify: %s" % restored.summary())
+        out.result(rollback=rollback_report.to_dict(), restored=restored.ok)
+        if not restored.ok:
+            exit_code = 1
+    return exit_code
 
 
 def _campaign_directory(args, spec) -> str:

@@ -189,9 +189,31 @@ class BgpSimulation:
         #: selections, and history snapshots instead of reallocated.
         self._route_pool: dict[BgpRoute, BgpRoute] = {}
         #: Memo for the export->import pipeline (event schedule only).
-        #: Survives ``rebuild``: a fault cycle revisits the same
-        #: selections, and the pipeline is a pure function of its key.
+        #: Survives ``rebuild`` across fault cycles (faults change
+        #: topology, never config), but entries touching a machine
+        #: whose BGP-relevant config changed — a live update moving a
+        #: loopback, router-id, or session policy — are evicted, since
+        #: the pipeline reads those inputs without them being in the
+        #: memo key.
         self._advert_cache: dict[tuple, Optional[BgpRoute]] = {}
+        #: machine -> BGP-relevant config fingerprint at last rebuild.
+        self._machine_config: dict[str, tuple] = {}
+        #: Event-engine state (Adj-RIB-In + contributions) persisted
+        #: from the last *converged* events run.  A later
+        #: ``run(resume_from=...)`` whose seed matches the stored
+        #: fixpoint reuses it and seeds the queues with only the dirty
+        #: machines instead of re-advertising every table.
+        self._event_state: Optional[dict] = None
+        #: Machines whose BGP inputs (config, sessions, originations,
+        #: IGP view) changed since that state was stored; ``None``
+        #: means unbounded — the machine set itself changed — which
+        #: forces the full-sweep resume.
+        self._resume_dirty: Optional[set[str]] = set()
+        self._prev_machines: Optional[frozenset[str]] = None
+        self._prev_devices: dict[str, object] = {}
+        #: machine -> session fingerprint at last rebuild.
+        self._session_config: dict[str, tuple] = {}
+        self.local_routes: dict[str, dict] = {}
         self.rebuild(network)
 
     def rebuild(self, network: Optional[EmulatedNetwork] = None) -> None:
@@ -218,8 +240,127 @@ class BgpSimulation:
         self.sessions = {}
         #: (local machine, peer machine) -> the local side's neighbor intent.
         self._intent_of: dict[tuple[str, str], BgpNeighborIntent] = {}
+        old_local = self.local_routes
+        old_sessions = self._session_config
         self._build_sessions()
         self.local_routes = self._originate()
+        config_changed = self._evict_stale_adverts()
+        self._track_dirty(old_local, old_sessions, config_changed)
+
+    def _machine_fingerprint(self, name: str, device) -> tuple:
+        """Every config input the export->import pipeline reads for one
+        machine that is *not* part of the advert-cache key: the vendor
+        (default local-pref), the loopback (iBGP next-hop-self and
+        fallback next hops), and the full BGP stanza (ASN for loop
+        checks and prepending, router-id stamping, per-neighbor
+        policy)."""
+        bgp = device.bgp
+        return (
+            self._vendor_overrides.get(name, device.vendor),
+            str(device.loopback),
+            None
+            if bgp is None
+            else (
+                bgp.asn,
+                bgp.router_id,
+                tuple(repr(neighbor) for neighbor in bgp.neighbors),
+            ),
+        )
+
+    def _evict_stale_adverts(self) -> set[str]:
+        """Drop memoised adverts that touch reconfigured machines.
+
+        Fault cycles leave every fingerprint identical (topology
+        changes, config does not), so the memo survives them intact;
+        a live update evicts exactly the senders/receivers it rewrote.
+        A machine that vanished keeps its entries — they can only be
+        looked up again if it returns (node_up) with the same config,
+        in which case they are still exact.  Returns the machines whose
+        fingerprint changed, which also feeds the resume dirty set.
+        """
+        previous = self._machine_config
+        config = {}
+        for name, device in self.network.machines.items():
+            # Same intent object as last rebuild -> same fingerprint;
+            # only replaced devices pay the repr of their BGP stanza.
+            if name in previous and self._prev_devices.get(name) is device:
+                config[name] = previous[name]
+            else:
+                config[name] = self._machine_fingerprint(name, device)
+        changed = {
+            name
+            for name, fingerprint in config.items()
+            if name in previous and previous[name] != fingerprint
+        }
+        self._machine_config = dict(previous)
+        self._machine_config.update(config)
+        if changed and self._advert_cache:
+            evicted = [
+                key
+                for key in self._advert_cache
+                if key[0] in changed or key[1] in changed
+            ]
+            for key in evicted:
+                del self._advert_cache[key]
+            metric_inc("bgp.advert_cache_evicted", len(evicted))
+        return changed
+
+    def _track_dirty(
+        self,
+        old_local: dict[str, dict],
+        old_sessions: dict[str, tuple],
+        config_changed: set[str],
+    ) -> None:
+        """Accumulate the machines whose BGP inputs this rebuild moved.
+
+        A machine is dirty when its config fingerprint, session set,
+        local originations, or IGP view changed since the last
+        completed run stored its event state — exactly the inputs the
+        decision process and the export->import pipeline read.  A
+        change to the machine set itself defeats the bookkeeping
+        (``None``: the next resume falls back to the full sweep).
+        """
+        self._session_config = {
+            name: tuple(
+                (session.peer, str(session.intent.peer_ip), session.is_ebgp)
+                for session in session_list
+            )
+            for name, session_list in self.sessions.items()
+        }
+        igp_dirty = self.igp.consume_dirty_sources()
+        machines = frozenset(self.network.machines)
+        if self._prev_machines is not None and machines != self._prev_machines:
+            self._resume_dirty = None
+        elif self._resume_dirty is not None:
+            local_changed = {
+                name
+                for name in set(old_local) | set(self.local_routes)
+                if old_local.get(name) != self.local_routes.get(name)
+            }
+            session_changed = {
+                name
+                for name in set(old_sessions) | set(self._session_config)
+                if old_sessions.get(name) != self._session_config.get(name)
+            }
+            # A replaced intent object means *some* edit landed on the
+            # machine; fault cycles rebuild the network around the same
+            # objects, so this only fires for genuine config deltas —
+            # including ones the fingerprints above are too coarse to
+            # see (an interface address moving within its prefix).
+            replaced = {
+                name
+                for name, device in self.network.machines.items()
+                if self._prev_devices.get(name) is not device
+            }
+            self._resume_dirty |= (
+                config_changed
+                | session_changed
+                | local_changed
+                | replaced
+                | (igp_dirty & machines)
+            )
+        self._prev_machines = machines
+        self._prev_devices = dict(self.network.machines)
 
     # -- setup ------------------------------------------------------------------
     def _build_sessions(self) -> None:
@@ -657,24 +798,72 @@ class BgpSimulation:
         history: list[dict] = []
         messages = 0
 
-        #: receiver -> prefix -> sender -> imported route.
-        rib_in: dict[str, dict] = {name: {} for name in self.network.machines}
-        #: (sender, prefix) -> {peer: imported route} currently in RIBs.
-        contributions: dict[tuple, dict] = {}
-        # Every seeded selection is an unsent update; resumed learned
-        # routes must also be re-decided (the reference drops them
-        # unless re-delivered), so seed the decide queue with them.
-        pending_exports = {
-            (name, prefix)
-            for name, table in selected.items()
-            for prefix in table
-        }
-        pending_decides = {
-            (name, prefix)
-            for name, table in selected.items()
-            for prefix, route in table.items()
-            if route.learned_via != "local"
-        }
+        saved = self._event_state
+        # A partially-run schedule's RIBs are useless to a later
+        # resume; drop the stored state now and put back a fresh one
+        # only when this run reaches a fixpoint.
+        self._event_state = None
+        dirty = self._resume_dirty
+        incremental = (
+            resume_from is not None
+            and saved is not None
+            and dirty is not None
+            and selected == saved["selected"]
+        )
+        if incremental:
+            # The stored Adj-RIB-In is exact for every machine outside
+            # ``dirty`` — config, sessions, originations, and IGP view
+            # all unchanged since the fixpoint — so only dirty machines
+            # re-advertise and re-decide.  Their neighbors' tables must
+            # also be re-sent *towards* them (the receiving side's
+            # import policy or session addressing may be what changed),
+            # and exports the fixpoint round left queued (selection
+            # changes invisible to the state key) still go out.
+            rib_in = saved["rib_in"]
+            contributions = saved["contributions"]
+            senders_to: dict[str, set] = {}
+            for sender, session_list in self.sessions.items():
+                for session in session_list:
+                    senders_to.setdefault(session.peer, set()).add(sender)
+            resend = set(dirty)
+            for receiver in dirty:
+                resend.update(senders_to.get(receiver, ()))
+            pending_exports = set(saved["pending_exports"])
+            pending_exports.update(
+                (name, prefix)
+                for name in resend
+                for prefix in selected.get(name, {})
+            )
+            pending_decides = {
+                (name, prefix)
+                for name in dirty
+                for prefix in set(selected.get(name, {}))
+                | set(rib_in.get(name, {}))
+                | set(self.local_routes.get(name, {}))
+            }
+            metric_inc("bgp.resume_incremental")
+            metric_observe("bgp.resume_dirty", len(dirty))
+        else:
+            #: receiver -> prefix -> sender -> imported route.
+            rib_in = {name: {} for name in self.network.machines}
+            #: (sender, prefix) -> {peer: imported route} currently in RIBs.
+            contributions = {}
+            # Every seeded selection is an unsent update; resumed learned
+            # routes must also be re-decided (the reference drops them
+            # unless re-delivered), so seed the decide queue with them.
+            pending_exports = {
+                (name, prefix)
+                for name, table in selected.items()
+                for prefix in table
+            }
+            pending_decides = {
+                (name, prefix)
+                for name, table in selected.items()
+                for prefix, route in table.items()
+                if route.learned_via != "local"
+            }
+            if resume_from is not None:
+                metric_inc("bgp.resume_full")
 
         for round_index in range(max_rounds + 1):
             # Queue depth per round is *the* visibility into what the
@@ -689,6 +878,18 @@ class BgpSimulation:
             if state in seen:
                 period = round_index - seen[state]
                 converged = period == 1
+                if converged:
+                    # The fixpoint's RIBs seed the next resume: decide
+                    # can swap a selection for an equal-ranking route
+                    # the state key cannot see, so exports it queued on
+                    # the final round ride along for replay.
+                    self._event_state = {
+                        "rib_in": rib_in,
+                        "contributions": contributions,
+                        "selected": selected,
+                        "pending_exports": pending_exports,
+                    }
+                    self._resume_dirty = set()
                 return BgpResult(
                     converged=converged,
                     oscillating=not converged,

@@ -148,12 +148,18 @@ class EmulatedNetwork:
 
     def owner_of(self, address) -> Optional[str]:
         """Machine name owning an address, or None."""
-        address = ipaddress.ip_address(str(address))
+        if not isinstance(
+            address, (ipaddress.IPv4Address, ipaddress.IPv6Address)
+        ):
+            address = ipaddress.ip_address(str(address))
         entry = self._address_map.get(address)
         return entry[0] if entry else None
 
     def interface_owning(self, address) -> Optional[tuple[str, InterfaceIntent]]:
-        address = ipaddress.ip_address(str(address))
+        if not isinstance(
+            address, (ipaddress.IPv4Address, ipaddress.IPv6Address)
+        ):
+            address = ipaddress.ip_address(str(address))
         return self._address_map.get(address)
 
     def segments_of(self, machine: str) -> list[Segment]:

@@ -108,7 +108,16 @@ class IgpState:
         self._route_deps: dict[str, frozenset] = {}
         #: source -> connected-network fingerprint at compute time.
         self._route_connected: dict[str, tuple] = {}
+        #: source -> {address: cost} memo for cost_to_address; lives
+        #: and dies with the source's entry in the routes cache.
+        self._cost_memo: dict[str, dict] = {}
+        #: source -> [(version, shift, netint, metric)] — the source's
+        #: route table as integer masks; same lifetime as the memo.
+        self._route_match: dict[str, list] = {}
         self._dep_collector: Optional[set] = None
+        #: Machines whose IGP view may differ from the last time the
+        #: BGP layer consumed this set (see consume_dirty_sources).
+        self._bgp_dirty_sources: set[str] = set(network.machines)
         self._build_adjacency()
 
     def rebuild(self, network: Optional[EmulatedNetwork] = None) -> None:
@@ -144,6 +153,9 @@ class IgpState:
         self._routes_cache.clear()
         self._route_deps.clear()
         self._route_connected.clear()
+        self._cost_memo.clear()
+        self._route_match.clear()
+        self._bgp_dirty_sources |= set(self.network.machines)
 
     def _advertised_fingerprint(self) -> dict[str, tuple]:
         """Per-machine advertised prefixes — route tables depend on all."""
@@ -201,18 +213,42 @@ class IgpState:
             elif self._route_deps.get(source, frozenset()) & dropped:
                 stale = True
             else:
-                connected = tuple(self.network.connected_networks(source))
-                stale = connected != self._route_connected.get(source)
+                stale = (
+                    self._local_fingerprint(source)
+                    != self._route_connected.get(source)
+                )
             if stale:
                 invalidated_routes += 1
                 del self._routes_cache[source]
                 self._route_deps.pop(source, None)
                 self._route_connected.pop(source, None)
+                self._cost_memo.pop(source, None)
+                self._route_match.pop(source, None)
         metric_inc("ospf.routes_invalidated", invalidated_routes)
         metric_inc("ospf.routes_retained", len(self._routes_cache))
         # the single number the incremental-vs-full comparison needs:
         # total cache entries dropped by this topology event
         metric_inc("ospf.invalidations", len(dropped) + invalidated_routes)
+        # Anything not in the routes cache after invalidation — dropped
+        # just now or never computed — may see a different IGP; every
+        # retained source's table is provably identical.
+        self._bgp_dirty_sources |= (
+            set(self.network.machines) - set(self._routes_cache)
+        )
+
+    def consume_dirty_sources(self) -> set[str]:
+        """Machines whose IGP view may have changed since the last call.
+
+        The BGP layer keys its incremental resume on this set: a
+        machine listed here must re-run its decision process, while
+        every other machine's next-hop costs and reachability are
+        guaranteed unchanged.  Consuming clears the accumulator, so
+        successive ``rebuild`` calls between two consumers add up
+        rather than overwrite.
+        """
+        dirty = self._bgp_dirty_sources
+        self._bgp_dirty_sources = set()
+        return dirty
 
     # -- topology --------------------------------------------------------------
     def _build_adjacency(self) -> None:
@@ -479,10 +515,19 @@ class IgpState:
             previous_collector.update(deps)
         self._routes_cache[source] = table
         self._route_deps[source] = frozenset(deps)
-        self._route_connected[source] = tuple(
-            self.network.connected_networks(source)
-        )
+        self._route_connected[source] = self._local_fingerprint(source)
         return table
+
+    def _local_fingerprint(self, source: str) -> tuple:
+        """Everything ``cost_to_address`` reads from the source itself:
+        its connected networks and its owned addresses.  An address
+        move that keeps the prefix intact must still invalidate the
+        source's cached answers."""
+        device = self.network.device(source)
+        return (
+            tuple(self.network.connected_networks(source)),
+            tuple(sorted(str(a) for a in device.addresses())),
+        )
 
     def _compute_routes(self, source: str) -> dict[ipaddress.IPv4Network, IgpRoute]:
         connected = set(self.network.connected_networks(source))
@@ -525,18 +570,50 @@ class IgpState:
 
         The BGP decision process uses this as the "lowest IGP metric to
         the next hop" step; ``None`` means the next hop is unresolvable
-        and the route is invalid.
+        and the route is invalid.  Answers are memoised per source and
+        dropped exactly when that source's route table is invalidated,
+        so repeated resolutions across reconvergence cycles are O(1)
+        for every machine the topology delta did not touch.
         """
-        address = ipaddress.ip_address(str(address))
+        if not isinstance(
+            address, (ipaddress.IPv4Address, ipaddress.IPv6Address)
+        ):
+            address = ipaddress.ip_address(str(address))
+        memo = self._cost_memo.setdefault(source, {})
+        try:
+            return memo[address]
+        except KeyError:
+            pass
         source_device = self.network.device(source)
-        if source_device.owns_address(address):
-            return 0
-        for network_ in self.network.connected_networks(source):
-            if address in network_:
-                return 0
         best: Optional[int] = None
-        for prefix, route in self.routes(source).items():
-            if address in prefix:
-                if best is None or route.metric < best:
-                    best = route.metric
+        if source_device.owns_address(address) or any(
+            address in network_
+            for network_ in self.network.connected_networks(source)
+        ):
+            best = 0
+        else:
+            # The route table rendered down to integer masks once,
+            # then every lookup is shift-and-compare — the decision
+            # process resolves thousands of next hops against the same
+            # table during one reconvergence.
+            match = self._route_match.get(source)
+            if match is None:
+                match = [
+                    (
+                        prefix.version,
+                        prefix.max_prefixlen - prefix.prefixlen,
+                        int(prefix.network_address)
+                        >> (prefix.max_prefixlen - prefix.prefixlen),
+                        route.metric,
+                    )
+                    for prefix, route in self.routes(source).items()
+                ]
+                self._route_match[source] = match
+            addr_int = int(address)
+            version = address.version
+            for route_version, shift, net, metric in match:
+                if route_version == version and (addr_int >> shift) == net:
+                    if best is None or metric < best:
+                        best = metric
+        memo[address] = best
         return best

@@ -218,6 +218,16 @@ class TrafficError(ReproError):
     """A traffic profile is malformed or a traffic run cannot proceed."""
 
 
+class LiveUpdateError(ReproError):
+    """A DiffPlan is malformed, stale, or cannot be applied live.
+
+    Raised when two lab trees cannot be diffed (platform mismatch),
+    when a plan's recorded preconditions no longer match the running
+    lab (the lab drifted since the plan was computed), or when a
+    live-applied lab fails its equivalence check against a fresh boot.
+    """
+
+
 class TemplateParseError(MeasurementError):
     """A textfsm-lite template definition is malformed."""
 

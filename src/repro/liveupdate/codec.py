@@ -1,0 +1,275 @@
+"""Canonical dict codecs for the parsed device intent.
+
+The diff and apply layers never compare :mod:`repro.emulation.intent`
+dataclasses directly — they round-trip every device through the plain
+dict form defined here.  The codec is the equivalence contract of the
+whole subsystem: two devices are "the same configuration" exactly when
+their canonical dicts are equal, and a :class:`~repro.liveupdate.plan.
+DiffPlan` applied to the old dict must reproduce the new dict
+bit-for-bit (the differ verifies this by simulation before emitting a
+plan).
+
+Addresses and networks are encoded as strings so the dicts are
+JSON-serialisable (plans are stored as golden snapshots); list order is
+*preserved*, not sorted — the emulation engines see intent lists in
+parser order, so a live-updated intent must match a freshly parsed one
+including ordering.
+"""
+
+from __future__ import annotations
+
+import copy
+import ipaddress
+from typing import Optional
+
+from repro.emulation.intent import (
+    BgpIntent,
+    BgpNeighborIntent,
+    DeviceIntent,
+    DnsIntent,
+    DnsZoneIntent,
+    InterfaceIntent,
+    IsisIntent,
+    LabIntent,
+    OspfIntent,
+)
+
+__all__ = [
+    "device_from_dict",
+    "device_to_dict",
+    "lab_devices_from_dicts",
+    "lab_devices_to_dicts",
+]
+
+
+def _addr(value) -> Optional[str]:
+    return None if value is None else str(value)
+
+
+# ---------------------------------------------------------------------------
+# encode
+# ---------------------------------------------------------------------------
+
+def _interface_to_dict(interface: InterfaceIntent) -> dict:
+    return {
+        "name": interface.name,
+        "ip_address": _addr(interface.ip_address),
+        "prefixlen": interface.prefixlen,
+        "collision_domain": interface.collision_domain,
+        "is_loopback": interface.is_loopback,
+        "is_management": interface.is_management,
+        "ospf_cost": interface.ospf_cost,
+        "ipv6_address": _addr(interface.ipv6_address),
+        "ipv6_prefixlen": interface.ipv6_prefixlen,
+    }
+
+
+def _ospf_to_dict(ospf: OspfIntent) -> dict:
+    return {
+        "process_id": ospf.process_id,
+        "router_id": ospf.router_id,
+        "networks": [[str(network), area] for network, area in ospf.networks],
+        "interface_costs": {
+            name: cost for name, cost in sorted(ospf.interface_costs.items())
+        },
+    }
+
+
+def _isis_to_dict(isis: IsisIntent) -> dict:
+    return {
+        "process_id": isis.process_id,
+        "net": isis.net,
+        "interface_metrics": {
+            name: metric for name, metric in sorted(isis.interface_metrics.items())
+        },
+    }
+
+
+def _neighbor_to_dict(neighbor: BgpNeighborIntent) -> dict:
+    return {
+        "peer_ip": str(neighbor.peer_ip),
+        "remote_asn": neighbor.remote_asn,
+        "update_source": neighbor.update_source,
+        "next_hop_self": neighbor.next_hop_self,
+        "rr_client": neighbor.rr_client,
+        "local_pref_in": neighbor.local_pref_in,
+        "med_out": neighbor.med_out,
+        "prepend_out": neighbor.prepend_out,
+        "communities_out": list(neighbor.communities_out),
+        "deny_out": [str(entry) for entry in neighbor.deny_out],
+        "deny_in": [str(entry) for entry in neighbor.deny_in],
+        "description": neighbor.description,
+    }
+
+
+def _bgp_to_dict(bgp: BgpIntent) -> dict:
+    return {
+        "asn": bgp.asn,
+        "router_id": bgp.router_id,
+        "networks": [str(network) for network in bgp.networks],
+        "neighbors": [_neighbor_to_dict(neighbor) for neighbor in bgp.neighbors],
+    }
+
+
+def _dns_to_dict(dns: DnsIntent) -> dict:
+    return {
+        "is_server": dns.is_server,
+        "zones": [
+            {
+                "origin": zone.origin,
+                "records": dict(sorted(zone.records.items())),
+                "ptr_records": dict(sorted(zone.ptr_records.items())),
+            }
+            for zone in dns.zones
+        ],
+        "resolver": dns.resolver,
+        "domain": dns.domain,
+    }
+
+
+def device_to_dict(device: DeviceIntent) -> dict:
+    """The canonical, JSON-clean form of one device's intent."""
+    return {
+        "name": device.name,
+        "vendor": device.vendor,
+        "hostname": device.hostname,
+        "interfaces": [_interface_to_dict(i) for i in device.interfaces],
+        "ospf": _ospf_to_dict(device.ospf) if device.ospf else None,
+        "isis": _isis_to_dict(device.isis) if device.isis else None,
+        "bgp": _bgp_to_dict(device.bgp) if device.bgp else None,
+        "dns": _dns_to_dict(device.dns) if device.dns else None,
+        "rpki_role": device.rpki_role,
+        "rpki_config": copy.deepcopy(device.rpki_config),
+        "igp_domain": device.igp_domain,
+        "boot_errors": [str(error) for error in device.boot_errors],
+    }
+
+
+def lab_devices_to_dicts(intent: LabIntent) -> dict[str, dict]:
+    """Every device of a lab in canonical dict form, keyed by name."""
+    return {name: device_to_dict(device) for name, device in intent.devices.items()}
+
+
+# ---------------------------------------------------------------------------
+# decode
+# ---------------------------------------------------------------------------
+
+def _interface_from_dict(data: dict) -> InterfaceIntent:
+    return InterfaceIntent(
+        name=data["name"],
+        ip_address=(
+            ipaddress.IPv4Address(data["ip_address"])
+            if data.get("ip_address")
+            else None
+        ),
+        prefixlen=data.get("prefixlen"),
+        collision_domain=data.get("collision_domain"),
+        is_loopback=bool(data.get("is_loopback", False)),
+        is_management=bool(data.get("is_management", False)),
+        ospf_cost=int(data.get("ospf_cost", 1)),
+        ipv6_address=(
+            ipaddress.IPv6Address(data["ipv6_address"])
+            if data.get("ipv6_address")
+            else None
+        ),
+        ipv6_prefixlen=data.get("ipv6_prefixlen"),
+    )
+
+
+def _ospf_from_dict(data: dict) -> OspfIntent:
+    return OspfIntent(
+        process_id=int(data.get("process_id", 1)),
+        router_id=data.get("router_id"),
+        networks=[
+            (ipaddress.IPv4Network(network), int(area))
+            for network, area in data.get("networks", [])
+        ],
+        interface_costs={
+            name: int(cost)
+            for name, cost in (data.get("interface_costs") or {}).items()
+        },
+    )
+
+
+def _isis_from_dict(data: dict) -> IsisIntent:
+    return IsisIntent(
+        process_id=int(data.get("process_id", 1)),
+        net=data.get("net"),
+        interface_metrics={
+            name: int(metric)
+            for name, metric in (data.get("interface_metrics") or {}).items()
+        },
+    )
+
+
+def _neighbor_from_dict(data: dict) -> BgpNeighborIntent:
+    return BgpNeighborIntent(
+        peer_ip=ipaddress.IPv4Address(data["peer_ip"]),
+        remote_asn=int(data["remote_asn"]),
+        update_source=data.get("update_source"),
+        next_hop_self=bool(data.get("next_hop_self", False)),
+        rr_client=bool(data.get("rr_client", False)),
+        local_pref_in=data.get("local_pref_in"),
+        med_out=data.get("med_out"),
+        prepend_out=int(data.get("prepend_out", 0)),
+        communities_out=tuple(data.get("communities_out") or ()),
+        deny_out=tuple(
+            ipaddress.IPv4Network(entry) for entry in data.get("deny_out") or ()
+        ),
+        deny_in=tuple(
+            ipaddress.IPv4Network(entry) for entry in data.get("deny_in") or ()
+        ),
+        description=data.get("description", ""),
+    )
+
+
+def _bgp_from_dict(data: dict) -> BgpIntent:
+    return BgpIntent(
+        asn=int(data["asn"]),
+        router_id=data.get("router_id"),
+        networks=[
+            ipaddress.IPv4Network(network) for network in data.get("networks", [])
+        ],
+        neighbors=[
+            _neighbor_from_dict(neighbor) for neighbor in data.get("neighbors", [])
+        ],
+    )
+
+
+def _dns_from_dict(data: dict) -> DnsIntent:
+    return DnsIntent(
+        is_server=bool(data.get("is_server", False)),
+        zones=[
+            DnsZoneIntent(
+                origin=zone["origin"],
+                records=dict(zone.get("records") or {}),
+                ptr_records=dict(zone.get("ptr_records") or {}),
+            )
+            for zone in data.get("zones", [])
+        ],
+        resolver=data.get("resolver"),
+        domain=data.get("domain"),
+    )
+
+
+def device_from_dict(data: dict) -> DeviceIntent:
+    """Rebuild a :class:`DeviceIntent` from its canonical dict form."""
+    return DeviceIntent(
+        name=data["name"],
+        vendor=data.get("vendor", "quagga"),
+        hostname=data.get("hostname"),
+        interfaces=[_interface_from_dict(i) for i in data.get("interfaces", [])],
+        ospf=_ospf_from_dict(data["ospf"]) if data.get("ospf") else None,
+        isis=_isis_from_dict(data["isis"]) if data.get("isis") else None,
+        bgp=_bgp_from_dict(data["bgp"]) if data.get("bgp") else None,
+        dns=_dns_from_dict(data["dns"]) if data.get("dns") else None,
+        rpki_role=data.get("rpki_role"),
+        rpki_config=copy.deepcopy(data.get("rpki_config") or {}),
+        igp_domain=data.get("igp_domain"),
+        boot_errors=list(data.get("boot_errors") or []),
+    )
+
+
+def lab_devices_from_dicts(devices: dict[str, dict]) -> dict[str, DeviceIntent]:
+    """Rebuild a lab's device map from canonical dicts."""
+    return {name: device_from_dict(data) for name, data in devices.items()}

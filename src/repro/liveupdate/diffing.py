@@ -1,0 +1,343 @@
+"""Diffing two labs into a :class:`DiffPlan`.
+
+Three entry points, lowest to highest level:
+
+* :func:`diff_intents` — two parsed :class:`LabIntent` trees in, plan
+  out.  This is the core differ: it classifies per-device changes into
+  minimal change commands and *verifies by simulation* that applying
+  the plan to the old intent reproduces the new intent exactly (and
+  that the inverse restores the old one).  Any device whose ops fail
+  that round-trip collapses to a single ``resync_device`` op, so the
+  exactness invariant holds by construction.
+
+* :func:`diff_rendered` — two rendered config directories in.  The
+  file trees are content-hashed first (the same SHA-256 discipline the
+  build engine's artifact cache uses); byte-identical trees short-
+  circuit to an empty plan without parsing, and the per-file hash delta
+  rides along as provenance on ``plan.file_changes``.
+
+* :func:`diff_designs` — two design-level topology sources in.  Both
+  are pushed through the normal design → compile → render pipeline
+  (no deployment) and the rendered trees diffed, which is what `repro
+  diff --plan` and the campaign ``design_deltas`` axis drive.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from dataclasses import dataclass
+
+from repro.emulation.intent import LabIntent
+from repro.emulation.lab import detect_platform
+from repro.emulation.parsing import LAB_PARSERS
+from repro.exceptions import LiveUpdateError
+from repro.liveupdate.codec import device_to_dict
+from repro.liveupdate.plan import ChangeOp, DiffPlan, simulate_plan
+from repro.observability import current_telemetry
+
+__all__ = ["DesignDelta", "diff_designs", "diff_intents", "diff_rendered"]
+
+#: Device-dict scalar fields handled by plain ``set_attr`` ops.
+_ATTR_FIELDS = (
+    "vendor", "hostname", "dns", "rpki_role", "rpki_config",
+    "igp_domain", "boot_errors",
+)
+
+
+def _span(name: str, **attrs):
+    telemetry = current_telemetry()
+    if telemetry is None:
+        import contextlib
+
+        return contextlib.nullcontext()
+    return telemetry.span(name, **attrs)
+
+
+# ---------------------------------------------------------------------------
+# per-device op synthesis
+# ---------------------------------------------------------------------------
+
+def _list_delta(old: list, new: list) -> tuple[list[tuple[int, object]], list[tuple[int, object]]]:
+    """(removed, added) entries with their list indexes, value-matched."""
+    removed = [(i, entry) for i, entry in enumerate(old) if entry not in new]
+    added = [(i, entry) for i, entry in enumerate(new) if entry not in old]
+    return removed, added
+
+
+def _interface_ops(name: str, old: dict, new: dict) -> list[ChangeOp]:
+    ops: list[ChangeOp] = []
+    old_by_name = {i["name"]: i for i in old["interfaces"]}
+    new_by_name = {i["name"]: i for i in new["interfaces"]}
+    for position, interface in enumerate(old["interfaces"]):
+        if interface["name"] not in new_by_name:
+            ops.append(ChangeOp(
+                "remove_interface", name, key=interface["name"],
+                before=interface, index=position,
+            ))
+    for iface_name in sorted(set(old_by_name) & set(new_by_name)):
+        before, after = old_by_name[iface_name], new_by_name[iface_name]
+        if before == after:
+            continue
+        only_cost = dict(before, ospf_cost=after["ospf_cost"]) == after
+        ops.append(ChangeOp(
+            "set_cost" if only_cost else "update_interface",
+            name, key=iface_name, before=before, after=after,
+        ))
+    for position, interface in enumerate(new["interfaces"]):
+        if interface["name"] not in old_by_name:
+            ops.append(ChangeOp(
+                "add_interface", name, key=interface["name"],
+                after=interface, index=position,
+            ))
+    return ops
+
+
+def _igp_ops(name: str, proto: str, old, new) -> list[ChangeOp]:
+    if old == new:
+        return []
+    if old is None:
+        return [ChangeOp("enable_igp", name, key=proto, after=new)]
+    if new is None:
+        return [ChangeOp("disable_igp", name, key=proto, before=old)]
+    if proto == "ospf":
+        scalars_changed = any(
+            old.get(field_name) != new.get(field_name)
+            for field_name in ("process_id", "router_id", "interface_costs")
+        )
+        if not scalars_changed:
+            removed, added = _list_delta(old["networks"], new["networks"])
+            ops = [
+                ChangeOp(
+                    "remove_igp_network", name,
+                    key="%s area %s" % tuple(entry), before=entry, index=position,
+                )
+                for position, entry in removed
+            ]
+            ops += [
+                ChangeOp(
+                    "add_igp_network", name,
+                    key="%s area %s" % tuple(entry), after=entry, index=position,
+                )
+                for position, entry in added
+            ]
+            return ops
+    return [ChangeOp("update_igp", name, key=proto, before=old, after=new)]
+
+
+def _bgp_ops(name: str, old, new) -> list[ChangeOp]:
+    if old == new:
+        return []
+    if old is None:
+        return [ChangeOp("enable_bgp", name, key="bgp", after=new)]
+    if new is None:
+        return [ChangeOp("disable_bgp", name, key="bgp", before=old)]
+    if any(old.get(f) != new.get(f) for f in ("asn", "router_id")):
+        return [ChangeOp("update_bgp", name, key="bgp", before=old, after=new)]
+    ops: list[ChangeOp] = []
+    removed, added = _list_delta(old["networks"], new["networks"])
+    ops += [
+        ChangeOp("remove_bgp_network", name, key=entry, before=entry, index=position)
+        for position, entry in removed
+    ]
+    old_peers = {n["peer_ip"]: (i, n) for i, n in enumerate(old["neighbors"])}
+    new_peers = {n["peer_ip"]: (i, n) for i, n in enumerate(new["neighbors"])}
+    for peer in old_peers:
+        if peer not in new_peers:
+            position, neighbor = old_peers[peer]
+            ops.append(ChangeOp(
+                "remove_bgp_neighbor", name, key=peer,
+                before=neighbor, index=position,
+            ))
+    for peer in sorted(set(old_peers) & set(new_peers)):
+        before, after = old_peers[peer][1], new_peers[peer][1]
+        if before != after:
+            ops.append(ChangeOp(
+                "update_bgp_neighbor", name, key=peer, before=before, after=after,
+            ))
+    for peer, (position, neighbor) in new_peers.items():
+        if peer not in old_peers:
+            ops.append(ChangeOp(
+                "add_bgp_neighbor", name, key=peer, after=neighbor, index=position,
+            ))
+    ops += [
+        ChangeOp("add_bgp_network", name, key=entry, after=entry, index=position)
+        for position, entry in added
+    ]
+    return ops
+
+
+def _device_ops(name: str, old: dict, new: dict) -> list[ChangeOp]:
+    """Minimal ops for one modified device, resync on round-trip failure."""
+    ops: list[ChangeOp] = []
+    ops += _interface_ops(name, old, new)
+    ops += _igp_ops(name, "ospf", old.get("ospf"), new.get("ospf"))
+    ops += _igp_ops(name, "isis", old.get("isis"), new.get("isis"))
+    ops += _bgp_ops(name, old.get("bgp"), new.get("bgp"))
+    for field_name in _ATTR_FIELDS:
+        if old.get(field_name) != new.get(field_name):
+            ops.append(ChangeOp(
+                "set_attr", name, key=field_name,
+                before=old.get(field_name), after=new.get(field_name),
+            ))
+    # The exactness check: forward simulation must land on the new
+    # dict, inverse simulation back on the old one.  Ordering drift the
+    # index heuristics cannot express collapses to a full resync.
+    forward, _ = simulate_plan({name: old}, ops)
+    backward, _ = simulate_plan({name: new}, [op.inverse() for op in reversed(ops)])
+    if forward.get(name) != new or backward.get(name) != old:
+        return [ChangeOp("resync_device", name, before=old, after=new)]
+    return ops
+
+
+def diff_intents(
+    old: LabIntent,
+    new: LabIntent,
+    *,
+    file_changes: list[dict] | None = None,
+    old_label: str = "",
+    new_label: str = "",
+) -> DiffPlan:
+    """Diff two parsed labs into a verified, invertible DiffPlan."""
+    if old.platform != new.platform:
+        raise LiveUpdateError(
+            "cannot diff across platforms: %s vs %s" % (old.platform, new.platform)
+        )
+    with _span("liveupdate.diff", platform=new.platform):
+        old_devices = {n: device_to_dict(d) for n, d in old.devices.items()}
+        new_devices = {n: device_to_dict(d) for n, d in new.devices.items()}
+        operations: list[ChangeOp] = []
+        for name in sorted(set(old_devices) - set(new_devices)):
+            operations.append(ChangeOp(
+                "remove_device", name, before=old_devices[name],
+            ))
+        for name in sorted(set(old_devices) & set(new_devices)):
+            if old_devices[name] != new_devices[name]:
+                operations += _device_ops(name, old_devices[name], new_devices[name])
+        for name in sorted(set(new_devices) - set(old_devices)):
+            operations.append(ChangeOp(
+                "add_device", name, after=new_devices[name],
+            ))
+        plan = DiffPlan(
+            platform=new.platform,
+            operations=operations,
+            file_changes=list(file_changes or []),
+            old_label=old_label,
+            new_label=new_label,
+        )
+        # Whole-plan invariant (covers device add/remove too).
+        forward, _ = simulate_plan(old_devices, plan.operations)
+        if forward != new_devices:
+            raise LiveUpdateError("internal differ error: plan does not round-trip")
+        return plan
+
+
+# ---------------------------------------------------------------------------
+# rendered-tree diffing
+# ---------------------------------------------------------------------------
+
+def _tree_hashes(root: str) -> dict[str, str]:
+    """Relative path -> short content hash for every file under root."""
+    hashes: dict[str, str] = {}
+    for directory, _, files in os.walk(root):
+        for filename in files:
+            path = os.path.join(directory, filename)
+            relative = os.path.relpath(path, root)
+            with open(path, "rb") as handle:
+                digest = hashlib.sha256(handle.read()).hexdigest()
+            hashes[relative] = digest[:12]
+    return hashes
+
+
+def _file_delta(old_dir: str, new_dir: str) -> list[dict]:
+    old_hashes = _tree_hashes(old_dir)
+    new_hashes = _tree_hashes(new_dir)
+    changes: list[dict] = []
+    for path in sorted(set(old_hashes) | set(new_hashes)):
+        before, after = old_hashes.get(path), new_hashes.get(path)
+        if before == after:
+            continue
+        status = "modified" if before and after else ("added" if after else "removed")
+        changes.append({
+            "path": path, "status": status,
+            "before_hash": before, "after_hash": after,
+        })
+    return changes
+
+
+def diff_rendered(old_dir: str, new_dir: str, *, jobs: int = 1) -> DiffPlan:
+    """Diff two rendered lab directories (same platform) into a plan."""
+    platform = detect_platform(old_dir)
+    new_platform = detect_platform(new_dir)
+    if platform != new_platform:
+        raise LiveUpdateError(
+            "cannot diff across platforms: %s (%s) vs %s (%s)"
+            % (old_dir, platform, new_dir, new_platform)
+        )
+    old_label = os.path.basename(os.path.normpath(old_dir))
+    new_label = os.path.basename(os.path.normpath(new_dir))
+    with _span("liveupdate.diff_rendered", platform=platform):
+        changes = _file_delta(old_dir, new_dir)
+        if not changes:
+            return DiffPlan(
+                platform=platform, old_label=old_label, new_label=new_label,
+            )
+        parse = LAB_PARSERS[platform]
+        old_intent = parse(old_dir, jobs=jobs)
+        new_intent = parse(new_dir, jobs=jobs)
+        return diff_intents(
+            old_intent, new_intent,
+            file_changes=changes, old_label=old_label, new_label=new_label,
+        )
+
+
+# ---------------------------------------------------------------------------
+# design-level diffing
+# ---------------------------------------------------------------------------
+
+@dataclass
+class DesignDelta:
+    """A design-level diff plus the rendered trees it came from."""
+
+    plan: DiffPlan
+    old_dir: str
+    new_dir: str
+
+
+def diff_designs(
+    old_source,
+    new_source,
+    platform: str = "netkit",
+    rules=None,
+    *,
+    work_dir: str | None = None,
+    jobs: int = 1,
+) -> DesignDelta:
+    """Render two design-level topologies and diff the results.
+
+    ``old_source``/``new_source`` are anything
+    :func:`repro.workflow.load_topology` accepts (a graph object or a
+    GraphML/GML/JSON path).  Neither side is deployed; the rendered
+    trees are kept under ``work_dir`` so callers can boot either one
+    (the differential suite boots ``new_dir`` for its fresh-boot
+    oracle).
+    """
+    from repro.design import DEFAULT_RULES
+    from repro.workflow import run_experiment
+
+    rules = DEFAULT_RULES if rules is None else rules
+    work_dir = work_dir or tempfile.mkdtemp(prefix="liveupdate_")
+    with _span("liveupdate.diff_designs", platform=platform):
+        old_result = run_experiment(
+            old_source, platform=platform, rules=rules,
+            output_dir=os.path.join(work_dir, "old"), deploy=False,
+        )
+        new_result = run_experiment(
+            new_source, platform=platform, rules=rules,
+            output_dir=os.path.join(work_dir, "new"), deploy=False,
+        )
+        old_dir = old_result.render_result.lab_dir
+        new_dir = new_result.render_result.lab_dir
+        plan = diff_rendered(old_dir, new_dir, jobs=jobs)
+    return DesignDelta(plan=plan, old_dir=old_dir, new_dir=new_dir)

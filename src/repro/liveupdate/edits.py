@@ -1,0 +1,198 @@
+"""Design-level edits: the input vocabulary of rolling changes.
+
+A :class:`DesignEdit` mutates an *input topology graph* — the thing
+the design layer consumes — rather than rendered configs.  The CLI
+``repro apply --delta`` and the campaign ``design_deltas`` axis both
+describe changes this way; :func:`repro.liveupdate.diffing.
+diff_designs` then turns "design A" and "edited design B" into a
+DiffPlan.  The hypothesis property suite draws random edits from this
+same vocabulary, so the test input space and the user-facing input
+space are one and the same.
+
+Edit kinds:
+
+* ``cost`` — set ``ospf_cost`` on an existing link;
+* ``add_link`` / ``remove_link`` — connectivity changes;
+* ``remove_node`` — decommission a router and its links;
+* ``add_node`` — new router cloned from an existing node's design
+  attributes (``like``), attached to ``attach_to`` neighbors;
+* ``set_node_attr`` / ``set_link_attr`` — raw attribute overrides.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.exceptions import LiveUpdateError
+
+__all__ = ["DesignEdit", "EDIT_KINDS", "apply_edits", "canonical_edits", "parse_edits"]
+
+EDIT_KINDS = (
+    "add_link",
+    "add_node",
+    "cost",
+    "remove_link",
+    "remove_node",
+    "set_link_attr",
+    "set_node_attr",
+)
+
+
+@dataclass(frozen=True)
+class DesignEdit:
+    """One declarative edit against an input topology graph."""
+
+    kind: str
+    node: str | None = None
+    link: tuple[str, str] | None = None
+    value: object = None
+    attr: str | None = None
+    like: str | None = None
+    attach_to: tuple[str, ...] = ()
+    cost: int | None = None
+
+    def __post_init__(self):
+        if self.kind not in EDIT_KINDS:
+            raise LiveUpdateError(
+                "unknown design edit kind %r (expected one of %s)"
+                % (self.kind, ", ".join(EDIT_KINDS))
+            )
+
+    # -- codec ---------------------------------------------------------------
+    def to_dict(self) -> dict:
+        data: dict = {"kind": self.kind}
+        if self.node is not None:
+            data["node"] = self.node
+        if self.link is not None:
+            data["link"] = list(self.link)
+        if self.value is not None:
+            data["value"] = self.value
+        if self.attr is not None:
+            data["attr"] = self.attr
+        if self.like is not None:
+            data["like"] = self.like
+        if self.attach_to:
+            data["attach_to"] = list(self.attach_to)
+        if self.cost is not None:
+            data["cost"] = self.cost
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DesignEdit":
+        link = data.get("link")
+        return cls(
+            kind=data.get("kind", ""),
+            node=data.get("node"),
+            link=tuple(link) if link else None,
+            value=data.get("value"),
+            attr=data.get("attr"),
+            like=data.get("like"),
+            attach_to=tuple(data.get("attach_to") or ()),
+            cost=data.get("cost"),
+        )
+
+    def describe(self) -> str:
+        if self.kind == "cost":
+            return "cost %s-%s -> %s" % (self.link[0], self.link[1], self.value)
+        if self.kind in ("add_link", "remove_link"):
+            return "%s %s-%s" % (self.kind.replace("_", " "), *self.link)
+        if self.kind == "remove_node":
+            return "remove node %s" % self.node
+        if self.kind == "add_node":
+            return "add node %s like %s -> %s" % (
+                self.node, self.like, ",".join(self.attach_to),
+            )
+        if self.kind == "set_link_attr":
+            return "set %s-%s %s=%r" % (*self.link, self.attr, self.value)
+        return "set %s %s=%r" % (self.node, self.attr, self.value)
+
+    # -- application ---------------------------------------------------------
+    def _require_node(self, graph, node: str) -> None:
+        if node not in graph:
+            raise LiveUpdateError(
+                "%s: node %r is not in the topology" % (self.kind, node)
+            )
+
+    def _require_link(self, graph) -> None:
+        source, target = self.link
+        self._require_node(graph, source)
+        self._require_node(graph, target)
+        if not graph.has_edge(source, target):
+            raise LiveUpdateError(
+                "%s: link %s-%s is not in the topology"
+                % (self.kind, source, target)
+            )
+
+    def apply(self, graph) -> None:
+        """Mutate ``graph`` in place (callers copy first, see apply_edits)."""
+        if self.kind == "cost":
+            self._require_link(graph)
+            graph.edges[self.link]["ospf_cost"] = int(self.value)
+        elif self.kind == "set_link_attr":
+            self._require_link(graph)
+            graph.edges[self.link][self.attr] = self.value
+        elif self.kind == "set_node_attr":
+            self._require_node(graph, self.node)
+            graph.nodes[self.node][self.attr] = self.value
+        elif self.kind == "remove_link":
+            self._require_link(graph)
+            graph.remove_edge(*self.link)
+        elif self.kind == "add_link":
+            source, target = self.link
+            self._require_node(graph, source)
+            self._require_node(graph, target)
+            if graph.has_edge(source, target):
+                raise LiveUpdateError(
+                    "add_link: %s-%s already exists" % (source, target)
+                )
+            attrs = {} if self.cost is None else {"ospf_cost": int(self.cost)}
+            graph.add_edge(source, target, **attrs)
+        elif self.kind == "remove_node":
+            self._require_node(graph, self.node)
+            graph.remove_node(self.node)
+        elif self.kind == "add_node":
+            if self.node in graph:
+                raise LiveUpdateError("add_node: %r already exists" % self.node)
+            self._require_node(graph, self.like)
+            if not self.attach_to:
+                raise LiveUpdateError("add_node: attach_to must name a neighbor")
+            template = dict(graph.nodes[self.like])
+            graph.add_node(self.node, **template)
+            for neighbor in self.attach_to:
+                self._require_node(graph, neighbor)
+                attrs = {} if self.cost is None else {"ospf_cost": int(self.cost)}
+                graph.add_edge(self.node, neighbor, **attrs)
+
+
+def parse_edits(source) -> list[DesignEdit]:
+    """Edits from DesignEdits, dicts, JSON text, or a JSON file path."""
+    if isinstance(source, str):
+        text = source
+        if not source.lstrip().startswith(("[", "{")):
+            with open(source) as handle:
+                text = handle.read()
+        try:
+            source = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise LiveUpdateError("malformed design-edit JSON: %s" % error)
+    if not isinstance(source, (list, tuple)):
+        raise LiveUpdateError("design edits must be a JSON list of edit objects")
+    return [
+        edit if isinstance(edit, DesignEdit) else DesignEdit.from_dict(edit)
+        for edit in source
+    ]
+
+
+def apply_edits(graph, edits) -> "object":
+    """A copy of ``graph`` with every edit applied, in order."""
+    edited = graph.copy()
+    for edit in parse_edits(edits):
+        edit.apply(edited)
+    return edited
+
+
+def canonical_edits(edits) -> str:
+    """Canonical JSON for campaign spec hashing — stable across runs."""
+    payload = [edit.to_dict() for edit in parse_edits(edits)]
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))

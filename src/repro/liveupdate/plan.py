@@ -1,0 +1,448 @@
+"""Structured change plans: per-device operations with an inverse.
+
+A :class:`DiffPlan` is the unit the live-update subsystem moves around:
+an ordered list of :class:`ChangeOp` records, each describing one
+minimal change to one device's canonical intent dict (see
+:mod:`repro.liveupdate.codec`).  Every op carries enough state to be
+
+* **applied** — mutate the canonical dict of the named device;
+* **checked** — the recorded ``before`` value is a precondition, so a
+  plan computed against a lab that has since drifted fails loudly
+  instead of corrupting intent;
+* **inverted** — ``inverse()`` yields the exact rollback op, and
+  ``DiffPlan.inverse()`` the whole rollback plan (ops reversed).
+
+Plans serialise to canonical JSON (sorted keys, stable field set) so
+they can be stored as golden snapshots and hashed for journaling.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.exceptions import LiveUpdateError
+from repro.nidb.database import stable_hash
+
+__all__ = ["ChangeOp", "DiffPlan", "OP_KINDS", "apply_op", "simulate_plan"]
+
+#: Every operation kind the differ can emit, with its rollback kind.
+_INVERSE_KIND = {
+    "add_device": "remove_device",
+    "remove_device": "add_device",
+    "add_interface": "remove_interface",
+    "remove_interface": "add_interface",
+    "update_interface": "update_interface",
+    "set_cost": "set_cost",
+    "add_igp_network": "remove_igp_network",
+    "remove_igp_network": "add_igp_network",
+    "update_igp": "update_igp",
+    "enable_igp": "disable_igp",
+    "disable_igp": "enable_igp",
+    "add_bgp_neighbor": "remove_bgp_neighbor",
+    "remove_bgp_neighbor": "add_bgp_neighbor",
+    "update_bgp_neighbor": "update_bgp_neighbor",
+    "add_bgp_network": "remove_bgp_network",
+    "remove_bgp_network": "add_bgp_network",
+    "update_bgp": "update_bgp",
+    "enable_bgp": "disable_bgp",
+    "disable_bgp": "enable_bgp",
+    "set_attr": "set_attr",
+    "resync_device": "resync_device",
+}
+
+OP_KINDS = tuple(sorted(_INVERSE_KIND))
+
+
+@dataclass(frozen=True)
+class ChangeOp:
+    """One minimal change command against one device.
+
+    ``key`` identifies the element inside the device (interface name,
+    BGP peer address, protocol name, attribute name); ``before`` and
+    ``after`` hold the canonical-dict values on each side; ``index``
+    records the element's position in its intent list so add/remove
+    round-trips preserve parser ordering exactly.
+    """
+
+    kind: str
+    device: str
+    key: str = ""
+    before: Any = None
+    after: Any = None
+    index: Optional[int] = None
+
+    def __post_init__(self):
+        if self.kind not in _INVERSE_KIND:
+            raise LiveUpdateError("unknown change-op kind %r" % self.kind)
+
+    def inverse(self) -> "ChangeOp":
+        """The exact rollback of this op."""
+        return ChangeOp(
+            kind=_INVERSE_KIND[self.kind],
+            device=self.device,
+            key=self.key,
+            before=copy.deepcopy(self.after),
+            after=copy.deepcopy(self.before),
+            index=self.index,
+        )
+
+    def op_id(self, sequence: int) -> str:
+        """A journal-friendly identifier, unique within a plan."""
+        suffix = ("-" + self.key) if self.key else ""
+        return "op%03d-%s-%s%s" % (sequence, self.kind, self.device, suffix)
+
+    def op_hash(self) -> str:
+        return stable_hash(self.to_dict())
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "device": self.device,
+            "key": self.key,
+            "before": self.before,
+            "after": self.after,
+            "index": self.index,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChangeOp":
+        return cls(
+            kind=data["kind"],
+            device=data["device"],
+            key=data.get("key", ""),
+            before=data.get("before"),
+            after=data.get("after"),
+            index=data.get("index"),
+        )
+
+    def describe(self) -> str:
+        label = "%s %s" % (self.kind.replace("_", " "), self.device)
+        if self.key:
+            label += " %s" % self.key
+        if self.kind in ("set_cost",):
+            old = (self.before or {}).get("ospf_cost")
+            new = (self.after or {}).get("ospf_cost")
+            label += " (cost %s -> %s)" % (old, new)
+        return label
+
+
+# ---------------------------------------------------------------------------
+# op application against canonical device dicts
+# ---------------------------------------------------------------------------
+
+def _precondition(ok: bool, op: ChangeOp, detail: str, strict: bool) -> bool:
+    """True when the op may proceed; raises or skips on stale state."""
+    if ok:
+        return True
+    if strict:
+        raise LiveUpdateError(
+            "stale plan: %s — %s no longer matches the lab" % (op.describe(), detail)
+        )
+    return False
+
+
+def _find(entries: list, match: Callable[[Any], bool]) -> int:
+    for position, entry in enumerate(entries):
+        if match(entry):
+            return position
+    return -1
+
+
+def _insert(entries: list, value: Any, index: Optional[int]) -> None:
+    position = len(entries) if index is None else min(index, len(entries))
+    entries.insert(position, copy.deepcopy(value))
+
+
+def apply_op(device: dict, op: ChangeOp, strict: bool = True) -> bool:
+    """Apply one op to a canonical device dict, in place.
+
+    Returns True when applied, False when skipped (``strict=False`` and
+    the recorded precondition no longer holds).  ``add_device`` /
+    ``remove_device`` are lab-level and rejected here.
+    """
+    kind = op.kind
+    if kind in ("add_device", "remove_device"):
+        raise LiveUpdateError("%s is a lab-level op" % kind)
+
+    if kind == "resync_device":
+        if not _precondition(device == op.before, op, "device state", strict):
+            return False
+        device.clear()
+        device.update(copy.deepcopy(op.after))
+        return True
+
+    if kind == "set_attr":
+        if not _precondition(
+            device.get(op.key) == op.before, op, "attribute %r" % op.key, strict
+        ):
+            return False
+        device[op.key] = copy.deepcopy(op.after)
+        return True
+
+    if kind in ("add_interface", "remove_interface", "update_interface", "set_cost"):
+        entries = device["interfaces"]
+        position = _find(entries, lambda entry: entry["name"] == op.key)
+        if kind == "add_interface":
+            if not _precondition(position < 0, op, "interface already exists", strict):
+                return False
+            _insert(entries, op.after, op.index)
+        elif kind == "remove_interface":
+            if not _precondition(
+                position >= 0 and entries[position] == op.before,
+                op, "interface state", strict,
+            ):
+                return False
+            entries.pop(position)
+        else:
+            if not _precondition(
+                position >= 0 and entries[position] == op.before,
+                op, "interface state", strict,
+            ):
+                return False
+            entries[position] = copy.deepcopy(op.after)
+        return True
+
+    if kind in ("enable_igp", "enable_bgp", "disable_igp", "disable_bgp",
+                "update_igp", "update_bgp"):
+        proto = op.key if kind.endswith("_igp") else "bgp"
+        if kind.startswith("enable"):
+            if not _precondition(
+                device.get(proto) is None, op, "%s already enabled" % proto, strict
+            ):
+                return False
+            device[proto] = copy.deepcopy(op.after)
+        elif kind.startswith("disable"):
+            if not _precondition(
+                device.get(proto) == op.before, op, "%s state" % proto, strict
+            ):
+                return False
+            device[proto] = None
+        else:
+            if not _precondition(
+                device.get(proto) == op.before, op, "%s state" % proto, strict
+            ):
+                return False
+            device[proto] = copy.deepcopy(op.after)
+        return True
+
+    if kind in ("add_igp_network", "remove_igp_network"):
+        ospf = device.get("ospf")
+        if not _precondition(ospf is not None, op, "ospf is disabled", strict):
+            return False
+        entries = ospf["networks"]
+        if kind == "add_igp_network":
+            if not _precondition(
+                op.after not in entries, op, "network already advertised", strict
+            ):
+                return False
+            _insert(entries, op.after, op.index)
+        else:
+            position = _find(entries, lambda entry: entry == op.before)
+            if not _precondition(position >= 0, op, "advertised network", strict):
+                return False
+            entries.pop(position)
+        return True
+
+    if kind in ("add_bgp_network", "remove_bgp_network"):
+        bgp = device.get("bgp")
+        if not _precondition(bgp is not None, op, "bgp is disabled", strict):
+            return False
+        entries = bgp["networks"]
+        if kind == "add_bgp_network":
+            if not _precondition(
+                op.after not in entries, op, "network already originated", strict
+            ):
+                return False
+            _insert(entries, op.after, op.index)
+        else:
+            position = _find(entries, lambda entry: entry == op.before)
+            if not _precondition(position >= 0, op, "originated network", strict):
+                return False
+            entries.pop(position)
+        return True
+
+    if kind in ("add_bgp_neighbor", "remove_bgp_neighbor", "update_bgp_neighbor"):
+        bgp = device.get("bgp")
+        if not _precondition(bgp is not None, op, "bgp is disabled", strict):
+            return False
+        entries = bgp["neighbors"]
+        position = _find(entries, lambda entry: entry["peer_ip"] == op.key)
+        if kind == "add_bgp_neighbor":
+            if not _precondition(position < 0, op, "neighbor already exists", strict):
+                return False
+            _insert(entries, op.after, op.index)
+        elif kind == "remove_bgp_neighbor":
+            if not _precondition(
+                position >= 0 and entries[position] == op.before,
+                op, "neighbor state", strict,
+            ):
+                return False
+            entries.pop(position)
+        else:
+            if not _precondition(
+                position >= 0 and entries[position] == op.before,
+                op, "neighbor state", strict,
+            ):
+                return False
+            entries[position] = copy.deepcopy(op.after)
+        return True
+
+    raise LiveUpdateError("unhandled change-op kind %r" % kind)
+
+
+def simulate_plan(
+    devices: dict[str, dict],
+    operations: list[ChangeOp],
+    strict: bool = True,
+) -> tuple[dict[str, dict], list[ChangeOp]]:
+    """Apply a plan to a lab's canonical device dicts, pure.
+
+    Returns ``(new_devices, skipped)``.  The input mapping is not
+    mutated; the differ uses this to verify a plan reproduces the
+    target intent before emitting it, and the applier uses it to
+    validate a whole plan *before* touching the live lab (intent-level
+    atomicity: a stale op aborts with the lab unchanged).
+    """
+    devices = copy.deepcopy(devices)
+    skipped: list[ChangeOp] = []
+    for op in operations:
+        if op.kind == "remove_device":
+            current = devices.get(op.device)
+            if not _precondition(
+                current is not None and current == op.before,
+                op, "device state", strict,
+            ):
+                skipped.append(op)
+                continue
+            del devices[op.device]
+            continue
+        if op.kind == "add_device":
+            if not _precondition(
+                op.device not in devices, op, "device already exists", strict
+            ):
+                skipped.append(op)
+                continue
+            devices[op.device] = copy.deepcopy(op.after)
+            continue
+        target = devices.get(op.device)
+        if not _precondition(target is not None, op, "device is missing", strict):
+            skipped.append(op)
+            continue
+        if not apply_op(target, op, strict=strict):
+            skipped.append(op)
+    return devices, skipped
+
+
+# ---------------------------------------------------------------------------
+# the plan container
+# ---------------------------------------------------------------------------
+
+_INVERSE_STATUS = {"added": "removed", "removed": "added", "modified": "modified"}
+
+
+@dataclass
+class DiffPlan:
+    """An ordered, invertible set of change commands for one lab."""
+
+    platform: str
+    operations: list[ChangeOp] = field(default_factory=list)
+    #: Rendered-tree provenance: one entry per changed file,
+    #: ``{"path", "status", "before_hash", "after_hash"}``.
+    file_changes: list[dict] = field(default_factory=list)
+    old_label: str = ""
+    new_label: str = ""
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self):
+        return iter(self.operations)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.operations
+
+    def devices(self) -> list[str]:
+        return sorted({op.device for op in self.operations})
+
+    def count_by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for op in self.operations:
+            counts[op.kind] = counts.get(op.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def inverse(self) -> "DiffPlan":
+        """The rollback plan: inverted ops in reverse order."""
+        return DiffPlan(
+            platform=self.platform,
+            operations=[op.inverse() for op in reversed(self.operations)],
+            file_changes=[
+                {
+                    "path": change["path"],
+                    "status": _INVERSE_STATUS.get(change["status"], change["status"]),
+                    "before_hash": change.get("after_hash"),
+                    "after_hash": change.get("before_hash"),
+                }
+                for change in self.file_changes
+            ],
+            old_label=self.new_label,
+            new_label=self.old_label,
+        )
+
+    def plan_hash(self) -> str:
+        return stable_hash(
+            {
+                "platform": self.platform,
+                "operations": [op.to_dict() for op in self.operations],
+            }
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "platform": self.platform,
+            "old_label": self.old_label,
+            "new_label": self.new_label,
+            "operations": [op.to_dict() for op in self.operations],
+            "file_changes": self.file_changes,
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialisation — golden snapshots store this text."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DiffPlan":
+        return cls(
+            platform=data.get("platform", ""),
+            operations=[ChangeOp.from_dict(op) for op in data.get("operations", [])],
+            file_changes=list(data.get("file_changes", [])),
+            old_label=data.get("old_label", ""),
+            new_label=data.get("new_label", ""),
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "DiffPlan":
+        with open(path) as handle:
+            data = json.load(handle)
+        return cls.from_dict(data)
+
+    def summary(self) -> str:
+        if self.is_empty:
+            return "no changes"
+        kinds = ", ".join(
+            "%s x%d" % (kind, count) for kind, count in self.count_by_kind().items()
+        )
+        return "%d operation(s) on %d device(s): %s" % (
+            len(self.operations), len(self.devices()), kinds,
+        )
+
+    def describe(self) -> list[str]:
+        return [op.describe() for op in self.operations]

@@ -25,6 +25,16 @@ reconvergence window still follow the *stale* forwarding state: those
 that cross the dead hop stall until reconvergence completes and then
 retry over the new path — the latency spike and queue burst the §7
 disruption experiments look for.
+
+Mid-run **live updates** ride the same clock: ``live_plans`` is a list
+of ``(at_seconds, DiffPlan)`` entries, each applied to the running lab
+with :func:`repro.liveupdate.apply.apply_plan` (one incremental
+reconvergence, no reboot).  A live update has no dead hops — a pure
+cost change leaves the old paths physically alive — so instead every
+device the plan touches is *disturbed* for the reconvergence window:
+stale-path flows crossing a disturbed router stall until the window
+closes and then retry over the new forwarding state, yielding the same
+bounded p99 blip shape as a fault, minus the packet loss.
 """
 
 from __future__ import annotations
@@ -35,6 +45,8 @@ import time
 from random import Random
 
 from repro.exceptions import TrafficError
+from repro.liveupdate.apply import apply_plan
+from repro.liveupdate.plan import DiffPlan
 from repro.observability import (
     INFO,
     gauge_set,
@@ -176,6 +188,7 @@ class TrafficEngine:
         seed: int = 0,
         schedule: FaultSchedule | None = None,
         link_overrides: dict | None = None,
+        live_plans: list | None = None,
     ):
         self.lab = lab
         self.profile: TrafficProfile = coerce_profile(profile)
@@ -184,6 +197,21 @@ class TrafficEngine:
         self.schedule = schedule
         if schedule is not None:
             schedule.validate(lab)
+        self.live_plans: list[tuple[float, DiffPlan]] = []
+        for at_seconds, plan in live_plans or []:
+            if isinstance(plan, dict):
+                plan = DiffPlan.from_dict(plan)
+            if plan.platform and plan.platform != lab.intent.platform:
+                raise TrafficError(
+                    "live plan targets platform %r but the lab is %r"
+                    % (plan.platform, lab.intent.platform)
+                )
+            at_time = float(at_seconds)
+            if at_time < 0:
+                raise TrafficError(
+                    "live update time must be >= 0, got %r" % (at_seconds,)
+                )
+            self.live_plans.append((at_time, plan))
         self.links = LinkModel(self.profile, link_overrides)
         self._machines = sorted(lab.network.all_machines)
         # pair pool index -> (hop_state_lists, hop_pair_names) | None
@@ -192,6 +220,7 @@ class TrafficEngine:
         self._stale_until = 0.0
         self._dead_hops: set = set()
         self._down_nodes: set = set()
+        self._disturbed_nodes: set = set()
 
     # -- path resolution ----------------------------------------------------
     def _destination_address(self, machine: str):
@@ -237,6 +266,28 @@ class TrafficEngine:
             for at_round, events in self.schedule.grouped()
         ]
 
+    def _change_times(self):
+        """Every mid-run change — faults and live updates — on one clock.
+
+        Sorted by (time, kind) so simultaneous events apply in a
+        deterministic order (faults before live updates).
+        """
+        entries = [
+            (at_time, "fault", events)
+            for at_time, _at_round, events in self._fault_times()
+        ]
+        entries.extend(
+            (at_time, "live_update", plan) for at_time, plan in self.live_plans
+        )
+        entries.sort(key=lambda entry: (entry[0], entry[1]))
+        return entries
+
+    def _apply_change(self, at_time: float, kind: str, payload, report):
+        if kind == "fault":
+            self._apply_fault_round(at_time, payload, report)
+        else:
+            self._apply_live_plan(at_time, payload, report)
+
     def _apply_fault_round(self, at_time: float, events, report: TrafficReport):
         for event in events:
             if event.kind == LINK_DOWN:
@@ -272,11 +323,38 @@ class TrafficEngine:
         self._paths = {}
         self._stale_until = at_time + self.profile.reconvergence_seconds
 
+    def _apply_live_plan(self, at_time: float, plan: DiffPlan, report):
+        """Apply one DiffPlan to the running lab mid-run, no reboot.
+
+        ``apply_plan`` validates, commits, and reconverges incrementally;
+        stale-path bookkeeping then mirrors a fault round.  The devices
+        the plan touched are *disturbed* until the reconvergence window
+        closes — routers being reprogrammed forward on stale state, so
+        in-flight flows crossing them stall and retry like flows over a
+        dead hop, producing the live-change latency blip.
+        """
+        apply_report = apply_plan(self.lab, plan, strict=False, isolate=True)
+        metric_inc("traffic.live_updates_applied")
+        report.faults.append(
+            {"time": at_time, "kind": "live_update",
+             "target": " ".join(plan.devices())}
+        )
+        log_event(
+            INFO, "traffic.fault",
+            "live update at t=%.2fs: %s" % (at_time, apply_report.summary()),
+        )
+        self._disturbed_nodes = set(plan.devices())
+        self._stale_paths = self._paths
+        self._paths = {}
+        self._stale_until = at_time + self.profile.reconvergence_seconds
+
     def _hop_is_dead(self, pair) -> bool:
         return (
             pair in self._dead_hops
             or pair[0] in self._down_nodes
             or pair[1] in self._down_nodes
+            or pair[0] in self._disturbed_nodes
+            or pair[1] in self._disturbed_nodes
         )
 
     # -- the simulation -----------------------------------------------------
@@ -304,8 +382,8 @@ class TrafficEngine:
         bucket_width = profile.round_seconds
         buckets: dict = {}
 
-        fault_queue = self._fault_times()
-        fault_cursor = 0
+        change_queue = self._change_times()
+        change_cursor = 0
         prev_latency = [None] * len(class_entries)
         jitter_sum = [0.0] * len(class_entries)
         jitter_n = [0] * len(class_entries)
@@ -320,12 +398,12 @@ class TrafficEngine:
                 if not flows_seen % _CHECKPOINT_EVERY:
                     checkpoint("traffic.run")
                 while (
-                    fault_cursor < len(fault_queue)
-                    and fault_queue[fault_cursor][0] <= start
+                    change_cursor < len(change_queue)
+                    and change_queue[change_cursor][0] <= start
                 ):
-                    at_time, _at_round, events = fault_queue[fault_cursor]
-                    self._apply_fault_round(at_time, events, report)
-                    fault_cursor += 1
+                    at_time, kind, payload = change_queue[change_cursor]
+                    self._apply_change(at_time, kind, payload, report)
+                    change_cursor += 1
 
                 stats = class_reports[class_index]
                 size = flow_bytes[class_index]
@@ -346,6 +424,7 @@ class TrafficEngine:
                 if self._stale_paths is not None:
                     if start >= self._stale_until:
                         self._stale_paths = None
+                        self._disturbed_nodes = set()
                     else:
                         stale = self._stale_paths.get(key)
                         if stale is not None:
@@ -412,14 +491,14 @@ class TrafficEngine:
                     jitter_n[class_index] += 1
                 prev_latency[class_index] = latency
 
-            # faults scheduled after the last arrival still apply, so a
+            # changes scheduled after the last arrival still apply, so a
             # rerun that extends the profile stays consistent
-            while fault_cursor < len(fault_queue):
-                at_time, _at_round, events = fault_queue[fault_cursor]
+            while change_cursor < len(change_queue):
+                at_time, kind, payload = change_queue[change_cursor]
                 if at_time > profile.duration:
                     break
-                self._apply_fault_round(at_time, events, report)
-                fault_cursor += 1
+                self._apply_change(at_time, kind, payload, report)
+                change_cursor += 1
 
         for index, stats in enumerate(class_reports):
             if jitter_n[index]:
@@ -485,9 +564,16 @@ def run_traffic(
     seed: int = 0,
     schedule: FaultSchedule | None = None,
     link_overrides: dict | None = None,
+    live_plans: list | None = None,
 ) -> TrafficReport:
-    """Offer ``profile``'s flows to ``lab`` and return the report."""
+    """Offer ``profile``'s flows to ``lab`` and return the report.
+
+    ``live_plans`` is an optional list of ``(at_seconds, DiffPlan)``
+    entries applied to the running lab mid-run — see
+    :meth:`TrafficEngine._apply_live_plan`.
+    """
     engine = TrafficEngine(
-        lab, profile, seed=seed, schedule=schedule, link_overrides=link_overrides
+        lab, profile, seed=seed, schedule=schedule,
+        link_overrides=link_overrides, live_plans=live_plans,
     )
     return engine.run()

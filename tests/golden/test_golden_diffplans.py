@@ -1,0 +1,91 @@
+"""Golden-snapshot tests: DiffPlans pinned byte-for-byte.
+
+For each canonical Small Internet edit (cost change, neighbor add via
+a new inter-AS link, node removal) and every vendor target, the differ
+must keep emitting the *same* plan — same operations, same order, same
+preconditions, same hashes.  Any drift in the differ, the parsers, or
+the renderer shows up here as a unified diff of the plan JSON.
+
+To bless intentional changes::
+
+    pytest tests/golden --update-golden
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+
+import pytest
+
+from repro.liveupdate import DiffPlan, apply_edits, diff_designs
+from repro.loader import small_internet
+
+GOLDEN_ROOT = os.path.join(os.path.dirname(__file__), "diffplans")
+PLATFORMS = ("netkit", "dynagen", "junosphere", "cbgp")
+
+EDITS = {
+    "cost_change": [
+        {"kind": "cost", "link": ["as20r1", "as20r2"], "value": 17},
+    ],
+    "neighbor_add": [
+        {"kind": "add_link", "link": ["as20r1", "as100r1"], "cost": 5},
+    ],
+    "node_remove": [
+        {"kind": "remove_node", "node": "as300r3"},
+    ],
+}
+
+
+def _plan_json(platform, edits, tmp_path):
+    old = small_internet()
+    new = apply_edits(old, edits)
+    delta = diff_designs(old, new, platform, work_dir=str(tmp_path))
+    return delta.plan.to_json()
+
+
+@pytest.mark.parametrize("platform", PLATFORMS)
+@pytest.mark.parametrize("edit", sorted(EDITS))
+def test_diffplan_matches_golden(platform, edit, tmp_path, request):
+    golden_path = os.path.join(GOLDEN_ROOT, platform, "%s.json" % edit)
+    rendered = _plan_json(platform, EDITS[edit], tmp_path)
+
+    if request.config.getoption("--update-golden"):
+        os.makedirs(os.path.dirname(golden_path), exist_ok=True)
+        with open(golden_path, "w") as handle:
+            handle.write(rendered)
+        pytest.skip("golden diffplan %s/%s regenerated" % (platform, edit))
+
+    assert os.path.isfile(golden_path), (
+        "no golden diffplan for %s/%s: run pytest tests/golden "
+        "--update-golden" % (platform, edit)
+    )
+    with open(golden_path) as handle:
+        golden = handle.read()
+    if golden != rendered:
+        diff = "".join(
+            difflib.unified_diff(
+                golden.splitlines(keepends=True),
+                rendered.splitlines(keepends=True),
+                fromfile="golden/%s/%s.json" % (platform, edit),
+                tofile="rendered/%s/%s.json" % (platform, edit),
+            )
+        )
+        pytest.fail(
+            "DiffPlan drifted from the golden snapshot for %s/%s "
+            "(--update-golden blesses intentional changes):\n\n%s"
+            % (platform, edit, diff)
+        )
+
+
+@pytest.mark.parametrize("platform", PLATFORMS)
+@pytest.mark.parametrize("edit", sorted(EDITS))
+def test_golden_diffplan_still_loads_and_inverts(platform, edit):
+    """The checked-in snapshots are themselves valid, invertible plans."""
+    golden_path = os.path.join(GOLDEN_ROOT, platform, "%s.json" % edit)
+    if not os.path.isfile(golden_path):
+        pytest.skip("no golden diffplan for %s/%s yet" % (platform, edit))
+    plan = DiffPlan.load(golden_path)
+    assert plan.platform == platform
+    assert len(plan) > 0
+    assert plan.inverse().inverse().to_dict() == plan.to_dict()

@@ -1,0 +1,48 @@
+"""Shared fixtures for the live-update layer.
+
+The differential suite boots real labs, so the rendered design pairs
+(old design, edited design) are session-scoped — every test sees the
+same ``diff_designs`` output for a given edit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.liveupdate import apply_edits, diff_designs
+from repro.loader import small_internet
+
+#: The canonical edits the golden snapshots and differential tests use.
+COST_EDIT = [{"kind": "cost", "link": ["as20r1", "as20r2"], "value": 17}]
+LINK_ADD_EDIT = [
+    {"kind": "add_link", "link": ["as20r1", "as100r1"], "cost": 5}
+]
+NODE_REMOVE_EDIT = [{"kind": "remove_node", "node": "as300r3"}]
+NODE_ADD_EDIT = [
+    {
+        "kind": "add_node",
+        "node": "as100r4",
+        "like": "as100r3",
+        "attach_to": ["as100r1", "as100r2"],
+        "cost": 3,
+    }
+]
+
+EDITS = {
+    "cost_change": COST_EDIT,
+    "link_add": LINK_ADD_EDIT,
+    "node_remove": NODE_REMOVE_EDIT,
+    "node_add": NODE_ADD_EDIT,
+}
+
+
+def make_delta(edits, work_dir, platform="netkit"):
+    """DesignDelta for ``edits`` against the Small Internet."""
+    old = small_internet()
+    new = apply_edits(old, edits)
+    return diff_designs(old, new, platform, work_dir=str(work_dir))
+
+
+@pytest.fixture(scope="session")
+def cost_delta(tmp_path_factory):
+    return make_delta(COST_EDIT, tmp_path_factory.mktemp("cost_delta"))

@@ -1,0 +1,77 @@
+"""The canonical device codec is the equivalence contract of the
+differ: two devices are "the same" iff their canonical dicts are equal,
+and decoding must reproduce the dataclasses exactly.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.liveupdate import (
+    device_from_dict,
+    device_to_dict,
+    lab_devices_from_dicts,
+    lab_devices_to_dicts,
+)
+
+
+@pytest.fixture(scope="module")
+def intent(si_lab):
+    return si_lab.intent
+
+
+class TestRoundTrip:
+    def test_every_device_round_trips(self, intent):
+        for name, device in intent.devices.items():
+            data = device_to_dict(device)
+            rebuilt = device_from_dict(data)
+            assert device_to_dict(rebuilt) == data, name
+
+    def test_round_trip_is_idempotent(self, intent):
+        first = lab_devices_to_dicts(intent)
+        rebuilt = lab_devices_from_dicts(first)
+        again = {
+            name: device_to_dict(device) for name, device in rebuilt.items()
+        }
+        assert again == first
+
+    def test_decoded_addresses_are_typed(self, intent):
+        """Decoding restores real address objects, not strings."""
+        rebuilt = lab_devices_from_dicts(lab_devices_to_dicts(intent))
+        for name, device in intent.devices.items():
+            for original, decoded in zip(
+                device.interfaces, rebuilt[name].interfaces
+            ):
+                assert type(decoded.ip_address) is type(original.ip_address)
+                assert decoded.ip_address == original.ip_address
+
+
+class TestCanonicalForm:
+    def test_dicts_are_json_clean(self, intent):
+        devices = lab_devices_to_dicts(intent)
+        text = json.dumps(devices, sort_keys=True)
+        assert json.loads(text) == devices
+
+    def test_encoding_is_deterministic(self, intent):
+        assert lab_devices_to_dicts(intent) == lab_devices_to_dicts(intent)
+
+    def test_equality_tracks_content(self, intent):
+        """Changing one field changes the canonical dict — the codec
+        cannot silently drop the fields the differ compares."""
+        name = sorted(intent.devices)[0]
+        data = device_to_dict(intent.devices[name])
+        mutated = copy.deepcopy(data)
+        mutated["hostname"] = "other"
+        assert mutated != data
+
+    def test_interface_order_is_preserved(self, intent):
+        """Lists stay in parser order — the engines consume intent
+        lists positionally, so the codec must not sort them."""
+        for name, device in intent.devices.items():
+            data = device_to_dict(device)
+            assert [entry["name"] for entry in data["interfaces"]] == [
+                interface.name for interface in device.interfaces
+            ]

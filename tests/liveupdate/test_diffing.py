@@ -1,0 +1,100 @@
+"""The differ: minimal plans that round-trip exactly, by construction.
+
+Everything here is render + parse only — no lab boot.  The invariant
+under test is the differ's core contract: ``simulate_plan(old,
+diff(old, new)) == new`` and ``simulate_plan(new, inverse) == old``,
+bit-exact at the canonical-dict level, for every edit kind.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.emulation.lab import detect_platform
+from repro.emulation.parsing import LAB_PARSERS
+from repro.exceptions import LiveUpdateError
+from repro.liveupdate import (
+    diff_intents,
+    diff_rendered,
+    lab_devices_to_dicts,
+    simulate_plan,
+)
+
+from .conftest import EDITS, make_delta
+
+
+def _parse_dir(lab_dir):
+    return LAB_PARSERS[detect_platform(lab_dir)](lab_dir)
+
+
+def parse_devices(lab_dir):
+    return lab_devices_to_dicts(_parse_dir(lab_dir))
+
+
+class TestDiffDesigns:
+    @pytest.mark.parametrize("name", sorted(EDITS))
+    def test_plan_round_trips_forward_and_back(self, name, tmp_path):
+        delta = make_delta(EDITS[name], tmp_path)
+        old = parse_devices(delta.old_dir)
+        new = parse_devices(delta.new_dir)
+        assert not delta.plan.is_empty
+
+        forward, skipped = simulate_plan(old, delta.plan.operations)
+        assert not skipped
+        assert forward == new
+
+        backward, skipped = simulate_plan(new, delta.plan.inverse().operations)
+        assert not skipped
+        assert backward == old
+
+    def test_identical_designs_diff_to_empty_plan(self, tmp_path):
+        delta = make_delta([], tmp_path)
+        assert delta.plan.is_empty
+        assert delta.plan.summary() == "no changes"
+
+    def test_cost_edit_produces_minimal_ops(self, cost_delta):
+        plan = cost_delta.plan
+        by_kind = plan.count_by_kind()
+        # two endpoints: each gets its interface cost set plus the OSPF
+        # interface-cost map refresh — and nothing else
+        assert by_kind == {"set_cost": 2, "update_igp": 2}
+        assert plan.devices() == ["as20r1", "as20r2"]
+
+    def test_link_add_touches_bgp(self, tmp_path):
+        delta = make_delta(EDITS["link_add"], tmp_path)
+        kinds = delta.plan.count_by_kind()
+        # the new link crosses AS20 <-> AS100, so both ends gain an
+        # interface and an eBGP session
+        assert kinds.get("add_interface", 0) >= 2
+        assert kinds.get("add_bgp_neighbor", 0) >= 2
+
+    def test_node_remove_emits_remove_device(self, tmp_path):
+        delta = make_delta(EDITS["node_remove"], tmp_path)
+        kinds = delta.plan.count_by_kind()
+        assert kinds.get("remove_device") == 1
+        assert "as300r3" in delta.plan.devices()
+
+    def test_file_changes_carry_provenance(self, cost_delta):
+        assert cost_delta.plan.file_changes
+        for change in cost_delta.plan.file_changes:
+            assert change["status"] in ("added", "removed", "modified")
+            assert change["path"]
+
+
+class TestDiffRendered:
+    def test_same_tree_is_empty(self, cost_delta):
+        plan = diff_rendered(cost_delta.old_dir, cost_delta.old_dir)
+        assert plan.is_empty
+
+    def test_platform_mismatch_rejected(self, cost_delta, tmp_path):
+        other = make_delta(EDITS["cost_change"], tmp_path, platform="cbgp")
+        with pytest.raises(LiveUpdateError, match="platform"):
+            diff_rendered(cost_delta.old_dir, other.new_dir)
+
+
+class TestDiffIntents:
+    def test_platform_mismatch_rejected(self, cost_delta, tmp_path):
+        old = _parse_dir(cost_delta.old_dir)
+        other = make_delta(EDITS["cost_change"], tmp_path, platform="cbgp")
+        with pytest.raises(LiveUpdateError, match="platform"):
+            diff_intents(old, _parse_dir(other.new_dir))

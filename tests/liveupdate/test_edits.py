@@ -1,0 +1,102 @@
+"""Design-level edits: parsing, validation, graph application."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import LiveUpdateError
+from repro.liveupdate import DesignEdit, apply_edits, canonical_edits, parse_edits
+from repro.loader import small_internet
+
+
+class TestParsing:
+    def test_inline_json(self):
+        edits = parse_edits('[{"kind": "cost", "link": ["a", "b"], "value": 9}]')
+        assert edits == [DesignEdit(kind="cost", link=("a", "b"), value=9)]
+
+    def test_file_path(self, tmp_path):
+        path = tmp_path / "delta.json"
+        path.write_text('[{"kind": "remove_node", "node": "r1"}]')
+        assert parse_edits(str(path)) == [
+            DesignEdit(kind="remove_node", node="r1")
+        ]
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(LiveUpdateError, match="malformed"):
+            parse_edits("[{not json")
+
+    def test_non_list_rejected(self):
+        with pytest.raises(LiveUpdateError, match="list"):
+            parse_edits('{"kind": "cost"}')
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(LiveUpdateError, match="unknown design edit"):
+            parse_edits('[{"kind": "explode"}]')
+
+    def test_dict_round_trip(self):
+        edit = DesignEdit(
+            kind="add_node", node="rX", like="r1",
+            attach_to=("r2", "r3"), cost=4,
+        )
+        assert DesignEdit.from_dict(edit.to_dict()) == edit
+
+
+class TestApplication:
+    def test_cost_edit_sets_ospf_cost(self):
+        edited = apply_edits(
+            small_internet(),
+            [{"kind": "cost", "link": ["as20r1", "as20r2"], "value": 17}],
+        )
+        assert edited.edges["as20r1", "as20r2"]["ospf_cost"] == 17
+
+    def test_original_graph_untouched(self):
+        graph = small_internet()
+        apply_edits(graph, [{"kind": "remove_node", "node": "as300r3"}])
+        assert "as300r3" in graph
+
+    def test_add_node_clones_template(self):
+        edited = apply_edits(
+            small_internet(),
+            [{
+                "kind": "add_node", "node": "as100r4", "like": "as100r3",
+                "attach_to": ["as100r1"], "cost": 3,
+            }],
+        )
+        assert edited.nodes["as100r4"]["asn"] == edited.nodes["as100r3"]["asn"]
+        assert edited.edges["as100r4", "as100r1"]["ospf_cost"] == 3
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(LiveUpdateError, match="not in the topology"):
+            apply_edits(
+                small_internet(),
+                [{"kind": "cost", "link": ["as20r1", "as300r1"], "value": 2}],
+            )
+
+    def test_duplicate_link_rejected(self):
+        with pytest.raises(LiveUpdateError, match="already exists"):
+            apply_edits(
+                small_internet(),
+                [{"kind": "add_link", "link": ["as20r1", "as20r2"]}],
+            )
+
+    def test_add_node_requires_attachment(self):
+        with pytest.raises(LiveUpdateError, match="attach_to"):
+            apply_edits(
+                small_internet(),
+                [{"kind": "add_node", "node": "x", "like": "as20r1"}],
+            )
+
+
+class TestCanonicalForm:
+    def test_canonical_is_stable_and_compact(self):
+        text = canonical_edits(
+            '[{"value": 9, "kind": "cost", "link": ["a", "b"]}]'
+        )
+        assert text == canonical_edits(
+            '[{"kind": "cost", "link": ["a", "b"], "value": 9}]'
+        )
+        assert json.loads(text) == [
+            {"kind": "cost", "link": ["a", "b"], "value": 9}
+        ]

@@ -1,0 +1,164 @@
+"""ChangeOp / DiffPlan mechanics: inversion, preconditions, atomic
+simulation.  These are pure-dict tests — no lab, no boot.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.exceptions import LiveUpdateError
+from repro.liveupdate import ChangeOp, DiffPlan, apply_op, simulate_plan
+from repro.liveupdate.plan import OP_KINDS
+
+
+def cost_op(device="r1", key="eth0", old=1, new=9):
+    return ChangeOp(
+        kind="set_cost",
+        device=device,
+        key=key,
+        before={"name": key, "ospf_cost": old},
+        after={"name": key, "ospf_cost": new},
+    )
+
+
+def make_device(name="r1", cost=1):
+    return {
+        "name": name,
+        "hostname": name,
+        "interfaces": [
+            {"name": "eth0", "ospf_cost": cost},
+            {"name": "eth1", "ospf_cost": 5},
+        ],
+        "ospf": {"process_id": 1, "router_id": "10.0.0.1", "networks": []},
+        "bgp": None,
+    }
+
+
+class TestChangeOp:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(LiveUpdateError):
+            ChangeOp(kind="reboot", device="r1")
+
+    @pytest.mark.parametrize("kind", OP_KINDS)
+    def test_inverse_is_an_involution(self, kind):
+        op = ChangeOp(
+            kind=kind, device="r1", key="k",
+            before={"a": 1}, after={"a": 2}, index=3,
+        )
+        assert op.inverse().inverse() == op
+
+    def test_inverse_swaps_before_and_after(self):
+        op = cost_op()
+        back = op.inverse()
+        assert back.before == op.after
+        assert back.after == op.before
+        assert back.kind == "set_cost"
+
+    def test_inverse_copies_payloads(self):
+        """Mutating the inverse must not corrupt the forward op."""
+        op = ChangeOp(kind="set_attr", device="r1", key="hostname",
+                      before={"v": ["x"]}, after={"v": ["y"]})
+        op.inverse().before["v"].append("mutated")
+        assert op.after == {"v": ["y"]}
+
+    def test_op_id_and_hash_are_stable(self):
+        op = cost_op()
+        assert op.op_id(4) == "op004-set_cost-r1-eth0"
+        assert op.op_hash() == cost_op().op_hash()
+        assert op.op_hash() != cost_op(new=10).op_hash()
+
+    def test_dict_round_trip(self):
+        op = cost_op()
+        assert ChangeOp.from_dict(op.to_dict()) == op
+
+
+class TestApplyOp:
+    def test_set_cost_applies(self):
+        device = make_device(cost=1)
+        assert apply_op(device, cost_op(old=1, new=9))
+        assert device["interfaces"][0]["ospf_cost"] == 9
+
+    def test_stale_precondition_raises_in_strict_mode(self):
+        device = make_device(cost=99)  # does not match op.before
+        with pytest.raises(LiveUpdateError, match="stale plan"):
+            apply_op(device, cost_op(old=1, new=9), strict=True)
+
+    def test_stale_precondition_skips_in_lenient_mode(self):
+        device = make_device(cost=99)
+        assert not apply_op(device, cost_op(old=1, new=9), strict=False)
+        assert device["interfaces"][0]["ospf_cost"] == 99
+
+    def test_apply_then_inverse_restores(self):
+        device = make_device(cost=1)
+        original = copy.deepcopy(device)
+        op = cost_op(old=1, new=9)
+        apply_op(device, op)
+        apply_op(device, op.inverse())
+        assert device == original
+
+
+class TestSimulatePlan:
+    def test_simulation_is_pure(self):
+        devices = {"r1": make_device()}
+        snapshot = copy.deepcopy(devices)
+        new, skipped = simulate_plan(devices, [cost_op(old=1, new=9)])
+        assert devices == snapshot
+        assert not skipped
+        assert new["r1"]["interfaces"][0]["ospf_cost"] == 9
+
+    def test_strict_simulation_raises_before_any_effect(self):
+        devices = {"r1": make_device(cost=1)}
+        plan = [cost_op(old=1, new=9), cost_op(key="eth9", old=1, new=2)]
+        with pytest.raises(LiveUpdateError):
+            simulate_plan(devices, plan, strict=True)
+        assert devices["r1"]["interfaces"][0]["ospf_cost"] == 1
+
+    def test_lenient_simulation_reports_skips(self):
+        devices = {"r1": make_device(cost=1)}
+        stale = cost_op(old=42, new=2)
+        new, skipped = simulate_plan(
+            devices, [cost_op(old=1, new=9), stale], strict=False
+        )
+        assert skipped == [stale]
+        assert new["r1"]["interfaces"][0]["ospf_cost"] == 9
+
+
+class TestDiffPlan:
+    def plan(self):
+        return DiffPlan(
+            platform="netkit",
+            operations=[cost_op(), cost_op(device="r2")],
+            file_changes=[{
+                "path": "r1/quagga/ospfd.conf", "status": "modified",
+                "before_hash": "aaa", "after_hash": "bbb",
+            }],
+            old_label="old", new_label="new",
+        )
+
+    def test_inverse_reverses_order_and_labels(self):
+        plan = self.plan()
+        back = plan.inverse()
+        assert [op.device for op in back.operations] == ["r2", "r1"]
+        assert (back.old_label, back.new_label) == ("new", "old")
+        assert back.file_changes[0]["before_hash"] == "bbb"
+        assert back.inverse().to_dict() == plan.to_dict()
+
+    def test_json_round_trip(self, tmp_path):
+        plan = self.plan()
+        path = str(tmp_path / "plan.json")
+        plan.save(path)
+        assert DiffPlan.load(path).to_dict() == plan.to_dict()
+
+    def test_plan_hash_ignores_labels(self):
+        plan = self.plan()
+        relabelled = DiffPlan(
+            platform="netkit", operations=list(plan.operations),
+            file_changes=[], old_label="x", new_label="y",
+        )
+        assert relabelled.plan_hash() == plan.plan_hash()
+
+    def test_summary_counts_kinds(self):
+        assert "set_cost x2" in self.plan().summary()
+        assert DiffPlan(platform="netkit").summary() == "no changes"

@@ -338,3 +338,99 @@ class TestDiff:
         assert main(["diff", str(tmp_path / "a.graphml"), str(tmp_path / "b.graphml")]) == 1
         out = capsys.readouterr().out
         assert "+ r4" in out
+
+
+class TestLiveUpdateCli:
+    """`repro diff --plan` / `repro apply`: exit codes, plan files,
+    journals, and clean termination on pipes and signals."""
+
+    COST_EDIT = '[{"kind": "cost", "link": ["as20r1", "as20r2"], "value": 17}]'
+
+    def test_diff_plan_identical_exits_zero(self, capsys):
+        assert main(["diff", "small_internet", "small_internet", "--plan"]) == 0
+        assert "plan:" in capsys.readouterr().out
+
+    def test_diff_plan_nonempty_exits_one(self, tmp_path, capsys):
+        from repro.loader import save_graphml, small_internet
+
+        graph = small_internet()
+        graph.edges["as20r1", "as20r2"]["ospf_cost"] = 17
+        path = tmp_path / "tweak.graphml"
+        save_graphml(graph, path)
+        plan_out = str(tmp_path / "plan.json")
+        assert (
+            main(["diff", "small_internet", str(path), "--plan-out", plan_out])
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "set_cost" in out
+        from repro.liveupdate import DiffPlan
+
+        plan = DiffPlan.load(plan_out)
+        assert len(plan) > 0
+        assert plan.platform == "netkit"
+
+    def test_apply_dry_run_exits_zero(self, capsys):
+        assert (
+            main(["apply", "small_internet", "--delta", self.COST_EDIT]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "edit: cost as20r1-as20r2 -> 17" in out
+        assert "dry run" in out
+
+    def test_apply_without_target_is_error(self, capsys):
+        assert main(["apply", "small_internet"]) == 2
+        assert "target design" in capsys.readouterr().err
+
+    def test_apply_live_verify_rollback(self, tmp_path, capsys):
+        journal_dir = str(tmp_path / "journal")
+        assert (
+            main([
+                "apply", "small_internet", "--delta", self.COST_EDIT,
+                "--verify", "--rollback", "--journal", journal_dir,
+                "--plan-out", str(tmp_path / "plan.json"),
+            ])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "apply:" in out
+        assert "verify: equivalent" in out
+        assert "rollback verify: equivalent" in out
+        assert os.listdir(journal_dir)
+        assert os.path.exists(tmp_path / "plan.json")
+
+    def test_apply_interrupt_exits_130(self, monkeypatch, capsys):
+        from repro import cli
+
+        def interrupted(args, out):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "_cmd_apply", interrupted)
+        assert main(["apply", "small_internet", "--delta", "[]"]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_apply_sigterm_exits_143(self, monkeypatch, capsys):
+        from repro import cli
+        from repro.exceptions import TerminationRequested
+
+        def terminated(args, out):
+            raise TerminationRequested()
+
+        monkeypatch.setattr(cli, "_cmd_apply", terminated)
+        assert main(["apply", "small_internet", "--delta", "[]"]) == 143
+        assert "terminated" in capsys.readouterr().err
+
+    def test_diff_broken_pipe_exits_zero(self, monkeypatch, tmp_path):
+        # `repro diff ... | head` closing the pipe early is normal use,
+        # not a crash: the handler must swallow the late flush too
+        import sys as _sys
+
+        from repro import cli
+
+        def broken(args, out):
+            raise BrokenPipeError
+
+        monkeypatch.setattr(cli, "_cmd_diff", broken)
+        sink = open(tmp_path / "sink", "w")
+        monkeypatch.setattr(_sys, "stdout", sink)
+        assert main(["diff", "fig5", "fig5", "--plan"]) == 0

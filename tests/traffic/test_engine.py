@@ -117,6 +117,81 @@ class TestFaults:
             run_traffic(lab.fork(), make_profile(), seed=0, schedule=schedule)
 
 
+class TestLiveUpdates:
+    """A mid-run DiffPlan reroutes flows like a fault, minus the loss:
+    bounded p99 blip in the change bucket, recovery in the next."""
+
+    @pytest.fixture(scope="class")
+    def cost_plan(self, tmp_path_factory):
+        from repro.liveupdate import apply_edits, diff_designs
+        from repro.loader import small_internet
+
+        edits = [{"kind": "cost", "link": ["as100r1", "as100r2"], "value": 50}]
+        delta = diff_designs(
+            small_internet(), apply_edits(small_internet(), edits),
+            "netkit", work_dir=str(tmp_path_factory.mktemp("live_plan")),
+        )
+        return delta.plan
+
+    def test_mid_run_cost_change_blips_then_recovers(self, lab, cost_plan):
+        profile = make_profile(
+            duration=6.0, capacity=100.0,
+            reconvergence_seconds=0.5,
+            classes=[dict(WEB, qps=600)],
+        )
+        baseline = run_traffic(lab.fork(), profile, seed=5)
+        updated = run_traffic(
+            lab.fork(), profile, seed=5, live_plans=[(2.0, cost_plan)]
+        )
+
+        assert updated.faults == [{
+            "time": 2.0, "kind": "live_update", "target": "as100r1 as100r2",
+        }]
+
+        def bucket(report, start):
+            return next(b for b in report.timeline if b["start"] == start)
+
+        # flows in flight across the disturbed routers stall until the
+        # reconvergence window closes, then retry over the new paths —
+        # the same disruption shape a fault produces
+        assert bucket(updated, 2.0)["p99_ms"] > 2 * bucket(baseline, 2.0)["p99_ms"]
+        recovered = bucket(updated, 5.0)["p99_ms"]
+        assert recovered < bucket(updated, 2.0)["p99_ms"] / 2
+
+    def test_live_update_run_is_deterministic(self, lab, cost_plan):
+        profile = make_profile(duration=4.0, capacity=50.0)
+        first = run_traffic(
+            lab.fork(), profile, seed=9, live_plans=[(1.0, cost_plan)]
+        )
+        second = run_traffic(
+            lab.fork(), profile, seed=9, live_plans=[(1.0, cost_plan)]
+        )
+        assert first.to_json() == second.to_json()
+
+    def test_plan_accepts_dict_form(self, lab, cost_plan):
+        profile = make_profile(duration=2.0)
+        report = run_traffic(
+            lab.fork(), profile, seed=1,
+            live_plans=[(1.0, cost_plan.to_dict())],
+        )
+        assert report.faults[0]["kind"] == "live_update"
+
+    def test_platform_mismatch_rejected(self, lab, cost_plan):
+        wrong = type(cost_plan).from_dict(
+            dict(cost_plan.to_dict(), platform="cbgp")
+        )
+        with pytest.raises(TrafficError, match="platform"):
+            run_traffic(
+                lab.fork(), make_profile(), seed=0, live_plans=[(1.0, wrong)]
+            )
+
+    def test_negative_time_rejected(self, lab, cost_plan):
+        with pytest.raises(TrafficError, match=">= 0"):
+            run_traffic(
+                lab.fork(), make_profile(), seed=0, live_plans=[(-1.0, cost_plan)]
+            )
+
+
 class TestReportShape:
     def test_metrics_exported_into_registry(self, si_render):
         telemetry = Telemetry()
